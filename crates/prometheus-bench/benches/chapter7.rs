@@ -1,0 +1,170 @@
+//! Criterion benchmarks mirroring chapter 7.2 — one group per evaluated
+//! dimension. The harness binary prints the paper-style tables; these
+//! benches give statistically robust single-operation numbers.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use prometheus_bench::ops;
+use prometheus_bench::schema::{BenchParams, PromDb, RawDb};
+
+fn small() -> BenchParams {
+    BenchParams { fanout: 3, levels: 4, parts_per_leaf: 4 }
+}
+
+/// §7.2.1.2.1 — raw performance: object creation and attribute access.
+fn bench_raw_performance(c: &mut Criterion) {
+    let raw = RawDb::build("crit-raw", small()).unwrap();
+    let prom = PromDb::build("crit-prom", small()).unwrap();
+    let raw_ids = ops::raw_create(&raw, 256).unwrap();
+    let prom_ids = ops::prom_create(&prom, 256).unwrap();
+
+    let mut group = c.benchmark_group("raw_performance");
+    group.bench_function("create_raw_64", |b| {
+        b.iter(|| ops::raw_create(&raw, 64).unwrap())
+    });
+    group.bench_function("create_prometheus_64", |b| {
+        b.iter(|| ops::prom_create(&prom, 64).unwrap())
+    });
+    group.bench_function("lookup_raw_256", |b| b.iter(|| ops::raw_lookup(&raw, &raw_ids).unwrap()));
+    group.bench_function("lookup_prometheus_256", |b| {
+        b.iter(|| ops::prom_lookup(&prom, &prom_ids).unwrap())
+    });
+    group.bench_function("read_attr_raw_256", |b| {
+        b.iter(|| ops::raw_read_attr(&raw, &raw_ids).unwrap())
+    });
+    group.bench_function("read_attr_prometheus_256", |b| {
+        b.iter(|| ops::prom_read_attr(&prom, &prom_ids).unwrap())
+    });
+    group.bench_function("update_attr_raw_256", |b| {
+        b.iter(|| ops::raw_update_attr(&raw, &raw_ids).unwrap())
+    });
+    group.bench_function("update_attr_prometheus_256", |b| {
+        b.iter(|| ops::prom_update_attr(&prom, &prom_ids).unwrap())
+    });
+    group.finish();
+    raw.cleanup();
+    prom.cleanup();
+}
+
+/// Traversals T1/T3 and the T5 shape.
+fn bench_traversals(c: &mut Criterion) {
+    let raw = RawDb::build("crit-t-raw", small()).unwrap();
+    let prom = PromDb::build("crit-t-prom", small()).unwrap();
+    let mut group = c.benchmark_group("traversals");
+    group.bench_function("t1_raw", |b| b.iter(|| ops::raw_t1(&raw).unwrap()));
+    group.bench_function("t1_prometheus", |b| b.iter(|| ops::prom_t1(&prom).unwrap()));
+    group.bench_function("t3_raw", |b| b.iter(|| ops::raw_t3(&raw).unwrap()));
+    group.bench_function("t3_prometheus", |b| b.iter(|| ops::prom_t3(&prom).unwrap()));
+    group.finish();
+    raw.cleanup();
+    prom.cleanup();
+}
+
+/// §7.2.1.2.2 — queries.
+fn bench_queries(c: &mut Criterion) {
+    let raw = RawDb::build("crit-q-raw", small()).unwrap();
+    let prom = PromDb::build("crit-q-prom", small()).unwrap();
+    let mut group = c.benchmark_group("queries");
+    group.bench_function("q1_exact_raw_scan", |b| {
+        b.iter(|| ops::raw_q1(&raw, "part-17").unwrap())
+    });
+    group.bench_function("q1_exact_prometheus_indexed", |b| {
+        b.iter(|| ops::prom_q1(&prom, "part-17").unwrap())
+    });
+    group.bench_function("q2_range_raw_scan", |b| {
+        b.iter(|| ops::raw_q2(&raw, 1000, 1050).unwrap())
+    });
+    group.bench_function("q2_range_prometheus_indexed", |b| {
+        b.iter(|| ops::prom_q2(&prom, 1000, 1050).unwrap())
+    });
+    group.bench_function("q6_reverse_raw_scan", |b| {
+        b.iter(|| ops::raw_q6(&raw, raw.parts[3]).unwrap())
+    });
+    group.bench_function("q6_reverse_prometheus_index", |b| {
+        b.iter(|| ops::prom_q6(&prom, prom.parts[3]).unwrap())
+    });
+    group.finish();
+    raw.cleanup();
+    prom.cleanup();
+}
+
+/// §7.2.1.2.3 — structural modifications (S1 insert + S2 delete as a pair,
+/// so state returns to baseline each iteration).
+fn bench_structural(c: &mut Criterion) {
+    let raw = RawDb::build("crit-s-raw", small()).unwrap();
+    let prom = PromDb::build("crit-s-prom", small()).unwrap();
+    let mut group = c.benchmark_group("structural");
+    group.bench_function("s1s2_raw_16", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                let parent = raw.assemblies[0];
+                let fresh = ops::raw_s1(&raw, parent, 16).unwrap();
+                ops::raw_s2(&raw, parent, &fresh).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("s1s2_prometheus_16", |b| {
+        b.iter_batched(
+            || (),
+            |_| {
+                let parent = prom.assemblies[0];
+                let fresh = ops::prom_s1(&prom, parent, 16).unwrap();
+                ops::prom_s2(&prom, &fresh).unwrap();
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+    raw.cleanup();
+    prom.cleanup();
+}
+
+/// The taxonomy-level operations the evaluation exercises: name derivation
+/// and synonym detection over a synthetic flora.
+fn bench_taxonomy(c: &mut Criterion) {
+    use prometheus_db::{Prometheus, StoreOptions};
+    use prometheus_taxonomy::dataset::{overlapping_revisions, random_flora, FloraParams};
+    let path = std::env::temp_dir().join(format!("crit-taxo-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap();
+    let tax = p.taxonomy().unwrap();
+    let params = FloraParams {
+        families: 1,
+        genera_per_family: 4,
+        species_per_genus: 5,
+        specimens_per_species: 2,
+        type_percent: 100,
+    };
+    let flora = random_flora(&tax, &params, 77).unwrap();
+    let revisions = overlapping_revisions(&tax, &flora, 1, 30, 78).unwrap();
+
+    let mut group = c.benchmark_group("taxonomy");
+    group.sample_size(10);
+    group.bench_function("derive_names_flora", |b| {
+        b.iter(|| {
+            prometheus_taxonomy::derivation::derive_names(&tax, &flora.classification, "B.", 2001)
+                .unwrap()
+        })
+    });
+    group.bench_function("detect_synonyms_two_classifications", |b| {
+        b.iter(|| {
+            prometheus_taxonomy::synonymy::detect_synonyms(
+                &tax,
+                &flora.classification,
+                &revisions[0],
+                prometheus_db::SynonymMode::Ignore,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_file(path);
+}
+
+criterion_group! {
+    name = chapter7;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_raw_performance, bench_traversals, bench_queries, bench_structural, bench_taxonomy
+}
+criterion_main!(chapter7);

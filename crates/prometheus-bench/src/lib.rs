@@ -1,0 +1,87 @@
+//! # prometheus-bench
+//!
+//! The OO7-inspired benchmark of thesis chapter 7.2 (Figures 41–48).
+//!
+//! The thesis compares the Prometheus feature layer against its underlying
+//! storage system (POET) on an OO7-derived schema, measuring:
+//!
+//! * **raw performance** (§7.2.1.2.1) — create/lookup/read/update/delete of
+//!   objects and relationships;
+//! * **queries** (§7.2.1.2.2) — exact-match, range, path, closure, context,
+//!   reverse and extent queries;
+//! * **traversals** — full and sparse hierarchy walks; **Figure 44** shows
+//!   T5's per-node cost staying constant as the database grows;
+//! * **structural modifications** (§7.2.1.2.3) — subtree insert (S1,
+//!   **Figure 45**) and delete (S2, **Figure 46**) whose costs grow
+//!   non-constantly with database size (index + constraint overhead).
+//!
+//! Our substitution (DESIGN.md): POET is replaced by `prometheus-storage`,
+//! and both contenders run over the *same* store, so the measured gap is
+//! exactly the cost of the Prometheus object/relationship/classification
+//! machinery — the quantity the thesis was after.
+//!
+//! [`schema`] builds the two databases (Figures 47/48), [`ops`] implements
+//! every measured operation, and [`report`] formats the tables/series the
+//! harness binary prints.
+
+pub mod ops;
+pub mod report;
+pub mod schema;
+
+use std::time::{Duration, Instant};
+
+/// Run `f` once for warm-up, then `runs` times; returns the median duration.
+pub fn time_median<T>(runs: usize, mut f: impl FnMut() -> T) -> Duration {
+    let _ = f();
+    let mut samples: Vec<Duration> = (0..runs.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            let _ = f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Run `f` exactly once and return (result, duration) — for operations that
+/// mutate state and cannot be repeated.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let value = f();
+    (value, start.elapsed())
+}
+
+/// Microseconds as f64, the unit all tables report in.
+pub fn micros(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_timer_returns_positive_durations() {
+        let d = time_median(3, || {
+            let mut x = 0u64;
+            for i in 0..1000 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn time_once_passes_value_through() {
+        let (v, d) = time_once(|| 42);
+        assert_eq!(v, 42);
+        assert!(d >= Duration::ZERO);
+    }
+
+    #[test]
+    fn micros_converts() {
+        assert_eq!(micros(Duration::from_micros(250)), 250.0);
+    }
+}

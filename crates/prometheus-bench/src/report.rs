@@ -1,0 +1,152 @@
+//! Table and series formatting for the harness binary, plus CSV output so
+//! EXPERIMENTS.md can reference reproducible artifacts.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One row of a comparison table: operation, raw µs, Prometheus µs.
+#[derive(Debug, Clone)]
+pub struct CompareRow {
+    pub operation: String,
+    pub raw_us: f64,
+    pub prom_us: f64,
+    /// Units of work done (e.g. objects touched), for per-item columns.
+    pub items: usize,
+}
+
+impl CompareRow {
+    /// Prometheus-over-raw cost factor.
+    pub fn factor(&self) -> f64 {
+        if self.raw_us == 0.0 {
+            f64::NAN
+        } else {
+            self.prom_us / self.raw_us
+        }
+    }
+}
+
+/// Render a comparison table in the thesis' layout.
+pub fn render_table(title: &str, rows: &[CompareRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>12} {:>14} {:>8} {:>12}",
+        "operation", "raw (µs)", "prometheus (µs)", "factor", "items"
+    );
+    for row in rows {
+        let _ = writeln!(
+            out,
+            "{:<28} {:>12.1} {:>14.1} {:>8.2} {:>12}",
+            row.operation,
+            row.raw_us,
+            row.prom_us,
+            row.factor(),
+            row.items
+        );
+    }
+    out
+}
+
+/// One point of a size-sweep series (Figures 44–46).
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    pub nodes: usize,
+    pub total_us: f64,
+    pub per_item_us: f64,
+}
+
+/// Render a sweep series.
+pub fn render_sweep(title: &str, points: &[SweepPoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "\n== {title} ==");
+    let _ = writeln!(out, "{:>10} {:>14} {:>14}", "nodes", "total (µs)", "per-item (µs)");
+    for p in points {
+        let _ = writeln!(out, "{:>10} {:>14.1} {:>14.3}", p.nodes, p.total_us, p.per_item_us);
+    }
+    out
+}
+
+/// Write a comparison table as CSV.
+pub fn write_table_csv(path: &Path, rows: &[CompareRow]) -> std::io::Result<()> {
+    let mut csv = String::from("operation,raw_us,prometheus_us,factor,items\n");
+    for row in rows {
+        let _ = writeln!(
+            csv,
+            "{},{:.3},{:.3},{:.4},{}",
+            row.operation,
+            row.raw_us,
+            row.prom_us,
+            row.factor(),
+            row.items
+        );
+    }
+    std::fs::write(path, csv)
+}
+
+/// Write a sweep series as CSV.
+pub fn write_sweep_csv(path: &Path, points: &[SweepPoint]) -> std::io::Result<()> {
+    let mut csv = String::from("nodes,total_us,per_item_us\n");
+    for p in points {
+        let _ = writeln!(csv, "{},{:.3},{:.5}", p.nodes, p.total_us, p.per_item_us);
+    }
+    std::fs::write(path, csv)
+}
+
+/// Classify a sweep's growth: the ratio of the last per-item cost to the
+/// first. Near 1.0 ⇒ constant per-item cost (Figure 44's claim); well above
+/// 1.0 ⇒ non-constant (Figures 45/46).
+pub fn growth_ratio(points: &[SweepPoint]) -> f64 {
+    match (points.first(), points.last()) {
+        (Some(a), Some(b)) if a.per_item_us > 0.0 => b.per_item_us / a.per_item_us,
+        _ => f64::NAN,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows = vec![
+            CompareRow { operation: "create".into(), raw_us: 10.0, prom_us: 30.0, items: 100 },
+            CompareRow { operation: "lookup".into(), raw_us: 5.0, prom_us: 5.5, items: 100 },
+        ];
+        let s = render_table("raw performance", &rows);
+        assert!(s.contains("create"));
+        assert!(s.contains("3.00"));
+        assert!(s.contains("raw performance"));
+    }
+
+    #[test]
+    fn factor_handles_zero_baseline() {
+        let row = CompareRow { operation: "x".into(), raw_us: 0.0, prom_us: 1.0, items: 1 };
+        assert!(row.factor().is_nan());
+    }
+
+    #[test]
+    fn sweep_growth_ratio() {
+        let constant = vec![
+            SweepPoint { nodes: 100, total_us: 100.0, per_item_us: 1.0 },
+            SweepPoint { nodes: 1000, total_us: 1050.0, per_item_us: 1.05 },
+        ];
+        assert!((growth_ratio(&constant) - 1.05).abs() < 1e-9);
+        let growing = vec![
+            SweepPoint { nodes: 100, total_us: 100.0, per_item_us: 1.0 },
+            SweepPoint { nodes: 1000, total_us: 5000.0, per_item_us: 5.0 },
+        ];
+        assert!(growth_ratio(&growing) > 4.0);
+    }
+
+    #[test]
+    fn csv_round_trips_to_disk() {
+        let dir = std::env::temp_dir();
+        let p = dir.join("bench-report-test.csv");
+        write_sweep_csv(&p, &[SweepPoint { nodes: 10, total_us: 1.0, per_item_us: 0.1 }]).unwrap();
+        let content = std::fs::read_to_string(&p).unwrap();
+        assert!(content.starts_with("nodes,"));
+        assert!(content.contains("10,"));
+        let _ = std::fs::remove_file(p);
+    }
+}

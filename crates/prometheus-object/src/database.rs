@@ -1,0 +1,2031 @@
+//! The Prometheus object layer: the [`Database`] facade.
+//!
+//! Wires the storage substrate, schema registry, index layer, event layer,
+//! synonym table and unit-of-work journal into the API the query language,
+//! rule engine and applications use.
+//!
+//! ## Units of work and what-if scenarios
+//!
+//! Every mutation runs inside a *unit of work*. Explicit units are opened
+//! with [`Database::begin_unit`]; a mutation outside any unit gets an
+//! implicit single-operation unit. Each unit keeps an undo journal; aborting
+//! (or a failed deferred constraint at commit) rolls every operation back by
+//! applying inverse operations. This is the mechanism behind the thesis'
+//! what-if scenarios (§7.1.4): a taxonomist opens a unit, reorganises a
+//! classification speculatively, inspects the result, then commits or
+//! abandons it.
+//!
+//! ## Relationship semantics
+//!
+//! [`Database::create_relationship`] enforces every built-in behaviour of
+//! §4.4.3 at creation time: endpoint class conformance, exclusivity,
+//! sharability, cardinality on both sides and acyclicity. Lifetime
+//! dependency and constancy are enforced on deletion. Violations surface as
+//! typed [`DbError`] variants.
+
+use crate::error::{DbError, DbResult};
+use crate::events::{Event, EventListener};
+use crate::index::{self, KS_ATTR, KS_CLS_EDGES, KS_EDGE_CLS, KS_EXTENT, KS_META, KS_REL_FROM, KS_REL_TO};
+use crate::instance::{ClassificationMeta, ObjectInstance, RelInstance, StoredEntity};
+use crate::schema::{RelKind, SchemaRegistry, OBJECT_CLASS};
+use crate::synonym::SynonymTable;
+use crate::value::Value;
+use parking_lot::{Mutex, RwLock};
+use prometheus_storage::cache::LruCache;
+use prometheus_storage::{codec, Oid, Stats, Store};
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+/// Reserved extent name under which classification metadata is indexed.
+pub const CLASSIFICATION_EXTENT: &str = "__classification";
+
+/// Default number of decoded entities kept in the object cache. Sized so
+/// that the chapter-7 benchmark databases stay cache-resident, matching the
+/// thesis' warm-cache measurement conditions.
+const DEFAULT_CACHE_CAPACITY: usize = 131_072;
+
+/// Token returned by [`Database::begin_unit`]; must be passed back to
+/// [`Database::commit_unit`] or [`Database::abort_unit`].
+#[derive(Debug)]
+#[must_use = "a unit of work must be committed or aborted"]
+pub struct UnitToken {
+    depth: u32,
+}
+
+/// One inverse operation in a unit's undo journal.
+#[derive(Debug)]
+enum UndoOp {
+    DeleteObject(Oid),
+    RestoreObject(ObjectInstance),
+    DeleteRel(Oid),
+    RestoreRel(RelInstance),
+    RestoreObjectAttr { oid: Oid, attr: String, old: Value },
+    RestoreRelAttr { oid: Oid, attr: String, old: Value },
+    RemoveClsEdge { cls: Oid, rel: Oid },
+    RestoreClsEdge { cls: Oid, rel: Oid },
+    DeleteClassification(Oid),
+    RestoreClassification(ClassificationMeta, Vec<Oid>),
+    RestoreSynonyms(SynonymTable),
+}
+
+#[derive(Debug, Default)]
+struct UnitState {
+    journal: Vec<UndoOp>,
+    events: Vec<Event>,
+    depth: u32,
+}
+
+/// The Prometheus database.
+pub struct Database {
+    store: Arc<Store>,
+    schema: RwLock<SchemaRegistry>,
+    synonyms: RwLock<SynonymTable>,
+    listeners: RwLock<Vec<Arc<dyn EventListener>>>,
+    unit: Mutex<Option<UnitState>>,
+    cache: Mutex<LruCache<Oid, StoredEntity>>,
+}
+
+impl Database {
+    /// Open a database over `store`, loading any persisted schema and
+    /// synonym state.
+    pub fn open(store: Arc<Store>) -> DbResult<Self> {
+        let schema = match store.kv_get(KS_META, index::META_SCHEMA) {
+            Some(bytes) => {
+                let mut reg: SchemaRegistry = codec::from_bytes(&bytes)?;
+                reg.rebuild_closures();
+                reg
+            }
+            None => SchemaRegistry::new(),
+        };
+        let synonyms = match store.kv_get(KS_META, index::META_SYNONYMS) {
+            Some(bytes) => codec::from_bytes(&bytes)?,
+            None => SynonymTable::new(),
+        };
+        Ok(Database {
+            store,
+            schema: RwLock::new(schema),
+            synonyms: RwLock::new(synonyms),
+            listeners: RwLock::new(Vec::new()),
+            unit: Mutex::new(None),
+            cache: Mutex::new(LruCache::new(DEFAULT_CACHE_CAPACITY)),
+        })
+    }
+
+    /// The underlying store (exposed for the benchmark harness).
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Run `f` with read access to the schema registry.
+    pub fn with_schema<T>(&self, f: impl FnOnce(&SchemaRegistry) -> T) -> T {
+        f(&self.schema.read())
+    }
+
+    /// Register an event listener (the rule engine).
+    pub fn add_listener(&self, listener: Arc<dyn EventListener>) {
+        self.listeners.write().push(listener);
+    }
+
+    // -----------------------------------------------------------------
+    // Schema
+    // -----------------------------------------------------------------
+
+    /// Define an ordinary class and persist the schema.
+    pub fn define_class(&self, def: crate::schema::ClassDef) -> DbResult<()> {
+        {
+            let mut schema = self.schema.write();
+            schema.define_class(def)?;
+        }
+        self.persist_schema()
+    }
+
+    /// Define a relationship class and persist the schema.
+    pub fn define_relationship(&self, def: crate::schema::RelClassDef) -> DbResult<()> {
+        {
+            let mut schema = self.schema.write();
+            schema.define_relationship(def)?;
+        }
+        self.persist_schema()
+    }
+
+    fn persist_schema(&self) -> DbResult<()> {
+        let bytes = codec::to_bytes(&*self.schema.read())?;
+        self.store.with_txn(|t| {
+            t.kv_put(KS_META, index::META_SCHEMA.to_vec(), bytes.clone());
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Units of work
+    // -----------------------------------------------------------------
+
+    /// Open a (possibly nested) unit of work.
+    pub fn begin_unit(&self) -> UnitToken {
+        let mut unit = self.unit.lock();
+        let state = unit.get_or_insert_with(UnitState::default);
+        state.depth += 1;
+        UnitToken { depth: state.depth }
+    }
+
+    /// Commit a unit of work. Committing the outermost unit fires deferred
+    /// (`at_commit`) listeners; if any fails, the whole unit is rolled back
+    /// and the error returned.
+    pub fn commit_unit(&self, token: UnitToken) -> DbResult<()> {
+        let (outermost, events) = {
+            let mut unit = self.unit.lock();
+            let state = unit
+                .as_mut()
+                .ok_or_else(|| DbError::Unit("commit without active unit".into()))?;
+            if state.depth != token.depth {
+                return Err(DbError::Unit(format!(
+                    "unit commit out of order: depth {} vs token {}",
+                    state.depth, token.depth
+                )));
+            }
+            state.depth -= 1;
+            if state.depth == 0 {
+                (true, std::mem::take(&mut state.events))
+            } else {
+                (false, Vec::new())
+            }
+        };
+        if !outermost {
+            return Ok(());
+        }
+        // Deferred listeners run while the unit is still rollback-able; any
+        // mutation they perform (repair actions) joins the journal.
+        let listeners = self.listeners.read().clone();
+        for listener in &listeners {
+            if let Err(e) = listener.at_commit(self, &events) {
+                self.rollback_active_unit();
+                return Err(e);
+            }
+        }
+        let mut unit = self.unit.lock();
+        *unit = None;
+        Ok(())
+    }
+
+    /// Abort a unit of work, rolling back everything it (and any nested
+    /// units) changed.
+    pub fn abort_unit(&self, token: UnitToken) {
+        let _ = token;
+        self.rollback_active_unit();
+    }
+
+    /// Whether a unit of work is currently active.
+    pub fn in_unit(&self) -> bool {
+        self.unit.lock().is_some()
+    }
+
+    fn rollback_active_unit(&self) {
+        let journal = {
+            let mut unit = self.unit.lock();
+            match unit.take() {
+                Some(state) => state.journal,
+                None => return,
+            }
+        };
+        for op in journal.into_iter().rev() {
+            // Rollback applies raw inverse operations; failures here would
+            // mean the log itself is failing, which we surface by panicking
+            // rather than silently half-rolling-back.
+            self.apply_undo(op).expect("rollback must not fail");
+        }
+    }
+
+    fn apply_undo(&self, op: UndoOp) -> DbResult<()> {
+        match op {
+            UndoOp::DeleteObject(oid) => {
+                let obj = self.object(oid)?;
+                self.raw_delete_object(&obj)
+            }
+            UndoOp::RestoreObject(obj) => self.raw_put_object(&obj),
+            UndoOp::DeleteRel(oid) => {
+                let rel = self.rel(oid)?;
+                self.raw_delete_rel(&rel)
+            }
+            UndoOp::RestoreRel(rel) => self.raw_put_rel(&rel),
+            UndoOp::RestoreObjectAttr { oid, attr, old } => {
+                let mut obj = self.object(oid)?;
+                self.raw_update_object_attr(&mut obj, &attr, old)
+            }
+            UndoOp::RestoreRelAttr { oid, attr, old } => {
+                let mut rel = self.rel(oid)?;
+                rel.attrs.insert(attr, old);
+                self.raw_put_rel(&rel)
+            }
+            UndoOp::RemoveClsEdge { cls, rel } => self.raw_remove_cls_edge(cls, rel),
+            UndoOp::RestoreClsEdge { cls, rel } => self.raw_add_cls_edge(cls, rel),
+            UndoOp::DeleteClassification(oid) => self.raw_delete_classification(oid),
+            UndoOp::RestoreClassification(meta, edges) => {
+                let oid = meta.oid;
+                let bytes = codec::to_bytes(&StoredEntity::Classification(meta.clone()))?;
+                self.store.with_txn(|t| {
+                    t.put(oid, bytes.clone());
+                    t.kv_put(KS_EXTENT, index::extent_key(CLASSIFICATION_EXTENT, oid), Vec::new());
+                    Ok(())
+                })?;
+                self.cache.lock().put(oid, StoredEntity::Classification(meta));
+                for rel in edges {
+                    self.raw_add_cls_edge(oid, rel)?;
+                }
+                Ok(())
+            }
+            UndoOp::RestoreSynonyms(table) => {
+                *self.synonyms.write() = table;
+                self.persist_synonyms()
+            }
+        }
+    }
+
+    /// Record an undo op and an event in the active unit (if any).
+    fn journal(&self, undo: UndoOp, event: Option<Event>) {
+        let mut unit = self.unit.lock();
+        if let Some(state) = unit.as_mut() {
+            state.journal.push(undo);
+            if let Some(e) = event {
+                state.events.push(e);
+            }
+        }
+    }
+
+    /// Run `f` inside a unit (reusing the active one if present).
+    pub fn in_unit_scope<T>(&self, f: impl FnOnce(&Database) -> DbResult<T>) -> DbResult<T> {
+        let token = self.begin_unit();
+        match f(self) {
+            Ok(v) => {
+                self.commit_unit(token)?;
+                Ok(v)
+            }
+            Err(e) => {
+                self.abort_unit(token);
+                Err(e)
+            }
+        }
+    }
+
+    fn dispatch_before(&self, event: &Event) -> DbResult<()> {
+        let listeners = self.listeners.read().clone();
+        for listener in &listeners {
+            listener.before(self, event)?;
+        }
+        Ok(())
+    }
+
+    fn dispatch_after(&self, event: &Event) -> DbResult<()> {
+        let listeners = self.listeners.read().clone();
+        for listener in &listeners {
+            listener.after(self, event)?;
+        }
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Entity access
+    // -----------------------------------------------------------------
+
+    fn entity(&self, oid: Oid) -> DbResult<StoredEntity> {
+        {
+            let mut cache = self.cache.lock();
+            if let Some(entity) = cache.get(&oid) {
+                Stats::bump(&self.store.stats().cache_hits);
+                return Ok(entity.clone());
+            }
+        }
+        Stats::bump(&self.store.stats().cache_misses);
+        let bytes = self.store.get(oid).ok_or(DbError::NotFound(oid))?;
+        let entity: StoredEntity = codec::from_bytes(&bytes)?;
+        self.cache.lock().put(oid, entity.clone());
+        Ok(entity)
+    }
+
+    /// Fetch an object instance.
+    pub fn object(&self, oid: Oid) -> DbResult<ObjectInstance> {
+        match self.entity(oid)? {
+            StoredEntity::Object(o) => Ok(o),
+            _ => Err(DbError::NotFound(oid)),
+        }
+    }
+
+    /// Fetch a relationship instance.
+    pub fn rel(&self, oid: Oid) -> DbResult<RelInstance> {
+        match self.entity(oid)? {
+            StoredEntity::Rel(r) => Ok(r),
+            _ => Err(DbError::NotFound(oid)),
+        }
+    }
+
+    /// Fetch classification metadata.
+    pub fn classification_meta(&self, oid: Oid) -> DbResult<ClassificationMeta> {
+        match self.entity(oid)? {
+            StoredEntity::Classification(c) => Ok(c),
+            _ => Err(DbError::NotFound(oid)),
+        }
+    }
+
+    /// Whether any entity with this OID exists.
+    pub fn exists(&self, oid: Oid) -> bool {
+        self.entity(oid).is_ok()
+    }
+
+    /// Most-specific class of the entity (`"__classification"` for
+    /// classification metadata).
+    pub fn class_of(&self, oid: Oid) -> DbResult<String> {
+        Ok(match self.entity(oid)? {
+            StoredEntity::Object(o) => o.class,
+            StoredEntity::Rel(r) => r.class,
+            StoredEntity::Classification(_) => CLASSIFICATION_EXTENT.to_string(),
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Object CRUD
+    // -----------------------------------------------------------------
+
+    /// Create an object of `class` with the given attributes.
+    ///
+    /// Validates the class (must exist, not abstract), attribute names and
+    /// types, applies declared defaults, fires `ObjectCreated`.
+    pub fn create_object(
+        &self,
+        class: &str,
+        attrs: impl IntoIterator<Item = (String, Value)>,
+    ) -> DbResult<Oid> {
+        let attrs: BTreeMap<String, Value> = attrs.into_iter().collect();
+        if !self.in_unit() {
+            // Implicit single-operation unit: failures (including immediate
+            // rule violations raised after the insert) roll back cleanly.
+            return self.in_unit_scope(|db| db.create_object(class, attrs.clone()));
+        }
+        let checked = {
+            let schema = self.schema.read();
+            let def = schema
+                .class(class)
+                .ok_or_else(|| DbError::Schema(format!("unknown class '{class}'")))?;
+            if def.is_abstract {
+                return Err(DbError::Schema(format!("class '{class}' is abstract")));
+            }
+            let declared = schema.all_attrs(class)?;
+            validate_attrs(class, &declared, attrs, true)?
+        };
+        let oid = self.store.allocate_oid();
+        let event = Event::ObjectCreated { oid, class: class.to_string() };
+        self.dispatch_before(&event)?;
+        let obj = ObjectInstance { oid, class: class.to_string(), attrs: checked };
+        self.raw_put_object(&obj)?;
+        self.journal(UndoOp::DeleteObject(oid), Some(event.clone()));
+        self.finish_op(event)?;
+        Ok(oid)
+    }
+
+    /// Update one attribute of an object.
+    pub fn set_attr(&self, oid: Oid, attr: &str, value: impl Into<Value>) -> DbResult<()> {
+        let value = value.into();
+        if !self.in_unit() {
+            return self.in_unit_scope(|db| db.set_attr(oid, attr, value.clone()));
+        }
+        let mut obj = self.object(oid)?;
+        {
+            let schema = self.schema.read();
+            let declared = schema.all_attrs(&obj.class)?;
+            let def = declared
+                .iter()
+                .find(|a| a.name == attr)
+                .ok_or_else(|| DbError::UnknownAttr { class: obj.class.clone(), attr: attr.into() })?;
+            check_type(&obj.class, def, &value)?;
+        }
+        let old = obj.attr(attr);
+        if old == value {
+            return Ok(());
+        }
+        let event = Event::ObjectUpdated {
+            oid,
+            class: obj.class.clone(),
+            attr: attr.to_string(),
+            old: old.clone(),
+            new: value.clone(),
+        };
+        self.dispatch_before(&event)?;
+        self.raw_update_object_attr(&mut obj, attr, value)?;
+        self.journal(
+            UndoOp::RestoreObjectAttr { oid, attr: attr.to_string(), old },
+            Some(event.clone()),
+        );
+        self.finish_op(event)
+    }
+
+    /// Delete an object.
+    ///
+    /// All incident relationship instances are deleted first (firing their
+    /// own events and leaving their classifications). For each outgoing
+    /// *dependent* aggregation, the destination is recursively deleted if no
+    /// other incoming aggregation still claims it.
+    pub fn delete_object(&self, oid: Oid) -> DbResult<()> {
+        if !self.in_unit() {
+            return self.in_unit_scope(|db| db.delete_object(oid));
+        }
+        let obj = self.object(oid)?;
+        let event = Event::ObjectDeleted { oid, class: obj.class.clone() };
+        self.dispatch_before(&event)?;
+
+        // Incident edges.
+        let outgoing = self.rels_from(oid, None)?;
+        let incoming = self.rels_to(oid, None)?;
+        let mut dependents: Vec<Oid> = Vec::new();
+        {
+            let schema = self.schema.read();
+            for rel in &outgoing {
+                if let Some(def) = schema.rel_class(&rel.class) {
+                    if def.dependent {
+                        dependents.push(rel.destination);
+                    }
+                }
+            }
+        }
+        for rel in outgoing.iter().chain(incoming.iter()) {
+            // A relationship may have been deleted already if it connects oid
+            // to itself or appears in both lists.
+            if self.exists(rel.oid) {
+                self.delete_relationship_inner(rel.oid, true)?;
+            }
+        }
+
+        // The object record itself.
+        let prev_syn = self.synonyms.read().clone();
+        self.raw_delete_object(&obj)?;
+        {
+            let mut syn = self.synonyms.write();
+            syn.dissolve(oid);
+        }
+        self.persist_synonyms()?;
+        self.journal(UndoOp::RestoreSynonyms(prev_syn), None);
+        self.journal(UndoOp::RestoreObject(obj), Some(event.clone()));
+        self.finish_op(event)?;
+
+        // Lifetime-dependent destinations: delete if orphaned.
+        for dest in dependents {
+            if self.exists(dest) && !self.has_incoming_aggregation(dest)? {
+                self.delete_object(dest)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn has_incoming_aggregation(&self, oid: Oid) -> DbResult<bool> {
+        let incoming = self.rels_to(oid, None)?;
+        let schema = self.schema.read();
+        Ok(incoming.iter().any(|r| {
+            schema.rel_class(&r.class).map_or(false, |d| d.kind == RelKind::Aggregation)
+        }))
+    }
+
+    // -----------------------------------------------------------------
+    // Relationship CRUD
+    // -----------------------------------------------------------------
+
+    /// Create a relationship instance of `class` from `origin` to
+    /// `destination`, enforcing every built-in behaviour of §4.4.3.
+    pub fn create_relationship(
+        &self,
+        class: &str,
+        origin: Oid,
+        destination: Oid,
+        attrs: impl IntoIterator<Item = (String, Value)>,
+    ) -> DbResult<Oid> {
+        let attrs: BTreeMap<String, Value> = attrs.into_iter().collect();
+        if !self.in_unit() {
+            return self.in_unit_scope(|db| db.create_relationship(class, origin, destination, attrs.clone()));
+        }
+        let checked = {
+            let schema = self.schema.read();
+            let def = schema
+                .rel_class(class)
+                .ok_or_else(|| DbError::Schema(format!("unknown relationship class '{class}'")))?
+                .clone();
+            // Endpoint class conformance.
+            let origin_class = self.class_of(origin)?;
+            if def.origin_class != OBJECT_CLASS && !schema.conforms(&origin_class, &def.origin_class) {
+                return Err(DbError::EndpointMismatch {
+                    relationship: class.into(),
+                    expected: def.origin_class.clone(),
+                    found: origin_class,
+                });
+            }
+            let dest_class = self.class_of(destination)?;
+            if def.destination_class != OBJECT_CLASS
+                && !schema.conforms(&dest_class, &def.destination_class)
+            {
+                return Err(DbError::EndpointMismatch {
+                    relationship: class.into(),
+                    expected: def.destination_class.clone(),
+                    found: dest_class,
+                });
+            }
+            let declared = schema.all_rel_attrs(class)?;
+            let checked = validate_attrs(class, &declared, attrs, true)?;
+
+            // Exclusivity (Figure 15): at most one incoming instance of this
+            // class for the destination.
+            if def.exclusive && !self.rels_to_of_class(destination, class)?.is_empty() {
+                return Err(DbError::ExclusivityViolation {
+                    relationship: class.into(),
+                    destination,
+                });
+            }
+            // Sharability (Figure 16): a non-sharable aggregation's part may
+            // not belong to any other whole, and a part already held by a
+            // non-sharable aggregation may not be claimed again.
+            if def.kind == RelKind::Aggregation {
+                let incoming = self.rels_to(destination, None)?;
+                for existing in &incoming {
+                    if let Some(other) = schema.rel_class(&existing.class) {
+                        if other.kind == RelKind::Aggregation && (!def.sharable || !other.sharable)
+                        {
+                            return Err(DbError::SharabilityViolation {
+                                relationship: class.into(),
+                                destination,
+                            });
+                        }
+                    }
+                }
+            }
+            // Cardinality on both sides.
+            let from_count = self.rels_from_of_class(origin, class)?.len() as u32;
+            if def.origin_card.exceeded_by(from_count + 1) {
+                return Err(DbError::CardinalityViolation {
+                    relationship: class.into(),
+                    side: "origin",
+                    limit: def.origin_card.max.unwrap_or(u32::MAX),
+                });
+            }
+            let to_count = self.rels_to_of_class(destination, class)?.len() as u32;
+            if def.destination_card.exceeded_by(to_count + 1) {
+                return Err(DbError::CardinalityViolation {
+                    relationship: class.into(),
+                    side: "destination",
+                    limit: def.destination_card.max.unwrap_or(u32::MAX),
+                });
+            }
+            // Acyclicity: destination must not already reach origin.
+            if def.acyclic && (origin == destination || self.reaches(destination, origin, class)?) {
+                return Err(DbError::CycleViolation {
+                    relationship: class.into(),
+                    origin,
+                    destination,
+                });
+            }
+            checked
+        };
+        let oid = self.store.allocate_oid();
+        let event = Event::RelCreated { oid, class: class.to_string(), origin, destination };
+        self.dispatch_before(&event)?;
+        let rel = RelInstance { oid, class: class.to_string(), origin, destination, attrs: checked };
+        self.raw_put_rel(&rel)?;
+        self.journal(UndoOp::DeleteRel(oid), Some(event.clone()));
+        self.finish_op(event)?;
+        Ok(oid)
+    }
+
+    /// Update one attribute of a relationship instance.
+    pub fn set_rel_attr(&self, oid: Oid, attr: &str, value: impl Into<Value>) -> DbResult<()> {
+        let value = value.into();
+        if !self.in_unit() {
+            return self.in_unit_scope(|db| db.set_rel_attr(oid, attr, value.clone()));
+        }
+        let mut rel = self.rel(oid)?;
+        {
+            let schema = self.schema.read();
+            let declared = schema.all_rel_attrs(&rel.class)?;
+            let def = declared
+                .iter()
+                .find(|a| a.name == attr)
+                .ok_or_else(|| DbError::UnknownAttr { class: rel.class.clone(), attr: attr.into() })?;
+            check_type(&rel.class, def, &value)?;
+        }
+        let old = rel.attr(attr);
+        if old == value {
+            return Ok(());
+        }
+        let event = Event::RelUpdated {
+            oid,
+            class: rel.class.clone(),
+            attr: attr.to_string(),
+            old: old.clone(),
+            new: value.clone(),
+        };
+        self.dispatch_before(&event)?;
+        rel.attrs.insert(attr.to_string(), value);
+        self.raw_put_rel(&rel)?;
+        self.journal(
+            UndoOp::RestoreRelAttr { oid, attr: attr.to_string(), old },
+            Some(event.clone()),
+        );
+        self.finish_op(event)
+    }
+
+    /// Delete a relationship instance. Constant relationships may only be
+    /// deleted as part of deleting one of their endpoints.
+    pub fn delete_relationship(&self, oid: Oid) -> DbResult<()> {
+        if !self.in_unit() {
+            return self.in_unit_scope(|db| db.delete_relationship_inner(oid, false));
+        }
+        self.delete_relationship_inner(oid, false)
+    }
+
+    fn delete_relationship_inner(&self, oid: Oid, endpoint_cascade: bool) -> DbResult<()> {
+        let rel = self.rel(oid)?;
+        {
+            let schema = self.schema.read();
+            if let Some(def) = schema.rel_class(&rel.class) {
+                if def.constant && !endpoint_cascade {
+                    return Err(DbError::ConstancyViolation { relationship: oid });
+                }
+            }
+        }
+        let event = Event::RelDeleted {
+            oid,
+            class: rel.class.clone(),
+            origin: rel.origin,
+            destination: rel.destination,
+        };
+        self.dispatch_before(&event)?;
+        // Leave every classification first.
+        for cls in self.classifications_of_edge(oid)? {
+            self.raw_remove_cls_edge(cls, oid)?;
+            self.journal(
+                UndoOp::RestoreClsEdge { cls, rel: oid },
+                Some(Event::ClassificationEdgeRemoved { classification: cls, rel: oid }),
+            );
+        }
+        self.raw_delete_rel(&rel)?;
+        self.journal(UndoOp::RestoreRel(rel), Some(event.clone()));
+        self.finish_op(event)
+    }
+
+    /// All relationship instances leaving `oid`, optionally restricted to one
+    /// relationship class (exact; use [`Database::rels_from_including_subs`]
+    /// for polymorphic queries).
+    pub fn rels_from(&self, oid: Oid, class: Option<&str>) -> DbResult<Vec<RelInstance>> {
+        let prefix = match class {
+            Some(c) => index::endpoint_class_prefix(oid, c),
+            None => index::endpoint_prefix(oid),
+        };
+        self.load_rels(KS_REL_FROM, &prefix)
+    }
+
+    /// All relationship instances arriving at `oid`, optionally restricted to
+    /// one relationship class (exact).
+    pub fn rels_to(&self, oid: Oid, class: Option<&str>) -> DbResult<Vec<RelInstance>> {
+        let prefix = match class {
+            Some(c) => index::endpoint_class_prefix(oid, c),
+            None => index::endpoint_prefix(oid),
+        };
+        self.load_rels(KS_REL_TO, &prefix)
+    }
+
+    /// Outgoing edges of `oid` via `class` or any of its subclasses.
+    pub fn rels_from_including_subs(&self, oid: Oid, class: &str) -> DbResult<Vec<RelInstance>> {
+        let classes = self.schema.read().with_subclasses(class);
+        let mut out = Vec::new();
+        for c in classes {
+            out.extend(self.rels_from(oid, Some(&c))?);
+        }
+        Ok(out)
+    }
+
+    /// Incoming edges of `oid` via `class` or any of its subclasses.
+    pub fn rels_to_including_subs(&self, oid: Oid, class: &str) -> DbResult<Vec<RelInstance>> {
+        let classes = self.schema.read().with_subclasses(class);
+        let mut out = Vec::new();
+        for c in classes {
+            out.extend(self.rels_to(oid, Some(&c))?);
+        }
+        Ok(out)
+    }
+
+    /// Record-free adjacency (the §6.1.5.2 indexing fast path): the edges
+    /// incident to `oid` as `(relationship oid, opposite endpoint)` pairs,
+    /// straight from the endpoint index — no relationship records are
+    /// fetched or decoded. `outgoing` selects the direction.
+    pub fn adjacency(
+        &self,
+        oid: Oid,
+        class: Option<&str>,
+        outgoing: bool,
+    ) -> DbResult<Vec<(Oid, Oid)>> {
+        let ks = if outgoing { KS_REL_FROM } else { KS_REL_TO };
+        let prefix = match class {
+            Some(c) => index::endpoint_class_prefix(oid, c),
+            None => index::endpoint_prefix(oid),
+        };
+        let entries = self.store.kv_scan_prefix(ks, &prefix);
+        let mut out = Vec::with_capacity(entries.len());
+        for (key, value) in entries {
+            let Some(rel_oid) = index::oid_suffix(&key) else { continue };
+            let Ok(bytes) = <[u8; 8]>::try_from(value.as_slice()) else { continue };
+            out.push((rel_oid, Oid::from_be_bytes(bytes)));
+        }
+        Ok(out)
+    }
+
+    fn rels_from_of_class(&self, oid: Oid, class: &str) -> DbResult<Vec<RelInstance>> {
+        self.rels_from(oid, Some(class))
+    }
+
+    fn rels_to_of_class(&self, oid: Oid, class: &str) -> DbResult<Vec<RelInstance>> {
+        self.rels_to(oid, Some(class))
+    }
+
+    fn load_rels(
+        &self,
+        ks: prometheus_storage::Keyspace,
+        prefix: &[u8],
+    ) -> DbResult<Vec<RelInstance>> {
+        let entries = self.store.kv_scan_prefix(ks, prefix);
+        let mut out = Vec::with_capacity(entries.len());
+        for (key, _) in entries {
+            if let Some((_, rel_oid)) = index::decode_endpoint_key(&key) {
+                out.push(self.rel(rel_oid)?);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether `from` reaches `to` following edges of exactly `rel_class`.
+    fn reaches(&self, from: Oid, to: Oid, rel_class: &str) -> DbResult<bool> {
+        let mut stack = vec![from];
+        let mut seen: BTreeSet<Oid> = BTreeSet::new();
+        while let Some(node) = stack.pop() {
+            if node == to {
+                return Ok(true);
+            }
+            if !seen.insert(node) {
+                continue;
+            }
+            for rel in self.rels_from(node, Some(rel_class))? {
+                stack.push(rel.destination);
+            }
+        }
+        Ok(false)
+    }
+
+    // -----------------------------------------------------------------
+    // Extents and attribute queries
+    // -----------------------------------------------------------------
+
+    /// OIDs in the extent of `class`; with `include_subclasses`, the deep
+    /// extent (ODMG `extent` semantics).
+    pub fn extent(&self, class: &str, include_subclasses: bool) -> DbResult<Vec<Oid>> {
+        let classes = if include_subclasses {
+            self.schema.read().with_subclasses(class)
+        } else {
+            vec![class.to_string()]
+        };
+        let mut out = Vec::new();
+        for c in classes {
+            for (key, _) in self.store.kv_scan_prefix(KS_EXTENT, &index::extent_prefix(&c)) {
+                if let Some(oid) = index::oid_suffix(&key) {
+                    out.push(oid);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Exact-match lookup over an indexed attribute (deep extent).
+    pub fn find_by_attr(&self, class: &str, attr: &str, value: &Value) -> DbResult<Vec<Oid>> {
+        let classes = self.schema.read().with_subclasses(class);
+        let mut out = Vec::new();
+        for c in classes {
+            let prefix = index::attr_value_prefix(&c, attr, value);
+            for (key, _) in self.store.kv_scan_prefix(KS_ATTR, &prefix) {
+                if let Some(oid) = index::oid_suffix(&key) {
+                    out.push(oid);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Range lookup `lo <= value < hi` over an indexed attribute.
+    pub fn find_by_attr_range(
+        &self,
+        class: &str,
+        attr: &str,
+        lo: &Value,
+        hi: &Value,
+    ) -> DbResult<Vec<Oid>> {
+        let classes = self.schema.read().with_subclasses(class);
+        let mut out = Vec::new();
+        for c in classes {
+            let lo_key = index::attr_value_prefix(&c, attr, lo);
+            let hi_key = index::attr_value_prefix(&c, attr, hi);
+            for (key, _) in self.store.kv_scan_range(KS_ATTR, &lo_key, &hi_key) {
+                if let Some(oid) = index::oid_suffix(&key) {
+                    out.push(oid);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Attribute lookup with relationship attribute inheritance (§4.4.5).
+    ///
+    /// Resolution order: the object's own attribute; the class default; then
+    /// values inherited from incoming relationship instances whose class
+    /// declares `attr` inheritable. Distinct inherited values are ambiguous.
+    pub fn attr_of(&self, oid: Oid, attr: &str) -> DbResult<Value> {
+        let obj = self.object(oid)?;
+        if let Some(v) = obj.attrs.get(attr) {
+            if *v != Value::Null {
+                return Ok(v.clone());
+            }
+        }
+        {
+            let schema = self.schema.read();
+            if let Ok(declared) = schema.all_attrs(&obj.class) {
+                if let Some(def) = declared.iter().find(|a| a.name == attr) {
+                    if let Some(default) = &def.default {
+                        if !obj.attrs.contains_key(attr) {
+                            return Ok(default.clone());
+                        }
+                    }
+                }
+            }
+        }
+        // Inherited from incoming relationships.
+        let incoming = self.rels_to(oid, None)?;
+        let mut inherited: Vec<Value> = Vec::new();
+        {
+            let schema = self.schema.read();
+            for rel in &incoming {
+                if let Some(def) = schema.rel_class(&rel.class) {
+                    if def.inheritable_attrs.iter().any(|a| a == attr) {
+                        let v = rel.attr(attr);
+                        if v != Value::Null && !inherited.contains(&v) {
+                            inherited.push(v);
+                        }
+                    }
+                }
+            }
+        }
+        match inherited.len() {
+            0 => Ok(Value::Null),
+            1 => Ok(inherited.pop().unwrap()),
+            _ => Err(DbError::AmbiguousInheritedAttr { oid, attr: attr.to_string() }),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Instance synonyms (§4.5)
+    // -----------------------------------------------------------------
+
+    /// Declare two instances synonymous.
+    pub fn declare_synonym(&self, a: Oid, b: Oid) -> DbResult<()> {
+        if !self.exists(a) {
+            return Err(DbError::NotFound(a));
+        }
+        if !self.exists(b) {
+            return Err(DbError::NotFound(b));
+        }
+        let prev = self.synonyms.read().clone();
+        let changed = self.synonyms.write().declare(a, b);
+        if changed {
+            self.persist_synonyms()?;
+            self.journal(UndoOp::RestoreSynonyms(prev), None);
+        }
+        Ok(())
+    }
+
+    /// Whether two instances are declared synonymous.
+    pub fn same_instance(&self, a: Oid, b: Oid) -> bool {
+        self.synonyms.read().same(a, b)
+    }
+
+    /// All members of `oid`'s synonym set (including itself).
+    pub fn synonym_set(&self, oid: Oid) -> Vec<Oid> {
+        self.synonyms.read().set_of(oid).into_iter().collect()
+    }
+
+    /// Canonical representative of `oid`'s synonym set.
+    pub fn synonym_representative(&self, oid: Oid) -> Oid {
+        self.synonyms.read().find(oid)
+    }
+
+    fn persist_synonyms(&self) -> DbResult<()> {
+        let bytes = codec::to_bytes(&*self.synonyms.read())?;
+        self.store.with_txn(|t| {
+            t.kv_put(KS_META, index::META_SYNONYMS.to_vec(), bytes.clone());
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    // -----------------------------------------------------------------
+    // Classifications (§4.6)
+    // -----------------------------------------------------------------
+
+    /// Create a classification: a named, initially empty set of relationship
+    /// instances. `attrs` carries traceability data (author, publication,
+    /// criteria — requirement 4).
+    pub fn create_classification(
+        &self,
+        name: &str,
+        attrs: impl IntoIterator<Item = (String, Value)>,
+        strict_hierarchy: bool,
+    ) -> DbResult<Oid> {
+        let oid = self.store.allocate_oid();
+        let meta = ClassificationMeta {
+            oid,
+            name: name.to_string(),
+            attrs: attrs.into_iter().collect(),
+            strict_hierarchy,
+        };
+        let bytes = codec::to_bytes(&StoredEntity::Classification(meta.clone()))?;
+        self.store.with_txn(|t| {
+            t.put(oid, bytes.clone());
+            t.kv_put(KS_EXTENT, index::extent_key(CLASSIFICATION_EXTENT, oid), Vec::new());
+            Ok(())
+        })?;
+        self.cache.lock().put(oid, StoredEntity::Classification(meta));
+        self.journal(UndoOp::DeleteClassification(oid), None);
+        Ok(oid)
+    }
+
+    /// All classification OIDs.
+    pub fn classifications(&self) -> DbResult<Vec<Oid>> {
+        let prefix = index::extent_prefix(CLASSIFICATION_EXTENT);
+        Ok(self
+            .store
+            .kv_scan_prefix(KS_EXTENT, &prefix)
+            .into_iter()
+            .filter_map(|(k, _)| index::oid_suffix(&k))
+            .collect())
+    }
+
+    /// Find a classification by name.
+    pub fn classification_by_name(&self, name: &str) -> DbResult<Option<Oid>> {
+        for oid in self.classifications()? {
+            if self.classification_meta(oid)?.name == name {
+                return Ok(Some(oid));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Add a relationship instance to a classification.
+    ///
+    /// In a strict-hierarchy classification the edge's destination must not
+    /// already have a parent edge there (one parent per node per
+    /// classification — the overlap across classifications is the point).
+    pub fn add_edge_to_classification(&self, cls: Oid, rel_oid: Oid) -> DbResult<()> {
+        if !self.in_unit() {
+            return self.in_unit_scope(|db| db.add_edge_to_classification(cls, rel_oid));
+        }
+        let meta = self.classification_meta(cls)?;
+        let rel = self.rel(rel_oid)?;
+        if meta.strict_hierarchy {
+            for existing in self.classification_parent_edges(cls, rel.destination)? {
+                if existing.oid != rel_oid {
+                    return Err(DbError::Classification(format!(
+                        "node {} already has a parent in classification '{}'",
+                        rel.destination, meta.name
+                    )));
+                }
+            }
+        }
+        if self
+            .store
+            .kv_get(KS_CLS_EDGES, &index::cls_edge_key(cls, rel_oid))
+            .is_some()
+        {
+            return Ok(()); // already a member
+        }
+        let event = Event::ClassificationEdgeAdded { classification: cls, rel: rel_oid };
+        self.dispatch_before(&event)?;
+        self.raw_add_cls_edge(cls, rel_oid)?;
+        self.journal(UndoOp::RemoveClsEdge { cls, rel: rel_oid }, Some(event.clone()));
+        self.finish_op(event)
+    }
+
+    /// Remove a relationship instance from a classification.
+    pub fn remove_edge_from_classification(&self, cls: Oid, rel_oid: Oid) -> DbResult<()> {
+        if !self.in_unit() {
+            return self.in_unit_scope(|db| db.remove_edge_from_classification(cls, rel_oid));
+        }
+        if self
+            .store
+            .kv_get(KS_CLS_EDGES, &index::cls_edge_key(cls, rel_oid))
+            .is_none()
+        {
+            return Ok(());
+        }
+        let event = Event::ClassificationEdgeRemoved { classification: cls, rel: rel_oid };
+        self.dispatch_before(&event)?;
+        self.raw_remove_cls_edge(cls, rel_oid)?;
+        self.journal(UndoOp::RestoreClsEdge { cls, rel: rel_oid }, Some(event.clone()));
+        self.finish_op(event)
+    }
+
+    /// All edge OIDs of a classification.
+    pub fn classification_edges(&self, cls: Oid) -> DbResult<Vec<Oid>> {
+        Ok(self
+            .store
+            .kv_scan_prefix(KS_CLS_EDGES, &index::cls_prefix(cls))
+            .into_iter()
+            .filter_map(|(k, _)| index::oid_suffix(&k))
+            .collect())
+    }
+
+    /// All classifications an edge belongs to.
+    pub fn classifications_of_edge(&self, rel_oid: Oid) -> DbResult<Vec<Oid>> {
+        Ok(self
+            .store
+            .kv_scan_prefix(KS_EDGE_CLS, &index::edge_prefix(rel_oid))
+            .into_iter()
+            .filter_map(|(k, _)| index::oid_suffix(&k))
+            .collect())
+    }
+
+    /// Edges of `cls` arriving at `node` (its parent edges there).
+    pub fn classification_parent_edges(&self, cls: Oid, node: Oid) -> DbResult<Vec<RelInstance>> {
+        let mut out = Vec::new();
+        for rel in self.rels_to(node, None)? {
+            if self.edge_in_classification(cls, rel.oid) {
+                out.push(rel);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Edges of `cls` leaving `node` (its child edges there).
+    pub fn classification_child_edges(&self, cls: Oid, node: Oid) -> DbResult<Vec<RelInstance>> {
+        let mut out = Vec::new();
+        for rel in self.rels_from(node, None)? {
+            if self.edge_in_classification(cls, rel.oid) {
+                out.push(rel);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether an edge belongs to a classification.
+    pub fn edge_in_classification(&self, cls: Oid, rel_oid: Oid) -> bool {
+        self.store
+            .kv_get(KS_CLS_EDGES, &index::cls_edge_key(cls, rel_oid))
+            .is_some()
+    }
+
+    // -----------------------------------------------------------------
+    // Raw (journal-free, event-free) appliers — shared by the forward
+    // path and rollback.
+    // -----------------------------------------------------------------
+
+    fn raw_put_object(&self, obj: &ObjectInstance) -> DbResult<()> {
+        let bytes = codec::to_bytes(&StoredEntity::Object(obj.clone()))?;
+        let indexed = self.indexed_attrs(&obj.class)?;
+        self.store.with_txn(|t| {
+            t.put(obj.oid, bytes.clone());
+            t.kv_put(KS_EXTENT, index::extent_key(&obj.class, obj.oid), Vec::new());
+            for attr in &indexed {
+                if let Some(v) = obj.attrs.get(attr) {
+                    t.kv_put(KS_ATTR, index::attr_key(&obj.class, attr, v, obj.oid), Vec::new());
+                }
+            }
+            Ok(())
+        })?;
+        self.cache.lock().put(obj.oid, StoredEntity::Object(obj.clone()));
+        Ok(())
+    }
+
+    fn raw_update_object_attr(
+        &self,
+        obj: &mut ObjectInstance,
+        attr: &str,
+        value: Value,
+    ) -> DbResult<()> {
+        let old = obj.attr(attr);
+        if value == Value::Null {
+            obj.attrs.remove(attr);
+        } else {
+            obj.attrs.insert(attr.to_string(), value.clone());
+        }
+        let bytes = codec::to_bytes(&StoredEntity::Object(obj.clone()))?;
+        let indexed = self.indexed_attrs(&obj.class)?.contains(&attr.to_string());
+        self.store.with_txn(|t| {
+            t.put(obj.oid, bytes.clone());
+            if indexed {
+                if old != Value::Null {
+                    t.kv_delete(KS_ATTR, index::attr_key(&obj.class, attr, &old, obj.oid));
+                }
+                if value != Value::Null {
+                    t.kv_put(KS_ATTR, index::attr_key(&obj.class, attr, &value, obj.oid), Vec::new());
+                }
+            }
+            Ok(())
+        })?;
+        self.cache.lock().put(obj.oid, StoredEntity::Object(obj.clone()));
+        Ok(())
+    }
+
+    fn raw_delete_object(&self, obj: &ObjectInstance) -> DbResult<()> {
+        let indexed = self.indexed_attrs(&obj.class)?;
+        self.store.with_txn(|t| {
+            t.delete(obj.oid);
+            t.kv_delete(KS_EXTENT, index::extent_key(&obj.class, obj.oid));
+            for attr in &indexed {
+                if let Some(v) = obj.attrs.get(attr) {
+                    t.kv_delete(KS_ATTR, index::attr_key(&obj.class, attr, v, obj.oid));
+                }
+            }
+            Ok(())
+        })?;
+        self.cache.lock().remove(&obj.oid);
+        Ok(())
+    }
+
+    fn raw_put_rel(&self, rel: &RelInstance) -> DbResult<()> {
+        let bytes = codec::to_bytes(&StoredEntity::Rel(rel.clone()))?;
+        self.store.with_txn(|t| {
+            t.put(rel.oid, bytes.clone());
+            t.kv_put(KS_EXTENT, index::extent_key(&rel.class, rel.oid), Vec::new());
+            t.kv_put(
+                KS_REL_FROM,
+                index::endpoint_key(rel.origin, &rel.class, rel.oid),
+                rel.destination.to_be_bytes().to_vec(),
+            );
+            t.kv_put(
+                KS_REL_TO,
+                index::endpoint_key(rel.destination, &rel.class, rel.oid),
+                rel.origin.to_be_bytes().to_vec(),
+            );
+            Ok(())
+        })?;
+        self.cache.lock().put(rel.oid, StoredEntity::Rel(rel.clone()));
+        Ok(())
+    }
+
+    fn raw_delete_rel(&self, rel: &RelInstance) -> DbResult<()> {
+        self.store.with_txn(|t| {
+            t.delete(rel.oid);
+            t.kv_delete(KS_EXTENT, index::extent_key(&rel.class, rel.oid));
+            t.kv_delete(KS_REL_FROM, index::endpoint_key(rel.origin, &rel.class, rel.oid));
+            t.kv_delete(KS_REL_TO, index::endpoint_key(rel.destination, &rel.class, rel.oid));
+            Ok(())
+        })?;
+        self.cache.lock().remove(&rel.oid);
+        Ok(())
+    }
+
+    fn raw_add_cls_edge(&self, cls: Oid, rel: Oid) -> DbResult<()> {
+        self.store.with_txn(|t| {
+            t.kv_put(KS_CLS_EDGES, index::cls_edge_key(cls, rel), Vec::new());
+            t.kv_put(KS_EDGE_CLS, index::edge_cls_key(rel, cls), Vec::new());
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    fn raw_remove_cls_edge(&self, cls: Oid, rel: Oid) -> DbResult<()> {
+        self.store.with_txn(|t| {
+            t.kv_delete(KS_CLS_EDGES, index::cls_edge_key(cls, rel));
+            t.kv_delete(KS_EDGE_CLS, index::edge_cls_key(rel, cls));
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    fn raw_delete_classification(&self, oid: Oid) -> DbResult<()> {
+        // Remove all membership entries, then the meta record.
+        let edges = self.classification_edges(oid)?;
+        self.store.with_txn(|t| {
+            for rel in &edges {
+                t.kv_delete(KS_CLS_EDGES, index::cls_edge_key(oid, *rel));
+                t.kv_delete(KS_EDGE_CLS, index::edge_cls_key(*rel, oid));
+            }
+            t.delete(oid);
+            t.kv_delete(KS_EXTENT, index::extent_key(CLASSIFICATION_EXTENT, oid));
+            Ok(())
+        })?;
+        self.cache.lock().remove(&oid);
+        Ok(())
+    }
+
+    /// Delete a classification (its meta record and membership entries; the
+    /// edges and objects themselves are untouched).
+    pub fn delete_classification(&self, oid: Oid) -> DbResult<()> {
+        let meta = self.classification_meta(oid)?;
+        let edges = self.classification_edges(oid)?;
+        self.raw_delete_classification(oid)?;
+        self.journal(UndoOp::RestoreClassification(meta, edges), None);
+        Ok(())
+    }
+
+    /// Validate minimum-cardinality constraints (§4.4.4) across the whole
+    /// database: for every relationship class declaring `min > 0` on a side,
+    /// every member of that side's class must participate in at least `min`
+    /// instances. Maximums are enforced eagerly at creation; minimums can
+    /// only hold *eventually* (an object must exist before it can be
+    /// linked), so they are validated deferred — call this at commit points
+    /// or from a deferred rule. Returns human-readable violations.
+    pub fn validate_min_cardinalities(&self) -> DbResult<Vec<String>> {
+        let rel_defs: Vec<crate::schema::RelClassDef> = self.with_schema(|s| {
+            s.rel_class_names()
+                .filter_map(|n| s.rel_class(n).cloned())
+                .filter(|d| d.origin_card.min > 0 || d.destination_card.min > 0)
+                .collect()
+        });
+        let mut problems = Vec::new();
+        for def in rel_defs {
+            if def.origin_card.min > 0 {
+                for oid in self.extent(&def.origin_class, true)? {
+                    // Relationship instances also live in extents; skip them.
+                    if self.rel(oid).is_ok() {
+                        continue;
+                    }
+                    let count = self.rels_from(oid, Some(&def.name))?.len() as u32;
+                    if count < def.origin_card.min {
+                        problems.push(format!(
+                            "{oid} has {count} outgoing {} instance(s), minimum is {}",
+                            def.name, def.origin_card.min
+                        ));
+                    }
+                }
+            }
+            if def.destination_card.min > 0 {
+                for oid in self.extent(&def.destination_class, true)? {
+                    if self.rel(oid).is_ok() {
+                        continue;
+                    }
+                    let count = self.rels_to(oid, Some(&def.name))?.len() as u32;
+                    if count < def.destination_card.min {
+                        problems.push(format!(
+                            "{oid} has {count} incoming {} instance(s), minimum is {}",
+                            def.name, def.destination_card.min
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(problems)
+    }
+
+    /// Deep-copy a composite object (§4.4.1): the object itself is cloned;
+    /// destinations of its outgoing **non-sharable or lifetime-dependent
+    /// aggregations** (its exclusive parts) are cloned recursively, while
+    /// sharable aggregations and associations are re-linked to the original
+    /// destinations. Relationship instances are recreated with their
+    /// attributes. Returns the new root's OID.
+    ///
+    /// This is the object-level counterpart of classification copy
+    /// (revisions) — requirement 5's composite-object boundary makes the
+    /// distinction between "copy the part" and "share the reference"
+    /// well-defined.
+    pub fn deep_copy(&self, oid: Oid) -> DbResult<Oid> {
+        self.in_unit_scope(|db| db.deep_copy_inner(oid))
+    }
+
+    fn deep_copy_inner(&self, oid: Oid) -> DbResult<Oid> {
+        let obj = self.object(oid)?;
+        let copy = self.create_object(&obj.class, obj.attrs.clone())?;
+        for rel in self.rels_from(oid, None)? {
+            let (is_exclusive_part, _kind) = {
+                let schema = self.schema.read();
+                match schema.rel_class(&rel.class) {
+                    Some(def) => (
+                        def.kind == RelKind::Aggregation && (!def.sharable || def.dependent),
+                        def.kind,
+                    ),
+                    None => (false, RelKind::Association),
+                }
+            };
+            let target = if is_exclusive_part {
+                self.deep_copy_inner(rel.destination)?
+            } else {
+                rel.destination
+            };
+            self.create_relationship(&rel.class, copy, target, rel.attrs.clone())?;
+        }
+        Ok(copy)
+    }
+
+    fn indexed_attrs(&self, class: &str) -> DbResult<Vec<String>> {
+        let schema = self.schema.read();
+        Ok(schema
+            .all_attrs(class)?
+            .into_iter()
+            .filter(|a| a.indexed)
+            .map(|a| a.name)
+            .collect())
+    }
+
+    /// Dispatch post-event; on failure roll the active unit back.
+    fn finish_op(&self, event: Event) -> DbResult<()> {
+        if let Err(e) = self.dispatch_after(&event) {
+            self.rollback_active_unit();
+            return Err(e);
+        }
+        Ok(())
+    }
+}
+
+fn check_type(class: &str, def: &crate::schema::AttrDef, value: &Value) -> DbResult<()> {
+    if *value == Value::Null && !def.optional {
+        return Err(DbError::TypeMismatch {
+            expected: def.ty.to_string(),
+            found: "null".into(),
+            context: format!("{class}.{}", def.name),
+        });
+    }
+    if !def.ty.admits_shape(value) {
+        return Err(DbError::TypeMismatch {
+            expected: def.ty.to_string(),
+            found: value.type_name().into(),
+            context: format!("{class}.{}", def.name),
+        });
+    }
+    Ok(())
+}
+
+fn validate_attrs(
+    class: &str,
+    declared: &[crate::schema::AttrDef],
+    mut provided: BTreeMap<String, Value>,
+    apply_defaults: bool,
+) -> DbResult<BTreeMap<String, Value>> {
+    let mut out = BTreeMap::new();
+    for def in declared {
+        match provided.remove(&def.name) {
+            Some(value) => {
+                check_type(class, def, &value)?;
+                if value != Value::Null {
+                    out.insert(def.name.clone(), value);
+                }
+            }
+            None => {
+                if apply_defaults {
+                    if let Some(default) = &def.default {
+                        out.insert(def.name.clone(), default.clone());
+                        continue;
+                    }
+                }
+                if !def.optional {
+                    return Err(DbError::TypeMismatch {
+                        expected: def.ty.to_string(),
+                        found: "missing".into(),
+                        context: format!("{class}.{}", def.name),
+                    });
+                }
+            }
+        }
+    }
+    if let Some((name, _)) = provided.into_iter().next() {
+        return Err(DbError::UnknownAttr { class: class.to_string(), attr: name });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::schema::{AttrDef, Cardinality, ClassDef, RelClassDef};
+    use crate::value::Type;
+    use prometheus_storage::StoreOptions;
+
+    pub(crate) fn temp_db() -> Database {
+        let path = std::env::temp_dir().join(format!(
+            "prometheus-objdb-{}-{:?}-{}.log",
+            std::process::id(),
+            std::thread::current().id(),
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let store = Arc::new(
+            Store::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap(),
+        );
+        Database::open(store).unwrap()
+    }
+
+    fn taxo_db() -> Database {
+        let db = temp_db();
+        db.define_class(
+            ClassDef::new("Taxon")
+                .attr(AttrDef::required("name", Type::Str).indexed())
+                .attr(AttrDef::optional("rank", Type::Str)),
+        )
+        .unwrap();
+        db.define_class(
+            ClassDef::new("Specimen")
+                .attr(AttrDef::required("code", Type::Str).indexed())
+                .attr(AttrDef::optional("year", Type::Int).indexed()),
+        )
+        .unwrap();
+        db.define_relationship(
+            RelClassDef::aggregation("Circumscribes", "Taxon", "Object").sharable(true),
+        )
+        .unwrap();
+        db.define_relationship(RelClassDef::association("Cites", "Taxon", "Taxon")).unwrap();
+        db
+    }
+
+    fn attrs(pairs: &[(&str, Value)]) -> Vec<(String, Value)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    }
+
+    #[test]
+    fn object_crud_round_trip() {
+        let db = taxo_db();
+        let oid = db
+            .create_object("Taxon", attrs(&[("name", "Apium".into())]))
+            .unwrap();
+        let obj = db.object(oid).unwrap();
+        assert_eq!(obj.class, "Taxon");
+        assert_eq!(obj.attr("name"), Value::from("Apium"));
+        db.set_attr(oid, "rank", "Genus").unwrap();
+        assert_eq!(db.object(oid).unwrap().attr("rank"), Value::from("Genus"));
+        db.delete_object(oid).unwrap();
+        assert!(db.object(oid).is_err());
+    }
+
+    #[test]
+    fn missing_required_attr_rejected() {
+        let db = taxo_db();
+        let err = db.create_object("Taxon", attrs(&[])).unwrap_err();
+        assert!(matches!(err, DbError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn wrong_type_rejected() {
+        let db = taxo_db();
+        let err = db
+            .create_object("Taxon", attrs(&[("name", Value::Int(3))]))
+            .unwrap_err();
+        assert!(matches!(err, DbError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_attr_rejected() {
+        let db = taxo_db();
+        let err = db
+            .create_object("Taxon", attrs(&[("name", "x".into()), ("ghost", Value::Int(1))]))
+            .unwrap_err();
+        assert!(matches!(err, DbError::UnknownAttr { .. }));
+    }
+
+    #[test]
+    fn abstract_class_cannot_instantiate() {
+        let db = temp_db();
+        db.define_class(ClassDef::new("Abstract").abstract_class()).unwrap();
+        assert!(db.create_object("Abstract", attrs(&[])).is_err());
+    }
+
+    #[test]
+    fn defaults_are_applied() {
+        let db = temp_db();
+        db.define_class(
+            ClassDef::new("X").attr(AttrDef::optional("n", Type::Int).with_default(7i64)),
+        )
+        .unwrap();
+        let oid = db.create_object("X", attrs(&[])).unwrap();
+        assert_eq!(db.object(oid).unwrap().attr("n"), Value::Int(7));
+    }
+
+    #[test]
+    fn extent_and_deep_extent() {
+        let db = temp_db();
+        db.define_class(ClassDef::new("A")).unwrap();
+        db.define_class(ClassDef::new("B").extends("A")).unwrap();
+        let a = db.create_object("A", attrs(&[])).unwrap();
+        let b = db.create_object("B", attrs(&[])).unwrap();
+        assert_eq!(db.extent("A", false).unwrap(), vec![a]);
+        let deep = db.extent("A", true).unwrap();
+        assert!(deep.contains(&a) && deep.contains(&b));
+        assert_eq!(db.extent("B", true).unwrap(), vec![b]);
+    }
+
+    #[test]
+    fn indexed_attr_lookup_and_update() {
+        let db = taxo_db();
+        let s1 = db
+            .create_object("Specimen", attrs(&[("code", "RBGE-1".into()), ("year", Value::Int(1753))]))
+            .unwrap();
+        let s2 = db
+            .create_object("Specimen", attrs(&[("code", "RBGE-2".into()), ("year", Value::Int(1821))]))
+            .unwrap();
+        assert_eq!(db.find_by_attr("Specimen", "code", &"RBGE-1".into()).unwrap(), vec![s1]);
+        let range = db
+            .find_by_attr_range("Specimen", "year", &Value::Int(1800), &Value::Int(1900))
+            .unwrap();
+        assert_eq!(range, vec![s2]);
+        // Update moves the index entry.
+        db.set_attr(s1, "code", "RBGE-9").unwrap();
+        assert!(db.find_by_attr("Specimen", "code", &"RBGE-1".into()).unwrap().is_empty());
+        assert_eq!(db.find_by_attr("Specimen", "code", &"RBGE-9".into()).unwrap(), vec![s1]);
+        // Delete removes it.
+        db.delete_object(s1).unwrap();
+        assert!(db.find_by_attr("Specimen", "code", &"RBGE-9".into()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn relationship_crud_and_endpoint_indexes() {
+        let db = taxo_db();
+        let genus = db.create_object("Taxon", attrs(&[("name", "Apium".into())])).unwrap();
+        let species = db.create_object("Taxon", attrs(&[("name", "graveolens".into())])).unwrap();
+        let rel = db
+            .create_relationship("Circumscribes", genus, species, attrs(&[]))
+            .unwrap();
+        assert_eq!(db.rels_from(genus, None).unwrap().len(), 1);
+        assert_eq!(db.rels_to(species, Some("Circumscribes")).unwrap()[0].oid, rel);
+        db.delete_relationship(rel).unwrap();
+        assert!(db.rels_from(genus, None).unwrap().is_empty());
+        assert!(db.rel(rel).is_err());
+    }
+
+    #[test]
+    fn endpoint_class_conformance_enforced() {
+        let db = taxo_db();
+        let s = db.create_object("Specimen", attrs(&[("code", "X".into())])).unwrap();
+        let t = db.create_object("Taxon", attrs(&[("name", "T".into())])).unwrap();
+        // Cites requires Taxon -> Taxon.
+        let err = db.create_relationship("Cites", s, t, attrs(&[])).unwrap_err();
+        assert!(matches!(err, DbError::EndpointMismatch { .. }));
+    }
+
+    #[test]
+    fn exclusivity_enforced() {
+        let db = taxo_db();
+        db.define_relationship(
+            RelClassDef::association("HasHolotype", "Taxon", "Specimen").exclusive(),
+        )
+        .unwrap();
+        let t1 = db.create_object("Taxon", attrs(&[("name", "A".into())])).unwrap();
+        let t2 = db.create_object("Taxon", attrs(&[("name", "B".into())])).unwrap();
+        let s = db.create_object("Specimen", attrs(&[("code", "S".into())])).unwrap();
+        db.create_relationship("HasHolotype", t1, s, attrs(&[])).unwrap();
+        let err = db.create_relationship("HasHolotype", t2, s, attrs(&[])).unwrap_err();
+        assert!(matches!(err, DbError::ExclusivityViolation { .. }));
+    }
+
+    #[test]
+    fn sharability_enforced_for_aggregations() {
+        let db = temp_db();
+        db.define_class(ClassDef::new("Whole")).unwrap();
+        db.define_class(ClassDef::new("Part")).unwrap();
+        db.define_relationship(RelClassDef::aggregation("Owns", "Whole", "Part")).unwrap();
+        let w1 = db.create_object("Whole", attrs(&[])).unwrap();
+        let w2 = db.create_object("Whole", attrs(&[])).unwrap();
+        let p = db.create_object("Part", attrs(&[])).unwrap();
+        db.create_relationship("Owns", w1, p, attrs(&[])).unwrap();
+        let err = db.create_relationship("Owns", w2, p, attrs(&[])).unwrap_err();
+        assert!(matches!(err, DbError::SharabilityViolation { .. }));
+    }
+
+    #[test]
+    fn sharable_aggregation_allows_sharing() {
+        let db = taxo_db(); // Circumscribes is sharable
+        let t1 = db.create_object("Taxon", attrs(&[("name", "A".into())])).unwrap();
+        let t2 = db.create_object("Taxon", attrs(&[("name", "B".into())])).unwrap();
+        let s = db.create_object("Specimen", attrs(&[("code", "S".into())])).unwrap();
+        db.create_relationship("Circumscribes", t1, s, attrs(&[])).unwrap();
+        // The same specimen may be circumscribed by another taxon — this is
+        // the multiple-classification requirement.
+        db.create_relationship("Circumscribes", t2, s, attrs(&[])).unwrap();
+        assert_eq!(db.rels_to(s, Some("Circumscribes")).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn cardinality_enforced_on_both_sides() {
+        let db = temp_db();
+        db.define_class(ClassDef::new("N")).unwrap();
+        db.define_relationship(
+            RelClassDef::association("Narrow", "N", "N")
+                .origin_cardinality(Cardinality { min: 0, max: Some(2) })
+                .destination_cardinality(Cardinality::OPTIONAL),
+        )
+        .unwrap();
+        let a = db.create_object("N", attrs(&[])).unwrap();
+        let b = db.create_object("N", attrs(&[])).unwrap();
+        let c = db.create_object("N", attrs(&[])).unwrap();
+        let d = db.create_object("N", attrs(&[])).unwrap();
+        db.create_relationship("Narrow", a, b, attrs(&[])).unwrap();
+        db.create_relationship("Narrow", a, c, attrs(&[])).unwrap();
+        let err = db.create_relationship("Narrow", a, d, attrs(&[])).unwrap_err();
+        assert!(matches!(err, DbError::CardinalityViolation { side: "origin", .. }));
+        let err = db.create_relationship("Narrow", c, b, attrs(&[])).unwrap_err();
+        assert!(matches!(err, DbError::CardinalityViolation { side: "destination", .. }));
+    }
+
+    #[test]
+    fn acyclicity_enforced() {
+        let db = temp_db();
+        db.define_class(ClassDef::new("N")).unwrap();
+        db.define_relationship(RelClassDef::aggregation("Contains", "N", "N").sharable(true))
+            .unwrap();
+        let a = db.create_object("N", attrs(&[])).unwrap();
+        let b = db.create_object("N", attrs(&[])).unwrap();
+        let c = db.create_object("N", attrs(&[])).unwrap();
+        db.create_relationship("Contains", a, b, attrs(&[])).unwrap();
+        db.create_relationship("Contains", b, c, attrs(&[])).unwrap();
+        let err = db.create_relationship("Contains", c, a, attrs(&[])).unwrap_err();
+        assert!(matches!(err, DbError::CycleViolation { .. }));
+        let err = db.create_relationship("Contains", a, a, attrs(&[])).unwrap_err();
+        assert!(matches!(err, DbError::CycleViolation { .. }));
+    }
+
+    #[test]
+    fn constant_relationship_protected() {
+        let db = temp_db();
+        db.define_class(ClassDef::new("N")).unwrap();
+        db.define_relationship(RelClassDef::association("Fixed", "N", "N").constant()).unwrap();
+        let a = db.create_object("N", attrs(&[])).unwrap();
+        let b = db.create_object("N", attrs(&[])).unwrap();
+        let rel = db.create_relationship("Fixed", a, b, attrs(&[])).unwrap();
+        let err = db.delete_relationship(rel).unwrap_err();
+        assert!(matches!(err, DbError::ConstancyViolation { .. }));
+        // Deleting an endpoint cascades through the constant relationship.
+        db.delete_object(a).unwrap();
+        assert!(db.rel(rel).is_err());
+    }
+
+    #[test]
+    fn lifetime_dependency_cascades() {
+        let db = temp_db();
+        db.define_class(ClassDef::new("Whole")).unwrap();
+        db.define_class(ClassDef::new("Part")).unwrap();
+        db.define_relationship(
+            RelClassDef::aggregation("Owns", "Whole", "Part").dependent(),
+        )
+        .unwrap();
+        let w = db.create_object("Whole", attrs(&[])).unwrap();
+        let p = db.create_object("Part", attrs(&[])).unwrap();
+        db.create_relationship("Owns", w, p, attrs(&[])).unwrap();
+        db.delete_object(w).unwrap();
+        assert!(!db.exists(p), "dependent part must be deleted with its whole");
+    }
+
+    #[test]
+    fn delete_object_detaches_relationships() {
+        let db = taxo_db();
+        let t = db.create_object("Taxon", attrs(&[("name", "T".into())])).unwrap();
+        let s = db.create_object("Specimen", attrs(&[("code", "S".into())])).unwrap();
+        let rel = db.create_relationship("Circumscribes", t, s, attrs(&[])).unwrap();
+        db.delete_object(t).unwrap();
+        assert!(db.rel(rel).is_err());
+        assert!(db.exists(s), "sharable, non-dependent part survives");
+        assert!(db.rels_to(s, None).unwrap().is_empty());
+    }
+
+    #[test]
+    fn attribute_inheritance_from_relationships() {
+        let db = temp_db();
+        db.define_class(ClassDef::new("Person").attr(AttrDef::required("name", Type::Str)))
+            .unwrap();
+        db.define_relationship(
+            RelClassDef::association("Wedding", "Person", "Person")
+                .attr(AttrDef::optional("weddingDate", Type::Date))
+                .inherits("weddingDate"),
+        )
+        .unwrap();
+        let a = db.create_object("Person", attrs(&[("name", "A".into())])).unwrap();
+        let b = db.create_object("Person", attrs(&[("name", "B".into())])).unwrap();
+        let date = crate::value::Date::new(2001, 12, 4);
+        db.create_relationship("Wedding", a, b, attrs(&[("weddingDate", date.into())]))
+            .unwrap();
+        // The destination inherits the relationship attribute (ADAM roles).
+        assert_eq!(db.attr_of(b, "weddingDate").unwrap(), Value::Date(date));
+        // The origin does not (inheritance targets the destination).
+        assert_eq!(db.attr_of(a, "weddingDate").unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn ambiguous_inherited_attr_is_error() {
+        let db = temp_db();
+        db.define_class(ClassDef::new("P")).unwrap();
+        db.define_relationship(
+            RelClassDef::association("R", "P", "P")
+                .attr(AttrDef::optional("w", Type::Int))
+                .inherits("w"),
+        )
+        .unwrap();
+        let a = db.create_object("P", attrs(&[])).unwrap();
+        let b = db.create_object("P", attrs(&[])).unwrap();
+        let c = db.create_object("P", attrs(&[])).unwrap();
+        db.create_relationship("R", a, c, attrs(&[("w", Value::Int(1))])).unwrap();
+        db.create_relationship("R", b, c, attrs(&[("w", Value::Int(2))])).unwrap();
+        assert!(matches!(
+            db.attr_of(c, "w").unwrap_err(),
+            DbError::AmbiguousInheritedAttr { .. }
+        ));
+    }
+
+    #[test]
+    fn synonyms_declare_and_query() {
+        let db = taxo_db();
+        let a = db.create_object("Specimen", attrs(&[("code", "A".into())])).unwrap();
+        let b = db.create_object("Specimen", attrs(&[("code", "B".into())])).unwrap();
+        assert!(!db.same_instance(a, b));
+        db.declare_synonym(a, b).unwrap();
+        assert!(db.same_instance(a, b));
+        assert_eq!(db.synonym_set(a).len(), 2);
+        // Deleting one member dissolves it from the set.
+        db.delete_object(a).unwrap();
+        assert_eq!(db.synonym_set(b).len(), 1);
+    }
+
+    #[test]
+    fn classification_membership_and_strictness() {
+        let db = taxo_db();
+        let cls = db.create_classification("Linnaeus 1753", attrs(&[]), true).unwrap();
+        let g = db.create_object("Taxon", attrs(&[("name", "Apium".into())])).unwrap();
+        let s1 = db.create_object("Taxon", attrs(&[("name", "graveolens".into())])).unwrap();
+        let g2 = db.create_object("Taxon", attrs(&[("name", "Helio".into())])).unwrap();
+        let e1 = db.create_relationship("Circumscribes", g, s1, attrs(&[])).unwrap();
+        db.add_edge_to_classification(cls, e1).unwrap();
+        assert!(db.edge_in_classification(cls, e1));
+        // Second parent for s1 in the same classification is rejected.
+        let e2 = db.create_relationship("Circumscribes", g2, s1, attrs(&[])).unwrap();
+        let err = db.add_edge_to_classification(cls, e2).unwrap_err();
+        assert!(matches!(err, DbError::Classification(_)));
+        // But a different classification may hold it: overlap.
+        let cls2 = db.create_classification("Koch 1824", attrs(&[]), true).unwrap();
+        db.add_edge_to_classification(cls2, e2).unwrap();
+        assert_eq!(db.classifications_of_edge(e2).unwrap(), vec![cls2]);
+        db.remove_edge_from_classification(cls2, e2).unwrap();
+        assert!(!db.edge_in_classification(cls2, e2));
+    }
+
+    #[test]
+    fn deleting_relationship_leaves_classifications() {
+        let db = taxo_db();
+        let cls = db.create_classification("C", attrs(&[]), true).unwrap();
+        let a = db.create_object("Taxon", attrs(&[("name", "a".into())])).unwrap();
+        let b = db.create_object("Taxon", attrs(&[("name", "b".into())])).unwrap();
+        let e = db.create_relationship("Circumscribes", a, b, attrs(&[])).unwrap();
+        db.add_edge_to_classification(cls, e).unwrap();
+        db.delete_relationship(e).unwrap();
+        assert!(db.classification_edges(cls).unwrap().is_empty());
+    }
+
+    #[test]
+    fn unit_abort_rolls_back_everything() {
+        let db = taxo_db();
+        let pre_existing = db.create_object("Taxon", attrs(&[("name", "Keep".into())])).unwrap();
+        let token = db.begin_unit();
+        let t = db.create_object("Taxon", attrs(&[("name", "Gone".into())])).unwrap();
+        let s = db.create_object("Specimen", attrs(&[("code", "Gone".into())])).unwrap();
+        let rel = db.create_relationship("Circumscribes", t, s, attrs(&[])).unwrap();
+        db.set_attr(pre_existing, "name", "Renamed").unwrap();
+        let cls = db.create_classification("Scratch", attrs(&[]), true).unwrap();
+        db.add_edge_to_classification(cls, rel).unwrap();
+        db.abort_unit(token);
+        assert!(!db.exists(t));
+        assert!(!db.exists(s));
+        assert!(!db.exists(rel));
+        assert!(!db.exists(cls));
+        assert_eq!(db.object(pre_existing).unwrap().attr("name"), Value::from("Keep"));
+        // Indexes rolled back too.
+        assert!(db.find_by_attr("Taxon", "name", &"Gone".into()).unwrap().is_empty());
+        assert_eq!(
+            db.find_by_attr("Taxon", "name", &"Keep".into()).unwrap(),
+            vec![pre_existing]
+        );
+    }
+
+    #[test]
+    fn unit_commit_keeps_changes() {
+        let db = taxo_db();
+        let token = db.begin_unit();
+        let t = db.create_object("Taxon", attrs(&[("name", "Stay".into())])).unwrap();
+        db.commit_unit(token).unwrap();
+        assert!(db.exists(t));
+        assert!(!db.in_unit());
+    }
+
+    #[test]
+    fn nested_units_commit_with_outermost() {
+        let db = taxo_db();
+        let outer = db.begin_unit();
+        let t1 = db.create_object("Taxon", attrs(&[("name", "one".into())])).unwrap();
+        let inner = db.begin_unit();
+        let t2 = db.create_object("Taxon", attrs(&[("name", "two".into())])).unwrap();
+        db.commit_unit(inner).unwrap();
+        assert!(db.in_unit(), "outer unit still active");
+        db.abort_unit(outer);
+        assert!(!db.exists(t1) && !db.exists(t2), "abort undoes nested work too");
+    }
+
+    #[test]
+    fn unit_rollback_restores_deleted_object_with_relationships() {
+        let db = taxo_db();
+        let t = db.create_object("Taxon", attrs(&[("name", "T".into())])).unwrap();
+        let s = db.create_object("Specimen", attrs(&[("code", "S".into())])).unwrap();
+        let rel = db.create_relationship("Circumscribes", t, s, attrs(&[])).unwrap();
+        let cls = db.create_classification("C", attrs(&[]), true).unwrap();
+        db.add_edge_to_classification(cls, rel).unwrap();
+        let token = db.begin_unit();
+        db.delete_object(t).unwrap();
+        assert!(!db.exists(rel));
+        db.abort_unit(token);
+        assert!(db.exists(t));
+        assert!(db.exists(rel), "incident relationship restored");
+        assert!(db.edge_in_classification(cls, rel), "classification membership restored");
+        assert_eq!(db.rels_to(s, None).unwrap().len(), 1, "endpoint index restored");
+    }
+
+    struct VetoCreate;
+    impl EventListener for VetoCreate {
+        fn before(&self, _db: &Database, event: &Event) -> DbResult<()> {
+            if matches!(event, Event::ObjectCreated { class, .. } if class == "Taxon") {
+                return Err(DbError::Vetoed { rule: "no-taxa".into(), reason: "blocked".into() });
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn pre_listener_vetoes_creation() {
+        let db = taxo_db();
+        db.add_listener(Arc::new(VetoCreate));
+        let err = db.create_object("Taxon", attrs(&[("name", "X".into())])).unwrap_err();
+        assert!(matches!(err, DbError::Vetoed { .. }));
+        assert!(db.extent("Taxon", false).unwrap().is_empty());
+        // Other classes unaffected.
+        assert!(db.create_object("Specimen", attrs(&[("code", "ok".into())])).is_ok());
+    }
+
+    struct FailAtCommit;
+    impl EventListener for FailAtCommit {
+        fn at_commit(&self, _db: &Database, events: &[Event]) -> DbResult<()> {
+            if events
+                .iter()
+                .any(|e| matches!(e, Event::ObjectCreated { class, .. } if class == "Taxon"))
+            {
+                return Err(DbError::ConstraintViolation {
+                    rule: "deferred".into(),
+                    reason: "no taxa allowed".into(),
+                });
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn deferred_failure_rolls_back_unit() {
+        let db = taxo_db();
+        db.add_listener(Arc::new(FailAtCommit));
+        let token = db.begin_unit();
+        let t = db.create_object("Taxon", attrs(&[("name", "X".into())])).unwrap();
+        assert!(db.exists(t), "visible inside the unit");
+        let err = db.commit_unit(token).unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolation { .. }));
+        assert!(!db.exists(t), "rolled back at deferred-constraint failure");
+    }
+
+    #[test]
+    fn min_cardinality_validation_is_deferred() {
+        let db = temp_db();
+        db.define_class(ClassDef::new("Name")).unwrap();
+        db.define_class(ClassDef::new("Type")).unwrap();
+        // Every Name must eventually carry at least one HasType instance.
+        db.define_relationship(
+            RelClassDef::association("MustType", "Name", "Type")
+                .origin_cardinality(Cardinality::at_least(1)),
+        )
+        .unwrap();
+        let name = db.create_object("Name", attrs(&[])).unwrap();
+        let problems = db.validate_min_cardinalities().unwrap();
+        assert_eq!(problems.len(), 1);
+        assert!(problems[0].contains("MustType"));
+        let ty = db.create_object("Type", attrs(&[])).unwrap();
+        db.create_relationship("MustType", name, ty, attrs(&[])).unwrap();
+        assert!(db.validate_min_cardinalities().unwrap().is_empty());
+    }
+
+    #[test]
+    fn deep_copy_clones_exclusive_parts_and_shares_the_rest() {
+        let db = temp_db();
+        db.define_class(ClassDef::new("Car").attr(AttrDef::required("model", Type::Str)))
+            .unwrap();
+        db.define_class(ClassDef::new("Engine").attr(AttrDef::required("serial", Type::Str)))
+            .unwrap();
+        db.define_class(ClassDef::new("Manual")).unwrap();
+        // Engine: exclusive part. Manual: sharable aggregation.
+        db.define_relationship(RelClassDef::aggregation("HasEngine", "Car", "Engine")).unwrap();
+        db.define_relationship(
+            RelClassDef::aggregation("HasManual", "Car", "Manual").sharable(true),
+        )
+        .unwrap();
+        let car = db.create_object("Car", attrs(&[("model", "T".into())])).unwrap();
+        let engine = db.create_object("Engine", attrs(&[("serial", "E-1".into())])).unwrap();
+        let manual = db.create_object("Manual", attrs(&[])).unwrap();
+        db.create_relationship("HasEngine", car, engine, attrs(&[])).unwrap();
+        db.create_relationship("HasManual", car, manual, attrs(&[])).unwrap();
+
+        let copy = db.deep_copy(car).unwrap();
+        assert_ne!(copy, car);
+        let copy_engine = db.rels_from(copy, Some("HasEngine")).unwrap()[0].destination;
+        let copy_manual = db.rels_from(copy, Some("HasManual")).unwrap()[0].destination;
+        assert_ne!(copy_engine, engine, "exclusive part must be cloned");
+        assert_eq!(copy_manual, manual, "sharable part must be shared");
+        assert_eq!(db.object(copy_engine).unwrap().attr("serial"), Value::from("E-1"));
+        // The original is untouched.
+        assert_eq!(db.rels_from(car, None).unwrap().len(), 2);
+        // Copying is atomic: both objects exist, extents updated.
+        assert_eq!(db.extent("Engine", false).unwrap().len(), 2);
+        assert_eq!(db.extent("Manual", false).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn deep_copy_rolls_back_atomically_on_failure() {
+        let db = temp_db();
+        db.define_class(ClassDef::new("A")).unwrap();
+        db.define_class(ClassDef::new("B")).unwrap();
+        // Exclusive destination: the copy's second link to the same shared
+        // associate is fine, but an exclusive association will conflict.
+        db.define_relationship(
+            RelClassDef::association("Only", "A", "B").exclusive(),
+        )
+        .unwrap();
+        let a = db.create_object("A", attrs(&[])).unwrap();
+        let b = db.create_object("B", attrs(&[])).unwrap();
+        db.create_relationship("Only", a, b, attrs(&[])).unwrap();
+        let before = db.extent("A", false).unwrap().len();
+        // Copying re-links the association to the same (exclusive) B: error.
+        let err = db.deep_copy(a).unwrap_err();
+        assert!(matches!(err, DbError::ExclusivityViolation { .. }));
+        assert_eq!(db.extent("A", false).unwrap().len(), before, "copy rolled back");
+    }
+
+    #[test]
+    fn persistence_across_reopen() {
+        let path = std::env::temp_dir().join(format!(
+            "prometheus-reopen-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let oid;
+        let cls;
+        {
+            let store = Arc::new(Store::open(&path).unwrap());
+            let db = Database::open(store).unwrap();
+            db.define_class(
+                ClassDef::new("Taxon").attr(AttrDef::required("name", Type::Str).indexed()),
+            )
+            .unwrap();
+            db.define_relationship(RelClassDef::association("R", "Taxon", "Taxon")).unwrap();
+            oid = db.create_object("Taxon", attrs(&[("name", "Apium".into())])).unwrap();
+            cls = db.create_classification("C", attrs(&[]), true).unwrap();
+        }
+        let store = Arc::new(Store::open(&path).unwrap());
+        let db = Database::open(store).unwrap();
+        assert_eq!(db.object(oid).unwrap().attr("name"), Value::from("Apium"));
+        assert_eq!(db.find_by_attr("Taxon", "name", &"Apium".into()).unwrap(), vec![oid]);
+        assert_eq!(db.classification_meta(cls).unwrap().name, "C");
+        assert!(db.with_schema(|s| s.rel_class("R").is_some()));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,150 @@
+//! Errors raised by the object layer.
+
+use prometheus_storage::{Oid, StorageError};
+use std::fmt;
+
+/// Result alias for object-layer operations.
+pub type DbResult<T> = Result<T, DbError>;
+
+/// Errors raised by the Prometheus object layer.
+///
+/// The semantic variants correspond directly to the built-in relationship
+/// behaviours of thesis §4.4: violating exclusivity, sharability, constancy,
+/// cardinality or acyclicity is a first-class, typed failure rather than a
+/// stringly one, so rules and applications can react to them individually.
+#[derive(Debug)]
+pub enum DbError {
+    /// Underlying storage failure.
+    Storage(StorageError),
+    /// Schema definition problem (unknown class, duplicate, bad inheritance…).
+    Schema(String),
+    /// A value did not conform to the declared attribute type.
+    TypeMismatch { expected: String, found: String, context: String },
+    /// Unknown object or relationship instance.
+    NotFound(Oid),
+    /// Unknown attribute for the instance's class.
+    UnknownAttr { class: String, attr: String },
+    /// An endpoint object's class does not conform to the relationship
+    /// class's declared origin/destination class.
+    EndpointMismatch { relationship: String, expected: String, found: String },
+    /// Exclusivity (§4.4.3, Figure 15): the destination already participates
+    /// in an instance of an exclusive relationship class.
+    ExclusivityViolation { relationship: String, destination: Oid },
+    /// Sharability (§4.4.3, Figure 16): the destination of a non-sharable
+    /// aggregation is already part of another whole.
+    SharabilityViolation { relationship: String, destination: Oid },
+    /// Constancy: a constant relationship instance cannot be re-targeted.
+    ConstancyViolation { relationship: Oid },
+    /// Cardinality bounds on one side of a relationship class were exceeded.
+    CardinalityViolation { relationship: String, side: &'static str, limit: u32 },
+    /// Adding this edge would create a cycle in an acyclic relationship class.
+    CycleViolation { relationship: String, origin: Oid, destination: Oid },
+    /// An object still participates in relationships that block the operation.
+    DependencyViolation(String),
+    /// Attribute inheritance produced conflicting values (§4.4.5).
+    AmbiguousInheritedAttr { oid: Oid, attr: String },
+    /// A pre-event listener (rule) vetoed the operation.
+    Vetoed { rule: String, reason: String },
+    /// A deferred constraint failed at unit commit.
+    ConstraintViolation { rule: String, reason: String },
+    /// Classification-level structural violation (e.g. two parents for one
+    /// child inside a strict hierarchy).
+    Classification(String),
+    /// Unit-of-work misuse (commit without begin, nested misuse…).
+    Unit(String),
+    /// Query-evaluation error surfaced through the object layer.
+    Query(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::Storage(e) => write!(f, "storage: {e}"),
+            DbError::Schema(m) => write!(f, "schema error: {m}"),
+            DbError::TypeMismatch { expected, found, context } => {
+                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            }
+            DbError::NotFound(oid) => write!(f, "no such instance: {oid}"),
+            DbError::UnknownAttr { class, attr } => {
+                write!(f, "class {class} has no attribute '{attr}'")
+            }
+            DbError::EndpointMismatch { relationship, expected, found } => write!(
+                f,
+                "relationship {relationship} expects endpoint of class {expected}, found {found}"
+            ),
+            DbError::ExclusivityViolation { relationship, destination } => write!(
+                f,
+                "exclusivity violation: {destination} already participates in exclusive relationship {relationship}"
+            ),
+            DbError::SharabilityViolation { relationship, destination } => write!(
+                f,
+                "sharability violation: {destination} is already part of another whole via {relationship}"
+            ),
+            DbError::ConstancyViolation { relationship } => {
+                write!(f, "constant relationship {relationship} cannot be modified")
+            }
+            DbError::CardinalityViolation { relationship, side, limit } => write!(
+                f,
+                "cardinality violation on {side} side of {relationship}: limit {limit}"
+            ),
+            DbError::CycleViolation { relationship, origin, destination } => write!(
+                f,
+                "cycle violation: adding {origin} -> {destination} to acyclic relationship {relationship}"
+            ),
+            DbError::DependencyViolation(m) => write!(f, "dependency violation: {m}"),
+            DbError::AmbiguousInheritedAttr { oid, attr } => {
+                write!(f, "attribute '{attr}' of {oid} inherits conflicting values")
+            }
+            DbError::Vetoed { rule, reason } => write!(f, "vetoed by rule '{rule}': {reason}"),
+            DbError::ConstraintViolation { rule, reason } => {
+                write!(f, "constraint '{rule}' violated: {reason}")
+            }
+            DbError::Classification(m) => write!(f, "classification error: {m}"),
+            DbError::Unit(m) => write!(f, "unit of work error: {m}"),
+            DbError::Query(m) => write!(f, "query error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for DbError {
+    fn from(e: StorageError) -> Self {
+        DbError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_mention_key_facts() {
+        let e = DbError::ExclusivityViolation {
+            relationship: "HasType".into(),
+            destination: Oid::from_raw(9),
+        };
+        let s = e.to_string();
+        assert!(s.contains("HasType") && s.contains("#9"));
+
+        let e = DbError::CardinalityViolation {
+            relationship: "Circumscribes".into(),
+            side: "origin",
+            limit: 1,
+        };
+        assert!(e.to_string().contains("origin"));
+    }
+
+    #[test]
+    fn storage_errors_convert() {
+        let e: DbError = StorageError::Codec("x".into()).into();
+        assert!(matches!(e, DbError::Storage(_)));
+    }
+}

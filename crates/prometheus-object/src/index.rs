@@ -1,0 +1,220 @@
+//! The index layer (thesis §6.1.4): key encodings for the store's ordered
+//! keyspaces.
+//!
+//! Five index families keep queries off full scans:
+//!
+//! * **extent** — `class ⇒ oid`, membership of each class's extent;
+//! * **attribute** — `class · attr · value ⇒ oid`, for attributes declared
+//!   `indexed` in the schema (exact-match and range queries);
+//! * **relationship endpoints** — `origin ⇒ (class, rel)` and
+//!   `destination ⇒ (class, rel)`, the adjacency lists every traversal and
+//!   classification operation runs on;
+//! * **classification membership** — `classification ⇒ rel` plus the reverse
+//!   `rel ⇒ classification`.
+//!
+//! Keys are built so that prefix scans answer the natural questions: "all
+//! members of class C", "all edges leaving O via relationship class R", "all
+//! edges of classification K".
+
+use crate::value::Value;
+use prometheus_storage::{Keyspace, Oid};
+
+/// Keyspace holding schema, classification metadata and synonym state.
+pub const KS_META: Keyspace = Keyspace(0);
+/// Extent index.
+pub const KS_EXTENT: Keyspace = Keyspace(1);
+/// Attribute value index.
+pub const KS_ATTR: Keyspace = Keyspace(2);
+/// Outgoing relationship endpoint index.
+pub const KS_REL_FROM: Keyspace = Keyspace(3);
+/// Incoming relationship endpoint index.
+pub const KS_REL_TO: Keyspace = Keyspace(4);
+/// Classification membership (classification -> edge).
+pub const KS_CLS_EDGES: Keyspace = Keyspace(5);
+/// Reverse classification membership (edge -> classification).
+pub const KS_EDGE_CLS: Keyspace = Keyspace(6);
+
+/// Reserved meta keys.
+pub const META_SCHEMA: &[u8] = b"schema";
+pub const META_SYNONYMS: &[u8] = b"synonyms";
+pub const META_VIEWS: &[u8] = b"views";
+
+const SEP: u8 = 0x00;
+
+fn push_name(key: &mut Vec<u8>, name: &str) {
+    key.extend_from_slice(name.as_bytes());
+    key.push(SEP);
+}
+
+/// `class · oid` — one entry per extent member.
+pub fn extent_key(class: &str, oid: Oid) -> Vec<u8> {
+    let mut key = Vec::with_capacity(class.len() + 9);
+    push_name(&mut key, class);
+    key.extend_from_slice(&oid.to_be_bytes());
+    key
+}
+
+/// Prefix selecting the whole extent of `class` (exact class, no subclasses).
+pub fn extent_prefix(class: &str) -> Vec<u8> {
+    let mut key = Vec::with_capacity(class.len() + 1);
+    push_name(&mut key, class);
+    key
+}
+
+/// `class · attr · encoded value · oid` — one entry per indexed attribute
+/// value.
+pub fn attr_key(class: &str, attr: &str, value: &Value, oid: Oid) -> Vec<u8> {
+    let mut key = Vec::new();
+    push_name(&mut key, class);
+    push_name(&mut key, attr);
+    value.encode_ordered(&mut key);
+    key.extend_from_slice(&oid.to_be_bytes());
+    key
+}
+
+/// Prefix selecting all index entries of `class.attr` with exactly `value`.
+pub fn attr_value_prefix(class: &str, attr: &str, value: &Value) -> Vec<u8> {
+    let mut key = Vec::new();
+    push_name(&mut key, class);
+    push_name(&mut key, attr);
+    value.encode_ordered(&mut key);
+    key
+}
+
+/// Prefix selecting all index entries of `class.attr` (for range scans; pair
+/// with [`attr_value_prefix`] bounds).
+pub fn attr_prefix(class: &str, attr: &str) -> Vec<u8> {
+    let mut key = Vec::new();
+    push_name(&mut key, class);
+    push_name(&mut key, attr);
+    key
+}
+
+/// Extract the trailing OID from an index key.
+pub fn oid_suffix(key: &[u8]) -> Option<Oid> {
+    if key.len() < 8 {
+        return None;
+    }
+    let tail: [u8; 8] = key[key.len() - 8..].try_into().ok()?;
+    Some(Oid::from_be_bytes(tail))
+}
+
+/// `endpoint · relclass · rel` — adjacency entry. The stored value is the
+/// opposite endpoint's OID so traversals avoid a record fetch.
+pub fn endpoint_key(endpoint: Oid, rel_class: &str, rel: Oid) -> Vec<u8> {
+    let mut key = Vec::with_capacity(rel_class.len() + 18);
+    key.extend_from_slice(&endpoint.to_be_bytes());
+    push_name(&mut key, rel_class);
+    key.extend_from_slice(&rel.to_be_bytes());
+    key
+}
+
+/// Prefix selecting every adjacency entry of `endpoint`.
+pub fn endpoint_prefix(endpoint: Oid) -> Vec<u8> {
+    endpoint.to_be_bytes().to_vec()
+}
+
+/// Prefix selecting `endpoint`'s adjacency entries via `rel_class` only.
+pub fn endpoint_class_prefix(endpoint: Oid, rel_class: &str) -> Vec<u8> {
+    let mut key = Vec::with_capacity(rel_class.len() + 9);
+    key.extend_from_slice(&endpoint.to_be_bytes());
+    push_name(&mut key, rel_class);
+    key
+}
+
+/// Decode the relationship-class name and rel OID out of an adjacency key.
+pub fn decode_endpoint_key(key: &[u8]) -> Option<(String, Oid)> {
+    if key.len() < 17 {
+        return None;
+    }
+    let name_part = &key[8..key.len() - 8];
+    let name_end = name_part.iter().position(|&b| b == SEP)?;
+    let class = std::str::from_utf8(&name_part[..name_end]).ok()?.to_string();
+    let rel = oid_suffix(key)?;
+    Some((class, rel))
+}
+
+/// `classification · rel` — membership entry; value is empty.
+pub fn cls_edge_key(classification: Oid, rel: Oid) -> Vec<u8> {
+    let mut key = Vec::with_capacity(16);
+    key.extend_from_slice(&classification.to_be_bytes());
+    key.extend_from_slice(&rel.to_be_bytes());
+    key
+}
+
+/// Prefix selecting all edges of a classification.
+pub fn cls_prefix(classification: Oid) -> Vec<u8> {
+    classification.to_be_bytes().to_vec()
+}
+
+/// `rel · classification` — reverse membership entry.
+pub fn edge_cls_key(rel: Oid, classification: Oid) -> Vec<u8> {
+    let mut key = Vec::with_capacity(16);
+    key.extend_from_slice(&rel.to_be_bytes());
+    key.extend_from_slice(&classification.to_be_bytes());
+    key
+}
+
+/// Prefix selecting all classifications an edge belongs to.
+pub fn edge_prefix(rel: Oid) -> Vec<u8> {
+    rel.to_be_bytes().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extent_keys_group_by_class() {
+        let a = extent_key("CT", Oid::from_raw(1));
+        let b = extent_key("CT", Oid::from_raw(2));
+        let c = extent_key("NT", Oid::from_raw(1));
+        assert!(a.starts_with(&extent_prefix("CT")));
+        assert!(b.starts_with(&extent_prefix("CT")));
+        assert!(!c.starts_with(&extent_prefix("CT")));
+        assert_eq!(oid_suffix(&a), Some(Oid::from_raw(1)));
+    }
+
+    #[test]
+    fn class_prefix_does_not_capture_longer_names() {
+        // "CT" must not match members of class "CTX".
+        let other = extent_key("CTX", Oid::from_raw(1));
+        assert!(!other.starts_with(&extent_prefix("CT")));
+    }
+
+    #[test]
+    fn attr_keys_sort_by_value() {
+        let k1 = attr_key("NT", "year", &Value::Int(1753), Oid::from_raw(5));
+        let k2 = attr_key("NT", "year", &Value::Int(1824), Oid::from_raw(1));
+        assert!(k1 < k2);
+        assert!(k1.starts_with(&attr_prefix("NT", "year")));
+        assert!(k1.starts_with(&attr_value_prefix("NT", "year", &Value::Int(1753))));
+        assert!(!k1.starts_with(&attr_value_prefix("NT", "year", &Value::Int(1824))));
+    }
+
+    #[test]
+    fn endpoint_keys_decode() {
+        let key = endpoint_key(Oid::from_raw(10), "Circumscribes", Oid::from_raw(77));
+        assert!(key.starts_with(&endpoint_prefix(Oid::from_raw(10))));
+        assert!(key.starts_with(&endpoint_class_prefix(Oid::from_raw(10), "Circumscribes")));
+        let (class, rel) = decode_endpoint_key(&key).unwrap();
+        assert_eq!(class, "Circumscribes");
+        assert_eq!(rel, Oid::from_raw(77));
+    }
+
+    #[test]
+    fn endpoint_class_prefix_is_exact() {
+        let key = endpoint_key(Oid::from_raw(10), "HasTypeX", Oid::from_raw(1));
+        assert!(!key.starts_with(&endpoint_class_prefix(Oid::from_raw(10), "HasType")));
+    }
+
+    #[test]
+    fn classification_keys() {
+        let k = cls_edge_key(Oid::from_raw(3), Oid::from_raw(9));
+        assert!(k.starts_with(&cls_prefix(Oid::from_raw(3))));
+        assert_eq!(oid_suffix(&k), Some(Oid::from_raw(9)));
+        let r = edge_cls_key(Oid::from_raw(9), Oid::from_raw(3));
+        assert!(r.starts_with(&edge_prefix(Oid::from_raw(9))));
+        assert_eq!(oid_suffix(&r), Some(Oid::from_raw(3)));
+    }
+}

@@ -1,0 +1,130 @@
+//! Persistent instances: objects, relationship instances and the record
+//! envelope stored in the substrate.
+
+use crate::value::Value;
+use prometheus_storage::Oid;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An ordinary object instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectInstance {
+    pub oid: Oid,
+    /// Most-specific class of the instance.
+    pub class: String,
+    /// Attribute values; absent attributes read as `Null` (or their default).
+    pub attrs: BTreeMap<String, Value>,
+}
+
+impl ObjectInstance {
+    /// Attribute value, `Null` if unset.
+    pub fn attr(&self, name: &str) -> Value {
+        self.attrs.get(name).cloned().unwrap_or(Value::Null)
+    }
+}
+
+/// A relationship instance (§4.3): origin, destination and its own
+/// attributes. It is itself an object — it has an OID and a class — which is
+/// what makes relationships first-class in Prometheus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RelInstance {
+    pub oid: Oid,
+    /// Relationship class of this instance.
+    pub class: String,
+    pub origin: Oid,
+    pub destination: Oid,
+    pub attrs: BTreeMap<String, Value>,
+}
+
+impl RelInstance {
+    /// Attribute value, `Null` if unset.
+    pub fn attr(&self, name: &str) -> Value {
+        self.attrs.get(name).cloned().unwrap_or(Value::Null)
+    }
+
+    /// The endpoint opposite to `oid`, if `oid` is an endpoint.
+    pub fn opposite(&self, oid: Oid) -> Option<Oid> {
+        if self.origin == oid {
+            Some(self.destination)
+        } else if self.destination == oid {
+            Some(self.origin)
+        } else {
+            None
+        }
+    }
+}
+
+/// Metadata record describing one classification (§4.6): a named set of
+/// relationship instances. Membership lives in an index keyspace, not here,
+/// so that large classifications do not rewrite a monolithic record on every
+/// edge change.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationMeta {
+    pub oid: Oid,
+    pub name: String,
+    /// Free-form provenance (author, publication, criteria) — requirement 4,
+    /// traceability.
+    pub attrs: BTreeMap<String, Value>,
+    /// Enforce at most one parent per node within this classification.
+    pub strict_hierarchy: bool,
+}
+
+/// The envelope persisted per record in the store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum StoredEntity {
+    Object(ObjectInstance),
+    Rel(RelInstance),
+    Classification(ClassificationMeta),
+}
+
+impl StoredEntity {
+    /// OID of the contained entity.
+    pub fn oid(&self) -> Oid {
+        match self {
+            StoredEntity::Object(o) => o.oid,
+            StoredEntity::Rel(r) => r.oid,
+            StoredEntity::Classification(c) => c.oid,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prometheus_storage::codec;
+
+    #[test]
+    fn object_attr_defaults_to_null() {
+        let obj = ObjectInstance { oid: Oid::from_raw(1), class: "CT".into(), attrs: BTreeMap::new() };
+        assert_eq!(obj.attr("missing"), Value::Null);
+    }
+
+    #[test]
+    fn rel_opposite_endpoint() {
+        let rel = RelInstance {
+            oid: Oid::from_raw(3),
+            class: "Circumscribes".into(),
+            origin: Oid::from_raw(1),
+            destination: Oid::from_raw(2),
+            attrs: BTreeMap::new(),
+        };
+        assert_eq!(rel.opposite(Oid::from_raw(1)), Some(Oid::from_raw(2)));
+        assert_eq!(rel.opposite(Oid::from_raw(2)), Some(Oid::from_raw(1)));
+        assert_eq!(rel.opposite(Oid::from_raw(9)), None);
+    }
+
+    #[test]
+    fn stored_entity_round_trips() {
+        let mut attrs = BTreeMap::new();
+        attrs.insert("name".to_string(), Value::from("Apium"));
+        let entity = StoredEntity::Object(ObjectInstance {
+            oid: Oid::from_raw(7),
+            class: "NT".into(),
+            attrs,
+        });
+        let bytes = codec::to_bytes(&entity).unwrap();
+        let back: StoredEntity = codec::from_bytes(&bytes).unwrap();
+        assert_eq!(back, entity);
+        assert_eq!(back.oid(), Oid::from_raw(7));
+    }
+}

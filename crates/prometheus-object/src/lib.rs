@@ -1,0 +1,58 @@
+//! # prometheus-object
+//!
+//! The Prometheus extended object-oriented model (thesis chapters 4 and 6).
+//!
+//! This crate implements the layers of Figure 26 that sit between the raw
+//! storage substrate and the query/rule languages:
+//!
+//! * **object layer** — an ODMG-style meta-model ([`schema`]) of classes with
+//!   typed attributes, single-rooted multiple inheritance and extents, plus
+//!   dynamic instances ([`instance`]);
+//! * **first-class relationships** — relationship *classes*
+//!   ([`schema::RelClassDef`]) carrying the built-in semantic attributes of
+//!   §4.4 (aggregation/association kind, exclusivity, sharability, lifetime
+//!   dependency, constancy, attribute inheritance, cardinality, direction)
+//!   and relationship *instances* that are ordinary objects with an origin
+//!   and a destination;
+//! * **classifications** ([`classification`]) — named, overlapping sets of
+//!   relationship instances orthogonal to the classified objects (§4.6),
+//!   with graph traversal and comparison operations;
+//! * **instance synonyms** ([`synonym`]) — the §4.5 mechanism declaring that
+//!   two OIDs denote the same real-world instance;
+//! * **event layer** ([`events`]) — every mutation raises typed events that
+//!   pre-listeners may veto and post-listeners may react to; the rule engine
+//!   in `prometheus-rules` plugs in here;
+//! * **index layer** ([`index`]) — extent, attribute and relationship-
+//!   endpoint indexes over the store's ordered keyspaces;
+//! * **views layer** ([`views`]) — named class/classification-scoped subsets
+//!   of the database;
+//! * **units of work** — [`Database::begin_unit`] groups operations with an
+//!   undo journal, giving logical atomicity, deferred-rule scheduling and
+//!   the *what-if* workflows of §7.1.4.
+
+pub mod classification;
+pub mod database;
+pub mod error;
+pub mod events;
+pub mod history;
+pub mod index;
+pub mod instance;
+pub mod schema;
+pub mod synonym;
+pub mod traversal;
+pub mod value;
+pub mod views;
+
+pub use classification::{Classification, ClassificationCompare};
+pub use database::{Database, UnitToken};
+pub use error::{DbError, DbResult};
+pub use events::{Event, EventListener};
+pub use history::{history_of, HistoryEntry, HistoryRecorder};
+pub use instance::{ObjectInstance, RelInstance};
+pub use prometheus_storage::{Oid, Store, StoreOptions};
+pub use schema::{
+    AttrDef, Cardinality, ClassDef, RelClassDef, RelKind, SchemaRegistry,
+};
+pub use traversal::{Direction, SynonymMode, TraversalSpec};
+pub use value::{Date, Type, Value};
+pub use views::View;

@@ -1,0 +1,374 @@
+//! Generic graph traversal over relationship instances.
+//!
+//! Implements the recursive-exploration requirement (requirement 9): every
+//! higher-level operation — classification descendants/ancestors, POOL's
+//! recursive path operators, name derivation, synonym detection — reduces to
+//! [`traverse`] with a [`TraversalSpec`].
+//!
+//! Traversals are cycle-safe, honour depth bounds (`min_depth..=max_depth`,
+//! giving POOL its `[a..b]` depth-controlled path expressions), can be scoped
+//! to a single classification (querying *in context*, §4.6.2), and can treat
+//! instance synonyms transparently (§4.5).
+
+use crate::database::Database;
+use crate::error::DbResult;
+use prometheus_storage::Oid;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Which way to walk relationship instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Follow origin → destination (e.g. taxon → its circumscribed children).
+    Outgoing,
+    /// Follow destination → origin (e.g. specimen → the taxa containing it).
+    Incoming,
+}
+
+/// How instance synonyms participate in a traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynonymMode {
+    /// Treat every OID literally.
+    Ignore,
+    /// Treat a synonym set as one logical node: edges incident to any member
+    /// are followed, and visited-tracking collapses the set.
+    Transparent,
+}
+
+/// Parameters of one traversal.
+#[derive(Debug, Clone)]
+pub struct TraversalSpec {
+    /// Relationship classes to follow; empty means *all*.
+    pub rel_classes: Vec<String>,
+    /// Also follow subclasses of the listed relationship classes.
+    pub include_subclasses: bool,
+    pub direction: Direction,
+    /// Minimum depth for a node to be reported (1 = direct neighbours;
+    /// 0 additionally reports the start node).
+    pub min_depth: u32,
+    /// Maximum depth to explore; `None` = unbounded (transitive closure).
+    pub max_depth: Option<u32>,
+    /// Restrict to edges belonging to this classification.
+    pub classification: Option<Oid>,
+    pub synonyms: SynonymMode,
+}
+
+impl TraversalSpec {
+    /// Unbounded outgoing closure over the given relationship classes.
+    pub fn closure(rel_classes: impl IntoIterator<Item = String>) -> Self {
+        TraversalSpec {
+            rel_classes: rel_classes.into_iter().collect(),
+            include_subclasses: false,
+            direction: Direction::Outgoing,
+            min_depth: 1,
+            max_depth: None,
+            classification: None,
+            synonyms: SynonymMode::Ignore,
+        }
+    }
+
+    /// Direct neighbours only.
+    pub fn neighbours(rel_classes: impl IntoIterator<Item = String>) -> Self {
+        TraversalSpec { max_depth: Some(1), ..TraversalSpec::closure(rel_classes) }
+    }
+
+    /// Builder-style adjustments.
+    pub fn direction(mut self, d: Direction) -> Self {
+        self.direction = d;
+        self
+    }
+    pub fn depth(mut self, min: u32, max: Option<u32>) -> Self {
+        self.min_depth = min;
+        self.max_depth = max;
+        self
+    }
+    pub fn in_classification(mut self, cls: Oid) -> Self {
+        self.classification = Some(cls);
+        self
+    }
+    pub fn with_subclasses(mut self) -> Self {
+        self.include_subclasses = true;
+        self
+    }
+    pub fn synonym_mode(mut self, mode: SynonymMode) -> Self {
+        self.synonyms = mode;
+        self
+    }
+}
+
+/// One node visited during a traversal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Visit {
+    pub node: Oid,
+    pub depth: u32,
+    /// Edge through which the node was first reached (`None` for the start).
+    pub via: Option<Oid>,
+}
+
+/// Breadth-first traversal from `start` according to `spec`.
+///
+/// Returns each reachable node exactly once (first time it is seen), with
+/// its discovery depth — the order is therefore by increasing depth. Nodes
+/// shallower than `min_depth` are explored but not reported.
+pub fn traverse(db: &Database, start: Oid, spec: &TraversalSpec) -> DbResult<Vec<Visit>> {
+    let mut out = Vec::new();
+    let mut visited: BTreeSet<Oid> = BTreeSet::new();
+    let mut frontier: VecDeque<(Oid, u32, Option<Oid>)> = VecDeque::new();
+    frontier.push_back((start, 0, None));
+    let canon = |db: &Database, oid: Oid| match spec.synonyms {
+        SynonymMode::Ignore => oid,
+        SynonymMode::Transparent => db.synonym_representative(oid),
+    };
+    visited.insert(canon(db, start));
+    while let Some((node, depth, via)) = frontier.pop_front() {
+        if depth >= spec.min_depth {
+            out.push(Visit { node, depth, via });
+        }
+        if let Some(max) = spec.max_depth {
+            if depth >= max {
+                continue;
+            }
+        }
+        for (edge, next) in step(db, node, spec)? {
+            let key = canon(db, next);
+            if visited.insert(key) {
+                frontier.push_back((next, depth + 1, Some(edge)));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The edges leaving (or arriving at, per direction) `node` that `spec`
+/// admits, paired with the node they lead to. With transparent synonyms the
+/// edges of every synonym-set member are considered.
+pub fn step(db: &Database, node: Oid, spec: &TraversalSpec) -> DbResult<Vec<(Oid, Oid)>> {
+    let sources: Vec<Oid> = match spec.synonyms {
+        SynonymMode::Ignore => vec![node],
+        SynonymMode::Transparent => db.synonym_set(node),
+    };
+    let outgoing = spec.direction == Direction::Outgoing;
+    let mut out = Vec::new();
+    for source in sources {
+        // Record-free adjacency: the endpoint index stores the opposite
+        // endpoint, so no relationship record is decoded per step.
+        let pairs: Vec<(Oid, Oid)> = if spec.rel_classes.is_empty() {
+            db.adjacency(source, None, outgoing)?
+        } else {
+            let mut acc = Vec::new();
+            for class in &spec.rel_classes {
+                if spec.include_subclasses {
+                    let classes = db.with_schema(|s| s.with_subclasses(class));
+                    for c in classes {
+                        acc.extend(db.adjacency(source, Some(&c), outgoing)?);
+                    }
+                } else {
+                    acc.extend(db.adjacency(source, Some(class), outgoing)?);
+                }
+            }
+            acc
+        };
+        for (edge, next) in pairs {
+            if let Some(cls) = spec.classification {
+                if !db.edge_in_classification(cls, edge) {
+                    continue;
+                }
+            }
+            out.push((edge, next));
+        }
+    }
+    Ok(out)
+}
+
+/// All simple paths (as edge OID sequences) from `start` to `goal` honouring
+/// `spec`; used by POOL's path-extraction operator. Depth bounds apply to
+/// path length.
+pub fn paths(db: &Database, start: Oid, goal: Oid, spec: &TraversalSpec) -> DbResult<Vec<Vec<Oid>>> {
+    let mut out = Vec::new();
+    let mut path_edges: Vec<Oid> = Vec::new();
+    let mut path_nodes: BTreeSet<Oid> = BTreeSet::new();
+    path_nodes.insert(start);
+    dfs_paths(db, start, goal, spec, &mut path_edges, &mut path_nodes, &mut out)?;
+    Ok(out)
+}
+
+fn dfs_paths(
+    db: &Database,
+    node: Oid,
+    goal: Oid,
+    spec: &TraversalSpec,
+    path_edges: &mut Vec<Oid>,
+    path_nodes: &mut BTreeSet<Oid>,
+    out: &mut Vec<Vec<Oid>>,
+) -> DbResult<()> {
+    if node == goal && path_edges.len() as u32 >= spec.min_depth {
+        out.push(path_edges.clone());
+        // Paths may continue through the goal when depth allows; fall through.
+    }
+    if let Some(max) = spec.max_depth {
+        if path_edges.len() as u32 >= max {
+            return Ok(());
+        }
+    }
+    for (edge, next) in step(db, node, spec)? {
+        if !path_nodes.insert(next) {
+            continue; // simple paths only
+        }
+        path_edges.push(edge);
+        dfs_paths(db, next, goal, spec, path_edges, path_nodes, out)?;
+        path_edges.pop();
+        path_nodes.remove(&next);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::tests::temp_db;
+    use crate::schema::{ClassDef, RelClassDef};
+
+    /// a -> b -> c, a -> d, plus an association d -> c.
+    fn diamond() -> (Database, [Oid; 4]) {
+        let db = temp_db();
+        db.define_class(ClassDef::new("N")).unwrap();
+        db.define_relationship(RelClassDef::aggregation("Tree", "N", "N").sharable(true))
+            .unwrap();
+        db.define_relationship(RelClassDef::association("Link", "N", "N")).unwrap();
+        let a = db.create_object("N", Vec::new()).unwrap();
+        let b = db.create_object("N", Vec::new()).unwrap();
+        let c = db.create_object("N", Vec::new()).unwrap();
+        let d = db.create_object("N", Vec::new()).unwrap();
+        db.create_relationship("Tree", a, b, Vec::new()).unwrap();
+        db.create_relationship("Tree", b, c, Vec::new()).unwrap();
+        db.create_relationship("Tree", a, d, Vec::new()).unwrap();
+        db.create_relationship("Link", d, c, Vec::new()).unwrap();
+        (db, [a, b, c, d])
+    }
+
+    #[test]
+    fn closure_reaches_everything_via_all_classes() {
+        let (db, [a, b, c, d]) = diamond();
+        let visits = traverse(&db, a, &TraversalSpec::closure(Vec::new())).unwrap();
+        let nodes: Vec<Oid> = visits.iter().map(|v| v.node).collect();
+        assert_eq!(nodes.len(), 3);
+        assert!(nodes.contains(&b) && nodes.contains(&c) && nodes.contains(&d));
+    }
+
+    #[test]
+    fn class_filter_restricts_edges() {
+        let (db, [_a, _b, c, d]) = diamond();
+        // Only Link edges from d.
+        let visits = traverse(&db, d, &TraversalSpec::closure(vec!["Link".into()])).unwrap();
+        assert_eq!(visits.len(), 1);
+        assert_eq!(visits[0].node, c);
+        // Only Tree edges from d: none.
+        let visits = traverse(&db, d, &TraversalSpec::closure(vec!["Tree".into()])).unwrap();
+        assert!(visits.is_empty());
+    }
+
+    #[test]
+    fn depth_bounds_are_honoured() {
+        let (db, [a, b, _c, d]) = diamond();
+        let spec = TraversalSpec::closure(vec!["Tree".into()]).depth(1, Some(1));
+        let visits = traverse(&db, a, &spec).unwrap();
+        let nodes: Vec<Oid> = visits.iter().map(|v| v.node).collect();
+        assert_eq!(nodes.len(), 2);
+        assert!(nodes.contains(&b) && nodes.contains(&d));
+        // min_depth 2 skips direct children.
+        let spec = TraversalSpec::closure(vec!["Tree".into()]).depth(2, None);
+        let visits = traverse(&db, a, &spec).unwrap();
+        assert_eq!(visits.len(), 1);
+        assert_eq!(visits[0].depth, 2);
+        // depth 0 includes the start node.
+        let spec = TraversalSpec::closure(vec!["Tree".into()]).depth(0, Some(0));
+        let visits = traverse(&db, a, &spec).unwrap();
+        assert_eq!(visits, vec![Visit { node: a, depth: 0, via: None }]);
+    }
+
+    #[test]
+    fn incoming_direction_walks_up() {
+        let (db, [a, _b, c, _d]) = diamond();
+        let spec = TraversalSpec::closure(Vec::new()).direction(Direction::Incoming);
+        let visits = traverse(&db, c, &spec).unwrap();
+        let nodes: Vec<Oid> = visits.iter().map(|v| v.node).collect();
+        assert!(nodes.contains(&a), "must reach the root upward");
+        assert_eq!(nodes.len(), 3);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let db = temp_db();
+        db.define_class(ClassDef::new("N")).unwrap();
+        db.define_relationship(RelClassDef::association("Next", "N", "N")).unwrap();
+        let a = db.create_object("N", Vec::new()).unwrap();
+        let b = db.create_object("N", Vec::new()).unwrap();
+        db.create_relationship("Next", a, b, Vec::new()).unwrap();
+        db.create_relationship("Next", b, a, Vec::new()).unwrap();
+        let visits = traverse(&db, a, &TraversalSpec::closure(vec!["Next".into()])).unwrap();
+        assert_eq!(visits.len(), 1, "each node reported once despite the cycle");
+    }
+
+    #[test]
+    fn classification_scope_filters_edges() {
+        let (db, [a, b, _c, d]) = diamond();
+        let cls = db.create_classification("only-ab", Vec::new(), false).unwrap();
+        let edge_ab = db.rels_from(a, Some("Tree")).unwrap();
+        let ab = edge_ab.iter().find(|e| e.destination == b).unwrap().oid;
+        db.add_edge_to_classification(cls, ab).unwrap();
+        let spec = TraversalSpec::closure(Vec::new()).in_classification(cls);
+        let visits = traverse(&db, a, &spec).unwrap();
+        assert_eq!(visits.len(), 1);
+        assert_eq!(visits[0].node, b);
+        let _ = d;
+    }
+
+    #[test]
+    fn transparent_synonyms_bridge_edges() {
+        let db = temp_db();
+        db.define_class(ClassDef::new("N")).unwrap();
+        db.define_relationship(RelClassDef::association("Next", "N", "N")).unwrap();
+        // a -> b ; b' -> c with b ≡ b'.
+        let a = db.create_object("N", Vec::new()).unwrap();
+        let b = db.create_object("N", Vec::new()).unwrap();
+        let b2 = db.create_object("N", Vec::new()).unwrap();
+        let c = db.create_object("N", Vec::new()).unwrap();
+        db.create_relationship("Next", a, b, Vec::new()).unwrap();
+        db.create_relationship("Next", b2, c, Vec::new()).unwrap();
+        db.declare_synonym(b, b2).unwrap();
+        let ignore = traverse(&db, a, &TraversalSpec::closure(vec!["Next".into()])).unwrap();
+        assert_eq!(ignore.len(), 1, "without synonyms the walk stops at b");
+        let spec = TraversalSpec::closure(vec!["Next".into()]).synonym_mode(SynonymMode::Transparent);
+        let transparent = traverse(&db, a, &spec).unwrap();
+        let nodes: Vec<Oid> = transparent.iter().map(|v| v.node).collect();
+        assert!(nodes.contains(&c), "synonym set bridges to c");
+    }
+
+    #[test]
+    fn subclass_edges_are_followed_when_requested() {
+        let db = temp_db();
+        db.define_class(ClassDef::new("N")).unwrap();
+        db.define_relationship(RelClassDef::association("Base", "N", "N")).unwrap();
+        db.define_relationship(RelClassDef::association("Derived", "N", "N").extends("Base"))
+            .unwrap();
+        let a = db.create_object("N", Vec::new()).unwrap();
+        let b = db.create_object("N", Vec::new()).unwrap();
+        db.create_relationship("Derived", a, b, Vec::new()).unwrap();
+        let exact = traverse(&db, a, &TraversalSpec::closure(vec!["Base".into()])).unwrap();
+        assert!(exact.is_empty());
+        let spec = TraversalSpec::closure(vec!["Base".into()]).with_subclasses();
+        let poly = traverse(&db, a, &spec).unwrap();
+        assert_eq!(poly.len(), 1);
+    }
+
+    #[test]
+    fn paths_finds_all_simple_paths() {
+        let (db, [a, _b, c, _d]) = diamond();
+        let spec = TraversalSpec::closure(Vec::new());
+        let found = paths(&db, a, c, &spec).unwrap();
+        assert_eq!(found.len(), 2, "a->b->c and a->d->c");
+        assert!(found.iter().all(|p| p.len() == 2));
+        // Bounded to length 1: no path.
+        let spec = TraversalSpec::closure(Vec::new()).depth(1, Some(1));
+        assert!(paths(&db, a, c, &spec).unwrap().is_empty());
+    }
+}

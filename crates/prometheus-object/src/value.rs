@@ -1,0 +1,435 @@
+//! Dynamic attribute values and their types.
+//!
+//! Prometheus instances are schema-checked but dynamically shaped: an
+//! attribute holds a [`Value`] whose conformance to the declared [`Type`] is
+//! verified by the object layer at write time. The thesis' ODMG base model
+//! gives atomic literals, references and collections (§4.2, §4.4.6); dates
+//! get first-class support because publication years drive the ICBN priority
+//! rules.
+
+use prometheus_storage::Oid;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A calendar date. Publication dates decide nomenclatural priority
+/// (§2.1.2: "the oldest validly published name is selected"), so dates order
+/// correctly and only need day precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    pub year: i32,
+    pub month: u8,
+    pub day: u8,
+}
+
+impl Date {
+    /// Build a date, clamping month/day into their calendar ranges.
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        Date { year, month: month.clamp(1, 12), day: day.clamp(1, 31) }
+    }
+
+    /// A year-only date (January 1st), the usual precision of old botanical
+    /// literature.
+    pub fn year(year: i32) -> Self {
+        Date::new(year, 1, 1)
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// A dynamically typed attribute value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Date(Date),
+    /// Reference to another instance. Plain references still exist in the
+    /// model for compatibility (§4.8.1); semantic links use relationship
+    /// instances instead.
+    Ref(Oid),
+    /// Ordered collection.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Human-readable name of this value's runtime type.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Date(_) => "date",
+            Value::Ref(_) => "ref",
+            Value::List(_) => "list",
+        }
+    }
+
+    /// Truthiness used by query predicates: `Null` and `false` are false,
+    /// everything else is true.
+    pub fn is_truthy(&self) -> bool {
+        !matches!(self, Value::Null | Value::Bool(false))
+    }
+
+    /// Extract a string slice if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract an integer if this is an int.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Extract a float, widening ints.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// Extract an OID if this is a reference.
+    pub fn as_ref_oid(&self) -> Option<Oid> {
+        match self {
+            Value::Ref(oid) => Some(*oid),
+            _ => None,
+        }
+    }
+
+    /// Extract a date if this is a date.
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Order-preserving binary encoding, used to build attribute-index keys:
+    /// for two values of the same runtime type, byte-wise ordering of the
+    /// encodings matches [`Value::cmp`].
+    pub fn encode_ordered(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0x00),
+            Value::Bool(b) => {
+                out.push(0x01);
+                out.push(*b as u8);
+            }
+            Value::Int(i) => {
+                out.push(0x02);
+                // Bias by flipping the sign bit so negatives sort first.
+                out.extend_from_slice(&((*i as u64) ^ (1u64 << 63)).to_be_bytes());
+            }
+            Value::Float(x) => {
+                out.push(0x03);
+                // IEEE-754 total-order trick.
+                let bits = x.to_bits();
+                let key = if bits >> 63 == 0 { bits ^ (1u64 << 63) } else { !bits };
+                out.extend_from_slice(&key.to_be_bytes());
+            }
+            Value::Str(s) => {
+                out.push(0x04);
+                out.extend_from_slice(s.as_bytes());
+                out.push(0x00); // terminator keeps prefix strings ordered first
+            }
+            Value::Date(d) => {
+                out.push(0x05);
+                out.extend_from_slice(&((d.year as u32) ^ (1u32 << 31)).to_be_bytes());
+                out.push(d.month);
+                out.push(d.day);
+            }
+            Value::Ref(oid) => {
+                out.push(0x06);
+                out.extend_from_slice(&oid.to_be_bytes());
+            }
+            Value::List(items) => {
+                out.push(0x07);
+                for item in items {
+                    item.encode_ordered(out);
+                }
+                out.push(0x00);
+            }
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    /// Total order: values of the same type compare naturally (floats via
+    /// IEEE total order, int/float cross-compare numerically); values of
+    /// different types order by type tag.
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.total_cmp(b),
+            (Int(a), Float(b)) => (*a as f64).total_cmp(b),
+            (Float(a), Int(b)) => a.total_cmp(&(*b as f64)),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Ref(a), Ref(b)) => a.cmp(b),
+            (List(a), List(b)) => a.cmp(b),
+            _ => self.tag().cmp(&other.tag()),
+        }
+    }
+}
+
+impl Value {
+    fn tag(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 4,
+            Value::Date(_) => 5,
+            Value::Ref(_) => 6,
+            Value::List(_) => 7,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Date(d) => write!(f, "{d}"),
+            Value::Ref(oid) => write!(f, "{oid}"),
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+impl From<Date> for Value {
+    fn from(v: Date) -> Self {
+        Value::Date(v)
+    }
+}
+impl From<Oid> for Value {
+    fn from(v: Oid) -> Self {
+        Value::Ref(v)
+    }
+}
+
+/// Declared type of an attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Type {
+    Bool,
+    Int,
+    Float,
+    Str,
+    Date,
+    /// Reference to an instance of the named class (or any subclass).
+    Ref(String),
+    /// Reference to any instance.
+    AnyRef,
+    /// Homogeneous list.
+    List(Box<Type>),
+    /// Anything, including null.
+    Any,
+}
+
+impl Type {
+    /// Structural conformance check, ignoring class subtyping (the database
+    /// layer performs the class check because it owns the schema registry).
+    /// `Null` conforms to every type — optionality is expressed by the
+    /// attribute definition instead.
+    pub fn admits_shape(&self, value: &Value) -> bool {
+        match (self, value) {
+            (_, Value::Null) => true,
+            (Type::Any, _) => true,
+            (Type::Bool, Value::Bool(_)) => true,
+            (Type::Int, Value::Int(_)) => true,
+            (Type::Float, Value::Float(_) | Value::Int(_)) => true,
+            (Type::Str, Value::Str(_)) => true,
+            (Type::Date, Value::Date(_)) => true,
+            (Type::Ref(_) | Type::AnyRef, Value::Ref(_)) => true,
+            (Type::List(inner), Value::List(items)) => {
+                items.iter().all(|item| inner.admits_shape(item))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Bool => write!(f, "bool"),
+            Type::Int => write!(f, "int"),
+            Type::Float => write!(f, "float"),
+            Type::Str => write!(f, "string"),
+            Type::Date => write!(f, "date"),
+            Type::Ref(class) => write!(f, "ref<{class}>"),
+            Type::AnyRef => write!(f, "ref"),
+            Type::List(inner) => write!(f, "list<{inner}>"),
+            Type::Any => write!(f, "any"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Null.is_truthy());
+        assert!(!Value::Bool(false).is_truthy());
+        assert!(Value::Int(0).is_truthy());
+        assert!(Value::Str(String::new()).is_truthy());
+    }
+
+    #[test]
+    fn numeric_cross_comparison() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+        assert!(Value::Float(1.5) < Value::Int(2));
+    }
+
+    #[test]
+    fn date_ordering_matches_priority_rules() {
+        let apium = Date::year(1821); // Apium repens (Jacq.)Lag.
+        let helio = Date::year(1824); // Heliosciadium nodiflorum
+        assert!(apium < helio, "older publication takes priority");
+    }
+
+    #[test]
+    fn ordered_encoding_preserves_int_order() {
+        let values = [-100i64, -1, 0, 1, 127, 128, 1_000_000];
+        let mut encodings: Vec<Vec<u8>> = Vec::new();
+        for v in values {
+            let mut buf = Vec::new();
+            Value::Int(v).encode_ordered(&mut buf);
+            encodings.push(buf);
+        }
+        for w in encodings.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn ordered_encoding_preserves_string_and_date_order() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        Value::Str("Apium".into()).encode_ordered(&mut a);
+        Value::Str("Apiumx".into()).encode_ordered(&mut b);
+        assert!(a < b);
+
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        Value::Date(Date::year(1753)).encode_ordered(&mut a);
+        Value::Date(Date::new(1753, 5, 1)).encode_ordered(&mut b);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn ordered_encoding_preserves_float_order_with_negatives() {
+        let values = [-5.5f64, -0.0, 0.0, 0.25, 7.0];
+        let mut prev: Option<Vec<u8>> = None;
+        for v in values {
+            let mut buf = Vec::new();
+            Value::Float(v).encode_ordered(&mut buf);
+            if let Some(p) = prev {
+                assert!(p <= buf, "{v} broke ordering");
+            }
+            prev = Some(buf);
+        }
+    }
+
+    #[test]
+    fn type_shape_admission() {
+        assert!(Type::Int.admits_shape(&Value::Int(1)));
+        assert!(!Type::Int.admits_shape(&Value::Str("x".into())));
+        assert!(Type::Float.admits_shape(&Value::Int(1)), "ints widen to float");
+        assert!(Type::Any.admits_shape(&Value::List(vec![])));
+        assert!(Type::Ref("Taxon".into()).admits_shape(&Value::Ref(Oid::from_raw(1))));
+        assert!(
+            Type::List(Box::new(Type::Int)).admits_shape(&Value::List(vec![Value::Int(1)])),
+        );
+        assert!(
+            !Type::List(Box::new(Type::Int)).admits_shape(&Value::List(vec![Value::Bool(true)])),
+        );
+        // Null conforms everywhere; optionality is separate.
+        assert!(Type::Str.admits_shape(&Value::Null));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::from("x").to_string(), "\"x\"");
+        assert_eq!(Value::Date(Date::year(1753)).to_string(), "1753-01-01");
+        assert_eq!(Type::List(Box::new(Type::Ref("CT".into()))).to_string(), "list<ref<CT>>");
+    }
+}

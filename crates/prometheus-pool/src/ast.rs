@@ -1,0 +1,156 @@
+//! POOL abstract syntax.
+
+use prometheus_object::Value;
+
+/// A full `select` query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    pub distinct: bool,
+    /// Projected expressions with optional `as` aliases.
+    pub projection: Vec<(Expr, Option<String>)>,
+    pub from: Vec<FromClause>,
+    /// `in classification "name"` — scopes extents and traversals (§4.6.2).
+    pub context: Option<String>,
+    pub where_clause: Option<Expr>,
+    pub order_by: Vec<OrderKey>,
+    pub limit: Option<usize>,
+}
+
+/// One `from` binding: `Class var` (deep extent),
+/// `edges RelClass var` (relationship extent — uniform treatment, §5.1.1.2),
+/// or `view "name" var` (a persisted view's members — §6.1.3 meets §6.1.5).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromClause {
+    pub var: String,
+    /// Class name, or the view name when `view` is set.
+    pub class: String,
+    /// `true` when the variable ranges over relationship instances.
+    pub edges: bool,
+    /// `true` when the variable ranges over a persisted view's members.
+    pub view: bool,
+}
+
+/// Sort key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderKey {
+    pub expr: Expr,
+    pub descending: bool,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Like,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Not,
+    Neg,
+}
+
+/// Traversal direction in source syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TravDir {
+    /// `->` origin to destination.
+    Forward,
+    /// `<-` destination to origin.
+    Backward,
+}
+
+/// Depth bounds of a traversal operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Depth {
+    pub min: u32,
+    /// `None` = unbounded.
+    pub max: Option<u32>,
+}
+
+impl Depth {
+    /// `->Rel` — one step.
+    pub const ONE: Depth = Depth { min: 1, max: Some(1) };
+    /// `->Rel*` — closure, one or more steps.
+    pub const STAR: Depth = Depth { min: 1, max: None };
+    /// `->Rel?` — zero or one step (optionality, §3.2.2 requirement).
+    pub const OPT: Depth = Depth { min: 0, max: Some(1) };
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Literal(Value),
+    Var(String),
+    /// `expr.attr`
+    Attr(Box<Expr>, String),
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    Un(UnOp, Box<Expr>),
+    /// `expr -> Rel[depth]` / `expr <- Rel[depth]` — the objects reached.
+    Traverse { from: Box<Expr>, rel: String, dir: TravDir, depth: Depth },
+    /// `expr ->> Rel` / `expr <<- Rel` — the relationship instances.
+    Edges { from: Box<Expr>, rel: String, dir: TravDir },
+    /// `(Class) expr` — selective downcast.
+    Downcast { class: String, expr: Box<Expr> },
+    /// `expr in (subquery)` or `expr in collection-expr`.
+    In(Box<Expr>, Box<InSource>),
+    /// `exists (subquery)`.
+    Exists(Box<Query>),
+    /// Function call: aggregates and scalar builtins.
+    Call(String, Vec<CallArg>),
+}
+
+/// Source of an `in` test.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InSource {
+    Query(Query),
+    Expr(Expr),
+}
+
+/// An argument to a call: an expression or a nested query (for aggregates).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CallArg {
+    Expr(Expr),
+    Query(Query),
+}
+
+impl Expr {
+    /// Convenience literal constructor.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Convenience variable constructor.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_constants() {
+        assert_eq!(Depth::ONE, Depth { min: 1, max: Some(1) });
+        assert_eq!(Depth::STAR, Depth { min: 1, max: None });
+        assert_eq!(Depth::OPT, Depth { min: 0, max: Some(1) });
+    }
+
+    #[test]
+    fn expr_builders() {
+        assert_eq!(Expr::lit(5i64), Expr::Literal(Value::Int(5)));
+        assert_eq!(Expr::var("x"), Expr::Var("x".into()));
+    }
+}

@@ -1,0 +1,874 @@
+//! POOL evaluation (the query layer of §6.1.5).
+//!
+//! Execution is nested-loop over the `from` bindings with two planner
+//! optimisations taken from §6.1.5.3:
+//!
+//! * **index seeding** — a top-level conjunct `var.attr = literal` over an
+//!   indexed attribute seeds the variable's candidate set from the
+//!   attribute index instead of the full extent;
+//! * **predicate pushdown** — conjuncts that reference a single `from`
+//!   variable filter that variable's candidates *before* the cross join, so
+//!   a two-variable query does not enumerate the full product.
+//!
+//! Queries with a classification context range over the classification's
+//! participants only, and every traversal operator follows only that
+//! classification's edges (§4.6.2). `from view "…" x` ranges over a
+//! persisted view's members (§6.1.3).
+
+use crate::ast::*;
+use prometheus_object::classification::Classification;
+use prometheus_object::traversal::{self, Direction, TraversalSpec};
+use prometheus_object::{Database, DbError, DbResult, Oid, Value};
+use std::collections::BTreeMap;
+
+/// One result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    pub columns: Vec<Value>,
+}
+
+/// A fully materialised query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Column headers (aliases, or rendered expressions).
+    pub columns: Vec<String>,
+    pub rows: Vec<Row>,
+}
+
+impl QueryResult {
+    /// The values of the first column — the common single-projection case.
+    pub fn first_column(&self) -> Vec<Value> {
+        self.rows.iter().filter_map(|r| r.columns.first().cloned()).collect()
+    }
+
+    /// The OIDs in the first column (non-refs are skipped).
+    pub fn oids(&self) -> Vec<Oid> {
+        self.first_column().iter().filter_map(Value::as_ref_oid).collect()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Variable bindings; subqueries extend a clone of the outer environment, so
+/// correlated references resolve naturally and `from` variables shadow.
+#[derive(Debug, Clone, Default)]
+pub struct Env {
+    vars: BTreeMap<String, Value>,
+}
+
+impl Env {
+    /// No bindings.
+    pub fn empty() -> Env {
+        Env::default()
+    }
+
+    /// Bind a variable.
+    pub fn bind(&mut self, name: &str, value: Value) {
+        self.vars.insert(name.to_string(), value);
+    }
+
+    fn get(&self, name: &str) -> Option<&Value> {
+        self.vars.get(name)
+    }
+}
+
+/// Evaluate a parsed query.
+pub fn evaluate(db: &Database, q: &Query) -> DbResult<QueryResult> {
+    evaluate_with_env(db, q, &Env::empty())
+}
+
+/// Evaluate with outer bindings in scope (correlated subqueries).
+pub fn evaluate_with_env(db: &Database, q: &Query, outer: &Env) -> DbResult<QueryResult> {
+    let context = match &q.context {
+        Some(name) => Some(
+            db.classification_by_name(name)?
+                .ok_or_else(|| DbError::Query(format!("no classification named '{name}'")))?,
+        ),
+        None => None,
+    };
+
+    // Candidate sets per from-variable, possibly index-seeded and
+    // pre-filtered by single-variable conjuncts (predicate pushdown).
+    let from_vars: Vec<&str> = q.from.iter().map(|c| c.var.as_str()).collect();
+    let mut candidate_sets: Vec<(String, Vec<Oid>)> = Vec::new();
+    for clause in &q.from {
+        let mut candidates = if clause.view {
+            crate::view_members(db, &clause.class)?
+        } else {
+            let known = db.with_schema(|s| {
+                if clause.edges {
+                    s.rel_class(&clause.class).is_some()
+                } else {
+                    s.class(&clause.class).is_some()
+                }
+            });
+            if !known {
+                return Err(DbError::Query(format!(
+                    "unknown {} '{}' in from clause",
+                    if clause.edges { "relationship class" } else { "class" },
+                    clause.class
+                )));
+            }
+            let seeded = q
+                .where_clause
+                .as_ref()
+                .and_then(|w| index_seed(db, w, clause).transpose())
+                .transpose()?;
+            match seeded {
+                Some(oids) => oids,
+                None => db.extent(&clause.class, true)?,
+            }
+        };
+        if let Some(cls) = context {
+            let handle = Classification::from_oid(cls);
+            if clause.edges {
+                let member: std::collections::BTreeSet<Oid> =
+                    db.classification_edges(cls)?.into_iter().collect();
+                candidates.retain(|oid| member.contains(oid));
+            } else {
+                let nodes = handle.nodes(db)?;
+                candidates.retain(|oid| nodes.contains(oid));
+            }
+        }
+        // The deep extent may also contain entities of the wrong kind when a
+        // class name is shared; verify conformance (views skip this — they
+        // define their own membership).
+        let mut schema_ok: Vec<Oid> = if clause.view {
+            candidates
+        } else {
+            candidates
+                .into_iter()
+                .filter(|oid| {
+                    db.class_of(*oid)
+                        .map(|c| db.with_schema(|s| s.conforms(&c, &clause.class)))
+                        .unwrap_or(false)
+                })
+                .collect()
+        };
+        // Predicate pushdown: conjuncts whose only from-variable is this one
+        // filter the candidate set before the join.
+        if let Some(w) = &q.where_clause {
+            let mut conjuncts = Vec::new();
+            collect_conjuncts(w, &mut conjuncts);
+            let single_var: Vec<&Expr> = conjuncts
+                .into_iter()
+                .filter(|e| {
+                    let mut free = std::collections::BTreeSet::new();
+                    free_vars(e, &mut free);
+                    let from_refs: Vec<&str> = free
+                        .iter()
+                        .filter(|v| from_vars.contains(&v.as_str()))
+                        .map(|v| v.as_str())
+                        .collect();
+                    from_refs == [clause.var.as_str()]
+                        && free.iter().all(|v| {
+                            v == &clause.var || outer.get(v).is_some() || !from_vars.contains(&v.as_str())
+                        })
+                })
+                .collect();
+            if !single_var.is_empty() {
+                let mut env = outer.clone();
+                let mut kept = Vec::with_capacity(schema_ok.len());
+                'cand: for oid in schema_ok {
+                    env.bind(&clause.var, Value::Ref(oid));
+                    for e in &single_var {
+                        // Unbound references to *other* from-variables cannot
+                        // occur (filtered above). Conjuncts short-circuit in
+                        // source order, mirroring the unpushed evaluation.
+                        if !eval_expr(db, e, &env, context)?.is_truthy() {
+                            continue 'cand;
+                        }
+                    }
+                    kept.push(oid);
+                }
+                schema_ok = kept;
+            }
+        }
+        candidate_sets.push((clause.var.clone(), schema_ok));
+    }
+
+    // Nested-loop join.
+    let mut rows: Vec<Row> = Vec::new();
+    let mut env = outer.clone();
+    bind_loop(db, q, context, &candidate_sets, 0, &mut env, &mut rows)?;
+
+    // Order by.
+    if !q.order_by.is_empty() {
+        // Pre-compute sort keys (expressions may only use projected columns'
+        // source env; we re-evaluate against the row env captured below).
+        // Simpler: sort on already-computed auxiliary keys appended during
+        // projection. We recompute by storing keys alongside rows instead.
+        // (Handled in bind_loop via trailing hidden columns.)
+        let keys = q.order_by.len();
+        rows.sort_by(|a, b| {
+            let a_keys = &a.columns[a.columns.len() - keys..];
+            let b_keys = &b.columns[b.columns.len() - keys..];
+            for (i, ord) in q.order_by.iter().enumerate() {
+                let c = a_keys[i].cmp(&b_keys[i]);
+                let c = if ord.descending { c.reverse() } else { c };
+                if c != std::cmp::Ordering::Equal {
+                    return c;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        for row in &mut rows {
+            row.columns.truncate(row.columns.len() - keys);
+        }
+    }
+
+    if q.distinct {
+        let mut seen: Vec<Vec<Value>> = Vec::new();
+        rows.retain(|r| {
+            if seen.contains(&r.columns) {
+                false
+            } else {
+                seen.push(r.columns.clone());
+                true
+            }
+        });
+    }
+    if let Some(limit) = q.limit {
+        rows.truncate(limit);
+    }
+
+    let columns = q
+        .projection
+        .iter()
+        .enumerate()
+        .map(|(i, (expr, alias))| alias.clone().unwrap_or_else(|| render_expr(expr, i)))
+        .collect();
+    Ok(QueryResult { columns, rows })
+}
+
+fn bind_loop(
+    db: &Database,
+    q: &Query,
+    context: Option<Oid>,
+    sets: &[(String, Vec<Oid>)],
+    depth: usize,
+    env: &mut Env,
+    rows: &mut Vec<Row>,
+) -> DbResult<()> {
+    if depth == sets.len() {
+        if let Some(w) = &q.where_clause {
+            if !eval_expr(db, w, env, context)?.is_truthy() {
+                return Ok(());
+            }
+        }
+        let mut columns = Vec::with_capacity(q.projection.len() + q.order_by.len());
+        for (expr, _) in &q.projection {
+            columns.push(eval_expr(db, expr, env, context)?);
+        }
+        // Hidden trailing sort keys (stripped after sorting).
+        for key in &q.order_by {
+            columns.push(eval_expr(db, &key.expr, env, context)?);
+        }
+        rows.push(Row { columns });
+        return Ok(());
+    }
+    let (var, candidates) = &sets[depth];
+    for oid in candidates {
+        env.bind(var, Value::Ref(*oid));
+        bind_loop(db, q, context, sets, depth + 1, env, rows)?;
+    }
+    env.vars.remove(var);
+    Ok(())
+}
+
+/// Planner: if the where clause has a top-level conjunct
+/// `clause.var.attr = literal`, try the attribute index.
+fn index_seed(db: &Database, where_clause: &Expr, clause: &FromClause) -> DbResult<Option<Vec<Oid>>> {
+    if clause.edges {
+        return Ok(None); // relationship attrs are not indexed
+    }
+    let mut conjuncts = Vec::new();
+    collect_conjuncts(where_clause, &mut conjuncts);
+    for e in conjuncts {
+        if let Expr::Bin(BinOp::Eq, l, r) = e {
+            for (attr_side, lit_side) in [(l, r), (r, l)] {
+                if let (Expr::Attr(base, attr), Expr::Literal(v)) =
+                    (attr_side.as_ref(), lit_side.as_ref())
+                {
+                    if let Expr::Var(name) = base.as_ref() {
+                        if name == &clause.var && attr_is_indexed(db, &clause.class, attr) {
+                            return Ok(Some(db.find_by_attr(&clause.class, attr, v)?));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+fn attr_is_indexed(db: &Database, class: &str, attr: &str) -> bool {
+    db.with_schema(|s| {
+        s.all_attrs(class)
+            .map(|attrs| attrs.iter().any(|a| a.name == attr && a.indexed))
+            .unwrap_or(false)
+    })
+}
+
+/// Free variables of an expression (including those referenced inside
+/// subqueries, minus the subqueries' own `from` bindings).
+fn free_vars(expr: &Expr, out: &mut std::collections::BTreeSet<String>) {
+    match expr {
+        Expr::Literal(_) => {}
+        Expr::Var(name) => {
+            out.insert(name.clone());
+        }
+        Expr::Attr(base, _) => free_vars(base, out),
+        Expr::Bin(_, l, r) => {
+            free_vars(l, out);
+            free_vars(r, out);
+        }
+        Expr::Un(_, e) => free_vars(e, out),
+        Expr::Traverse { from, .. } | Expr::Edges { from, .. } => free_vars(from, out),
+        Expr::Downcast { expr, .. } => free_vars(expr, out),
+        Expr::In(needle, source) => {
+            free_vars(needle, out);
+            match source.as_ref() {
+                InSource::Expr(e) => free_vars(e, out),
+                InSource::Query(q) => query_free_vars(q, out),
+            }
+        }
+        Expr::Exists(q) => query_free_vars(q, out),
+        Expr::Call(_, args) => {
+            for arg in args {
+                match arg {
+                    CallArg::Expr(e) => free_vars(e, out),
+                    CallArg::Query(q) => query_free_vars(q, out),
+                }
+            }
+        }
+    }
+}
+
+fn query_free_vars(q: &Query, out: &mut std::collections::BTreeSet<String>) {
+    let mut inner = std::collections::BTreeSet::new();
+    for (e, _) in &q.projection {
+        free_vars(e, &mut inner);
+    }
+    if let Some(w) = &q.where_clause {
+        free_vars(w, &mut inner);
+    }
+    for k in &q.order_by {
+        free_vars(&k.expr, &mut inner);
+    }
+    for clause in &q.from {
+        inner.remove(&clause.var);
+    }
+    out.extend(inner);
+}
+
+fn collect_conjuncts<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
+    if let Expr::Bin(BinOp::And, l, r) = expr {
+        collect_conjuncts(l, out);
+        collect_conjuncts(r, out);
+    } else {
+        out.push(expr);
+    }
+}
+
+fn render_expr(expr: &Expr, i: usize) -> String {
+    match expr {
+        Expr::Var(v) => v.clone(),
+        Expr::Attr(base, attr) => {
+            if let Expr::Var(v) = base.as_ref() {
+                format!("{v}.{attr}")
+            } else {
+                format!("col{i}")
+            }
+        }
+        Expr::Call(name, _) => name.clone(),
+        _ => format!("col{i}"),
+    }
+}
+
+/// Attribute of any entity kind: objects resolve through
+/// [`Database::attr_of`] (inheritance-aware); relationship instances expose
+/// their own attributes plus the pseudo-attributes `origin` and
+/// `destination` (uniform treatment, §5.1.1.2).
+fn attr_of_any(db: &Database, oid: Oid, attr: &str) -> DbResult<Value> {
+    if let Ok(rel) = db.rel(oid) {
+        return Ok(match attr {
+            "origin" => Value::Ref(rel.origin),
+            "destination" => Value::Ref(rel.destination),
+            _ => rel.attr(attr),
+        });
+    }
+    if let Ok(meta) = db.classification_meta(oid) {
+        return Ok(match attr {
+            "name" => Value::Str(meta.name),
+            _ => meta.attrs.get(attr).cloned().unwrap_or(Value::Null),
+        });
+    }
+    db.attr_of(oid, attr)
+}
+
+/// Evaluate an expression.
+pub fn eval_expr(db: &Database, expr: &Expr, env: &Env, context: Option<Oid>) -> DbResult<Value> {
+    match expr {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Var(name) => env
+            .get(name)
+            .cloned()
+            .ok_or_else(|| DbError::Query(format!("unbound variable '{name}'"))),
+        Expr::Attr(base, attr) => {
+            let base = eval_expr(db, base, env, context)?;
+            match base {
+                Value::Ref(oid) => attr_of_any(db, oid, attr),
+                Value::Null => Ok(Value::Null),
+                Value::List(items) => {
+                    // Attribute over a collection maps element-wise.
+                    let mut out = Vec::with_capacity(items.len());
+                    for item in items {
+                        match item {
+                            Value::Ref(oid) => out.push(attr_of_any(db, oid, attr)?),
+                            other => {
+                                return Err(DbError::Query(format!(
+                                    "cannot read attribute '{attr}' of {other}"
+                                )))
+                            }
+                        }
+                    }
+                    Ok(Value::List(out))
+                }
+                other => Err(DbError::Query(format!("cannot read attribute '{attr}' of {other}"))),
+            }
+        }
+        Expr::Bin(op, l, r) => {
+            // Short-circuit booleans.
+            match op {
+                BinOp::And => {
+                    let lv = eval_expr(db, l, env, context)?;
+                    if !lv.is_truthy() {
+                        return Ok(Value::Bool(false));
+                    }
+                    return Ok(Value::Bool(eval_expr(db, r, env, context)?.is_truthy()));
+                }
+                BinOp::Or => {
+                    let lv = eval_expr(db, l, env, context)?;
+                    if lv.is_truthy() {
+                        return Ok(Value::Bool(true));
+                    }
+                    return Ok(Value::Bool(eval_expr(db, r, env, context)?.is_truthy()));
+                }
+                _ => {}
+            }
+            let lv = eval_expr(db, l, env, context)?;
+            let rv = eval_expr(db, r, env, context)?;
+            eval_binop(*op, lv, rv)
+        }
+        Expr::Un(op, inner) => {
+            let v = eval_expr(db, inner, env, context)?;
+            match op {
+                UnOp::Not => Ok(Value::Bool(!v.is_truthy())),
+                UnOp::Neg => match v {
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(x) => Ok(Value::Float(-x)),
+                    other => Err(DbError::Query(format!("cannot negate {other}"))),
+                },
+            }
+        }
+        Expr::Traverse { from, rel, dir, depth } => {
+            let start = eval_expr(db, from, env, context)?;
+            let starts = refs_of(&start, "traversal source")?;
+            let direction = match dir {
+                TravDir::Forward => Direction::Outgoing,
+                TravDir::Backward => Direction::Incoming,
+            };
+            let mut spec = TraversalSpec::closure(vec![rel.clone()])
+                .direction(direction)
+                .depth(depth.min, depth.max)
+                .with_subclasses();
+            if let Some(cls) = context {
+                spec = spec.in_classification(cls);
+            }
+            let mut out: Vec<Value> = Vec::new();
+            let mut seen = std::collections::BTreeSet::new();
+            for s in starts {
+                for visit in traversal::traverse(db, s, &spec)? {
+                    if seen.insert(visit.node) {
+                        out.push(Value::Ref(visit.node));
+                    }
+                }
+            }
+            Ok(Value::List(out))
+        }
+        Expr::Edges { from, rel, dir } => {
+            let start = eval_expr(db, from, env, context)?;
+            let starts = refs_of(&start, "edge-traversal source")?;
+            let mut out = Vec::new();
+            for s in starts {
+                let batch = match dir {
+                    TravDir::Forward => db.rels_from_including_subs(s, rel)?,
+                    TravDir::Backward => db.rels_to_including_subs(s, rel)?,
+                };
+                for r in batch {
+                    if let Some(cls) = context {
+                        if !db.edge_in_classification(cls, r.oid) {
+                            continue;
+                        }
+                    }
+                    out.push(Value::Ref(r.oid));
+                }
+            }
+            Ok(Value::List(out))
+        }
+        Expr::Downcast { class, expr } => {
+            let v = eval_expr(db, expr, env, context)?;
+            match v {
+                Value::Ref(oid) => {
+                    let actual = db.class_of(oid)?;
+                    if db.with_schema(|s| s.conforms(&actual, class)) {
+                        Ok(Value::Ref(oid))
+                    } else {
+                        Ok(Value::Null)
+                    }
+                }
+                Value::List(items) => {
+                    // Selective downcast over a collection keeps conforming
+                    // members only (§5.1, selective downcast).
+                    let mut out = Vec::new();
+                    for item in items {
+                        if let Value::Ref(oid) = item {
+                            let actual = db.class_of(oid)?;
+                            if db.with_schema(|s| s.conforms(&actual, class)) {
+                                out.push(Value::Ref(oid));
+                            }
+                        }
+                    }
+                    Ok(Value::List(out))
+                }
+                Value::Null => Ok(Value::Null),
+                other => Err(DbError::Query(format!("cannot downcast {other}"))),
+            }
+        }
+        Expr::In(needle, source) => {
+            let v = eval_expr(db, needle, env, context)?;
+            let haystack = match source.as_ref() {
+                InSource::Query(q) => {
+                    let result = evaluate_with_env(db, q, env)?;
+                    result.first_column()
+                }
+                InSource::Expr(e) => match eval_expr(db, e, env, context)? {
+                    Value::List(items) => items,
+                    Value::Null => Vec::new(),
+                    single => vec![single],
+                },
+            };
+            Ok(Value::Bool(haystack.contains(&v)))
+        }
+        Expr::Exists(q) => {
+            let result = evaluate_with_env(db, q, env)?;
+            Ok(Value::Bool(!result.is_empty()))
+        }
+        Expr::Call(name, args) => eval_call(db, name, args, env, context),
+    }
+}
+
+fn refs_of(v: &Value, what: &str) -> DbResult<Vec<Oid>> {
+    match v {
+        Value::Ref(oid) => Ok(vec![*oid]),
+        Value::Null => Ok(Vec::new()),
+        Value::List(items) => items
+            .iter()
+            .map(|i| {
+                i.as_ref_oid()
+                    .ok_or_else(|| DbError::Query(format!("{what} must be references, found {i}")))
+            })
+            .collect(),
+        other => Err(DbError::Query(format!("{what} must be a reference, found {other}"))),
+    }
+}
+
+fn eval_binop(op: BinOp, l: Value, r: Value) -> DbResult<Value> {
+    use BinOp::*;
+    Ok(match op {
+        Eq => Value::Bool(l == r),
+        Ne => Value::Bool(l != r),
+        Lt => Value::Bool(l < r),
+        Le => Value::Bool(l <= r),
+        Gt => Value::Bool(l > r),
+        Ge => Value::Bool(l >= r),
+        Like => {
+            let (Value::Str(s), Value::Str(p)) = (&l, &r) else {
+                return Err(DbError::Query(format!("like requires strings, found {l} and {r}")));
+            };
+            Value::Bool(like_match(s, p))
+        }
+        Add | Sub | Mul | Div => {
+            match (&l, &r) {
+                (Value::Int(a), Value::Int(b)) => match op {
+                    Add => Value::Int(a + b),
+                    Sub => Value::Int(a - b),
+                    Mul => Value::Int(a * b),
+                    Div => {
+                        if *b == 0 {
+                            return Err(DbError::Query("division by zero".into()));
+                        }
+                        Value::Int(a / b)
+                    }
+                    _ => unreachable!(),
+                },
+                (Value::Str(a), Value::Str(b)) if op == Add => Value::Str(format!("{a}{b}")),
+                _ => {
+                    let (Some(a), Some(b)) = (l.as_float(), r.as_float()) else {
+                        return Err(DbError::Query(format!(
+                            "arithmetic requires numbers, found {l} and {r}"
+                        )));
+                    };
+                    match op {
+                        Add => Value::Float(a + b),
+                        Sub => Value::Float(a - b),
+                        Mul => Value::Float(a * b),
+                        Div => {
+                            if b == 0.0 {
+                                return Err(DbError::Query("division by zero".into()));
+                            }
+                            Value::Float(a / b)
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+        And | Or => unreachable!("handled with short-circuit"),
+    })
+}
+
+/// SQL-style `%` wildcard matching (no `_`), the subset POOL needs.
+fn like_match(s: &str, pattern: &str) -> bool {
+    let parts: Vec<&str> = pattern.split('%').collect();
+    if parts.len() == 1 {
+        return s == pattern;
+    }
+    let mut rest = s;
+    for (i, part) in parts.iter().enumerate() {
+        if part.is_empty() {
+            continue;
+        }
+        if i == 0 {
+            match rest.strip_prefix(part) {
+                Some(r) => rest = r,
+                None => return false,
+            }
+        } else if i == parts.len() - 1 {
+            return rest.ends_with(part);
+        } else {
+            match rest.find(part) {
+                Some(pos) => rest = &rest[pos + part.len()..],
+                None => return false,
+            }
+        }
+    }
+    true
+}
+
+fn eval_call(
+    db: &Database,
+    name: &str,
+    args: &[CallArg],
+    env: &Env,
+    context: Option<Oid>,
+) -> DbResult<Value> {
+    // Aggregate / collection argument: a subquery's first column or a list.
+    let collection = |arg: &CallArg| -> DbResult<Vec<Value>> {
+        match arg {
+            CallArg::Query(q) => Ok(evaluate_with_env(db, q, env)?.first_column()),
+            CallArg::Expr(e) => match eval_expr(db, e, env, context)? {
+                Value::List(items) => Ok(items),
+                Value::Null => Ok(Vec::new()),
+                single => Ok(vec![single]),
+            },
+        }
+    };
+    let scalar = |arg: &CallArg| -> DbResult<Value> {
+        match arg {
+            CallArg::Expr(e) => eval_expr(db, e, env, context),
+            CallArg::Query(q) => {
+                let c = evaluate_with_env(db, q, env)?.first_column();
+                Ok(c.into_iter().next().unwrap_or(Value::Null))
+            }
+        }
+    };
+    let need = |n: usize| -> DbResult<()> {
+        if args.len() != n {
+            return Err(DbError::Query(format!("{name}() expects {n} argument(s)")));
+        }
+        Ok(())
+    };
+    match name {
+        "count" => {
+            need(1)?;
+            Ok(Value::Int(collection(&args[0])?.len() as i64))
+        }
+        "collect" => {
+            need(1)?;
+            Ok(Value::List(collection(&args[0])?))
+        }
+        "min" | "max" => {
+            need(1)?;
+            let items = collection(&args[0])?;
+            let it = items.into_iter().filter(|v| *v != Value::Null);
+            Ok(if name == "min" { it.min() } else { it.max() }.unwrap_or(Value::Null))
+        }
+        "sum" | "avg" => {
+            need(1)?;
+            let items = collection(&args[0])?;
+            let mut total = 0.0;
+            let mut count = 0usize;
+            let mut all_int = true;
+            let mut int_total = 0i64;
+            for v in &items {
+                match v {
+                    Value::Int(i) => {
+                        int_total += i;
+                        total += *i as f64;
+                        count += 1;
+                    }
+                    Value::Float(x) => {
+                        all_int = false;
+                        total += x;
+                        count += 1;
+                    }
+                    Value::Null => {}
+                    other => {
+                        return Err(DbError::Query(format!("{name}() over non-number {other}")))
+                    }
+                }
+            }
+            if name == "sum" {
+                Ok(if all_int { Value::Int(int_total) } else { Value::Float(total) })
+            } else if count == 0 {
+                Ok(Value::Null)
+            } else {
+                Ok(Value::Float(total / count as f64))
+            }
+        }
+        "length" => {
+            need(1)?;
+            Ok(Value::Int(collection(&args[0])?.len() as i64))
+        }
+        "first" => {
+            need(1)?;
+            Ok(collection(&args[0])?.into_iter().next().unwrap_or(Value::Null))
+        }
+        "oid" => {
+            need(1)?;
+            match scalar(&args[0])? {
+                Value::Ref(oid) => Ok(Value::Int(oid.raw() as i64)),
+                other => Err(DbError::Query(format!("oid() expects a reference, found {other}"))),
+            }
+        }
+        "class" => {
+            need(1)?;
+            match scalar(&args[0])? {
+                Value::Ref(oid) => Ok(Value::Str(db.class_of(oid)?)),
+                other => Err(DbError::Query(format!("class() expects a reference, found {other}"))),
+            }
+        }
+        "starts_with" | "ends_with" => {
+            need(2)?;
+            match (scalar(&args[0])?, scalar(&args[1])?) {
+                (Value::Str(s), Value::Str(p)) => Ok(Value::Bool(if name == "starts_with" {
+                    s.starts_with(&p)
+                } else {
+                    s.ends_with(&p)
+                })),
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Bool(false)),
+                (a, b) => Err(DbError::Query(format!("{name}() expects strings, found {a}, {b}"))),
+            }
+        }
+        "capitalized" => {
+            // First character is uppercase — the ICBN capitalisation rules
+            // (genus-name rule, Figure 36) need exactly this predicate.
+            need(1)?;
+            match scalar(&args[0])? {
+                Value::Str(s) => {
+                    Ok(Value::Bool(s.chars().next().map(char::is_uppercase).unwrap_or(false)))
+                }
+                Value::Null => Ok(Value::Bool(false)),
+                other => Err(DbError::Query(format!("capitalized() expects a string, found {other}"))),
+            }
+        }
+        "lower" | "upper" => {
+            need(1)?;
+            match scalar(&args[0])? {
+                Value::Str(s) => Ok(Value::Str(if name == "lower" {
+                    s.to_lowercase()
+                } else {
+                    s.to_uppercase()
+                })),
+                Value::Null => Ok(Value::Null),
+                other => Err(DbError::Query(format!("{name}() expects a string, found {other}"))),
+            }
+        }
+        "date" => {
+            if args.is_empty() || args.len() > 3 {
+                return Err(DbError::Query("date() expects 1 to 3 arguments".into()));
+            }
+            let mut parts = [1i64, 1, 1];
+            for (i, arg) in args.iter().enumerate() {
+                match scalar(arg)? {
+                    Value::Int(n) => parts[i] = n,
+                    other => {
+                        return Err(DbError::Query(format!("date() expects integers, found {other}")))
+                    }
+                }
+            }
+            Ok(Value::Date(prometheus_object::Date::new(
+                parts[0] as i32,
+                parts[1] as u8,
+                parts[2] as u8,
+            )))
+        }
+        other => Err(DbError::Query(format!("unknown function '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_matching() {
+        assert!(like_match("Apium", "Apium"));
+        assert!(like_match("Apium", "Api%"));
+        assert!(like_match("Apium", "%ium"));
+        assert!(like_match("Apium", "%piu%"));
+        assert!(like_match("Apium", "A%m"));
+        assert!(!like_match("Apium", "B%"));
+        assert!(!like_match("Apium", "%x%"));
+        assert!(like_match("", "%"));
+        assert!(!like_match("x", ""));
+    }
+
+    #[test]
+    fn binop_arithmetic_and_comparison() {
+        assert_eq!(eval_binop(BinOp::Add, Value::Int(2), Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            eval_binop(BinOp::Add, Value::from("a"), Value::from("b")).unwrap(),
+            Value::from("ab")
+        );
+        assert_eq!(
+            eval_binop(BinOp::Mul, Value::Int(2), Value::Float(1.5)).unwrap(),
+            Value::Float(3.0)
+        );
+        assert!(eval_binop(BinOp::Div, Value::Int(1), Value::Int(0)).is_err());
+        assert_eq!(
+            eval_binop(BinOp::Lt, Value::Int(1), Value::Int(2)).unwrap(),
+            Value::Bool(true)
+        );
+    }
+}

@@ -1,0 +1,322 @@
+//! POOL lexer.
+
+use std::fmt;
+
+/// One lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Float(f64),
+    // Symbols
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+    Dot,
+    DotDot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Question,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Arrow,      // ->
+    ArrowEdge,  // ->>
+    BackArrow,  // <-
+    BackEdge,   // <<-
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Str(s) => write!(f, "\"{s}\""),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::DotDot => write!(f, ".."),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Question => write!(f, "?"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Arrow => write!(f, "->"),
+            Token::ArrowEdge => write!(f, "->>"),
+            Token::BackArrow => write!(f, "<-"),
+            Token::BackEdge => write!(f, "<<-"),
+        }
+    }
+}
+
+/// Tokenise `input`; errors are human-readable strings with a byte offset.
+pub fn lex(input: &str) -> Result<Vec<Token>, String> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token::RBracket);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '/' => {
+                // `//` starts a line comment.
+                if bytes.get(i + 1) == Some(&b'/') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    tokens.push(Token::Slash);
+                    i += 1;
+                }
+            }
+            '?' => {
+                tokens.push(Token::Question);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(format!("unexpected '!' at byte {i}"));
+                }
+            }
+            '.' => {
+                if bytes.get(i + 1) == Some(&b'.') {
+                    tokens.push(Token::DotDot);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Dot);
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    if bytes.get(i + 2) == Some(&b'>') {
+                        tokens.push(Token::ArrowEdge);
+                        i += 3;
+                    } else {
+                        tokens.push(Token::Arrow);
+                        i += 2;
+                    }
+                } else {
+                    tokens.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    tokens.push(Token::BackArrow);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'<') && bytes.get(i + 2) == Some(&b'-') {
+                    tokens.push(Token::BackEdge);
+                    i += 3;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '"' | '\'' => {
+                let quote = bytes[i];
+                let start = i + 1;
+                let mut j = start;
+                let mut s = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(format!("unterminated string starting at byte {i}"));
+                    }
+                    if bytes[j] == b'\\' && j + 1 < bytes.len() {
+                        s.push(bytes[j + 1] as char);
+                        j += 2;
+                        continue;
+                    }
+                    if bytes[j] == quote {
+                        break;
+                    }
+                    // Multi-byte UTF-8: copy raw bytes, validate at the end.
+                    s.push(bytes[j] as char);
+                    j += 1;
+                }
+                // Re-derive the string from the original slice to keep UTF-8
+                // intact (the byte-wise push above would mangle it).
+                if input[start..j].contains('\\') {
+                    tokens.push(Token::Str(s));
+                } else {
+                    tokens.push(Token::Str(input[start..j].to_string()));
+                }
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // A float needs `digit . digit`; `..` is a range.
+                if i + 1 < bytes.len() && bytes[i] == b'.' && bytes[i + 1].is_ascii_digit() {
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &input[start..i];
+                    tokens.push(Token::Float(
+                        text.parse().map_err(|e| format!("bad float '{text}': {e}"))?,
+                    ));
+                } else {
+                    let text = &input[start..i];
+                    tokens.push(Token::Int(
+                        text.parse().map_err(|e| format!("bad integer '{text}': {e}"))?,
+                    ));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => return Err(format!("unexpected character '{other}' at byte {i}")),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_query_tokens() {
+        let tokens = lex("select x.name from Taxon x where x.rank = \"Genus\"").unwrap();
+        assert_eq!(tokens[0], Token::Ident("select".into()));
+        assert!(tokens.contains(&Token::Str("Genus".into())));
+        assert!(tokens.contains(&Token::Eq));
+        assert!(tokens.contains(&Token::Dot));
+    }
+
+    #[test]
+    fn arrows_disambiguate() {
+        let tokens = lex("x -> R x ->> R x <- R x <<- R").unwrap();
+        assert!(tokens.contains(&Token::Arrow));
+        assert!(tokens.contains(&Token::ArrowEdge));
+        assert!(tokens.contains(&Token::BackArrow));
+        assert!(tokens.contains(&Token::BackEdge));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let tokens = lex("[2..4] 3.5 42").unwrap();
+        assert_eq!(
+            tokens,
+            vec![
+                Token::LBracket,
+                Token::Int(2),
+                Token::DotDot,
+                Token::Int(4),
+                Token::RBracket,
+                Token::Float(3.5),
+                Token::Int(42),
+            ]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let tokens = lex("< <= > >= = != <>").unwrap();
+        assert_eq!(
+            tokens,
+            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::Eq, Token::Ne, Token::Ne]
+        );
+    }
+
+    #[test]
+    fn strings_with_escapes_and_quotes() {
+        let tokens = lex(r#""a\"b" 'single'"#).unwrap();
+        assert_eq!(tokens, vec![Token::Str("a\"b".into()), Token::Str("single".into())]);
+    }
+
+    #[test]
+    fn unicode_strings_survive() {
+        let tokens = lex("\"Heliosciadium répens\"").unwrap();
+        assert_eq!(tokens, vec![Token::Str("Heliosciadium répens".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let tokens = lex("select // this is a comment\n x").unwrap();
+        assert_eq!(tokens, vec![Token::Ident("select".into()), Token::Ident("x".into())]);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        assert!(lex("a # b").unwrap_err().contains("byte 2"));
+        assert!(lex("\"open").unwrap_err().contains("unterminated"));
+    }
+}

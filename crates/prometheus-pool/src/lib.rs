@@ -1,0 +1,101 @@
+//! # prometheus-pool
+//!
+//! POOL — the *Prometheus Object Oriented Language* (thesis chapter 5.1):
+//! OQL extended with uniform treatment of objects and relationships,
+//! relationship traversal operators, recursive graph exploration with depth
+//! control, selective downcast, classification contexts and graph
+//! extraction.
+//!
+//! ## Syntax overview
+//!
+//! ```text
+//! select [distinct] expr [, expr ...]
+//! from   Class x [, Class y ...]
+//! [in classification "name"]
+//! [where predicate]
+//! [order by expr [desc]]
+//! [limit n]
+//! ```
+//!
+//! Expressions:
+//!
+//! * `x.name` — attribute access (inheritance-aware, including attributes
+//!   inherited from relationships, §4.4.5);
+//! * `x -> Rel` / `x <- Rel` — destinations / origins one relationship step
+//!   away (the *uniform* operators of §5.1.1.2);
+//! * `x -> Rel*` — transitive closure (depth ≥ 1); `x -> Rel?` — depth 0–1;
+//!   `x -> Rel[2..4]` — explicit depth bounds (§5.1.1.3 graph exploration);
+//! * `x ->> Rel` / `x <<- Rel` — the relationship *instances* themselves,
+//!   so relationships can be selected and filtered like objects;
+//! * `(CT) x` — selective downcast: keeps `x` when it is a `CT` (or
+//!   subclass), else null (§5.1, "selective downcast");
+//! * `x in (select …)`, `exists (select …)` — subqueries (§5.1.2.5);
+//! * `count(…)`, `min/max/sum/avg(…)` over a subquery or collection;
+//! * `oid(x)`, `class(x)`, `lower(s)`, `upper(s)`, `date(y)`,
+//!   `date(y, m, d)`;
+//! * `s like "Api%"` — prefix/suffix/infix string matching;
+//! * the usual comparison, boolean and arithmetic operators.
+//!
+//! POOL is **select-only**, as the thesis specifies (§5.1.2.1): queries
+//! never mutate; updates go through the object API inside units of work, so
+//! object conservation (§5.1.2.2) holds — query results are the stored
+//! objects themselves (references), never copies.
+//!
+//! The optional `in classification "…"` clause makes the query *contextual*
+//! (§4.6.2): `from` variables range over the classification's participants
+//! and every traversal operator follows only that classification's edges.
+//!
+//! ## Example
+//!
+//! ```text
+//! select t.name
+//! from CT t
+//! in classification "Linnaeus 1753"
+//! where exists (select s from Specimen s
+//!               where s in t -> Circumscribes* and s.code = "RBGE-107")
+//! order by t.name
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+
+pub use ast::{BinOp, Expr, FromClause, OrderKey, Query, UnOp};
+pub use eval::{QueryResult, Row};
+use prometheus_object::{Database, DbError, DbResult};
+
+/// Parse a POOL query string.
+pub fn parse(input: &str) -> DbResult<Query> {
+    let tokens = lexer::lex(input).map_err(DbError::Query)?;
+    parser::Parser::new(tokens).parse_query().map_err(DbError::Query)
+}
+
+/// Parse and evaluate a POOL query.
+pub fn query(db: &Database, input: &str) -> DbResult<QueryResult> {
+    let q = parse(input)?;
+    eval::evaluate(db, &q)
+}
+
+/// Members of a persisted view, for `from view "name" x` sources.
+pub(crate) fn view_members(db: &Database, name: &str) -> DbResult<Vec<prometheus_object::Oid>> {
+    let view = prometheus_object::View::load(db, name)?;
+    Ok(view.members(db)?.into_iter().collect())
+}
+
+/// Parse a standalone POOL expression (no `select`). The rule engine uses
+/// this for conditions, evaluated later against event bindings.
+pub fn parse_expr(input: &str) -> DbResult<Expr> {
+    let tokens = lexer::lex(input).map_err(DbError::Query)?;
+    parser::Parser::new(tokens).parse_standalone_expr().map_err(DbError::Query)
+}
+
+/// Parse and evaluate a POOL *expression* (no `select`), with no variables
+/// in scope. Useful for rule conditions over literals and functions.
+pub fn eval_expr(db: &Database, input: &str) -> DbResult<prometheus_object::Value> {
+    let tokens = lexer::lex(input).map_err(DbError::Query)?;
+    let expr = parser::Parser::new(tokens).parse_standalone_expr().map_err(DbError::Query)?;
+    let env = eval::Env::empty();
+    eval::eval_expr(db, &expr, &env, None)
+}

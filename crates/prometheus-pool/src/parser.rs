@@ -1,0 +1,628 @@
+//! Recursive-descent parser for POOL.
+//!
+//! Keywords are case-insensitive; identifiers (class, variable, attribute
+//! and relationship names) are case-sensitive, matching the thesis examples
+//! (`select`, `from`, `where` in lowercase; `Taxon`, `Circumscribes` capitalised).
+
+use crate::ast::*;
+use crate::lexer::Token;
+use prometheus_object::Value;
+
+/// Words that terminate an expression and therefore can never start a
+/// downcast target.
+fn is_clause_keyword(word: &str) -> bool {
+    const CLAUSE_KEYWORDS: [&str; 17] = [
+        "select", "distinct", "as", "from", "edges", "in", "classification", "where", "order",
+        "by", "desc", "asc", "limit", "and", "or", "like", "not",
+    ];
+    CLAUSE_KEYWORDS.iter().any(|k| word.eq_ignore_ascii_case(k))
+}
+
+/// Parser over a token stream.
+pub struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, String>;
+
+impl Parser {
+    /// Create a parser.
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    /// Parse a complete query and require end of input.
+    pub fn parse_query(mut self) -> PResult<Query> {
+        let q = self.query()?;
+        if self.pos != self.tokens.len() {
+            return Err(format!("unexpected trailing token: {}", self.tokens[self.pos]));
+        }
+        Ok(q)
+    }
+
+    /// Parse a standalone expression (for rule conditions) and require end of
+    /// input.
+    pub fn parse_standalone_expr(mut self) -> PResult<Expr> {
+        let e = self.expr()?;
+        if self.pos != self.tokens.len() {
+            return Err(format!("unexpected trailing token: {}", self.tokens[self.pos]));
+        }
+        Ok(e)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset)
+    }
+
+    fn next(&mut self) -> PResult<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| "unexpected end of query".to_string())?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, token: &Token) -> PResult<()> {
+        let t = self.next()?;
+        if &t == token {
+            Ok(())
+        } else {
+            Err(format!("expected '{token}', found '{t}'"))
+        }
+    }
+
+    fn is_keyword(&self, offset: usize, kw: &str) -> bool {
+        matches!(self.peek_at(offset), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.is_keyword(0, kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> PResult<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(match self.peek() {
+                Some(t) => format!("expected '{kw}', found '{t}'"),
+                None => format!("expected '{kw}', found end of query"),
+            })
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            t => Err(format!("expected identifier, found '{t}'")),
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Grammar
+    // ---------------------------------------------------------------
+
+    fn query(&mut self) -> PResult<Query> {
+        self.expect_keyword("select")?;
+        let distinct = self.eat_keyword("distinct");
+        let mut projection = Vec::new();
+        loop {
+            let e = self.expr()?;
+            let alias = if self.eat_keyword("as") { Some(self.ident()?) } else { None };
+            projection.push((e, alias));
+            if !matches!(self.peek(), Some(Token::Comma)) {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.expect_keyword("from")?;
+        let mut from = Vec::new();
+        loop {
+            // `view "name" var` ranges over a persisted view's members.
+            if self.is_keyword(0, "view") && matches!(self.peek_at(1), Some(Token::Str(_))) {
+                self.pos += 1;
+                let Token::Str(name) = self.next()? else { unreachable!() };
+                let var = self.ident()?;
+                from.push(FromClause { var, class: name, edges: false, view: true });
+            } else {
+                let edges = self.eat_keyword("edges");
+                let class = self.ident()?;
+                let var = self.ident()?;
+                from.push(FromClause { var, class, edges, view: false });
+            }
+            if !matches!(self.peek(), Some(Token::Comma)) {
+                break;
+            }
+            self.pos += 1;
+        }
+        let context = if self.is_keyword(0, "in") && self.is_keyword(1, "classification") {
+            self.pos += 2;
+            match self.next()? {
+                Token::Str(s) => Some(s),
+                t => return Err(format!("expected classification name string, found '{t}'")),
+            }
+        } else {
+            None
+        };
+        let where_clause = if self.eat_keyword("where") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.is_keyword(0, "order") && self.is_keyword(1, "by") {
+            self.pos += 2;
+            loop {
+                let expr = self.expr()?;
+                let descending = if self.eat_keyword("desc") {
+                    true
+                } else {
+                    self.eat_keyword("asc");
+                    false
+                };
+                order_by.push(OrderKey { expr, descending });
+                if !matches!(self.peek(), Some(Token::Comma)) {
+                    break;
+                }
+                self.pos += 1;
+            }
+        }
+        let limit = if self.eat_keyword("limit") {
+            match self.next()? {
+                Token::Int(n) if n >= 0 => Some(n as usize),
+                t => return Err(format!("expected non-negative limit, found '{t}'")),
+            }
+        } else {
+            None
+        };
+        Ok(Query { distinct, projection, from, context, where_clause, order_by, limit })
+    }
+
+    fn expr(&mut self) -> PResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_keyword("or") {
+            let right = self.and_expr()?;
+            left = Expr::Bin(BinOp::Or, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_keyword("and") {
+            let right = self.not_expr()?;
+            left = Expr::Bin(BinOp::And, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> PResult<Expr> {
+        if self.eat_keyword("not") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Un(UnOp::Not, Box::new(inner)));
+        }
+        self.cmp_expr()
+    }
+
+    fn cmp_expr(&mut self) -> PResult<Expr> {
+        let left = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("like") => Some(BinOp::Like),
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case("in") => None,
+            _ => return Ok(left),
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.add_expr()?;
+            return Ok(Expr::Bin(op, Box::new(left), Box::new(right)));
+        }
+        // `in`: subquery or collection expression.
+        self.pos += 1; // consume `in`
+        if matches!(self.peek(), Some(Token::LParen)) && self.is_keyword(1, "select") {
+            self.expect(&Token::LParen)?;
+            let q = self.query()?;
+            self.expect(&Token::RParen)?;
+            return Ok(Expr::In(Box::new(left), Box::new(InSource::Query(q))));
+        }
+        let coll = self.add_expr()?;
+        Ok(Expr::In(Box::new(left), Box::new(InSource::Expr(coll))))
+    }
+
+    fn add_expr(&mut self) -> PResult<Expr> {
+        let mut left = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.mul_expr()?;
+            left = Expr::Bin(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn mul_expr(&mut self) -> PResult<Expr> {
+        let mut left = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.unary_expr()?;
+            left = Expr::Bin(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        if matches!(self.peek(), Some(Token::Minus)) {
+            self.pos += 1;
+            let inner = self.unary_expr()?;
+            // Normal form: fold unary minus into numeric literals so that
+            // `-1` has exactly one AST (printer/parser round-trip relies on
+            // this).
+            return Ok(match inner {
+                Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
+                Expr::Literal(Value::Float(x)) => Expr::Literal(Value::Float(-x)),
+                other => Expr::Un(UnOp::Neg, Box::new(other)),
+            });
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> PResult<Expr> {
+        let mut expr = self.primary()?;
+        loop {
+            match self.peek() {
+                Some(Token::Dot) => {
+                    self.pos += 1;
+                    let attr = self.ident()?;
+                    expr = Expr::Attr(Box::new(expr), attr);
+                }
+                Some(Token::Arrow) => {
+                    self.pos += 1;
+                    let rel = self.ident()?;
+                    let depth = self.traversal_depth()?;
+                    expr = Expr::Traverse {
+                        from: Box::new(expr),
+                        rel,
+                        dir: TravDir::Forward,
+                        depth,
+                    };
+                }
+                Some(Token::BackArrow) => {
+                    self.pos += 1;
+                    let rel = self.ident()?;
+                    let depth = self.traversal_depth()?;
+                    expr = Expr::Traverse {
+                        from: Box::new(expr),
+                        rel,
+                        dir: TravDir::Backward,
+                        depth,
+                    };
+                }
+                Some(Token::ArrowEdge) => {
+                    self.pos += 1;
+                    let rel = self.ident()?;
+                    expr = Expr::Edges { from: Box::new(expr), rel, dir: TravDir::Forward };
+                }
+                Some(Token::BackEdge) => {
+                    self.pos += 1;
+                    let rel = self.ident()?;
+                    expr = Expr::Edges { from: Box::new(expr), rel, dir: TravDir::Backward };
+                }
+                _ => break,
+            }
+        }
+        Ok(expr)
+    }
+
+    /// Depth suffix immediately after a traversal's relationship name:
+    /// `*` (1..∞), `+` (1..∞), `?` (0..1), `[a..b]`, `[a..]`, `[n]`.
+    fn traversal_depth(&mut self) -> PResult<Depth> {
+        match self.peek() {
+            Some(Token::Star) | Some(Token::Plus) => {
+                self.pos += 1;
+                Ok(Depth::STAR)
+            }
+            Some(Token::Question) => {
+                self.pos += 1;
+                Ok(Depth::OPT)
+            }
+            Some(Token::LBracket) => {
+                self.pos += 1;
+                let min = match self.next()? {
+                    Token::Int(n) if n >= 0 => n as u32,
+                    t => return Err(format!("expected depth bound, found '{t}'")),
+                };
+                let depth = if matches!(self.peek(), Some(Token::DotDot)) {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(Token::Int(n)) => {
+                            let max = *n;
+                            self.pos += 1;
+                            if max < min as i64 {
+                                return Err(format!("empty depth range [{min}..{max}]"));
+                            }
+                            Depth { min, max: Some(max as u32) }
+                        }
+                        _ => Depth { min, max: None },
+                    }
+                } else {
+                    Depth { min, max: Some(min) }
+                };
+                self.expect(&Token::RBracket)?;
+                Ok(depth)
+            }
+            _ => Ok(Depth::ONE),
+        }
+    }
+
+    fn primary(&mut self) -> PResult<Expr> {
+        match self.peek().cloned() {
+            Some(Token::Int(n)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Int(n)))
+            }
+            Some(Token::Float(x)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Float(x)))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(Expr::Literal(Value::Str(s)))
+            }
+            Some(Token::LParen) => {
+                // Three cases: downcast `(Class) expr`, nested query, or
+                // parenthesised expression.
+                if let (Some(Token::Ident(class)), Some(Token::RParen)) =
+                    (self.peek_at(1), self.peek_at(2))
+                {
+                    // Downcast only when something follows that can start a
+                    // primary — otherwise `(x)` is just parentheses (and
+                    // `(x) desc` is an order-by key, not a downcast).
+                    let class = class.clone();
+                    let target_starts = match self.peek_at(3) {
+                        Some(Token::LParen)
+                        | Some(Token::Int(_))
+                        | Some(Token::Float(_))
+                        | Some(Token::Str(_)) => true,
+                        Some(Token::Ident(word)) => !is_clause_keyword(word),
+                        _ => false,
+                    };
+                    if target_starts {
+                        self.pos += 3;
+                        let target = self.postfix_expr()?;
+                        return Ok(Expr::Downcast { class, expr: Box::new(target) });
+                    }
+                }
+                if self.is_keyword(1, "select") {
+                    self.pos += 1;
+                    let q = self.query()?;
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::Call("collect".into(), vec![CallArg::Query(q)]));
+                }
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(name)) => {
+                // Keywords handled here: exists, true, false, null.
+                if name.eq_ignore_ascii_case("exists") {
+                    self.pos += 1;
+                    self.expect(&Token::LParen)?;
+                    let q = self.query()?;
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::Exists(Box::new(q)));
+                }
+                if name.eq_ignore_ascii_case("true") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Value::Bool(true)));
+                }
+                if name.eq_ignore_ascii_case("false") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Value::Bool(false)));
+                }
+                if name.eq_ignore_ascii_case("null") {
+                    self.pos += 1;
+                    return Ok(Expr::Literal(Value::Null));
+                }
+                self.pos += 1;
+                if matches!(self.peek(), Some(Token::LParen)) {
+                    // Function call.
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if !matches!(self.peek(), Some(Token::RParen)) {
+                        loop {
+                            if self.is_keyword(0, "select") {
+                                let q = self.query()?;
+                                args.push(CallArg::Query(q));
+                            } else {
+                                args.push(CallArg::Expr(self.expr()?));
+                            }
+                            if matches!(self.peek(), Some(Token::Comma)) {
+                                self.pos += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&Token::RParen)?;
+                    return Ok(Expr::Call(name.to_lowercase(), args));
+                }
+                Ok(Expr::Var(name))
+            }
+            Some(t) => Err(format!("unexpected token '{t}'")),
+            None => Err("unexpected end of query".into()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::TravDir;
+    use crate::lexer::lex;
+
+    fn parse(input: &str) -> Query {
+        Parser::new(lex(input).unwrap()).parse_query().unwrap()
+    }
+
+    fn parse_err(input: &str) -> String {
+        Parser::new(lex(input).unwrap()).parse_query().unwrap_err()
+    }
+
+    #[test]
+    fn minimal_query() {
+        let q = parse("select x from Taxon x");
+        assert_eq!(q.projection.len(), 1);
+        assert_eq!(
+            q.from,
+            vec![FromClause { var: "x".into(), class: "Taxon".into(), edges: false, view: false }]
+        );
+        assert!(q.where_clause.is_none());
+        assert!(!q.distinct);
+    }
+
+    #[test]
+    fn full_clause_set() {
+        let q = parse(
+            "select distinct x.name as n, count(select s from Specimen s) \
+             from Taxon x, Specimen y \
+             in classification \"L 1753\" \
+             where x.rank = \"Genus\" and not y.code like \"X%\" \
+             order by x.name desc, x.rank \
+             limit 10",
+        );
+        assert!(q.distinct);
+        assert_eq!(q.projection.len(), 2);
+        assert_eq!(q.projection[0].1.as_deref(), Some("n"));
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.context.as_deref(), Some("L 1753"));
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].descending);
+        assert!(!q.order_by[1].descending);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn edges_extent() {
+        let q = parse("select e from edges Circumscribes e where e.year > 1800");
+        assert!(q.from[0].edges);
+        assert_eq!(q.from[0].class, "Circumscribes");
+    }
+
+    #[test]
+    fn traversal_operators_and_depths() {
+        let q = parse("select x from T x where y in x -> R");
+        let w = q.where_clause.unwrap();
+        match w {
+            Expr::In(_, src) => match *src {
+                InSource::Expr(Expr::Traverse { dir, depth, .. }) => {
+                    assert_eq!(dir, TravDir::Forward);
+                    assert_eq!(depth, Depth::ONE);
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        for (src, expected) in [
+            ("x -> R*", Depth::STAR),
+            ("x -> R+", Depth::STAR),
+            ("x -> R?", Depth::OPT),
+            ("x -> R[2..4]", Depth { min: 2, max: Some(4) }),
+            ("x -> R[3]", Depth { min: 3, max: Some(3) }),
+            ("x -> R[1..]", Depth { min: 1, max: None }),
+        ] {
+            let q = parse(&format!("select y from T y where z in {src}"));
+            let Some(Expr::In(_, b)) = q.where_clause else { panic!() };
+            let InSource::Expr(Expr::Traverse { depth, .. }) = *b else { panic!() };
+            assert_eq!(depth, expected, "{src}");
+        }
+    }
+
+    #[test]
+    fn backward_traversal_and_edge_operators() {
+        let q = parse("select x from T x where y in x <- R* and z in x ->> R and w in x <<- R");
+        let s = format!("{:?}", q.where_clause.unwrap());
+        assert!(s.contains("Backward"));
+        assert!(s.contains("Edges"));
+    }
+
+    #[test]
+    fn downcast_vs_parenthesised_expression() {
+        let q = parse("select (CT) x from Taxon x");
+        assert!(matches!(q.projection[0].0, Expr::Downcast { .. }));
+        let q = parse("select x from Taxon x where (x.a) = 1");
+        assert!(matches!(q.where_clause.unwrap(), Expr::Bin(BinOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn subqueries() {
+        let q = parse(
+            "select x from T x where exists (select y from U y where y.a = x.a) \
+             and x in (select z from V z)",
+        );
+        let s = format!("{:?}", q.where_clause.unwrap());
+        assert!(s.contains("Exists"));
+        assert!(s.contains("In"));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // a = 1 or b = 2 and c = 3  =>  a=1 OR ((b=2) AND (c=3))
+        let q = parse("select x from T x where x.a = 1 or x.b = 2 and x.c = 3");
+        match q.where_clause.unwrap() {
+            Expr::Bin(BinOp::Or, _, rhs) => {
+                assert!(matches!(*rhs, Expr::Bin(BinOp::And, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // Arithmetic: 1 + 2 * 3.
+        let q = parse("select x from T x where x.a = 1 + 2 * 3");
+        match q.where_clause.unwrap() {
+            Expr::Bin(BinOp::Eq, _, rhs) => match *rhs {
+                Expr::Bin(BinOp::Add, _, mul) => assert!(matches!(*mul, Expr::Bin(BinOp::Mul, _, _))),
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(parse_err("select").contains("end of query"));
+        assert!(parse_err("select x").contains("from"));
+        assert!(parse_err("select x from T x extra").contains("trailing"));
+        assert!(parse_err("select x from T x where x -> R[4..2] = y").contains("empty depth"));
+    }
+
+    #[test]
+    fn standalone_expr() {
+        let e = Parser::new(lex("1 + 2 = 3").unwrap()).parse_standalone_expr().unwrap();
+        assert!(matches!(e, Expr::Bin(BinOp::Eq, _, _)));
+    }
+}

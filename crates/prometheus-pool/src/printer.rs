@@ -1,0 +1,214 @@
+//! Pretty-printer for POOL ASTs.
+//!
+//! Emits text the [`crate::parser`] accepts, so `parse(print(q)) == q` — a
+//! property the test suite checks with random ASTs. Used for query logging,
+//! rule storage diagnostics and the REPL's `\ast` command.
+//!
+//! Binary and postfix expressions are printed fully parenthesised; the
+//! printer favours unambiguity over beauty.
+
+use crate::ast::*;
+use prometheus_object::Value;
+use std::fmt;
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "select ")?;
+            if self.distinct {
+                write!(f, "distinct ")?;
+            }
+            for (i, (expr, alias)) in self.projection.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{expr}")?;
+                if let Some(a) = alias {
+                    write!(f, " as {a}")?;
+                }
+            }
+            write!(f, " from ")?;
+            for (i, clause) in self.from.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                if clause.view {
+                    write!(f, "view \"{}\" {}", escape(&clause.class), clause.var)?;
+                } else {
+                    if clause.edges {
+                        write!(f, "edges ")?;
+                    }
+                    write!(f, "{} {}", clause.class, clause.var)?;
+                }
+            }
+            if let Some(ctx) = &self.context {
+                write!(f, " in classification \"{}\"", escape(ctx))?;
+            }
+            if let Some(w) = &self.where_clause {
+                write!(f, " where {w}")?;
+            }
+            if !self.order_by.is_empty() {
+                write!(f, " order by ")?;
+                for (i, key) in self.order_by.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", key.expr)?;
+                    if key.descending {
+                        write!(f, " desc")?;
+                    }
+                }
+            }
+            if let Some(n) = self.limit {
+                write!(f, " limit {n}")?;
+            }
+            Ok(())
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => write_literal(f, v),
+            Expr::Var(name) => write!(f, "{name}"),
+            Expr::Attr(base, attr) => write!(f, "{base}.{attr}"),
+            Expr::Bin(op, l, r) => write!(f, "({l} {} {r})", bin_op_str(*op)),
+            Expr::Un(UnOp::Not, e) => write!(f, "(not {e})"),
+            Expr::Un(UnOp::Neg, e) => write!(f, "(-{e})"),
+            Expr::Traverse { from, rel, dir, depth } => {
+                let arrow = match dir {
+                    TravDir::Forward => "->",
+                    TravDir::Backward => "<-",
+                };
+                write!(f, "({from} {arrow} {rel}{})", depth_suffix(*depth))
+            }
+            Expr::Edges { from, rel, dir } => {
+                let arrow = match dir {
+                    TravDir::Forward => "->>",
+                    TravDir::Backward => "<<-",
+                };
+                write!(f, "({from} {arrow} {rel})")
+            }
+            Expr::Downcast { class, expr } => write!(f, "(({class}) {expr})"),
+            Expr::In(needle, source) => match source.as_ref() {
+                InSource::Query(q) => write!(f, "({needle} in ({q}))"),
+                InSource::Expr(e) => write!(f, "({needle} in {e})"),
+            },
+            Expr::Exists(q) => write!(f, "exists ({q})"),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match arg {
+                        CallArg::Expr(e) => write!(f, "{e}")?,
+                        CallArg::Query(q) => write!(f, "{q}")?,
+                    }
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+fn write_literal(f: &mut fmt::Formatter<'_>, v: &Value) -> fmt::Result {
+    match v {
+        Value::Null => write!(f, "null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Int(i) => {
+            if *i < 0 {
+                write!(f, "({i})")
+            } else {
+                write!(f, "{i}")
+            }
+        }
+        Value::Float(x) => {
+            // Must re-lex as a float (force a decimal point) and, when
+            // negative, re-parse as a literal rather than a unary minus over
+            // the following postfix chain — hence the parentheses.
+            let body = if x.fract() == 0.0 && x.is_finite() {
+                format!("{x:.1}")
+            } else {
+                format!("{x}")
+            };
+            if *x < 0.0 {
+                write!(f, "({body})")
+            } else {
+                write!(f, "{body}")
+            }
+        }
+        Value::Str(s) => write!(f, "\"{}\"", escape(s)),
+        Value::Date(d) => write!(f, "date({}, {}, {})", d.year, d.month, d.day),
+        // No literal syntax exists for these; emit a diagnostic form.
+        Value::Ref(oid) => write!(f, "/*{oid}*/ null"),
+        Value::List(_) => write!(f, "/*list*/ null"),
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn bin_op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Eq => "=",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::And => "and",
+        BinOp::Or => "or",
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Like => "like",
+    }
+}
+
+fn depth_suffix(depth: Depth) -> String {
+    match (depth.min, depth.max) {
+        (1, Some(1)) => String::new(),
+        (1, None) => "*".to_string(),
+        (0, Some(1)) => "?".to_string(),
+        (min, Some(max)) if min == max => format!("[{min}]"),
+        (min, Some(max)) => format!("[{min}..{max}]"),
+        (min, None) => format!("[{min}..]"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    fn round_trip(src: &str) {
+        let q1 = parse(src).expect(src);
+        let printed = q1.to_string();
+        let q2 = parse(&printed).unwrap_or_else(|e| panic!("reparse of `{printed}`: {e}"));
+        assert_eq!(q1, q2, "print/reparse changed the AST for `{src}` -> `{printed}`");
+    }
+
+    #[test]
+    fn representative_queries_round_trip() {
+        for src in [
+            "select x from Taxon x",
+            "select distinct x.name as n from Taxon x where x.rank = \"Genus\" limit 3",
+            "select x from Taxon x in classification \"L 1753\" where y in x -> Circ*",
+            "select e.kind from edges HasType e where e.kind != \"isotype\" order by e.kind desc",
+            "select count(select s from Specimen s) from Taxon t",
+            "select (CT) x from Taxon x where exists (select y from NT y)",
+            "select x from T x where x.a = 1 + 2 * 3 and not x.b like \"A%\"",
+            "select x from T x where z in x <- R[2..4] or w in x ->> R",
+            "select x from T x where x.d = date(1753, 1, 1)",
+            "select x from T x where x.v = 2.5 and x.w = -3",
+        ] {
+            round_trip(src);
+        }
+    }
+
+    #[test]
+    fn strings_with_quotes_round_trip() {
+        round_trip(r#"select x from T x where x.a = "say \"hi\"""#);
+    }
+}

@@ -1,0 +1,144 @@
+//! Property test: any POOL AST the printer can express re-parses to the
+//! identical AST (`parse ∘ print = id`).
+
+use prometheus_pool::ast::{
+    BinOp, CallArg, Depth, Expr, FromClause, InSource, OrderKey, Query, TravDir, UnOp,
+};
+use prometheus_pool::parse;
+use prometheus_object::Value;
+use proptest::prelude::*;
+
+/// Identifiers that can never collide with keywords.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,5}".prop_map(|s| format!("v_{s}"))
+}
+
+fn class_ident() -> impl Strategy<Value = String> {
+    "[A-Z][a-zA-Z0-9]{0,6}".prop_map(|s| format!("C{s}"))
+}
+
+fn literal() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::Literal(Value::Null)),
+        any::<bool>().prop_map(|b| Expr::Literal(Value::Bool(b))),
+        any::<i32>().prop_map(|i| Expr::Literal(Value::Int(i as i64))),
+        (-1000i32..1000, 1u32..1000)
+            .prop_map(|(a, b)| Expr::Literal(Value::Float(a as f64 + 1.0 / b as f64))),
+        "[a-zA-Z %._-]{0,10}".prop_map(|s| Expr::Literal(Value::Str(s))),
+    ]
+}
+
+fn depth() -> impl Strategy<Value = Depth> {
+    prop_oneof![
+        Just(Depth::ONE),
+        Just(Depth::STAR),
+        Just(Depth::OPT),
+        (0u32..5).prop_map(|n| Depth { min: n, max: Some(n) }),
+        (0u32..3, 3u32..6).prop_map(|(a, b)| Depth { min: a, max: Some(b) }),
+        (0u32..4).prop_map(|n| Depth { min: n, max: None }),
+    ]
+}
+
+fn bin_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Like),
+    ]
+}
+
+fn expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![literal(), ident().prop_map(Expr::Var)];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), ident()).prop_map(|(e, a)| Expr::Attr(Box::new(e), a)),
+            (bin_op(), inner.clone(), inner.clone())
+                .prop_map(|(op, l, r)| Expr::Bin(op, Box::new(l), Box::new(r))),
+            inner.clone().prop_map(|e| Expr::Un(UnOp::Not, Box::new(e))),
+            // Match the parser's normal form: Neg folds into numeric
+            // literals.
+            inner.clone().prop_map(|e| match e {
+                Expr::Literal(Value::Int(i)) => Expr::Literal(Value::Int(-i)),
+                Expr::Literal(Value::Float(x)) => Expr::Literal(Value::Float(-x)),
+                other => Expr::Un(UnOp::Neg, Box::new(other)),
+            }),
+            (inner.clone(), class_ident(), any::<bool>(), depth()).prop_map(
+                |(e, rel, fwd, depth)| Expr::Traverse {
+                    from: Box::new(e),
+                    rel,
+                    dir: if fwd { TravDir::Forward } else { TravDir::Backward },
+                    depth,
+                }
+            ),
+            (inner.clone(), class_ident(), any::<bool>()).prop_map(|(e, rel, fwd)| Expr::Edges {
+                from: Box::new(e),
+                rel,
+                dir: if fwd { TravDir::Forward } else { TravDir::Backward },
+            }),
+            (class_ident(), inner.clone())
+                .prop_map(|(c, e)| Expr::Downcast { class: c, expr: Box::new(e) }),
+            (inner.clone(), inner.clone())
+                .prop_map(|(n, c)| Expr::In(Box::new(n), Box::new(InSource::Expr(c)))),
+            (inner.clone(),).prop_map(|(e,)| Expr::Call("count".into(), vec![CallArg::Expr(e)])),
+        ]
+    })
+}
+
+fn query() -> impl Strategy<Value = Query> {
+    (
+        any::<bool>(),
+        prop::collection::vec((expr(), prop::option::of(ident())), 1..3),
+        prop::collection::vec((class_ident(), ident(), any::<bool>(), any::<bool>()), 1..3),
+        prop::option::of("[a-zA-Z0-9 ]{1,8}"),
+        prop::option::of(expr()),
+        prop::collection::vec((expr(), any::<bool>()), 0..2),
+        prop::option::of(0usize..100),
+    )
+        .prop_map(|(distinct, projection, from, context, where_clause, order, limit)| Query {
+            distinct,
+            projection,
+            from: from
+                .into_iter()
+                .map(|(class, var, edges, view)| FromClause {
+                    var,
+                    class,
+                    edges: edges && !view,
+                    view,
+                })
+                .collect(),
+            context,
+            where_clause,
+            order_by: order
+                .into_iter()
+                .map(|(expr, descending)| OrderKey { expr, descending })
+                .collect(),
+            limit,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn print_then_parse_is_identity(q in query()) {
+        let printed = q.to_string();
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed query failed to parse: {e}\n{printed}"));
+        prop_assert_eq!(reparsed, q, "round-trip changed the AST\n{}", printed);
+    }
+
+    #[test]
+    fn printer_never_panics_on_exprs(e in expr()) {
+        let _ = e.to_string();
+    }
+}

@@ -1,0 +1,607 @@
+//! The rule engine (§5.2.2, Figures 30–31): scheduling, evaluation and
+//! error handling.
+//!
+//! The engine is an [`EventListener`] plugged into the object layer:
+//!
+//! * `before` — immediate **pre-conditions** on update/delete events (the
+//!   subject still exists and `old`/`new` are in scope); a violation vetoes
+//!   the operation before it applies;
+//! * `after` — all other immediate rules, including pre-conditions attached
+//!   to creation events (the subject only exists after the insert; a
+//!   violation still cancels the operation because the unit journal rolls
+//!   it back);
+//! * `at_commit` — **deferred** rules, evaluated over every event of the
+//!   unit in priority order (§5.2.2.1); the first aborting violation rolls
+//!   the whole unit back.
+//!
+//! Violations are handled per the rule's [`Action`]: abort, warn (collected
+//! on the engine), or ask an interactive [`ViolationHandler`] (§5.2.2.2).
+
+use crate::rule::{Action, Rule, RuleKind, Timing};
+use parking_lot::{Mutex, RwLock};
+use prometheus_object::{Database, DbError, DbResult, Event, EventListener, Value};
+use prometheus_pool::eval::Env;
+use prometheus_pool::Expr;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Decides whether an interactively-handled violation is accepted.
+pub trait ViolationHandler: Send + Sync {
+    /// Return `true` to accept (ignore) the violation, `false` to abort.
+    fn accept(&self, rule: &Rule, detail: &str) -> bool;
+}
+
+/// Key under which rules persist in the meta keyspace.
+const META_RULES: &[u8] = b"rules";
+
+/// The rule engine.
+pub struct RuleEngine {
+    rules: RwLock<Vec<Rule>>,
+    warnings: Mutex<Vec<String>>,
+    handler: RwLock<Option<Arc<dyn ViolationHandler>>>,
+    parsed: RwLock<HashMap<String, Expr>>,
+}
+
+impl Default for RuleEngine {
+    fn default() -> Self {
+        RuleEngine::new()
+    }
+}
+
+impl RuleEngine {
+    /// Empty engine.
+    pub fn new() -> Self {
+        RuleEngine {
+            rules: RwLock::new(Vec::new()),
+            warnings: Mutex::new(Vec::new()),
+            handler: RwLock::new(None),
+            parsed: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Create an engine, load any persisted rules, and attach it to `db`.
+    pub fn install(db: &Database) -> DbResult<Arc<RuleEngine>> {
+        let engine = Arc::new(RuleEngine::new());
+        engine.load_from(db)?;
+        db.add_listener(engine.clone());
+        Ok(engine)
+    }
+
+    /// Add a rule; its expressions are parsed eagerly so syntax errors
+    /// surface at definition time (like PCL rule creation, Figure 32).
+    pub fn add_rule(&self, rule: Rule) -> DbResult<()> {
+        self.parse_cached(&rule.constraint)?;
+        if let Some(expr) = &rule.applicability {
+            self.parse_cached(expr)?;
+        }
+        let mut rules = self.rules.write();
+        if rules.iter().any(|r| r.name == rule.name) {
+            return Err(DbError::Schema(format!("rule '{}' already defined", rule.name)));
+        }
+        rules.push(rule);
+        Ok(())
+    }
+
+    /// Remove a rule by name; returns whether it existed.
+    pub fn remove_rule(&self, name: &str) -> bool {
+        let mut rules = self.rules.write();
+        let before = rules.len();
+        rules.retain(|r| r.name != name);
+        rules.len() != before
+    }
+
+    /// Enable/disable a rule without removing it.
+    pub fn set_enabled(&self, name: &str, enabled: bool) -> bool {
+        let mut rules = self.rules.write();
+        for r in rules.iter_mut() {
+            if r.name == name {
+                r.enabled = enabled;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Snapshot of the current rules.
+    pub fn rules(&self) -> Vec<Rule> {
+        self.rules.read().clone()
+    }
+
+    /// Warnings accumulated by `Action::Warn` violations.
+    pub fn warnings(&self) -> Vec<String> {
+        self.warnings.lock().clone()
+    }
+
+    /// Clear accumulated warnings.
+    pub fn clear_warnings(&self) {
+        self.warnings.lock().clear();
+    }
+
+    /// Register the interactive violation handler.
+    pub fn set_handler(&self, handler: Arc<dyn ViolationHandler>) {
+        *self.handler.write() = Some(handler);
+    }
+
+    /// Persist the rules into the database's meta keyspace.
+    pub fn save_to(&self, db: &Database) -> DbResult<()> {
+        let bytes = prometheus_storage::codec::to_bytes(&*self.rules.read())?;
+        db.store().with_txn(|t| {
+            t.kv_put(prometheus_object::index::KS_META, META_RULES.to_vec(), bytes.clone());
+            Ok(())
+        })?;
+        Ok(())
+    }
+
+    /// Load rules persisted by [`RuleEngine::save_to`].
+    pub fn load_from(&self, db: &Database) -> DbResult<()> {
+        if let Some(bytes) = db.store().kv_get(prometheus_object::index::KS_META, META_RULES) {
+            let rules: Vec<Rule> = prometheus_storage::codec::from_bytes(&bytes)?;
+            *self.rules.write() = rules;
+        }
+        Ok(())
+    }
+
+    fn parse_cached(&self, src: &str) -> DbResult<Expr> {
+        if let Some(e) = self.parsed.read().get(src) {
+            return Ok(e.clone());
+        }
+        let expr = prometheus_pool::parse_expr(src)?;
+        self.parsed.write().insert(src.to_string(), expr.clone());
+        Ok(expr)
+    }
+
+    /// Build the condition environment for an event (§5.2.1.2's bindings).
+    fn env_for(event: &Event) -> Env {
+        let mut env = Env::empty();
+        env.bind("self", Value::Ref(event.subject()));
+        match event {
+            Event::ObjectUpdated { attr, old, new, .. }
+            | Event::RelUpdated { attr, old, new, .. } => {
+                env.bind("attr", Value::Str(attr.clone()));
+                env.bind("old", old.clone());
+                env.bind("new", new.clone());
+            }
+            Event::RelCreated { origin, destination, .. }
+            | Event::RelDeleted { origin, destination, .. } => {
+                env.bind("origin", Value::Ref(*origin));
+                env.bind("destination", Value::Ref(*destination));
+            }
+            Event::ClassificationEdgeAdded { classification, rel }
+            | Event::ClassificationEdgeRemoved { classification, rel } => {
+                env.bind("classification", Value::Ref(*classification));
+                env.bind("self", Value::Ref(*rel));
+            }
+            _ => {}
+        }
+        env
+    }
+
+    /// Evaluate one rule against one event; returns the violation error if
+    /// the constraint fails and the action demands an abort.
+    fn check(&self, db: &Database, rule: &Rule, event: &Event) -> DbResult<()> {
+        let env = Self::env_for(event);
+        if let Some(applicability) = &rule.applicability {
+            let expr = self.parse_cached(applicability)?;
+            let applicable = prometheus_pool::eval::eval_expr(db, &expr, &env, None)?;
+            if !applicable.is_truthy() {
+                return Ok(());
+            }
+        }
+        let expr = self.parse_cached(&rule.constraint)?;
+        let holds = prometheus_pool::eval::eval_expr(db, &expr, &env, None)?;
+        if holds.is_truthy() {
+            return Ok(());
+        }
+        let detail = format!("{}: {}", rule.name, rule.message);
+        match rule.on_violation {
+            Action::Warn => {
+                self.warnings.lock().push(detail);
+                Ok(())
+            }
+            Action::Ask => {
+                let handler = self.handler.read().clone();
+                match handler {
+                    Some(h) if h.accept(rule, &detail) => {
+                        self.warnings.lock().push(format!("accepted: {detail}"));
+                        Ok(())
+                    }
+                    _ => Err(DbError::ConstraintViolation {
+                        rule: rule.name.clone(),
+                        reason: rule.message.clone(),
+                    }),
+                }
+            }
+            Action::Abort => Err(DbError::ConstraintViolation {
+                rule: rule.name.clone(),
+                reason: rule.message.clone(),
+            }),
+        }
+    }
+
+    fn matching<'a>(
+        &self,
+        db: &Database,
+        rules: &'a [Rule],
+        event: &Event,
+        timing: Timing,
+        pre: Option<bool>,
+    ) -> Vec<&'a Rule> {
+        rules
+            .iter()
+            .filter(|r| r.enabled && r.timing == timing)
+            .filter(|r| match pre {
+                Some(true) => r.kind == RuleKind::PreCondition,
+                Some(false) => r.kind != RuleKind::PreCondition,
+                None => true,
+            })
+            .filter(|r| r.events.iter().any(|spec| spec.matches(db, event)))
+            .collect()
+    }
+}
+
+impl EventListener for RuleEngine {
+    fn before(&self, db: &Database, event: &Event) -> DbResult<()> {
+        // Pre-conditions where the subject exists before the change: updates
+        // and deletions. (Creation pre-conditions run in `after` — see the
+        // module docs.)
+        let applicable = matches!(
+            event,
+            Event::ObjectUpdated { .. }
+                | Event::RelUpdated { .. }
+                | Event::ObjectDeleted { .. }
+                | Event::RelDeleted { .. }
+        );
+        if !applicable {
+            return Ok(());
+        }
+        let rules = self.rules.read().clone();
+        for rule in self.matching(db, &rules, event, Timing::Immediate, Some(true)) {
+            self.check(db, rule, event)?;
+        }
+        Ok(())
+    }
+
+    fn after(&self, db: &Database, event: &Event) -> DbResult<()> {
+        let rules = self.rules.read().clone();
+        // Creation pre-conditions (subject exists now)...
+        if matches!(event, Event::ObjectCreated { .. } | Event::RelCreated { .. }) {
+            for rule in self.matching(db, &rules, event, Timing::Immediate, Some(true)) {
+                self.check(db, rule, event)?;
+            }
+        }
+        // ...then the remaining immediate rules.
+        for rule in self.matching(db, &rules, event, Timing::Immediate, Some(false)) {
+            // Deletions cannot evaluate `self` afterwards; skip subject-less
+            // checks for them (use pre-conditions for deletion constraints).
+            if matches!(event, Event::ObjectDeleted { .. } | Event::RelDeleted { .. }) {
+                continue;
+            }
+            self.check(db, rule, event)?;
+        }
+        Ok(())
+    }
+
+    fn at_commit(&self, db: &Database, events: &[Event]) -> DbResult<()> {
+        let rules = self.rules.read().clone();
+        // Composite-event rules (§5.2.1.1): fire once per unit when every
+        // spec matched some event of the unit.
+        for rule in rules.iter().filter(|r| r.enabled && r.all_events) {
+            let all_matched = rule
+                .events
+                .iter()
+                .all(|spec| events.iter().any(|e| spec.matches(db, e)));
+            if !all_matched {
+                continue;
+            }
+            let subject = rule
+                .events
+                .first()
+                .and_then(|spec| events.iter().find(|e| spec.matches(db, e)));
+            if let Some(event) = subject {
+                if db.exists(event.subject()) {
+                    self.check(db, rule, event)?;
+                }
+            }
+        }
+        // Collect matching (rule, event) pairs, schedule by priority
+        // (§5.2.2.1), then evaluate.
+        let mut scheduled: Vec<(&Rule, &Event)> = Vec::new();
+        for event in events {
+            if matches!(event, Event::ObjectDeleted { .. } | Event::RelDeleted { .. }) {
+                continue; // subject gone; deferred deletion checks are
+                          // expressed as rules over surviving objects
+            }
+            for rule in self.matching(db, &rules, event, Timing::Deferred, None) {
+                if rule.all_events {
+                    continue; // handled above, once per unit
+                }
+                scheduled.push((rule, event));
+            }
+        }
+        scheduled.sort_by_key(|(r, _)| std::cmp::Reverse(r.priority));
+        for (rule, event) in scheduled {
+            // The subject may have been deleted later in the unit.
+            if !db.exists(event.subject()) {
+                continue;
+            }
+            self.check(db, rule, event)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prometheus_object::{AttrDef, ClassDef, RelClassDef, Store, StoreOptions, Type};
+
+    fn db_with_engine() -> (Database, Arc<RuleEngine>) {
+        let path = std::env::temp_dir().join(format!(
+            "rules-engine-{}-{:?}-{}.log",
+            std::process::id(),
+            std::thread::current().id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let store =
+            Arc::new(Store::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap());
+        let db = Database::open(store).unwrap();
+        db.define_class(
+            ClassDef::new("CT")
+                .attr(AttrDef::required("name", Type::Str))
+                .attr(AttrDef::optional("rank", Type::Str)),
+        )
+        .unwrap();
+        db.define_relationship(RelClassDef::association("Circ", "CT", "CT")).unwrap();
+        let engine = RuleEngine::install(&db).unwrap();
+        (db, engine)
+    }
+
+    fn attrs(pairs: &[(&str, &str)]) -> Vec<(String, Value)> {
+        pairs.iter().map(|(k, v)| (k.to_string(), Value::from(*v))).collect()
+    }
+
+    #[test]
+    fn immediate_invariant_blocks_creation() {
+        let (db, engine) = db_with_engine();
+        engine
+            .add_rule(
+                Rule::invariant("genus-capital", "CT", "self.name != \"bad\"", "name is bad")
+                    .immediate(),
+            )
+            .unwrap();
+        let err = db.create_object("CT", attrs(&[("name", "bad")])).unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolation { .. }));
+        assert!(db.extent("CT", false).unwrap().is_empty(), "creation rolled back");
+        assert!(db.create_object("CT", attrs(&[("name", "good")])).is_ok());
+    }
+
+    #[test]
+    fn pre_condition_on_update_sees_old_and_new() {
+        let (db, engine) = db_with_engine();
+        engine
+            .add_rule(Rule::pre_update(
+                "rank-immutable-once-set",
+                "CT",
+                "rank",
+                "old = null or old = new",
+                "rank cannot change once published",
+            ))
+            .unwrap();
+        let ct = db.create_object("CT", attrs(&[("name", "Apium")])).unwrap();
+        db.set_attr(ct, "rank", "Genus").unwrap(); // old = null: allowed
+        let err = db.set_attr(ct, "rank", "Species").unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolation { .. }));
+        assert_eq!(db.object(ct).unwrap().attr("rank"), Value::from("Genus"));
+    }
+
+    #[test]
+    fn deferred_rule_rolls_back_whole_unit() {
+        let (db, engine) = db_with_engine();
+        engine
+            .add_rule(Rule::invariant("needs-rank", "CT", "self.rank != null", "rank required"))
+            .unwrap();
+        // A unit may pass through invalid intermediate states...
+        let token = db.begin_unit();
+        let ct = db.create_object("CT", attrs(&[("name", "Apium")])).unwrap();
+        db.set_attr(ct, "rank", "Genus").unwrap();
+        db.commit_unit(token).unwrap(); // valid at commit
+        assert!(db.exists(ct));
+        // ...but an invalid final state aborts everything.
+        let token = db.begin_unit();
+        let bad = db.create_object("CT", attrs(&[("name", "NoRank")])).unwrap();
+        let err = db.commit_unit(token).unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolation { .. }));
+        assert!(!db.exists(bad));
+    }
+
+    #[test]
+    fn applicability_gates_the_constraint() {
+        let (db, engine) = db_with_engine();
+        engine
+            .add_rule(
+                Rule::invariant(
+                    "genus-needs-rank-attr",
+                    "CT",
+                    "self.rank = \"Genus\"",
+                    "only genera allowed here",
+                )
+                .applicable_when("self.name like \"G%\"")
+                .immediate(),
+            )
+            .unwrap();
+        // Name doesn't match the applicability condition: rule silent.
+        assert!(db.create_object("CT", attrs(&[("name", "Apium")])).is_ok());
+        // Name matches: constraint enforced.
+        assert!(db.create_object("CT", attrs(&[("name", "Gagea")])).is_err());
+        assert!(db
+            .create_object("CT", attrs(&[("name", "Gagea"), ("rank", "Genus")]))
+            .is_ok());
+    }
+
+    #[test]
+    fn warn_action_collects_instead_of_aborting() {
+        let (db, engine) = db_with_engine();
+        engine
+            .add_rule(
+                Rule::invariant("advisory", "CT", "self.rank != null", "rank advisable")
+                    .immediate()
+                    .warn_only(),
+            )
+            .unwrap();
+        let ct = db.create_object("CT", attrs(&[("name", "Apium")])).unwrap();
+        assert!(db.exists(ct));
+        let warnings = engine.warnings();
+        assert_eq!(warnings.len(), 1);
+        assert!(warnings[0].contains("advisory"));
+        engine.clear_warnings();
+        assert!(engine.warnings().is_empty());
+    }
+
+    struct AlwaysAccept;
+    impl ViolationHandler for AlwaysAccept {
+        fn accept(&self, _rule: &Rule, _detail: &str) -> bool {
+            true
+        }
+    }
+    struct AlwaysReject;
+    impl ViolationHandler for AlwaysReject {
+        fn accept(&self, _rule: &Rule, _detail: &str) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn interactive_rules_consult_the_handler() {
+        let (db, engine) = db_with_engine();
+        engine
+            .add_rule(
+                Rule::invariant("ask-me", "CT", "self.rank != null", "no rank")
+                    .immediate()
+                    .interactive(),
+            )
+            .unwrap();
+        // No handler: treated as abort.
+        assert!(db.create_object("CT", attrs(&[("name", "A")])).is_err());
+        // Accepting handler: operation proceeds, acceptance recorded.
+        engine.set_handler(Arc::new(AlwaysAccept));
+        assert!(db.create_object("CT", attrs(&[("name", "B")])).is_ok());
+        assert!(engine.warnings().iter().any(|w| w.starts_with("accepted:")));
+        // Rejecting handler: abort again.
+        engine.set_handler(Arc::new(AlwaysReject));
+        assert!(db.create_object("CT", attrs(&[("name", "C")])).is_err());
+    }
+
+    #[test]
+    fn relationship_rule_sees_origin_and_destination() {
+        let (db, engine) = db_with_engine();
+        engine
+            .add_rule(Rule::on_link(
+                "no-self-citation",
+                "Circ",
+                "not (origin = destination)",
+                "an edge may not loop",
+            ))
+            .unwrap();
+        let a = db.create_object("CT", attrs(&[("name", "A")])).unwrap();
+        let b = db.create_object("CT", attrs(&[("name", "B")])).unwrap();
+        assert!(db.create_relationship("Circ", a, b, Vec::new()).is_ok());
+        let err = db.create_relationship("Circ", a, a, Vec::new()).unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolation { .. }));
+    }
+
+    #[test]
+    fn rule_management() {
+        let (db, engine) = db_with_engine();
+        engine
+            .add_rule(Rule::invariant("r1", "CT", "self.rank != null", "m").immediate())
+            .unwrap();
+        assert!(engine.add_rule(Rule::invariant("r1", "CT", "true", "")).is_err());
+        assert!(db.create_object("CT", attrs(&[("name", "x")])).is_err());
+        // Disable: passes.
+        assert!(engine.set_enabled("r1", false));
+        assert!(db.create_object("CT", attrs(&[("name", "x")])).is_ok());
+        // Re-enable and remove.
+        assert!(engine.set_enabled("r1", true));
+        assert!(engine.remove_rule("r1"));
+        assert!(!engine.remove_rule("r1"));
+        assert!(db.create_object("CT", attrs(&[("name", "y")])).is_ok());
+    }
+
+    #[test]
+    fn bad_expressions_rejected_at_definition_time() {
+        let (_db, engine) = db_with_engine();
+        let err = engine
+            .add_rule(Rule::invariant("broken", "CT", "self.rank =", "m"))
+            .unwrap_err();
+        assert!(matches!(err, DbError::Query(_)));
+    }
+
+    #[test]
+    fn rules_persist_and_reload() {
+        let (db, engine) = db_with_engine();
+        engine
+            .add_rule(Rule::invariant("persisted", "CT", "self.name != null", "m"))
+            .unwrap();
+        engine.save_to(&db).unwrap();
+        let fresh = RuleEngine::new();
+        fresh.load_from(&db).unwrap();
+        assert_eq!(fresh.rules().len(), 1);
+        assert_eq!(fresh.rules()[0].name, "persisted");
+    }
+
+    #[test]
+    fn composite_all_events_rule_fires_only_when_every_spec_matched() {
+        use crate::event::EventSpec;
+        let (db, engine) = db_with_engine();
+        // Constraint: any unit that BOTH creates a CT and creates a Circ
+        // relationship must give the created CT a rank.
+        engine
+            .add_rule(
+                Rule::invariant("paired", "CT", "self.rank != null", "rank required when linking")
+                    .when_all_events(vec![
+                        EventSpec::ObjectCreated { class: Some("CT".into()) },
+                        EventSpec::RelCreated { class: Some("Circ".into()) },
+                    ]),
+            )
+            .unwrap();
+        // Creating a CT alone (no relationship event): rule silent.
+        let lone = db.create_object("CT", attrs(&[("name", "alone")])).unwrap();
+        assert!(db.exists(lone));
+        // A unit with both events and no rank: violation, rolled back.
+        let token = db.begin_unit();
+        let ct = db.create_object("CT", attrs(&[("name", "pair")])).unwrap();
+        db.create_relationship("Circ", ct, lone, Vec::new()).unwrap();
+        assert!(db.commit_unit(token).is_err());
+        assert!(!db.exists(ct));
+        // Same unit shape with a rank: passes.
+        let token = db.begin_unit();
+        let ct = db.create_object("CT", attrs(&[("name", "pair"), ("rank", "Genus")])).unwrap();
+        db.create_relationship("Circ", ct, lone, Vec::new()).unwrap();
+        db.commit_unit(token).unwrap();
+        assert!(db.exists(ct));
+    }
+
+    #[test]
+    fn deferred_priority_orders_checks() {
+        let (db, engine) = db_with_engine();
+        // The high-priority rule aborts first even though added second.
+        engine
+            .add_rule(Rule::invariant("low", "CT", "self.rank != null", "low-message"))
+            .unwrap();
+        engine
+            .add_rule(
+                Rule::invariant("high", "CT", "self.name != \"X\"", "high-message")
+                    .with_priority(10),
+            )
+            .unwrap();
+        let err = db.create_object("CT", attrs(&[("name", "X")])).unwrap_err();
+        match err {
+            DbError::ConstraintViolation { rule, .. } => assert_eq!(rule, "high"),
+            other => panic!("unexpected {other}"),
+        }
+    }
+}

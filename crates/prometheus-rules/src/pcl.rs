@@ -1,0 +1,270 @@
+//! PCL — the Prometheus Constraint Language (§5.2.3, Figures 23–25).
+//!
+//! PCL is the OCL-inspired surface syntax taxonomists write; each statement
+//! *translates into* an ordinary Prometheus [`Rule`] (Figure 25 shows this
+//! translation in the thesis). The dialect implemented here:
+//!
+//! ```text
+//! context <Class> inv <name> [when <expr>]: <expr>
+//!     -- deferred invariant over the class (fires on create/update)
+//!
+//! context <Class> pre <name> [when <expr>]: <expr>
+//!     -- immediate pre-condition on creation
+//!
+//! context <Class>::<attr> pre <name> [when <expr>]: <expr>
+//!     -- immediate pre-condition on updating <attr>; `old` and `new` bound
+//!
+//! context <RelClass> link <name> [when <expr>]: <expr>
+//!     -- relationship rule on link creation; `origin`/`destination` bound
+//! ```
+//!
+//! A trailing `warn` or `ask` keyword after the constraint expression turns
+//! the rule advisory or interactive:
+//!
+//! ```text
+//! context CT inv hasRank: self.rank != null warn
+//! ```
+//!
+//! Statements are separated by blank lines or semicolons; `--` starts a
+//! comment. Expressions are POOL (OCL's `self` keyword carries over).
+
+use crate::event::EventSpec;
+use crate::rule::{Action, Rule, RuleKind, Timing};
+use prometheus_object::{DbError, DbResult};
+
+/// Parse a PCL document into the rules it translates to.
+pub fn translate(input: &str) -> DbResult<Vec<Rule>> {
+    let mut rules = Vec::new();
+    for statement in split_statements(input) {
+        if statement.trim().is_empty() {
+            continue;
+        }
+        rules.push(translate_statement(statement.trim())?);
+    }
+    Ok(rules)
+}
+
+/// Split on semicolons and on lines that start a new `context`.
+fn split_statements(input: &str) -> Vec<String> {
+    let cleaned: String = input
+        .lines()
+        .map(|line| match line.find("--") {
+            Some(pos) => &line[..pos],
+            None => line,
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    let mut statements = Vec::new();
+    let mut current = String::new();
+    for piece in cleaned.split(';') {
+        for line in piece.lines() {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with("context ") && !current.trim().is_empty() {
+                statements.push(std::mem::take(&mut current));
+            }
+            current.push_str(line);
+            current.push('\n');
+        }
+        if !current.trim().is_empty() {
+            statements.push(std::mem::take(&mut current));
+        }
+    }
+    statements
+}
+
+fn translate_statement(stmt: &str) -> DbResult<Rule> {
+    let err = |msg: &str| DbError::Query(format!("PCL: {msg} in statement: {stmt}"));
+    let rest = stmt
+        .strip_prefix("context")
+        .ok_or_else(|| err("expected 'context'"))?
+        .trim_start();
+    // Context: `Class` or `Class::attr`.
+    let (ctx, rest) = take_word(rest).ok_or_else(|| err("expected class name"))?;
+    let (class, attr) = match ctx.split_once("::") {
+        Some((c, a)) => (c.to_string(), Some(a.to_string())),
+        None => (ctx.to_string(), None),
+    };
+    let (kind_word, rest) = take_word(rest.trim_start()).ok_or_else(|| err("expected rule kind"))?;
+    let (name, rest) = take_word(rest.trim_start()).ok_or_else(|| err("expected rule name"))?;
+    // Optional `when <expr>` up to the colon.
+    let rest = rest.trim_start();
+    let (applicability, rest) = if let Some(after) = rest.strip_prefix("when ") {
+        let colon = after.find(':').ok_or_else(|| err("expected ':' after when-clause"))?;
+        (Some(after[..colon].trim().to_string()), &after[colon + 1..])
+    } else {
+        let rest = rest.strip_prefix(':').ok_or_else(|| err("expected ':'"))?;
+        (None, rest)
+    };
+    // Trailing action keyword.
+    let mut body = rest.trim().to_string();
+    let mut action = Action::Abort;
+    for (suffix, a) in [("warn", Action::Warn), ("ask", Action::Ask)] {
+        if let Some(stripped) = body.strip_suffix(suffix) {
+            if stripped.ends_with(char::is_whitespace) {
+                body = stripped.trim_end().to_string();
+                action = a;
+                break;
+            }
+        }
+    }
+    if body.is_empty() {
+        return Err(err("empty constraint expression"));
+    }
+    // Validate the expressions now, as the thesis' PCL front-end does
+    // (Figure 32: rule creation reports syntax errors immediately).
+    prometheus_pool::parse_expr(&body)?;
+    if let Some(a) = &applicability {
+        prometheus_pool::parse_expr(a)?;
+    }
+
+    let (kind, events, timing) = match (kind_word, &attr) {
+        ("inv", None) => (
+            RuleKind::Invariant,
+            vec![EventSpec::any_object_change(&class)],
+            Timing::Deferred,
+        ),
+        ("pre", None) => (
+            RuleKind::PreCondition,
+            vec![EventSpec::ObjectCreated { class: Some(class.clone()) }],
+            Timing::Immediate,
+        ),
+        ("pre", Some(a)) => (
+            RuleKind::PreCondition,
+            vec![EventSpec::ObjectUpdated { class: Some(class.clone()), attr: Some(a.clone()) }],
+            Timing::Immediate,
+        ),
+        ("post", None) => (
+            RuleKind::PostCondition,
+            vec![
+                EventSpec::ObjectCreated { class: Some(class.clone()) },
+                EventSpec::ObjectUpdated { class: Some(class.clone()), attr: None },
+            ],
+            Timing::Immediate,
+        ),
+        ("link", None) => (
+            RuleKind::RelationshipRule,
+            vec![EventSpec::RelCreated { class: Some(class.clone()) }],
+            Timing::Immediate,
+        ),
+        (other, _) => return Err(err(&format!("unknown rule kind '{other}'"))),
+    };
+    Ok(Rule {
+        name: name.to_string(),
+        kind,
+        events,
+        timing,
+        applicability,
+        constraint: body,
+        on_violation: action,
+        priority: 0,
+        enabled: true,
+        message: format!("PCL constraint '{name}' on {ctx}"),
+        all_events: false,
+    })
+}
+
+fn take_word(s: &str) -> Option<(&str, &str)> {
+    let s = s.trim_start();
+    if s.is_empty() {
+        return None;
+    }
+    let end = s
+        .find(|c: char| c.is_whitespace() || c == ':')
+        .filter(|_| !s.starts_with(':'))
+        .unwrap_or(s.len());
+    // Keep `::` inside the word (Class::attr) but split before a single ':'.
+    let mut end = end;
+    if s[end..].starts_with("::") {
+        let tail = &s[end + 2..];
+        let next = tail.find(|c: char| c.is_whitespace() || c == ':').unwrap_or(tail.len());
+        end = end + 2 + next;
+    }
+    if end == 0 {
+        return None;
+    }
+    Some((&s[..end], &s[end..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invariant_translation() {
+        let rules = translate("context CT inv hasRank: self.rank != null").unwrap();
+        assert_eq!(rules.len(), 1);
+        let r = &rules[0];
+        assert_eq!(r.name, "hasRank");
+        assert_eq!(r.kind, RuleKind::Invariant);
+        assert_eq!(r.timing, Timing::Deferred);
+        assert_eq!(r.on_violation, Action::Abort);
+        assert_eq!(r.constraint, "self.rank != null");
+    }
+
+    #[test]
+    fn pre_on_create_and_on_attr() {
+        let rules = translate(
+            "context NT pre named: self.name != null;\
+             context NT::year pre frozenYear: old = null or old = new",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].kind, RuleKind::PreCondition);
+        assert!(matches!(rules[0].events[0], EventSpec::ObjectCreated { .. }));
+        match &rules[1].events[0] {
+            EventSpec::ObjectUpdated { class, attr } => {
+                assert_eq!(class.as_deref(), Some("NT"));
+                assert_eq!(attr.as_deref(), Some("year"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn link_rules_and_actions() {
+        let rules = translate(
+            "context Circumscribes link noLoop: not (origin = destination);\n\
+             context CT inv advisory: self.rank != null warn;\n\
+             context CT inv negotiable: self.name != null ask",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 3);
+        assert_eq!(rules[0].kind, RuleKind::RelationshipRule);
+        assert_eq!(rules[1].on_violation, Action::Warn);
+        assert_eq!(rules[2].on_violation, Action::Ask);
+        // `warn` must have been stripped from the constraint.
+        assert_eq!(rules[1].constraint, "self.rank != null");
+    }
+
+    #[test]
+    fn when_clause_becomes_applicability() {
+        let rules = translate(
+            "context CT inv genusRanked when self.rank = \"Genus\": self.name like \"A%\"",
+        )
+        .unwrap();
+        assert_eq!(rules[0].applicability.as_deref(), Some("self.rank = \"Genus\""));
+        assert_eq!(rules[0].constraint, "self.name like \"A%\"");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let rules = translate(
+            "-- a family-name rule\n\
+             context NT inv familyEnding: self.name like \"%aceae\" -- trailing comment\n\
+             \n\
+             context NT pre named: self.name != null",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 2);
+        assert_eq!(rules[0].constraint, "self.name like \"%aceae\"");
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(translate("inv CT hasRank: true").is_err());
+        assert!(translate("context CT frobnicate x: true").is_err());
+        assert!(translate("context CT inv broken: self.rank =").is_err());
+        assert!(translate("context CT inv empty: ").is_err());
+        assert!(translate("context CT inv gated when self.x = 1 true").is_err());
+    }
+}

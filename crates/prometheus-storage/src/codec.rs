@@ -1,0 +1,725 @@
+//! A compact, non-self-describing binary serde format.
+//!
+//! The thesis stored Prometheus objects through POET's native persistence;
+//! here every record is serialised with this codec before it reaches the
+//! [`crate::log`]. The format is deliberately simple and deterministic:
+//!
+//! * unsigned integers: LEB128 varint,
+//! * signed integers: zig-zag + varint,
+//! * floats: IEEE-754 little-endian,
+//! * strings/bytes/sequences/maps: varint length prefix + contents,
+//! * options: one tag byte,
+//! * enums: varint variant index + payload,
+//! * structs/tuples: fields in declaration order, no names.
+//!
+//! Because the format is not self-describing it must always be decoded with
+//! the type it was encoded from — which is exactly how the object layer uses
+//! it (every record kind has a fixed Rust type).
+
+use crate::error::{StorageError, StorageResult};
+use serde::de::{self, DeserializeSeed, EnumAccess, MapAccess, SeqAccess, VariantAccess, Visitor};
+use serde::{ser, Deserialize, Serialize};
+
+/// Serialise `value` into a fresh byte vector.
+pub fn to_bytes<T: Serialize>(value: &T) -> StorageResult<Vec<u8>> {
+    let mut ser = Serializer { out: Vec::new() };
+    value.serialize(&mut ser)?;
+    Ok(ser.out)
+}
+
+/// Deserialise a `T` from `bytes`, requiring that all input is consumed.
+pub fn from_bytes<'a, T: Deserialize<'a>>(bytes: &'a [u8]) -> StorageResult<T> {
+    let mut de = Deserializer { input: bytes };
+    let value = T::deserialize(&mut de)?;
+    if !de.input.is_empty() {
+        return Err(StorageError::Codec(format!(
+            "{} trailing bytes after value",
+            de.input.len()
+        )));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// Varint helpers
+// ---------------------------------------------------------------------------
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(input: &mut &[u8]) -> StorageResult<u64> {
+    let mut result = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = input
+            .split_first()
+            .ok_or_else(|| StorageError::Codec("unexpected end of input in varint".into()))?;
+        *input = rest;
+        if shift >= 64 {
+            return Err(StorageError::Codec("varint overflow".into()));
+        }
+        result |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(result);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag_encode(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn zigzag_decode(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+// ---------------------------------------------------------------------------
+// Serializer
+// ---------------------------------------------------------------------------
+
+struct Serializer {
+    out: Vec<u8>,
+}
+
+impl Serializer {
+    fn take_bytes(&mut self, bytes: &[u8]) {
+        write_varint(&mut self.out, bytes.len() as u64);
+        self.out.extend_from_slice(bytes);
+    }
+}
+
+impl<'a> ser::Serializer for &'a mut Serializer {
+    type Ok = ();
+    type Error = StorageError;
+    type SerializeSeq = Self;
+    type SerializeTuple = Self;
+    type SerializeTupleStruct = Self;
+    type SerializeTupleVariant = Self;
+    type SerializeMap = Self;
+    type SerializeStruct = Self;
+    type SerializeStructVariant = Self;
+
+    fn serialize_bool(self, v: bool) -> StorageResult<()> {
+        self.out.push(v as u8);
+        Ok(())
+    }
+    fn serialize_i8(self, v: i8) -> StorageResult<()> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i16(self, v: i16) -> StorageResult<()> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i32(self, v: i32) -> StorageResult<()> {
+        self.serialize_i64(v as i64)
+    }
+    fn serialize_i64(self, v: i64) -> StorageResult<()> {
+        write_varint(&mut self.out, zigzag_encode(v));
+        Ok(())
+    }
+    fn serialize_u8(self, v: u8) -> StorageResult<()> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u16(self, v: u16) -> StorageResult<()> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u32(self, v: u32) -> StorageResult<()> {
+        self.serialize_u64(v as u64)
+    }
+    fn serialize_u64(self, v: u64) -> StorageResult<()> {
+        write_varint(&mut self.out, v);
+        Ok(())
+    }
+    fn serialize_f32(self, v: f32) -> StorageResult<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_f64(self, v: f64) -> StorageResult<()> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+    fn serialize_char(self, v: char) -> StorageResult<()> {
+        self.serialize_u32(v as u32)
+    }
+    fn serialize_str(self, v: &str) -> StorageResult<()> {
+        self.take_bytes(v.as_bytes());
+        Ok(())
+    }
+    fn serialize_bytes(self, v: &[u8]) -> StorageResult<()> {
+        self.take_bytes(v);
+        Ok(())
+    }
+    fn serialize_none(self) -> StorageResult<()> {
+        self.out.push(0);
+        Ok(())
+    }
+    fn serialize_some<T: ?Sized + Serialize>(self, value: &T) -> StorageResult<()> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+    fn serialize_unit(self) -> StorageResult<()> {
+        Ok(())
+    }
+    fn serialize_unit_struct(self, _name: &'static str) -> StorageResult<()> {
+        Ok(())
+    }
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> StorageResult<()> {
+        self.serialize_u32(variant_index)
+    }
+    fn serialize_newtype_struct<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> StorageResult<()> {
+        value.serialize(self)
+    }
+    fn serialize_newtype_variant<T: ?Sized + Serialize>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> StorageResult<()> {
+        write_varint(&mut self.out, variant_index as u64);
+        value.serialize(self)
+    }
+    fn serialize_seq(self, len: Option<usize>) -> StorageResult<Self::SerializeSeq> {
+        let len = len.ok_or_else(|| StorageError::Codec("sequences must have a known length".into()))?;
+        write_varint(&mut self.out, len as u64);
+        Ok(self)
+    }
+    fn serialize_tuple(self, _len: usize) -> StorageResult<Self::SerializeTuple> {
+        Ok(self)
+    }
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> StorageResult<Self::SerializeTupleStruct> {
+        Ok(self)
+    }
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> StorageResult<Self::SerializeTupleVariant> {
+        write_varint(&mut self.out, variant_index as u64);
+        Ok(self)
+    }
+    fn serialize_map(self, len: Option<usize>) -> StorageResult<Self::SerializeMap> {
+        let len = len.ok_or_else(|| StorageError::Codec("maps must have a known length".into()))?;
+        write_varint(&mut self.out, len as u64);
+        Ok(self)
+    }
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> StorageResult<Self::SerializeStruct> {
+        Ok(self)
+    }
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> StorageResult<Self::SerializeStructVariant> {
+        write_varint(&mut self.out, variant_index as u64);
+        Ok(self)
+    }
+}
+
+macro_rules! forward_compound {
+    ($trait:ident, $method:ident) => {
+        impl<'a> ser::$trait for &'a mut Serializer {
+            type Ok = ();
+            type Error = StorageError;
+            fn $method<T: ?Sized + Serialize>(&mut self, value: &T) -> StorageResult<()> {
+                value.serialize(&mut **self)
+            }
+            fn end(self) -> StorageResult<()> {
+                Ok(())
+            }
+        }
+    };
+}
+
+forward_compound!(SerializeSeq, serialize_element);
+forward_compound!(SerializeTuple, serialize_element);
+forward_compound!(SerializeTupleStruct, serialize_field);
+forward_compound!(SerializeTupleVariant, serialize_field);
+
+impl<'a> ser::SerializeMap for &'a mut Serializer {
+    type Ok = ();
+    type Error = StorageError;
+    fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> StorageResult<()> {
+        key.serialize(&mut **self)
+    }
+    fn serialize_value<T: ?Sized + Serialize>(&mut self, value: &T) -> StorageResult<()> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> StorageResult<()> {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeStruct for &'a mut Serializer {
+    type Ok = ();
+    type Error = StorageError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> StorageResult<()> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> StorageResult<()> {
+        Ok(())
+    }
+}
+
+impl<'a> ser::SerializeStructVariant for &'a mut Serializer {
+    type Ok = ();
+    type Error = StorageError;
+    fn serialize_field<T: ?Sized + Serialize>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> StorageResult<()> {
+        value.serialize(&mut **self)
+    }
+    fn end(self) -> StorageResult<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserializer
+// ---------------------------------------------------------------------------
+
+struct Deserializer<'de> {
+    input: &'de [u8],
+}
+
+impl<'de> Deserializer<'de> {
+    fn take(&mut self, n: usize) -> StorageResult<&'de [u8]> {
+        if self.input.len() < n {
+            return Err(StorageError::Codec(format!(
+                "unexpected end of input: wanted {n} bytes, have {}",
+                self.input.len()
+            )));
+        }
+        let (head, tail) = self.input.split_at(n);
+        self.input = tail;
+        Ok(head)
+    }
+
+    fn read_len(&mut self) -> StorageResult<usize> {
+        let len = read_varint(&mut self.input)? as usize;
+        if len > self.input.len() {
+            return Err(StorageError::Codec(format!(
+                "declared length {len} exceeds remaining input {}",
+                self.input.len()
+            )));
+        }
+        Ok(len)
+    }
+}
+
+macro_rules! de_unsigned {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
+            let v = read_varint(&mut self.input)?;
+            let v: $ty = v.try_into().map_err(|_| {
+                StorageError::Codec(format!("integer {v} out of range for {}", stringify!($ty)))
+            })?;
+            visitor.$visit(v)
+        }
+    };
+}
+
+macro_rules! de_signed {
+    ($method:ident, $visit:ident, $ty:ty) => {
+        fn $method<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
+            let v = zigzag_decode(read_varint(&mut self.input)?);
+            let v: $ty = v.try_into().map_err(|_| {
+                StorageError::Codec(format!("integer {v} out of range for {}", stringify!($ty)))
+            })?;
+            visitor.$visit(v)
+        }
+    };
+}
+
+impl<'de, 'a> de::Deserializer<'de> for &'a mut Deserializer<'de> {
+    type Error = StorageError;
+
+    fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> StorageResult<V::Value> {
+        Err(StorageError::Codec(
+            "format is not self-describing; deserialize_any is unsupported".into(),
+        ))
+    }
+
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_bool(false),
+            1 => visitor.visit_bool(true),
+            other => Err(StorageError::Codec(format!("invalid bool byte {other}"))),
+        }
+    }
+
+    de_signed!(deserialize_i8, visit_i8, i8);
+    de_signed!(deserialize_i16, visit_i16, i16);
+    de_signed!(deserialize_i32, visit_i32, i32);
+
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
+        visitor.visit_i64(zigzag_decode(read_varint(&mut self.input)?))
+    }
+
+    de_unsigned!(deserialize_u8, visit_u8, u8);
+    de_unsigned!(deserialize_u16, visit_u16, u16);
+    de_unsigned!(deserialize_u32, visit_u32, u32);
+
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
+        visitor.visit_u64(read_varint(&mut self.input)?)
+    }
+
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
+        let bytes = self.take(4)?;
+        visitor.visit_f32(f32::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
+        let bytes = self.take(8)?;
+        visitor.visit_f64(f64::from_le_bytes(bytes.try_into().unwrap()))
+    }
+
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
+        let v = read_varint(&mut self.input)? as u32;
+        let c = char::from_u32(v)
+            .ok_or_else(|| StorageError::Codec(format!("invalid char scalar {v}")))?;
+        visitor.visit_char(c)
+    }
+
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
+        let len = self.read_len()?;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes)
+            .map_err(|e| StorageError::Codec(format!("invalid utf-8 string: {e}")))?;
+        visitor.visit_borrowed_str(s)
+    }
+
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
+        self.deserialize_str(visitor)
+    }
+
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
+        let len = self.read_len()?;
+        let bytes = self.take(len)?;
+        visitor.visit_borrowed_bytes(bytes)
+    }
+
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
+        self.deserialize_bytes(visitor)
+    }
+
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
+        match self.take(1)?[0] {
+            0 => visitor.visit_none(),
+            1 => visitor.visit_some(self),
+            other => Err(StorageError::Codec(format!("invalid option tag {other}"))),
+        }
+    }
+
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> StorageResult<V::Value> {
+        visitor.visit_unit()
+    }
+
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        visitor: V,
+    ) -> StorageResult<V::Value> {
+        visitor.visit_newtype_struct(self)
+    }
+
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
+        let len = self.read_len()?;
+        visitor.visit_seq(CountedAccess { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> StorageResult<V::Value> {
+        visitor.visit_seq(CountedAccess { de: self, remaining: len })
+    }
+
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> StorageResult<V::Value> {
+        self.deserialize_tuple(len, visitor)
+    }
+
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
+        let len = read_varint(&mut self.input)? as usize;
+        visitor.visit_map(CountedAccess { de: self, remaining: len })
+    }
+
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> StorageResult<V::Value> {
+        self.deserialize_tuple(fields.len(), visitor)
+    }
+
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        _name: &'static str,
+        _variants: &'static [&'static str],
+        visitor: V,
+    ) -> StorageResult<V::Value> {
+        visitor.visit_enum(Enum { de: self })
+    }
+
+    fn deserialize_identifier<V: Visitor<'de>>(self, _visitor: V) -> StorageResult<V::Value> {
+        Err(StorageError::Codec("identifiers are not encoded".into()))
+    }
+
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, _visitor: V) -> StorageResult<V::Value> {
+        Err(StorageError::Codec(
+            "cannot skip values in a non-self-describing format".into(),
+        ))
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+struct CountedAccess<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+    remaining: usize,
+}
+
+impl<'a, 'de> SeqAccess<'de> for CountedAccess<'a, 'de> {
+    type Error = StorageError;
+
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> StorageResult<Option<T::Value>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+impl<'a, 'de> MapAccess<'de> for CountedAccess<'a, 'de> {
+    type Error = StorageError;
+
+    fn next_key_seed<K: DeserializeSeed<'de>>(&mut self, seed: K) -> StorageResult<Option<K::Value>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        seed.deserialize(&mut *self.de).map(Some)
+    }
+
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V) -> StorageResult<V::Value> {
+        seed.deserialize(&mut *self.de)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        Some(self.remaining)
+    }
+}
+
+struct Enum<'a, 'de> {
+    de: &'a mut Deserializer<'de>,
+}
+
+impl<'a, 'de> EnumAccess<'de> for Enum<'a, 'de> {
+    type Error = StorageError;
+    type Variant = Self;
+
+    fn variant_seed<V: DeserializeSeed<'de>>(self, seed: V) -> StorageResult<(V::Value, Self)> {
+        let index = read_varint(&mut self.de.input)? as u32;
+        let value = seed.deserialize(de::value::U32Deserializer::<StorageError>::new(index))?;
+        Ok((value, self))
+    }
+}
+
+impl<'a, 'de> VariantAccess<'de> for Enum<'a, 'de> {
+    type Error = StorageError;
+
+    fn unit_variant(self) -> StorageResult<()> {
+        Ok(())
+    }
+
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T) -> StorageResult<T::Value> {
+        seed.deserialize(self.de)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V) -> StorageResult<V::Value> {
+        de::Deserializer::deserialize_tuple(self.de, len, visitor)
+    }
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> StorageResult<V::Value> {
+        de::Deserializer::deserialize_tuple(self.de, fields.len(), visitor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+    use std::collections::BTreeMap;
+
+    fn round_trip<T>(value: &T) -> T
+    where
+        T: Serialize + for<'a> Deserialize<'a> + std::fmt::Debug + PartialEq,
+    {
+        let bytes = to_bytes(value).expect("serialize");
+        from_bytes(&bytes).expect("deserialize")
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Sample {
+        Unit,
+        Newtype(u32),
+        Tuple(i64, String),
+        Struct { a: bool, b: Vec<u8> },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Record {
+        id: u64,
+        name: String,
+        tags: Vec<String>,
+        score: Option<f64>,
+        kind: Sample,
+        attrs: BTreeMap<String, i32>,
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(round_trip(&true), true);
+        assert_eq!(round_trip(&0u64), 0);
+        assert_eq!(round_trip(&u64::MAX), u64::MAX);
+        assert_eq!(round_trip(&i64::MIN), i64::MIN);
+        assert_eq!(round_trip(&-1i32), -1);
+        assert_eq!(round_trip(&3.5f64), 3.5);
+        assert_eq!(round_trip(&'ß'), 'ß');
+        assert_eq!(round_trip(&"Apium graveolens".to_string()), "Apium graveolens");
+    }
+
+    #[test]
+    fn varint_encoding_is_compact() {
+        assert_eq!(to_bytes(&1u64).unwrap().len(), 1);
+        assert_eq!(to_bytes(&127u64).unwrap().len(), 1);
+        assert_eq!(to_bytes(&128u64).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn enums_round_trip() {
+        for v in [
+            Sample::Unit,
+            Sample::Newtype(7),
+            Sample::Tuple(-9, "x".into()),
+            Sample::Struct { a: true, b: vec![1, 2, 3] },
+        ] {
+            let bytes = to_bytes(&v).unwrap();
+            let back: Sample = from_bytes(&bytes).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+
+    #[test]
+    fn nested_struct_round_trips() {
+        let mut attrs = BTreeMap::new();
+        attrs.insert("rank".to_string(), 5);
+        attrs.insert("year".to_string(), 1753);
+        let rec = Record {
+            id: 42,
+            name: "Heliosciadium".into(),
+            tags: vec!["genus".into(), "umbelliferae".into()],
+            score: Some(0.25),
+            kind: Sample::Tuple(1824, "Koch".into()),
+            attrs,
+        };
+        assert_eq!(round_trip(&rec), rec);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = to_bytes(&5u32).unwrap();
+        bytes.push(0);
+        let r: StorageResult<u32> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let bytes = to_bytes(&"hello".to_string()).unwrap();
+        let r: StorageResult<String> = from_bytes(&bytes[..bytes.len() - 1]);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn length_prefix_cannot_exceed_input() {
+        // A huge declared length must be rejected rather than attempted.
+        let bytes = vec![0xFF, 0xFF, 0xFF, 0x7F];
+        let r: StorageResult<String> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn out_of_range_integers_are_rejected() {
+        let bytes = to_bytes(&300u32).unwrap();
+        let r: StorageResult<u8> = from_bytes(&bytes);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn option_round_trips() {
+        assert_eq!(round_trip(&Some(17u8)), Some(17));
+        assert_eq!(round_trip(&Option::<u8>::None), None);
+    }
+}

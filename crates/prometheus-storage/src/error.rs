@@ -1,0 +1,82 @@
+//! Error type shared by all storage-layer operations.
+
+use std::fmt;
+
+/// Result alias used throughout the storage crate.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors produced by the storage substrate.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// A log frame failed its CRC check or was structurally invalid.
+    Corrupt(String),
+    /// (De)serialisation failure in the binary codec.
+    Codec(String),
+    /// The requested record does not exist.
+    NotFound(crate::oid::Oid),
+    /// A transaction was used after commit/abort, or nested incorrectly.
+    TxnState(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::Corrupt(m) => write!(f, "log corruption: {m}"),
+            StorageError::Codec(m) => write!(f, "codec error: {m}"),
+            StorageError::NotFound(oid) => write!(f, "record not found: {oid}"),
+            StorageError::TxnState(m) => write!(f, "transaction state error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl serde::ser::Error for StorageError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        StorageError::Codec(msg.to_string())
+    }
+}
+
+impl serde::de::Error for StorageError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        StorageError::Codec(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oid::Oid;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = StorageError::NotFound(Oid::from_raw(42));
+        assert!(e.to_string().contains("42"));
+        let e = StorageError::Corrupt("bad frame".into());
+        assert!(e.to_string().contains("bad frame"));
+    }
+
+    #[test]
+    fn io_error_is_wrapped_and_sourced() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,159 @@
+//! Object identifiers.
+//!
+//! Every persistent entity in Prometheus — objects, relationship instances,
+//! classifications, rules — is addressed by a stable [`Oid`]. OIDs are
+//! allocated monotonically by the store and never reused, which is what makes
+//! the thesis' *instance synonym* mechanism (§4.5) and cross-classification
+//! sharing (§4.6) safe: an OID observed in one classification refers to the
+//! same instance everywhere.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A stable, never-reused object identifier.
+///
+/// `Oid::NIL` (raw value 0) is reserved and never allocated; it plays the
+/// role of the null reference in relationship endpoints.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Oid(u64);
+
+impl Oid {
+    /// The reserved null identifier.
+    pub const NIL: Oid = Oid(0);
+
+    /// Construct an OID from its raw representation.
+    ///
+    /// Intended for the store and for tests; application code receives OIDs
+    /// from the database.
+    pub const fn from_raw(raw: u64) -> Self {
+        Oid(raw)
+    }
+
+    /// The raw numeric representation.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the reserved null identifier.
+    pub const fn is_nil(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Big-endian byte encoding, used as (part of) index keys so that OIDs
+    /// sort numerically in the ordered keyspace.
+    pub fn to_be_bytes(self) -> [u8; 8] {
+        self.0.to_be_bytes()
+    }
+
+    /// Inverse of [`Oid::to_be_bytes`].
+    pub fn from_be_bytes(bytes: [u8; 8]) -> Self {
+        Oid(u64::from_be_bytes(bytes))
+    }
+}
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl fmt::Debug for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Monotonic OID allocator.
+///
+/// The store persists the high-water mark in the log so that recovery never
+/// re-issues an identifier.
+#[derive(Debug)]
+pub struct OidAllocator {
+    next: AtomicU64,
+}
+
+impl OidAllocator {
+    /// Create an allocator whose next OID is `first`.
+    pub fn starting_at(first: u64) -> Self {
+        OidAllocator {
+            next: AtomicU64::new(first.max(1)),
+        }
+    }
+
+    /// Allocate a fresh OID.
+    pub fn allocate(&self) -> Oid {
+        Oid(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Highest OID that will be issued next (used when checkpointing).
+    pub fn high_water_mark(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Raise the allocator so it will never issue `oid` or anything below it.
+    pub fn observe(&self, oid: Oid) {
+        let mut current = self.next.load(Ordering::Relaxed);
+        while current <= oid.0 {
+            match self.next.compare_exchange_weak(
+                current,
+                oid.0 + 1,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+impl Default for OidAllocator {
+    fn default() -> Self {
+        OidAllocator::starting_at(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nil_is_reserved() {
+        let alloc = OidAllocator::default();
+        assert!(Oid::NIL.is_nil());
+        assert_ne!(alloc.allocate(), Oid::NIL);
+    }
+
+    #[test]
+    fn allocation_is_monotonic() {
+        let alloc = OidAllocator::starting_at(10);
+        let a = alloc.allocate();
+        let b = alloc.allocate();
+        assert!(b > a);
+        assert_eq!(a, Oid::from_raw(10));
+    }
+
+    #[test]
+    fn observe_raises_high_water_mark() {
+        let alloc = OidAllocator::default();
+        alloc.observe(Oid::from_raw(99));
+        assert_eq!(alloc.allocate(), Oid::from_raw(100));
+        // Observing something lower must not lower the mark.
+        alloc.observe(Oid::from_raw(5));
+        assert_eq!(alloc.allocate(), Oid::from_raw(101));
+    }
+
+    #[test]
+    fn byte_encoding_round_trips_and_sorts() {
+        let a = Oid::from_raw(3);
+        let b = Oid::from_raw(1000);
+        assert_eq!(Oid::from_be_bytes(a.to_be_bytes()), a);
+        assert!(a.to_be_bytes() < b.to_be_bytes());
+    }
+
+    #[test]
+    fn display_uses_hash_prefix() {
+        assert_eq!(Oid::from_raw(7).to_string(), "#7");
+    }
+}

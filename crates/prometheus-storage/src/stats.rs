@@ -1,0 +1,156 @@
+//! I/O and operation counters.
+//!
+//! The chapter-7 benchmark compares the Prometheus feature layer against the
+//! raw substrate; these counters let the harness report *why* an operation
+//! costs what it does (log appends, record decodes, cache behaviour) rather
+//! than only wall-clock time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Shared, lock-free operation counters for one [`crate::Store`].
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Frames appended to the log.
+    pub log_appends: AtomicU64,
+    /// Payload bytes appended to the log.
+    pub bytes_written: AtomicU64,
+    /// fsync calls issued.
+    pub syncs: AtomicU64,
+    /// Record reads served from the cache.
+    pub cache_hits: AtomicU64,
+    /// Record reads that had to decode from the heap map / log image.
+    pub cache_misses: AtomicU64,
+    /// Records written (puts).
+    pub puts: AtomicU64,
+    /// Records deleted.
+    pub deletes: AtomicU64,
+    /// Transactions committed.
+    pub commits: AtomicU64,
+    /// Transactions aborted.
+    pub aborts: AtomicU64,
+}
+
+impl Stats {
+    #[inline]
+    /// Increment a counter by one.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    /// Increment a counter by `n`.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Capture a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            log_appends: self.log_appends.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            syncs: self.syncs.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            puts: self.puts.load(Ordering::Relaxed),
+            deletes: self.deletes.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (used between benchmark phases).
+    pub fn reset(&self) {
+        for c in [
+            &self.log_appends,
+            &self.bytes_written,
+            &self.syncs,
+            &self.cache_hits,
+            &self.cache_misses,
+            &self.puts,
+            &self.deletes,
+            &self.commits,
+            &self.aborts,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Plain-data snapshot of [`Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub log_appends: u64,
+    pub bytes_written: u64,
+    pub syncs: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub puts: u64,
+    pub deletes: u64,
+    pub commits: u64,
+    pub aborts: u64,
+}
+
+impl StatsSnapshot {
+    /// Counter-wise difference `self - earlier`, for bracketing a benchmark
+    /// phase.
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            log_appends: self.log_appends - earlier.log_appends,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            syncs: self.syncs - earlier.syncs,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            puts: self.puts - earlier.puts,
+            deletes: self.deletes - earlier.deletes,
+            commits: self.commits - earlier.commits,
+            aborts: self.aborts - earlier.aborts,
+        }
+    }
+
+    /// Cache hit ratio in `[0, 1]`; zero when no reads occurred.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_reset() {
+        let stats = Stats::default();
+        Stats::bump(&stats.puts);
+        Stats::add(&stats.bytes_written, 128);
+        let snap = stats.snapshot();
+        assert_eq!(snap.puts, 1);
+        assert_eq!(snap.bytes_written, 128);
+        stats.reset();
+        assert_eq!(stats.snapshot(), StatsSnapshot::default());
+    }
+
+    #[test]
+    fn since_subtracts_counterwise() {
+        let stats = Stats::default();
+        Stats::bump(&stats.commits);
+        let a = stats.snapshot();
+        Stats::bump(&stats.commits);
+        Stats::bump(&stats.cache_hits);
+        let b = stats.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.commits, 1);
+        assert_eq!(d.cache_hits, 1);
+    }
+
+    #[test]
+    fn hit_ratio_handles_zero_reads() {
+        assert_eq!(StatsSnapshot::default().hit_ratio(), 0.0);
+        let s = StatsSnapshot { cache_hits: 3, cache_misses: 1, ..Default::default() };
+        assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+}

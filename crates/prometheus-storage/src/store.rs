@@ -1,0 +1,665 @@
+//! The transactional record store.
+//!
+//! [`Store`] keeps the authoritative database image in memory (a record map
+//! plus an ordered key/value namespace for secondary indexes) and makes every
+//! mutation durable through the append-only redo [`crate::log`]. On open, the
+//! image is rebuilt by replaying committed transactions — uncommitted or torn
+//! suffixes are discarded, giving atomicity and durability.
+//!
+//! This is the substrate the rest of Prometheus builds on; it plays the role
+//! POET played for the thesis prototype (see `DESIGN.md`, *Substitutions*).
+//! It is intentionally oblivious to classes, relationships and
+//! classifications.
+
+use crate::error::{StorageError, StorageResult};
+use crate::log::{self, LogRecord, LogWriter};
+use crate::oid::{Oid, OidAllocator};
+use crate::stats::Stats;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Identifier of an ordered key/value namespace within the store.
+///
+/// The object layer assigns one keyspace per index family (extents, attribute
+/// indexes, relationship endpoints, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Keyspace(pub u8);
+
+/// Tuning knobs for a [`Store`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// fsync the log on every commit. Disable only for benchmarks that want
+    /// to measure CPU-side costs (the thesis benchmark ran POET with default
+    /// buffered commits).
+    pub sync_on_commit: bool,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions { sync_on_commit: true }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Image {
+    records: HashMap<Oid, Bytes>,
+    kv: BTreeMap<(u8, Vec<u8>), Vec<u8>>,
+}
+
+impl Image {
+    fn apply(&mut self, record: &LogRecord) {
+        match record {
+            LogRecord::Put { oid, bytes, .. } => {
+                self.records.insert(*oid, Bytes::from(bytes.clone()));
+            }
+            LogRecord::Delete { oid, .. } => {
+                self.records.remove(oid);
+            }
+            LogRecord::KvPut { keyspace, key, value, .. } => {
+                self.kv.insert((*keyspace, key.clone()), value.clone());
+            }
+            LogRecord::KvDelete { keyspace, key, .. } => {
+                self.kv.remove(&(*keyspace, key.clone()));
+            }
+            LogRecord::Begin { .. } | LogRecord::Commit { .. } => {}
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    image: Image,
+    logw: LogWriter,
+    next_txn: u64,
+}
+
+/// A durable, transactional record store.
+#[derive(Debug)]
+pub struct Store {
+    inner: Mutex<Inner>,
+    oids: OidAllocator,
+    stats: Arc<Stats>,
+    options: StoreOptions,
+    path: PathBuf,
+}
+
+impl Store {
+    /// Open (or create) the store whose log lives at `path`.
+    ///
+    /// Replays the log: transactions without a `Commit` frame are discarded,
+    /// and the log file is truncated to its last valid frame.
+    pub fn open(path: impl AsRef<Path>) -> StorageResult<Self> {
+        Store::open_with(path, StoreOptions::default())
+    }
+
+    /// [`Store::open`] with explicit [`StoreOptions`].
+    pub fn open_with(path: impl AsRef<Path>, options: StoreOptions) -> StorageResult<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let scan = log::scan(&path)?;
+        let mut image = Image::default();
+        let mut next_oid = 1u64;
+        let mut next_txn = 1u64;
+        // Group frames by transaction; apply only committed groups, in commit
+        // order (commit order equals log order for a single-writer log).
+        let mut pending: HashMap<u64, Vec<LogRecord>> = HashMap::new();
+        for frame in scan.frames {
+            match frame.record {
+                LogRecord::Begin { txn } => {
+                    pending.insert(txn, Vec::new());
+                    next_txn = next_txn.max(txn + 1);
+                }
+                LogRecord::Commit { txn, next_oid: hwm } => {
+                    if let Some(records) = pending.remove(&txn) {
+                        for r in &records {
+                            image.apply(r);
+                        }
+                    }
+                    next_oid = next_oid.max(hwm);
+                }
+                other => {
+                    if let Some(buf) = pending.get_mut(&other.txn()) {
+                        buf.push(other);
+                    }
+                    // Records for unknown transactions (no Begin) are ignored;
+                    // a correct writer never produces them.
+                }
+            }
+        }
+        let logw = LogWriter::open(&path, scan.valid_len)?;
+        Ok(Store {
+            inner: Mutex::new(Inner { image, logw, next_txn }),
+            oids: OidAllocator::starting_at(next_oid),
+            stats: Arc::new(Stats::default()),
+            options,
+            path,
+        })
+    }
+
+    /// Allocate a fresh, never-used OID.
+    pub fn allocate_oid(&self) -> Oid {
+        self.oids.allocate()
+    }
+
+    /// Operation counters for this store.
+    pub fn stats(&self) -> &Arc<Stats> {
+        &self.stats
+    }
+
+    /// Path of the backing log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Read a committed record.
+    pub fn get(&self, oid: Oid) -> Option<Bytes> {
+        let inner = self.inner.lock();
+        inner.image.records.get(&oid).cloned()
+    }
+
+    /// Whether a committed record exists.
+    pub fn contains(&self, oid: Oid) -> bool {
+        self.inner.lock().image.records.contains_key(&oid)
+    }
+
+    /// Number of committed records.
+    pub fn record_count(&self) -> usize {
+        self.inner.lock().image.records.len()
+    }
+
+    /// Read a committed key/value entry.
+    pub fn kv_get(&self, keyspace: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
+        self.inner.lock().image.kv.get(&(keyspace.0, key.to_vec())).cloned()
+    }
+
+    /// All committed entries whose key starts with `prefix`, in key order.
+    pub fn kv_scan_prefix(&self, keyspace: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let inner = self.inner.lock();
+        scan_prefix(&inner.image.kv, keyspace, prefix)
+    }
+
+    /// All committed entries in `keyspace` with `lo <= key < hi`.
+    pub fn kv_scan_range(
+        &self,
+        keyspace: Keyspace,
+        lo: &[u8],
+        hi: &[u8],
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let inner = self.inner.lock();
+        inner
+            .image
+            .kv
+            .range((
+                Bound::Included((keyspace.0, lo.to_vec())),
+                Bound::Excluded((keyspace.0, hi.to_vec())),
+            ))
+            .map(|((_, k), v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Begin a read-write transaction.
+    pub fn begin(&self) -> Txn<'_> {
+        Txn {
+            store: self,
+            staged_records: HashMap::new(),
+            staged_kv: BTreeMap::new(),
+            finished: false,
+        }
+    }
+
+    /// Convenience: run `f` inside a transaction, committing on `Ok` and
+    /// aborting on `Err`.
+    pub fn with_txn<T>(
+        &self,
+        f: impl FnOnce(&mut Txn<'_>) -> StorageResult<T>,
+    ) -> StorageResult<T> {
+        let mut txn = self.begin();
+        match f(&mut txn) {
+            Ok(value) => {
+                txn.commit()?;
+                Ok(value)
+            }
+            Err(e) => {
+                txn.abort();
+                Err(e)
+            }
+        }
+    }
+
+    /// Rewrite the log so it contains exactly the live image, as a single
+    /// committed transaction. Reclaims space occupied by superseded records.
+    pub fn compact(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        let tmp_path = self.path.with_extension("compact");
+        let _ = std::fs::remove_file(&tmp_path);
+        let mut new_log = LogWriter::open(&tmp_path, 0)?;
+        let txn = inner.next_txn;
+        inner.next_txn += 1;
+        new_log.append(&LogRecord::Begin { txn })?;
+        for (oid, bytes) in &inner.image.records {
+            new_log.append(&LogRecord::Put { txn, oid: *oid, bytes: bytes.to_vec() })?;
+        }
+        for ((ks, key), value) in &inner.image.kv {
+            new_log.append(&LogRecord::KvPut {
+                txn,
+                keyspace: *ks,
+                key: key.clone(),
+                value: value.clone(),
+            })?;
+        }
+        new_log.append(&LogRecord::Commit { txn, next_oid: self.oids.high_water_mark() })?;
+        new_log.sync()?;
+        drop(new_log);
+        std::fs::rename(&tmp_path, &self.path)?;
+        // Reopen the writer positioned at the end of the compacted log.
+        let scan = log::scan(&self.path)?;
+        inner.logw = LogWriter::open(&self.path, scan.valid_len)?;
+        Ok(())
+    }
+
+    fn commit_txn(
+        &self,
+        staged_records: &HashMap<Oid, Option<Bytes>>,
+        staged_kv: &BTreeMap<(u8, Vec<u8>), Option<Vec<u8>>>,
+    ) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        let txn = inner.next_txn;
+        inner.next_txn += 1;
+        let mut bytes_written = 0u64;
+        let mut appends = 0u64;
+        let mut apply: Vec<LogRecord> = Vec::with_capacity(staged_records.len() + staged_kv.len());
+        apply.push(LogRecord::Begin { txn });
+        for (oid, change) in staged_records {
+            match change {
+                Some(bytes) => {
+                    bytes_written += bytes.len() as u64;
+                    apply.push(LogRecord::Put { txn, oid: *oid, bytes: bytes.to_vec() });
+                    Stats::bump(&self.stats.puts);
+                }
+                None => {
+                    apply.push(LogRecord::Delete { txn, oid: *oid });
+                    Stats::bump(&self.stats.deletes);
+                }
+            }
+        }
+        for ((ks, key), change) in staged_kv {
+            match change {
+                Some(value) => {
+                    bytes_written += (key.len() + value.len()) as u64;
+                    apply.push(LogRecord::KvPut {
+                        txn,
+                        keyspace: *ks,
+                        key: key.clone(),
+                        value: value.clone(),
+                    });
+                }
+                None => {
+                    apply.push(LogRecord::KvDelete { txn, keyspace: *ks, key: key.clone() });
+                }
+            }
+        }
+        apply.push(LogRecord::Commit { txn, next_oid: self.oids.high_water_mark() });
+        for record in &apply {
+            inner.logw.append(record)?;
+            appends += 1;
+        }
+        if self.options.sync_on_commit {
+            inner.logw.sync()?;
+            Stats::bump(&self.stats.syncs);
+        } else {
+            inner.logw.flush()?;
+        }
+        for record in &apply {
+            inner.image.apply(record);
+        }
+        Stats::add(&self.stats.log_appends, appends);
+        Stats::add(&self.stats.bytes_written, bytes_written);
+        Stats::bump(&self.stats.commits);
+        Ok(())
+    }
+}
+
+/// A read-write transaction.
+///
+/// Reads see the transaction's own staged writes first, then the committed
+/// image. Nothing touches the log until [`Txn::commit`]; dropping or
+/// [`Txn::abort`]ing discards all staged changes.
+#[derive(Debug)]
+pub struct Txn<'s> {
+    store: &'s Store,
+    staged_records: HashMap<Oid, Option<Bytes>>,
+    staged_kv: BTreeMap<(u8, Vec<u8>), Option<Vec<u8>>>,
+    finished: bool,
+}
+
+impl<'s> Txn<'s> {
+    /// Stage a record write.
+    pub fn put(&mut self, oid: Oid, bytes: impl Into<Bytes>) {
+        self.staged_records.insert(oid, Some(bytes.into()));
+    }
+
+    /// Stage a record deletion.
+    pub fn delete(&mut self, oid: Oid) {
+        self.staged_records.insert(oid, None);
+    }
+
+    /// Read a record through this transaction.
+    pub fn get(&self, oid: Oid) -> Option<Bytes> {
+        match self.staged_records.get(&oid) {
+            Some(Some(bytes)) => Some(bytes.clone()),
+            Some(None) => None,
+            None => self.store.get(oid),
+        }
+    }
+
+    /// Whether a record exists from this transaction's point of view.
+    pub fn contains(&self, oid: Oid) -> bool {
+        match self.staged_records.get(&oid) {
+            Some(change) => change.is_some(),
+            None => self.store.contains(oid),
+        }
+    }
+
+    /// Stage a key/value write.
+    pub fn kv_put(&mut self, keyspace: Keyspace, key: Vec<u8>, value: Vec<u8>) {
+        self.staged_kv.insert((keyspace.0, key), Some(value));
+    }
+
+    /// Stage a key/value deletion.
+    pub fn kv_delete(&mut self, keyspace: Keyspace, key: Vec<u8>) {
+        self.staged_kv.insert((keyspace.0, key), None);
+    }
+
+    /// Read a key/value entry through this transaction.
+    pub fn kv_get(&self, keyspace: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
+        match self.staged_kv.get(&(keyspace.0, key.to_vec())) {
+            Some(Some(v)) => Some(v.clone()),
+            Some(None) => None,
+            None => self.store.kv_get(keyspace, key),
+        }
+    }
+
+    /// Prefix scan merging committed entries with this transaction's staged
+    /// overlay.
+    pub fn kv_scan_prefix(&self, keyspace: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut merged: BTreeMap<Vec<u8>, Vec<u8>> = self
+            .store
+            .kv_scan_prefix(keyspace, prefix)
+            .into_iter()
+            .collect();
+        for ((ks, key), change) in &self.staged_kv {
+            if *ks != keyspace.0 || !key.starts_with(prefix) {
+                continue;
+            }
+            match change {
+                Some(v) => {
+                    merged.insert(key.clone(), v.clone());
+                }
+                None => {
+                    merged.remove(key);
+                }
+            }
+        }
+        merged.into_iter().collect()
+    }
+
+    /// Number of staged changes (records + kv entries).
+    pub fn staged_len(&self) -> usize {
+        self.staged_records.len() + self.staged_kv.len()
+    }
+
+    /// Durably commit all staged changes.
+    pub fn commit(mut self) -> StorageResult<()> {
+        if self.finished {
+            return Err(StorageError::TxnState("transaction already finished".into()));
+        }
+        self.finished = true;
+        self.store.commit_txn(&self.staged_records, &self.staged_kv)
+    }
+
+    /// Discard all staged changes.
+    pub fn abort(mut self) {
+        self.finished = true;
+        Stats::bump(&self.store.stats.aborts);
+    }
+}
+
+fn scan_prefix(
+    kv: &BTreeMap<(u8, Vec<u8>), Vec<u8>>,
+    keyspace: Keyspace,
+    prefix: &[u8],
+) -> Vec<(Vec<u8>, Vec<u8>)> {
+    kv.range((
+        Bound::Included((keyspace.0, prefix.to_vec())),
+        Bound::Unbounded,
+    ))
+    .take_while(|((ks, k), _)| *ks == keyspace.0 && k.starts_with(prefix))
+    .map(|((_, k), v)| (k.clone(), v.clone()))
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store() -> (Store, PathBuf) {
+        let path = std::env::temp_dir().join(format!(
+            "prometheus-store-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        (Store::open(&path).unwrap(), path)
+    }
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let (store, path) = temp_store();
+        let oid = store.allocate_oid();
+        let mut txn = store.begin();
+        txn.put(oid, vec![1u8, 2, 3]);
+        assert_eq!(txn.get(oid).as_deref(), Some(&[1u8, 2, 3][..]));
+        txn.commit().unwrap();
+        assert_eq!(store.get(oid).as_deref(), Some(&[1u8, 2, 3][..]));
+
+        let mut txn = store.begin();
+        txn.delete(oid);
+        assert!(txn.get(oid).is_none());
+        txn.commit().unwrap();
+        assert!(store.get(oid).is_none());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn abort_discards_changes() {
+        let (store, path) = temp_store();
+        let oid = store.allocate_oid();
+        let txn = {
+            let mut t = store.begin();
+            t.put(oid, vec![9u8]);
+            t
+        };
+        txn.abort();
+        assert!(store.get(oid).is_none());
+        assert_eq!(store.stats().snapshot().aborts, 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn dropping_txn_discards_changes() {
+        let (store, path) = temp_store();
+        let oid = store.allocate_oid();
+        {
+            let mut t = store.begin();
+            t.put(oid, vec![9u8]);
+        }
+        assert!(store.get(oid).is_none());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn recovery_replays_committed_only() {
+        let path = std::env::temp_dir().join(format!(
+            "prometheus-recovery-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let a;
+        let b;
+        {
+            let store = Store::open(&path).unwrap();
+            a = store.allocate_oid();
+            b = store.allocate_oid();
+            let mut txn = store.begin();
+            txn.put(a, b"committed".to_vec());
+            txn.kv_put(Keyspace(1), b"key".to_vec(), b"val".to_vec());
+            txn.commit().unwrap();
+            // Simulate a crash mid-transaction: append Begin+Put but no Commit.
+            let mut inner = store.inner.lock();
+            inner.logw.append(&LogRecord::Begin { txn: 99 }).unwrap();
+            inner
+                .logw
+                .append(&LogRecord::Put { txn: 99, oid: b, bytes: b"lost".to_vec() })
+                .unwrap();
+            inner.logw.sync().unwrap();
+        }
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.get(a).as_deref(), Some(&b"committed"[..]));
+        assert!(store.get(b).is_none(), "uncommitted write must not survive recovery");
+        assert_eq!(store.kv_get(Keyspace(1), b"key").as_deref(), Some(&b"val"[..]));
+        // OIDs must not be re-issued.
+        let c = store.allocate_oid();
+        assert!(c > b);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn kv_prefix_scan_merges_staged_overlay() {
+        let (store, path) = temp_store();
+        let ks = Keyspace(3);
+        store
+            .with_txn(|t| {
+                t.kv_put(ks, b"x/1".to_vec(), b"a".to_vec());
+                t.kv_put(ks, b"x/2".to_vec(), b"b".to_vec());
+                t.kv_put(ks, b"y/1".to_vec(), b"c".to_vec());
+                Ok(())
+            })
+            .unwrap();
+        let mut txn = store.begin();
+        txn.kv_delete(ks, b"x/1".to_vec());
+        txn.kv_put(ks, b"x/3".to_vec(), b"d".to_vec());
+        let scanned = txn.kv_scan_prefix(ks, b"x/");
+        let keys: Vec<&[u8]> = scanned.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, vec![&b"x/2"[..], &b"x/3"[..]]);
+        txn.abort();
+        // After abort the committed state is unchanged.
+        assert_eq!(store.kv_scan_prefix(ks, b"x/").len(), 2);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn kv_range_scan_is_half_open() {
+        let (store, path) = temp_store();
+        let ks = Keyspace(7);
+        store
+            .with_txn(|t| {
+                for i in 0u8..5 {
+                    t.kv_put(ks, vec![i], vec![i]);
+                }
+                Ok(())
+            })
+            .unwrap();
+        let r = store.kv_scan_range(ks, &[1], &[4]);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[0].0, vec![1]);
+        assert_eq!(r[2].0, vec![3]);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn keyspaces_are_isolated() {
+        let (store, path) = temp_store();
+        store
+            .with_txn(|t| {
+                t.kv_put(Keyspace(1), b"k".to_vec(), b"one".to_vec());
+                t.kv_put(Keyspace(2), b"k".to_vec(), b"two".to_vec());
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(store.kv_get(Keyspace(1), b"k").as_deref(), Some(&b"one"[..]));
+        assert_eq!(store.kv_get(Keyspace(2), b"k").as_deref(), Some(&b"two"[..]));
+        assert_eq!(store.kv_scan_prefix(Keyspace(1), b"").len(), 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn compact_preserves_image_and_shrinks_log() {
+        let (store, path) = temp_store();
+        let oid = store.allocate_oid();
+        // Write the same record many times so the log accumulates garbage.
+        for i in 0..50u8 {
+            store
+                .with_txn(|t| {
+                    t.put(oid, vec![i; 64]);
+                    Ok(())
+                })
+                .unwrap();
+        }
+        let before = std::fs::metadata(&path).unwrap().len();
+        store.compact().unwrap();
+        let after = std::fs::metadata(&path).unwrap().len();
+        assert!(after < before, "compaction must shrink the log ({before} -> {after})");
+        assert_eq!(store.get(oid).as_deref(), Some(&[49u8; 64][..]));
+        // The store must remain writable after compaction.
+        store
+            .with_txn(|t| {
+                t.put(oid, vec![7u8]);
+                Ok(())
+            })
+            .unwrap();
+        drop(store);
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.get(oid).as_deref(), Some(&[7u8][..]));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn with_txn_aborts_on_error() {
+        let (store, path) = temp_store();
+        let oid = store.allocate_oid();
+        let r: StorageResult<()> = store.with_txn(|t| {
+            t.put(oid, vec![1u8]);
+            Err(StorageError::Codec("forced".into()))
+        });
+        assert!(r.is_err());
+        assert!(store.get(oid).is_none());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn stats_count_operations() {
+        let (store, path) = temp_store();
+        let oid = store.allocate_oid();
+        store
+            .with_txn(|t| {
+                t.put(oid, vec![1u8, 2, 3]);
+                Ok(())
+            })
+            .unwrap();
+        let snap = store.stats().snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.puts, 1);
+        assert!(snap.log_appends >= 3); // Begin + Put + Commit
+        assert!(snap.bytes_written >= 3);
+        let _ = std::fs::remove_file(path);
+    }
+}

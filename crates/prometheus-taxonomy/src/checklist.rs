@@ -1,0 +1,164 @@
+//! Nomenclatural checklist generation.
+//!
+//! The thesis' survey of prior art (§2.2) notes that IOPI's entire design
+//! was driven by "the generation of a nomenclatural checklist". In the
+//! Prometheus model a checklist is a *derived artifact*: walk one
+//! classification top-down, print each taxon's accepted name (calculated,
+//! else ascribed, else the working name), and list under it the other names
+//! its circumscription could carry — its nomenclatural synonyms — which fall
+//! out of the same type-hierarchy walk the derivation algorithm uses.
+
+use crate::derivation::name_candidates;
+use crate::model::Taxonomy;
+use prometheus_object::{Classification, DbResult, Oid};
+
+/// One checklist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChecklistEntry {
+    pub ct: Oid,
+    pub depth: usize,
+    /// Rank name, if the CT carries one.
+    pub rank: Option<String>,
+    /// The accepted (displayed) name.
+    pub accepted: String,
+    /// Rendered synonyms (same-rank candidate names that were not accepted).
+    pub synonyms: Vec<String>,
+    /// Number of specimens in the circumscription.
+    pub specimen_count: usize,
+}
+
+/// Build the checklist entries for `cls`, in classification order (depth
+/// first from each root, children in OID order).
+pub fn entries(tax: &Taxonomy, cls: &Classification) -> DbResult<Vec<ChecklistEntry>> {
+    let db = tax.db();
+    let mut out = Vec::new();
+    let mut stack: Vec<(Oid, usize)> =
+        cls.roots(db)?.into_iter().rev().map(|r| (r, 0)).collect();
+    let mut seen = std::collections::BTreeSet::new();
+    while let Some((node, depth)) = stack.pop() {
+        if !seen.insert(node) {
+            continue;
+        }
+        if tax.is_specimen(node) {
+            continue;
+        }
+        let mut children = cls.children(db, node)?;
+        children.sort();
+        for child in children.into_iter().rev() {
+            stack.push((child, depth + 1));
+        }
+        let accepted_nt = match tax.calculated_name(node)? {
+            Some(nt) => Some(nt),
+            None => tax.ascribed_name(node)?,
+        };
+        let accepted = match accepted_nt {
+            Some(nt) => tax.full_name(nt)?,
+            None => format!("\"{}\"", tax.name_of(node)?),
+        };
+        let rank = tax.rank_of(node)?;
+        let mut synonyms = Vec::new();
+        if let (Some(r), Some(acc)) = (rank, accepted_nt) {
+            for nt in name_candidates(tax, cls, node, r)? {
+                if nt != acc {
+                    synonyms.push(tax.full_name(nt)?);
+                }
+            }
+            synonyms.sort();
+        }
+        let specimen_count = tax
+            .circumscription(cls, node)?
+            .into_iter()
+            .filter(|s| tax.is_specimen(*s))
+            .count();
+        out.push(ChecklistEntry {
+            ct: node,
+            depth,
+            rank: rank.map(|r| r.name().to_string()),
+            accepted,
+            synonyms,
+            specimen_count,
+        });
+    }
+    Ok(out)
+}
+
+/// Render the checklist as indented text, the shape of a published list:
+///
+/// ```text
+/// GENUS  Heliosciadium W.D.J.Koch  (2 specimens)
+///   SPECIES  Heliosciadium repens (Jacq.)Raguenaud.  (2 specimens)
+///     = Apium repens (Jacq.)Lag.
+///     = Heliosciadium nodiflorum (L.)W.D.J.Koch
+/// ```
+pub fn render(tax: &Taxonomy, cls: &Classification) -> DbResult<String> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for entry in entries(tax, cls)? {
+        let indent = "  ".repeat(entry.depth);
+        let rank = entry.rank.as_deref().unwrap_or("-").to_uppercase();
+        let _ = writeln!(
+            out,
+            "{indent}{rank}  {}  ({} specimen{})",
+            entry.accepted,
+            entry.specimen_count,
+            if entry.specimen_count == 1 { "" } else { "s" }
+        );
+        for syn in &entry.synonyms {
+            let _ = writeln!(out, "{indent}  = {syn}");
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::figure3;
+    use crate::derivation::derive_names;
+    use crate::model::tests::fresh;
+
+    #[test]
+    fn figure3_checklist_lists_accepted_names_and_synonyms() {
+        let tax = fresh();
+        let fig = figure3(&tax).unwrap();
+        derive_names(&tax, &fig.cls, "Raguenaud.", 2000).unwrap();
+        let list = entries(&tax, &fig.cls).unwrap();
+        assert_eq!(list.len(), 2, "two CTs in the classification");
+        let genus = &list[0];
+        assert_eq!(genus.depth, 0);
+        assert_eq!(genus.rank.as_deref(), Some("Genus"));
+        assert_eq!(genus.accepted, "Heliosciadium W.D.J.Koch");
+        assert_eq!(genus.specimen_count, 2);
+        let species = &list[1];
+        assert_eq!(species.depth, 1);
+        assert_eq!(species.accepted, "Heliosciadium repens (Jacq.)Raguenaud.");
+        // The other names its specimens could carry appear as synonyms.
+        assert!(species
+            .synonyms
+            .iter()
+            .any(|s| s == "Apium repens (Jacq.)Lag."));
+        assert!(species
+            .synonyms
+            .iter()
+            .any(|s| s == "Heliosciadium nodiflorum (L.)W.D.J.Koch"));
+
+        let text = render(&tax, &fig.cls).unwrap();
+        assert!(text.contains("GENUS  Heliosciadium W.D.J.Koch  (2 specimens)"));
+        assert!(text.contains("  SPECIES  Heliosciadium repens (Jacq.)Raguenaud.  (2 specimens)"));
+        assert!(text.contains("    = Apium repens (Jacq.)Lag."));
+    }
+
+    #[test]
+    fn underived_cts_fall_back_to_working_names() {
+        let tax = fresh();
+        let cls = tax.new_classification("wip", "w", "c").unwrap();
+        let g = tax.create_ct("Working", crate::rank::Rank::Genus).unwrap();
+        let s = tax.create_specimen("S").unwrap();
+        tax.circumscribe(&cls, g, s).unwrap();
+        let list = entries(&tax, &cls).unwrap();
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].accepted, "\"Working\"");
+        assert_eq!(list[0].specimen_count, 1);
+        assert!(list[0].synonyms.is_empty());
+    }
+}

@@ -1,0 +1,360 @@
+//! Datasets: the thesis' worked examples encoded exactly, plus a synthetic
+//! flora generator.
+//!
+//! The thesis evaluated Prometheus with Royal Botanic Garden Edinburgh data
+//! (Apium/Heliosciadium revisions) that is not publicly available; per
+//! DESIGN.md's substitution rule we encode the *published worked examples*
+//! (Figures 3 and 4) verbatim and generate larger random floras with the
+//! same statistical shape (families ≫ genera ≫ species; overlapping
+//! revisions sharing specimens).
+
+use crate::model::Taxonomy;
+use crate::rank::Rank;
+use crate::typification::TypeKind;
+use prometheus_object::{Classification, DbResult, Oid};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Handles into the Figure 3 world (the Apium / Heliosciadium example).
+#[derive(Debug)]
+pub struct Figure3 {
+    pub cls: Classification,
+    pub taxon1: Oid,
+    pub taxon2: Oid,
+    pub nt_apium: Oid,
+    pub nt_graveolens: Oid,
+    pub nt_apium_repens: Oid,
+    pub nt_heliosciadium: Oid,
+    pub nt_nodiflorum: Oid,
+    pub spec_graveolens_type: Oid,
+    pub spec_repens_type: Oid,
+    pub spec_nodiflorum_type: Oid,
+}
+
+/// Build the nomenclatural state of Figure 3 and the classification
+/// (Taxon 1 at Genus containing Taxon 2 at Species, whose circumscription
+/// holds the type specimens of *Apium repens* (Jacq.)Lag. 1821 and
+/// *Heliosciadium nodiflorum* (L.)W.D.J.Koch 1824).
+pub fn figure3(tax: &Taxonomy) -> DbResult<Figure3> {
+    let db = tax.db().clone();
+    let token = db.begin_unit();
+
+    // Specimens (types of the published names).
+    let spec_graveolens_type = tax.create_specimen("Herb.Cliff.107 Apium 1 BM")?;
+    let spec_repens_type = tax.create_specimen("Repens-type")?;
+    let spec_nodiflorum_type = tax.create_specimen("Nova Acta 12(1) 126")?;
+
+    // Published names.
+    let nt_apium = tax.create_nt("Apium", Rank::Genus, 1753, "L.")?;
+    let nt_graveolens = tax.create_nt("graveolens", Rank::Species, 1753, "L.")?;
+    let nt_apium_repens = tax.create_nt("repens", Rank::Species, 1821, "(Jacq.)Lag.")?;
+    let nt_heliosciadium = tax.create_nt("Heliosciadium", Rank::Genus, 1824, "W.D.J.Koch")?;
+    let nt_nodiflorum = tax.create_nt("nodiflorum", Rank::Species, 1824, "(L.)W.D.J.Koch")?;
+
+    // Type hierarchy (Figure 2 + Figure 3).
+    tax.typify(nt_graveolens, spec_graveolens_type, TypeKind::Lectotype)?;
+    tax.typify(nt_apium, nt_graveolens, TypeKind::Holotype)?;
+    tax.typify(nt_apium_repens, spec_repens_type, TypeKind::Lectotype)?;
+    tax.typify(nt_nodiflorum, spec_nodiflorum_type, TypeKind::Holotype)?;
+    tax.typify(nt_heliosciadium, nt_nodiflorum, TypeKind::Holotype)?;
+
+    // Placements (published combinations).
+    tax.place(nt_apium, nt_graveolens)?;
+    tax.place(nt_apium, nt_apium_repens)?;
+    tax.place(nt_heliosciadium, nt_nodiflorum)?;
+
+    // The new classification under revision.
+    let cls = tax.new_classification("Raguenaud 2000", "Raguenaud", "worked example")?;
+    let taxon1 = tax.create_ct("Taxon 1", Rank::Genus)?;
+    let taxon2 = tax.create_ct("Taxon 2", Rank::Species)?;
+    tax.circumscribe(&cls, taxon1, taxon2)?;
+    tax.circumscribe(&cls, taxon2, spec_repens_type)?;
+    tax.circumscribe(&cls, taxon2, spec_nodiflorum_type)?;
+
+    db.commit_unit(token)?;
+    Ok(Figure3 {
+        cls,
+        taxon1,
+        taxon2,
+        nt_apium,
+        nt_graveolens,
+        nt_apium_repens,
+        nt_heliosciadium,
+        nt_nodiflorum,
+        spec_graveolens_type,
+        spec_repens_type,
+        spec_nodiflorum_type,
+    })
+}
+
+/// Handles into the Figure 4 world (four taxonomists classifying shapes).
+#[derive(Debug)]
+pub struct Figure4 {
+    /// The nine shape specimens, keyed by name.
+    pub specimens: Vec<(String, Oid)>,
+    pub taxonomist1: Classification,
+    pub taxonomist2: Classification,
+    pub taxonomist3: Classification,
+    pub taxonomist4: Classification,
+}
+
+/// Build the four overlapping shape classifications of Figure 4. All four
+/// share the same specimen objects — the overlap is real, not copied.
+pub fn figure4(tax: &Taxonomy) -> DbResult<Figure4> {
+    let db = tax.db().clone();
+    let token = db.begin_unit();
+    let shape_names = [
+        "white-square",
+        "white-rectangle",
+        "grey-triangle",
+        "dark-triangle",
+        "black-oval",
+        "dark-circle",
+        "white-circle",
+        "grey-diamond",
+        "mid-grey-square",
+    ];
+    let specimens: Vec<(String, Oid)> = shape_names
+        .iter()
+        .map(|n| Ok((n.to_string(), tax.create_specimen(n)?)))
+        .collect::<DbResult<_>>()?;
+    let s = |name: &str| specimens.iter().find(|(n, _)| n == name).unwrap().1;
+
+    // Taxonomist 1: by shape, two levels.
+    let t1 = tax.new_classification("taxonomist-1", "T1", "shape")?;
+    let shapes1 = tax.create_ct("Shapes", Rank::Genus)?;
+    let squares1 = tax.create_ct("Squares", Rank::Species)?;
+    let triangles1 = tax.create_ct("Triangles", Rank::Species)?;
+    let ovals1 = tax.create_ct("Ovals", Rank::Species)?;
+    for (parent, child) in [
+        (shapes1, squares1),
+        (shapes1, triangles1),
+        (shapes1, ovals1),
+    ] {
+        tax.circumscribe(&t1, parent, child)?;
+    }
+    tax.circumscribe(&t1, squares1, s("white-square"))?;
+    tax.circumscribe(&t1, triangles1, s("grey-triangle"))?;
+    tax.circumscribe(&t1, ovals1, s("black-oval"))?;
+
+    // Taxonomist 2: intermediate Sectio level.
+    let t2 = tax.new_classification("taxonomist-2", "T2", "shape, finer")?;
+    let shapes2 = tax.create_ct("Shapes-2", Rank::Genus)?;
+    let angled4 = tax.create_ct("4-angled", Rank::Sectio)?;
+    let angled3 = tax.create_ct("3-angled", Rank::Sectio)?;
+    let round2 = tax.create_ct("Round", Rank::Sectio)?;
+    let squares2 = tax.create_ct("Squares-2", Rank::Species)?;
+    let rectangles2 = tax.create_ct("Rectangles", Rank::Species)?;
+    let triangles2 = tax.create_ct("Triangles-2", Rank::Species)?;
+    let ovals2 = tax.create_ct("Ovals-2", Rank::Species)?;
+    let circles2 = tax.create_ct("Circles", Rank::Species)?;
+    for (parent, child) in [
+        (shapes2, angled4),
+        (shapes2, angled3),
+        (shapes2, round2),
+        (angled4, squares2),
+        (angled4, rectangles2),
+        (angled3, triangles2),
+        (round2, ovals2),
+        (round2, circles2),
+    ] {
+        tax.circumscribe(&t2, parent, child)?;
+    }
+    tax.circumscribe(&t2, squares2, s("white-square"))?;
+    tax.circumscribe(&t2, rectangles2, s("white-rectangle"))?;
+    tax.circumscribe(&t2, triangles2, s("grey-triangle"))?;
+    tax.circumscribe(&t2, ovals2, s("black-oval"))?;
+    tax.circumscribe(&t2, circles2, s("dark-circle"))?;
+    tax.circumscribe(&t2, circles2, s("white-circle"))?;
+
+    // Taxonomist 3: by brightness; ignores the mid-grey square.
+    let t3 = tax.new_classification("taxonomist-3", "T3", "brightness")?;
+    let shades = tax.create_ct("Shades", Rank::Genus)?;
+    let bright = tax.create_ct("Bright", Rank::Species)?;
+    let grey = tax.create_ct("Grey", Rank::Species)?;
+    let dark = tax.create_ct("Dark", Rank::Species)?;
+    for (parent, child) in [(shades, bright), (shades, grey), (shades, dark)] {
+        tax.circumscribe(&t3, parent, child)?;
+    }
+    for spec in ["white-square", "white-rectangle", "white-circle"] {
+        tax.circumscribe(&t3, bright, s(spec))?;
+    }
+    for spec in ["grey-triangle", "grey-diamond"] {
+        tax.circumscribe(&t3, grey, s(spec))?;
+    }
+    for spec in ["black-oval", "dark-triangle", "dark-circle"] {
+        tax.circumscribe(&t3, dark, s(spec))?;
+    }
+
+    // Taxonomist 4: revision — shape again, three levels, all specimens.
+    let t4 = tax.new_classification("taxonomist-4", "T4", "shape, revision")?;
+    let shapes4 = tax.create_ct("Shapes-4", Rank::Genus)?;
+    let angled4b = tax.create_ct("4-angled-4", Rank::Sectio)?;
+    let angled3b = tax.create_ct("3-angled-4", Rank::Sectio)?;
+    let round4 = tax.create_ct("Round-4", Rank::Sectio)?;
+    let squares4 = tax.create_ct("Squares-4", Rank::Species)?;
+    let diamonds4 = tax.create_ct("Diamonds", Rank::Species)?;
+    let triangles4 = tax.create_ct("Triangles-4", Rank::Species)?;
+    let round_sp4 = tax.create_ct("Rounds", Rank::Species)?;
+    for (parent, child) in [
+        (shapes4, angled4b),
+        (shapes4, angled3b),
+        (shapes4, round4),
+        (angled4b, squares4),
+        (angled4b, diamonds4),
+        (angled3b, triangles4),
+        (round4, round_sp4),
+    ] {
+        tax.circumscribe(&t4, parent, child)?;
+    }
+    for spec in ["white-square", "white-rectangle", "mid-grey-square"] {
+        tax.circumscribe(&t4, squares4, s(spec))?;
+    }
+    tax.circumscribe(&t4, diamonds4, s("grey-diamond"))?;
+    for spec in ["grey-triangle", "dark-triangle"] {
+        tax.circumscribe(&t4, triangles4, s(spec))?;
+    }
+    for spec in ["black-oval", "dark-circle", "white-circle"] {
+        tax.circumscribe(&t4, round_sp4, s(spec))?;
+    }
+
+    db.commit_unit(token)?;
+    Ok(Figure4 {
+        specimens,
+        taxonomist1: t1,
+        taxonomist2: t2,
+        taxonomist3: t3,
+        taxonomist4: t4,
+    })
+}
+
+/// Parameters of a synthetic flora.
+#[derive(Debug, Clone)]
+pub struct FloraParams {
+    pub families: usize,
+    pub genera_per_family: usize,
+    pub species_per_genus: usize,
+    pub specimens_per_species: usize,
+    /// Fraction (0–100) of specimens that are type specimens.
+    pub type_percent: u32,
+}
+
+impl Default for FloraParams {
+    fn default() -> Self {
+        FloraParams {
+            families: 2,
+            genera_per_family: 5,
+            species_per_genus: 8,
+            specimens_per_species: 3,
+            type_percent: 34,
+        }
+    }
+}
+
+impl FloraParams {
+    /// Total number of CT nodes this flora will create.
+    pub fn taxon_count(&self) -> usize {
+        let genera = self.families * self.genera_per_family;
+        let species = genera * self.species_per_genus;
+        self.families + genera + species
+    }
+
+    /// Total number of specimens.
+    pub fn specimen_count(&self) -> usize {
+        self.families
+            * self.genera_per_family
+            * self.species_per_genus
+            * self.specimens_per_species
+    }
+}
+
+/// A generated flora.
+pub struct Flora {
+    pub classification: Classification,
+    pub families: Vec<Oid>,
+    pub genera: Vec<Oid>,
+    pub species: Vec<Oid>,
+    pub specimens: Vec<Oid>,
+}
+
+/// Generate a random flora with published names for every species (so that
+/// name derivation and synonym detection have real work to do).
+pub fn random_flora(tax: &Taxonomy, params: &FloraParams, seed: u64) -> DbResult<Flora> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let db = tax.db().clone();
+    let token = db.begin_unit();
+    let cls = tax.new_classification(
+        &format!("flora-{seed}"),
+        "generator",
+        "synthetic (see DESIGN.md substitutions)",
+    )?;
+    let mut families = Vec::new();
+    let mut genera = Vec::new();
+    let mut species = Vec::new();
+    let mut specimens = Vec::new();
+    for f in 0..params.families {
+        let family = tax.create_ct(&format!("Familia{f}aceae"), Rank::Familia)?;
+        families.push(family);
+        for g in 0..params.genera_per_family {
+            let genus = tax.create_ct(&format!("Genus{f}x{g}"), Rank::Genus)?;
+            tax.circumscribe(&cls, family, genus)?;
+            genera.push(genus);
+            for sp in 0..params.species_per_genus {
+                let sp_ct = tax.create_ct(&format!("species{f}x{g}x{sp}"), Rank::Species)?;
+                tax.circumscribe(&cls, genus, sp_ct)?;
+                species.push(sp_ct);
+                let nt = tax.create_nt(
+                    &format!("species{f}x{g}x{sp}"),
+                    Rank::Species,
+                    1700 + rng.gen_range(0..300) as i32,
+                    "Gen.",
+                )?;
+                for k in 0..params.specimens_per_species {
+                    let spec = tax.create_specimen(&format!("SP-{f}-{g}-{sp}-{k}"))?;
+                    tax.circumscribe(&cls, sp_ct, spec)?;
+                    specimens.push(spec);
+                    if k == 0 && rng.gen_range(0..100) < params.type_percent {
+                        tax.typify(nt, spec, TypeKind::Lectotype)?;
+                    }
+                }
+            }
+        }
+    }
+    db.commit_unit(token)?;
+    Ok(Flora { classification: cls, families, genera, species, specimens })
+}
+
+/// Build `count` overlapping revisions of `flora`'s classification: each is
+/// a deep copy with a random fraction of species moved to a different genus
+/// — the canonical multiple-overlapping-classifications workload.
+pub fn overlapping_revisions(
+    tax: &Taxonomy,
+    flora: &Flora,
+    count: usize,
+    move_percent: u32,
+    seed: u64,
+) -> DbResult<Vec<Classification>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for r in 0..count {
+        let copy = flora
+            .classification
+            .copy(tax.db(), &format!("revision-{r}"))?;
+        for &sp in &flora.species {
+            if rng.gen_range(0..100) < move_percent && flora.genera.len() > 1 {
+                let target = flora.genera[rng.gen_range(0..flora.genera.len())];
+                let db = tax.db();
+                let parents = copy.parents(db, sp)?;
+                if parents.first() == Some(&target) {
+                    continue;
+                }
+                for edge in db.classification_parent_edges(copy.oid(), sp)? {
+                    copy.remove_edge(db, edge.oid)?;
+                }
+                tax.circumscribe(&copy, target, sp)?;
+            }
+        }
+        out.push(copy);
+    }
+    Ok(out)
+}

@@ -1,0 +1,158 @@
+//! Determinations (thesis §2.1.1).
+//!
+//! A *determination* is "the application of a name by a taxonomist to a
+//! specimen on a herbarium sheet without justification or publication" — it
+//! has **no classification value**, but records what a taxonomist thought,
+//! and the thesis lists it among the inputs a revision collects. We model it
+//! as its own relationship class from NT to Specimen carrying the
+//! determiner and date, kept strictly apart from `Circumscribes` (which is
+//! what carries classification meaning).
+
+use crate::model::Taxonomy;
+use prometheus_object::{AttrDef, Cardinality, Date, DbResult, Oid, RelClassDef, Type, Value};
+
+/// Relationship class name for determinations.
+pub const DETERMINATION: &str = "Determination";
+
+/// Install the determination relationship class (idempotent).
+pub fn install(tax: &Taxonomy) -> DbResult<()> {
+    let present = tax.db().with_schema(|s| s.rel_class(DETERMINATION).is_some());
+    if present {
+        return Ok(());
+    }
+    tax.db().define_relationship(
+        RelClassDef::association(DETERMINATION, "NT", "Specimen")
+            .attr(AttrDef::required("determiner", Type::Str))
+            .attr(AttrDef::optional("date", Type::Date))
+            .attr(AttrDef::optional("note", Type::Str))
+            .origin_cardinality(Cardinality::MANY)
+            .destination_cardinality(Cardinality::MANY),
+    )
+}
+
+/// Record that `determiner` applied name `nt` to `specimen`.
+pub fn determine(
+    tax: &Taxonomy,
+    nt: Oid,
+    specimen: Oid,
+    determiner: &str,
+    date: Option<Date>,
+) -> DbResult<Oid> {
+    let mut attrs = vec![("determiner".to_string(), Value::from(determiner))];
+    if let Some(d) = date {
+        attrs.push(("date".to_string(), Value::Date(d)));
+    }
+    tax.db().create_relationship(DETERMINATION, nt, specimen, attrs)
+}
+
+/// All determinations of a specimen, as `(name NT, determiner, date)`.
+pub fn determinations_of(
+    tax: &Taxonomy,
+    specimen: Oid,
+) -> DbResult<Vec<(Oid, String, Option<Date>)>> {
+    let mut out = Vec::new();
+    for rel in tax.db().rels_to(specimen, Some(DETERMINATION))? {
+        out.push((
+            rel.origin,
+            rel.attr("determiner").as_str().unwrap_or_default().to_string(),
+            rel.attr("date").as_date(),
+        ));
+    }
+    Ok(out)
+}
+
+/// Specimens a name has been determined as (the reverse view, deduplicated —
+/// several taxonomists may have applied the same name to one sheet).
+pub fn specimens_determined_as(tax: &Taxonomy, nt: Oid) -> DbResult<Vec<Oid>> {
+    let mut out: Vec<Oid> = tax
+        .db()
+        .rels_from(nt, Some(DETERMINATION))?
+        .into_iter()
+        .map(|r| r.destination)
+        .collect();
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+/// Determination-vs-classification disagreements inside one classification:
+/// specimens whose determined name differs from the calculated name of the
+/// species-level CT circumscribing them. These are exactly the leads a
+/// revising taxonomist chases (§2.1.1).
+pub fn disagreements(
+    tax: &Taxonomy,
+    cls: &prometheus_object::Classification,
+) -> DbResult<Vec<(Oid, Oid, Oid)>> {
+    let db = tax.db();
+    let mut out = Vec::new();
+    for node in cls.nodes(db)? {
+        if !tax.is_specimen(node) {
+            continue;
+        }
+        // The specimen's direct parents in this classification.
+        for parent in cls.parents(db, node)? {
+            let Some(calculated) = tax.calculated_name(parent)? else { continue };
+            for (determined, _, _) in determinations_of(tax, node)? {
+                if determined != calculated {
+                    out.push((node, determined, calculated));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests::fresh;
+    use crate::rank::Rank;
+    use crate::typification::TypeKind;
+
+    #[test]
+    fn determinations_record_opinions_without_classification_value() {
+        let tax = fresh();
+        install(&tax).unwrap();
+        install(&tax).unwrap(); // idempotent
+        let nt = tax.create_nt("graveolens", Rank::Species, 1753, "L.").unwrap();
+        let s = tax.create_specimen("E-1").unwrap();
+        determine(&tax, nt, s, "Newman", Some(Date::new(1998, 4, 2))).unwrap();
+        determine(&tax, nt, s, "Watson", None).unwrap();
+        let dets = determinations_of(&tax, s).unwrap();
+        assert_eq!(dets.len(), 2);
+        assert!(dets.iter().any(|(_, who, _)| who == "Newman"));
+        assert_eq!(specimens_determined_as(&tax, nt).unwrap(), vec![s]);
+        // A determination is not a classification edge: the specimen belongs
+        // to no classification.
+        assert!(tax.db().classifications_of_edge(
+            tax.db().rels_to(s, Some(DETERMINATION)).unwrap()[0].oid
+        ).unwrap().is_empty());
+    }
+
+    #[test]
+    fn disagreements_surface_conflicting_determinations() {
+        let tax = fresh();
+        install(&tax).unwrap();
+        let db = tax.db().clone();
+        let token = db.begin_unit();
+        // Publish two names; classify the specimen under a CT whose
+        // calculated name is nt_a, but determine it as nt_b.
+        let nt_a = tax.create_nt("alpha", Rank::Species, 1800, "A.").unwrap();
+        let nt_b = tax.create_nt("beta", Rank::Species, 1810, "B.").unwrap();
+        let s = tax.create_specimen("E-9").unwrap();
+        tax.typify(nt_a, s, TypeKind::Lectotype).unwrap();
+        let cls = tax.new_classification("rev", "me", "c").unwrap();
+        let ct = tax.create_ct("wk", Rank::Species).unwrap();
+        tax.circumscribe(&cls, ct, s).unwrap();
+        db.commit_unit(token).unwrap();
+        crate::derivation::derive_names(&tax, &cls, "me", 2001).unwrap();
+        assert_eq!(tax.calculated_name(ct).unwrap(), Some(nt_a));
+
+        determine(&tax, nt_b, s, "Someone", None).unwrap();
+        let found = disagreements(&tax, &cls).unwrap();
+        assert_eq!(found, vec![(s, nt_b, nt_a)]);
+        // A matching determination is not reported.
+        determine(&tax, nt_a, s, "SomeoneElse", None).unwrap();
+        assert_eq!(disagreements(&tax, &cls).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! # prometheus-taxonomy
+//!
+//! The Prometheus taxonomic model (thesis chapter 2, [Pullan '00], Figure 6)
+//! implemented on top of the Prometheus extended OODB.
+//!
+//! The model's central decision is the **separation of nomenclature from
+//! classification**:
+//!
+//! * the *nomenclatural side* holds [`Specimen`]s, *Nomenclatural Taxa*
+//!   (NTs — names with publication, author, rank and type information),
+//!   type designations ([`typification`]) and placements (name combinations
+//!   used in print, carrying **no** classification opinion);
+//! * the *classification side* holds *Circumscription Taxa* (CTs) whose
+//!   meaning is exactly their circumscription — the set of specimens below
+//!   them — organised into any number of overlapping classifications.
+//!
+//! The two sides meet only at specimens and ranks, which is what makes
+//! automatic [`derivation`] of names (§2.1.2) and objective, specimen-based
+//! [`synonymy`] detection possible.
+//!
+//! Modules:
+//!
+//! * [`rank`] — the full ICBN rank hierarchy (Figure 1);
+//! * [`model`] — the database schema and the [`model::Taxonomy`] facade;
+//! * [`nomenclature`] — name-formation rules (endings, capitalisation,
+//!   author citations);
+//! * [`typification`] — type designation kinds and their ICBN constraints;
+//! * [`derivation`] — the name-derivation algorithm of §2.1.2 / Figure 3;
+//! * [`synonymy`] — full / *pro parte*, homotypic / heterotypic synonym
+//!   detection (§2.1.3);
+//! * [`icbn`] — the rule set of the evaluation chapter (Figures 35–40) as
+//!   Prometheus rules;
+//! * [`revision`] — revision workflows and what-if scenarios (§7.1.4);
+//! * [`dataset`] — the thesis' worked examples (Figures 3 and 4) plus a
+//!   synthetic flora generator (see DESIGN.md, *Substitutions*).
+
+pub mod checklist;
+pub mod dataset;
+pub mod determination;
+pub mod derivation;
+pub mod icbn;
+pub mod model;
+pub mod nomenclature;
+pub mod rank;
+pub mod revision;
+pub mod synonymy;
+pub mod typification;
+
+pub use derivation::{DerivationOutcome, DerivedName};
+pub use model::{Taxonomy, CIRCUMSCRIBES, HAS_TYPE, PLACEMENT};
+pub use rank::Rank;
+pub use synonymy::{NameSynonym, SynonymKind, SynonymReport};
+pub use typification::TypeKind;
+
+/// A specimen handle (just an OID newtype for API clarity).
+pub type Specimen = prometheus_object::Oid;

@@ -1,0 +1,211 @@
+//! Name-formation rules (thesis §2.1.2, "Creation of names").
+//!
+//! Names carry no taxonomic opinion — these are purely lexical rules:
+//! mandated endings above Genus, capitalisation by rank, binomial
+//! composition at Species and below, and author citations (with the original
+//! author bracketed on recombination).
+
+use crate::rank::Rank;
+
+/// The eight traditional family names exempt from the `-aceae` ending
+/// (§2.1.2 footnote 3).
+pub const FAMILY_EXCEPTIONS: [&str; 8] = [
+    "Palmae",
+    "Gramineae",
+    "Cruciferae",
+    "Leguminosae",
+    "Guttiferae",
+    "Umbelliferae",
+    "Labiatae",
+    "Compositae",
+];
+
+/// The mandated ending for a rank's names, if any (§2.1.2).
+pub fn required_ending(rank: Rank) -> Option<&'static str> {
+    match rank {
+        Rank::Familia => Some("aceae"),
+        Rank::Subfamilia => Some("oideae"),
+        Rank::Tribus => Some("eae"),
+        Rank::Subtribus => Some("inea"),
+        _ => None,
+    }
+}
+
+/// Must names at this rank start with a capital letter?
+///
+/// §2.1.2: capitalised between Series and Species (Species excluded) and
+/// above; lowercase at Species rank and below.
+pub fn requires_capital(rank: Rank) -> bool {
+    rank < Rank::Species
+}
+
+/// One problem found by [`validate_name_element`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NameProblem {
+    Empty,
+    MultiWord,
+    WrongEnding { required: &'static str },
+    ShouldBeCapitalised,
+    ShouldBeLowercase,
+    InvalidHyphen,
+}
+
+impl std::fmt::Display for NameProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NameProblem::Empty => write!(f, "name is empty"),
+            NameProblem::MultiWord => write!(f, "name elements must be single-worded"),
+            NameProblem::WrongEnding { required } => {
+                write!(f, "names at this rank must end with -{required}")
+            }
+            NameProblem::ShouldBeCapitalised => {
+                write!(f, "names at this rank must start with a capital letter")
+            }
+            NameProblem::ShouldBeLowercase => {
+                write!(f, "names at this rank must start with a lowercase letter")
+            }
+            NameProblem::InvalidHyphen => write!(f, "only Genus names may contain a hyphen"),
+        }
+    }
+}
+
+/// Validate a single name element against the lexical rules of §2.1.2.
+pub fn validate_name_element(name: &str, rank: Rank) -> Vec<NameProblem> {
+    let mut problems = Vec::new();
+    if name.is_empty() {
+        problems.push(NameProblem::Empty);
+        return problems;
+    }
+    if name.contains(char::is_whitespace) {
+        problems.push(NameProblem::MultiWord);
+    }
+    if name.contains('-') && rank != Rank::Genus {
+        problems.push(NameProblem::InvalidHyphen);
+    }
+    if let Some(required) = required_ending(rank) {
+        let exempt = rank == Rank::Familia && FAMILY_EXCEPTIONS.contains(&name);
+        if !exempt && !name.ends_with(required) {
+            problems.push(NameProblem::WrongEnding { required });
+        }
+    }
+    let first_upper = name.chars().next().map(char::is_uppercase).unwrap_or(false);
+    if requires_capital(rank) && !first_upper {
+        problems.push(NameProblem::ShouldBeCapitalised);
+    }
+    if !requires_capital(rank) && first_upper {
+        problems.push(NameProblem::ShouldBeLowercase);
+    }
+    problems
+}
+
+/// Author citation: plain for an original combination; the original author
+/// moves into brackets when the name is recombined (§2.1.2: *Cyclospermum
+/// graveolens* (L.)T.).
+pub fn author_citation(original_author: &str, combining_author: Option<&str>) -> String {
+    match combining_author {
+        None => original_author.to_string(),
+        Some(comb) if comb == original_author => original_author.to_string(),
+        Some(comb) => format!("({original_author}){comb}"),
+    }
+}
+
+/// Compose the displayed name: monomial above Species, binomial (genus +
+/// epithet) at Species and below, with the author citation appended.
+pub fn full_name(
+    rank: Rank,
+    element: &str,
+    genus: Option<&str>,
+    original_author: &str,
+    combining_author: Option<&str>,
+) -> String {
+    let citation = author_citation(original_author, combining_author);
+    let base = if rank.is_multinomial() {
+        match genus {
+            Some(g) => format!("{g} {element}"),
+            None => element.to_string(),
+        }
+    } else {
+        element.to_string()
+    };
+    if citation.is_empty() {
+        base
+    } else {
+        format!("{base} {citation}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn family_ending_enforced_with_exceptions() {
+        assert!(validate_name_element("Apiaceae", Rank::Familia).is_empty());
+        assert!(validate_name_element("Umbelliferae", Rank::Familia).is_empty());
+        assert_eq!(
+            validate_name_element("Apium", Rank::Familia),
+            vec![NameProblem::WrongEnding { required: "aceae" }]
+        );
+    }
+
+    #[test]
+    fn subfamily_tribe_subtribe_endings() {
+        assert!(validate_name_element("Apioideae", Rank::Subfamilia).is_empty());
+        assert!(validate_name_element("Apieae", Rank::Tribus).is_empty());
+        assert!(validate_name_element("Apiinea", Rank::Subtribus).is_empty());
+        assert!(!validate_name_element("Apium", Rank::Tribus).is_empty());
+    }
+
+    #[test]
+    fn capitalisation_by_rank() {
+        assert!(validate_name_element("Apium", Rank::Genus).is_empty());
+        assert_eq!(
+            validate_name_element("apium", Rank::Genus),
+            vec![NameProblem::ShouldBeCapitalised]
+        );
+        assert!(validate_name_element("graveolens", Rank::Species).is_empty());
+        assert_eq!(
+            validate_name_element("Graveolens", Rank::Species),
+            vec![NameProblem::ShouldBeLowercase]
+        );
+        assert!(validate_name_element("repens", Rank::Subspecies).is_empty());
+        // Series names are capitalised (Series < Species).
+        assert!(validate_name_element("Apiosae", Rank::Series).is_empty());
+    }
+
+    #[test]
+    fn hyphen_only_in_genus() {
+        assert!(validate_name_element("Apium-alterum", Rank::Genus).is_empty());
+        assert!(validate_name_element("gra-veolens", Rank::Species)
+            .contains(&NameProblem::InvalidHyphen));
+    }
+
+    #[test]
+    fn single_worded() {
+        assert!(validate_name_element("Apium graveolens", Rank::Genus)
+            .contains(&NameProblem::MultiWord));
+        assert_eq!(validate_name_element("", Rank::Genus), vec![NameProblem::Empty]);
+    }
+
+    #[test]
+    fn author_citations_bracket_on_recombination() {
+        assert_eq!(author_citation("L.", None), "L.");
+        assert_eq!(author_citation("Jacq.", Some("Lag.")), "(Jacq.)Lag.");
+        assert_eq!(author_citation("L.", Some("L.")), "L.");
+    }
+
+    #[test]
+    fn full_names_compose() {
+        // Figure 3's names render exactly.
+        assert_eq!(full_name(Rank::Genus, "Apium", None, "L.", None), "Apium L.");
+        assert_eq!(
+            full_name(Rank::Species, "repens", Some("Apium"), "Jacq.", Some("Lag.")),
+            "Apium repens (Jacq.)Lag."
+        );
+        assert_eq!(
+            full_name(Rank::Species, "nodiflorum", Some("Heliosciadium"), "L.", Some("W.D.J.Koch")),
+            "Heliosciadium nodiflorum (L.)W.D.J.Koch"
+        );
+        assert_eq!(full_name(Rank::Genus, "Apium", None, "", None), "Apium");
+    }
+}

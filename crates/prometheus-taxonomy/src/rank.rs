@@ -1,0 +1,250 @@
+//! The ICBN rank hierarchy (thesis §2.1.1, Figure 1).
+//!
+//! Primary ranks are compulsory in a full classification; secondary ranks
+//! and sub-ranks are optional, but whatever subset a taxonomist selects must
+//! respect the global order. [`Rank`] is ordered accordingly: a taxon may
+//! only be placed below a taxon of strictly higher rank.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Every rank of Figure 1, ordered from highest (Regnum) to lowest
+/// (Subforma). The discriminant encodes the global order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Rank {
+    Regnum = 0,
+    Subregnum,
+    Divisio,
+    Subdivisio,
+    Classis,
+    Subclassis,
+    Ordo,
+    Subordo,
+    Familia,
+    Subfamilia,
+    Tribus,
+    Subtribus,
+    Genus,
+    Subgenus,
+    Sectio,
+    Subsectio,
+    Series,
+    Subseries,
+    Species,
+    Subspecies,
+    Varietas,
+    Subvarietas,
+    Forma,
+    Subforma,
+}
+
+impl Rank {
+    /// All ranks, highest first.
+    pub const ALL: [Rank; 24] = [
+        Rank::Regnum,
+        Rank::Subregnum,
+        Rank::Divisio,
+        Rank::Subdivisio,
+        Rank::Classis,
+        Rank::Subclassis,
+        Rank::Ordo,
+        Rank::Subordo,
+        Rank::Familia,
+        Rank::Subfamilia,
+        Rank::Tribus,
+        Rank::Subtribus,
+        Rank::Genus,
+        Rank::Subgenus,
+        Rank::Sectio,
+        Rank::Subsectio,
+        Rank::Series,
+        Rank::Subseries,
+        Rank::Species,
+        Rank::Subspecies,
+        Rank::Varietas,
+        Rank::Subvarietas,
+        Rank::Forma,
+        Rank::Subforma,
+    ];
+
+    /// The seven compulsory primary ranks.
+    pub const PRIMARY: [Rank; 7] = [
+        Rank::Regnum,
+        Rank::Divisio,
+        Rank::Classis,
+        Rank::Ordo,
+        Rank::Familia,
+        Rank::Genus,
+        Rank::Species,
+    ];
+
+    /// Is this one of the primary ranks?
+    pub fn is_primary(self) -> bool {
+        Rank::PRIMARY.contains(&self)
+    }
+
+    /// Is this a sub-rank ("sub" prefixed to a primary or secondary rank)?
+    pub fn is_sub_rank(self) -> bool {
+        self.name().starts_with("Sub")
+    }
+
+    /// Is this a secondary rank (Tribus, Sectio, Series, Varietas, Forma)?
+    pub fn is_secondary(self) -> bool {
+        matches!(self, Rank::Tribus | Rank::Sectio | Rank::Series | Rank::Varietas | Rank::Forma)
+    }
+
+    /// The rank this sub-rank subdivides, e.g. Subgenus → Genus.
+    pub fn parent_of_sub(self) -> Option<Rank> {
+        if !self.is_sub_rank() {
+            return None;
+        }
+        Rank::from_name(&self.name()[3..].to_string().to_uppercase_first())
+    }
+
+    /// May a taxon at `self` be placed directly below a taxon at `above`?
+    ///
+    /// ICBN: order must strictly decrease; any number of optional ranks may
+    /// be skipped (§2.1.1: "ranks between Genus and Species may be ignored").
+    pub fn may_be_placed_below(self, above: Rank) -> bool {
+        above < self
+    }
+
+    /// Canonical Latin name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rank::Regnum => "Regnum",
+            Rank::Subregnum => "Subregnum",
+            Rank::Divisio => "Divisio",
+            Rank::Subdivisio => "Subdivisio",
+            Rank::Classis => "Classis",
+            Rank::Subclassis => "Subclassis",
+            Rank::Ordo => "Ordo",
+            Rank::Subordo => "Subordo",
+            Rank::Familia => "Familia",
+            Rank::Subfamilia => "Subfamilia",
+            Rank::Tribus => "Tribus",
+            Rank::Subtribus => "Subtribus",
+            Rank::Genus => "Genus",
+            Rank::Subgenus => "Subgenus",
+            Rank::Sectio => "Sectio",
+            Rank::Subsectio => "Subsectio",
+            Rank::Series => "Series",
+            Rank::Subseries => "Subseries",
+            Rank::Species => "Species",
+            Rank::Subspecies => "Subspecies",
+            Rank::Varietas => "Varietas",
+            Rank::Subvarietas => "Subvarietas",
+            Rank::Forma => "Forma",
+            Rank::Subforma => "Subforma",
+        }
+    }
+
+    /// Parse a rank name ("Divisio" also accepts "Phyllum", Figure 1's
+    /// alternative name).
+    pub fn from_name(name: &str) -> Option<Rank> {
+        if name.eq_ignore_ascii_case("Phyllum") || name.eq_ignore_ascii_case("Phylum") {
+            return Some(Rank::Divisio);
+        }
+        Rank::ALL.into_iter().find(|r| r.name().eq_ignore_ascii_case(name))
+    }
+
+    /// Are names at this rank multinomial (Species and below, §2.4.1 req 8)?
+    pub fn is_multinomial(self) -> bool {
+        self >= Rank::Species
+    }
+
+    /// The next lower rank, if any.
+    pub fn next_lower(self) -> Option<Rank> {
+        let idx = self as usize;
+        Rank::ALL.get(idx + 1).copied()
+    }
+}
+
+impl fmt::Display for Rank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+trait UppercaseFirst {
+    fn to_uppercase_first(&self) -> String;
+}
+
+impl UppercaseFirst for String {
+    fn to_uppercase_first(&self) -> String {
+        let mut chars = self.chars();
+        match chars.next() {
+            Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+            None => String::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_order_matches_figure_1() {
+        assert!(Rank::Regnum < Rank::Divisio);
+        assert!(Rank::Familia < Rank::Genus);
+        assert!(Rank::Genus < Rank::Sectio);
+        assert!(Rank::Sectio < Rank::Species);
+        assert!(Rank::Species < Rank::Subspecies);
+        assert!(Rank::Varietas < Rank::Forma);
+        // Sub-ranks sit directly below their parent.
+        assert!(Rank::Genus < Rank::Subgenus);
+        assert!(Rank::Subgenus < Rank::Sectio);
+    }
+
+    #[test]
+    fn primary_ranks() {
+        assert_eq!(Rank::PRIMARY.len(), 7);
+        assert!(Rank::Genus.is_primary());
+        assert!(!Rank::Sectio.is_primary());
+        assert!(Rank::Sectio.is_secondary());
+        assert!(!Rank::Subsectio.is_secondary());
+    }
+
+    #[test]
+    fn sub_ranks_derive_their_parent() {
+        assert!(Rank::Subgenus.is_sub_rank());
+        assert_eq!(Rank::Subgenus.parent_of_sub(), Some(Rank::Genus));
+        assert_eq!(Rank::Subspecies.parent_of_sub(), Some(Rank::Species));
+        assert_eq!(Rank::Genus.parent_of_sub(), None);
+    }
+
+    #[test]
+    fn placement_allows_skipping_optional_ranks() {
+        // Species directly below Genus (Sectio etc. skipped) is fine.
+        assert!(Rank::Species.may_be_placed_below(Rank::Genus));
+        assert!(Rank::Species.may_be_placed_below(Rank::Sectio));
+        // Equal or inverted order is not.
+        assert!(!Rank::Species.may_be_placed_below(Rank::Species));
+        assert!(!Rank::Genus.may_be_placed_below(Rank::Species));
+    }
+
+    #[test]
+    fn parsing_round_trips_and_handles_phyllum() {
+        for r in Rank::ALL {
+            assert_eq!(Rank::from_name(r.name()), Some(r));
+        }
+        assert_eq!(Rank::from_name("phyllum"), Some(Rank::Divisio));
+        assert_eq!(Rank::from_name("nothing"), None);
+    }
+
+    #[test]
+    fn multinomial_threshold() {
+        assert!(Rank::Species.is_multinomial());
+        assert!(Rank::Subspecies.is_multinomial());
+        assert!(!Rank::Genus.is_multinomial());
+        assert!(!Rank::Series.is_multinomial());
+    }
+
+    #[test]
+    fn next_lower_walks_the_ladder() {
+        assert_eq!(Rank::Regnum.next_lower(), Some(Rank::Subregnum));
+        assert_eq!(Rank::Subforma.next_lower(), None);
+    }
+}

@@ -1,0 +1,111 @@
+//! Type designations (thesis §2.1.2, Figure 2).
+//!
+//! A *taxonomic type* anchors a name to physical evidence: a Species-level
+//! name is typified by specimens, a Genus-level name by a Species-level name,
+//! and so on. The ICBN constrains how many designations of each kind a name
+//! may carry and which one has priority during name derivation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kinds of type designation the thesis describes (§2.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TypeKind {
+    /// Selected by the taxonomist who published the name.
+    Holotype,
+    /// Selected later by a different taxonomist.
+    Lectotype,
+    /// Replacement after the original type specimen was lost.
+    Neotype,
+    /// Duplicate equivalent to an existing holo/lecto/neotype.
+    Isotype,
+    /// A type that is a synonym of another taxonomic type.
+    Syntype,
+}
+
+impl TypeKind {
+    /// All kinds.
+    pub const ALL: [TypeKind; 5] = [
+        TypeKind::Holotype,
+        TypeKind::Lectotype,
+        TypeKind::Neotype,
+        TypeKind::Isotype,
+        TypeKind::Syntype,
+    ];
+
+    /// Lowercase name used as the relationship attribute value.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TypeKind::Holotype => "holotype",
+            TypeKind::Lectotype => "lectotype",
+            TypeKind::Neotype => "neotype",
+            TypeKind::Isotype => "isotype",
+            TypeKind::Syntype => "syntype",
+        }
+    }
+
+    /// Parse from the relationship attribute value.
+    pub fn from_str_opt(s: &str) -> Option<TypeKind> {
+        TypeKind::ALL.into_iter().find(|k| k.as_str().eq_ignore_ascii_case(s))
+    }
+
+    /// Priority during name derivation (§2.1.2: "the holotype is always the
+    /// taxonomic type to be used in priority, then the lectotype, then the
+    /// neotype"). Lower number = higher priority; `None` = never used for
+    /// naming unless promoted.
+    pub fn naming_priority(self) -> Option<u8> {
+        match self {
+            TypeKind::Holotype => Some(0),
+            TypeKind::Lectotype => Some(1),
+            TypeKind::Neotype => Some(2),
+            TypeKind::Isotype | TypeKind::Syntype => None,
+        }
+    }
+
+    /// May a name carry more than one designation of this kind?
+    /// (§2.1.2: one holo/lecto/neotype; any number of isotypes/syntypes.)
+    pub fn unique_per_name(self) -> bool {
+        matches!(self, TypeKind::Holotype | TypeKind::Lectotype | TypeKind::Neotype)
+    }
+}
+
+impl fmt::Display for TypeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for k in TypeKind::ALL {
+            assert_eq!(TypeKind::from_str_opt(k.as_str()), Some(k));
+        }
+        assert_eq!(TypeKind::from_str_opt("HOLOTYPE"), Some(TypeKind::Holotype));
+        assert_eq!(TypeKind::from_str_opt("paratype"), None);
+    }
+
+    #[test]
+    fn priority_order_matches_icbn() {
+        let mut with_priority: Vec<TypeKind> =
+            TypeKind::ALL.into_iter().filter(|k| k.naming_priority().is_some()).collect();
+        with_priority.sort_by_key(|k| k.naming_priority().unwrap());
+        assert_eq!(
+            with_priority,
+            vec![TypeKind::Holotype, TypeKind::Lectotype, TypeKind::Neotype]
+        );
+        assert_eq!(TypeKind::Isotype.naming_priority(), None);
+    }
+
+    #[test]
+    fn uniqueness_constraints() {
+        assert!(TypeKind::Holotype.unique_per_name());
+        assert!(TypeKind::Lectotype.unique_per_name());
+        assert!(TypeKind::Neotype.unique_per_name());
+        assert!(!TypeKind::Isotype.unique_per_name());
+        assert!(!TypeKind::Syntype.unique_per_name());
+    }
+}

@@ -1,0 +1,187 @@
+//! # prometheus-db
+//!
+//! Facade crate for **Prometheus**, an extended object-oriented database for
+//! multiple overlapping classifications — a from-scratch Rust reproduction
+//! of the system in C. Raguenaud, *Managing complex taxonomic data in an
+//! object-oriented database* (Napier University; published as the Prometheus
+//! papers, SSDBM/BIBE 2000–2002).
+//!
+//! A [`Prometheus`] handle wires together:
+//!
+//! * the durable storage substrate (`prometheus-storage`),
+//! * the object layer with first-class relationships, classifications,
+//!   views, synonyms and units of work (`prometheus-object`),
+//! * the POOL query language (`prometheus-pool`),
+//! * the ECA rule engine and PCL (`prometheus-rules`),
+//! * and, optionally, the Prometheus taxonomic model
+//!   (`prometheus-taxonomy`).
+//!
+//! ```no_run
+//! use prometheus_db::Prometheus;
+//!
+//! let p = Prometheus::open("flora.db").unwrap();
+//! let tax = p.taxonomy().unwrap();
+//! let cls = tax.new_classification("Linnaeus 1753", "L.", "habit").unwrap();
+//! # let _ = cls;
+//! let result = p.query("select t from CT t").unwrap();
+//! println!("{} taxa", result.len());
+//! ```
+
+pub use prometheus_object::{
+    classification, database, events, index, instance, schema, synonym, traversal, value, views,
+};
+pub use prometheus_object::{
+    history_of, AttrDef, Cardinality, ClassDef, Classification, Database, Date, DbError,
+    DbResult, Event, EventListener, HistoryEntry, HistoryRecorder, ObjectInstance, Oid,
+    RelClassDef, RelInstance, RelKind, SchemaRegistry, Store, StoreOptions, SynonymMode, Type,
+    Value, View,
+};
+pub use prometheus_pool as pool;
+pub use prometheus_pool::{QueryResult, Row};
+pub use prometheus_rules as rules;
+pub use prometheus_rules::{Action, Rule, RuleEngine, RuleKind, Timing};
+pub use prometheus_storage as storage;
+pub use prometheus_taxonomy as taxonomy;
+pub use prometheus_taxonomy::{Rank, Taxonomy, TypeKind};
+
+use std::path::Path;
+use std::sync::Arc;
+
+/// One Prometheus database: storage + object layer + rules, with optional
+/// taxonomic schema.
+pub struct Prometheus {
+    db: Arc<Database>,
+    engine: Arc<RuleEngine>,
+}
+
+impl Prometheus {
+    /// Open (or create) a database at `path` with default options.
+    pub fn open(path: impl AsRef<Path>) -> DbResult<Prometheus> {
+        Prometheus::open_with(path, StoreOptions::default())
+    }
+
+    /// Open with explicit storage options (e.g. `sync_on_commit: false` for
+    /// benchmarking).
+    pub fn open_with(path: impl AsRef<Path>, options: StoreOptions) -> DbResult<Prometheus> {
+        let store = Arc::new(Store::open_with(path, options)?);
+        let db = Arc::new(Database::open(store)?);
+        let engine = RuleEngine::install(&db)?;
+        Ok(Prometheus { db, engine })
+    }
+
+    /// The object-layer database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The rule engine.
+    pub fn rules(&self) -> &Arc<RuleEngine> {
+        &self.engine
+    }
+
+    /// Install (idempotently) the Prometheus taxonomic schema and return the
+    /// taxonomy facade.
+    pub fn taxonomy(&self) -> DbResult<Taxonomy> {
+        Taxonomy::install(self.db.clone())
+    }
+
+    /// Install the taxonomic schema *and* the ICBN rule set (§7.1.3.2).
+    pub fn taxonomy_with_icbn(&self) -> DbResult<Taxonomy> {
+        let tax = self.taxonomy()?;
+        prometheus_taxonomy::icbn::install(&tax, &self.engine)?;
+        Ok(tax)
+    }
+
+    /// Run a POOL query.
+    pub fn query(&self, pool: &str) -> DbResult<QueryResult> {
+        prometheus_pool::query(&self.db, pool)
+    }
+
+    /// Translate a PCL document and install the resulting rules.
+    pub fn install_pcl(&self, pcl: &str) -> DbResult<usize> {
+        let rules = prometheus_rules::pcl::translate(pcl)?;
+        let count = rules.len();
+        for rule in rules {
+            self.engine.add_rule(rule)?;
+        }
+        Ok(count)
+    }
+
+    /// Run `f` inside a unit of work (commit on `Ok`, roll back on `Err`).
+    pub fn unit<T>(&self, f: impl FnOnce(&Database) -> DbResult<T>) -> DbResult<T> {
+        self.db.in_unit_scope(f)
+    }
+
+    /// Compact the backing log, reclaiming space held by superseded record
+    /// versions. Safe at any quiescent point; state is unchanged.
+    pub fn compact(&self) -> DbResult<()> {
+        self.db.store().compact()?;
+        Ok(())
+    }
+
+    /// Enable change-history recording (requirement 4 traceability): every
+    /// committed event is journaled per subject; query with
+    /// [`history_of`]. Call at most once per database.
+    pub fn enable_history(&self) -> DbResult<std::sync::Arc<HistoryRecorder>> {
+        HistoryRecorder::install(&self.db)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "prometheus-facade-{name}-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn open_query_and_pcl_round_trip() {
+        let p = Prometheus::open_with(
+            tmp("roundtrip"),
+            StoreOptions { sync_on_commit: false },
+        )
+        .unwrap();
+        let tax = p.taxonomy().unwrap();
+        let ct = tax.create_ct("Taxon 1", Rank::Genus).unwrap();
+        let r = p.query("select t from CT t").unwrap();
+        assert_eq!(r.oids(), vec![ct]);
+        // PCL rule installation and enforcement.
+        let n = p
+            .install_pcl("context CT pre working: self.working_name != null")
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(tax.create_ct("ok", Rank::Genus).is_ok());
+    }
+
+    #[test]
+    fn taxonomy_with_icbn_installs_rules() {
+        let p = Prometheus::open_with(tmp("icbn"), StoreOptions { sync_on_commit: false }).unwrap();
+        let tax = p.taxonomy_with_icbn().unwrap();
+        // Genus names must be capitalised per Figure 36.
+        assert!(tax.create_nt("apium", Rank::Genus, 1753, "L.").is_err());
+        assert!(!p.rules().rules().is_empty());
+    }
+
+    #[test]
+    fn unit_helper_commits_and_aborts() {
+        let p = Prometheus::open_with(tmp("unit"), StoreOptions { sync_on_commit: false }).unwrap();
+        let tax = p.taxonomy().unwrap();
+        let kept = p
+            .unit(|_| tax.create_ct("kept", Rank::Genus))
+            .unwrap();
+        assert!(p.db().exists(kept));
+        let result: DbResult<Oid> = p.unit(|_| {
+            let _ = tax.create_ct("lost", Rank::Genus)?;
+            Err(DbError::Query("forced".into()))
+        });
+        assert!(result.is_err());
+        assert_eq!(p.query("select t from CT t").unwrap().len(), 1);
+    }
+}

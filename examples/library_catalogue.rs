@@ -1,0 +1,110 @@
+//! The thesis' *other* running example (§1, introduction): a library whose
+//! books appear simultaneously in several catalogue classifications —
+//! by subject, by author, by format. Demonstrates that the classification
+//! mechanism is generic (requirements 11 and 12): nothing here is taxonomic.
+//!
+//! Run with: `cargo run --example library_catalogue`
+
+use prometheus_db::{
+    AttrDef, ClassDef, Classification, DbResult, Prometheus, RelClassDef, StoreOptions, Type,
+    Value, View,
+};
+
+fn main() -> DbResult<()> {
+    let path = std::env::temp_dir().join("prometheus-library.db");
+    let _ = std::fs::remove_file(&path);
+    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false })?;
+    let db = p.db();
+
+    db.define_class(
+        ClassDef::new("Category").attr(AttrDef::required("label", Type::Str).indexed()),
+    )?;
+    db.define_class(
+        ClassDef::new("Book")
+            .attr(AttrDef::required("title", Type::Str).indexed())
+            .attr(AttrDef::required("author", Type::Str).indexed())
+            .attr(AttrDef::optional("year", Type::Int)),
+    )?;
+    // Shelving is a generic placement classification — not is-a, not is-of
+    // (requirement 11), so a plain sharable aggregation fits.
+    db.define_relationship(
+        RelClassDef::aggregation("Holds", "Category", "Object").sharable(true),
+    )?;
+
+    let cat = |label: &str| -> DbResult<_> {
+        db.create_object("Category", vec![("label".to_string(), Value::from(label))])
+    };
+    let book = |title: &str, author: &str, year: i64| -> DbResult<_> {
+        db.create_object(
+            "Book",
+            vec![
+                ("title".to_string(), Value::from(title)),
+                ("author".to_string(), Value::from(author)),
+                ("year".to_string(), Value::Int(year)),
+            ],
+        )
+    };
+
+    let dune = book("Dune", "Herbert", 1965)?;
+    let hobbit = book("The Hobbit", "Tolkien", 1937)?;
+    let silmarillion = book("The Silmarillion", "Tolkien", 1977)?;
+    let neuromancer = book("Neuromancer", "Gibson", 1984)?;
+
+    // Catalogue 1: by subject.
+    let by_subject = Classification::create(db, "by-subject", Vec::new(), true)?;
+    let fiction = cat("Fiction")?;
+    let sf = cat("Science fiction")?;
+    let fantasy = cat("Fantasy")?;
+    by_subject.link(db, "Holds", fiction, sf, Vec::new())?;
+    by_subject.link(db, "Holds", fiction, fantasy, Vec::new())?;
+    for b in [dune, neuromancer] {
+        by_subject.link(db, "Holds", sf, b, Vec::new())?;
+    }
+    for b in [hobbit, silmarillion] {
+        by_subject.link(db, "Holds", fantasy, b, Vec::new())?;
+    }
+
+    // Catalogue 2: by author — the same book objects, a different shape.
+    let by_author = Classification::create(db, "by-author", Vec::new(), true)?;
+    let tolkien = cat("Tolkien shelf")?;
+    let others = cat("Other authors")?;
+    for b in [hobbit, silmarillion] {
+        by_author.link(db, "Holds", tolkien, b, Vec::new())?;
+    }
+    for b in [dune, neuromancer] {
+        by_author.link(db, "Holds", others, b, Vec::new())?;
+    }
+
+    // Query each catalogue independently (querying by context, §4.6.2).
+    println!("Fiction shelf, subject catalogue:");
+    let r = p.query(
+        "select b.title from Category c, Book b in classification \"by-subject\" \
+         where c.label = \"Fiction\" and b in c -> Holds* order by b.title",
+    )?;
+    for row in &r.rows {
+        println!("  {}", row.columns[0]);
+    }
+    println!("Tolkien shelf, author catalogue:");
+    let r = p.query(
+        "select b.title from Category c, Book b in classification \"by-author\" \
+         where c.label = \"Tolkien shelf\" and b in c -> Holds order by b.title",
+    )?;
+    for row in &r.rows {
+        println!("  {}", row.columns[0]);
+    }
+
+    // Compare catalogues: both contain all four books (full overlap on
+    // leaves) but no shared categories.
+    let cmp = by_subject.compare(db, &by_author, prometheus_db::SynonymMode::Ignore)?;
+    println!(
+        "Catalogues share {} leaves, {} categories",
+        cmp.shared_leaves.len(),
+        cmp.shared_nodes.len() - cmp.shared_leaves.len()
+    );
+
+    // Views scope the database to one catalogue (views layer, §6.1.3).
+    let view = View::new("subject-books").class("Book").classification(by_subject.oid());
+    view.save(db)?;
+    println!("View 'subject-books' sees {} objects", view.members(db)?.len());
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! An interactive POOL shell over the Figure 3 + Figure 4 datasets — the
+//! closest thing to the thesis prototype's query console.
+//!
+//! ```text
+//! cargo run --example pool_repl
+//! pool> select n.name, n.year from NT n order by n.year
+//! pool> \ast select x from CT x
+//! pool> \quit
+//! ```
+//!
+//! Reads queries from stdin (one per line); also works non-interactively:
+//! `echo 'select s.code from Specimen s' | cargo run --example pool_repl`.
+
+use prometheus_db::{DbResult, Prometheus, StoreOptions};
+use prometheus_taxonomy::dataset::{figure3, figure4};
+use std::io::{BufRead, Write};
+
+fn main() -> DbResult<()> {
+    let path = std::env::temp_dir().join("prometheus-repl.db");
+    let _ = std::fs::remove_file(&path);
+    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false })?;
+    let tax = p.taxonomy()?;
+    figure3(&tax)?;
+    figure4(&tax)?;
+    prometheus_taxonomy::derivation::derive_names(
+        &tax,
+        &prometheus_db::Classification::from_oid(
+            p.db().classification_by_name("Raguenaud 2000")?.unwrap(),
+        ),
+        "Raguenaud.",
+        2000,
+    )?;
+
+    println!("Prometheus POOL shell — Figure 3 + Figure 4 data loaded.");
+    println!("Classifications: Raguenaud 2000, taxonomist-1..4. Classes: NT, CT, Specimen.");
+    println!("Commands: \\ast <query> (show the parsed form), \\quit.");
+    let stdin = std::io::stdin();
+    loop {
+        print!("pool> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\quit" || line == "\\q" {
+            break;
+        }
+        if let Some(rest) = line.strip_prefix("\\ast ") {
+            match prometheus_db::pool::parse(rest) {
+                Ok(q) => println!("{q:#?}"),
+                Err(e) => println!("parse error: {e}"),
+            }
+            continue;
+        }
+        match p.query(line) {
+            Ok(result) => {
+                println!("{}", result.columns.join(" | "));
+                for row in &result.rows {
+                    let cells: Vec<String> = row.columns.iter().map(|v| v.to_string()).collect();
+                    println!("{}", cells.join(" | "));
+                }
+                println!("({} row(s))", result.len());
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}

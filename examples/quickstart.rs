@@ -1,0 +1,87 @@
+//! Quickstart: open a database, define a schema with first-class
+//! relationships, build two overlapping classifications over shared
+//! objects, and query them with POOL.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use prometheus_db::{
+    AttrDef, ClassDef, Classification, DbResult, Prometheus, RelClassDef, StoreOptions, Type,
+    Value,
+};
+
+fn main() -> DbResult<()> {
+    let path = std::env::temp_dir().join("prometheus-quickstart.db");
+    let _ = std::fs::remove_file(&path);
+    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false })?;
+    let db = p.db();
+
+    // 1. Schema: a class and a relationship class. Relationships are
+    //    first-class: they have their own class, attributes and instances.
+    db.define_class(
+        ClassDef::new("Topic")
+            .attr(AttrDef::required("name", Type::Str).indexed())
+            .attr(AttrDef::optional("notes", Type::Str)),
+    )?;
+    db.define_relationship(
+        RelClassDef::aggregation("Narrower", "Topic", "Topic")
+            .sharable(true) // a topic may sit under several broader topics…
+            .attr(AttrDef::optional("reason", Type::Str)), // …with traceability
+    )?;
+
+    // 2. Objects.
+    let science = db.create_object("Topic", attrs(&[("name", "Science")]))?;
+    let computing = db.create_object("Topic", attrs(&[("name", "Computing")]))?;
+    let databases = db.create_object("Topic", attrs(&[("name", "Databases")]))?;
+    let botany = db.create_object("Topic", attrs(&[("name", "Botany")]))?;
+
+    // 3. Two overlapping classifications of the *same* topics.
+    let acm = Classification::create(db, "ACM-style", Vec::new(), true)?;
+    acm.link(db, "Narrower", science, computing, attrs(&[("reason", "discipline")]))?;
+    acm.link(db, "Narrower", computing, databases, attrs(&[("reason", "subfield")]))?;
+
+    let library = Classification::create(db, "Library", Vec::new(), true)?;
+    library.link(db, "Narrower", science, botany, attrs(&[("reason", "shelf B")]))?;
+    library.link(db, "Narrower", science, databases, attrs(&[("reason", "shelf D")]))?;
+
+    // 4. POOL queries: the `in classification` clause scopes traversals.
+    println!("Everything under Science, ACM view:");
+    let r = p.query(
+        "select t.name from Topic root, Topic t in classification \"ACM-style\" \
+         where root.name = \"Science\" and t in root -> Narrower* order by t.name",
+    )?;
+    for row in &r.rows {
+        println!("  {}", row.columns[0]);
+    }
+
+    println!("Everything under Science, Library view:");
+    let r = p.query(
+        "select t.name from Topic root, Topic t in classification \"Library\" \
+         where root.name = \"Science\" and t in root -> Narrower* order by t.name",
+    )?;
+    for row in &r.rows {
+        println!("  {}", row.columns[0]);
+    }
+
+    // 5. The same object really is shared: Databases has a different parent
+    //    in each classification.
+    let acm_parents = acm.parents(db, databases)?;
+    let lib_parents = library.parents(db, databases)?;
+    println!(
+        "Databases sits under {:?} in ACM and under {:?} in the library — one object, two overlapping classifications.",
+        db.object(acm_parents[0])?.attr("name"),
+        db.object(lib_parents[0])?.attr("name"),
+    );
+
+    // 6. Constraints via PCL: topic names must not be empty strings. (The
+    //    schema itself already rejects a null name — rules add the rest.)
+    p.install_pcl("context Topic pre named: self.name != \"\"")?;
+    match db.create_object("Topic", vec![("name".to_string(), Value::from(""))]) {
+        Err(e) => println!("Rule engine rejected an unnamed topic: {e}"),
+        Ok(_) => unreachable!("the rule must fire"),
+    }
+    Ok(())
+}
+
+fn attrs(pairs: &[(&str, &str)]) -> Vec<(String, Value)> {
+    pairs.iter().map(|(k, v)| (k.to_string(), Value::from(*v))).collect()
+}

@@ -1,0 +1,75 @@
+//! What-if scenarios (§7.1.4): a taxonomist speculatively reorganises a
+//! classification inside a unit of work, inspects the consequences (here:
+//! how the derived names would change), and then keeps or discards the
+//! experiment. Discarding rolls back every object, relationship, index and
+//! classification change.
+//!
+//! Run with: `cargo run --example what_if`
+
+use prometheus_db::{DbResult, Prometheus, StoreOptions};
+use prometheus_taxonomy::dataset::{random_flora, FloraParams};
+use prometheus_taxonomy::revision::{Revision, WhatIf};
+
+fn main() -> DbResult<()> {
+    let path = std::env::temp_dir().join("prometheus-what-if.db");
+    let _ = std::fs::remove_file(&path);
+    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false })?;
+    let tax = p.taxonomy()?;
+
+    // A small synthetic flora (see DESIGN.md, Substitutions) and a revision.
+    let params = FloraParams {
+        families: 1,
+        genera_per_family: 3,
+        species_per_genus: 4,
+        specimens_per_species: 2,
+        type_percent: 100,
+    };
+    let flora = random_flora(&tax, &params, 2024)?;
+    let revision = Revision::start(&tax, &flora.classification, "working-revision")?;
+    let db = tax.db();
+
+    let species = flora.species[0];
+    let old_genus = revision.working.parents(db, species)?[0];
+    let new_genus = *flora.genera.iter().find(|g| **g != old_genus).unwrap();
+    println!(
+        "Scenario: move species '{}' from genus '{}' to genus '{}'",
+        tax.name_of(species)?,
+        tax.name_of(old_genus)?,
+        tax.name_of(new_genus)?
+    );
+
+    // Scenario 1: try the move, look at the resulting circumscriptions,
+    // decide to DISCARD.
+    let (decision, counts) = revision.what_if(&tax, |tax, working| {
+        let db = tax.db();
+        for edge in db.classification_parent_edges(working.oid(), species)? {
+            working.remove_edge(db, edge.oid)?;
+        }
+        tax.circumscribe(working, new_genus, species)?;
+        let old_size = tax.circumscription(working, old_genus)?.len();
+        let new_size = tax.circumscription(working, new_genus)?.len();
+        println!("  inside the scenario: old genus now holds {old_size} specimens, new genus {new_size}");
+        Ok((WhatIf::Discard, (old_size, new_size)))
+    })?;
+    println!("  decision: {decision:?} (sizes seen: {counts:?})");
+    assert_eq!(revision.working.parents(db, species)?, vec![old_genus]);
+    println!("  after discard the species is back under '{}'", tax.name_of(old_genus)?);
+
+    // Scenario 2: same move, KEEP it this time.
+    let (decision, _) = revision.what_if(&tax, |tax, working| {
+        let db = tax.db();
+        for edge in db.classification_parent_edges(working.oid(), species)? {
+            working.remove_edge(db, edge.oid)?;
+        }
+        tax.circumscribe(working, new_genus, species)?;
+        Ok((WhatIf::Keep, ()))
+    })?;
+    println!("Second run, decision: {decision:?}");
+    assert_eq!(revision.working.parents(db, species)?, vec![new_genus]);
+    println!("  the working classification now keeps the move,");
+    println!(
+        "  while the published base still has the species under '{}'",
+        tax.name_of(revision.base.parents(db, species)?[0])?
+    );
+    Ok(())
+}

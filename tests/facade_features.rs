@@ -1,0 +1,119 @@
+//! Facade-level integration of the remaining chapter-4/6 features: ODL
+//! schema export, persisted views queried through POOL, composite deep copy
+//! and deferred minimum-cardinality validation.
+
+use prometheus_db::{
+    Cardinality, Prometheus, Rank, RelClassDef, StoreOptions, TypeKind, Value, View,
+};
+
+fn open(name: &str) -> Prometheus {
+    let path = std::env::temp_dir().join(format!(
+        "facade-feat-{name}-{}-{:?}.log",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    Prometheus::open_with(path, StoreOptions { sync_on_commit: false }).unwrap()
+}
+
+#[test]
+fn taxonomic_schema_exports_as_odl() {
+    let p = open("odl");
+    let _tax = p.taxonomy().unwrap();
+    let odl = p.db().with_schema(|s| s.to_odl());
+    // The Figure 6 shape is recognisable in the export.
+    assert!(odl.contains("class CT {"));
+    assert!(odl.contains("class NT {"));
+    assert!(odl.contains("class Specimen {"));
+    assert!(odl.contains("relationship aggregation Circumscribes (CT -> Object) {"));
+    assert!(odl.contains("relationship association HasType (NT -> Object) {"));
+    assert!(odl.contains("sharable"));
+    assert!(odl.contains("acyclic"));
+}
+
+#[test]
+fn views_are_queryable_through_pool() {
+    let p = open("views");
+    let tax = p.taxonomy().unwrap();
+    let cls = tax.new_classification("mine", "me", "c").unwrap();
+    let g = tax.create_ct("G", Rank::Genus).unwrap();
+    let s1 = tax.create_specimen("A-1").unwrap();
+    let s2 = tax.create_specimen("B-2").unwrap();
+    tax.circumscribe(&cls, g, s1).unwrap();
+    let _outside = s2;
+    View::new("classified-specimens")
+        .class("Specimen")
+        .classification(cls.oid())
+        .save(p.db())
+        .unwrap();
+    let r = p
+        .query("select s.code from view \"classified-specimens\" s order by s.code")
+        .unwrap();
+    assert_eq!(r.first_column(), vec![Value::from("A-1")]);
+}
+
+#[test]
+fn deep_copy_duplicates_a_name_with_its_exclusive_state() {
+    let p = open("copy");
+    let tax = p.taxonomy().unwrap();
+    let db = p.db();
+    let nt = tax.create_nt("Apium", Rank::Genus, 1753, "L.").unwrap();
+    let s = tax.create_specimen("S").unwrap();
+    tax.typify(nt, s, TypeKind::Lectotype).unwrap();
+    // HasType is a sharable association: the copy must point at the SAME
+    // specimen (types are shared evidence, not parts).
+    let copy = db.deep_copy(nt).unwrap();
+    assert_ne!(copy, nt);
+    let types = tax.types_of(copy).unwrap();
+    assert_eq!(types, vec![(TypeKind::Lectotype, s)]);
+    assert_eq!(tax.name_of(copy).unwrap(), "Apium");
+    // Homonym detection now sees the duplicate — the §2.3 audit workflow.
+    let homonyms = prometheus_taxonomy::synonymy::detect_homonyms(&tax).unwrap();
+    assert_eq!(homonyms, vec![(nt, copy)]);
+}
+
+#[test]
+fn min_cardinality_validation_as_a_deferred_audit() {
+    let p = open("mincard");
+    let tax = p.taxonomy().unwrap();
+    let db = p.db();
+    // An ICBN-flavoured minimum: every NT must carry at least one HasType.
+    // (The rule-engine variant is `icbn-type-existence`; this is the bulk
+    // audit form for already-loaded historical data.)
+    db.define_relationship(
+        RelClassDef::association("AuditHasType", "NT", "Specimen")
+            .origin_cardinality(Cardinality::at_least(1)),
+    )
+    .unwrap();
+    let nt = tax.create_nt("Apium", Rank::Genus, 1753, "L.").unwrap();
+    let problems = db.validate_min_cardinalities().unwrap();
+    assert_eq!(problems.len(), 1, "{problems:?}");
+    let s = tax.create_specimen("S").unwrap();
+    db.create_relationship("AuditHasType", nt, s, Vec::new()).unwrap();
+    assert!(db.validate_min_cardinalities().unwrap().is_empty());
+}
+
+#[test]
+fn history_traces_a_taxons_life() {
+    // The HICLAS-style question — "what happened to this taxon?" — answered
+    // from recorded structure, not name-based opinion (§2.2's critique).
+    let p = open("history");
+    p.enable_history().unwrap();
+    let tax = p.taxonomy().unwrap();
+    let cls = tax.new_classification("rev", "me", "c").unwrap();
+    let g1 = tax.create_ct("G1", Rank::Genus).unwrap();
+    let g2 = tax.create_ct("G2", Rank::Genus).unwrap();
+    let sp = tax.create_ct("s", Rank::Species).unwrap();
+    let e1 = tax.circumscribe(&cls, g1, sp).unwrap();
+    // Move the species to the other genus.
+    cls.remove_edge(p.db(), e1).unwrap();
+    tax.circumscribe(&cls, g2, sp).unwrap();
+
+    let history = prometheus_db::history_of(p.db(), sp).unwrap();
+    let kinds: Vec<&str> = history.iter().map(|e| e.kind.as_str()).collect();
+    assert_eq!(kinds, vec!["object-created"]);
+    // The movement shows on the edges' histories.
+    let e1_history = prometheus_db::history_of(p.db(), e1).unwrap();
+    let e1_kinds: Vec<&str> = e1_history.iter().map(|e| e.kind.as_str()).collect();
+    assert_eq!(e1_kinds, vec!["rel-created", "classified", "declassified"]);
+}

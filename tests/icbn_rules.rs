@@ -1,0 +1,104 @@
+//! Integration tests for the ICBN constraint set (§7.1.3.2, Figures 35–40)
+//! installed through the facade, plus PCL-defined custom rules.
+
+use prometheus_db::{DbError, Prometheus, Rank, StoreOptions, TypeKind};
+
+fn open(name: &str) -> Prometheus {
+    let path = std::env::temp_dir().join(format!(
+        "icbn-int-{name}-{}-{:?}.log",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    Prometheus::open_with(path, StoreOptions { sync_on_commit: false }).unwrap()
+}
+
+#[test]
+fn the_full_icbn_set_installs_and_enforces() {
+    let p = open("full");
+    let tax = p.taxonomy_with_icbn().unwrap();
+    let db = tax.db().clone();
+
+    // Figure 35: family names end in -aceae (with the classical exceptions).
+    assert!(tax.create_nt("Apium", Rank::Familia, 1753, "L.").is_err());
+    // Figure 36: genus names capitalised; species epithets lowercase.
+    assert!(tax.create_nt("apium", Rank::Genus, 1753, "L.").is_err());
+    assert!(tax.create_nt("Graveolens", Rank::Species, 1753, "L.").is_err());
+
+    // Figure 37: the type-existence rule is deferred — a unit that creates
+    // and typifies in sequence commits cleanly.
+    let token = db.begin_unit();
+    let family = tax.create_nt("Apiaceae", Rank::Familia, 1789, "Lindl.").unwrap();
+    let genus = tax.create_nt("Apium", Rank::Genus, 1753, "L.").unwrap();
+    let species = tax.create_nt("graveolens", Rank::Species, 1753, "L.").unwrap();
+    let spec = tax.create_specimen("Herb.Cliff.107").unwrap();
+    tax.typify(species, spec, TypeKind::Lectotype).unwrap();
+    tax.typify(genus, species, TypeKind::Holotype).unwrap();
+    tax.typify(family, genus, TypeKind::Holotype).unwrap();
+    db.commit_unit(token).unwrap();
+
+    // But a unit that forgets typification rolls back entirely.
+    let token = db.begin_unit();
+    let orphan = tax.create_nt("Sium", Rank::Genus, 1753, "L.").unwrap();
+    let err = db.commit_unit(token).unwrap_err();
+    assert!(matches!(err, DbError::ConstraintViolation { rule, .. } if rule == "icbn-type-existence"));
+    assert!(!db.exists(orphan));
+
+    // Figures 38/39 (rank order, native rule) and the facade-level check.
+    let cls = tax.new_classification("test", "t", "c").unwrap();
+    let ct_family = tax.create_ct("Fam", Rank::Familia).unwrap();
+    let ct_genus = tax.create_ct("Gen", Rank::Genus).unwrap();
+    tax.circumscribe(&cls, ct_family, ct_genus).unwrap();
+    assert!(tax.circumscribe(&cls, ct_genus, ct_family).is_err());
+
+    // Figure 40: placements attach epithets to higher names.
+    tax.place(genus, species).unwrap();
+    assert!(tax.place(species, genus).is_err());
+}
+
+#[test]
+fn pcl_documents_install_through_the_facade() {
+    let p = open("pcl");
+    let tax = p.taxonomy().unwrap();
+    let n = p
+        .install_pcl(
+            "-- working names must not be empty\n\
+             context CT pre namedWorking: self.working_name != \"\"\n\
+             \n\
+             context CT inv speciesAreLower when self.rank = \"Species\": \
+                 not capitalized(self.working_name) warn",
+        )
+        .unwrap();
+    assert_eq!(n, 2);
+    // The pre-condition aborts.
+    assert!(tax.create_ct("", Rank::Genus).is_err());
+    // The warn-rule lets the operation pass but records the problem.
+    tax.create_ct("BadCase", Rank::Species).unwrap();
+    assert!(p.rules().warnings().iter().any(|w| w.contains("speciesAreLower")));
+}
+
+#[test]
+fn icbn_rules_coexist_with_user_rules() {
+    let p = open("coexist");
+    let tax = p.taxonomy_with_icbn().unwrap();
+    p.install_pcl("context Specimen pre coded: self.code != \"\"").unwrap();
+    assert!(tax.create_specimen("").is_err());
+    assert!(tax.create_specimen("E-1").is_ok());
+    // ICBN rules still active.
+    assert!(tax.create_nt("apium", Rank::Genus, 1753, "L.").is_err());
+}
+
+#[test]
+fn what_if_scenarios_respect_deferred_rules() {
+    // A what-if unit that would leave an NT untypified cannot be kept.
+    let p = open("whatif-rules");
+    let tax = p.taxonomy_with_icbn().unwrap();
+    let db = tax.db().clone();
+    let token = db.begin_unit();
+    let nt = tax.create_nt("Apium", Rank::Genus, 1753, "L.").unwrap();
+    // The taxonomist inspects the speculative state…
+    assert!(db.exists(nt));
+    // …and decides to keep it — but the deferred ICBN rule vetoes the commit.
+    assert!(db.commit_unit(token).is_err());
+    assert!(!db.exists(nt));
+}

@@ -1,0 +1,159 @@
+//! The "typical taxonomic queries" of §7.1.3.1, expressed in POOL against
+//! the Figure 3 / Figure 4 worked examples — the queries a taxonomist at the
+//! RBGE actually asked of the prototype.
+
+use prometheus_db::{Prometheus, StoreOptions, Value};
+use prometheus_taxonomy::dataset::{figure3, figure4};
+use prometheus_taxonomy::derivation::derive_names;
+
+fn open(name: &str) -> Prometheus {
+    let path = std::env::temp_dir().join(format!(
+        "pool-typ-{name}-{}-{:?}.log",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    Prometheus::open_with(path, StoreOptions { sync_on_commit: false }).unwrap()
+}
+
+#[test]
+fn which_names_has_this_specimen_been_given() {
+    // "What are all the names attached to this specimen, in any
+    // classification?" — the question the introduction's pharmaceutical
+    // company needed answered.
+    let p = open("names-of-specimen");
+    let tax = p.taxonomy().unwrap();
+    let fig = figure3(&tax).unwrap();
+    derive_names(&tax, &fig.cls, "Raguenaud.", 2000).unwrap();
+
+    // The repens type specimen typifies the old name and the new
+    // combination.
+    let r = p
+        .query(
+            "select n.name, n.author from NT n, Specimen s \
+             where s.code = \"Repens-type\" and s in n -> HasType order by n.author",
+        )
+        .unwrap();
+    assert_eq!(r.len(), 2);
+    assert_eq!(r.rows[0].columns[0], Value::from("repens"));
+    assert_eq!(r.rows[0].columns[1], Value::from("(Jacq.)Lag."));
+    assert_eq!(r.rows[1].columns[1], Value::from("(Jacq.)Raguenaud."));
+}
+
+#[test]
+fn which_taxa_circumscribe_a_specimen_in_each_context() {
+    let p = open("taxa-of-specimen");
+    let tax = p.taxonomy().unwrap();
+    let fig = figure4(&tax).unwrap();
+    let _ = &fig;
+
+    // Across all classifications the white square has several containers…
+    let r = p
+        .query(
+            "select distinct t.working_name from Specimen s, CT t \
+             where s.code = \"white-square\" and t in s <- Circumscribes* \
+             order by t.working_name",
+        )
+        .unwrap();
+    assert!(r.len() >= 6, "containers across 4 classifications, got {}", r.len());
+    // …but within taxonomist 3's context exactly two (Bright, Shades).
+    let r = p
+        .query(
+            "select t.working_name from Specimen s, CT t in classification \"taxonomist-3\" \
+             where s.code = \"white-square\" and t in s <- Circumscribes* \
+             order by t.working_name",
+        )
+        .unwrap();
+    let names: Vec<Value> = r.first_column();
+    assert_eq!(names, vec![Value::from("Bright"), Value::from("Shades")]);
+}
+
+#[test]
+fn circumscription_counts_per_taxon() {
+    // "How many specimens does each of my groups contain?"
+    let p = open("counts");
+    let tax = p.taxonomy().unwrap();
+    figure4(&tax).unwrap();
+    let r = p
+        .query(
+            "select t.working_name, count(t -> Circumscribes*) \
+             from CT t in classification \"taxonomist-3\" \
+             where t.working_name = \"Dark\"",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0].columns[1], Value::Int(3));
+}
+
+#[test]
+fn priority_queries_over_publication_years() {
+    // "Which is the oldest validly published species name?" (priority rule)
+    let p = open("priority");
+    let tax = p.taxonomy().unwrap();
+    figure3(&tax).unwrap();
+    let r = p
+        .query(
+            "select n.name from NT n where n.rank = \"Species\" \
+             order by n.year, n.name limit 1",
+        )
+        .unwrap();
+    assert_eq!(r.first_column(), vec![Value::from("graveolens")]);
+    // Aggregate form.
+    let r = p
+        .query(
+            "select min(select n.year from NT n where n.rank = \"Species\") \
+             from NT x limit 1",
+        )
+        .unwrap();
+    assert_eq!(r.rows[0].columns[0], Value::Int(1753));
+}
+
+#[test]
+fn type_hierarchy_navigation() {
+    // "Walk the type hierarchy from a name down to its specimens" (Figure 2).
+    let p = open("typewalk");
+    let tax = p.taxonomy().unwrap();
+    figure3(&tax).unwrap();
+    // Apium's holotype is graveolens (a name), whose lectotype is a specimen:
+    // a depth-2 traversal over HasType lands on the specimen.
+    let r = p
+        .query(
+            "select s.code from NT n, Specimen s \
+             where n.name = \"Apium\" and s in n -> HasType[2..2]",
+        )
+        .unwrap();
+    assert_eq!(r.first_column(), vec![Value::from("Herb.Cliff.107 Apium 1 BM")]);
+}
+
+#[test]
+fn relationships_are_queried_uniformly() {
+    // §5.1.1.2: relationship extents and attributes are first-class in POOL.
+    let p = open("uniform");
+    let tax = p.taxonomy().unwrap();
+    figure3(&tax).unwrap();
+    let r = p
+        .query(
+            "select e.kind, e.origin.name from edges HasType e \
+             where e.kind = \"holotype\" order by e.origin.name",
+        )
+        .unwrap();
+    assert_eq!(r.len(), 3);
+    assert_eq!(r.rows[0].columns[1], Value::from("Apium"));
+}
+
+#[test]
+fn working_names_vs_published_names() {
+    // After derivation, CTs expose their calculated names through a join.
+    let p = open("working");
+    let tax = p.taxonomy().unwrap();
+    let fig = figure3(&tax).unwrap();
+    derive_names(&tax, &fig.cls, "Raguenaud.", 2000).unwrap();
+    let r = p
+        .query(
+            "select t.working_name, n.name from CT t, NT n \
+             where n in t -> CalculatedName order by t.working_name",
+        )
+        .unwrap();
+    assert_eq!(r.len(), 2);
+    assert_eq!(r.rows[0].columns, vec![Value::from("Taxon 1"), Value::from("Heliosciadium")]);
+    assert_eq!(r.rows[1].columns, vec![Value::from("Taxon 2"), Value::from("repens")]);
+}

@@ -1,0 +1,173 @@
+//! Property-based tests (proptest) over the core invariants: the binary
+//! codec, order-preserving value encoding, the synonym union–find, rank
+//! ordering, and classification structure under random edit sequences.
+
+use prometheus_db::{Oid, Prometheus, Rank, StoreOptions, Value};
+use prometheus_object::synonym::SynonymTable;
+use prometheus_storage::codec;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Float),
+        "[a-zA-Zéü ]{0,12}".prop_map(Value::Str),
+        (1800i32..2100, 1u8..13, 1u8..29)
+            .prop_map(|(y, m, d)| Value::Date(prometheus_db::Date::new(y, m, d))),
+        (1u64..10_000).prop_map(|n| Value::Ref(Oid::from_raw(n))),
+    ];
+    leaf.prop_recursive(2, 16, 4, |inner| {
+        prop::collection::vec(inner, 0..4).prop_map(Value::List)
+    })
+}
+
+proptest! {
+    /// Every Value round-trips through the storage codec.
+    #[test]
+    fn codec_round_trips_values(v in arb_value()) {
+        let bytes = codec::to_bytes(&v).unwrap();
+        let back: Value = codec::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    /// Maps of values round-trip (the shape of object attribute maps).
+    #[test]
+    fn codec_round_trips_attr_maps(
+        entries in prop::collection::btree_map("[a-z]{1,8}", arb_value(), 0..8)
+    ) {
+        let bytes = codec::to_bytes(&entries).unwrap();
+        let back: BTreeMap<String, Value> = codec::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, entries);
+    }
+
+    /// The order-preserving encoding agrees with Value's total order for
+    /// same-variant values (the property attribute-range scans rely on).
+    #[test]
+    fn ordered_encoding_is_monotone_ints(a in any::<i64>(), b in any::<i64>()) {
+        let (mut ea, mut eb) = (Vec::new(), Vec::new());
+        Value::Int(a).encode_ordered(&mut ea);
+        Value::Int(b).encode_ordered(&mut eb);
+        prop_assert_eq!(a.cmp(&b), ea.cmp(&eb));
+    }
+
+    #[test]
+    fn ordered_encoding_is_monotone_strings(a in "[a-z]{0,10}", b in "[a-z]{0,10}") {
+        let (mut ea, mut eb) = (Vec::new(), Vec::new());
+        Value::Str(a.clone()).encode_ordered(&mut ea);
+        Value::Str(b.clone()).encode_ordered(&mut eb);
+        prop_assert_eq!(a.cmp(&b), ea.cmp(&eb));
+    }
+
+    /// The union–find synonym table is equivalent to a naive partition
+    /// model under any sequence of declarations.
+    #[test]
+    fn synonym_table_matches_naive_partition(
+        pairs in prop::collection::vec((1u64..30, 1u64..30), 0..40)
+    ) {
+        let mut table = SynonymTable::new();
+        let mut naive: Vec<BTreeSet<u64>> = Vec::new();
+        for (a, b) in &pairs {
+            table.declare(Oid::from_raw(*a), Oid::from_raw(*b));
+            let ia = naive.iter().position(|s| s.contains(a));
+            let ib = naive.iter().position(|s| s.contains(b));
+            match (ia, ib) {
+                (None, None) => naive.push([*a, *b].into_iter().collect()),
+                (Some(i), None) => { naive[i].insert(*b); }
+                (None, Some(j)) => { naive[j].insert(*a); }
+                (Some(i), Some(j)) if i != j => {
+                    let merged: BTreeSet<u64> = naive[i].union(&naive[j]).copied().collect();
+                    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+                    naive.remove(hi);
+                    naive[lo] = merged;
+                }
+                _ => {}
+            }
+        }
+        for x in 1u64..30 {
+            for y in 1u64..30 {
+                let same_naive = naive.iter().any(|s| s.contains(&x) && s.contains(&y)) || x == y;
+                prop_assert_eq!(
+                    table.same(Oid::from_raw(x), Oid::from_raw(y)),
+                    same_naive,
+                    "x={} y={}", x, y
+                );
+            }
+        }
+    }
+
+    /// Rank placement is a strict order: irreflexive, antisymmetric, and
+    /// consistent with the Figure 1 ladder.
+    #[test]
+    fn rank_placement_is_strict_order(a in 0usize..24, b in 0usize..24) {
+        let (ra, rb) = (Rank::ALL[a], Rank::ALL[b]);
+        prop_assert!(!ra.may_be_placed_below(ra));
+        if ra.may_be_placed_below(rb) {
+            prop_assert!(!rb.may_be_placed_below(ra));
+            prop_assert!(rb < ra);
+        }
+    }
+}
+
+/// Random interleavings of create/link/unlink operations keep a strict
+/// classification single-parented and acyclic.
+#[test]
+fn classification_invariants_under_random_edits() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let path = std::env::temp_dir().join(format!(
+        "prop-cls-{}-{:?}.log",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap();
+    let tax = p.taxonomy().unwrap();
+    let db = tax.db();
+    let cls = tax.new_classification("fuzz", "f", "f").unwrap();
+    let mut rng = StdRng::seed_from_u64(1234);
+    let nodes: Vec<_> = (0..20)
+        .map(|i| tax.create_ct(&format!("N{i}"), Rank::ALL[i % 24]).unwrap())
+        .collect();
+    let mut edges: Vec<Oid> = Vec::new();
+    for _ in 0..300 {
+        let op = rng.gen_range(0..3);
+        match op {
+            0 => {
+                let a = nodes[rng.gen_range(0..nodes.len())];
+                let b = nodes[rng.gen_range(0..nodes.len())];
+                // Any violation (rank, cycle, strictness) must be rejected,
+                // never applied partially.
+                if let Ok(edge) = tax.circumscribe(&cls, a, b) {
+                    edges.push(edge);
+                }
+            }
+            1 => {
+                if !edges.is_empty() {
+                    let i = rng.gen_range(0..edges.len());
+                    let edge = edges.swap_remove(i);
+                    if db.exists(edge) {
+                        cls.remove_edge(db, edge).unwrap();
+                    }
+                }
+            }
+            _ => {
+                // Speculative what-if that is always rolled back must leave
+                // the structure unchanged.
+                let before = db.classification_edges(cls.oid()).unwrap();
+                let token = db.begin_unit();
+                let a = nodes[rng.gen_range(0..nodes.len())];
+                let b = nodes[rng.gen_range(0..nodes.len())];
+                let _ = tax.circumscribe(&cls, a, b);
+                db.abort_unit(token);
+                assert_eq!(db.classification_edges(cls.oid()).unwrap(), before);
+            }
+        }
+        // Invariants hold after every step.
+        let problems = cls.check_integrity(db).unwrap();
+        assert!(problems.is_empty(), "integrity violated: {problems:?}");
+    }
+    let _ = std::fs::remove_file(path);
+}

@@ -1,0 +1,80 @@
+//! Laptop-scale stress test: a flora the size of a real revision (thousands
+//! of taxa), multiple overlapping revisions, full derivation, synonym
+//! detection and POOL queries — end to end in seconds.
+
+use prometheus_db::{Prometheus, StoreOptions, SynonymMode, Value};
+use prometheus_taxonomy::dataset::{overlapping_revisions, random_flora, FloraParams};
+use prometheus_taxonomy::derivation::derive_names;
+use prometheus_taxonomy::synonymy::detect_synonyms;
+
+#[test]
+fn large_flora_end_to_end() {
+    let path = std::env::temp_dir().join(format!(
+        "scale-{}-{:?}.log",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap();
+    let tax = p.taxonomy().unwrap();
+
+    // ~2.6k CTs, ~4.8k specimens — the "family with thousands of names"
+    // scale the introduction motivates.
+    let params = FloraParams {
+        families: 4,
+        genera_per_family: 10,
+        species_per_genus: 15,
+        specimens_per_species: 2,
+        type_percent: 100,
+    };
+    let flora = random_flora(&tax, &params, 20260705).unwrap();
+    assert_eq!(flora.species.len(), 600);
+    assert_eq!(flora.specimens.len(), 1200);
+
+    // Derivation names every ranked CT.
+    let outcome = derive_names(&tax, &flora.classification, "Scale.", 2026).unwrap();
+    assert_eq!(outcome.names.len(), params.taxon_count());
+
+    // Two overlapping revisions with 20% of species moved.
+    let revisions = overlapping_revisions(&tax, &flora, 2, 20, 99).unwrap();
+    let db = tax.db();
+    for rev in &revisions {
+        assert!(rev.check_integrity(db).unwrap().is_empty());
+    }
+
+    // Synonym detection between base and revision finds pro-parte overlaps
+    // for every genus that lost or gained species.
+    let reports =
+        detect_synonyms(&tax, &flora.classification, &revisions[0], SynonymMode::Ignore).unwrap();
+    assert!(!reports.is_empty());
+
+    // POOL at scale: count species CTs, indexed lookup, contextual closure.
+    // Revisions copy *edges*, never CT objects, so there are still exactly
+    // 600 species CTs in the database.
+    let r = p
+        .query("select count(select t from CT t where t.rank = \"Species\") from CT x limit 1")
+        .unwrap();
+    assert_eq!(r.rows[0].columns[0], Value::Int(600));
+
+    let label = tax.name_of(flora.species[123]).unwrap();
+    let r = p
+        .query(&format!(
+            "select t from CT t where t.working_name = \"{label}\""
+        ))
+        .unwrap();
+    assert_eq!(r.len(), 1);
+
+    // Contextual closure from a family root within the base classification.
+    let family_name = tax.name_of(flora.families[0]).unwrap();
+    let cls_name = flora.classification.name(db).unwrap();
+    let r = p
+        .query(&format!(
+            "select count(f -> Circumscribes*) from CT f in classification \"{cls_name}\" \
+             where f.working_name = \"{family_name}\""
+        ))
+        .unwrap();
+    let reachable = r.rows[0].columns[0].as_int().unwrap();
+    // 10 genera + 150 species + 300 specimens below one family.
+    assert_eq!(reachable, 10 + 150 + 300);
+    let _ = std::fs::remove_file(path);
+}
