@@ -93,6 +93,40 @@ pub fn write_sweep_csv(path: &Path, points: &[SweepPoint]) -> std::io::Result<()
     std::fs::write(path, csv)
 }
 
+/// Exact percentile over an ascending-sorted latency sample (µs): the value
+/// at the ceil(p·n)-th observation. Used by the `loadgen` binary, which keeps
+/// every measurement, so no histogram approximation is needed.
+pub fn percentile_us(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((p.clamp(0.0, 1.0) * sorted_us.len() as f64).ceil() as usize).max(1);
+    sorted_us[rank.min(sorted_us.len()) - 1]
+}
+
+/// Render a one-workload latency/throughput summary for the load generator.
+pub fn render_latency_summary(
+    label: &str,
+    sorted_us: &[u64],
+    elapsed_secs: f64,
+) -> String {
+    let ops = sorted_us.len();
+    let throughput = if elapsed_secs > 0.0 { ops as f64 / elapsed_secs } else { 0.0 };
+    let mean = if ops == 0 {
+        0.0
+    } else {
+        sorted_us.iter().sum::<u64>() as f64 / ops as f64
+    };
+    format!(
+        "{label:<12} {ops:>8} ops {throughput:>10.0} op/s  mean {mean:>8.1} µs  \
+         p50 {:>6} µs  p90 {:>6} µs  p99 {:>6} µs  max {:>8} µs",
+        percentile_us(sorted_us, 0.50),
+        percentile_us(sorted_us, 0.90),
+        percentile_us(sorted_us, 0.99),
+        sorted_us.last().copied().unwrap_or(0),
+    )
+}
+
 /// Classify a sweep's growth: the ratio of the last per-item cost to the
 /// first. Near 1.0 ⇒ constant per-item cost (Figure 44's claim); well above
 /// 1.0 ⇒ non-constant (Figures 45/46).
@@ -137,6 +171,19 @@ mod tests {
             SweepPoint { nodes: 1000, total_us: 5000.0, per_item_us: 5.0 },
         ];
         assert!(growth_ratio(&growing) > 4.0);
+    }
+
+    #[test]
+    fn percentiles_pick_exact_ranks() {
+        let sample: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_us(&sample, 0.50), 50);
+        assert_eq!(percentile_us(&sample, 0.99), 99);
+        assert_eq!(percentile_us(&sample, 1.0), 100);
+        assert_eq!(percentile_us(&sample, 0.0), 1);
+        assert_eq!(percentile_us(&[], 0.5), 0);
+        let summary = render_latency_summary("query", &sample, 2.0);
+        assert!(summary.contains("50 op/s"));
+        assert!(summary.contains("p99"));
     }
 
     #[test]

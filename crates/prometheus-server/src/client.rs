@@ -1,0 +1,295 @@
+//! Blocking client for the Prometheus wire protocol.
+//!
+//! [`PrometheusClient`] speaks the framed protocol of [`crate::frame`] over
+//! one TCP connection: connect (with retry), handshake, then typed methods
+//! for every request. Remote failures surface as
+//! [`ServerError::Remote`] carrying the server's error kind, so callers can
+//! distinguish a rejected mutation from a broken transport.
+//!
+//! Units of work are driven through [`UnitGuard`], an RAII handle returned
+//! by [`PrometheusClient::begin_unit`]: dropping the guard without
+//! committing sends `UnitAbort`, so a panicking or early-returning caller
+//! never leaves a unit holding the server's writer lane.
+
+use crate::error::{ServerError, ServerResult};
+use crate::frame::{read_msg, write_msg};
+use crate::metrics::MetricsSnapshot;
+use crate::protocol::{MutationOp, Request, Response, WireRows, PROTOCOL_VERSION};
+use prometheus_db::{Oid, Value};
+use prometheus_storage::StatsSnapshot;
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::thread;
+use std::time::Duration;
+
+/// Connection options for [`PrometheusClient::connect_with`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Additional connect attempts after the first failure.
+    pub connect_retries: u32,
+    /// Pause between connect attempts.
+    pub retry_delay: Duration,
+    /// Read timeout on the session socket (`None` blocks forever).
+    pub read_timeout: Option<Duration>,
+    /// Name reported in the handshake (diagnostics only).
+    pub client_name: String,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_retries: 20,
+            retry_delay: Duration::from_millis(25),
+            read_timeout: Some(Duration::from_secs(30)),
+            client_name: "prometheus-client".into(),
+        }
+    }
+}
+
+/// A blocking connection to a Prometheus server.
+pub struct PrometheusClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    session: u64,
+}
+
+impl PrometheusClient {
+    /// Connect with default options and perform the handshake.
+    pub fn connect(addr: SocketAddr) -> ServerResult<PrometheusClient> {
+        PrometheusClient::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connect with explicit options and perform the handshake.
+    pub fn connect_with(addr: SocketAddr, config: ClientConfig) -> ServerResult<PrometheusClient> {
+        let mut attempt = 0u32;
+        let stream = loop {
+            match TcpStream::connect(addr) {
+                Ok(s) => break s,
+                Err(e) => {
+                    if attempt >= config.connect_retries {
+                        return Err(ServerError::Connect(format!(
+                            "{addr}: {e} (after {} attempts)",
+                            attempt + 1
+                        )));
+                    }
+                    attempt += 1;
+                    thread::sleep(config.retry_delay);
+                }
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(config.read_timeout)?;
+        let mut client = PrometheusClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            session: 0,
+        };
+        match client.request(Request::Hello {
+            version: PROTOCOL_VERSION,
+            client: config.client_name,
+        })? {
+            Response::Welcome { session, .. } => {
+                client.session = session;
+                Ok(client)
+            }
+            other => Err(unexpected("Welcome", other)),
+        }
+    }
+
+    /// Server-assigned session id from the handshake.
+    pub fn session(&self) -> u64 {
+        self.session
+    }
+
+    /// One request / one response; remote errors become `ServerError::Remote`.
+    fn request(&mut self, req: Request) -> ServerResult<Response> {
+        write_msg(&mut self.writer, &req)?;
+        match read_msg::<_, Response>(&mut self.reader)? {
+            Response::Error { kind, message } => Err(ServerError::Remote { kind, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> ServerResult<()> {
+        match self.request(Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", other)),
+        }
+    }
+
+    /// Run a POOL query; the session's classification context applies when
+    /// the query has no `in classification` clause of its own.
+    pub fn query(&mut self, pool: &str) -> ServerResult<WireRows> {
+        match self.request(Request::Query { pool: pool.into() })? {
+            Response::Rows(rows) => Ok(rows),
+            other => Err(unexpected("Rows", other)),
+        }
+    }
+
+    /// Set (`Some`) or clear (`None`) this session's classification context.
+    pub fn set_context(&mut self, classification: Option<&str>) -> ServerResult<()> {
+        let req = Request::SetContext { classification: classification.map(String::from) };
+        match self.request(req)? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("Ack", other)),
+        }
+    }
+
+    /// Translate and install a PCL document; returns the rule count.
+    pub fn install_pcl(&mut self, source: &str) -> ServerResult<usize> {
+        match self.request(Request::InstallPcl { source: source.into() })? {
+            Response::Installed { rules } => Ok(rules),
+            other => Err(unexpected("Installed", other)),
+        }
+    }
+
+    /// Run `ops` in one atomic unit of work; returns created OIDs in op
+    /// order (`Oid::NIL` for ops that create nothing).
+    pub fn unit_batch(&mut self, ops: Vec<MutationOp>) -> ServerResult<Vec<Oid>> {
+        match self.request(Request::UnitBatch { ops })? {
+            Response::Batch { created } => Ok(created),
+            other => Err(unexpected("Batch", other)),
+        }
+    }
+
+    /// Open a streamed unit of work.
+    pub fn begin_unit(&mut self) -> ServerResult<UnitGuard<'_>> {
+        match self.request(Request::UnitBegin)? {
+            Response::Ack => Ok(UnitGuard { client: self, open: true }),
+            other => Err(unexpected("Ack", other)),
+        }
+    }
+
+    /// Ask the server to compact its backing log.
+    pub fn compact(&mut self) -> ServerResult<()> {
+        match self.request(Request::Compact)? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("Ack", other)),
+        }
+    }
+
+    /// Fetch server metrics and storage counters.
+    pub fn stats(&mut self) -> ServerResult<(MetricsSnapshot, StatsSnapshot)> {
+        match self.request(Request::Stats)? {
+            Response::Stats { server, storage } => Ok((server, storage)),
+            other => Err(unexpected("Stats", other)),
+        }
+    }
+
+    /// Request graceful server shutdown.
+    pub fn shutdown_server(&mut self) -> ServerResult<()> {
+        match self.request(Request::Shutdown)? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("Ack", other)),
+        }
+    }
+
+    /// Close the session politely.
+    pub fn close(mut self) -> ServerResult<()> {
+        match self.request(Request::Bye)? {
+            Response::Goodbye => Ok(()),
+            other => Err(unexpected("Goodbye", other)),
+        }
+    }
+
+    /// Drop the connection abruptly, without `Bye` or aborting open state —
+    /// simulates a crashed client (see `tests/server_concurrency.rs`).
+    pub fn kill(self) {
+        let _ = self.writer.get_ref().shutdown(Shutdown::Both);
+    }
+
+    /// Send `UnitCommit` with no unit open — deliberate protocol misuse,
+    /// exercised by the server's error-path tests.
+    #[doc(hidden)]
+    pub fn commit_orphan_unit(&mut self) -> ServerResult<Response> {
+        self.request(Request::UnitCommit)
+    }
+}
+
+fn unexpected(wanted: &str, got: Response) -> ServerError {
+    ServerError::Protocol(format!("expected {wanted}, got {got:?}"))
+}
+
+/// An open unit of work; aborts on drop unless committed.
+pub struct UnitGuard<'c> {
+    client: &'c mut PrometheusClient,
+    open: bool,
+}
+
+impl UnitGuard<'_> {
+    /// Send one mutation; returns the created OID for creating ops.
+    pub fn op(&mut self, op: MutationOp) -> ServerResult<Option<Oid>> {
+        match self.client.request(Request::UnitOp { op })? {
+            Response::Created { oid } => Ok(Some(oid)),
+            Response::Ack => Ok(None),
+            other => Err(unexpected("Created or Ack", other)),
+        }
+    }
+
+    /// `Database::create_object` over the wire.
+    pub fn create_object(
+        &mut self,
+        class: &str,
+        attrs: Vec<(String, Value)>,
+    ) -> ServerResult<Oid> {
+        self.op(MutationOp::CreateObject { class: class.into(), attrs })?
+            .ok_or_else(|| ServerError::Protocol("create_object returned no oid".into()))
+    }
+
+    /// `Database::set_attr` over the wire.
+    pub fn set_attr(&mut self, oid: Oid, attr: &str, value: Value) -> ServerResult<()> {
+        self.op(MutationOp::SetAttr { oid, attr: attr.into(), value })
+            .map(|_| ())
+    }
+
+    /// `Database::delete_object` over the wire.
+    pub fn delete_object(&mut self, oid: Oid) -> ServerResult<()> {
+        self.op(MutationOp::DeleteObject { oid }).map(|_| ())
+    }
+
+    /// `Database::create_relationship` over the wire.
+    pub fn create_relationship(
+        &mut self,
+        class: &str,
+        origin: Oid,
+        destination: Oid,
+        attrs: Vec<(String, Value)>,
+    ) -> ServerResult<Oid> {
+        self.op(MutationOp::CreateRelationship { class: class.into(), origin, destination, attrs })?
+            .ok_or_else(|| ServerError::Protocol("create_relationship returned no oid".into()))
+    }
+
+    /// Query inside the unit: sees the unit's own uncommitted writes.
+    pub fn query(&mut self, pool: &str) -> ServerResult<WireRows> {
+        self.client.query(pool)
+    }
+
+    /// Commit the unit.
+    pub fn commit(mut self) -> ServerResult<()> {
+        self.open = false;
+        match self.client.request(Request::UnitCommit)? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("Ack", other)),
+        }
+    }
+
+    /// Roll the unit back explicitly.
+    pub fn abort(mut self) -> ServerResult<()> {
+        self.open = false;
+        match self.client.request(Request::UnitAbort)? {
+            Response::Ack => Ok(()),
+            other => Err(unexpected("Ack", other)),
+        }
+    }
+}
+
+impl Drop for UnitGuard<'_> {
+    fn drop(&mut self) {
+        if self.open {
+            // Best effort: a broken transport already rolled the unit back
+            // server-side.
+            let _ = self.client.request(Request::UnitAbort);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Typed errors for the wire layer, shared by server and client.
+
+use std::fmt;
+
+/// Result alias used throughout the server crate.
+pub type ServerResult<T> = Result<T, ServerError>;
+
+/// Machine-readable classification of an error reported *over the wire*
+/// (inside [`crate::protocol::Response::Error`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ErrorKind {
+    /// Malformed or out-of-order request (bad handshake, unit misuse, …).
+    Protocol,
+    /// The database rejected the operation (schema, rule, not-found, …).
+    Db,
+    /// The server is draining connections and no longer accepts work.
+    ShuttingDown,
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorKind::Protocol => write!(f, "protocol"),
+            ErrorKind::Db => write!(f, "db"),
+            ErrorKind::ShuttingDown => write!(f, "shutting-down"),
+        }
+    }
+}
+
+/// Errors raised by the framed transport, the client, or the server runtime.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// A frame failed its CRC, exceeded the size guard, or was torn.
+    Frame(String),
+    /// A payload did not decode as the expected message type.
+    Codec(String),
+    /// The peer closed the connection cleanly between frames.
+    Disconnected,
+    /// The peer violated the request/response protocol locally (e.g. the
+    /// server answered with an unexpected variant).
+    Protocol(String),
+    /// The server reported an error for a request.
+    Remote { kind: ErrorKind, message: String },
+    /// Connecting (with retries) did not succeed in time.
+    Connect(String),
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io(e) => write!(f, "wire I/O error: {e}"),
+            ServerError::Frame(m) => write!(f, "frame error: {m}"),
+            ServerError::Codec(m) => write!(f, "wire codec error: {m}"),
+            ServerError::Disconnected => write!(f, "peer disconnected"),
+            ServerError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            ServerError::Remote { kind, message } => {
+                write!(f, "server error ({kind}): {message}")
+            }
+            ServerError::Connect(m) => write!(f, "connect failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServerError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ServerError {
+    fn from(e: std::io::Error) -> Self {
+        ServerError::Io(e)
+    }
+}
+
+impl From<prometheus_storage::StorageError> for ServerError {
+    fn from(e: prometheus_storage::StorageError) -> Self {
+        ServerError::Codec(e.to_string())
+    }
+}
+
+impl ServerError {
+    /// Whether this error means the session is over (socket gone) rather
+    /// than a per-request failure.
+    pub fn is_fatal(&self) -> bool {
+        matches!(
+            self,
+            ServerError::Io(_) | ServerError::Frame(_) | ServerError::Disconnected
+        )
+    }
+}

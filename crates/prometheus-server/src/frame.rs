@@ -1,0 +1,152 @@
+//! Framed transport: length-prefixed, CRC-protected binary frames.
+//!
+//! The wire frame deliberately mirrors the redo-log frame of
+//! `prometheus_storage::log` so the whole system speaks one envelope format:
+//!
+//! ```text
+//! +----------------+----------------+------------------+
+//! | len: u32 LE    | crc32: u32 LE  | payload (len B)  |
+//! +----------------+----------------+------------------+
+//! ```
+//!
+//! The payload is a [`crate::protocol`] message encoded with
+//! `prometheus_storage::codec`. As in the log reader, a maximum frame length
+//! guards against a corrupted (or hostile) length word committing us to a
+//! gigabyte-sized read.
+
+use crate::error::{ServerError, ServerResult};
+use prometheus_storage::codec;
+use prometheus_storage::crc::crc32;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+use std::io::{Read, Write};
+
+/// Maximum payload the reader accepts — same guard idea as the redo log's
+/// `MAX_FRAME_LEN`, sized for query results rather than log records.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Encode `msg` and write it as one frame.
+pub fn write_msg<W: Write, T: Serialize>(w: &mut W, msg: &T) -> ServerResult<()> {
+    let payload = codec::to_bytes(msg)?;
+    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+        return Err(ServerError::Frame(format!(
+            "message of {} bytes exceeds maximum frame size",
+            payload.len()
+        )));
+    }
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(&crc32(&payload).to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame and decode it as a `T`.
+///
+/// A clean EOF *between* frames maps to [`ServerError::Disconnected`]; EOF
+/// inside a frame (a torn header or payload) is a [`ServerError::Frame`].
+pub fn read_msg<R: Read, T: DeserializeOwned>(r: &mut R) -> ServerResult<T> {
+    let mut header = [0u8; 8];
+    read_exact_or_disconnect(r, &mut header, true)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+    let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_FRAME_LEN {
+        return Err(ServerError::Frame(format!(
+            "declared frame length {len} exceeds maximum {MAX_FRAME_LEN}"
+        )));
+    }
+    let mut payload = vec![0u8; len as usize];
+    read_exact_or_disconnect(r, &mut payload, false)?;
+    if crc32(&payload) != crc {
+        return Err(ServerError::Frame("frame failed CRC check".into()));
+    }
+    codec::from_bytes(&payload).map_err(|e| ServerError::Codec(e.to_string()))
+}
+
+/// `read_exact` that distinguishes a clean close (no bytes read, and we are
+/// at a frame boundary) from a torn frame.
+fn read_exact_or_disconnect<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    at_boundary: bool,
+) -> ServerResult<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Err(if at_boundary && filled == 0 {
+                    ServerError::Disconnected
+                } else {
+                    ServerError::Frame("connection closed mid-frame".into())
+                });
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ServerError::Io(e)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Request, Response};
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let mut buf: Vec<u8> = Vec::new();
+        let req = Request::Query { pool: "select t from CT t".into() };
+        write_msg(&mut buf, &req).unwrap();
+        let back: Request = read_msg(&mut &buf[..]).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn several_frames_stream_in_order() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_msg(&mut buf, &Request::Ping).unwrap();
+        write_msg(&mut buf, &Request::Stats).unwrap();
+        let mut cursor = &buf[..];
+        assert_eq!(read_msg::<_, Request>(&mut cursor).unwrap(), Request::Ping);
+        assert_eq!(read_msg::<_, Request>(&mut cursor).unwrap(), Request::Stats);
+        assert!(matches!(
+            read_msg::<_, Request>(&mut cursor),
+            Err(ServerError::Disconnected)
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_fails_crc() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_msg(&mut buf, &Response::Pong).unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0xFF;
+        assert!(matches!(
+            read_msg::<_, Response>(&mut &buf[..]),
+            Err(ServerError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_word_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_msg::<_, Request>(&mut &buf[..]),
+            Err(ServerError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn torn_frame_is_not_a_clean_disconnect() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_msg(&mut buf, &Request::Ping).unwrap();
+        let torn = &buf[..buf.len() - 1];
+        assert!(matches!(
+            read_msg::<_, Request>(&mut &torn[..]),
+            Err(ServerError::Frame(_))
+        ));
+    }
+}

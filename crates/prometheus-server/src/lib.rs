@@ -1,0 +1,57 @@
+//! # prometheus-server — serving the Prometheus OODB over the wire
+//!
+//! The thesis (§2.4, §7) frames Prometheus as a *multi-user* taxonomic
+//! database: several taxonomists build overlapping classifications against
+//! one shared object store. This crate supplies that service layer for the
+//! reproduction: a concurrent TCP server exposing a running
+//! [`prometheus_db::Prometheus`] database through a compact, versioned,
+//! binary wire protocol, plus the matching blocking client.
+//!
+//! * [`frame`] — length-prefixed, CRC-protected frames (the redo-log
+//!   envelope, reused for the network);
+//! * [`protocol`] — versioned [`protocol::Request`]/[`protocol::Response`]
+//!   messages: handshake, POOL queries, PCL installation, units of work
+//!   (streamed and batched), compaction, stats, shutdown;
+//! * [`server`] — accept loop + fixed worker pool; queries run concurrently
+//!   while every mutation passes through a single **writer lane**,
+//!   preserving the engine's single-writer discipline across sessions;
+//! * [`session`] — per-connection state, notably the session's
+//!   classification context (§4.6.2 "working inside a classification");
+//! * [`client`] — [`client::PrometheusClient`] and the RAII
+//!   [`client::UnitGuard`];
+//! * [`metrics`] — lock-free server counters and a latency histogram,
+//!   queryable over the wire;
+//! * [`error`] — transport, protocol and remote error types.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use prometheus_db::Prometheus;
+//! use prometheus_server::{serve, PrometheusClient, ServerConfig};
+//!
+//! let db = Prometheus::open("/tmp/flora.db").unwrap();
+//! let handle = serve(db, ServerConfig::default()).unwrap();
+//!
+//! let mut client = PrometheusClient::connect(handle.addr()).unwrap();
+//! client.set_context(Some("Linnaeus 1753")).unwrap();
+//! let rows = client.query("select t.working_name from CT t").unwrap();
+//! println!("{} taxa", rows.len());
+//! client.close().unwrap();
+//! handle.stop();
+//! ```
+
+pub mod client;
+pub mod error;
+pub mod frame;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::{ClientConfig, PrometheusClient, UnitGuard};
+pub use error::{ErrorKind, ServerError, ServerResult};
+pub use frame::MAX_FRAME_LEN;
+pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
+pub use protocol::{MutationOp, Request, Response, WireRows, PROTOCOL_VERSION};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use session::Session;

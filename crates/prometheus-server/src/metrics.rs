@@ -1,0 +1,270 @@
+//! Server-side operation counters and latency histogram.
+//!
+//! Extends the `Stats`/`StatsSnapshot` pattern of `prometheus-storage` one
+//! layer up: lock-free atomics bumped on the hot path, and a plain-data,
+//! serialisable [`MetricsSnapshot`] that the `stats` wire request returns so
+//! any client (the load generator, an operator's REPL) can observe a live
+//! server.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (µs, inclusive) of the latency histogram buckets; one
+/// overflow bucket follows the last bound.
+pub const LATENCY_BOUNDS_US: [u64; 9] =
+    [50, 100, 250, 500, 1_000, 5_000, 25_000, 100_000, 1_000_000];
+
+/// Number of histogram buckets (bounds + overflow).
+pub const LATENCY_BUCKETS: usize = LATENCY_BOUNDS_US.len() + 1;
+
+/// Request kinds tracked per-counter; mirrors `Request::kind_name`.
+pub const REQUEST_KINDS: [&str; 14] = [
+    "hello",
+    "ping",
+    "query",
+    "set_context",
+    "install_pcl",
+    "unit_begin",
+    "unit_op",
+    "unit_commit",
+    "unit_abort",
+    "unit_batch",
+    "compact",
+    "stats",
+    "shutdown",
+    "bye",
+];
+
+/// Shared, lock-free counters for one running server.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Connections the accept loop has handed to the worker pool.
+    pub connections_accepted: AtomicU64,
+    /// Sessions currently being served.
+    pub connections_active: AtomicU64,
+    /// Requests processed, by kind (indexes follow [`REQUEST_KINDS`]).
+    requests: [AtomicU64; REQUEST_KINDS.len()],
+    /// Frames that failed to decode, or out-of-order requests.
+    pub protocol_errors: AtomicU64,
+    /// Requests the database layer rejected.
+    pub db_errors: AtomicU64,
+    /// Units of work committed over the wire.
+    pub units_committed: AtomicU64,
+    /// Units rolled back on client request (`UnitAbort`).
+    pub units_aborted: AtomicU64,
+    /// Units rolled back because the connection dropped mid-unit.
+    pub units_rolled_back_on_disconnect: AtomicU64,
+    /// Per-request wall-clock latency histogram.
+    latency: [AtomicU64; LATENCY_BUCKETS],
+    /// Total requests timed (histogram population).
+    pub latency_count: AtomicU64,
+    /// Sum of all request latencies, µs (for the mean).
+    pub latency_sum_us: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Count one request of the given kind (by `Request::kind_name`).
+    pub fn count_request(&self, kind_name: &str) {
+        if let Some(i) = REQUEST_KINDS.iter().position(|k| *k == kind_name) {
+            self.requests[i].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record one request's wall-clock latency.
+    pub fn record_latency_us(&self, us: u64) {
+        let idx = LATENCY_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKETS - 1);
+        self.latency[idx].fetch_add(1, Ordering::Relaxed);
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Capture a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
+            connections_active: self.connections_active.load(Ordering::Relaxed),
+            requests_by_kind: REQUEST_KINDS
+                .iter()
+                .zip(self.requests.iter())
+                .map(|(name, counter)| (name.to_string(), counter.load(Ordering::Relaxed)))
+                .collect(),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            db_errors: self.db_errors.load(Ordering::Relaxed),
+            units_committed: self.units_committed.load(Ordering::Relaxed),
+            units_aborted: self.units_aborted.load(Ordering::Relaxed),
+            units_rolled_back_on_disconnect: self
+                .units_rolled_back_on_disconnect
+                .load(Ordering::Relaxed),
+            latency: LatencyHistogram {
+                bounds_us: LATENCY_BOUNDS_US.to_vec(),
+                counts: self.latency.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                count: self.latency_count.load(Ordering::Relaxed),
+                sum_us: self.latency_sum_us.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+/// Plain-data snapshot of [`ServerMetrics`]; crosses the wire in
+/// `Response::Stats`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    pub connections_accepted: u64,
+    pub connections_active: u64,
+    pub requests_by_kind: Vec<(String, u64)>,
+    pub protocol_errors: u64,
+    pub db_errors: u64,
+    pub units_committed: u64,
+    pub units_aborted: u64,
+    pub units_rolled_back_on_disconnect: u64,
+    pub latency: LatencyHistogram,
+}
+
+impl MetricsSnapshot {
+    /// Total requests across all kinds.
+    pub fn requests_total(&self) -> u64 {
+        self.requests_by_kind.iter().map(|(_, n)| n).sum()
+    }
+
+    /// Count for one request kind.
+    pub fn requests_of(&self, kind: &str) -> u64 {
+        self.requests_by_kind
+            .iter()
+            .find(|(name, _)| name == kind)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    }
+}
+
+/// Bucketed latency distribution.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// Inclusive upper bounds (µs); one overflow bucket follows.
+    pub bounds_us: Vec<u64>,
+    /// Populations, `bounds_us.len() + 1` entries.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observations, µs.
+    pub sum_us: u64,
+}
+
+impl LatencyHistogram {
+    /// Mean latency in µs (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Histogram-resolution percentile estimate (`p` in `[0, 1]`): the upper
+    /// bound of the bucket containing the p-quantile observation. Client-side
+    /// exact measurements (the load generator) are preferred for reporting;
+    /// this is for quick server-side introspection.
+    pub fn approx_percentile_us(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return self
+                    .bounds_us
+                    .get(i)
+                    .copied()
+                    .unwrap_or_else(|| self.bounds_us.last().copied().unwrap_or(0) * 10);
+            }
+        }
+        self.bounds_us.last().copied().unwrap_or(0) * 10
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_kind_table_matches_protocol() {
+        use crate::protocol::{MutationOp, Request};
+        use prometheus_db::{Oid, Value};
+        // Every Request variant's kind_name must have a metrics slot.
+        let reqs = vec![
+            Request::Hello { version: 1, client: "t".into() },
+            Request::Ping,
+            Request::Query { pool: String::new() },
+            Request::SetContext { classification: None },
+            Request::InstallPcl { source: String::new() },
+            Request::UnitBegin,
+            Request::UnitOp {
+                op: MutationOp::SetAttr {
+                    oid: Oid::NIL,
+                    attr: String::new(),
+                    value: Value::Null,
+                },
+            },
+            Request::UnitCommit,
+            Request::UnitAbort,
+            Request::UnitBatch { ops: Vec::new() },
+            Request::Compact,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Bye,
+        ];
+        assert_eq!(reqs.len(), REQUEST_KINDS.len());
+        for r in reqs {
+            assert!(
+                REQUEST_KINDS.contains(&r.kind_name()),
+                "unknown kind {}",
+                r.kind_name()
+            );
+        }
+    }
+
+    #[test]
+    fn latency_buckets_accumulate() {
+        let m = ServerMetrics::default();
+        m.record_latency_us(10); // bucket 0 (<=50)
+        m.record_latency_us(80); // bucket 1 (<=100)
+        m.record_latency_us(2_000_000); // overflow
+        let snap = m.snapshot();
+        assert_eq!(snap.latency.count, 3);
+        assert_eq!(snap.latency.counts[0], 1);
+        assert_eq!(snap.latency.counts[1], 1);
+        assert_eq!(snap.latency.counts[LATENCY_BUCKETS - 1], 1);
+        assert_eq!(snap.latency.sum_us, 2_000_090);
+        assert!(snap.latency.mean_us() > 0.0);
+    }
+
+    #[test]
+    fn percentile_walks_buckets() {
+        let m = ServerMetrics::default();
+        for _ in 0..99 {
+            m.record_latency_us(40);
+        }
+        m.record_latency_us(900); // lands in the <=1000 bucket
+        let snap = m.snapshot();
+        assert_eq!(snap.latency.approx_percentile_us(0.50), 50);
+        assert_eq!(snap.latency.approx_percentile_us(1.0), 1_000);
+        assert_eq!(LatencyHistogram::default().approx_percentile_us(0.5), 0);
+    }
+
+    #[test]
+    fn request_counters_by_kind() {
+        let m = ServerMetrics::default();
+        m.count_request("query");
+        m.count_request("query");
+        m.count_request("ping");
+        let snap = m.snapshot();
+        assert_eq!(snap.requests_of("query"), 2);
+        assert_eq!(snap.requests_of("ping"), 1);
+        assert_eq!(snap.requests_of("compact"), 0);
+        assert_eq!(snap.requests_total(), 3);
+    }
+}

@@ -1,0 +1,277 @@
+//! Versioned request/response messages of the Prometheus wire protocol.
+//!
+//! One request frame yields exactly one response frame. The protocol is
+//! deliberately small: a handshake, POOL queries, PCL installation, units of
+//! work (streamed or batched), maintenance (compact/stats) and connection
+//! control. Every message is encoded with `prometheus_storage::codec` inside
+//! a [`crate::frame`] envelope.
+//!
+//! ## Versioning
+//!
+//! The first request on a connection must be [`Request::Hello`] carrying
+//! [`PROTOCOL_VERSION`]; the server answers [`Response::Welcome`] or an
+//! error. Because the codec is not self-describing, *all* other messages are
+//! only interpretable once the handshake has pinned the version — the server
+//! drops connections that skip it.
+//!
+//! ## Units of work
+//!
+//! A client opens a unit with [`Request::UnitBegin`], streams
+//! [`Request::UnitOp`]s (interleaving queries freely), then settles it with
+//! [`Request::UnitCommit`] or [`Request::UnitAbort`]. While a unit is open
+//! the session exclusively holds the server's writer lane — the wire-level
+//! reflection of the engine's single-writer discipline. A connection that
+//! drops mid-unit has its unit rolled back by the server (see
+//! `tests/server_concurrency.rs`). [`Request::UnitBatch`] is the one-frame
+//! convenience form: all ops run in a single unit, atomically.
+
+use prometheus_db::{Oid, QueryResult, Value};
+use prometheus_storage::StatsSnapshot;
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::MetricsSnapshot;
+
+/// Wire protocol version; bumped on any incompatible message change.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Handshake; must be the first request on a connection.
+    Hello { version: u16, client: String },
+    /// Liveness probe.
+    Ping,
+    /// Run a POOL query. If the session has a classification context set
+    /// (see [`Request::SetContext`]) and the query has no `in
+    /// classification` clause of its own, the session context is applied.
+    Query { pool: String },
+    /// Set (or clear, with `None`) this session's classification context.
+    SetContext { classification: Option<String> },
+    /// Translate a PCL document and install the resulting rules.
+    InstallPcl { source: String },
+    /// Open a unit of work; the session takes the writer lane until the
+    /// unit is settled or the connection drops.
+    UnitBegin,
+    /// One mutation inside the open unit.
+    UnitOp { op: MutationOp },
+    /// Commit the open unit.
+    UnitCommit,
+    /// Roll back the open unit.
+    UnitAbort,
+    /// Run all `ops` inside one unit, committing on success and rolling the
+    /// whole batch back on the first failure.
+    UnitBatch { ops: Vec<MutationOp> },
+    /// Compact the backing log.
+    Compact,
+    /// Server + storage counters.
+    Stats,
+    /// Ask the server to shut down gracefully (drain and close).
+    Shutdown,
+    /// Close this session politely.
+    Bye,
+}
+
+impl Request {
+    /// Short stable name, used for per-kind metrics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Request::Hello { .. } => "hello",
+            Request::Ping => "ping",
+            Request::Query { .. } => "query",
+            Request::SetContext { .. } => "set_context",
+            Request::InstallPcl { .. } => "install_pcl",
+            Request::UnitBegin => "unit_begin",
+            Request::UnitOp { .. } => "unit_op",
+            Request::UnitCommit => "unit_commit",
+            Request::UnitAbort => "unit_abort",
+            Request::UnitBatch { .. } => "unit_batch",
+            Request::Compact => "compact",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+            Request::Bye => "bye",
+        }
+    }
+}
+
+/// A mutation applied inside a unit of work.
+///
+/// These map one-to-one onto the object-layer API, so the full §4.4
+/// relationship semantics (cardinality, exclusivity, cycles, rules …) are
+/// enforced server-side exactly as for in-process callers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MutationOp {
+    /// `Database::create_object`.
+    CreateObject { class: String, attrs: Vec<(String, Value)> },
+    /// `Database::set_attr`.
+    SetAttr { oid: Oid, attr: String, value: Value },
+    /// `Database::delete_object`.
+    DeleteObject { oid: Oid },
+    /// `Database::create_relationship`.
+    CreateRelationship {
+        class: String,
+        origin: Oid,
+        destination: Oid,
+        attrs: Vec<(String, Value)>,
+    },
+    /// `Database::delete_relationship`.
+    DeleteRelationship { oid: Oid },
+    /// `Database::create_classification`.
+    CreateClassification {
+        name: String,
+        attrs: Vec<(String, Value)>,
+        strict_hierarchy: bool,
+    },
+    /// `Database::add_edge_to_classification`.
+    AddEdgeToClassification { classification: Oid, rel: Oid },
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Handshake accepted.
+    Welcome { version: u16, session: u64 },
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// Query result set.
+    Rows(WireRows),
+    /// Generic success for requests with nothing to return.
+    Ack,
+    /// A creating [`MutationOp`] succeeded.
+    Created { oid: Oid },
+    /// OIDs created by a [`Request::UnitBatch`], in op order (`Oid::NIL`
+    /// for ops that create nothing).
+    Batch { created: Vec<Oid> },
+    /// Number of rules a PCL document installed.
+    Installed { rules: usize },
+    /// Server + storage counters.
+    Stats { server: MetricsSnapshot, storage: StatsSnapshot },
+    /// The request failed; the session stays usable unless the transport
+    /// itself broke.
+    Error { kind: crate::error::ErrorKind, message: String },
+    /// Answer to [`Request::Bye`]; the server closes after sending it.
+    Goodbye,
+}
+
+/// A query result in wire form: column labels plus row-major values.
+///
+/// [`QueryResult`] itself holds evaluator-side types; this is the stable
+/// plain-data projection that crosses the network.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct WireRows {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl WireRows {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// First-column OIDs, mirroring `QueryResult::oids` for the common
+    /// `select x from Class x` shape.
+    pub fn oids(&self) -> Vec<Oid> {
+        self.rows
+            .iter()
+            .filter_map(|row| row.first().and_then(|v| v.as_ref_oid()))
+            .collect()
+    }
+}
+
+impl From<QueryResult> for WireRows {
+    fn from(result: QueryResult) -> Self {
+        WireRows {
+            columns: result.columns,
+            rows: result.rows.into_iter().map(|row| row.columns).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prometheus_storage::codec;
+
+    #[test]
+    fn requests_round_trip_through_the_codec() {
+        let samples = vec![
+            Request::Hello { version: PROTOCOL_VERSION, client: "test".into() },
+            Request::Ping,
+            Request::Query { pool: "select t from CT t".into() },
+            Request::SetContext { classification: Some("Linnaeus 1753".into()) },
+            Request::SetContext { classification: None },
+            Request::InstallPcl { source: "context CT pre w: self.rank != null".into() },
+            Request::UnitBegin,
+            Request::UnitOp {
+                op: MutationOp::SetAttr {
+                    oid: Oid::from_raw(7),
+                    attr: "working_name".into(),
+                    value: Value::Str("Apium".into()),
+                },
+            },
+            Request::UnitCommit,
+            Request::UnitAbort,
+            Request::UnitBatch {
+                ops: vec![MutationOp::CreateObject {
+                    class: "CT".into(),
+                    attrs: vec![("working_name".into(), Value::Str("x".into()))],
+                }],
+            },
+            Request::Compact,
+            Request::Stats,
+            Request::Shutdown,
+            Request::Bye,
+        ];
+        for req in samples {
+            let bytes = codec::to_bytes(&req).unwrap();
+            let back: Request = codec::from_bytes(&bytes).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_codec() {
+        let samples = vec![
+            Response::Welcome { version: 1, session: 42 },
+            Response::Pong,
+            Response::Rows(WireRows {
+                columns: vec!["t".into()],
+                rows: vec![vec![Value::Ref(Oid::from_raw(3))], vec![Value::Null]],
+            }),
+            Response::Ack,
+            Response::Created { oid: Oid::from_raw(9) },
+            Response::Batch { created: vec![Oid::from_raw(1), Oid::NIL] },
+            Response::Installed { rules: 4 },
+            Response::Error {
+                kind: crate::error::ErrorKind::Db,
+                message: "unknown class 'XT'".into(),
+            },
+            Response::Goodbye,
+        ];
+        for resp in samples {
+            let bytes = codec::to_bytes(&resp).unwrap();
+            let back: Response = codec::from_bytes(&bytes).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+
+    #[test]
+    fn wire_rows_extract_oids_like_query_results() {
+        let rows = WireRows {
+            columns: vec!["t".into(), "name".into()],
+            rows: vec![
+                vec![Value::Ref(Oid::from_raw(5)), Value::Str("a".into())],
+                vec![Value::Str("not-a-ref".into()), Value::Str("b".into())],
+                vec![Value::Ref(Oid::from_raw(8)), Value::Null],
+            ],
+        };
+        assert_eq!(rows.oids(), vec![Oid::from_raw(5), Oid::from_raw(8)]);
+        assert_eq!(rows.len(), 3);
+        assert!(!rows.is_empty());
+    }
+}

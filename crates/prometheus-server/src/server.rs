@@ -1,0 +1,795 @@
+//! The concurrent TCP server.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!            accept loop (1 thread)
+//!                 │  mpsc channel of connections
+//!                 ▼
+//!   worker pool (N threads) ── one session per worker at a time
+//!                 │
+//!        ┌────────┴─────────┐
+//!        ▼                  ▼
+//!   read requests      writer lane (mutex)
+//!   (queries run       — every mutating request (units, batches,
+//!    concurrently)       PCL install, compact) passes through it
+//! ```
+//!
+//! The engine's discipline is single-writer / concurrent-reader (see
+//! `tests/concurrency.rs`): queries are safe from any thread, while units of
+//! work use one global, nestable unit state on the `Database`. The server
+//! makes that safe over the wire by funnelling every mutating request
+//! through the **writer lane** — a mutex a session holds for the duration of
+//! a streamed unit (`UnitBegin` … `UnitCommit`/`UnitAbort`) or one batch.
+//! A connection that drops while holding an open unit has the unit rolled
+//! back before the lane is released, so a killed client can never leave a
+//! half-applied unit behind.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::shutdown`] (or a wire `Request::Shutdown`) flips the
+//! shutdown flag, wakes the accept loop, and half-closes the read side of
+//! every live session. In-flight requests finish and their responses are
+//! delivered; the next read on each session observes EOF, open units are
+//! rolled back, and the worker threads drain and exit. [`ServerHandle`]
+//! joins all threads on drop, so no test or embedder leaks threads.
+
+use crate::error::{ErrorKind, ServerError, ServerResult};
+use crate::frame::{read_msg, write_msg};
+use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use crate::protocol::{MutationOp, Request, Response, WireRows, PROTOCOL_VERSION};
+use crate::session::Session;
+use prometheus_db::{Database, DbResult, Oid, Prometheus};
+use std::collections::HashMap;
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::thread;
+use std::time::Instant;
+
+/// Tuning knobs for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Address to bind; use port 0 for an ephemeral port (tests, loadgen).
+    pub addr: String,
+    /// Fixed worker-thread pool size. Each live session occupies one worker
+    /// for its lifetime, so this bounds concurrent sessions; further
+    /// connections queue until a worker frees up.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { addr: "127.0.0.1:0".into(), workers: 8 }
+    }
+}
+
+/// State shared by the accept loop, the worker pool and the handle.
+struct Shared {
+    db: Prometheus,
+    metrics: ServerMetrics,
+    /// The writer lane: serialises every mutating request, preserving the
+    /// engine's single-writer discipline across sessions.
+    writer_lane: Mutex<()>,
+    shutting_down: AtomicBool,
+    next_session: AtomicU64,
+    /// Read-half clones of live session sockets, for shutdown.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    addr: SocketAddr,
+}
+
+/// Recover from a poisoned lock: the protected state is either a `()` lane
+/// token or a socket registry, both safe to reuse after a panicking thread.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Start serving `db` on `config.addr`; returns once the listener is bound.
+///
+/// The handle owns the database: stop the server (drop or
+/// [`ServerHandle::stop`]) before reopening the same path elsewhere.
+pub fn serve(db: Prometheus, config: ServerConfig) -> ServerResult<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        db,
+        metrics: ServerMetrics::default(),
+        writer_lane: Mutex::new(()),
+        shutting_down: AtomicBool::new(false),
+        next_session: AtomicU64::new(1),
+        conns: Mutex::new(HashMap::new()),
+        addr,
+    });
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    let mut workers = Vec::with_capacity(config.workers.max(1));
+    for i in 0..config.workers.max(1) {
+        let rx = Arc::clone(&rx);
+        let shared = Arc::clone(&shared);
+        let handle = thread::Builder::new()
+            .name(format!("prometheus-worker-{i}"))
+            .spawn(move || worker_loop(shared, rx))?;
+        workers.push(handle);
+    }
+    let accept = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("prometheus-accept".into())
+            .spawn(move || accept_loop(shared, listener, tx))?
+    };
+    Ok(ServerHandle { shared, accept: Some(accept), workers })
+}
+
+/// A running server: address, metrics, shutdown and join.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<thread::JoinHandle<()>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when 0 was requested).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Point-in-time server counters (also available over the wire).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Whether shutdown has been initiated.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::SeqCst)
+    }
+
+    /// Initiate graceful shutdown: stop accepting, finish in-flight
+    /// requests, roll back open units, close sessions. Idempotent.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Block until every server thread has exited.
+    pub fn join(mut self) {
+        self.join_threads();
+    }
+
+    /// [`ServerHandle::shutdown`] then [`ServerHandle::join`].
+    pub fn stop(mut self) {
+        initiate_shutdown(&self.shared);
+        self.join_threads();
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        initiate_shutdown(&self.shared);
+        self.join_threads();
+    }
+}
+
+fn initiate_shutdown(shared: &Arc<Shared>) {
+    if shared.shutting_down.swap(true, Ordering::SeqCst) {
+        return; // already in progress
+    }
+    // Wake the accept loop so it observes the flag.
+    let _ = TcpStream::connect(shared.addr);
+    // Half-close every live session: pending responses still flush, the
+    // next read sees EOF and the session winds down (aborting open units).
+    for stream in lock(&shared.conns).values() {
+        let _ = stream.shutdown(Shutdown::Read);
+    }
+}
+
+fn accept_loop(shared: Arc<Shared>, listener: TcpListener, tx: mpsc::Sender<TcpStream>) {
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(s) => {
+                shared.metrics.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                if tx.send(s).is_err() {
+                    break;
+                }
+            }
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+        }
+    }
+    // Dropping the sender lets workers drain queued connections and exit.
+}
+
+fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
+    loop {
+        // Take the receiver lock only while waiting for a connection, not
+        // while serving one, so idle workers keep accepting hand-offs.
+        let next = {
+            let guard = lock(&rx);
+            guard.recv()
+        };
+        match next {
+            Ok(stream) => serve_connection(&shared, stream),
+            Err(_) => break, // accept loop gone and queue drained
+        }
+    }
+}
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_nodelay(true);
+    if let Ok(clone) = stream.try_clone() {
+        lock(&shared.conns).insert(id, clone);
+    }
+    shared.metrics.connections_active.fetch_add(1, Ordering::Relaxed);
+    // Session errors are per-connection: counted in metrics, never fatal to
+    // the server.
+    let _ = run_session(shared, id, stream);
+    lock(&shared.conns).remove(&id);
+    shared.metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
+}
+
+/// What the outer session loop should do after a request.
+enum Flow {
+    Continue,
+    Close,
+    /// `UnitBegin` was acknowledged; enter the streamed-unit sub-loop.
+    EnterUnit,
+}
+
+fn run_session(shared: &Arc<Shared>, id: u64, stream: TcpStream) -> ServerResult<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut session = Session::new(id);
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        let _ = write_msg(
+            &mut writer,
+            &Response::Error {
+                kind: ErrorKind::ShuttingDown,
+                message: "server is shutting down".into(),
+            },
+        );
+        return Ok(());
+    }
+    loop {
+        let req: Request = match read_msg(&mut reader) {
+            Ok(r) => r,
+            Err(ServerError::Disconnected) => return Ok(()),
+            Err(e) => {
+                if matches!(e, ServerError::Frame(_) | ServerError::Codec(_)) {
+                    shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(e);
+            }
+        };
+        let start = Instant::now();
+        shared.metrics.count_request(req.kind_name());
+        let flow = dispatch(shared, &mut session, &mut writer, req)?;
+        shared
+            .metrics
+            .record_latency_us(start.elapsed().as_micros() as u64);
+        match flow {
+            Flow::EnterUnit => run_unit(shared, &mut session, &mut reader, &mut writer)?,
+            Flow::Close => return Ok(()),
+            Flow::Continue => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return Ok(()); // drained: last response delivered
+                }
+            }
+        }
+    }
+}
+
+/// Handle one request outside a streamed unit.
+fn dispatch(
+    shared: &Arc<Shared>,
+    session: &mut Session,
+    writer: &mut BufWriter<TcpStream>,
+    req: Request,
+) -> ServerResult<Flow> {
+    if !session.ready {
+        return match req {
+            Request::Hello { version, client } => {
+                if version != PROTOCOL_VERSION {
+                    shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    write_msg(
+                        writer,
+                        &Response::Error {
+                            kind: ErrorKind::Protocol,
+                            message: format!(
+                                "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
+                            ),
+                        },
+                    )?;
+                    Ok(Flow::Close)
+                } else {
+                    session.ready = true;
+                    session.client = client;
+                    write_msg(
+                        writer,
+                        &Response::Welcome { version: PROTOCOL_VERSION, session: session.id },
+                    )?;
+                    Ok(Flow::Continue)
+                }
+            }
+            _ => {
+                shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                write_msg(
+                    writer,
+                    &Response::Error {
+                        kind: ErrorKind::Protocol,
+                        message: "handshake required: send Hello first".into(),
+                    },
+                )?;
+                Ok(Flow::Close)
+            }
+        };
+    }
+    match req {
+        Request::Hello { .. } => {
+            protocol_error(shared, writer, "duplicate handshake")?;
+            Ok(Flow::Continue)
+        }
+        Request::Ping => {
+            write_msg(writer, &Response::Pong)?;
+            Ok(Flow::Continue)
+        }
+        Request::Query { pool } => {
+            respond_query(shared, session, writer, &pool)?;
+            Ok(Flow::Continue)
+        }
+        Request::SetContext { classification } => {
+            match &classification {
+                Some(name) => match shared.db.db().classification_by_name(name) {
+                    Ok(Some(_)) => {
+                        session.context = classification;
+                        write_msg(writer, &Response::Ack)?;
+                    }
+                    Ok(None) => {
+                        db_error(shared, writer, format!("unknown classification '{name}'"))?;
+                    }
+                    Err(e) => db_error(shared, writer, e.to_string())?,
+                },
+                None => {
+                    session.context = None;
+                    write_msg(writer, &Response::Ack)?;
+                }
+            }
+            Ok(Flow::Continue)
+        }
+        Request::InstallPcl { source } => {
+            let _lane = lock(&shared.writer_lane);
+            match shared.db.install_pcl(&source) {
+                Ok(rules) => write_msg(writer, &Response::Installed { rules })?,
+                Err(e) => db_error(shared, writer, e.to_string())?,
+            }
+            Ok(Flow::Continue)
+        }
+        Request::UnitBegin => {
+            write_msg(writer, &Response::Ack)?;
+            Ok(Flow::EnterUnit)
+        }
+        Request::UnitOp { .. } | Request::UnitCommit | Request::UnitAbort => {
+            protocol_error(shared, writer, "no unit of work is open on this session")?;
+            Ok(Flow::Continue)
+        }
+        Request::UnitBatch { ops } => {
+            let _lane = lock(&shared.writer_lane);
+            let db = shared.db.db();
+            let result = db.in_unit_scope(|db| {
+                let mut created = Vec::with_capacity(ops.len());
+                for op in &ops {
+                    created.push(apply_op(db, op)?.unwrap_or(Oid::NIL));
+                }
+                Ok(created)
+            });
+            match result {
+                Ok(created) => {
+                    shared.metrics.units_committed.fetch_add(1, Ordering::Relaxed);
+                    write_msg(writer, &Response::Batch { created })?;
+                }
+                Err(e) => db_error(shared, writer, e.to_string())?,
+            }
+            Ok(Flow::Continue)
+        }
+        Request::Compact => {
+            let _lane = lock(&shared.writer_lane);
+            match shared.db.compact() {
+                Ok(()) => write_msg(writer, &Response::Ack)?,
+                Err(e) => db_error(shared, writer, e.to_string())?,
+            }
+            Ok(Flow::Continue)
+        }
+        Request::Stats => {
+            write_stats(shared, writer)?;
+            Ok(Flow::Continue)
+        }
+        Request::Shutdown => {
+            write_msg(writer, &Response::Ack)?;
+            initiate_shutdown(shared);
+            Ok(Flow::Close)
+        }
+        Request::Bye => {
+            write_msg(writer, &Response::Goodbye)?;
+            Ok(Flow::Close)
+        }
+    }
+}
+
+/// Streamed unit of work: the session holds the writer lane from `UnitBegin`
+/// until the unit settles — or until the connection drops, in which case the
+/// unit is rolled back before the lane is released.
+fn run_unit(
+    shared: &Arc<Shared>,
+    session: &mut Session,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut BufWriter<TcpStream>,
+) -> ServerResult<()> {
+    let _lane = lock(&shared.writer_lane);
+    let db = shared.db.db();
+    let mut token = Some(db.begin_unit());
+    let outcome: ServerResult<()> = loop {
+        let req: Request = match read_msg(reader) {
+            Ok(r) => r,
+            Err(e) => break Err(e),
+        };
+        let start = Instant::now();
+        shared.metrics.count_request(req.kind_name());
+        let step: ServerResult<bool> = match req {
+            Request::UnitOp { op } => {
+                // A failed op leaves the unit open: the client chooses to
+                // retry differently, commit what succeeded, or abort —
+                // exactly the in-process unit semantics.
+                match apply_op(db, &op) {
+                    Ok(Some(oid)) => write_msg(writer, &Response::Created { oid }).map(|_| false),
+                    Ok(None) => write_msg(writer, &Response::Ack).map(|_| false),
+                    Err(e) => db_error(shared, writer, e.to_string()).map(|_| false),
+                }
+            }
+            Request::Query { pool } => {
+                respond_query(shared, session, writer, &pool).map(|_| false)
+            }
+            Request::Ping => write_msg(writer, &Response::Pong).map(|_| false),
+            Request::Stats => write_stats(shared, writer).map(|_| false),
+            Request::UnitCommit => {
+                let result = db.commit_unit(token.take().expect("unit token"));
+                match result {
+                    Ok(()) => {
+                        shared.metrics.units_committed.fetch_add(1, Ordering::Relaxed);
+                        write_msg(writer, &Response::Ack).map(|_| true)
+                    }
+                    Err(e) => {
+                        // commit_unit rolls the unit back itself on failure.
+                        db_error(shared, writer, e.to_string()).map(|_| true)
+                    }
+                }
+            }
+            Request::UnitAbort => {
+                db.abort_unit(token.take().expect("unit token"));
+                shared.metrics.units_aborted.fetch_add(1, Ordering::Relaxed);
+                write_msg(writer, &Response::Ack).map(|_| true)
+            }
+            other => {
+                protocol_error(
+                    shared,
+                    writer,
+                    &format!("request '{}' is not allowed inside a unit of work", other.kind_name()),
+                )
+                .map(|_| false)
+            }
+        };
+        shared
+            .metrics
+            .record_latency_us(start.elapsed().as_micros() as u64);
+        match step {
+            Ok(true) => break Ok(()),
+            Ok(false) => {}
+            Err(e) => break Err(e),
+        }
+    };
+    if let Some(token) = token.take() {
+        // Connection dropped (or transport failed) mid-unit: roll back so
+        // no half-applied unit is ever visible or durable.
+        db.abort_unit(token);
+        shared
+            .metrics
+            .units_rolled_back_on_disconnect
+            .fetch_add(1, Ordering::Relaxed);
+    }
+    match outcome {
+        Err(ServerError::Disconnected) => Err(ServerError::Disconnected),
+        other => other,
+    }
+}
+
+/// Parse, contextualise and evaluate a POOL query for this session.
+fn run_query(shared: &Arc<Shared>, session: &Session, pool: &str) -> DbResult<WireRows> {
+    let mut query = prometheus_pool::parse(pool)?;
+    query.context = session.effective_context(query.context.take());
+    let result = prometheus_pool::eval::evaluate(shared.db.db(), &query)?;
+    Ok(result.into())
+}
+
+fn respond_query(
+    shared: &Arc<Shared>,
+    session: &Session,
+    writer: &mut BufWriter<TcpStream>,
+    pool: &str,
+) -> ServerResult<()> {
+    match run_query(shared, session, pool) {
+        Ok(rows) => write_msg(writer, &Response::Rows(rows)),
+        Err(e) => db_error(shared, writer, e.to_string()),
+    }
+}
+
+fn write_stats(shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) -> ServerResult<()> {
+    write_msg(
+        writer,
+        &Response::Stats {
+            server: shared.metrics.snapshot(),
+            storage: shared.db.stats(),
+        },
+    )
+}
+
+fn db_error(
+    shared: &Arc<Shared>,
+    writer: &mut BufWriter<TcpStream>,
+    message: String,
+) -> ServerResult<()> {
+    shared.metrics.db_errors.fetch_add(1, Ordering::Relaxed);
+    write_msg(writer, &Response::Error { kind: ErrorKind::Db, message })
+}
+
+fn protocol_error(
+    shared: &Arc<Shared>,
+    writer: &mut BufWriter<TcpStream>,
+    message: &str,
+) -> ServerResult<()> {
+    shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    write_msg(
+        writer,
+        &Response::Error { kind: ErrorKind::Protocol, message: message.into() },
+    )
+}
+
+/// Apply one wire mutation through the object layer (full §4.4 semantics).
+fn apply_op(db: &Database, op: &MutationOp) -> DbResult<Option<Oid>> {
+    match op {
+        MutationOp::CreateObject { class, attrs } => {
+            db.create_object(class, attrs.iter().cloned()).map(Some)
+        }
+        MutationOp::SetAttr { oid, attr, value } => {
+            db.set_attr(*oid, attr, value.clone()).map(|_| None)
+        }
+        MutationOp::DeleteObject { oid } => db.delete_object(*oid).map(|_| None),
+        MutationOp::CreateRelationship { class, origin, destination, attrs } => db
+            .create_relationship(class, *origin, *destination, attrs.iter().cloned())
+            .map(Some),
+        MutationOp::DeleteRelationship { oid } => db.delete_relationship(*oid).map(|_| None),
+        MutationOp::CreateClassification { name, attrs, strict_hierarchy } => db
+            .create_classification(name, attrs.iter().cloned(), *strict_hierarchy)
+            .map(Some),
+        MutationOp::AddEdgeToClassification { classification, rel } => {
+            db.add_edge_to_classification(*classification, *rel).map(|_| None)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::PrometheusClient;
+    use prometheus_db::{StoreOptions, Value};
+    use prometheus_taxonomy::Rank;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let p = std::env::temp_dir().join(format!(
+            "prometheus-server-{name}-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn serve_taxonomy(name: &str, workers: usize) -> ServerHandle {
+        let p = Prometheus::open_with(tmp(name), StoreOptions { sync_on_commit: false }).unwrap();
+        let tax = p.taxonomy().unwrap();
+        tax.create_ct("Apium", Rank::Genus).unwrap();
+        tax.create_ct("Heliosciadium", Rank::Genus).unwrap();
+        serve(p, ServerConfig { addr: "127.0.0.1:0".into(), workers }).unwrap()
+    }
+
+    #[test]
+    fn ping_query_stats_round_trip() {
+        let handle = serve_taxonomy("roundtrip", 2);
+        let mut client = PrometheusClient::connect(handle.addr()).unwrap();
+        client.ping().unwrap();
+        let rows = client.query("select t.working_name from CT t order by t.working_name").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.rows[0][0], Value::Str("Apium".into()));
+        let (server, storage) = client.stats().unwrap();
+        assert!(server.requests_of("query") >= 1);
+        assert!(server.connections_active >= 1);
+        assert!(storage.commits > 0, "seeding must show in storage counters");
+        client.close().unwrap();
+        handle.stop();
+    }
+
+    #[test]
+    fn unit_batch_commits_and_bad_batch_rolls_back() {
+        let handle = serve_taxonomy("batch", 2);
+        let mut client = PrometheusClient::connect(handle.addr()).unwrap();
+        let created = client
+            .unit_batch(vec![
+                MutationOp::CreateObject {
+                    class: "CT".into(),
+                    attrs: vec![
+                        ("working_name".into(), Value::Str("Daucus".into())),
+                        ("rank".into(), Value::Str("Genus".into())),
+                    ],
+                },
+            ])
+            .unwrap();
+        assert_eq!(created.len(), 1);
+        assert!(!created[0].is_nil());
+        assert_eq!(client.query("select t from CT t").unwrap().len(), 3);
+        // Second op is invalid: the whole batch must roll back.
+        let err = client.unit_batch(vec![
+            MutationOp::CreateObject {
+                class: "CT".into(),
+                attrs: vec![
+                    ("working_name".into(), Value::Str("Lost".into())),
+                    ("rank".into(), Value::Str("Genus".into())),
+                ],
+            },
+            MutationOp::CreateObject { class: "NoSuchClass".into(), attrs: vec![] },
+        ]);
+        assert!(err.is_err());
+        assert_eq!(client.query("select t from CT t").unwrap().len(), 3);
+        client.close().unwrap();
+        handle.stop();
+    }
+
+    #[test]
+    fn streamed_unit_commit_and_abort() {
+        let handle = serve_taxonomy("unit", 2);
+        let mut client = PrometheusClient::connect(handle.addr()).unwrap();
+        {
+            let mut unit = client.begin_unit().unwrap();
+            let oid = unit
+                .create_object(
+                    "CT",
+                    vec![
+                        ("working_name".into(), Value::Str("Kept".into())),
+                        ("rank".into(), Value::Str("Genus".into())),
+                    ],
+                )
+                .unwrap();
+            assert!(!oid.is_nil());
+            // Reads inside the unit see its own writes.
+            assert_eq!(unit.query("select t from CT t").unwrap().len(), 3);
+            unit.commit().unwrap();
+        }
+        assert_eq!(client.query("select t from CT t").unwrap().len(), 3);
+        {
+            let mut unit = client.begin_unit().unwrap();
+            unit.create_object(
+                "CT",
+                vec![
+                    ("working_name".into(), Value::Str("Dropped".into())),
+                    ("rank".into(), Value::Str("Genus".into())),
+                ],
+            )
+            .unwrap();
+            unit.abort().unwrap();
+        }
+        assert_eq!(client.query("select t from CT t").unwrap().len(), 3);
+        client.close().unwrap();
+        handle.stop();
+    }
+
+    #[test]
+    fn unit_guard_drop_aborts() {
+        let handle = serve_taxonomy("guard", 2);
+        let mut client = PrometheusClient::connect(handle.addr()).unwrap();
+        {
+            let mut unit = client.begin_unit().unwrap();
+            unit.create_object(
+                "CT",
+                vec![
+                    ("working_name".into(), Value::Str("Ghost".into())),
+                    ("rank".into(), Value::Str("Genus".into())),
+                ],
+            )
+            .unwrap();
+            // Guard dropped without commit: abort is sent on Drop.
+        }
+        assert_eq!(client.query("select t from CT t").unwrap().len(), 2);
+        client.close().unwrap();
+        handle.stop();
+    }
+
+    #[test]
+    fn session_context_scopes_queries() {
+        let p = Prometheus::open_with(tmp("context"), StoreOptions { sync_on_commit: false })
+            .unwrap();
+        let tax = p.taxonomy().unwrap();
+        let cls = tax.new_classification("Linnaeus 1753", "L.", "habit").unwrap();
+        let genus = tax.create_ct("Apium", Rank::Genus).unwrap();
+        let species = tax.create_ct("graveolens", Rank::Species).unwrap();
+        tax.circumscribe(&cls, genus, species).unwrap();
+        tax.create_ct("Orphan", Rank::Genus).unwrap(); // outside the classification
+        let handle = serve(p, ServerConfig { addr: "127.0.0.1:0".into(), workers: 2 }).unwrap();
+        let mut client = PrometheusClient::connect(handle.addr()).unwrap();
+        assert_eq!(client.query("select t from CT t").unwrap().len(), 3);
+        client.set_context(Some("Linnaeus 1753")).unwrap();
+        assert_eq!(client.query("select t from CT t").unwrap().len(), 2);
+        client.set_context(None).unwrap();
+        assert_eq!(client.query("select t from CT t").unwrap().len(), 3);
+        assert!(client.set_context(Some("No Such Revision")).is_err());
+        client.close().unwrap();
+        handle.stop();
+    }
+
+    #[test]
+    fn protocol_misuse_is_reported() {
+        let handle = serve_taxonomy("misuse", 2);
+        let mut client = PrometheusClient::connect(handle.addr()).unwrap();
+        // Commit without an open unit.
+        let err = client.commit_orphan_unit();
+        match err {
+            Err(ServerError::Remote { kind, .. }) => assert_eq!(kind, ErrorKind::Protocol),
+            other => panic!("expected protocol error, got {other:?}"),
+        }
+        // Bad POOL text is a db error; the session survives both.
+        assert!(client.query("selec t frm").is_err());
+        client.ping().unwrap();
+        client.close().unwrap();
+        handle.stop();
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let handle = serve_taxonomy("version", 2);
+        let stream = TcpStream::connect(handle.addr()).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        let mut reader = BufReader::new(stream);
+        write_msg(
+            &mut writer,
+            &Request::Hello { version: 999, client: "old".into() },
+        )
+        .unwrap();
+        let resp: Response = read_msg(&mut reader).unwrap();
+        assert!(matches!(resp, Response::Error { kind: ErrorKind::Protocol, .. }));
+        handle.stop();
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_and_joins() {
+        let handle = serve_taxonomy("shutdown", 2);
+        let addr = handle.addr();
+        let mut client = PrometheusClient::connect(addr).unwrap();
+        client.ping().unwrap();
+        client.shutdown_server().unwrap();
+        handle.join();
+        // After join, either connects are refused or the session is told the
+        // server is shutting down; a fresh ping must not succeed.
+        let late = PrometheusClient::connect(addr);
+        assert!(late.is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! Per-session state.
+//!
+//! Each accepted connection becomes one [`Session`]: an identifier, the
+//! client's self-reported name, and the session's classification context —
+//! the server-side analogue of a taxonomist "working inside" one
+//! classification (§4.6.2). Contexts are per-session, so two clients can
+//! query the same database through different classifications concurrently
+//! (see `examples/remote_repl.rs`).
+
+/// State carried for the lifetime of one connection.
+#[derive(Debug)]
+pub struct Session {
+    /// Server-assigned identifier, echoed in `Welcome`.
+    pub id: u64,
+    /// Client-reported name from the handshake (for diagnostics).
+    pub client: String,
+    /// Classification context applied to queries without their own
+    /// `in classification` clause.
+    pub context: Option<String>,
+    /// Whether the handshake completed.
+    pub ready: bool,
+}
+
+impl Session {
+    /// A fresh, pre-handshake session.
+    pub fn new(id: u64) -> Session {
+        Session { id, client: String::new(), context: None, ready: false }
+    }
+
+    /// Resolve the effective classification context for a parsed query: the
+    /// query's own clause wins; otherwise the session context applies.
+    pub fn effective_context(&self, query_context: Option<String>) -> Option<String> {
+        query_context.or_else(|| self.context.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_clause_overrides_session_context() {
+        let mut s = Session::new(1);
+        assert_eq!(s.effective_context(None), None);
+        s.context = Some("Linnaeus 1753".into());
+        assert_eq!(s.effective_context(None).as_deref(), Some("Linnaeus 1753"));
+        assert_eq!(
+            s.effective_context(Some("Koch 1824".into())).as_deref(),
+            Some("Koch 1824")
+        );
+    }
+}

@@ -62,6 +62,24 @@ impl LogRecord {
     }
 }
 
+/// fsync the directory containing `path`, making a just-created or
+/// just-renamed log file's directory entry itself durable.
+///
+/// `sync_data` on the file alone does not persist the rename/creation
+/// metadata: after a power loss the parent directory may still point at the
+/// old inode (or at nothing). Called after the writer creates the file and
+/// after compaction renames the fresh image into place. A relative path with
+/// no parent component syncs the current directory.
+pub fn fsync_parent_dir(path: &Path) -> StorageResult<()> {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let dir = File::open(parent)?;
+    dir.sync_all()?;
+    Ok(())
+}
+
 /// Sequential writer over the log file.
 #[derive(Debug)]
 pub struct LogWriter {
@@ -80,6 +98,10 @@ impl LogWriter {
             .read(true)
             .write(true)
             .open(path)?;
+        // Make the file's directory entry durable: creating (or truncating
+        // after a torn tail) only becomes crash-safe once the parent
+        // directory is synced too.
+        fsync_parent_dir(path)?;
         file.set_len(valid_len)?;
         let mut writer = BufWriter::new(file);
         writer.seek(SeekFrom::Start(valid_len))?;

@@ -5,6 +5,7 @@
 //! costs what it does (log appends, record decodes, cache behaviour) rather
 //! than only wall-clock time.
 
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared, lock-free operation counters for one [`crate::Store`].
@@ -77,7 +78,10 @@ impl Stats {
 }
 
 /// Plain-data snapshot of [`Stats`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Serialisable so the server layer can ship it over the wire in answer to a
+/// `stats` request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct StatsSnapshot {
     pub log_appends: u64,
     pub bytes_written: u64,

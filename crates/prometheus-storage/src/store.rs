@@ -259,6 +259,9 @@ impl Store {
         new_log.sync()?;
         drop(new_log);
         std::fs::rename(&tmp_path, &self.path)?;
+        // The rename only survives power loss once the directory entry is on
+        // stable storage; syncing the file alone is not enough.
+        log::fsync_parent_dir(&self.path)?;
         // Reopen the writer positioned at the end of the compacted log.
         let scan = log::scan(&self.path)?;
         inner.logw = LogWriter::open(&self.path, scan.valid_len)?;
@@ -629,6 +632,41 @@ mod tests {
         drop(store);
         let store = Store::open(&path).unwrap();
         assert_eq!(store.get(oid).as_deref(), Some(&[7u8][..]));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn compact_then_reopen_preserves_full_image() {
+        // Regression test for the compaction durability fix: the renamed log
+        // (and its fsynced directory entry) must be what a fresh open reads.
+        let (store, path) = temp_store();
+        let kept = store.allocate_oid();
+        let churn = store.allocate_oid();
+        for i in 0..20u8 {
+            store
+                .with_txn(|t| {
+                    t.put(churn, vec![i; 32]);
+                    Ok(())
+                })
+                .unwrap();
+        }
+        store
+            .with_txn(|t| {
+                t.put(kept, b"stable".to_vec());
+                t.kv_put(Keyspace(4), b"idx".to_vec(), b"entry".to_vec());
+                t.delete(churn);
+                Ok(())
+            })
+            .unwrap();
+        store.compact().unwrap();
+        drop(store);
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.get(kept).as_deref(), Some(&b"stable"[..]));
+        assert!(store.get(churn).is_none());
+        assert_eq!(store.kv_get(Keyspace(4), b"idx").as_deref(), Some(&b"entry"[..]));
+        assert_eq!(store.record_count(), 1);
+        // OIDs still monotonic after the compact+reopen cycle.
+        assert!(store.allocate_oid() > kept.max(churn));
         let _ = std::fs::remove_file(path);
     }
 

@@ -41,6 +41,7 @@ pub use prometheus_pool::{QueryResult, Row};
 pub use prometheus_rules as rules;
 pub use prometheus_rules::{Action, Rule, RuleEngine, RuleKind, Timing};
 pub use prometheus_storage as storage;
+pub use prometheus_storage::{Stats, StatsSnapshot};
 pub use prometheus_taxonomy as taxonomy;
 pub use prometheus_taxonomy::{Rank, Taxonomy, TypeKind};
 
@@ -119,6 +120,16 @@ impl Prometheus {
         Ok(())
     }
 
+    /// Point-in-time storage I/O counters (log appends, bytes, syncs, cache
+    /// behaviour, commits/aborts).
+    ///
+    /// This is the canonical counter surface: the wire server's `stats`
+    /// request and the bench harness both read it instead of reaching through
+    /// `db().store()`.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.db.store().stats().snapshot()
+    }
+
     /// Enable change-history recording (requirement 4 traceability): every
     /// committed event is journaled per subject; query with
     /// [`history_of`]. Call at most once per database.
@@ -158,6 +169,19 @@ mod tests {
             .unwrap();
         assert_eq!(n, 1);
         assert!(tax.create_ct("ok", Rank::Genus).is_ok());
+    }
+
+    #[test]
+    fn stats_expose_storage_counters() {
+        let p = Prometheus::open_with(tmp("stats"), StoreOptions { sync_on_commit: false }).unwrap();
+        let before = p.stats();
+        let tax = p.taxonomy().unwrap();
+        tax.create_ct("counted", Rank::Genus).unwrap();
+        let after = p.stats();
+        let delta = after.since(&before);
+        assert!(delta.commits >= 1, "facade stats must reflect store commits");
+        assert!(delta.puts >= 1);
+        assert!(delta.bytes_written > 0);
     }
 
     #[test]

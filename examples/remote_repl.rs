@@ -1,0 +1,108 @@
+//! The POOL shell, served over the wire: boots a prometheus-server on an
+//! ephemeral port over the Figure 3 + Figure 4 datasets, then talks to it
+//! exclusively through [`prometheus_server::PrometheusClient`] — the same
+//! path a remote taxonomist's workstation would use.
+//!
+//! The one capability this adds over `pool_repl` is *session classification
+//! context*: `\context <name>` scopes every following query to one
+//! classification server-side (§4.6.2 "working inside a classification"),
+//! without editing the query text. Contexts are per-session, so several
+//! connected taxonomists can work in different classifications at once.
+//!
+//! ```text
+//! cargo run -p prometheus-server --example remote_repl
+//! pool> select t from CT t
+//! pool> \context taxonomist-1
+//! pool> select t from CT t          // now only taxonomist-1's taxa
+//! pool> \context                    // clear
+//! pool> \stats                      // server + storage counters, over the wire
+//! pool> \quit
+//! ```
+
+use prometheus_db::{Prometheus, StoreOptions};
+use prometheus_server::{serve, PrometheusClient, ServerConfig, ServerError};
+use prometheus_taxonomy::dataset::{figure3, figure4};
+use std::io::{BufRead, Write};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let path = std::env::temp_dir().join("prometheus-remote-repl.db");
+    let _ = std::fs::remove_file(&path);
+    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false })?;
+    let tax = p.taxonomy()?;
+    figure3(&tax)?;
+    figure4(&tax)?;
+
+    let handle = serve(p, ServerConfig::default())?;
+    let mut client = PrometheusClient::connect(handle.addr())?;
+    println!(
+        "Prometheus wire shell — session {} on {} (Figure 3 + Figure 4 data).",
+        client.session(),
+        handle.addr()
+    );
+    println!("Classifications: Raguenaud 2000, taxonomist-1..4. Classes: NT, CT, Specimen.");
+    println!("Commands: \\context [name], \\stats, \\quit.");
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("pool> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break; // EOF
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "\\quit" || line == "\\q" {
+            break;
+        }
+        if line == "\\context" {
+            client.set_context(None)?;
+            println!("context cleared");
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("\\context ") {
+            match client.set_context(Some(name.trim())) {
+                Ok(()) => println!("context: {}", name.trim()),
+                Err(ServerError::Remote { message, .. }) => println!("error: {message}"),
+                Err(e) => return Err(e.into()),
+            }
+            continue;
+        }
+        if line == "\\stats" {
+            let (server, storage) = client.stats()?;
+            println!(
+                "server: {} requests over {} connections, {} units committed, \
+                 mean latency {:.1} µs",
+                server.requests_total(),
+                server.connections_accepted,
+                server.units_committed,
+                server.latency.mean_us(),
+            );
+            println!(
+                "storage: {} commits, {} puts, {} bytes written, cache hit ratio {:.2}",
+                storage.commits,
+                storage.puts,
+                storage.bytes_written,
+                storage.hit_ratio(),
+            );
+            continue;
+        }
+        match client.query(line) {
+            Ok(rows) => {
+                println!("{}", rows.columns.join(" | "));
+                for row in &rows.rows {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    println!("{}", cells.join(" | "));
+                }
+                println!("({} row(s))", rows.len());
+            }
+            Err(ServerError::Remote { message, .. }) => println!("error: {message}"),
+            Err(e) => return Err(e.into()),
+        }
+    }
+    client.close()?;
+    handle.stop();
+    Ok(())
+}
