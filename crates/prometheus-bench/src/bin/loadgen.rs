@@ -1,23 +1,35 @@
 //! Load generator for the prometheus-server wire protocol.
 //!
-//! Boots a server over a scratch database, drives it with N concurrent
-//! client threads running a mixed read/write workload, and reports
-//! throughput plus exact latency percentiles (every measurement is kept, so
-//! p50/p99 are not histogram approximations). Finishes by querying the
-//! server's own metrics over the wire and fails if the run produced any
-//! protocol errors or rolled-back units.
+//! Two scenarios:
+//!
+//! * **mixed** (default, legacy positional args) — N concurrent clients
+//!   running a read/write mix, reporting throughput and exact latency
+//!   percentiles (every measurement is kept, so p50/p99 are not histogram
+//!   approximations), then failing if the run produced protocol errors or
+//!   rolled-back units.
+//! * **contention** — N pure readers measured twice: first against an idle
+//!   server, then while one writer streams units of work through the writer
+//!   lane. Because queries run on pinned snapshots, reader latency should
+//!   barely move; the report prints idle vs active percentiles side by side
+//!   plus the storage layer's snapshot-swap count, and writes the numbers to
+//!   `BENCH_contention.json` for CI artifact upload.
 //!
 //! ```text
-//! cargo run --release -p prometheus-bench --bin loadgen                # defaults
+//! cargo run --release -p prometheus-bench --bin loadgen                # mixed defaults
 //! cargo run --release -p prometheus-bench --bin loadgen -- 8 500 20   # clients ops write%
+//! cargo run --release -p prometheus-bench --bin loadgen -- contention 4 200 6
+//! #                                                        readers ops workers
 //! ```
 
-use prometheus_bench::report::render_latency_summary;
+use prometheus_bench::report::{percentile_us, render_latency_summary};
 use prometheus_db::{Prometheus, StoreOptions, Value};
-use prometheus_server::{serve, MutationOp, PrometheusClient, ServerConfig};
+use prometheus_server::{serve, MutationOp, PrometheusClient, ServerConfig, ServerHandle};
 use prometheus_taxonomy::Rank;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 struct Args {
@@ -27,8 +39,7 @@ struct Args {
     workers: usize,
 }
 
-fn parse_args() -> Args {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+fn parse_args(argv: &[String]) -> Args {
     let num = |i: usize, default: usize| {
         argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
     };
@@ -48,11 +59,12 @@ const QUERIES: [&str; 4] = [
     "select distinct t.rank from CT t order by t.rank",
 ];
 
-fn main() {
-    let args = parse_args();
-    let path = std::env::temp_dir().join(format!("prometheus-loadgen-{}.db", std::process::id()));
+fn boot_seeded_server(tag: &str, workers: usize) -> (ServerHandle, std::path::PathBuf) {
+    let path = std::env::temp_dir().join(format!(
+        "prometheus-loadgen-{tag}-{}.db",
+        std::process::id()
+    ));
     let _ = std::fs::remove_file(&path);
-
     // Seed a small flora so reads have something to scan.
     let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false })
         .expect("open scratch database");
@@ -62,9 +74,23 @@ fn main() {
     }
     let handle = serve(
         p,
-        ServerConfig { addr: "127.0.0.1:0".into(), workers: args.workers },
+        ServerConfig { addr: "127.0.0.1:0".into(), workers, ..ServerConfig::default() },
     )
     .expect("start server");
+    (handle, path)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("contention") {
+        contention(&argv[1..]);
+    } else {
+        mixed(parse_args(&argv));
+    }
+}
+
+fn mixed(args: Args) {
+    let (handle, path) = boot_seeded_server("mixed", args.workers);
     let addr = handle.addr();
     println!(
         "loadgen: {} clients × {} ops ({}% writes) against {addr} ({} workers)",
@@ -158,8 +184,8 @@ fn main() {
         server.latency.approx_percentile_us(0.99),
     );
     println!(
-        "storage: {} commits, {} puts, {} bytes written",
-        storage.commits, storage.puts, storage.bytes_written
+        "storage: {} commits, {} puts, {} bytes written, {} snapshot swaps",
+        storage.commits, storage.puts, storage.bytes_written, storage.snapshot_swaps
     );
 
     handle.stop();
@@ -173,4 +199,164 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nOK: zero client failures, zero protocol errors.");
+}
+
+/// Run every reader for `ops` queries each; returns merged, sorted latencies
+/// (µs) and the failure count.
+fn run_readers(addr: SocketAddr, readers: usize, ops: usize) -> (Vec<u64>, usize) {
+    let mut threads = Vec::new();
+    for reader_id in 0..readers {
+        threads.push(std::thread::spawn(move || {
+            let mut client = PrometheusClient::connect(addr)?;
+            let mut rng = StdRng::seed_from_u64(0xBEEF ^ reader_id as u64);
+            let mut samples: Vec<u64> = Vec::with_capacity(ops);
+            for _ in 0..ops {
+                let q = QUERIES[rng.gen_range(0..QUERIES.len())];
+                let start = Instant::now();
+                client.query(q)?;
+                samples.push(start.elapsed().as_micros() as u64);
+            }
+            client.close()?;
+            Ok::<_, prometheus_server::ServerError>(samples)
+        }));
+    }
+    let mut merged = Vec::new();
+    let mut failures = 0usize;
+    for t in threads {
+        match t.join() {
+            Ok(Ok(samples)) => merged.extend(samples),
+            Ok(Err(e)) => {
+                failures += 1;
+                eprintln!("reader error: {e}");
+            }
+            Err(_) => {
+                failures += 1;
+                eprintln!("reader thread panicked");
+            }
+        }
+    }
+    merged.sort_unstable();
+    (merged, failures)
+}
+
+/// Readers vs a streaming writer: because queries run on pinned snapshots,
+/// reader latency with an active writer should stay close to the idle
+/// baseline instead of serialising behind the writer lane.
+fn contention(argv: &[String]) {
+    let num = |i: usize, default: usize| {
+        argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
+    };
+    let readers = num(0, 4).max(1);
+    let ops = num(1, 200).max(1);
+    let workers = num(2, readers + 2).max(2);
+
+    let (handle, path) = boot_seeded_server("contention", workers);
+    let addr = handle.addr();
+    println!(
+        "loadgen contention: {readers} readers × {ops} ops against {addr} \
+         ({workers} workers), idle then with 1 streaming writer"
+    );
+
+    let wall = Instant::now();
+    // Phase 1: no writer anywhere — the baseline.
+    let (idle, idle_failures) = run_readers(addr, readers, ops);
+
+    // Phase 2: same read workload while one writer streams units of work,
+    // holding the writer lane for multi-operation stretches.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = PrometheusClient::connect(addr)?;
+            let mut units = 0u64;
+            let mut serial = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let mut unit = client.begin_unit()?;
+                for _ in 0..16 {
+                    serial += 1;
+                    unit.create_object(
+                        "CT",
+                        vec![
+                            ("working_name".into(), Value::Str(format!("Churn-{serial}"))),
+                            ("rank".into(), Value::Str("Species".into())),
+                        ],
+                    )?;
+                }
+                unit.commit()?;
+                units += 1;
+            }
+            client.close()?;
+            Ok::<_, prometheus_server::ServerError>(units)
+        })
+    };
+    let swaps_before = {
+        let mut observer = PrometheusClient::connect(addr).expect("connect for stats");
+        let (_, storage) = observer.stats().expect("fetch stats");
+        let _ = observer.close();
+        storage.snapshot_swaps
+    };
+    let (active, active_failures) = run_readers(addr, readers, ops);
+    stop.store(true, Ordering::Relaxed);
+    let (writer_units, writer_failed) = match writer.join() {
+        Ok(Ok(units)) => (units, false),
+        Ok(Err(e)) => {
+            eprintln!("writer error: {e}");
+            (0, true)
+        }
+        Err(_) => {
+            eprintln!("writer thread panicked");
+            (0, true)
+        }
+    };
+    let elapsed = wall.elapsed().as_secs_f64();
+
+    let mut observer = PrometheusClient::connect(addr).expect("connect for stats");
+    let (server, storage) = observer.stats().expect("fetch stats");
+    let _ = observer.close();
+    let swaps_during = storage.snapshot_swaps - swaps_before;
+
+    println!();
+    println!("{}", render_latency_summary("idle", &idle, elapsed));
+    println!("{}", render_latency_summary("active", &active, elapsed));
+    println!();
+    println!(
+        "writer: {writer_units} units committed while readers ran; \
+         {} units committed server-wide, {} timed out",
+        server.units_committed, server.units_timed_out
+    );
+    println!(
+        "snapshots: {} swaps during the active phase ({} total), \
+         readers pinned one per query",
+        swaps_during, storage.snapshot_swaps
+    );
+
+    let json = format!(
+        "{{\n  \"scenario\": \"contention\",\n  \"readers\": {readers},\n  \
+         \"ops_per_reader\": {ops},\n  \"workers\": {workers},\n  \
+         \"idle_p50_us\": {},\n  \"idle_p99_us\": {},\n  \
+         \"active_p50_us\": {},\n  \"active_p99_us\": {},\n  \
+         \"writer_units_committed\": {writer_units},\n  \
+         \"snapshot_swaps_active_phase\": {swaps_during},\n  \
+         \"elapsed_secs\": {elapsed:.3}\n}}\n",
+        percentile_us(&idle, 0.50),
+        percentile_us(&idle, 0.99),
+        percentile_us(&active, 0.50),
+        percentile_us(&active, 0.99),
+    );
+    std::fs::write("BENCH_contention.json", &json).expect("write BENCH_contention.json");
+    println!("\nwrote BENCH_contention.json");
+
+    handle.stop();
+    let _ = std::fs::remove_file(&path);
+
+    let failures = idle_failures + active_failures;
+    if failures > 0 || writer_failed || server.protocol_errors > 0 || server.db_errors > 0 {
+        eprintln!(
+            "FAILED: {failures} reader failures, writer failed: {writer_failed}, \
+             {} protocol errors, {} db errors",
+            server.protocol_errors, server.db_errors
+        );
+        std::process::exit(1);
+    }
+    println!("OK: zero reader failures, zero protocol errors.");
 }

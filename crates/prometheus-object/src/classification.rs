@@ -9,11 +9,14 @@
 //! The type is a convenience handle over [`Database`]: structure queries
 //! (roots, leaves, children, descendants), whole-graph operations (deep
 //! copy for revisions, requirement 1) and comparisons (specimen-based
-//! synonym detection, §2.3).
+//! synonym detection, §2.3). Structure queries are generic over
+//! [`Reader`], so they run equally against the live database or a pinned
+//! snapshot view.
 
 use crate::database::Database;
 use crate::error::DbResult;
 use crate::instance::RelInstance;
+use crate::read::Reader;
 use crate::traversal::{self, Direction, SynonymMode, TraversalSpec};
 use crate::value::Value;
 use prometheus_storage::Oid;
@@ -55,7 +58,7 @@ impl Classification {
     }
 
     /// Look a classification up by name.
-    pub fn by_name(db: &Database, name: &str) -> DbResult<Option<Self>> {
+    pub fn by_name<R: Reader>(db: &R, name: &str) -> DbResult<Option<Self>> {
         Ok(db.classification_by_name(name)?.map(Classification::from_oid))
     }
 
@@ -65,7 +68,7 @@ impl Classification {
     }
 
     /// The classification's name.
-    pub fn name(&self, db: &Database) -> DbResult<String> {
+    pub fn name<R: Reader>(&self, db: &R) -> DbResult<String> {
         Ok(db.classification_meta(self.oid)?.name)
     }
 
@@ -98,7 +101,7 @@ impl Classification {
     }
 
     /// All member edges.
-    pub fn edges(&self, db: &Database) -> DbResult<Vec<RelInstance>> {
+    pub fn edges<R: Reader>(&self, db: &R) -> DbResult<Vec<RelInstance>> {
         db.classification_edges(self.oid)?
             .into_iter()
             .map(|oid| db.rel(oid))
@@ -107,7 +110,7 @@ impl Classification {
 
     /// All objects participating in the classification (origins and
     /// destinations of member edges).
-    pub fn nodes(&self, db: &Database) -> DbResult<BTreeSet<Oid>> {
+    pub fn nodes<R: Reader>(&self, db: &R) -> DbResult<BTreeSet<Oid>> {
         let mut nodes = BTreeSet::new();
         for edge in self.edges(db)? {
             nodes.insert(edge.origin);
@@ -118,7 +121,7 @@ impl Classification {
 
     /// Nodes that are never the destination of a member edge — the tops of
     /// the hierarchy.
-    pub fn roots(&self, db: &Database) -> DbResult<Vec<Oid>> {
+    pub fn roots<R: Reader>(&self, db: &R) -> DbResult<Vec<Oid>> {
         let edges = self.edges(db)?;
         let dests: BTreeSet<Oid> = edges.iter().map(|e| e.destination).collect();
         let mut roots: Vec<Oid> = edges
@@ -134,7 +137,7 @@ impl Classification {
 
     /// Nodes that are never the origin of a member edge — in taxonomy, the
     /// specimens (or lowest taxa).
-    pub fn leaves(&self, db: &Database) -> DbResult<Vec<Oid>> {
+    pub fn leaves<R: Reader>(&self, db: &R) -> DbResult<Vec<Oid>> {
         let edges = self.edges(db)?;
         let origins: BTreeSet<Oid> = edges.iter().map(|e| e.origin).collect();
         Ok(edges
@@ -148,7 +151,7 @@ impl Classification {
 
     /// Direct children of `node` within this classification (record-free:
     /// served from the endpoint and membership indexes).
-    pub fn children(&self, db: &Database, node: Oid) -> DbResult<Vec<Oid>> {
+    pub fn children<R: Reader>(&self, db: &R, node: Oid) -> DbResult<Vec<Oid>> {
         Ok(db
             .adjacency(node, None, true)?
             .into_iter()
@@ -159,7 +162,7 @@ impl Classification {
 
     /// Direct parents of `node` within this classification (at most one in a
     /// strict hierarchy).
-    pub fn parents(&self, db: &Database, node: Oid) -> DbResult<Vec<Oid>> {
+    pub fn parents<R: Reader>(&self, db: &R, node: Oid) -> DbResult<Vec<Oid>> {
         Ok(db
             .adjacency(node, None, false)?
             .into_iter()
@@ -170,7 +173,12 @@ impl Classification {
 
     /// All descendants of `node` (requirement 9: recursive exploration),
     /// optionally depth-bounded.
-    pub fn descendants(&self, db: &Database, node: Oid, max_depth: Option<u32>) -> DbResult<Vec<Oid>> {
+    pub fn descendants<R: Reader>(
+        &self,
+        db: &R,
+        node: Oid,
+        max_depth: Option<u32>,
+    ) -> DbResult<Vec<Oid>> {
         let spec = TraversalSpec::closure(Vec::new())
             .in_classification(self.oid)
             .depth(1, max_depth);
@@ -178,7 +186,12 @@ impl Classification {
     }
 
     /// All ancestors of `node`.
-    pub fn ancestors(&self, db: &Database, node: Oid, max_depth: Option<u32>) -> DbResult<Vec<Oid>> {
+    pub fn ancestors<R: Reader>(
+        &self,
+        db: &R,
+        node: Oid,
+        max_depth: Option<u32>,
+    ) -> DbResult<Vec<Oid>> {
         let spec = TraversalSpec::closure(Vec::new())
             .direction(Direction::Incoming)
             .in_classification(self.oid)
@@ -189,7 +202,7 @@ impl Classification {
     /// The leaf set below `node` — in taxonomy, the *circumscription* of the
     /// taxon in terms of specimens, the objective basis of every comparison
     /// (§2.1.3).
-    pub fn leaf_set(&self, db: &Database, node: Oid) -> DbResult<BTreeSet<Oid>> {
+    pub fn leaf_set<R: Reader>(&self, db: &R, node: Oid) -> DbResult<BTreeSet<Oid>> {
         let mut leaves = BTreeSet::new();
         let descendants = self.descendants(db, node, None)?;
         for d in descendants {
@@ -223,9 +236,9 @@ impl Classification {
 
     /// Compare two classifications node-wise and leaf-wise. With
     /// `SynonymMode::Transparent`, instance synonyms count as the same node.
-    pub fn compare(
+    pub fn compare<R: Reader>(
         &self,
-        db: &Database,
+        db: &R,
         other: &Classification,
         synonyms: SynonymMode,
     ) -> DbResult<ClassificationCompare> {
@@ -249,9 +262,9 @@ impl Classification {
     /// `other`: `(shared, only_self, only_other)`. Full synonymy means both
     /// "only" sets are empty; *pro parte* synonymy means `shared` is
     /// non-empty but so is at least one "only" set (§2.1.3).
-    pub fn circumscription_overlap(
+    pub fn circumscription_overlap<R: Reader>(
         &self,
-        db: &Database,
+        db: &R,
         node: Oid,
         other: &Classification,
         other_node: Oid,
@@ -295,7 +308,7 @@ impl Classification {
 
     /// Verify the classification is structurally sound: acyclic and (if
     /// strict) single-parented. Returns problem descriptions.
-    pub fn check_integrity(&self, db: &Database) -> DbResult<Vec<String>> {
+    pub fn check_integrity<R: Reader>(&self, db: &R) -> DbResult<Vec<String>> {
         let mut problems = Vec::new();
         let meta = db.classification_meta(self.oid)?;
         let edges = self.edges(db)?;

@@ -27,6 +27,7 @@ use crate::error::{DbError, DbResult};
 use crate::events::{Event, EventListener};
 use crate::index::{self, KS_ATTR, KS_CLS_EDGES, KS_EDGE_CLS, KS_EXTENT, KS_META, KS_REL_FROM, KS_REL_TO};
 use crate::instance::{ClassificationMeta, ObjectInstance, RelInstance, StoredEntity};
+use crate::read::{ReadView, Reader};
 use crate::schema::{RelKind, SchemaRegistry, OBJECT_CLASS};
 use crate::synonym::SynonymTable;
 use crate::value::Value;
@@ -43,6 +44,11 @@ pub const CLASSIFICATION_EXTENT: &str = "__classification";
 /// that the chapter-7 benchmark databases stay cache-resident, matching the
 /// thesis' warm-cache measurement conditions.
 const DEFAULT_CACHE_CAPACITY: usize = 131_072;
+
+/// Number of independently locked object-cache shards. Concurrent readers
+/// hash to different shards by OID, so the cache never serialises the read
+/// path behind one mutex.
+const CACHE_SHARDS: usize = 16;
 
 /// Token returned by [`Database::begin_unit`]; must be passed back to
 /// [`Database::commit_unit`] or [`Database::abort_unit`].
@@ -76,13 +82,17 @@ struct UnitState {
 }
 
 /// The Prometheus database.
+///
+/// Schema and synonym state are kept behind `Arc` so that a [`ReadView`] can
+/// pin them alongside a storage snapshot with two pointer bumps; mutations
+/// copy-on-write via [`Arc::make_mut`].
 pub struct Database {
     store: Arc<Store>,
-    schema: RwLock<SchemaRegistry>,
-    synonyms: RwLock<SynonymTable>,
+    schema: RwLock<Arc<SchemaRegistry>>,
+    synonyms: RwLock<Arc<SynonymTable>>,
     listeners: RwLock<Vec<Arc<dyn EventListener>>>,
     unit: Mutex<Option<UnitState>>,
-    cache: Mutex<LruCache<Oid, StoredEntity>>,
+    cache: Vec<Mutex<LruCache<Oid, StoredEntity>>>,
 }
 
 impl Database {
@@ -103,11 +113,13 @@ impl Database {
         };
         Ok(Database {
             store,
-            schema: RwLock::new(schema),
-            synonyms: RwLock::new(synonyms),
+            schema: RwLock::new(Arc::new(schema)),
+            synonyms: RwLock::new(Arc::new(synonyms)),
             listeners: RwLock::new(Vec::new()),
             unit: Mutex::new(None),
-            cache: Mutex::new(LruCache::new(DEFAULT_CACHE_CAPACITY)),
+            cache: (0..CACHE_SHARDS)
+                .map(|_| Mutex::new(LruCache::new(DEFAULT_CACHE_CAPACITY / CACHE_SHARDS)))
+                .collect(),
         })
     }
 
@@ -119,6 +131,26 @@ impl Database {
     /// Run `f` with read access to the schema registry.
     pub fn with_schema<T>(&self, f: impl FnOnce(&SchemaRegistry) -> T) -> T {
         f(&self.schema.read())
+    }
+
+    /// Run `f` with read access to the synonym table.
+    pub fn with_synonyms<T>(&self, f: impl FnOnce(&SynonymTable) -> T) -> T {
+        f(&self.synonyms.read())
+    }
+
+    /// Pin an immutable view of the latest settled committed state.
+    ///
+    /// The view holds the published storage snapshot plus the schema and
+    /// synonym state current at pin time; its reads never take the store
+    /// mutex or the object-cache locks. Mutations committed after the pin
+    /// (and operations of any unit still streaming) are invisible — pin a
+    /// fresh view for fresh state.
+    pub fn read_view(&self) -> ReadView {
+        ReadView::new(
+            self.store.snapshot(),
+            Arc::clone(&self.schema.read()),
+            Arc::clone(&self.synonyms.read()),
+        )
     }
 
     /// Register an event listener (the rule engine).
@@ -134,7 +166,7 @@ impl Database {
     pub fn define_class(&self, def: crate::schema::ClassDef) -> DbResult<()> {
         {
             let mut schema = self.schema.write();
-            schema.define_class(def)?;
+            Arc::make_mut(&mut *schema).define_class(def)?;
         }
         self.persist_schema()
     }
@@ -143,13 +175,13 @@ impl Database {
     pub fn define_relationship(&self, def: crate::schema::RelClassDef) -> DbResult<()> {
         {
             let mut schema = self.schema.write();
-            schema.define_relationship(def)?;
+            Arc::make_mut(&mut *schema).define_relationship(def)?;
         }
         self.persist_schema()
     }
 
     fn persist_schema(&self) -> DbResult<()> {
-        let bytes = codec::to_bytes(&*self.schema.read())?;
+        let bytes = codec::to_bytes(&**self.schema.read())?;
         self.store.with_txn(|t| {
             t.kv_put(KS_META, index::META_SCHEMA.to_vec(), bytes.clone());
             Ok(())
@@ -162,9 +194,18 @@ impl Database {
     // -----------------------------------------------------------------
 
     /// Open a (possibly nested) unit of work.
+    ///
+    /// Opening the outermost unit also opens a store-level unit scope: the
+    /// store keeps publishing snapshots of the pre-unit state until the unit
+    /// settles, so concurrent readers never observe a torn unit, and a crash
+    /// mid-unit replays to the pre-unit state.
     pub fn begin_unit(&self) -> UnitToken {
         let mut unit = self.unit.lock();
-        let state = unit.get_or_insert_with(UnitState::default);
+        if unit.is_none() {
+            self.store.begin_unit_scope();
+            *unit = Some(UnitState::default());
+        }
+        let state = unit.as_mut().expect("unit state just ensured");
         state.depth += 1;
         UnitToken { depth: state.depth }
     }
@@ -203,8 +244,13 @@ impl Database {
                 return Err(e);
             }
         }
+        // Seal the store-level unit scope: fsync once for the whole unit and
+        // publish its final state as the next readable snapshot. The unit
+        // mutex is held across the seal so a concurrently opened unit cannot
+        // interleave its scope with this one's.
         let mut unit = self.unit.lock();
         *unit = None;
+        self.store.end_unit_scope(true)?;
         Ok(())
     }
 
@@ -221,19 +267,24 @@ impl Database {
     }
 
     fn rollback_active_unit(&self) {
-        let journal = {
-            let mut unit = self.unit.lock();
-            match unit.take() {
-                Some(state) => state.journal,
-                None => return,
-            }
+        // The unit mutex is held for the whole rollback (the raw inverse
+        // appliers never touch it) so no new unit can interleave with the
+        // scope being discarded.
+        let mut unit = self.unit.lock();
+        let state = match unit.take() {
+            Some(state) => state,
+            None => return,
         };
-        for op in journal.into_iter().rev() {
+        for op in state.journal.into_iter().rev() {
             // Rollback applies raw inverse operations; failures here would
             // mean the log itself is failing, which we surface by panicking
             // rather than silently half-rolling-back.
             self.apply_undo(op).expect("rollback must not fail");
         }
+        // Discard the store-level unit scope: recovery skips the whole unit
+        // (forward ops and inverses alike) and readers keep seeing the
+        // pre-unit snapshot throughout.
+        self.store.end_unit_scope(false).expect("rollback must not fail");
     }
 
     fn apply_undo(&self, op: UndoOp) -> DbResult<()> {
@@ -268,14 +319,14 @@ impl Database {
                     t.kv_put(KS_EXTENT, index::extent_key(CLASSIFICATION_EXTENT, oid), Vec::new());
                     Ok(())
                 })?;
-                self.cache.lock().put(oid, StoredEntity::Classification(meta));
+                self.cache_shard(oid).lock().put(oid, StoredEntity::Classification(meta));
                 for rel in edges {
                     self.raw_add_cls_edge(oid, rel)?;
                 }
                 Ok(())
             }
             UndoOp::RestoreSynonyms(table) => {
-                *self.synonyms.write() = table;
+                *self.synonyms.write() = Arc::new(table);
                 self.persist_synonyms()
             }
         }
@@ -327,9 +378,13 @@ impl Database {
     // Entity access
     // -----------------------------------------------------------------
 
-    fn entity(&self, oid: Oid) -> DbResult<StoredEntity> {
+    fn cache_shard(&self, oid: Oid) -> &Mutex<LruCache<Oid, StoredEntity>> {
+        &self.cache[(oid.raw() as usize) % CACHE_SHARDS]
+    }
+
+    pub(crate) fn entity_cached(&self, oid: Oid) -> DbResult<StoredEntity> {
         {
-            let mut cache = self.cache.lock();
+            let mut cache = self.cache_shard(oid).lock();
             if let Some(entity) = cache.get(&oid) {
                 Stats::bump(&self.store.stats().cache_hits);
                 return Ok(entity.clone());
@@ -338,47 +393,41 @@ impl Database {
         Stats::bump(&self.store.stats().cache_misses);
         let bytes = self.store.get(oid).ok_or(DbError::NotFound(oid))?;
         let entity: StoredEntity = codec::from_bytes(&bytes)?;
-        self.cache.lock().put(oid, entity.clone());
+        self.cache_shard(oid).lock().put(oid, entity.clone());
         Ok(entity)
     }
 
+    // The read API below delegates to the [`Reader`] trait (see
+    // `crate::read`), which holds the single definition of every read
+    // operation; these inherent shims keep existing `Database` callers
+    // working without importing the trait. `Database` reads resolve against
+    // the working image, so code inside a unit of work sees its own
+    // operations — only [`ReadView`] pins a published snapshot.
+
     /// Fetch an object instance.
     pub fn object(&self, oid: Oid) -> DbResult<ObjectInstance> {
-        match self.entity(oid)? {
-            StoredEntity::Object(o) => Ok(o),
-            _ => Err(DbError::NotFound(oid)),
-        }
+        Reader::object(self, oid)
     }
 
     /// Fetch a relationship instance.
     pub fn rel(&self, oid: Oid) -> DbResult<RelInstance> {
-        match self.entity(oid)? {
-            StoredEntity::Rel(r) => Ok(r),
-            _ => Err(DbError::NotFound(oid)),
-        }
+        Reader::rel(self, oid)
     }
 
     /// Fetch classification metadata.
     pub fn classification_meta(&self, oid: Oid) -> DbResult<ClassificationMeta> {
-        match self.entity(oid)? {
-            StoredEntity::Classification(c) => Ok(c),
-            _ => Err(DbError::NotFound(oid)),
-        }
+        Reader::classification_meta(self, oid)
     }
 
     /// Whether any entity with this OID exists.
     pub fn exists(&self, oid: Oid) -> bool {
-        self.entity(oid).is_ok()
+        Reader::exists(self, oid)
     }
 
     /// Most-specific class of the entity (`"__classification"` for
     /// classification metadata).
     pub fn class_of(&self, oid: Oid) -> DbResult<String> {
-        Ok(match self.entity(oid)? {
-            StoredEntity::Object(o) => o.class,
-            StoredEntity::Rel(r) => r.class,
-            StoredEntity::Classification(_) => CLASSIFICATION_EXTENT.to_string(),
-        })
+        Reader::class_of(self, oid)
     }
 
     // -----------------------------------------------------------------
@@ -494,11 +543,11 @@ impl Database {
         }
 
         // The object record itself.
-        let prev_syn = self.synonyms.read().clone();
+        let prev_syn = self.synonyms.read().as_ref().clone();
         self.raw_delete_object(&obj)?;
         {
             let mut syn = self.synonyms.write();
-            syn.dissolve(oid);
+            Arc::make_mut(&mut *syn).dissolve(oid);
         }
         self.persist_synonyms()?;
         self.journal(UndoOp::RestoreSynonyms(prev_syn), None);
@@ -709,41 +758,23 @@ impl Database {
     /// relationship class (exact; use [`Database::rels_from_including_subs`]
     /// for polymorphic queries).
     pub fn rels_from(&self, oid: Oid, class: Option<&str>) -> DbResult<Vec<RelInstance>> {
-        let prefix = match class {
-            Some(c) => index::endpoint_class_prefix(oid, c),
-            None => index::endpoint_prefix(oid),
-        };
-        self.load_rels(KS_REL_FROM, &prefix)
+        Reader::rels_from(self, oid, class)
     }
 
     /// All relationship instances arriving at `oid`, optionally restricted to
     /// one relationship class (exact).
     pub fn rels_to(&self, oid: Oid, class: Option<&str>) -> DbResult<Vec<RelInstance>> {
-        let prefix = match class {
-            Some(c) => index::endpoint_class_prefix(oid, c),
-            None => index::endpoint_prefix(oid),
-        };
-        self.load_rels(KS_REL_TO, &prefix)
+        Reader::rels_to(self, oid, class)
     }
 
     /// Outgoing edges of `oid` via `class` or any of its subclasses.
     pub fn rels_from_including_subs(&self, oid: Oid, class: &str) -> DbResult<Vec<RelInstance>> {
-        let classes = self.schema.read().with_subclasses(class);
-        let mut out = Vec::new();
-        for c in classes {
-            out.extend(self.rels_from(oid, Some(&c))?);
-        }
-        Ok(out)
+        Reader::rels_from_including_subs(self, oid, class)
     }
 
     /// Incoming edges of `oid` via `class` or any of its subclasses.
     pub fn rels_to_including_subs(&self, oid: Oid, class: &str) -> DbResult<Vec<RelInstance>> {
-        let classes = self.schema.read().with_subclasses(class);
-        let mut out = Vec::new();
-        for c in classes {
-            out.extend(self.rels_to(oid, Some(&c))?);
-        }
-        Ok(out)
+        Reader::rels_to_including_subs(self, oid, class)
     }
 
     /// Record-free adjacency (the §6.1.5.2 indexing fast path): the edges
@@ -756,19 +787,7 @@ impl Database {
         class: Option<&str>,
         outgoing: bool,
     ) -> DbResult<Vec<(Oid, Oid)>> {
-        let ks = if outgoing { KS_REL_FROM } else { KS_REL_TO };
-        let prefix = match class {
-            Some(c) => index::endpoint_class_prefix(oid, c),
-            None => index::endpoint_prefix(oid),
-        };
-        let entries = self.store.kv_scan_prefix(ks, &prefix);
-        let mut out = Vec::with_capacity(entries.len());
-        for (key, value) in entries {
-            let Some(rel_oid) = index::oid_suffix(&key) else { continue };
-            let Ok(bytes) = <[u8; 8]>::try_from(value.as_slice()) else { continue };
-            out.push((rel_oid, Oid::from_be_bytes(bytes)));
-        }
-        Ok(out)
+        Reader::adjacency(self, oid, class, outgoing)
     }
 
     fn rels_from_of_class(&self, oid: Oid, class: &str) -> DbResult<Vec<RelInstance>> {
@@ -777,21 +796,6 @@ impl Database {
 
     fn rels_to_of_class(&self, oid: Oid, class: &str) -> DbResult<Vec<RelInstance>> {
         self.rels_to(oid, Some(class))
-    }
-
-    fn load_rels(
-        &self,
-        ks: prometheus_storage::Keyspace,
-        prefix: &[u8],
-    ) -> DbResult<Vec<RelInstance>> {
-        let entries = self.store.kv_scan_prefix(ks, prefix);
-        let mut out = Vec::with_capacity(entries.len());
-        for (key, _) in entries {
-            if let Some((_, rel_oid)) = index::decode_endpoint_key(&key) {
-                out.push(self.rel(rel_oid)?);
-            }
-        }
-        Ok(out)
     }
 
     /// Whether `from` reaches `to` following edges of exactly `rel_class`.
@@ -819,35 +823,12 @@ impl Database {
     /// OIDs in the extent of `class`; with `include_subclasses`, the deep
     /// extent (ODMG `extent` semantics).
     pub fn extent(&self, class: &str, include_subclasses: bool) -> DbResult<Vec<Oid>> {
-        let classes = if include_subclasses {
-            self.schema.read().with_subclasses(class)
-        } else {
-            vec![class.to_string()]
-        };
-        let mut out = Vec::new();
-        for c in classes {
-            for (key, _) in self.store.kv_scan_prefix(KS_EXTENT, &index::extent_prefix(&c)) {
-                if let Some(oid) = index::oid_suffix(&key) {
-                    out.push(oid);
-                }
-            }
-        }
-        Ok(out)
+        Reader::extent(self, class, include_subclasses)
     }
 
     /// Exact-match lookup over an indexed attribute (deep extent).
     pub fn find_by_attr(&self, class: &str, attr: &str, value: &Value) -> DbResult<Vec<Oid>> {
-        let classes = self.schema.read().with_subclasses(class);
-        let mut out = Vec::new();
-        for c in classes {
-            let prefix = index::attr_value_prefix(&c, attr, value);
-            for (key, _) in self.store.kv_scan_prefix(KS_ATTR, &prefix) {
-                if let Some(oid) = index::oid_suffix(&key) {
-                    out.push(oid);
-                }
-            }
-        }
-        Ok(out)
+        Reader::find_by_attr(self, class, attr, value)
     }
 
     /// Range lookup `lo <= value < hi` over an indexed attribute.
@@ -858,18 +839,7 @@ impl Database {
         lo: &Value,
         hi: &Value,
     ) -> DbResult<Vec<Oid>> {
-        let classes = self.schema.read().with_subclasses(class);
-        let mut out = Vec::new();
-        for c in classes {
-            let lo_key = index::attr_value_prefix(&c, attr, lo);
-            let hi_key = index::attr_value_prefix(&c, attr, hi);
-            for (key, _) in self.store.kv_scan_range(KS_ATTR, &lo_key, &hi_key) {
-                if let Some(oid) = index::oid_suffix(&key) {
-                    out.push(oid);
-                }
-            }
-        }
-        Ok(out)
+        Reader::find_by_attr_range(self, class, attr, lo, hi)
     }
 
     /// Attribute lookup with relationship attribute inheritance (§4.4.5).
@@ -878,45 +848,7 @@ impl Database {
     /// values inherited from incoming relationship instances whose class
     /// declares `attr` inheritable. Distinct inherited values are ambiguous.
     pub fn attr_of(&self, oid: Oid, attr: &str) -> DbResult<Value> {
-        let obj = self.object(oid)?;
-        if let Some(v) = obj.attrs.get(attr) {
-            if *v != Value::Null {
-                return Ok(v.clone());
-            }
-        }
-        {
-            let schema = self.schema.read();
-            if let Ok(declared) = schema.all_attrs(&obj.class) {
-                if let Some(def) = declared.iter().find(|a| a.name == attr) {
-                    if let Some(default) = &def.default {
-                        if !obj.attrs.contains_key(attr) {
-                            return Ok(default.clone());
-                        }
-                    }
-                }
-            }
-        }
-        // Inherited from incoming relationships.
-        let incoming = self.rels_to(oid, None)?;
-        let mut inherited: Vec<Value> = Vec::new();
-        {
-            let schema = self.schema.read();
-            for rel in &incoming {
-                if let Some(def) = schema.rel_class(&rel.class) {
-                    if def.inheritable_attrs.iter().any(|a| a == attr) {
-                        let v = rel.attr(attr);
-                        if v != Value::Null && !inherited.contains(&v) {
-                            inherited.push(v);
-                        }
-                    }
-                }
-            }
-        }
-        match inherited.len() {
-            0 => Ok(Value::Null),
-            1 => Ok(inherited.pop().unwrap()),
-            _ => Err(DbError::AmbiguousInheritedAttr { oid, attr: attr.to_string() }),
-        }
+        Reader::attr_of(self, oid, attr)
     }
 
     // -----------------------------------------------------------------
@@ -931,8 +863,8 @@ impl Database {
         if !self.exists(b) {
             return Err(DbError::NotFound(b));
         }
-        let prev = self.synonyms.read().clone();
-        let changed = self.synonyms.write().declare(a, b);
+        let prev = self.synonyms.read().as_ref().clone();
+        let changed = Arc::make_mut(&mut *self.synonyms.write()).declare(a, b);
         if changed {
             self.persist_synonyms()?;
             self.journal(UndoOp::RestoreSynonyms(prev), None);
@@ -942,21 +874,21 @@ impl Database {
 
     /// Whether two instances are declared synonymous.
     pub fn same_instance(&self, a: Oid, b: Oid) -> bool {
-        self.synonyms.read().same(a, b)
+        Reader::same_instance(self, a, b)
     }
 
     /// All members of `oid`'s synonym set (including itself).
     pub fn synonym_set(&self, oid: Oid) -> Vec<Oid> {
-        self.synonyms.read().set_of(oid).into_iter().collect()
+        Reader::synonym_set(self, oid)
     }
 
     /// Canonical representative of `oid`'s synonym set.
     pub fn synonym_representative(&self, oid: Oid) -> Oid {
-        self.synonyms.read().find(oid)
+        Reader::synonym_representative(self, oid)
     }
 
     fn persist_synonyms(&self) -> DbResult<()> {
-        let bytes = codec::to_bytes(&*self.synonyms.read())?;
+        let bytes = codec::to_bytes(&**self.synonyms.read())?;
         self.store.with_txn(|t| {
             t.kv_put(KS_META, index::META_SYNONYMS.to_vec(), bytes.clone());
             Ok(())
@@ -990,30 +922,19 @@ impl Database {
             t.kv_put(KS_EXTENT, index::extent_key(CLASSIFICATION_EXTENT, oid), Vec::new());
             Ok(())
         })?;
-        self.cache.lock().put(oid, StoredEntity::Classification(meta));
+        self.cache_shard(oid).lock().put(oid, StoredEntity::Classification(meta));
         self.journal(UndoOp::DeleteClassification(oid), None);
         Ok(oid)
     }
 
     /// All classification OIDs.
     pub fn classifications(&self) -> DbResult<Vec<Oid>> {
-        let prefix = index::extent_prefix(CLASSIFICATION_EXTENT);
-        Ok(self
-            .store
-            .kv_scan_prefix(KS_EXTENT, &prefix)
-            .into_iter()
-            .filter_map(|(k, _)| index::oid_suffix(&k))
-            .collect())
+        Reader::classifications(self)
     }
 
     /// Find a classification by name.
     pub fn classification_by_name(&self, name: &str) -> DbResult<Option<Oid>> {
-        for oid in self.classifications()? {
-            if self.classification_meta(oid)?.name == name {
-                return Ok(Some(oid));
-            }
-        }
-        Ok(None)
+        Reader::classification_by_name(self, name)
     }
 
     /// Add a relationship instance to a classification.
@@ -1072,51 +993,27 @@ impl Database {
 
     /// All edge OIDs of a classification.
     pub fn classification_edges(&self, cls: Oid) -> DbResult<Vec<Oid>> {
-        Ok(self
-            .store
-            .kv_scan_prefix(KS_CLS_EDGES, &index::cls_prefix(cls))
-            .into_iter()
-            .filter_map(|(k, _)| index::oid_suffix(&k))
-            .collect())
+        Reader::classification_edges(self, cls)
     }
 
     /// All classifications an edge belongs to.
     pub fn classifications_of_edge(&self, rel_oid: Oid) -> DbResult<Vec<Oid>> {
-        Ok(self
-            .store
-            .kv_scan_prefix(KS_EDGE_CLS, &index::edge_prefix(rel_oid))
-            .into_iter()
-            .filter_map(|(k, _)| index::oid_suffix(&k))
-            .collect())
+        Reader::classifications_of_edge(self, rel_oid)
     }
 
     /// Edges of `cls` arriving at `node` (its parent edges there).
     pub fn classification_parent_edges(&self, cls: Oid, node: Oid) -> DbResult<Vec<RelInstance>> {
-        let mut out = Vec::new();
-        for rel in self.rels_to(node, None)? {
-            if self.edge_in_classification(cls, rel.oid) {
-                out.push(rel);
-            }
-        }
-        Ok(out)
+        Reader::classification_parent_edges(self, cls, node)
     }
 
     /// Edges of `cls` leaving `node` (its child edges there).
     pub fn classification_child_edges(&self, cls: Oid, node: Oid) -> DbResult<Vec<RelInstance>> {
-        let mut out = Vec::new();
-        for rel in self.rels_from(node, None)? {
-            if self.edge_in_classification(cls, rel.oid) {
-                out.push(rel);
-            }
-        }
-        Ok(out)
+        Reader::classification_child_edges(self, cls, node)
     }
 
     /// Whether an edge belongs to a classification.
     pub fn edge_in_classification(&self, cls: Oid, rel_oid: Oid) -> bool {
-        self.store
-            .kv_get(KS_CLS_EDGES, &index::cls_edge_key(cls, rel_oid))
-            .is_some()
+        Reader::edge_in_classification(self, cls, rel_oid)
     }
 
     // -----------------------------------------------------------------
@@ -1137,7 +1034,7 @@ impl Database {
             }
             Ok(())
         })?;
-        self.cache.lock().put(obj.oid, StoredEntity::Object(obj.clone()));
+        self.cache_shard(obj.oid).lock().put(obj.oid, StoredEntity::Object(obj.clone()));
         Ok(())
     }
 
@@ -1167,7 +1064,7 @@ impl Database {
             }
             Ok(())
         })?;
-        self.cache.lock().put(obj.oid, StoredEntity::Object(obj.clone()));
+        self.cache_shard(obj.oid).lock().put(obj.oid, StoredEntity::Object(obj.clone()));
         Ok(())
     }
 
@@ -1183,7 +1080,7 @@ impl Database {
             }
             Ok(())
         })?;
-        self.cache.lock().remove(&obj.oid);
+        self.cache_shard(obj.oid).lock().remove(&obj.oid);
         Ok(())
     }
 
@@ -1204,7 +1101,7 @@ impl Database {
             );
             Ok(())
         })?;
-        self.cache.lock().put(rel.oid, StoredEntity::Rel(rel.clone()));
+        self.cache_shard(rel.oid).lock().put(rel.oid, StoredEntity::Rel(rel.clone()));
         Ok(())
     }
 
@@ -1216,7 +1113,7 @@ impl Database {
             t.kv_delete(KS_REL_TO, index::endpoint_key(rel.destination, &rel.class, rel.oid));
             Ok(())
         })?;
-        self.cache.lock().remove(&rel.oid);
+        self.cache_shard(rel.oid).lock().remove(&rel.oid);
         Ok(())
     }
 
@@ -1250,7 +1147,7 @@ impl Database {
             t.kv_delete(KS_EXTENT, index::extent_key(CLASSIFICATION_EXTENT, oid));
             Ok(())
         })?;
-        self.cache.lock().remove(&oid);
+        self.cache_shard(oid).lock().remove(&oid);
         Ok(())
     }
 

@@ -28,7 +28,10 @@
 //!   of the database;
 //! * **units of work** — [`Database::begin_unit`] groups operations with an
 //!   undo journal, giving logical atomicity, deferred-rule scheduling and
-//!   the *what-if* workflows of §7.1.4.
+//!   the *what-if* workflows of §7.1.4;
+//! * **snapshot read path** ([`read`]) — the [`Reader`] trait defines every
+//!   read operation once; [`ReadView`] pins an immutable storage snapshot so
+//!   whole queries run lock-free against one consistent committed state.
 
 pub mod classification;
 pub mod database;
@@ -37,6 +40,7 @@ pub mod events;
 pub mod history;
 pub mod index;
 pub mod instance;
+pub mod read;
 pub mod schema;
 pub mod synonym;
 pub mod traversal;
@@ -46,6 +50,7 @@ pub mod views;
 pub use classification::{Classification, ClassificationCompare};
 pub use database::{Database, UnitToken};
 pub use error::{DbError, DbResult};
+pub use read::{ReadView, Reader};
 pub use events::{Event, EventListener};
 pub use history::{history_of, HistoryEntry, HistoryRecorder};
 pub use instance::{ObjectInstance, RelInstance};

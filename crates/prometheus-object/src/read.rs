@@ -1,0 +1,595 @@
+//! The snapshot read path: [`Reader`] and [`ReadView`].
+//!
+//! Every read operation of the object layer — entity fetches, extent and
+//! attribute-index lookups, relationship adjacency, classification
+//! membership, synonym resolution — is expressed once, here, as a default
+//! method of the [`Reader`] trait over a small required surface (raw record
+//! and index access plus schema/synonym access). Two implementations exist:
+//!
+//! * [`Database`] reads its **working image** (behind the store mutex and
+//!   the object cache), so code running inside a unit of work sees its own
+//!   uncommitted operations;
+//! * [`ReadView`] reads a **pinned immutable snapshot**
+//!   ([`prometheus_storage::Snapshot`]) plus the schema registry and synonym
+//!   table current at pin time. A `ReadView` never takes the store mutex or
+//!   any cache lock, so any number of views proceed in parallel with the
+//!   writer, and a whole query — including recursive traversals and graph
+//!   extraction — executes against one consistent committed state:
+//!   unit-of-work atomicity holds by construction, because the store only
+//!   publishes images at commit points and settled units.
+//!
+//! The query evaluator, traversals, classification structure queries and
+//! views are generic over `Reader`, so the same code serves both paths.
+
+use crate::database::{Database, CLASSIFICATION_EXTENT};
+use crate::error::{DbError, DbResult};
+use crate::index::{self, KS_ATTR, KS_CLS_EDGES, KS_EDGE_CLS, KS_EXTENT, KS_REL_FROM, KS_REL_TO};
+use crate::instance::{ClassificationMeta, ObjectInstance, RelInstance, StoredEntity};
+use crate::schema::SchemaRegistry;
+use crate::synonym::SynonymTable;
+use crate::value::Value;
+use prometheus_storage::{codec, Keyspace, Oid, Snapshot};
+use std::sync::Arc;
+
+/// Read access to a (possibly pinned) database state.
+///
+/// Implementors provide raw record and index access plus schema/synonym
+/// access; everything else is derived. The generic closure methods make the
+/// trait non-object-safe by design — callers monomorphise.
+pub trait Reader: Sized {
+    /// Fetch and decode the entity stored under `oid`.
+    fn entity(&self, oid: Oid) -> DbResult<StoredEntity>;
+
+    /// Point lookup in an index keyspace.
+    fn raw_kv_get(&self, ks: Keyspace, key: &[u8]) -> Option<Vec<u8>>;
+
+    /// Ordered prefix scan over an index keyspace.
+    fn raw_kv_scan_prefix(&self, ks: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)>;
+
+    /// Ordered range scan `lo <= key < hi` over an index keyspace.
+    fn raw_kv_scan_range(&self, ks: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)>;
+
+    /// Run `f` with read access to the schema registry.
+    fn with_schema<T>(&self, f: impl FnOnce(&SchemaRegistry) -> T) -> T;
+
+    /// Run `f` with read access to the synonym table.
+    fn with_synonyms<T>(&self, f: impl FnOnce(&SynonymTable) -> T) -> T;
+
+    // -----------------------------------------------------------------
+    // Entity access
+    // -----------------------------------------------------------------
+
+    /// Fetch an object instance.
+    fn object(&self, oid: Oid) -> DbResult<ObjectInstance> {
+        match self.entity(oid)? {
+            StoredEntity::Object(o) => Ok(o),
+            _ => Err(DbError::NotFound(oid)),
+        }
+    }
+
+    /// Fetch a relationship instance.
+    fn rel(&self, oid: Oid) -> DbResult<RelInstance> {
+        match self.entity(oid)? {
+            StoredEntity::Rel(r) => Ok(r),
+            _ => Err(DbError::NotFound(oid)),
+        }
+    }
+
+    /// Fetch classification metadata.
+    fn classification_meta(&self, oid: Oid) -> DbResult<ClassificationMeta> {
+        match self.entity(oid)? {
+            StoredEntity::Classification(c) => Ok(c),
+            _ => Err(DbError::NotFound(oid)),
+        }
+    }
+
+    /// Whether any entity with this OID exists.
+    fn exists(&self, oid: Oid) -> bool {
+        self.entity(oid).is_ok()
+    }
+
+    /// Most-specific class of the entity (`"__classification"` for
+    /// classification metadata).
+    fn class_of(&self, oid: Oid) -> DbResult<String> {
+        Ok(match self.entity(oid)? {
+            StoredEntity::Object(o) => o.class,
+            StoredEntity::Rel(r) => r.class,
+            StoredEntity::Classification(_) => CLASSIFICATION_EXTENT.to_string(),
+        })
+    }
+
+    // -----------------------------------------------------------------
+    // Relationship adjacency
+    // -----------------------------------------------------------------
+
+    /// All relationship instances leaving `oid`, optionally restricted to one
+    /// relationship class (exact; use [`Reader::rels_from_including_subs`]
+    /// for polymorphic queries).
+    fn rels_from(&self, oid: Oid, class: Option<&str>) -> DbResult<Vec<RelInstance>> {
+        let prefix = match class {
+            Some(c) => index::endpoint_class_prefix(oid, c),
+            None => index::endpoint_prefix(oid),
+        };
+        load_rels(self, KS_REL_FROM, &prefix)
+    }
+
+    /// All relationship instances arriving at `oid`, optionally restricted to
+    /// one relationship class (exact).
+    fn rels_to(&self, oid: Oid, class: Option<&str>) -> DbResult<Vec<RelInstance>> {
+        let prefix = match class {
+            Some(c) => index::endpoint_class_prefix(oid, c),
+            None => index::endpoint_prefix(oid),
+        };
+        load_rels(self, KS_REL_TO, &prefix)
+    }
+
+    /// Outgoing edges of `oid` via `class` or any of its subclasses.
+    fn rels_from_including_subs(&self, oid: Oid, class: &str) -> DbResult<Vec<RelInstance>> {
+        let classes = self.with_schema(|s| s.with_subclasses(class));
+        let mut out = Vec::new();
+        for c in classes {
+            out.extend(self.rels_from(oid, Some(&c))?);
+        }
+        Ok(out)
+    }
+
+    /// Incoming edges of `oid` via `class` or any of its subclasses.
+    fn rels_to_including_subs(&self, oid: Oid, class: &str) -> DbResult<Vec<RelInstance>> {
+        let classes = self.with_schema(|s| s.with_subclasses(class));
+        let mut out = Vec::new();
+        for c in classes {
+            out.extend(self.rels_to(oid, Some(&c))?);
+        }
+        Ok(out)
+    }
+
+    /// Record-free adjacency (the §6.1.5.2 indexing fast path): the edges
+    /// incident to `oid` as `(relationship oid, opposite endpoint)` pairs,
+    /// straight from the endpoint index — no relationship records are
+    /// fetched or decoded. `outgoing` selects the direction.
+    fn adjacency(&self, oid: Oid, class: Option<&str>, outgoing: bool) -> DbResult<Vec<(Oid, Oid)>> {
+        let ks = if outgoing { KS_REL_FROM } else { KS_REL_TO };
+        let prefix = match class {
+            Some(c) => index::endpoint_class_prefix(oid, c),
+            None => index::endpoint_prefix(oid),
+        };
+        let entries = self.raw_kv_scan_prefix(ks, &prefix);
+        let mut out = Vec::with_capacity(entries.len());
+        for (key, value) in entries {
+            let Some(rel_oid) = index::oid_suffix(&key) else { continue };
+            let Ok(bytes) = <[u8; 8]>::try_from(value.as_slice()) else { continue };
+            out.push((rel_oid, Oid::from_be_bytes(bytes)));
+        }
+        Ok(out)
+    }
+
+    // -----------------------------------------------------------------
+    // Extents and attribute queries
+    // -----------------------------------------------------------------
+
+    /// OIDs in the extent of `class`; with `include_subclasses`, the deep
+    /// extent (ODMG `extent` semantics).
+    fn extent(&self, class: &str, include_subclasses: bool) -> DbResult<Vec<Oid>> {
+        let classes = if include_subclasses {
+            self.with_schema(|s| s.with_subclasses(class))
+        } else {
+            vec![class.to_string()]
+        };
+        let mut out = Vec::new();
+        for c in classes {
+            for (key, _) in self.raw_kv_scan_prefix(KS_EXTENT, &index::extent_prefix(&c)) {
+                if let Some(oid) = index::oid_suffix(&key) {
+                    out.push(oid);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Exact-match lookup over an indexed attribute (deep extent).
+    fn find_by_attr(&self, class: &str, attr: &str, value: &Value) -> DbResult<Vec<Oid>> {
+        let classes = self.with_schema(|s| s.with_subclasses(class));
+        let mut out = Vec::new();
+        for c in classes {
+            let prefix = index::attr_value_prefix(&c, attr, value);
+            for (key, _) in self.raw_kv_scan_prefix(KS_ATTR, &prefix) {
+                if let Some(oid) = index::oid_suffix(&key) {
+                    out.push(oid);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Range lookup `lo <= value < hi` over an indexed attribute.
+    fn find_by_attr_range(
+        &self,
+        class: &str,
+        attr: &str,
+        lo: &Value,
+        hi: &Value,
+    ) -> DbResult<Vec<Oid>> {
+        let classes = self.with_schema(|s| s.with_subclasses(class));
+        let mut out = Vec::new();
+        for c in classes {
+            let lo_key = index::attr_value_prefix(&c, attr, lo);
+            let hi_key = index::attr_value_prefix(&c, attr, hi);
+            for (key, _) in self.raw_kv_scan_range(KS_ATTR, &lo_key, &hi_key) {
+                if let Some(oid) = index::oid_suffix(&key) {
+                    out.push(oid);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Attribute lookup with relationship attribute inheritance (§4.4.5).
+    ///
+    /// Resolution order: the object's own attribute; the class default; then
+    /// values inherited from incoming relationship instances whose class
+    /// declares `attr` inheritable. Distinct inherited values are ambiguous.
+    fn attr_of(&self, oid: Oid, attr: &str) -> DbResult<Value> {
+        let obj = self.object(oid)?;
+        if let Some(v) = obj.attrs.get(attr) {
+            if *v != Value::Null {
+                return Ok(v.clone());
+            }
+        }
+        let default = self.with_schema(|schema| {
+            schema.all_attrs(&obj.class).ok().and_then(|declared| {
+                declared
+                    .iter()
+                    .find(|a| a.name == attr)
+                    .and_then(|def| def.default.clone())
+            })
+        });
+        if let Some(default) = default {
+            if !obj.attrs.contains_key(attr) {
+                return Ok(default);
+            }
+        }
+        // Inherited from incoming relationships.
+        let incoming = self.rels_to(oid, None)?;
+        let mut inherited = self.with_schema(|schema| {
+            let mut inherited: Vec<Value> = Vec::new();
+            for rel in &incoming {
+                if let Some(def) = schema.rel_class(&rel.class) {
+                    if def.inheritable_attrs.iter().any(|a| a == attr) {
+                        let v = rel.attr(attr);
+                        if v != Value::Null && !inherited.contains(&v) {
+                            inherited.push(v);
+                        }
+                    }
+                }
+            }
+            inherited
+        });
+        match inherited.len() {
+            0 => Ok(Value::Null),
+            1 => Ok(inherited.pop().unwrap()),
+            _ => Err(DbError::AmbiguousInheritedAttr { oid, attr: attr.to_string() }),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Instance synonyms (§4.5)
+    // -----------------------------------------------------------------
+
+    /// Whether two instances are declared synonymous.
+    fn same_instance(&self, a: Oid, b: Oid) -> bool {
+        self.with_synonyms(|s| s.same(a, b))
+    }
+
+    /// All members of `oid`'s synonym set (including itself).
+    fn synonym_set(&self, oid: Oid) -> Vec<Oid> {
+        self.with_synonyms(|s| s.set_of(oid).into_iter().collect())
+    }
+
+    /// Canonical representative of `oid`'s synonym set.
+    fn synonym_representative(&self, oid: Oid) -> Oid {
+        self.with_synonyms(|s| s.find(oid))
+    }
+
+    // -----------------------------------------------------------------
+    // Classifications (§4.6)
+    // -----------------------------------------------------------------
+
+    /// All classification OIDs.
+    fn classifications(&self) -> DbResult<Vec<Oid>> {
+        let prefix = index::extent_prefix(CLASSIFICATION_EXTENT);
+        Ok(self
+            .raw_kv_scan_prefix(KS_EXTENT, &prefix)
+            .into_iter()
+            .filter_map(|(k, _)| index::oid_suffix(&k))
+            .collect())
+    }
+
+    /// Find a classification by name.
+    fn classification_by_name(&self, name: &str) -> DbResult<Option<Oid>> {
+        for oid in self.classifications()? {
+            if self.classification_meta(oid)?.name == name {
+                return Ok(Some(oid));
+            }
+        }
+        Ok(None)
+    }
+
+    /// All edge OIDs of a classification.
+    fn classification_edges(&self, cls: Oid) -> DbResult<Vec<Oid>> {
+        Ok(self
+            .raw_kv_scan_prefix(KS_CLS_EDGES, &index::cls_prefix(cls))
+            .into_iter()
+            .filter_map(|(k, _)| index::oid_suffix(&k))
+            .collect())
+    }
+
+    /// All classifications an edge belongs to.
+    fn classifications_of_edge(&self, rel_oid: Oid) -> DbResult<Vec<Oid>> {
+        Ok(self
+            .raw_kv_scan_prefix(KS_EDGE_CLS, &index::edge_prefix(rel_oid))
+            .into_iter()
+            .filter_map(|(k, _)| index::oid_suffix(&k))
+            .collect())
+    }
+
+    /// Edges of `cls` arriving at `node` (its parent edges there).
+    fn classification_parent_edges(&self, cls: Oid, node: Oid) -> DbResult<Vec<RelInstance>> {
+        let mut out = Vec::new();
+        for rel in self.rels_to(node, None)? {
+            if self.edge_in_classification(cls, rel.oid) {
+                out.push(rel);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Edges of `cls` leaving `node` (its child edges there).
+    fn classification_child_edges(&self, cls: Oid, node: Oid) -> DbResult<Vec<RelInstance>> {
+        let mut out = Vec::new();
+        for rel in self.rels_from(node, None)? {
+            if self.edge_in_classification(cls, rel.oid) {
+                out.push(rel);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Whether an edge belongs to a classification.
+    fn edge_in_classification(&self, cls: Oid, rel_oid: Oid) -> bool {
+        self.raw_kv_get(KS_CLS_EDGES, &index::cls_edge_key(cls, rel_oid)).is_some()
+    }
+}
+
+fn load_rels<R: Reader>(db: &R, ks: Keyspace, prefix: &[u8]) -> DbResult<Vec<RelInstance>> {
+    let entries = db.raw_kv_scan_prefix(ks, prefix);
+    let mut out = Vec::with_capacity(entries.len());
+    for (key, _) in entries {
+        if let Some((_, rel_oid)) = index::decode_endpoint_key(&key) {
+            out.push(db.rel(rel_oid)?);
+        }
+    }
+    Ok(out)
+}
+
+/// [`Database`] reads resolve against the working image — inside a unit of
+/// work they see the unit's own operations.
+impl Reader for Database {
+    fn entity(&self, oid: Oid) -> DbResult<StoredEntity> {
+        self.entity_cached(oid)
+    }
+
+    fn raw_kv_get(&self, ks: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
+        self.store().kv_get(ks, key)
+    }
+
+    fn raw_kv_scan_prefix(&self, ks: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.store().kv_scan_prefix(ks, prefix)
+    }
+
+    fn raw_kv_scan_range(&self, ks: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.store().kv_scan_range(ks, lo, hi)
+    }
+
+    fn with_schema<T>(&self, f: impl FnOnce(&SchemaRegistry) -> T) -> T {
+        Database::with_schema(self, f)
+    }
+
+    fn with_synonyms<T>(&self, f: impl FnOnce(&SynonymTable) -> T) -> T {
+        Database::with_synonyms(self, f)
+    }
+}
+
+/// A shared reference to a reader is itself a reader, so call sites may pass
+/// `&db`, `&Arc<Database>`, a borrowed [`ReadView`], … into the generic query
+/// and traversal entry points without manual derefs.
+impl<R: Reader> Reader for &R {
+    fn entity(&self, oid: Oid) -> DbResult<StoredEntity> {
+        (**self).entity(oid)
+    }
+
+    fn raw_kv_get(&self, ks: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
+        (**self).raw_kv_get(ks, key)
+    }
+
+    fn raw_kv_scan_prefix(&self, ks: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (**self).raw_kv_scan_prefix(ks, prefix)
+    }
+
+    fn raw_kv_scan_range(&self, ks: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (**self).raw_kv_scan_range(ks, lo, hi)
+    }
+
+    fn with_schema<T>(&self, f: impl FnOnce(&SchemaRegistry) -> T) -> T {
+        (**self).with_schema(f)
+    }
+
+    fn with_synonyms<T>(&self, f: impl FnOnce(&SynonymTable) -> T) -> T {
+        (**self).with_synonyms(f)
+    }
+}
+
+/// `Arc<Database>` (the shape most embedders hold) reads like the database
+/// it wraps.
+impl<R: Reader> Reader for Arc<R> {
+    fn entity(&self, oid: Oid) -> DbResult<StoredEntity> {
+        (**self).entity(oid)
+    }
+
+    fn raw_kv_get(&self, ks: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
+        (**self).raw_kv_get(ks, key)
+    }
+
+    fn raw_kv_scan_prefix(&self, ks: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (**self).raw_kv_scan_prefix(ks, prefix)
+    }
+
+    fn raw_kv_scan_range(&self, ks: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        (**self).raw_kv_scan_range(ks, lo, hi)
+    }
+
+    fn with_schema<T>(&self, f: impl FnOnce(&SchemaRegistry) -> T) -> T {
+        (**self).with_schema(f)
+    }
+
+    fn with_synonyms<T>(&self, f: impl FnOnce(&SynonymTable) -> T) -> T {
+        (**self).with_synonyms(f)
+    }
+}
+
+/// An immutable, pinned view of one committed database state.
+///
+/// Obtained from [`Database::read_view`]. Holds a storage snapshot plus the
+/// schema registry and synonym table that were current at pin time; reads
+/// never take the store mutex or the object cache locks and never decode
+/// through shared state, so views scale with reader parallelism. State
+/// committed (or rolled back) after the pin is invisible; re-pin for fresh
+/// state. Cloning is three `Arc` bumps.
+#[derive(Debug, Clone)]
+pub struct ReadView {
+    snap: Snapshot,
+    schema: Arc<SchemaRegistry>,
+    synonyms: Arc<SynonymTable>,
+}
+
+impl ReadView {
+    pub(crate) fn new(
+        snap: Snapshot,
+        schema: Arc<SchemaRegistry>,
+        synonyms: Arc<SynonymTable>,
+    ) -> ReadView {
+        ReadView { snap, schema, synonyms }
+    }
+
+    /// Whether `other` pins the same published storage image.
+    pub fn same_version(&self, other: &ReadView) -> bool {
+        self.snap.same_version(&other.snap)
+    }
+
+    /// Number of records in the pinned image.
+    pub fn record_count(&self) -> usize {
+        self.snap.record_count()
+    }
+}
+
+impl Reader for ReadView {
+    fn entity(&self, oid: Oid) -> DbResult<StoredEntity> {
+        let bytes = self.snap.get(oid).ok_or(DbError::NotFound(oid))?;
+        Ok(codec::from_bytes(&bytes)?)
+    }
+
+    fn raw_kv_get(&self, ks: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
+        self.snap.kv_get(ks, key)
+    }
+
+    fn raw_kv_scan_prefix(&self, ks: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.snap.kv_scan_prefix(ks, prefix)
+    }
+
+    fn raw_kv_scan_range(&self, ks: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.snap.kv_scan_range(ks, lo, hi)
+    }
+
+    fn with_schema<T>(&self, f: impl FnOnce(&SchemaRegistry) -> T) -> T {
+        f(&self.schema)
+    }
+
+    fn with_synonyms<T>(&self, f: impl FnOnce(&SynonymTable) -> T) -> T {
+        f(&self.synonyms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::tests::temp_db;
+    use crate::schema::{AttrDef, ClassDef, RelClassDef};
+    use crate::value::Type;
+
+    fn seeded() -> (Database, Oid, Oid) {
+        let db = temp_db();
+        db.define_class(
+            ClassDef::new("Taxon").attr(AttrDef::required("name", Type::Str).indexed()),
+        )
+        .unwrap();
+        db.define_relationship(
+            RelClassDef::aggregation("Circ", "Taxon", "Taxon").sharable(true),
+        )
+        .unwrap();
+        let a = db
+            .create_object("Taxon", vec![("name".to_string(), Value::from("Apium"))])
+            .unwrap();
+        let b = db
+            .create_object("Taxon", vec![("name".to_string(), Value::from("graveolens"))])
+            .unwrap();
+        db.create_relationship("Circ", a, b, Vec::new()).unwrap();
+        (db, a, b)
+    }
+
+    #[test]
+    fn read_view_matches_database_when_quiescent() {
+        let (db, a, b) = seeded();
+        let view = db.read_view();
+        assert_eq!(view.object(a).unwrap(), db.object(a).unwrap());
+        assert_eq!(view.extent("Taxon", true).unwrap(), db.extent("Taxon", true).unwrap());
+        assert_eq!(
+            view.find_by_attr("Taxon", "name", &Value::from("Apium")).unwrap(),
+            vec![a]
+        );
+        assert_eq!(view.rels_from(a, None).unwrap(), db.rels_from(a, None).unwrap());
+        assert_eq!(view.adjacency(a, None, true).unwrap(), db.adjacency(a, None, true).unwrap());
+        assert_eq!(view.class_of(b).unwrap(), "Taxon");
+    }
+
+    #[test]
+    fn read_view_is_pinned_while_database_moves_on() {
+        let (db, a, _b) = seeded();
+        let view = db.read_view();
+        let c = db
+            .create_object("Taxon", vec![("name".to_string(), Value::from("later"))])
+            .unwrap();
+        db.set_attr(a, "name", "renamed").unwrap();
+        // The pinned view still sees the pre-mutation state…
+        assert!(!view.exists(c));
+        assert_eq!(view.object(a).unwrap().attr("name"), Value::from("Apium"));
+        assert_eq!(view.find_by_attr("Taxon", "name", &Value::from("Apium")).unwrap(), vec![a]);
+        // …while the database and a fresh view see the new one.
+        assert_eq!(db.object(a).unwrap().attr("name"), Value::from("renamed"));
+        let fresh = db.read_view();
+        assert!(fresh.exists(c));
+        assert!(!fresh.same_version(&view));
+    }
+
+    #[test]
+    fn read_view_does_not_observe_an_open_unit() {
+        let (db, a, _b) = seeded();
+        let token = db.begin_unit();
+        db.set_attr(a, "name", "speculative").unwrap();
+        // Inside the unit the database reads its own write…
+        assert_eq!(db.object(a).unwrap().attr("name"), Value::from("speculative"));
+        // …but a view pinned mid-unit sees the last settled state.
+        let view = db.read_view();
+        assert_eq!(view.object(a).unwrap().attr("name"), Value::from("Apium"));
+        db.commit_unit(token).unwrap();
+        assert_eq!(db.read_view().object(a).unwrap().attr("name"), Value::from("speculative"));
+    }
+}

@@ -10,8 +10,8 @@
 //! to a single classification (querying *in context*, §4.6.2), and can treat
 //! instance synonyms transparently (§4.5).
 
-use crate::database::Database;
 use crate::error::DbResult;
+use crate::read::Reader;
 use prometheus_storage::Oid;
 use std::collections::{BTreeSet, VecDeque};
 
@@ -109,12 +109,15 @@ pub struct Visit {
 /// Returns each reachable node exactly once (first time it is seen), with
 /// its discovery depth — the order is therefore by increasing depth. Nodes
 /// shallower than `min_depth` are explored but not reported.
-pub fn traverse(db: &Database, start: Oid, spec: &TraversalSpec) -> DbResult<Vec<Visit>> {
+///
+/// Generic over [`Reader`]: run it against the live `Database` or against a
+/// pinned `ReadView` for a traversal over one consistent snapshot.
+pub fn traverse<R: Reader>(db: &R, start: Oid, spec: &TraversalSpec) -> DbResult<Vec<Visit>> {
     let mut out = Vec::new();
     let mut visited: BTreeSet<Oid> = BTreeSet::new();
     let mut frontier: VecDeque<(Oid, u32, Option<Oid>)> = VecDeque::new();
     frontier.push_back((start, 0, None));
-    let canon = |db: &Database, oid: Oid| match spec.synonyms {
+    let canon = |db: &R, oid: Oid| match spec.synonyms {
         SynonymMode::Ignore => oid,
         SynonymMode::Transparent => db.synonym_representative(oid),
     };
@@ -141,7 +144,7 @@ pub fn traverse(db: &Database, start: Oid, spec: &TraversalSpec) -> DbResult<Vec
 /// The edges leaving (or arriving at, per direction) `node` that `spec`
 /// admits, paired with the node they lead to. With transparent synonyms the
 /// edges of every synonym-set member are considered.
-pub fn step(db: &Database, node: Oid, spec: &TraversalSpec) -> DbResult<Vec<(Oid, Oid)>> {
+pub fn step<R: Reader>(db: &R, node: Oid, spec: &TraversalSpec) -> DbResult<Vec<(Oid, Oid)>> {
     let sources: Vec<Oid> = match spec.synonyms {
         SynonymMode::Ignore => vec![node],
         SynonymMode::Transparent => db.synonym_set(node),
@@ -182,7 +185,12 @@ pub fn step(db: &Database, node: Oid, spec: &TraversalSpec) -> DbResult<Vec<(Oid
 /// All simple paths (as edge OID sequences) from `start` to `goal` honouring
 /// `spec`; used by POOL's path-extraction operator. Depth bounds apply to
 /// path length.
-pub fn paths(db: &Database, start: Oid, goal: Oid, spec: &TraversalSpec) -> DbResult<Vec<Vec<Oid>>> {
+pub fn paths<R: Reader>(
+    db: &R,
+    start: Oid,
+    goal: Oid,
+    spec: &TraversalSpec,
+) -> DbResult<Vec<Vec<Oid>>> {
     let mut out = Vec::new();
     let mut path_edges: Vec<Oid> = Vec::new();
     let mut path_nodes: BTreeSet<Oid> = BTreeSet::new();
@@ -191,8 +199,8 @@ pub fn paths(db: &Database, start: Oid, goal: Oid, spec: &TraversalSpec) -> DbRe
     Ok(out)
 }
 
-fn dfs_paths(
-    db: &Database,
+fn dfs_paths<R: Reader>(
+    db: &R,
     node: Oid,
     goal: Oid,
     spec: &TraversalSpec,
@@ -225,6 +233,7 @@ fn dfs_paths(
 mod tests {
     use super::*;
     use crate::database::tests::temp_db;
+    use crate::database::Database;
     use crate::schema::{ClassDef, RelClassDef};
 
     /// a -> b -> c, a -> d, plus an association d -> c.

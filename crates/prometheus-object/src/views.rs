@@ -8,6 +8,7 @@
 use crate::database::Database;
 use crate::error::{DbError, DbResult};
 use crate::index::{KS_META, META_VIEWS};
+use crate::read::Reader;
 use prometheus_storage::{codec, Oid};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet};
@@ -45,8 +46,9 @@ impl View {
     ///
     /// With both filters present the result is the intersection: members of
     /// the listed classes that participate in at least one of the listed
-    /// classifications.
-    pub fn members(&self, db: &Database) -> DbResult<BTreeSet<Oid>> {
+    /// classifications. Generic over [`Reader`], so a view can be evaluated
+    /// against a pinned snapshot.
+    pub fn members<R: Reader>(&self, db: &R) -> DbResult<BTreeSet<Oid>> {
         let class_members: Option<BTreeSet<Oid>> = if self.classes.is_empty() {
             None
         } else {
@@ -86,7 +88,7 @@ impl View {
     }
 
     /// Load a view by name.
-    pub fn load(db: &Database, name: &str) -> DbResult<View> {
+    pub fn load<R: Reader>(db: &R, name: &str) -> DbResult<View> {
         load_views(db)?
             .remove(name)
             .ok_or_else(|| DbError::Schema(format!("no view named '{name}'")))
@@ -103,13 +105,13 @@ impl View {
     }
 
     /// Names of all persisted views.
-    pub fn names(db: &Database) -> DbResult<Vec<String>> {
+    pub fn names<R: Reader>(db: &R) -> DbResult<Vec<String>> {
         Ok(load_views(db)?.into_keys().collect())
     }
 }
 
-fn load_views(db: &Database) -> DbResult<BTreeMap<String, View>> {
-    match db.store().kv_get(KS_META, META_VIEWS) {
+fn load_views<R: Reader>(db: &R) -> DbResult<BTreeMap<String, View>> {
+    match db.raw_kv_get(KS_META, META_VIEWS) {
         Some(bytes) => Ok(codec::from_bytes(&bytes)?),
         None => Ok(BTreeMap::new()),
     }

@@ -18,7 +18,7 @@
 use crate::ast::*;
 use prometheus_object::classification::Classification;
 use prometheus_object::traversal::{self, Direction, TraversalSpec};
-use prometheus_object::{Database, DbError, DbResult, Oid, Value};
+use prometheus_object::{DbError, DbResult, Oid, Reader, Value};
 use std::collections::BTreeMap;
 
 /// One result row.
@@ -81,12 +81,17 @@ impl Env {
 }
 
 /// Evaluate a parsed query.
-pub fn evaluate(db: &Database, q: &Query) -> DbResult<QueryResult> {
+///
+/// Generic over [`Reader`]: pass the live `Database`, or a pinned `ReadView`
+/// so the whole query — candidate enumeration, predicates, traversals,
+/// subqueries — executes against one consistent snapshot without ever taking
+/// the store mutex.
+pub fn evaluate<R: Reader>(db: &R, q: &Query) -> DbResult<QueryResult> {
     evaluate_with_env(db, q, &Env::empty())
 }
 
 /// Evaluate with outer bindings in scope (correlated subqueries).
-pub fn evaluate_with_env(db: &Database, q: &Query, outer: &Env) -> DbResult<QueryResult> {
+pub fn evaluate_with_env<R: Reader>(db: &R, q: &Query, outer: &Env) -> DbResult<QueryResult> {
     let context = match &q.context {
         Some(name) => Some(
             db.classification_by_name(name)?
@@ -249,8 +254,8 @@ pub fn evaluate_with_env(db: &Database, q: &Query, outer: &Env) -> DbResult<Quer
     Ok(QueryResult { columns, rows })
 }
 
-fn bind_loop(
-    db: &Database,
+fn bind_loop<R: Reader>(
+    db: &R,
     q: &Query,
     context: Option<Oid>,
     sets: &[(String, Vec<Oid>)],
@@ -286,7 +291,11 @@ fn bind_loop(
 
 /// Planner: if the where clause has a top-level conjunct
 /// `clause.var.attr = literal`, try the attribute index.
-fn index_seed(db: &Database, where_clause: &Expr, clause: &FromClause) -> DbResult<Option<Vec<Oid>>> {
+fn index_seed<R: Reader>(
+    db: &R,
+    where_clause: &Expr,
+    clause: &FromClause,
+) -> DbResult<Option<Vec<Oid>>> {
     if clause.edges {
         return Ok(None); // relationship attrs are not indexed
     }
@@ -310,7 +319,7 @@ fn index_seed(db: &Database, where_clause: &Expr, clause: &FromClause) -> DbResu
     Ok(None)
 }
 
-fn attr_is_indexed(db: &Database, class: &str, attr: &str) -> bool {
+fn attr_is_indexed<R: Reader>(db: &R, class: &str, attr: &str) -> bool {
     db.with_schema(|s| {
         s.all_attrs(class)
             .map(|attrs| attrs.iter().any(|a| a.name == attr && a.indexed))
@@ -395,10 +404,10 @@ fn render_expr(expr: &Expr, i: usize) -> String {
 }
 
 /// Attribute of any entity kind: objects resolve through
-/// [`Database::attr_of`] (inheritance-aware); relationship instances expose
+/// [`Reader::attr_of`] (inheritance-aware); relationship instances expose
 /// their own attributes plus the pseudo-attributes `origin` and
 /// `destination` (uniform treatment, §5.1.1.2).
-fn attr_of_any(db: &Database, oid: Oid, attr: &str) -> DbResult<Value> {
+fn attr_of_any<R: Reader>(db: &R, oid: Oid, attr: &str) -> DbResult<Value> {
     if let Ok(rel) = db.rel(oid) {
         return Ok(match attr {
             "origin" => Value::Ref(rel.origin),
@@ -416,7 +425,7 @@ fn attr_of_any(db: &Database, oid: Oid, attr: &str) -> DbResult<Value> {
 }
 
 /// Evaluate an expression.
-pub fn eval_expr(db: &Database, expr: &Expr, env: &Env, context: Option<Oid>) -> DbResult<Value> {
+pub fn eval_expr<R: Reader>(db: &R, expr: &Expr, env: &Env, context: Option<Oid>) -> DbResult<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Var(name) => env
@@ -675,8 +684,8 @@ fn like_match(s: &str, pattern: &str) -> bool {
     true
 }
 
-fn eval_call(
-    db: &Database,
+fn eval_call<R: Reader>(
+    db: &R,
     name: &str,
     args: &[CallArg],
     env: &Env,

@@ -64,7 +64,7 @@ pub mod printer;
 
 pub use ast::{BinOp, Expr, FromClause, OrderKey, Query, UnOp};
 pub use eval::{QueryResult, Row};
-use prometheus_object::{Database, DbError, DbResult};
+use prometheus_object::{DbError, DbResult, Reader};
 
 /// Parse a POOL query string.
 pub fn parse(input: &str) -> DbResult<Query> {
@@ -73,13 +73,17 @@ pub fn parse(input: &str) -> DbResult<Query> {
 }
 
 /// Parse and evaluate a POOL query.
-pub fn query(db: &Database, input: &str) -> DbResult<QueryResult> {
+///
+/// Generic over [`Reader`], so the whole query can run either against the
+/// live [`prometheus_object::Database`] or against a pinned
+/// [`prometheus_object::ReadView`] snapshot (lock-free, consistent).
+pub fn query<R: Reader>(db: &R, input: &str) -> DbResult<QueryResult> {
     let q = parse(input)?;
     eval::evaluate(db, &q)
 }
 
 /// Members of a persisted view, for `from view "name" x` sources.
-pub(crate) fn view_members(db: &Database, name: &str) -> DbResult<Vec<prometheus_object::Oid>> {
+pub(crate) fn view_members<R: Reader>(db: &R, name: &str) -> DbResult<Vec<prometheus_object::Oid>> {
     let view = prometheus_object::View::load(db, name)?;
     Ok(view.members(db)?.into_iter().collect())
 }
@@ -93,7 +97,7 @@ pub fn parse_expr(input: &str) -> DbResult<Expr> {
 
 /// Parse and evaluate a POOL *expression* (no `select`), with no variables
 /// in scope. Useful for rule conditions over literals and functions.
-pub fn eval_expr(db: &Database, input: &str) -> DbResult<prometheus_object::Value> {
+pub fn eval_expr<R: Reader>(db: &R, input: &str) -> DbResult<prometheus_object::Value> {
     let tokens = lexer::lex(input).map_err(DbError::Query)?;
     let expr = parser::Parser::new(tokens).parse_standalone_expr().map_err(DbError::Query)?;
     let env = eval::Env::empty();

@@ -15,6 +15,9 @@ pub enum ErrorKind {
     Db,
     /// The server is draining connections and no longer accepts work.
     ShuttingDown,
+    /// A streamed unit of work sat silent past the server's idle deadline
+    /// and was rolled back so the writer lane could serve other sessions.
+    UnitTimedOut,
 }
 
 impl fmt::Display for ErrorKind {
@@ -23,6 +26,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Protocol => write!(f, "protocol"),
             ErrorKind::Db => write!(f, "db"),
             ErrorKind::ShuttingDown => write!(f, "shutting-down"),
+            ErrorKind::UnitTimedOut => write!(f, "unit-timed-out"),
         }
     }
 }

@@ -12,9 +12,11 @@
 //! * [`protocol`] — versioned [`protocol::Request`]/[`protocol::Response`]
 //!   messages: handshake, POOL queries, PCL installation, units of work
 //!   (streamed and batched), compaction, stats, shutdown;
-//! * [`server`] — accept loop + fixed worker pool; queries run concurrently
-//!   while every mutation passes through a single **writer lane**,
-//!   preserving the engine's single-writer discipline across sessions;
+//! * [`server`] — accept loop + fixed worker pool; queries run lock-free
+//!   against pinned storage snapshots while every mutation passes through
+//!   the fair FIFO **writer lane** ([`lane`]), preserving the engine's
+//!   single-writer discipline across sessions; a unit that sits silent past
+//!   the idle deadline is rolled back so the lane keeps moving;
 //! * [`session`] — per-connection state, notably the session's
 //!   classification context (§4.6.2 "working inside a classification");
 //! * [`client`] — [`client::PrometheusClient`] and the RAII
@@ -43,6 +45,7 @@
 pub mod client;
 pub mod error;
 pub mod frame;
+pub mod lane;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
@@ -51,6 +54,7 @@ pub mod session;
 pub use client::{ClientConfig, PrometheusClient, UnitGuard};
 pub use error::{ErrorKind, ServerError, ServerResult};
 pub use frame::MAX_FRAME_LEN;
+pub use lane::{LaneGuard, TicketLane};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
 pub use protocol::{MutationOp, Request, Response, WireRows, PROTOCOL_VERSION};
 pub use server::{serve, ServerConfig, ServerHandle};

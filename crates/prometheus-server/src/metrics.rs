@@ -54,6 +54,9 @@ pub struct ServerMetrics {
     pub units_aborted: AtomicU64,
     /// Units rolled back because the connection dropped mid-unit.
     pub units_rolled_back_on_disconnect: AtomicU64,
+    /// Units rolled back because the client sat silent past the idle
+    /// deadline while holding the writer lane.
+    pub units_timed_out: AtomicU64,
     /// Per-request wall-clock latency histogram.
     latency: [AtomicU64; LATENCY_BUCKETS],
     /// Total requests timed (histogram population).
@@ -98,6 +101,7 @@ impl ServerMetrics {
             units_rolled_back_on_disconnect: self
                 .units_rolled_back_on_disconnect
                 .load(Ordering::Relaxed),
+            units_timed_out: self.units_timed_out.load(Ordering::Relaxed),
             latency: LatencyHistogram {
                 bounds_us: LATENCY_BOUNDS_US.to_vec(),
                 counts: self.latency.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
@@ -120,6 +124,7 @@ pub struct MetricsSnapshot {
     pub units_committed: u64,
     pub units_aborted: u64,
     pub units_rolled_back_on_disconnect: u64,
+    pub units_timed_out: u64,
     pub latency: LatencyHistogram,
 }
 

@@ -10,20 +10,32 @@
 //!                 │
 //!        ┌────────┴─────────┐
 //!        ▼                  ▼
-//!   read requests      writer lane (mutex)
-//!   (queries run       — every mutating request (units, batches,
-//!    concurrently)       PCL install, compact) passes through it
+//!   read requests      writer lane (FIFO ticket lock)
+//!   (each query runs   — every mutating request (units, batches,
+//!    on a pinned         PCL install, compact) passes through it,
+//!    snapshot)            granted strictly in arrival order
 //! ```
 //!
 //! The engine's discipline is single-writer / concurrent-reader (see
 //! `tests/concurrency.rs`): queries are safe from any thread, while units of
 //! work use one global, nestable unit state on the `Database`. The server
 //! makes that safe over the wire by funnelling every mutating request
-//! through the **writer lane** — a mutex a session holds for the duration of
-//! a streamed unit (`UnitBegin` … `UnitCommit`/`UnitAbort`) or one batch.
-//! A connection that drops while holding an open unit has the unit rolled
-//! back before the lane is released, so a killed client can never leave a
-//! half-applied unit behind.
+//! through the **writer lane** — a [`crate::lane::TicketLane`] a session
+//! holds for the duration of a streamed unit (`UnitBegin` …
+//! `UnitCommit`/`UnitAbort`) or one batch, granted in FIFO order so no
+//! session can barge past queued writers. A connection that drops while
+//! holding an open unit has the unit rolled back before the lane is
+//! released, so a killed client can never leave a half-applied unit behind;
+//! a connection that merely goes *silent* mid-unit is timed out after
+//! [`ServerConfig::unit_idle_timeout`], its unit rolled back and the lane
+//! freed, and the client learns via a typed [`ErrorKind::UnitTimedOut`]
+//! error on its next request.
+//!
+//! Queries outside a unit evaluate against a pinned
+//! [`prometheus_db::ReadView`] snapshot: they never touch the store mutex or
+//! the writer lane, so readers are oblivious to even a long-streaming
+//! writer. Queries *inside* a unit stay on the live database, preserving
+//! read-your-own-writes.
 //!
 //! ## Shutdown
 //!
@@ -36,6 +48,7 @@
 
 use crate::error::{ErrorKind, ServerError, ServerResult};
 use crate::frame::{read_msg, write_msg};
+use crate::lane::TicketLane;
 use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::protocol::{MutationOp, Request, Response, WireRows, PROTOCOL_VERSION};
 use crate::session::Session;
@@ -46,7 +59,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`serve`].
 #[derive(Debug, Clone)]
@@ -57,11 +70,19 @@ pub struct ServerConfig {
     /// for its lifetime, so this bounds concurrent sessions; further
     /// connections queue until a worker frees up.
     pub workers: usize,
+    /// How long a streamed unit may sit silent (no frame from the client)
+    /// while holding the writer lane before the server rolls it back and
+    /// frees the lane for queued writers.
+    pub unit_idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { addr: "127.0.0.1:0".into(), workers: 8 }
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            unit_idle_timeout: Duration::from_secs(30),
+        }
     }
 }
 
@@ -69,9 +90,12 @@ impl Default for ServerConfig {
 struct Shared {
     db: Prometheus,
     metrics: ServerMetrics,
-    /// The writer lane: serialises every mutating request, preserving the
-    /// engine's single-writer discipline across sessions.
-    writer_lane: Mutex<()>,
+    /// The writer lane: serialises every mutating request in FIFO arrival
+    /// order, preserving the engine's single-writer discipline across
+    /// sessions without letting any session barge the queue.
+    writer_lane: TicketLane,
+    /// Idle deadline for streamed units holding the lane.
+    unit_idle_timeout: Duration,
     shutting_down: AtomicBool,
     next_session: AtomicU64,
     /// Read-half clones of live session sockets, for shutdown.
@@ -79,8 +103,10 @@ struct Shared {
     addr: SocketAddr,
 }
 
-/// Recover from a poisoned lock: the protected state is either a `()` lane
-/// token or a socket registry, both safe to reuse after a panicking thread.
+/// Recover from a poisoned lock: the protected state (the connection
+/// hand-off queue, the socket registry) stays consistent across a panicking
+/// thread, so it is safe to reuse. The writer lane does its own poison
+/// recovery inside [`TicketLane`].
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
@@ -95,7 +121,8 @@ pub fn serve(db: Prometheus, config: ServerConfig) -> ServerResult<ServerHandle>
     let shared = Arc::new(Shared {
         db,
         metrics: ServerMetrics::default(),
-        writer_lane: Mutex::new(()),
+        writer_lane: TicketLane::new(),
+        unit_idle_timeout: config.unit_idle_timeout,
         shutting_down: AtomicBool::new(false),
         next_session: AtomicU64::new(1),
         conns: Mutex::new(HashMap::new()),
@@ -338,6 +365,21 @@ fn dispatch(
             }
         };
     }
+    if session.unit_timed_out {
+        // The unit this session was streaming hit the idle deadline and was
+        // rolled back. Answer the next frame — whatever it asked — with the
+        // typed error, so the client never acts on the assumption that the
+        // unit is still open; then the session is back to normal.
+        session.unit_timed_out = false;
+        write_msg(
+            writer,
+            &Response::Error {
+                kind: ErrorKind::UnitTimedOut,
+                message: "unit of work idled past the server deadline and was rolled back".into(),
+            },
+        )?;
+        return Ok(Flow::Continue);
+    }
     match req {
         Request::Hello { .. } => {
             protocol_error(shared, writer, "duplicate handshake")?;
@@ -348,7 +390,7 @@ fn dispatch(
             Ok(Flow::Continue)
         }
         Request::Query { pool } => {
-            respond_query(shared, session, writer, &pool)?;
+            respond_query(shared, session, writer, &pool, true)?;
             Ok(Flow::Continue)
         }
         Request::SetContext { classification } => {
@@ -371,7 +413,7 @@ fn dispatch(
             Ok(Flow::Continue)
         }
         Request::InstallPcl { source } => {
-            let _lane = lock(&shared.writer_lane);
+            let _lane = shared.writer_lane.acquire();
             match shared.db.install_pcl(&source) {
                 Ok(rules) => write_msg(writer, &Response::Installed { rules })?,
                 Err(e) => db_error(shared, writer, e.to_string())?,
@@ -387,7 +429,7 @@ fn dispatch(
             Ok(Flow::Continue)
         }
         Request::UnitBatch { ops } => {
-            let _lane = lock(&shared.writer_lane);
+            let _lane = shared.writer_lane.acquire();
             let db = shared.db.db();
             let result = db.in_unit_scope(|db| {
                 let mut created = Vec::with_capacity(ops.len());
@@ -406,7 +448,7 @@ fn dispatch(
             Ok(Flow::Continue)
         }
         Request::Compact => {
-            let _lane = lock(&shared.writer_lane);
+            let _lane = shared.writer_lane.acquire();
             match shared.db.compact() {
                 Ok(()) => write_msg(writer, &Response::Ack)?,
                 Err(e) => db_error(shared, writer, e.to_string())?,
@@ -430,20 +472,37 @@ fn dispatch(
 }
 
 /// Streamed unit of work: the session holds the writer lane from `UnitBegin`
-/// until the unit settles — or until the connection drops, in which case the
-/// unit is rolled back before the lane is released.
+/// until the unit settles — or until the connection drops or goes silent
+/// past the idle deadline, in which cases the unit is rolled back before the
+/// lane is released.
 fn run_unit(
     shared: &Arc<Shared>,
     session: &mut Session,
     reader: &mut BufReader<TcpStream>,
     writer: &mut BufWriter<TcpStream>,
 ) -> ServerResult<()> {
-    let _lane = lock(&shared.writer_lane);
+    let _lane = shared.writer_lane.acquire();
     let db = shared.db.db();
+    // While this session holds the lane, silence is billed: arm a read
+    // timeout so a stalled client cannot block queued writers forever.
+    let _ = reader.get_ref().set_read_timeout(Some(shared.unit_idle_timeout));
     let mut token = Some(db.begin_unit());
+    let mut timed_out = false;
     let outcome: ServerResult<()> = loop {
         let req: Request = match read_msg(reader) {
             Ok(r) => r,
+            // The deadline covers the common stall — silence *between*
+            // frames. (A client that stalls mid-frame desyncs the stream and
+            // surfaces later as a frame error, closing the session.)
+            Err(ServerError::Io(e))
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                timed_out = true;
+                break Ok(());
+            }
             Err(e) => break Err(e),
         };
         let start = Instant::now();
@@ -460,7 +519,9 @@ fn run_unit(
                 }
             }
             Request::Query { pool } => {
-                respond_query(shared, session, writer, &pool).map(|_| false)
+                // In-unit reads stay on the live database: the session must
+                // see its own uncommitted operations.
+                respond_query(shared, session, writer, &pool, false).map(|_| false)
             }
             Request::Ping => write_msg(writer, &Response::Pong).map(|_| false),
             Request::Stats => write_stats(shared, writer).map(|_| false),
@@ -500,6 +561,18 @@ fn run_unit(
             Err(e) => break Err(e),
         }
     };
+    let _ = reader.get_ref().set_read_timeout(None);
+    if timed_out {
+        if let Some(token) = token.take() {
+            // Journal-rollback the half-streamed unit, then let the lane go
+            // (we return, dropping the guard) so queued writers proceed. The
+            // session itself survives; the client is told on its next frame.
+            db.abort_unit(token);
+        }
+        shared.metrics.units_timed_out.fetch_add(1, Ordering::Relaxed);
+        session.unit_timed_out = true;
+        return Ok(());
+    }
     if let Some(token) = token.take() {
         // Connection dropped (or transport failed) mid-unit: roll back so
         // no half-applied unit is ever visible or durable.
@@ -516,10 +589,25 @@ fn run_unit(
 }
 
 /// Parse, contextualise and evaluate a POOL query for this session.
-fn run_query(shared: &Arc<Shared>, session: &Session, pool: &str) -> DbResult<WireRows> {
+///
+/// With `pinned`, the whole query (traversals included) runs against one
+/// immutable [`prometheus_db::ReadView`] snapshot: no store mutex, no cache
+/// locks, no interaction with the writer lane. Unpinned queries run on the
+/// live database — required inside a unit, where the session must observe
+/// its own uncommitted writes.
+fn run_query(
+    shared: &Arc<Shared>,
+    session: &Session,
+    pool: &str,
+    pinned: bool,
+) -> DbResult<WireRows> {
     let mut query = prometheus_pool::parse(pool)?;
     query.context = session.effective_context(query.context.take());
-    let result = prometheus_pool::eval::evaluate(shared.db.db(), &query)?;
+    let result = if pinned {
+        prometheus_pool::eval::evaluate(&shared.db.read_view(), &query)?
+    } else {
+        prometheus_pool::eval::evaluate(shared.db.db(), &query)?
+    };
     Ok(result.into())
 }
 
@@ -528,8 +616,9 @@ fn respond_query(
     session: &Session,
     writer: &mut BufWriter<TcpStream>,
     pool: &str,
+    pinned: bool,
 ) -> ServerResult<()> {
-    match run_query(shared, session, pool) {
+    match run_query(shared, session, pool, pinned) {
         Ok(rows) => write_msg(writer, &Response::Rows(rows)),
         Err(e) => db_error(shared, writer, e.to_string()),
     }
@@ -611,7 +700,11 @@ mod tests {
         let tax = p.taxonomy().unwrap();
         tax.create_ct("Apium", Rank::Genus).unwrap();
         tax.create_ct("Heliosciadium", Rank::Genus).unwrap();
-        serve(p, ServerConfig { addr: "127.0.0.1:0".into(), workers }).unwrap()
+        serve(
+            p,
+            ServerConfig { addr: "127.0.0.1:0".into(), workers, ..ServerConfig::default() },
+        )
+        .unwrap()
     }
 
     #[test]
@@ -725,6 +818,72 @@ mod tests {
     }
 
     #[test]
+    fn idle_unit_times_out_rolls_back_and_frees_the_lane() {
+        let p = Prometheus::open_with(tmp("timeout"), StoreOptions { sync_on_commit: false })
+            .unwrap();
+        let tax = p.taxonomy().unwrap();
+        tax.create_ct("Apium", Rank::Genus).unwrap();
+        let handle = serve(
+            p,
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                unit_idle_timeout: Duration::from_millis(150),
+            },
+        )
+        .unwrap();
+        let mut stalled = PrometheusClient::connect(handle.addr()).unwrap();
+        let mut other = PrometheusClient::connect(handle.addr()).unwrap();
+        {
+            let mut unit = stalled.begin_unit().unwrap();
+            unit.create_object(
+                "CT",
+                vec![
+                    ("working_name".into(), Value::Str("Ghost".into())),
+                    ("rank".into(), Value::Str("Genus".into())),
+                ],
+            )
+            .unwrap();
+            // Go silent past the deadline. The server must roll the unit
+            // back and free the writer lane — otherwise the other session's
+            // batch below would block on the lane indefinitely.
+            std::thread::sleep(Duration::from_millis(400));
+            other
+                .unit_batch(vec![MutationOp::CreateObject {
+                    class: "CT".into(),
+                    attrs: vec![
+                        ("working_name".into(), Value::Str("Daucus".into())),
+                        ("rank".into(), Value::Str("Genus".into())),
+                    ],
+                }])
+                .unwrap();
+            // The stalled session learns via the typed error on its next
+            // frame, whatever that frame asks.
+            match unit.query("select t from CT t") {
+                Err(ServerError::Remote { kind, .. }) => {
+                    assert_eq!(kind, ErrorKind::UnitTimedOut)
+                }
+                res => panic!("expected unit-timed-out error, got {res:?}"),
+            }
+            // Guard drop sends a best-effort UnitAbort; the server answers
+            // it as protocol misuse (no unit open) and the client ignores
+            // the response.
+        }
+        // The timed-out write is gone; the other session's batch survived,
+        // and the stalled session itself is still usable.
+        let rows = stalled
+            .query("select t.working_name from CT t order by t.working_name")
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows.rows[0][0], Value::Str("Apium".into()));
+        assert_eq!(rows.rows[1][0], Value::Str("Daucus".into()));
+        assert!(handle.metrics().units_timed_out >= 1);
+        stalled.close().unwrap();
+        other.close().unwrap();
+        handle.stop();
+    }
+
+    #[test]
     fn session_context_scopes_queries() {
         let p = Prometheus::open_with(tmp("context"), StoreOptions { sync_on_commit: false })
             .unwrap();
@@ -734,7 +893,11 @@ mod tests {
         let species = tax.create_ct("graveolens", Rank::Species).unwrap();
         tax.circumscribe(&cls, genus, species).unwrap();
         tax.create_ct("Orphan", Rank::Genus).unwrap(); // outside the classification
-        let handle = serve(p, ServerConfig { addr: "127.0.0.1:0".into(), workers: 2 }).unwrap();
+        let handle = serve(
+            p,
+            ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, ..ServerConfig::default() },
+        )
+        .unwrap();
         let mut client = PrometheusClient::connect(handle.addr()).unwrap();
         assert_eq!(client.query("select t from CT t").unwrap().len(), 3);
         client.set_context(Some("Linnaeus 1753")).unwrap();

@@ -19,12 +19,23 @@ pub struct Session {
     pub context: Option<String>,
     /// Whether the handshake completed.
     pub ready: bool,
+    /// Set when the session's streamed unit was rolled back by the idle
+    /// deadline; the next request is answered with a
+    /// [`crate::ErrorKind::UnitTimedOut`] error instead of being processed,
+    /// then the flag clears.
+    pub unit_timed_out: bool,
 }
 
 impl Session {
     /// A fresh, pre-handshake session.
     pub fn new(id: u64) -> Session {
-        Session { id, client: String::new(), context: None, ready: false }
+        Session {
+            id,
+            client: String::new(),
+            context: None,
+            ready: false,
+            unit_timed_out: false,
+        }
     }
 
     /// Resolve the effective classification context for a parsed query: the

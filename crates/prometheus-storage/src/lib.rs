@@ -33,4 +33,4 @@ pub mod store;
 pub use error::{StorageError, StorageResult};
 pub use oid::{Oid, OidAllocator};
 pub use stats::{Stats, StatsSnapshot};
-pub use store::{Keyspace, Store, StoreOptions, Txn};
+pub use store::{Keyspace, Snapshot, Store, StoreOptions, Txn};

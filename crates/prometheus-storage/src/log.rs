@@ -46,10 +46,18 @@ pub enum LogRecord {
     KvPut { txn: u64, keyspace: u8, key: Vec<u8>, value: Vec<u8> },
     /// An entry was removed from an ordered keyspace.
     KvDelete { txn: u64, keyspace: u8, key: Vec<u8> },
+    // New variants append only: the codec identifies variants by position, so
+    // reordering would misread logs written by earlier builds.
+    /// A unit of work opened. Transactions between this frame and the
+    /// matching [`LogRecord::UnitEnd`] form one atomic group.
+    UnitBegin { unit: u64 },
+    /// A unit of work settled. Recovery applies the group's transactions only
+    /// when `committed` is true; a missing or false seal discards them all.
+    UnitEnd { unit: u64, committed: bool },
 }
 
 impl LogRecord {
-    /// The transaction this record belongs to.
+    /// The transaction (or unit) this record belongs to.
     pub fn txn(&self) -> u64 {
         match self {
             LogRecord::Begin { txn }
@@ -58,6 +66,7 @@ impl LogRecord {
             | LogRecord::Delete { txn, .. }
             | LogRecord::KvPut { txn, .. }
             | LogRecord::KvDelete { txn, .. } => *txn,
+            LogRecord::UnitBegin { unit } | LogRecord::UnitEnd { unit, .. } => *unit,
         }
     }
 }

@@ -29,6 +29,9 @@ pub struct Stats {
     pub commits: AtomicU64,
     /// Transactions aborted.
     pub aborts: AtomicU64,
+    /// Immutable-image publications (one per commit or settled unit of work);
+    /// readers pin the image published by the latest swap.
+    pub snapshot_swaps: AtomicU64,
 }
 
 impl Stats {
@@ -56,6 +59,7 @@ impl Stats {
             deletes: self.deletes.load(Ordering::Relaxed),
             commits: self.commits.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
+            snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
         }
     }
 
@@ -71,6 +75,7 @@ impl Stats {
             &self.deletes,
             &self.commits,
             &self.aborts,
+            &self.snapshot_swaps,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -92,6 +97,7 @@ pub struct StatsSnapshot {
     pub deletes: u64,
     pub commits: u64,
     pub aborts: u64,
+    pub snapshot_swaps: u64,
 }
 
 impl StatsSnapshot {
@@ -108,6 +114,7 @@ impl StatsSnapshot {
             deletes: self.deletes - earlier.deletes,
             commits: self.commits - earlier.commits,
             aborts: self.aborts - earlier.aborts,
+            snapshot_swaps: self.snapshot_swaps - earlier.snapshot_swaps,
         }
     }
 

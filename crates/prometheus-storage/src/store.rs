@@ -16,11 +16,20 @@ use crate::log::{self, LogRecord, LogWriter};
 use crate::oid::{Oid, OidAllocator};
 use crate::stats::Stats;
 use bytes::Bytes;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+
+/// Number of record shards in the image. Sharding bounds the copy-on-write
+/// cost of a commit: only the shards a transaction touches are cloned when
+/// publishing a new snapshot.
+const RECORD_SHARDS: usize = 64;
+
+/// One ordered map per possible keyspace id. All start as clones of one empty
+/// `Arc`, so unused keyspaces cost a pointer each.
+const KEYSPACES: usize = 256;
 
 /// Identifier of an ordered key/value namespace within the store.
 ///
@@ -44,29 +53,130 @@ impl Default for StoreOptions {
     }
 }
 
-#[derive(Debug, Default)]
+/// The committed database image: a sharded record map plus one ordered
+/// key/value map per keyspace, every part behind an `Arc` for structural
+/// sharing. Mutation goes through [`Image::apply`], which copies only the
+/// shard it touches (`Arc::make_mut`), so cloning the image — done once per
+/// published snapshot — is 320 pointer bumps, not a deep copy.
+#[derive(Debug, Clone)]
 struct Image {
-    records: HashMap<Oid, Bytes>,
-    kv: BTreeMap<(u8, Vec<u8>), Vec<u8>>,
+    records: Vec<Arc<HashMap<Oid, Bytes>>>,
+    kv: Vec<Arc<BTreeMap<Vec<u8>, Vec<u8>>>>,
+}
+
+impl Default for Image {
+    fn default() -> Self {
+        let empty_records = Arc::new(HashMap::new());
+        let empty_kv = Arc::new(BTreeMap::new());
+        Image {
+            records: (0..RECORD_SHARDS).map(|_| Arc::clone(&empty_records)).collect(),
+            kv: (0..KEYSPACES).map(|_| Arc::clone(&empty_kv)).collect(),
+        }
+    }
 }
 
 impl Image {
+    fn shard(oid: Oid) -> usize {
+        (oid.raw() % RECORD_SHARDS as u64) as usize
+    }
+
+    fn get(&self, oid: Oid) -> Option<Bytes> {
+        self.records[Image::shard(oid)].get(&oid).cloned()
+    }
+
+    fn contains(&self, oid: Oid) -> bool {
+        self.records[Image::shard(oid)].contains_key(&oid)
+    }
+
+    fn record_count(&self) -> usize {
+        self.records.iter().map(|s| s.len()).sum()
+    }
+
+    fn kv_get(&self, keyspace: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
+        self.kv[keyspace.0 as usize].get(key).cloned()
+    }
+
+    fn kv_scan_prefix(&self, keyspace: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        scan_prefix(&self.kv[keyspace.0 as usize], prefix)
+    }
+
+    fn kv_scan_range(&self, keyspace: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.kv[keyspace.0 as usize]
+            .range((Bound::Included(lo.to_vec()), Bound::Excluded(hi.to_vec())))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
     fn apply(&mut self, record: &LogRecord) {
         match record {
             LogRecord::Put { oid, bytes, .. } => {
-                self.records.insert(*oid, Bytes::from(bytes.clone()));
+                Arc::make_mut(&mut self.records[Image::shard(*oid)])
+                    .insert(*oid, Bytes::from(bytes.clone()));
             }
             LogRecord::Delete { oid, .. } => {
-                self.records.remove(oid);
+                Arc::make_mut(&mut self.records[Image::shard(*oid)]).remove(oid);
             }
             LogRecord::KvPut { keyspace, key, value, .. } => {
-                self.kv.insert((*keyspace, key.clone()), value.clone());
+                Arc::make_mut(&mut self.kv[*keyspace as usize]).insert(key.clone(), value.clone());
             }
             LogRecord::KvDelete { keyspace, key, .. } => {
-                self.kv.remove(&(*keyspace, key.clone()));
+                Arc::make_mut(&mut self.kv[*keyspace as usize]).remove(key);
             }
-            LogRecord::Begin { .. } | LogRecord::Commit { .. } => {}
+            LogRecord::Begin { .. }
+            | LogRecord::Commit { .. }
+            | LogRecord::UnitBegin { .. }
+            | LogRecord::UnitEnd { .. } => {}
         }
+    }
+}
+
+/// An immutable, point-in-time view of the committed image.
+///
+/// Obtained from [`Store::snapshot`]; cloning is an `Arc` bump. Reads on a
+/// snapshot never take the store mutex, so any number of readers proceed in
+/// parallel with the single writer, each seeing the consistent state that was
+/// published when it pinned the snapshot. Commits made inside an open unit of
+/// work are not published until the unit settles, so a snapshot can never
+/// observe a torn unit.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    image: Arc<Image>,
+}
+
+impl Snapshot {
+    /// Read a record as of this snapshot.
+    pub fn get(&self, oid: Oid) -> Option<Bytes> {
+        self.image.get(oid)
+    }
+
+    /// Whether a record exists as of this snapshot.
+    pub fn contains(&self, oid: Oid) -> bool {
+        self.image.contains(oid)
+    }
+
+    /// Number of records as of this snapshot.
+    pub fn record_count(&self) -> usize {
+        self.image.record_count()
+    }
+
+    /// Read a key/value entry as of this snapshot.
+    pub fn kv_get(&self, keyspace: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
+        self.image.kv_get(keyspace, key)
+    }
+
+    /// All entries whose key starts with `prefix`, in key order.
+    pub fn kv_scan_prefix(&self, keyspace: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.image.kv_scan_prefix(keyspace, prefix)
+    }
+
+    /// All entries in `keyspace` with `lo <= key < hi`.
+    pub fn kv_scan_range(&self, keyspace: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.image.kv_scan_range(keyspace, lo, hi)
+    }
+
+    /// Whether two snapshots pin the same published image.
+    pub fn same_version(&self, other: &Snapshot) -> bool {
+        Arc::ptr_eq(&self.image, &other.image)
     }
 }
 
@@ -75,12 +185,23 @@ struct Inner {
     image: Image,
     logw: LogWriter,
     next_txn: u64,
+    /// Nesting depth of open unit-of-work scopes. While positive, commits
+    /// apply to the working image but are not published to snapshots.
+    hold_depth: u32,
+    /// Unit id whose `UnitBegin` frame has been written for the current
+    /// scope; `None` until the scope's first commit (read-only units write no
+    /// frames at all).
+    active_unit: Option<u64>,
 }
 
 /// A durable, transactional record store.
 #[derive(Debug)]
 pub struct Store {
     inner: Mutex<Inner>,
+    /// The latest committed image, republished (copy-on-write) after every
+    /// commit outside a unit scope and after every settled unit. Readers take
+    /// this lock only long enough to clone the `Arc`.
+    published: RwLock<Arc<Image>>,
     oids: OidAllocator,
     stats: Arc<Stats>,
     options: StoreOptions,
@@ -110,7 +231,12 @@ impl Store {
         let mut next_txn = 1u64;
         // Group frames by transaction; apply only committed groups, in commit
         // order (commit order equals log order for a single-writer log).
+        // Transactions committed inside a unit-of-work scope are buffered
+        // until the unit's seal: applied on `UnitEnd { committed: true }`,
+        // discarded otherwise — so a crash mid-unit loses the whole unit,
+        // never half of it.
         let mut pending: HashMap<u64, Vec<LogRecord>> = HashMap::new();
+        let mut open_unit: Option<(u64, Vec<LogRecord>)> = None;
         for frame in scan.frames {
             match frame.record {
                 LogRecord::Begin { txn } => {
@@ -118,12 +244,34 @@ impl Store {
                     next_txn = next_txn.max(txn + 1);
                 }
                 LogRecord::Commit { txn, next_oid: hwm } => {
+                    // The OID high-water mark is honoured even for discarded
+                    // units, so identifiers are never re-issued.
+                    next_oid = next_oid.max(hwm);
                     if let Some(records) = pending.remove(&txn) {
-                        for r in &records {
-                            image.apply(r);
+                        match open_unit.as_mut() {
+                            Some((_, buffered)) => buffered.extend(records),
+                            None => {
+                                for r in &records {
+                                    image.apply(r);
+                                }
+                            }
                         }
                     }
-                    next_oid = next_oid.max(hwm);
+                }
+                LogRecord::UnitBegin { unit } => {
+                    // A new unit while one is still open means the previous
+                    // one was never sealed: discard it.
+                    open_unit = Some((unit, Vec::new()));
+                    next_txn = next_txn.max(unit + 1);
+                }
+                LogRecord::UnitEnd { unit, committed } => {
+                    if let Some((open, buffered)) = open_unit.take() {
+                        if committed && open == unit {
+                            for r in &buffered {
+                                image.apply(r);
+                            }
+                        }
+                    }
                 }
                 other => {
                     if let Some(buf) = pending.get_mut(&other.txn()) {
@@ -134,14 +282,83 @@ impl Store {
                 }
             }
         }
-        let logw = LogWriter::open(&path, scan.valid_len)?;
+        let mut logw = LogWriter::open(&path, scan.valid_len)?;
+        if let Some((unit, _)) = open_unit.take() {
+            // The log ends inside an unsealed unit (crash mid-unit). Seal it
+            // as aborted so later replays — which will see frames appended
+            // after this point — don't buffer them into the dead unit.
+            logw.append(&LogRecord::UnitEnd { unit, committed: false })?;
+            logw.sync()?;
+        }
+        let published = Arc::new(image.clone());
         Ok(Store {
-            inner: Mutex::new(Inner { image, logw, next_txn }),
+            inner: Mutex::new(Inner {
+                image,
+                logw,
+                next_txn,
+                hold_depth: 0,
+                active_unit: None,
+            }),
+            published: RwLock::new(published),
             oids: OidAllocator::starting_at(next_oid),
             stats: Arc::new(Stats::default()),
             options,
             path,
         })
+    }
+
+    /// Pin the latest published image. The returned [`Snapshot`] is immutable
+    /// and lock-free: reads on it run concurrently with the writer and with
+    /// each other, and never observe a commit made after this call — or any
+    /// part of a unit of work that had not settled yet.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot { image: Arc::clone(&self.published.read()) }
+    }
+
+    /// Republish the working image as the new read snapshot.
+    fn publish(&self, inner: &Inner) {
+        *self.published.write() = Arc::new(inner.image.clone());
+        Stats::bump(&self.stats.snapshot_swaps);
+    }
+
+    /// Open a unit-of-work scope. Until the matching
+    /// [`Store::end_unit_scope`], commits apply to the working image (so the
+    /// writer reads its own writes) but are *not* published to snapshots, and
+    /// the log brackets them as one atomic group (`UnitBegin … UnitEnd`):
+    /// recovery applies the group only if it was sealed committed. Scopes
+    /// nest; only the outermost seal publishes.
+    pub fn begin_unit_scope(&self) {
+        self.inner.lock().hold_depth += 1;
+    }
+
+    /// Settle the innermost unit-of-work scope. On the outermost scope this
+    /// seals the log group (`committed` decides whether recovery replays it),
+    /// performs the unit's single deferred fsync, and publishes the working
+    /// image so readers observe the whole unit at once.
+    ///
+    /// When `committed` is false the caller is expected to have already
+    /// rolled the working image back (via inverse transactions, which join
+    /// the same discarded group); publication then simply reconfirms the
+    /// pre-unit state.
+    pub fn end_unit_scope(&self, committed: bool) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        debug_assert!(inner.hold_depth > 0, "end_unit_scope without begin_unit_scope");
+        inner.hold_depth = inner.hold_depth.saturating_sub(1);
+        if inner.hold_depth > 0 {
+            return Ok(());
+        }
+        if let Some(unit) = inner.active_unit.take() {
+            inner.logw.append(&LogRecord::UnitEnd { unit, committed })?;
+            Stats::bump(&self.stats.log_appends);
+            if self.options.sync_on_commit {
+                inner.logw.sync()?;
+                Stats::bump(&self.stats.syncs);
+            } else {
+                inner.logw.flush()?;
+            }
+        }
+        self.publish(&inner);
+        Ok(())
     }
 
     /// Allocate a fresh, never-used OID.
@@ -159,50 +376,40 @@ impl Store {
         &self.path
     }
 
-    /// Read a committed record.
+    /// Read a record from the working image (sees commits inside an open
+    /// unit of work; use [`Store::snapshot`] for lock-free published reads).
     pub fn get(&self, oid: Oid) -> Option<Bytes> {
-        let inner = self.inner.lock();
-        inner.image.records.get(&oid).cloned()
+        self.inner.lock().image.get(oid)
     }
 
-    /// Whether a committed record exists.
+    /// Whether a record exists in the working image.
     pub fn contains(&self, oid: Oid) -> bool {
-        self.inner.lock().image.records.contains_key(&oid)
+        self.inner.lock().image.contains(oid)
     }
 
-    /// Number of committed records.
+    /// Number of records in the working image.
     pub fn record_count(&self) -> usize {
-        self.inner.lock().image.records.len()
+        self.inner.lock().image.record_count()
     }
 
-    /// Read a committed key/value entry.
+    /// Read a key/value entry from the working image.
     pub fn kv_get(&self, keyspace: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
-        self.inner.lock().image.kv.get(&(keyspace.0, key.to_vec())).cloned()
+        self.inner.lock().image.kv_get(keyspace, key)
     }
 
-    /// All committed entries whose key starts with `prefix`, in key order.
+    /// All working-image entries whose key starts with `prefix`, in key order.
     pub fn kv_scan_prefix(&self, keyspace: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
-        let inner = self.inner.lock();
-        scan_prefix(&inner.image.kv, keyspace, prefix)
+        self.inner.lock().image.kv_scan_prefix(keyspace, prefix)
     }
 
-    /// All committed entries in `keyspace` with `lo <= key < hi`.
+    /// All working-image entries in `keyspace` with `lo <= key < hi`.
     pub fn kv_scan_range(
         &self,
         keyspace: Keyspace,
         lo: &[u8],
         hi: &[u8],
     ) -> Vec<(Vec<u8>, Vec<u8>)> {
-        let inner = self.inner.lock();
-        inner
-            .image
-            .kv
-            .range((
-                Bound::Included((keyspace.0, lo.to_vec())),
-                Bound::Excluded((keyspace.0, hi.to_vec())),
-            ))
-            .map(|((_, k), v)| (k.clone(), v.clone()))
-            .collect()
+        self.inner.lock().image.kv_scan_range(keyspace, lo, hi)
     }
 
     /// Begin a read-write transaction.
@@ -238,22 +445,31 @@ impl Store {
     /// committed transaction. Reclaims space occupied by superseded records.
     pub fn compact(&self) -> StorageResult<()> {
         let mut inner = self.inner.lock();
+        if inner.hold_depth > 0 {
+            return Err(StorageError::TxnState(
+                "cannot compact while a unit of work is open".into(),
+            ));
+        }
         let tmp_path = self.path.with_extension("compact");
         let _ = std::fs::remove_file(&tmp_path);
         let mut new_log = LogWriter::open(&tmp_path, 0)?;
         let txn = inner.next_txn;
         inner.next_txn += 1;
         new_log.append(&LogRecord::Begin { txn })?;
-        for (oid, bytes) in &inner.image.records {
-            new_log.append(&LogRecord::Put { txn, oid: *oid, bytes: bytes.to_vec() })?;
+        for shard in &inner.image.records {
+            for (oid, bytes) in shard.iter() {
+                new_log.append(&LogRecord::Put { txn, oid: *oid, bytes: bytes.to_vec() })?;
+            }
         }
-        for ((ks, key), value) in &inner.image.kv {
-            new_log.append(&LogRecord::KvPut {
-                txn,
-                keyspace: *ks,
-                key: key.clone(),
-                value: value.clone(),
-            })?;
+        for (ks, map) in inner.image.kv.iter().enumerate() {
+            for (key, value) in map.iter() {
+                new_log.append(&LogRecord::KvPut {
+                    txn,
+                    keyspace: ks as u8,
+                    key: key.clone(),
+                    value: value.clone(),
+                })?;
+            }
         }
         new_log.append(&LogRecord::Commit { txn, next_oid: self.oids.high_water_mark() })?;
         new_log.sync()?;
@@ -274,6 +490,15 @@ impl Store {
         staged_kv: &BTreeMap<(u8, Vec<u8>), Option<Vec<u8>>>,
     ) -> StorageResult<()> {
         let mut inner = self.inner.lock();
+        if inner.hold_depth > 0 && inner.active_unit.is_none() {
+            // First commit inside a unit scope: open the atomic group in the
+            // log. Read-only units never reach here and write no frames.
+            let unit = inner.next_txn;
+            inner.next_txn += 1;
+            inner.logw.append(&LogRecord::UnitBegin { unit })?;
+            inner.active_unit = Some(unit);
+            Stats::bump(&self.stats.log_appends);
+        }
         let txn = inner.next_txn;
         inner.next_txn += 1;
         let mut bytes_written = 0u64;
@@ -314,10 +539,13 @@ impl Store {
             inner.logw.append(record)?;
             appends += 1;
         }
-        if self.options.sync_on_commit {
+        if self.options.sync_on_commit && inner.hold_depth == 0 {
             inner.logw.sync()?;
             Stats::bump(&self.stats.syncs);
         } else {
+            // Inside a unit scope durability is deferred to the unit's seal:
+            // the unit is atomic on replay, so per-transaction fsyncs buy
+            // nothing, and one fsync per unit replaces one per mutation.
             inner.logw.flush()?;
         }
         for record in &apply {
@@ -326,6 +554,9 @@ impl Store {
         Stats::add(&self.stats.log_appends, appends);
         Stats::add(&self.stats.bytes_written, bytes_written);
         Stats::bump(&self.stats.commits);
+        if inner.hold_depth == 0 {
+            self.publish(&inner);
+        }
         Ok(())
     }
 }
@@ -435,18 +666,11 @@ impl<'s> Txn<'s> {
     }
 }
 
-fn scan_prefix(
-    kv: &BTreeMap<(u8, Vec<u8>), Vec<u8>>,
-    keyspace: Keyspace,
-    prefix: &[u8],
-) -> Vec<(Vec<u8>, Vec<u8>)> {
-    kv.range((
-        Bound::Included((keyspace.0, prefix.to_vec())),
-        Bound::Unbounded,
-    ))
-    .take_while(|((ks, k), _)| *ks == keyspace.0 && k.starts_with(prefix))
-    .map(|((_, k), v)| (k.clone(), v.clone()))
-    .collect()
+fn scan_prefix(kv: &BTreeMap<Vec<u8>, Vec<u8>>, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    kv.range((Bound::Included(prefix.to_vec()), Bound::Unbounded))
+        .take_while(|(k, _)| k.starts_with(prefix))
+        .map(|(k, v)| (k.clone(), v.clone()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -680,6 +904,166 @@ mod tests {
         });
         assert!(r.is_err());
         assert!(store.get(oid).is_none());
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn snapshot_pins_published_state() {
+        let (store, path) = temp_store();
+        let a = store.allocate_oid();
+        store
+            .with_txn(|t| {
+                t.put(a, b"one".to_vec());
+                t.kv_put(Keyspace(2), b"k".to_vec(), b"v1".to_vec());
+                Ok(())
+            })
+            .unwrap();
+        let before = store.snapshot();
+        let b = store.allocate_oid();
+        store
+            .with_txn(|t| {
+                t.put(b, b"two".to_vec());
+                t.kv_put(Keyspace(2), b"k".to_vec(), b"v2".to_vec());
+                Ok(())
+            })
+            .unwrap();
+        let after = store.snapshot();
+        // The old snapshot is frozen; the new one sees the commit.
+        assert_eq!(before.get(a).as_deref(), Some(&b"one"[..]));
+        assert!(before.get(b).is_none());
+        assert_eq!(before.kv_get(Keyspace(2), b"k").as_deref(), Some(&b"v1"[..]));
+        assert_eq!(after.get(b).as_deref(), Some(&b"two"[..]));
+        assert_eq!(after.kv_get(Keyspace(2), b"k").as_deref(), Some(&b"v2"[..]));
+        assert!(!before.same_version(&after));
+        assert_eq!(store.stats().snapshot().snapshot_swaps, 2);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn unit_scope_publishes_atomically() {
+        let (store, path) = temp_store();
+        let a = store.allocate_oid();
+        let b = store.allocate_oid();
+        store.begin_unit_scope();
+        store
+            .with_txn(|t| {
+                t.put(a, b"a".to_vec());
+                Ok(())
+            })
+            .unwrap();
+        let mid = store.snapshot();
+        assert!(!mid.contains(a), "snapshot must not see an unsettled unit");
+        // The writer itself reads its own writes through the working image.
+        assert!(store.contains(a));
+        store
+            .with_txn(|t| {
+                t.put(b, b"b".to_vec());
+                Ok(())
+            })
+            .unwrap();
+        store.end_unit_scope(true).unwrap();
+        let done = store.snapshot();
+        assert!(done.contains(a) && done.contains(b));
+        // Exactly one publication for the whole unit.
+        assert_eq!(store.stats().snapshot().snapshot_swaps, 1);
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn unsealed_unit_is_discarded_on_recovery() {
+        let path = std::env::temp_dir().join(format!(
+            "prometheus-torn-unit-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let before;
+        let inside;
+        {
+            let store = Store::open(&path).unwrap();
+            before = store.allocate_oid();
+            store
+                .with_txn(|t| {
+                    t.put(before, b"kept".to_vec());
+                    Ok(())
+                })
+                .unwrap();
+            store.begin_unit_scope();
+            inside = store.allocate_oid();
+            store
+                .with_txn(|t| {
+                    t.put(inside, b"torn".to_vec());
+                    t.kv_put(Keyspace(1), b"idx".to_vec(), b"torn".to_vec());
+                    Ok(())
+                })
+                .unwrap();
+            // Crash: the store is dropped without end_unit_scope, so the log
+            // ends inside an unsealed unit.
+        }
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.get(before).as_deref(), Some(&b"kept"[..]));
+        assert!(store.get(inside).is_none(), "torn unit must be discarded");
+        assert!(store.kv_get(Keyspace(1), b"idx").is_none());
+        // The open sealed the torn unit; appending new commits and reopening
+        // must not resurrect it or lose the new work.
+        let later = store.allocate_oid();
+        assert!(later > inside, "discarded units still advance the OID mark");
+        store
+            .with_txn(|t| {
+                t.put(later, b"after".to_vec());
+                Ok(())
+            })
+            .unwrap();
+        drop(store);
+        let store = Store::open(&path).unwrap();
+        assert!(store.get(inside).is_none());
+        assert_eq!(store.get(later).as_deref(), Some(&b"after"[..]));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn aborted_unit_replays_to_pre_unit_state() {
+        let path = std::env::temp_dir().join(format!(
+            "prometheus-aborted-unit-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let oid;
+        {
+            let store = Store::open(&path).unwrap();
+            oid = store.allocate_oid();
+            store.begin_unit_scope();
+            store
+                .with_txn(|t| {
+                    t.put(oid, b"forward".to_vec());
+                    Ok(())
+                })
+                .unwrap();
+            // Roll back with an inverse transaction, then seal as aborted —
+            // the shape the object layer's journal rollback produces.
+            store
+                .with_txn(|t| {
+                    t.delete(oid);
+                    Ok(())
+                })
+                .unwrap();
+            store.end_unit_scope(false).unwrap();
+            assert!(store.get(oid).is_none());
+            assert!(!store.snapshot().contains(oid));
+        }
+        let store = Store::open(&path).unwrap();
+        assert!(store.get(oid).is_none(), "aborted unit must not replay");
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn compact_refuses_inside_unit_scope() {
+        let (store, path) = temp_store();
+        store.begin_unit_scope();
+        assert!(store.compact().is_err());
+        store.end_unit_scope(true).unwrap();
+        store.compact().unwrap();
         let _ = std::fs::remove_file(path);
     }
 

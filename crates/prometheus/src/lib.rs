@@ -33,8 +33,8 @@ pub use prometheus_object::{
 pub use prometheus_object::{
     history_of, AttrDef, Cardinality, ClassDef, Classification, Database, Date, DbError,
     DbResult, Event, EventListener, HistoryEntry, HistoryRecorder, ObjectInstance, Oid,
-    RelClassDef, RelInstance, RelKind, SchemaRegistry, Store, StoreOptions, SynonymMode, Type,
-    Value, View,
+    ReadView, Reader, RelClassDef, RelInstance, RelKind, SchemaRegistry, Store, StoreOptions,
+    SynonymMode, Type, Value, View,
 };
 pub use prometheus_pool as pool;
 pub use prometheus_pool::{QueryResult, Row};
@@ -93,9 +93,22 @@ impl Prometheus {
         Ok(tax)
     }
 
-    /// Run a POOL query.
+    /// Run a POOL query against the live database (sees the session's own
+    /// open unit, if any).
     pub fn query(&self, pool: &str) -> DbResult<QueryResult> {
-        prometheus_pool::query(&self.db, pool)
+        prometheus_pool::query(&*self.db, pool)
+    }
+
+    /// Pin an immutable [`ReadView`] of the last committed state. Queries and
+    /// traversals against the view never take the store mutex and are immune
+    /// to concurrent writers: every read resolves from one snapshot.
+    pub fn read_view(&self) -> ReadView {
+        self.db.read_view()
+    }
+
+    /// Run a POOL query against a pinned snapshot (lock-free, consistent).
+    pub fn query_snapshot(&self, pool: &str) -> DbResult<QueryResult> {
+        prometheus_pool::query(&self.db.read_view(), pool)
     }
 
     /// Translate a PCL document and install the resulting rules.

@@ -25,7 +25,11 @@ fn serve_seeded(path: &PathBuf, seed: usize, workers: usize) -> ServerHandle {
     for i in 0..seed {
         tax.create_ct(&format!("Seed-{i:03}"), Rank::Genus).unwrap();
     }
-    serve(p, ServerConfig { addr: "127.0.0.1:0".into(), workers }).unwrap()
+    serve(
+        p,
+        ServerConfig { addr: "127.0.0.1:0".into(), workers, ..ServerConfig::default() },
+    )
+    .unwrap()
 }
 
 #[test]
