@@ -7,7 +7,11 @@ use prometheus_bench::ops;
 use prometheus_bench::schema::{BenchParams, PromDb, RawDb};
 
 fn small() -> BenchParams {
-    BenchParams { fanout: 3, levels: 4, parts_per_leaf: 4 }
+    BenchParams {
+        fanout: 3,
+        levels: 4,
+        parts_per_leaf: 4,
+    }
 }
 
 /// §7.2.1.2.1 — raw performance: object creation and attribute access.
@@ -24,7 +28,9 @@ fn bench_raw_performance(c: &mut Criterion) {
     group.bench_function("create_prometheus_64", |b| {
         b.iter(|| ops::prom_create(&prom, 64).unwrap())
     });
-    group.bench_function("lookup_raw_256", |b| b.iter(|| ops::raw_lookup(&raw, &raw_ids).unwrap()));
+    group.bench_function("lookup_raw_256", |b| {
+        b.iter(|| ops::raw_lookup(&raw, &raw_ids).unwrap())
+    });
     group.bench_function("lookup_prometheus_256", |b| {
         b.iter(|| ops::prom_lookup(&prom, &prom_ids).unwrap())
     });
@@ -127,7 +133,13 @@ fn bench_taxonomy(c: &mut Criterion) {
     use prometheus_taxonomy::dataset::{overlapping_revisions, random_flora, FloraParams};
     let path = std::env::temp_dir().join(format!("crit-taxo-{}.log", std::process::id()));
     let _ = std::fs::remove_file(&path);
-    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap();
+    let p = Prometheus::open_with(
+        &path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )
+    .unwrap();
     let tax = p.taxonomy().unwrap();
     let params = FloraParams {
         families: 1,

@@ -67,7 +67,11 @@ fn sweep_sizes(targets: &[usize]) -> Vec<usize> {
 }
 
 fn medium() -> BenchParams {
-    BenchParams { fanout: 3, levels: 6, parts_per_leaf: 5 }
+    BenchParams {
+        fanout: 3,
+        levels: 6,
+        parts_per_leaf: 5,
+    }
 }
 
 /// Figures 43/47/48: report the generated schema sizes.
@@ -285,7 +289,10 @@ fn sweep_t5(out: &std::path::Path) {
         });
         prom.cleanup();
     }
-    print!("{}", render_sweep("Figure 44 — T5 traversal cost vs size", &points));
+    print!(
+        "{}",
+        render_sweep("Figure 44 — T5 traversal cost vs size", &points)
+    );
     println!(
         "growth ratio (last/first per-node cost): {:.2}  [paper: ~constant]",
         growth_ratio(&points)
@@ -324,7 +331,10 @@ fn sweep_s1(out: &std::path::Path) {
         );
         prom.cleanup();
     }
-    print!("{}", render_sweep("Figure 45 — S1 structural insert cost vs size", &points));
+    print!(
+        "{}",
+        render_sweep("Figure 45 — S1 structural insert cost vs size", &points)
+    );
     println!(
         "growth ratio (last/first per-inserted-part cost): {:.2}  [paper: non-constant]",
         growth_ratio(&points)
@@ -361,7 +371,10 @@ fn sweep_s2(out: &std::path::Path) {
         );
         prom.cleanup();
     }
-    print!("{}", render_sweep("Figure 46 — S2 structural delete cost vs size", &points));
+    print!(
+        "{}",
+        render_sweep("Figure 46 — S2 structural delete cost vs size", &points)
+    );
     println!(
         "growth ratio (last/first per-deleted-part cost): {:.2}  [paper: non-constant]",
         growth_ratio(&points)
@@ -415,7 +428,9 @@ fn ablation(out: &std::path::Path) {
     //    membership check of querying in context).
     let d_unscoped = time_median(3, || {
         let spec = prometheus_object::TraversalSpec::closure(Vec::new());
-        prometheus_object::traversal::traverse(&prom.db, prom.root, &spec).unwrap().len()
+        prometheus_object::traversal::traverse(&prom.db, prom.root, &spec)
+            .unwrap()
+            .len()
     });
     let d_scoped = time_median(3, || ops::prom_t1(&prom).unwrap());
     rows.push(CompareRow {

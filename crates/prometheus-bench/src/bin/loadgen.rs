@@ -1,6 +1,6 @@
 //! Load generator for the prometheus-server wire protocol.
 //!
-//! Two scenarios:
+//! Three scenarios:
 //!
 //! * **mixed** (default, legacy positional args) — N concurrent clients
 //!   running a read/write mix, reporting throughput and exact latency
@@ -13,16 +13,29 @@
 //!   barely move; the report prints idle vs active percentiles side by side
 //!   plus the storage layer's snapshot-swap count, and writes the numbers to
 //!   `BENCH_contention.json` for CI artifact upload.
+//! * **parallel** — in-process, no server: the same scan-, join- and
+//!   traversal-heavy POOL queries run through a 1-worker and an N-worker
+//!   [`Executor`] over a pinned snapshot. Results must be byte-identical
+//!   (the ordered-merge determinism contract); the report is throughput
+//!   both ways plus the machine's core count, written to
+//!   `BENCH_parallel.json`. On a single-core box the speedup is honestly
+//!   ~1× — the `cores` field is there so readers can tell.
 //!
 //! ```text
 //! cargo run --release -p prometheus-bench --bin loadgen                # mixed defaults
 //! cargo run --release -p prometheus-bench --bin loadgen -- 8 500 20   # clients ops write%
 //! cargo run --release -p prometheus-bench --bin loadgen -- contention 4 200 6
 //! #                                                        readers ops workers
+//! cargo run --release -p prometheus-bench --bin loadgen -- parallel 4000 5 8
+//! #                                                        objects iters workers
 //! ```
 
 use prometheus_bench::report::{percentile_us, render_latency_summary};
-use prometheus_db::{Prometheus, StoreOptions, Value};
+use prometheus_db::{
+    AttrDef, Cardinality, ClassDef, Database, Prometheus, RelClassDef, Store, StoreOptions, Type,
+    Value,
+};
+use prometheus_pool::Executor;
 use prometheus_server::{serve, MutationOp, PrometheusClient, ServerConfig, ServerHandle};
 use prometheus_taxonomy::Rank;
 use rand::rngs::StdRng;
@@ -40,9 +53,8 @@ struct Args {
 }
 
 fn parse_args(argv: &[String]) -> Args {
-    let num = |i: usize, default: usize| {
-        argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
-    };
+    let num =
+        |i: usize, default: usize| argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(default);
     Args {
         clients: num(0, 8).max(1),
         ops_per_client: num(1, 200).max(1),
@@ -66,15 +78,25 @@ fn boot_seeded_server(tag: &str, workers: usize) -> (ServerHandle, std::path::Pa
     ));
     let _ = std::fs::remove_file(&path);
     // Seed a small flora so reads have something to scan.
-    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false })
-        .expect("open scratch database");
+    let p = Prometheus::open_with(
+        &path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )
+    .expect("open scratch database");
     let tax = p.taxonomy().expect("install taxonomy schema");
     for i in 0..32 {
-        tax.create_ct(&format!("Seed-{i:03}"), Rank::Genus).expect("seed taxon");
+        tax.create_ct(&format!("Seed-{i:03}"), Rank::Genus)
+            .expect("seed taxon");
     }
     let handle = serve(
         p,
-        ServerConfig { addr: "127.0.0.1:0".into(), workers, ..ServerConfig::default() },
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            ..ServerConfig::default()
+        },
     )
     .expect("start server");
     (handle, path)
@@ -82,10 +104,10 @@ fn boot_seeded_server(tag: &str, workers: usize) -> (ServerHandle, std::path::Pa
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    if argv.first().map(String::as_str) == Some("contention") {
-        contention(&argv[1..]);
-    } else {
-        mixed(parse_args(&argv));
+    match argv.first().map(String::as_str) {
+        Some("contention") => contention(&argv[1..]),
+        Some("parallel") => parallel(&argv[1..]),
+        _ => mixed(parse_args(&argv)),
     }
 }
 
@@ -243,9 +265,8 @@ fn run_readers(addr: SocketAddr, readers: usize, ops: usize) -> (Vec<u64>, usize
 /// reader latency with an active writer should stay close to the idle
 /// baseline instead of serialising behind the writer lane.
 fn contention(argv: &[String]) {
-    let num = |i: usize, default: usize| {
-        argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(default)
-    };
+    let num =
+        |i: usize, default: usize| argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(default);
     let readers = num(0, 4).max(1);
     let ops = num(1, 200).max(1);
     let workers = num(2, readers + 2).max(2);
@@ -359,4 +380,167 @@ fn contention(argv: &[String]) {
         std::process::exit(1);
     }
     println!("OK: zero reader failures, zero protocol errors.");
+}
+
+/// Queries for the `parallel` scenario, chosen to hit every morsel-parallel
+/// stage: candidate filters (pushdown + conformance), the outer join loop,
+/// and recursive traversal frontiers.
+const PARALLEL_QUERIES: [&str; 4] = [
+    "select x.name from BT x where x.year >= 1780 and x.rank = \"Species\" order by x.name",
+    "select distinct x.name from BT x where x.name like \"n00%\" order by x.name desc",
+    "select x.name, y.name from BT x, BT y \
+     where x.year = y.year and x.rank = \"Genus\" and y.rank = \"Family\" \
+     order by x.name, y.name limit 500",
+    "select x.name, count(x -> Near[1..4]) from BT x where x.year < 1705 order by x.name",
+];
+
+/// Sequential vs morsel-parallel execution of the same queries over the
+/// same pinned snapshot. The point is twofold: the results must be
+/// identical (determinism), and the N-worker throughput is reported next
+/// to the core count so the speedup claim is honest about the hardware.
+fn parallel(argv: &[String]) {
+    let num =
+        |i: usize, default: usize| argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(default);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let objects = num(0, 4000).max(100);
+    let iters = num(1, 5).max(1);
+    let workers = num(2, cores.max(2)).max(2);
+
+    let path = std::env::temp_dir().join(format!(
+        "prometheus-loadgen-parallel-{}.db",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let store = Store::open_with(
+        &path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )
+    .expect("open scratch database");
+    let db = Database::open(Arc::new(store)).expect("open database");
+
+    // A benchmark flora: a base class with indexed attributes, a subclass
+    // (so conformance checks do real work) and a branching relationship
+    // (so traversal frontiers grow past one morsel).
+    db.define_class(
+        ClassDef::new("BT")
+            .attr(AttrDef::required("name", Type::Str).indexed())
+            .attr(AttrDef::optional("year", Type::Int).indexed())
+            .attr(AttrDef::optional("rank", Type::Str)),
+    )
+    .expect("define BT");
+    db.define_class(ClassDef::new("BTS").extends("BT"))
+        .expect("define BTS");
+    db.define_relationship(
+        RelClassDef::association("Near", "BT", "BT")
+            .origin_cardinality(Cardinality::MANY)
+            .destination_cardinality(Cardinality::MANY),
+    )
+    .expect("define Near");
+
+    const RANKS: [&str; 3] = ["Genus", "Species", "Family"];
+    let mut oids = Vec::with_capacity(objects);
+    for i in 0..objects {
+        let class = if i % 4 == 0 { "BTS" } else { "BT" };
+        oids.push(
+            db.create_object(
+                class,
+                vec![
+                    ("name".to_string(), Value::Str(format!("n{i:05}"))),
+                    ("year".to_string(), Value::Int(1700 + (i as i64 % 200))),
+                    (
+                        "rank".to_string(),
+                        Value::Str(RANKS[i % RANKS.len()].to_string()),
+                    ),
+                ],
+            )
+            .expect("seed object"),
+        );
+    }
+    // Three outgoing edges per object so a depth-4 traversal fans out well
+    // past the frontier morsel size.
+    for i in 0..objects {
+        for stride in [1usize, 7, 31] {
+            let j = (i + stride) % objects;
+            if i != j {
+                db.create_relationship("Near", oids[i], oids[j], Vec::new())
+                    .expect("seed edge");
+            }
+        }
+    }
+
+    println!(
+        "loadgen parallel: {objects} objects × {} queries × {iters} iters, \
+         1 vs {workers} workers ({cores} cores available)",
+        PARALLEL_QUERIES.len()
+    );
+
+    let view = db.read_view();
+    let mut timings = Vec::new(); // (label, workers, elapsed_secs, results)
+    for (label, w) in [("sequential", 1usize), ("parallel", workers)] {
+        let executor = Executor::new(w);
+        // Warm pass: plans get cached, page cache fills; the timed loop
+        // then measures execution, not planning.
+        let warm: Vec<_> = PARALLEL_QUERIES
+            .iter()
+            .map(|q| executor.query(&view, q, None).expect("query"))
+            .collect();
+        let start = Instant::now();
+        for _ in 0..iters {
+            for q in PARALLEL_QUERIES {
+                executor.query(&view, q, None).expect("query");
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let stats = executor.stats();
+        println!(
+            "  {label:>10} ({w} workers): {:.3}s, {:.1} q/s, {} morsels, \
+             cache {}h/{}m",
+            elapsed,
+            (iters * PARALLEL_QUERIES.len()) as f64 / elapsed,
+            stats.parallel_morsels,
+            stats.plan_cache_hits,
+            stats.plan_cache_misses,
+        );
+        timings.push((label, w, elapsed, warm, stats));
+    }
+
+    let (_, _, seq_secs, seq_rows, _) = &timings[0];
+    let (_, _, par_secs, par_rows, par_stats) = &timings[1];
+    let identical = seq_rows == par_rows;
+    let total = (iters * PARALLEL_QUERIES.len()) as f64;
+    let seq_qps = total / seq_secs;
+    let par_qps = total / par_secs;
+    let speedup = seq_secs / par_secs;
+    println!();
+    println!("speedup: {speedup:.2}x on {cores} core(s); results identical: {identical}");
+
+    let json = format!(
+        "{{\n  \"scenario\": \"parallel\",\n  \"objects\": {objects},\n  \
+         \"iterations\": {iters},\n  \"queries\": {},\n  \
+         \"workers\": {workers},\n  \"cores\": {cores},\n  \
+         \"sequential_qps\": {seq_qps:.2},\n  \"parallel_qps\": {par_qps:.2},\n  \
+         \"speedup\": {speedup:.3},\n  \
+         \"parallel_morsels\": {},\n  \"plan_cache_hits\": {},\n  \
+         \"plan_cache_misses\": {},\n  \"results_identical\": {identical}\n}}\n",
+        PARALLEL_QUERIES.len(),
+        par_stats.parallel_morsels,
+        par_stats.plan_cache_hits,
+        par_stats.plan_cache_misses,
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
+
+    drop(view);
+    drop(db);
+    let _ = std::fs::remove_file(&path);
+
+    if !identical {
+        eprintln!("FAILED: parallel execution diverged from sequential");
+        std::process::exit(1);
+    }
+    println!("OK: parallel results identical to sequential.");
 }

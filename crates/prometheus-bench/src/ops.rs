@@ -108,7 +108,8 @@ pub fn raw_update_attr(raw: &RawDb, oids: &[Oid]) -> DbResult<()> {
 pub fn prom_update_attr(prom: &PromDb, oids: &[Oid]) -> DbResult<()> {
     for &oid in oids {
         let current = prom.db.attr_of(oid, "build_date")?.as_int().unwrap_or(0);
-        prom.db.set_attr(oid, "build_date", Value::Int(current + 1))?;
+        prom.db
+            .set_attr(oid, "build_date", Value::Int(current + 1))?;
     }
     Ok(())
 }
@@ -176,7 +177,8 @@ pub fn prom_t2(prom: &PromDb) -> DbResult<usize> {
     nodes.extend(prom.cls.descendants(&prom.db, prom.root, None)?);
     for &oid in &nodes {
         let current = prom.db.attr_of(oid, "build_date")?.as_int().unwrap_or(0);
-        prom.db.set_attr(oid, "build_date", Value::Int(current + 1))?;
+        prom.db
+            .set_attr(oid, "build_date", Value::Int(current + 1))?;
     }
     let count = nodes.len();
     prom.db.commit_unit(token)?;
@@ -267,10 +269,12 @@ pub fn prom_q4(prom: &PromDb) -> DbResult<usize> {
     let r = prometheus_pool::query(
         &prom.db,
         "select count(a -> Composes*) from Assembly a \
-         where a.label = \"ROOT_LABEL\"".replace(
-            "ROOT_LABEL",
-            prom.db.object(prom.root)?.attr("label").as_str().unwrap(),
-        ).as_str(),
+         where a.label = \"ROOT_LABEL\""
+            .replace(
+                "ROOT_LABEL",
+                prom.db.object(prom.root)?.attr("label").as_str().unwrap(),
+            )
+            .as_str(),
     )?;
     Ok(r.rows[0].columns[0].as_int().unwrap_or(0) as usize)
 }
@@ -285,9 +289,7 @@ pub fn prom_q3(prom: &PromDb, assembly: Oid) -> DbResult<usize> {
     let label = prom.db.object(assembly)?.attr("label");
     let r = prometheus_pool::query(
         &prom.db,
-        &format!(
-            "select count(a -> Composes) from Assembly a where a.label = {label}"
-        ),
+        &format!("select count(a -> Composes) from Assembly a where a.label = {label}"),
     )?;
     Ok(r.rows[0].columns[0].as_int().unwrap_or(0) as usize)
 }
@@ -388,7 +390,8 @@ pub fn prom_s1(prom: &PromDb, parent: Oid, k: usize) -> DbResult<Vec<Oid>> {
                 ("build_date".to_string(), Value::Int(2)),
             ],
         )?;
-        prom.cls.link(&prom.db, COMPOSES, parent, part, Vec::new())?;
+        prom.cls
+            .link(&prom.db, COMPOSES, parent, part, Vec::new())?;
         fresh.push(part);
     }
     prom.db.commit_unit(token)?;
@@ -442,7 +445,10 @@ mod tests {
         assert_eq!(raw_q1(&raw, "part-1").unwrap(), 1);
         assert_eq!(prom_q1(&prom, "part-1").unwrap(), 1);
         // Q2: both builds assign the same build_date distribution.
-        assert_eq!(raw_q2(&raw, 1000, 1010).unwrap(), prom_q2(&prom, 1000, 1010).unwrap());
+        assert_eq!(
+            raw_q2(&raw, 1000, 1010).unwrap(),
+            prom_q2(&prom, 1000, 1010).unwrap()
+        );
         // Q4 equals the T1 count minus the root.
         assert_eq!(prom_q4(&prom).unwrap(), BenchParams::SMALL.node_count() - 1);
         // Q3: fanout of the first leaf assembly equals parts_per_leaf.
@@ -462,7 +468,10 @@ mod tests {
         // Q8: extracting the root's subtree captures every edge; the
         // temporary classification is dropped afterwards.
         let before = prom.db.classifications().unwrap().len();
-        assert_eq!(prom_q8(&prom, prom.root).unwrap(), BenchParams::SMALL.edge_count());
+        assert_eq!(
+            prom_q8(&prom, prom.root).unwrap(),
+            BenchParams::SMALL.edge_count()
+        );
         assert_eq!(prom.db.classifications().unwrap().len(), before);
         // Q6: every part has exactly one containing assembly.
         assert_eq!(raw_q6(&raw, raw.parts[0]).unwrap(), 1);

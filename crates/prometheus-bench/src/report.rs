@@ -60,9 +60,17 @@ pub struct SweepPoint {
 pub fn render_sweep(title: &str, points: &[SweepPoint]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "\n== {title} ==");
-    let _ = writeln!(out, "{:>10} {:>14} {:>14}", "nodes", "total (µs)", "per-item (µs)");
+    let _ = writeln!(
+        out,
+        "{:>10} {:>14} {:>14}",
+        "nodes", "total (µs)", "per-item (µs)"
+    );
     for p in points {
-        let _ = writeln!(out, "{:>10} {:>14.1} {:>14.3}", p.nodes, p.total_us, p.per_item_us);
+        let _ = writeln!(
+            out,
+            "{:>10} {:>14.1} {:>14.3}",
+            p.nodes, p.total_us, p.per_item_us
+        );
     }
     out
 }
@@ -105,13 +113,13 @@ pub fn percentile_us(sorted_us: &[u64], p: f64) -> u64 {
 }
 
 /// Render a one-workload latency/throughput summary for the load generator.
-pub fn render_latency_summary(
-    label: &str,
-    sorted_us: &[u64],
-    elapsed_secs: f64,
-) -> String {
+pub fn render_latency_summary(label: &str, sorted_us: &[u64], elapsed_secs: f64) -> String {
     let ops = sorted_us.len();
-    let throughput = if elapsed_secs > 0.0 { ops as f64 / elapsed_secs } else { 0.0 };
+    let throughput = if elapsed_secs > 0.0 {
+        ops as f64 / elapsed_secs
+    } else {
+        0.0
+    };
     let mean = if ops == 0 {
         0.0
     } else {
@@ -144,8 +152,18 @@ mod tests {
     #[test]
     fn table_renders_all_rows() {
         let rows = vec![
-            CompareRow { operation: "create".into(), raw_us: 10.0, prom_us: 30.0, items: 100 },
-            CompareRow { operation: "lookup".into(), raw_us: 5.0, prom_us: 5.5, items: 100 },
+            CompareRow {
+                operation: "create".into(),
+                raw_us: 10.0,
+                prom_us: 30.0,
+                items: 100,
+            },
+            CompareRow {
+                operation: "lookup".into(),
+                raw_us: 5.0,
+                prom_us: 5.5,
+                items: 100,
+            },
         ];
         let s = render_table("raw performance", &rows);
         assert!(s.contains("create"));
@@ -155,20 +173,41 @@ mod tests {
 
     #[test]
     fn factor_handles_zero_baseline() {
-        let row = CompareRow { operation: "x".into(), raw_us: 0.0, prom_us: 1.0, items: 1 };
+        let row = CompareRow {
+            operation: "x".into(),
+            raw_us: 0.0,
+            prom_us: 1.0,
+            items: 1,
+        };
         assert!(row.factor().is_nan());
     }
 
     #[test]
     fn sweep_growth_ratio() {
         let constant = vec![
-            SweepPoint { nodes: 100, total_us: 100.0, per_item_us: 1.0 },
-            SweepPoint { nodes: 1000, total_us: 1050.0, per_item_us: 1.05 },
+            SweepPoint {
+                nodes: 100,
+                total_us: 100.0,
+                per_item_us: 1.0,
+            },
+            SweepPoint {
+                nodes: 1000,
+                total_us: 1050.0,
+                per_item_us: 1.05,
+            },
         ];
         assert!((growth_ratio(&constant) - 1.05).abs() < 1e-9);
         let growing = vec![
-            SweepPoint { nodes: 100, total_us: 100.0, per_item_us: 1.0 },
-            SweepPoint { nodes: 1000, total_us: 5000.0, per_item_us: 5.0 },
+            SweepPoint {
+                nodes: 100,
+                total_us: 100.0,
+                per_item_us: 1.0,
+            },
+            SweepPoint {
+                nodes: 1000,
+                total_us: 5000.0,
+                per_item_us: 5.0,
+            },
         ];
         assert!(growth_ratio(&growing) > 4.0);
     }
@@ -190,7 +229,15 @@ mod tests {
     fn csv_round_trips_to_disk() {
         let dir = std::env::temp_dir();
         let p = dir.join("bench-report-test.csv");
-        write_sweep_csv(&p, &[SweepPoint { nodes: 10, total_us: 1.0, per_item_us: 0.1 }]).unwrap();
+        write_sweep_csv(
+            &p,
+            &[SweepPoint {
+                nodes: 10,
+                total_us: 1.0,
+                per_item_us: 0.1,
+            }],
+        )
+        .unwrap();
         let content = std::fs::read_to_string(&p).unwrap();
         assert!(content.starts_with("nodes,"));
         assert!(content.contains("10,"));

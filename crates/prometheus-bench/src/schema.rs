@@ -40,12 +40,20 @@ pub struct BenchParams {
 
 impl BenchParams {
     /// A small configuration for tests.
-    pub const SMALL: BenchParams = BenchParams { fanout: 3, levels: 3, parts_per_leaf: 4 };
+    pub const SMALL: BenchParams = BenchParams {
+        fanout: 3,
+        levels: 3,
+        parts_per_leaf: 4,
+    };
 
     /// Scale the tree to approximately `n` total nodes by deepening the
     /// assembly tree (used for the Figure 44–46 size sweeps).
     pub fn with_target_nodes(n: usize) -> BenchParams {
-        let mut p = BenchParams { fanout: 3, levels: 2, parts_per_leaf: 4 };
+        let mut p = BenchParams {
+            fanout: 3,
+            levels: 2,
+            parts_per_leaf: 4,
+        };
         while p.node_count() < n && p.levels < 12 {
             p.levels += 1;
         }
@@ -99,7 +107,12 @@ impl RawDb {
     /// Build the raw database.
     pub fn build(name: &str, params: BenchParams) -> DbResult<RawDb> {
         let path = bench_path(name);
-        let store = Arc::new(Store::open_with(&path, StoreOptions { sync_on_commit: false })?);
+        let store = Arc::new(Store::open_with(
+            &path,
+            StoreOptions {
+                sync_on_commit: false,
+            },
+        )?);
         let mut assemblies = Vec::with_capacity(params.assembly_count());
         let mut parts = Vec::new();
         let mut counter = 0u64;
@@ -158,7 +171,14 @@ impl RawDb {
         }
         let root = current_level[0];
         txn.commit()?;
-        Ok(RawDb { store, root, assemblies, parts, params, path })
+        Ok(RawDb {
+            store,
+            root,
+            assemblies,
+            parts,
+            params,
+            path,
+        })
     }
 
     /// Decode one record.
@@ -204,7 +224,12 @@ impl PromDb {
     /// Build the Prometheus database.
     pub fn build(name: &str, params: BenchParams) -> DbResult<PromDb> {
         let path = bench_path(name);
-        let store = Arc::new(Store::open_with(&path, StoreOptions { sync_on_commit: false })?);
+        let store = Arc::new(Store::open_with(
+            &path,
+            StoreOptions {
+                sync_on_commit: false,
+            },
+        )?);
         let db = Arc::new(Database::open(store)?);
         db.define_class(
             ClassDef::new("Assembly")
@@ -236,8 +261,14 @@ impl PromDb {
                 let oid = db.create_object(
                     "Assembly",
                     vec![
-                        ("label".to_string(), Value::from(format!("assembly-{counter}"))),
-                        ("build_date".to_string(), Value::Int(1000 + (counter % 500) as i64)),
+                        (
+                            "label".to_string(),
+                            Value::from(format!("assembly-{counter}")),
+                        ),
+                        (
+                            "build_date".to_string(),
+                            Value::Int(1000 + (counter % 500) as i64),
+                        ),
                     ],
                 )?;
                 counter += 1;
@@ -248,7 +279,10 @@ impl PromDb {
                     "Part",
                     vec![
                         ("label".to_string(), Value::from(format!("part-{counter}"))),
-                        ("build_date".to_string(), Value::Int(1000 + (counter % 500) as i64)),
+                        (
+                            "build_date".to_string(),
+                            Value::Int(1000 + (counter % 500) as i64),
+                        ),
                         ("note".to_string(), Value::from(format!("part-{counter}"))),
                     ],
                 )?;
@@ -265,8 +299,14 @@ impl PromDb {
                 let parent = db.create_object(
                     "Assembly",
                     vec![
-                        ("label".to_string(), Value::from(format!("assembly-{counter}"))),
-                        ("build_date".to_string(), Value::Int(1000 + (counter % 500) as i64)),
+                        (
+                            "label".to_string(),
+                            Value::from(format!("assembly-{counter}")),
+                        ),
+                        (
+                            "build_date".to_string(),
+                            Value::Int(1000 + (counter % 500) as i64),
+                        ),
                     ],
                 )?;
                 counter += 1;
@@ -280,7 +320,15 @@ impl PromDb {
         }
         let root = current_level[0];
         db.commit_unit(token)?;
-        Ok(PromDb { db, root, cls, assemblies, parts, params, path })
+        Ok(PromDb {
+            db,
+            root,
+            cls,
+            assemblies,
+            parts,
+            params,
+            path,
+        })
     }
 
     /// Delete the benchmark file.
@@ -305,7 +353,11 @@ mod tests {
 
     #[test]
     fn params_count_nodes() {
-        let p = BenchParams { fanout: 3, levels: 3, parts_per_leaf: 4 };
+        let p = BenchParams {
+            fanout: 3,
+            levels: 3,
+            parts_per_leaf: 4,
+        };
         assert_eq!(p.assembly_count(), 1 + 3 + 9);
         assert_eq!(p.leaf_count(), 9);
         assert_eq!(p.node_count(), 13 + 36);

@@ -49,7 +49,9 @@ impl Classification {
         attrs: impl IntoIterator<Item = (String, Value)>,
         strict_hierarchy: bool,
     ) -> DbResult<Self> {
-        Ok(Classification { oid: db.create_classification(name, attrs, strict_hierarchy)? })
+        Ok(Classification {
+            oid: db.create_classification(name, attrs, strict_hierarchy)?,
+        })
     }
 
     /// Wrap an existing classification OID.
@@ -59,7 +61,9 @@ impl Classification {
 
     /// Look a classification up by name.
     pub fn by_name<R: Reader>(db: &R, name: &str) -> DbResult<Option<Self>> {
-        Ok(db.classification_by_name(name)?.map(Classification::from_oid))
+        Ok(db
+            .classification_by_name(name)?
+            .map(Classification::from_oid))
     }
 
     /// The classification's OID.
@@ -182,7 +186,10 @@ impl Classification {
         let spec = TraversalSpec::closure(Vec::new())
             .in_classification(self.oid)
             .depth(1, max_depth);
-        Ok(traversal::traverse(db, node, &spec)?.into_iter().map(|v| v.node).collect())
+        Ok(traversal::traverse(db, node, &spec)?
+            .into_iter()
+            .map(|v| v.node)
+            .collect())
     }
 
     /// All ancestors of `node`.
@@ -196,7 +203,10 @@ impl Classification {
             .direction(Direction::Incoming)
             .in_classification(self.oid)
             .depth(1, max_depth);
-        Ok(traversal::traverse(db, node, &spec)?.into_iter().map(|v| v.node).collect())
+        Ok(traversal::traverse(db, node, &spec)?
+            .into_iter()
+            .map(|v| v.node)
+            .collect())
     }
 
     /// The leaf set below `node` — in taxonomy, the *circumscription* of the
@@ -220,12 +230,8 @@ impl Classification {
     pub fn copy(&self, db: &Database, new_name: &str) -> DbResult<Classification> {
         let meta = db.classification_meta(self.oid)?;
         db.in_unit_scope(|db| {
-            let copy = Classification::create(
-                db,
-                new_name,
-                meta.attrs.clone(),
-                meta.strict_hierarchy,
-            )?;
+            let copy =
+                Classification::create(db, new_name, meta.attrs.clone(), meta.strict_hierarchy)?;
             for edge in self.edges(db)? {
                 let attrs: BTreeMap<String, Value> = edge.attrs.clone();
                 copy.link(db, &edge.class, edge.origin, edge.destination, attrs)?;
@@ -275,7 +281,11 @@ impl Classification {
             SynonymMode::Transparent => db.synonym_representative(oid),
         };
         let a: BTreeSet<Oid> = self.leaf_set(db, node)?.into_iter().map(canon).collect();
-        let b: BTreeSet<Oid> = other.leaf_set(db, other_node)?.into_iter().map(canon).collect();
+        let b: BTreeSet<Oid> = other
+            .leaf_set(db, other_node)?
+            .into_iter()
+            .map(canon)
+            .collect();
         let shared = a.intersection(&b).count();
         Ok((shared, a.len() - shared, b.len() - shared))
     }
@@ -290,7 +300,8 @@ impl Classification {
     ) -> DbResult<Classification> {
         let meta = db.classification_meta(self.oid)?;
         db.in_unit_scope(|db| {
-            let sub = Classification::create(db, new_name, meta.attrs.clone(), meta.strict_hierarchy)?;
+            let sub =
+                Classification::create(db, new_name, meta.attrs.clone(), meta.strict_hierarchy)?;
             let mut stack = vec![node];
             let mut seen: BTreeSet<Oid> = BTreeSet::new();
             while let Some(current) = stack.pop() {
@@ -361,18 +372,22 @@ mod tests {
         db.define_class(ClassDef::new("Specimen").attr(AttrDef::required("code", Type::Str)))
             .unwrap();
         db.define_relationship(
-            RelClassDef::aggregation("Circ", "Taxon", "Object").sharable(true).acyclic(true),
+            RelClassDef::aggregation("Circ", "Taxon", "Object")
+                .sharable(true)
+                .acyclic(true),
         )
         .unwrap();
         db
     }
 
     fn taxon(db: &Database, name: &str) -> Oid {
-        db.create_object("Taxon", vec![("name".to_string(), Value::from(name))]).unwrap()
+        db.create_object("Taxon", vec![("name".to_string(), Value::from(name))])
+            .unwrap()
     }
 
     fn specimen(db: &Database, code: &str) -> Oid {
-        db.create_object("Specimen", vec![("code".to_string(), Value::from(code))]).unwrap()
+        db.create_object("Specimen", vec![("code".to_string(), Value::from(code))])
+            .unwrap()
     }
 
     /// Figure 4, top-left: Shapes > {Squares, Triangles, Ovals} > specimens.
@@ -430,7 +445,10 @@ mod tests {
         let circ = cls.leaf_set(&db, m["shapes"]).unwrap();
         assert_eq!(circ.len(), 3);
         let circ = cls.leaf_set(&db, m["squares"]).unwrap();
-        assert_eq!(circ.into_iter().collect::<Vec<_>>(), vec![m["white-square"]]);
+        assert_eq!(
+            circ.into_iter().collect::<Vec<_>>(),
+            vec![m["white-square"]]
+        );
     }
 
     #[test]
@@ -444,9 +462,12 @@ mod tests {
         let all = taxon(&db, "Shades");
         cls2.link(&db, "Circ", all, bright, Vec::new()).unwrap();
         cls2.link(&db, "Circ", all, dark, Vec::new()).unwrap();
-        cls2.link(&db, "Circ", bright, m["white-square"], Vec::new()).unwrap();
-        cls2.link(&db, "Circ", dark, m["grey-triangle"], Vec::new()).unwrap();
-        cls2.link(&db, "Circ", dark, m["black-oval"], Vec::new()).unwrap();
+        cls2.link(&db, "Circ", bright, m["white-square"], Vec::new())
+            .unwrap();
+        cls2.link(&db, "Circ", dark, m["grey-triangle"], Vec::new())
+            .unwrap();
+        cls2.link(&db, "Circ", dark, m["black-oval"], Vec::new())
+            .unwrap();
         // The specimen sits in both hierarchies simultaneously.
         let cmp = cls1.compare(&db, &cls2, SynonymMode::Ignore).unwrap();
         assert_eq!(cmp.shared_leaves.len(), 3, "all specimens shared");
@@ -471,7 +492,10 @@ mod tests {
         let (cls1, m) = first_classification(&db);
         let cls2 = cls1.copy(&db, "revision").unwrap();
         assert_eq!(cls2.name(&db).unwrap(), "revision");
-        assert_eq!(cls2.edges(&db).unwrap().len(), cls1.edges(&db).unwrap().len());
+        assert_eq!(
+            cls2.edges(&db).unwrap().len(),
+            cls1.edges(&db).unwrap().len()
+        );
         // Same nodes (objects shared), different edges.
         let e1: BTreeSet<Oid> = cls1.edges(&db).unwrap().iter().map(|e| e.oid).collect();
         let e2: BTreeSet<Oid> = cls2.edges(&db).unwrap().iter().map(|e| e.oid).collect();
@@ -479,7 +503,9 @@ mod tests {
         assert_eq!(cls1.nodes(&db).unwrap(), cls2.nodes(&db).unwrap());
         // Mutating the copy leaves the original intact.
         let new_taxon = taxon(&db, "Rectangles");
-        let edge = cls2.link(&db, "Circ", m["shapes"], new_taxon, Vec::new()).unwrap();
+        let edge = cls2
+            .link(&db, "Circ", m["shapes"], new_taxon, Vec::new())
+            .unwrap();
         assert!(db.edge_in_classification(cls2.oid(), edge));
         assert_eq!(cls1.descendants(&db, m["shapes"], None).unwrap().len(), 6);
         assert_eq!(cls2.descendants(&db, m["shapes"], None).unwrap().len(), 7);
@@ -489,7 +515,9 @@ mod tests {
     fn extract_subtree() {
         let db = shapes_db();
         let (cls, m) = first_classification(&db);
-        let sub = cls.extract_subtree(&db, m["squares"], "just-squares").unwrap();
+        let sub = cls
+            .extract_subtree(&db, m["squares"], "just-squares")
+            .unwrap();
         assert_eq!(sub.edges(&db).unwrap().len(), 1);
         assert_eq!(sub.roots(&db).unwrap(), vec![m["squares"]]);
         // Shared edges: removing from the extract does not affect the source.
@@ -540,7 +568,10 @@ mod tests {
                 "Circ",
                 a,
                 b,
-                vec![("".to_string(), Value::Null)].into_iter().filter(|_| false).collect::<Vec<_>>(),
+                vec![("".to_string(), Value::Null)]
+                    .into_iter()
+                    .filter(|_| false)
+                    .collect::<Vec<_>>(),
             )
             .unwrap();
         assert!(db.rel(edge).is_ok());

@@ -25,7 +25,9 @@
 
 use crate::error::{DbError, DbResult};
 use crate::events::{Event, EventListener};
-use crate::index::{self, KS_ATTR, KS_CLS_EDGES, KS_EDGE_CLS, KS_EXTENT, KS_META, KS_REL_FROM, KS_REL_TO};
+use crate::index::{
+    self, KS_ATTR, KS_CLS_EDGES, KS_EDGE_CLS, KS_EXTENT, KS_META, KS_REL_FROM, KS_REL_TO,
+};
 use crate::instance::{ClassificationMeta, ObjectInstance, RelInstance, StoredEntity};
 use crate::read::{ReadView, Reader};
 use crate::schema::{RelKind, SchemaRegistry, OBJECT_CLASS};
@@ -284,7 +286,9 @@ impl Database {
         // Discard the store-level unit scope: recovery skips the whole unit
         // (forward ops and inverses alike) and readers keep seeing the
         // pre-unit snapshot throughout.
-        self.store.end_unit_scope(false).expect("rollback must not fail");
+        self.store
+            .end_unit_scope(false)
+            .expect("rollback must not fail");
     }
 
     fn apply_undo(&self, op: UndoOp) -> DbResult<()> {
@@ -316,10 +320,16 @@ impl Database {
                 let bytes = codec::to_bytes(&StoredEntity::Classification(meta.clone()))?;
                 self.store.with_txn(|t| {
                     t.put(oid, bytes.clone());
-                    t.kv_put(KS_EXTENT, index::extent_key(CLASSIFICATION_EXTENT, oid), Vec::new());
+                    t.kv_put(
+                        KS_EXTENT,
+                        index::extent_key(CLASSIFICATION_EXTENT, oid),
+                        Vec::new(),
+                    );
                     Ok(())
                 })?;
-                self.cache_shard(oid).lock().put(oid, StoredEntity::Classification(meta));
+                self.cache_shard(oid)
+                    .lock()
+                    .put(oid, StoredEntity::Classification(meta));
                 for rel in edges {
                     self.raw_add_cls_edge(oid, rel)?;
                 }
@@ -461,9 +471,16 @@ impl Database {
             validate_attrs(class, &declared, attrs, true)?
         };
         let oid = self.store.allocate_oid();
-        let event = Event::ObjectCreated { oid, class: class.to_string() };
+        let event = Event::ObjectCreated {
+            oid,
+            class: class.to_string(),
+        };
         self.dispatch_before(&event)?;
-        let obj = ObjectInstance { oid, class: class.to_string(), attrs: checked };
+        let obj = ObjectInstance {
+            oid,
+            class: class.to_string(),
+            attrs: checked,
+        };
         self.raw_put_object(&obj)?;
         self.journal(UndoOp::DeleteObject(oid), Some(event.clone()));
         self.finish_op(event)?;
@@ -480,10 +497,14 @@ impl Database {
         {
             let schema = self.schema.read();
             let declared = schema.all_attrs(&obj.class)?;
-            let def = declared
-                .iter()
-                .find(|a| a.name == attr)
-                .ok_or_else(|| DbError::UnknownAttr { class: obj.class.clone(), attr: attr.into() })?;
+            let def =
+                declared
+                    .iter()
+                    .find(|a| a.name == attr)
+                    .ok_or_else(|| DbError::UnknownAttr {
+                        class: obj.class.clone(),
+                        attr: attr.into(),
+                    })?;
             check_type(&obj.class, def, &value)?;
         }
         let old = obj.attr(attr);
@@ -500,7 +521,11 @@ impl Database {
         self.dispatch_before(&event)?;
         self.raw_update_object_attr(&mut obj, attr, value)?;
         self.journal(
-            UndoOp::RestoreObjectAttr { oid, attr: attr.to_string(), old },
+            UndoOp::RestoreObjectAttr {
+                oid,
+                attr: attr.to_string(),
+                old,
+            },
             Some(event.clone()),
         );
         self.finish_op(event)
@@ -517,7 +542,10 @@ impl Database {
             return self.in_unit_scope(|db| db.delete_object(oid));
         }
         let obj = self.object(oid)?;
-        let event = Event::ObjectDeleted { oid, class: obj.class.clone() };
+        let event = Event::ObjectDeleted {
+            oid,
+            class: obj.class.clone(),
+        };
         self.dispatch_before(&event)?;
 
         // Incident edges.
@@ -567,7 +595,9 @@ impl Database {
         let incoming = self.rels_to(oid, None)?;
         let schema = self.schema.read();
         Ok(incoming.iter().any(|r| {
-            schema.rel_class(&r.class).map_or(false, |d| d.kind == RelKind::Aggregation)
+            schema
+                .rel_class(&r.class)
+                .map_or(false, |d| d.kind == RelKind::Aggregation)
         }))
     }
 
@@ -586,7 +616,9 @@ impl Database {
     ) -> DbResult<Oid> {
         let attrs: BTreeMap<String, Value> = attrs.into_iter().collect();
         if !self.in_unit() {
-            return self.in_unit_scope(|db| db.create_relationship(class, origin, destination, attrs.clone()));
+            return self.in_unit_scope(|db| {
+                db.create_relationship(class, origin, destination, attrs.clone())
+            });
         }
         let checked = {
             let schema = self.schema.read();
@@ -596,7 +628,9 @@ impl Database {
                 .clone();
             // Endpoint class conformance.
             let origin_class = self.class_of(origin)?;
-            if def.origin_class != OBJECT_CLASS && !schema.conforms(&origin_class, &def.origin_class) {
+            if def.origin_class != OBJECT_CLASS
+                && !schema.conforms(&origin_class, &def.origin_class)
+            {
                 return Err(DbError::EndpointMismatch {
                     relationship: class.into(),
                     expected: def.origin_class.clone(),
@@ -669,9 +703,20 @@ impl Database {
             checked
         };
         let oid = self.store.allocate_oid();
-        let event = Event::RelCreated { oid, class: class.to_string(), origin, destination };
+        let event = Event::RelCreated {
+            oid,
+            class: class.to_string(),
+            origin,
+            destination,
+        };
         self.dispatch_before(&event)?;
-        let rel = RelInstance { oid, class: class.to_string(), origin, destination, attrs: checked };
+        let rel = RelInstance {
+            oid,
+            class: class.to_string(),
+            origin,
+            destination,
+            attrs: checked,
+        };
         self.raw_put_rel(&rel)?;
         self.journal(UndoOp::DeleteRel(oid), Some(event.clone()));
         self.finish_op(event)?;
@@ -688,10 +733,14 @@ impl Database {
         {
             let schema = self.schema.read();
             let declared = schema.all_rel_attrs(&rel.class)?;
-            let def = declared
-                .iter()
-                .find(|a| a.name == attr)
-                .ok_or_else(|| DbError::UnknownAttr { class: rel.class.clone(), attr: attr.into() })?;
+            let def =
+                declared
+                    .iter()
+                    .find(|a| a.name == attr)
+                    .ok_or_else(|| DbError::UnknownAttr {
+                        class: rel.class.clone(),
+                        attr: attr.into(),
+                    })?;
             check_type(&rel.class, def, &value)?;
         }
         let old = rel.attr(attr);
@@ -709,7 +758,11 @@ impl Database {
         rel.attrs.insert(attr.to_string(), value);
         self.raw_put_rel(&rel)?;
         self.journal(
-            UndoOp::RestoreRelAttr { oid, attr: attr.to_string(), old },
+            UndoOp::RestoreRelAttr {
+                oid,
+                attr: attr.to_string(),
+                old,
+            },
             Some(event.clone()),
         );
         self.finish_op(event)
@@ -746,7 +799,10 @@ impl Database {
             self.raw_remove_cls_edge(cls, oid)?;
             self.journal(
                 UndoOp::RestoreClsEdge { cls, rel: oid },
-                Some(Event::ClassificationEdgeRemoved { classification: cls, rel: oid }),
+                Some(Event::ClassificationEdgeRemoved {
+                    classification: cls,
+                    rel: oid,
+                }),
             );
         }
         self.raw_delete_rel(&rel)?;
@@ -919,10 +975,16 @@ impl Database {
         let bytes = codec::to_bytes(&StoredEntity::Classification(meta.clone()))?;
         self.store.with_txn(|t| {
             t.put(oid, bytes.clone());
-            t.kv_put(KS_EXTENT, index::extent_key(CLASSIFICATION_EXTENT, oid), Vec::new());
+            t.kv_put(
+                KS_EXTENT,
+                index::extent_key(CLASSIFICATION_EXTENT, oid),
+                Vec::new(),
+            );
             Ok(())
         })?;
-        self.cache_shard(oid).lock().put(oid, StoredEntity::Classification(meta));
+        self.cache_shard(oid)
+            .lock()
+            .put(oid, StoredEntity::Classification(meta));
         self.journal(UndoOp::DeleteClassification(oid), None);
         Ok(oid)
     }
@@ -965,10 +1027,16 @@ impl Database {
         {
             return Ok(()); // already a member
         }
-        let event = Event::ClassificationEdgeAdded { classification: cls, rel: rel_oid };
+        let event = Event::ClassificationEdgeAdded {
+            classification: cls,
+            rel: rel_oid,
+        };
         self.dispatch_before(&event)?;
         self.raw_add_cls_edge(cls, rel_oid)?;
-        self.journal(UndoOp::RemoveClsEdge { cls, rel: rel_oid }, Some(event.clone()));
+        self.journal(
+            UndoOp::RemoveClsEdge { cls, rel: rel_oid },
+            Some(event.clone()),
+        );
         self.finish_op(event)
     }
 
@@ -984,10 +1052,16 @@ impl Database {
         {
             return Ok(());
         }
-        let event = Event::ClassificationEdgeRemoved { classification: cls, rel: rel_oid };
+        let event = Event::ClassificationEdgeRemoved {
+            classification: cls,
+            rel: rel_oid,
+        };
         self.dispatch_before(&event)?;
         self.raw_remove_cls_edge(cls, rel_oid)?;
-        self.journal(UndoOp::RestoreClsEdge { cls, rel: rel_oid }, Some(event.clone()));
+        self.journal(
+            UndoOp::RestoreClsEdge { cls, rel: rel_oid },
+            Some(event.clone()),
+        );
         self.finish_op(event)
     }
 
@@ -1026,15 +1100,25 @@ impl Database {
         let indexed = self.indexed_attrs(&obj.class)?;
         self.store.with_txn(|t| {
             t.put(obj.oid, bytes.clone());
-            t.kv_put(KS_EXTENT, index::extent_key(&obj.class, obj.oid), Vec::new());
+            t.kv_put(
+                KS_EXTENT,
+                index::extent_key(&obj.class, obj.oid),
+                Vec::new(),
+            );
             for attr in &indexed {
                 if let Some(v) = obj.attrs.get(attr) {
-                    t.kv_put(KS_ATTR, index::attr_key(&obj.class, attr, v, obj.oid), Vec::new());
+                    t.kv_put(
+                        KS_ATTR,
+                        index::attr_key(&obj.class, attr, v, obj.oid),
+                        Vec::new(),
+                    );
                 }
             }
             Ok(())
         })?;
-        self.cache_shard(obj.oid).lock().put(obj.oid, StoredEntity::Object(obj.clone()));
+        self.cache_shard(obj.oid)
+            .lock()
+            .put(obj.oid, StoredEntity::Object(obj.clone()));
         Ok(())
     }
 
@@ -1059,12 +1143,18 @@ impl Database {
                     t.kv_delete(KS_ATTR, index::attr_key(&obj.class, attr, &old, obj.oid));
                 }
                 if value != Value::Null {
-                    t.kv_put(KS_ATTR, index::attr_key(&obj.class, attr, &value, obj.oid), Vec::new());
+                    t.kv_put(
+                        KS_ATTR,
+                        index::attr_key(&obj.class, attr, &value, obj.oid),
+                        Vec::new(),
+                    );
                 }
             }
             Ok(())
         })?;
-        self.cache_shard(obj.oid).lock().put(obj.oid, StoredEntity::Object(obj.clone()));
+        self.cache_shard(obj.oid)
+            .lock()
+            .put(obj.oid, StoredEntity::Object(obj.clone()));
         Ok(())
     }
 
@@ -1088,7 +1178,11 @@ impl Database {
         let bytes = codec::to_bytes(&StoredEntity::Rel(rel.clone()))?;
         self.store.with_txn(|t| {
             t.put(rel.oid, bytes.clone());
-            t.kv_put(KS_EXTENT, index::extent_key(&rel.class, rel.oid), Vec::new());
+            t.kv_put(
+                KS_EXTENT,
+                index::extent_key(&rel.class, rel.oid),
+                Vec::new(),
+            );
             t.kv_put(
                 KS_REL_FROM,
                 index::endpoint_key(rel.origin, &rel.class, rel.oid),
@@ -1101,7 +1195,9 @@ impl Database {
             );
             Ok(())
         })?;
-        self.cache_shard(rel.oid).lock().put(rel.oid, StoredEntity::Rel(rel.clone()));
+        self.cache_shard(rel.oid)
+            .lock()
+            .put(rel.oid, StoredEntity::Rel(rel.clone()));
         Ok(())
     }
 
@@ -1109,8 +1205,14 @@ impl Database {
         self.store.with_txn(|t| {
             t.delete(rel.oid);
             t.kv_delete(KS_EXTENT, index::extent_key(&rel.class, rel.oid));
-            t.kv_delete(KS_REL_FROM, index::endpoint_key(rel.origin, &rel.class, rel.oid));
-            t.kv_delete(KS_REL_TO, index::endpoint_key(rel.destination, &rel.class, rel.oid));
+            t.kv_delete(
+                KS_REL_FROM,
+                index::endpoint_key(rel.origin, &rel.class, rel.oid),
+            );
+            t.kv_delete(
+                KS_REL_TO,
+                index::endpoint_key(rel.destination, &rel.class, rel.oid),
+            );
             Ok(())
         })?;
         self.cache_shard(rel.oid).lock().remove(&rel.oid);
@@ -1320,7 +1422,10 @@ fn validate_attrs(
         }
     }
     if let Some((name, _)) = provided.into_iter().next() {
-        return Err(DbError::UnknownAttr { class: class.to_string(), attr: name });
+        return Err(DbError::UnknownAttr {
+            class: class.to_string(),
+            attr: name,
+        });
     }
     Ok(out)
 }
@@ -1337,11 +1442,20 @@ pub(crate) mod tests {
             "prometheus-objdb-{}-{:?}-{}.log",
             std::process::id(),
             std::thread::current().id(),
-            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
         ));
         let _ = std::fs::remove_file(&path);
         let store = Arc::new(
-            Store::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap(),
+            Store::open_with(
+                &path,
+                StoreOptions {
+                    sync_on_commit: false,
+                },
+            )
+            .unwrap(),
         );
         Database::open(store).unwrap()
     }
@@ -1364,12 +1478,16 @@ pub(crate) mod tests {
             RelClassDef::aggregation("Circumscribes", "Taxon", "Object").sharable(true),
         )
         .unwrap();
-        db.define_relationship(RelClassDef::association("Cites", "Taxon", "Taxon")).unwrap();
+        db.define_relationship(RelClassDef::association("Cites", "Taxon", "Taxon"))
+            .unwrap();
         db
     }
 
     fn attrs(pairs: &[(&str, Value)]) -> Vec<(String, Value)> {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     #[test]
@@ -1407,7 +1525,10 @@ pub(crate) mod tests {
     fn unknown_attr_rejected() {
         let db = taxo_db();
         let err = db
-            .create_object("Taxon", attrs(&[("name", "x".into()), ("ghost", Value::Int(1))]))
+            .create_object(
+                "Taxon",
+                attrs(&[("name", "x".into()), ("ghost", Value::Int(1))]),
+            )
             .unwrap_err();
         assert!(matches!(err, DbError::UnknownAttr { .. }));
     }
@@ -1415,7 +1536,8 @@ pub(crate) mod tests {
     #[test]
     fn abstract_class_cannot_instantiate() {
         let db = temp_db();
-        db.define_class(ClassDef::new("Abstract").abstract_class()).unwrap();
+        db.define_class(ClassDef::new("Abstract").abstract_class())
+            .unwrap();
         assert!(db.create_object("Abstract", attrs(&[])).is_err());
     }
 
@@ -1447,35 +1569,62 @@ pub(crate) mod tests {
     fn indexed_attr_lookup_and_update() {
         let db = taxo_db();
         let s1 = db
-            .create_object("Specimen", attrs(&[("code", "RBGE-1".into()), ("year", Value::Int(1753))]))
+            .create_object(
+                "Specimen",
+                attrs(&[("code", "RBGE-1".into()), ("year", Value::Int(1753))]),
+            )
             .unwrap();
         let s2 = db
-            .create_object("Specimen", attrs(&[("code", "RBGE-2".into()), ("year", Value::Int(1821))]))
+            .create_object(
+                "Specimen",
+                attrs(&[("code", "RBGE-2".into()), ("year", Value::Int(1821))]),
+            )
             .unwrap();
-        assert_eq!(db.find_by_attr("Specimen", "code", &"RBGE-1".into()).unwrap(), vec![s1]);
+        assert_eq!(
+            db.find_by_attr("Specimen", "code", &"RBGE-1".into())
+                .unwrap(),
+            vec![s1]
+        );
         let range = db
             .find_by_attr_range("Specimen", "year", &Value::Int(1800), &Value::Int(1900))
             .unwrap();
         assert_eq!(range, vec![s2]);
         // Update moves the index entry.
         db.set_attr(s1, "code", "RBGE-9").unwrap();
-        assert!(db.find_by_attr("Specimen", "code", &"RBGE-1".into()).unwrap().is_empty());
-        assert_eq!(db.find_by_attr("Specimen", "code", &"RBGE-9".into()).unwrap(), vec![s1]);
+        assert!(db
+            .find_by_attr("Specimen", "code", &"RBGE-1".into())
+            .unwrap()
+            .is_empty());
+        assert_eq!(
+            db.find_by_attr("Specimen", "code", &"RBGE-9".into())
+                .unwrap(),
+            vec![s1]
+        );
         // Delete removes it.
         db.delete_object(s1).unwrap();
-        assert!(db.find_by_attr("Specimen", "code", &"RBGE-9".into()).unwrap().is_empty());
+        assert!(db
+            .find_by_attr("Specimen", "code", &"RBGE-9".into())
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn relationship_crud_and_endpoint_indexes() {
         let db = taxo_db();
-        let genus = db.create_object("Taxon", attrs(&[("name", "Apium".into())])).unwrap();
-        let species = db.create_object("Taxon", attrs(&[("name", "graveolens".into())])).unwrap();
+        let genus = db
+            .create_object("Taxon", attrs(&[("name", "Apium".into())]))
+            .unwrap();
+        let species = db
+            .create_object("Taxon", attrs(&[("name", "graveolens".into())]))
+            .unwrap();
         let rel = db
             .create_relationship("Circumscribes", genus, species, attrs(&[]))
             .unwrap();
         assert_eq!(db.rels_from(genus, None).unwrap().len(), 1);
-        assert_eq!(db.rels_to(species, Some("Circumscribes")).unwrap()[0].oid, rel);
+        assert_eq!(
+            db.rels_to(species, Some("Circumscribes")).unwrap()[0].oid,
+            rel
+        );
         db.delete_relationship(rel).unwrap();
         assert!(db.rels_from(genus, None).unwrap().is_empty());
         assert!(db.rel(rel).is_err());
@@ -1484,10 +1633,16 @@ pub(crate) mod tests {
     #[test]
     fn endpoint_class_conformance_enforced() {
         let db = taxo_db();
-        let s = db.create_object("Specimen", attrs(&[("code", "X".into())])).unwrap();
-        let t = db.create_object("Taxon", attrs(&[("name", "T".into())])).unwrap();
+        let s = db
+            .create_object("Specimen", attrs(&[("code", "X".into())]))
+            .unwrap();
+        let t = db
+            .create_object("Taxon", attrs(&[("name", "T".into())]))
+            .unwrap();
         // Cites requires Taxon -> Taxon.
-        let err = db.create_relationship("Cites", s, t, attrs(&[])).unwrap_err();
+        let err = db
+            .create_relationship("Cites", s, t, attrs(&[]))
+            .unwrap_err();
         assert!(matches!(err, DbError::EndpointMismatch { .. }));
     }
 
@@ -1498,11 +1653,20 @@ pub(crate) mod tests {
             RelClassDef::association("HasHolotype", "Taxon", "Specimen").exclusive(),
         )
         .unwrap();
-        let t1 = db.create_object("Taxon", attrs(&[("name", "A".into())])).unwrap();
-        let t2 = db.create_object("Taxon", attrs(&[("name", "B".into())])).unwrap();
-        let s = db.create_object("Specimen", attrs(&[("code", "S".into())])).unwrap();
-        db.create_relationship("HasHolotype", t1, s, attrs(&[])).unwrap();
-        let err = db.create_relationship("HasHolotype", t2, s, attrs(&[])).unwrap_err();
+        let t1 = db
+            .create_object("Taxon", attrs(&[("name", "A".into())]))
+            .unwrap();
+        let t2 = db
+            .create_object("Taxon", attrs(&[("name", "B".into())]))
+            .unwrap();
+        let s = db
+            .create_object("Specimen", attrs(&[("code", "S".into())]))
+            .unwrap();
+        db.create_relationship("HasHolotype", t1, s, attrs(&[]))
+            .unwrap();
+        let err = db
+            .create_relationship("HasHolotype", t2, s, attrs(&[]))
+            .unwrap_err();
         assert!(matches!(err, DbError::ExclusivityViolation { .. }));
     }
 
@@ -1511,25 +1675,36 @@ pub(crate) mod tests {
         let db = temp_db();
         db.define_class(ClassDef::new("Whole")).unwrap();
         db.define_class(ClassDef::new("Part")).unwrap();
-        db.define_relationship(RelClassDef::aggregation("Owns", "Whole", "Part")).unwrap();
+        db.define_relationship(RelClassDef::aggregation("Owns", "Whole", "Part"))
+            .unwrap();
         let w1 = db.create_object("Whole", attrs(&[])).unwrap();
         let w2 = db.create_object("Whole", attrs(&[])).unwrap();
         let p = db.create_object("Part", attrs(&[])).unwrap();
         db.create_relationship("Owns", w1, p, attrs(&[])).unwrap();
-        let err = db.create_relationship("Owns", w2, p, attrs(&[])).unwrap_err();
+        let err = db
+            .create_relationship("Owns", w2, p, attrs(&[]))
+            .unwrap_err();
         assert!(matches!(err, DbError::SharabilityViolation { .. }));
     }
 
     #[test]
     fn sharable_aggregation_allows_sharing() {
         let db = taxo_db(); // Circumscribes is sharable
-        let t1 = db.create_object("Taxon", attrs(&[("name", "A".into())])).unwrap();
-        let t2 = db.create_object("Taxon", attrs(&[("name", "B".into())])).unwrap();
-        let s = db.create_object("Specimen", attrs(&[("code", "S".into())])).unwrap();
-        db.create_relationship("Circumscribes", t1, s, attrs(&[])).unwrap();
+        let t1 = db
+            .create_object("Taxon", attrs(&[("name", "A".into())]))
+            .unwrap();
+        let t2 = db
+            .create_object("Taxon", attrs(&[("name", "B".into())]))
+            .unwrap();
+        let s = db
+            .create_object("Specimen", attrs(&[("code", "S".into())]))
+            .unwrap();
+        db.create_relationship("Circumscribes", t1, s, attrs(&[]))
+            .unwrap();
         // The same specimen may be circumscribed by another taxon — this is
         // the multiple-classification requirement.
-        db.create_relationship("Circumscribes", t2, s, attrs(&[])).unwrap();
+        db.create_relationship("Circumscribes", t2, s, attrs(&[]))
+            .unwrap();
         assert_eq!(db.rels_to(s, Some("Circumscribes")).unwrap().len(), 2);
     }
 
@@ -1539,7 +1714,10 @@ pub(crate) mod tests {
         db.define_class(ClassDef::new("N")).unwrap();
         db.define_relationship(
             RelClassDef::association("Narrow", "N", "N")
-                .origin_cardinality(Cardinality { min: 0, max: Some(2) })
+                .origin_cardinality(Cardinality {
+                    min: 0,
+                    max: Some(2),
+                })
                 .destination_cardinality(Cardinality::OPTIONAL),
         )
         .unwrap();
@@ -1549,10 +1727,23 @@ pub(crate) mod tests {
         let d = db.create_object("N", attrs(&[])).unwrap();
         db.create_relationship("Narrow", a, b, attrs(&[])).unwrap();
         db.create_relationship("Narrow", a, c, attrs(&[])).unwrap();
-        let err = db.create_relationship("Narrow", a, d, attrs(&[])).unwrap_err();
-        assert!(matches!(err, DbError::CardinalityViolation { side: "origin", .. }));
-        let err = db.create_relationship("Narrow", c, b, attrs(&[])).unwrap_err();
-        assert!(matches!(err, DbError::CardinalityViolation { side: "destination", .. }));
+        let err = db
+            .create_relationship("Narrow", a, d, attrs(&[]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DbError::CardinalityViolation { side: "origin", .. }
+        ));
+        let err = db
+            .create_relationship("Narrow", c, b, attrs(&[]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            DbError::CardinalityViolation {
+                side: "destination",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -1564,11 +1755,17 @@ pub(crate) mod tests {
         let a = db.create_object("N", attrs(&[])).unwrap();
         let b = db.create_object("N", attrs(&[])).unwrap();
         let c = db.create_object("N", attrs(&[])).unwrap();
-        db.create_relationship("Contains", a, b, attrs(&[])).unwrap();
-        db.create_relationship("Contains", b, c, attrs(&[])).unwrap();
-        let err = db.create_relationship("Contains", c, a, attrs(&[])).unwrap_err();
+        db.create_relationship("Contains", a, b, attrs(&[]))
+            .unwrap();
+        db.create_relationship("Contains", b, c, attrs(&[]))
+            .unwrap();
+        let err = db
+            .create_relationship("Contains", c, a, attrs(&[]))
+            .unwrap_err();
         assert!(matches!(err, DbError::CycleViolation { .. }));
-        let err = db.create_relationship("Contains", a, a, attrs(&[])).unwrap_err();
+        let err = db
+            .create_relationship("Contains", a, a, attrs(&[]))
+            .unwrap_err();
         assert!(matches!(err, DbError::CycleViolation { .. }));
     }
 
@@ -1576,7 +1773,8 @@ pub(crate) mod tests {
     fn constant_relationship_protected() {
         let db = temp_db();
         db.define_class(ClassDef::new("N")).unwrap();
-        db.define_relationship(RelClassDef::association("Fixed", "N", "N").constant()).unwrap();
+        db.define_relationship(RelClassDef::association("Fixed", "N", "N").constant())
+            .unwrap();
         let a = db.create_object("N", attrs(&[])).unwrap();
         let b = db.create_object("N", attrs(&[])).unwrap();
         let rel = db.create_relationship("Fixed", a, b, attrs(&[])).unwrap();
@@ -1592,23 +1790,30 @@ pub(crate) mod tests {
         let db = temp_db();
         db.define_class(ClassDef::new("Whole")).unwrap();
         db.define_class(ClassDef::new("Part")).unwrap();
-        db.define_relationship(
-            RelClassDef::aggregation("Owns", "Whole", "Part").dependent(),
-        )
-        .unwrap();
+        db.define_relationship(RelClassDef::aggregation("Owns", "Whole", "Part").dependent())
+            .unwrap();
         let w = db.create_object("Whole", attrs(&[])).unwrap();
         let p = db.create_object("Part", attrs(&[])).unwrap();
         db.create_relationship("Owns", w, p, attrs(&[])).unwrap();
         db.delete_object(w).unwrap();
-        assert!(!db.exists(p), "dependent part must be deleted with its whole");
+        assert!(
+            !db.exists(p),
+            "dependent part must be deleted with its whole"
+        );
     }
 
     #[test]
     fn delete_object_detaches_relationships() {
         let db = taxo_db();
-        let t = db.create_object("Taxon", attrs(&[("name", "T".into())])).unwrap();
-        let s = db.create_object("Specimen", attrs(&[("code", "S".into())])).unwrap();
-        let rel = db.create_relationship("Circumscribes", t, s, attrs(&[])).unwrap();
+        let t = db
+            .create_object("Taxon", attrs(&[("name", "T".into())]))
+            .unwrap();
+        let s = db
+            .create_object("Specimen", attrs(&[("code", "S".into())]))
+            .unwrap();
+        let rel = db
+            .create_relationship("Circumscribes", t, s, attrs(&[]))
+            .unwrap();
         db.delete_object(t).unwrap();
         assert!(db.rel(rel).is_err());
         assert!(db.exists(s), "sharable, non-dependent part survives");
@@ -1626,8 +1831,12 @@ pub(crate) mod tests {
                 .inherits("weddingDate"),
         )
         .unwrap();
-        let a = db.create_object("Person", attrs(&[("name", "A".into())])).unwrap();
-        let b = db.create_object("Person", attrs(&[("name", "B".into())])).unwrap();
+        let a = db
+            .create_object("Person", attrs(&[("name", "A".into())]))
+            .unwrap();
+        let b = db
+            .create_object("Person", attrs(&[("name", "B".into())]))
+            .unwrap();
         let date = crate::value::Date::new(2001, 12, 4);
         db.create_relationship("Wedding", a, b, attrs(&[("weddingDate", date.into())]))
             .unwrap();
@@ -1650,8 +1859,10 @@ pub(crate) mod tests {
         let a = db.create_object("P", attrs(&[])).unwrap();
         let b = db.create_object("P", attrs(&[])).unwrap();
         let c = db.create_object("P", attrs(&[])).unwrap();
-        db.create_relationship("R", a, c, attrs(&[("w", Value::Int(1))])).unwrap();
-        db.create_relationship("R", b, c, attrs(&[("w", Value::Int(2))])).unwrap();
+        db.create_relationship("R", a, c, attrs(&[("w", Value::Int(1))]))
+            .unwrap();
+        db.create_relationship("R", b, c, attrs(&[("w", Value::Int(2))]))
+            .unwrap();
         assert!(matches!(
             db.attr_of(c, "w").unwrap_err(),
             DbError::AmbiguousInheritedAttr { .. }
@@ -1661,8 +1872,12 @@ pub(crate) mod tests {
     #[test]
     fn synonyms_declare_and_query() {
         let db = taxo_db();
-        let a = db.create_object("Specimen", attrs(&[("code", "A".into())])).unwrap();
-        let b = db.create_object("Specimen", attrs(&[("code", "B".into())])).unwrap();
+        let a = db
+            .create_object("Specimen", attrs(&[("code", "A".into())]))
+            .unwrap();
+        let b = db
+            .create_object("Specimen", attrs(&[("code", "B".into())]))
+            .unwrap();
         assert!(!db.same_instance(a, b));
         db.declare_synonym(a, b).unwrap();
         assert!(db.same_instance(a, b));
@@ -1675,19 +1890,33 @@ pub(crate) mod tests {
     #[test]
     fn classification_membership_and_strictness() {
         let db = taxo_db();
-        let cls = db.create_classification("Linnaeus 1753", attrs(&[]), true).unwrap();
-        let g = db.create_object("Taxon", attrs(&[("name", "Apium".into())])).unwrap();
-        let s1 = db.create_object("Taxon", attrs(&[("name", "graveolens".into())])).unwrap();
-        let g2 = db.create_object("Taxon", attrs(&[("name", "Helio".into())])).unwrap();
-        let e1 = db.create_relationship("Circumscribes", g, s1, attrs(&[])).unwrap();
+        let cls = db
+            .create_classification("Linnaeus 1753", attrs(&[]), true)
+            .unwrap();
+        let g = db
+            .create_object("Taxon", attrs(&[("name", "Apium".into())]))
+            .unwrap();
+        let s1 = db
+            .create_object("Taxon", attrs(&[("name", "graveolens".into())]))
+            .unwrap();
+        let g2 = db
+            .create_object("Taxon", attrs(&[("name", "Helio".into())]))
+            .unwrap();
+        let e1 = db
+            .create_relationship("Circumscribes", g, s1, attrs(&[]))
+            .unwrap();
         db.add_edge_to_classification(cls, e1).unwrap();
         assert!(db.edge_in_classification(cls, e1));
         // Second parent for s1 in the same classification is rejected.
-        let e2 = db.create_relationship("Circumscribes", g2, s1, attrs(&[])).unwrap();
+        let e2 = db
+            .create_relationship("Circumscribes", g2, s1, attrs(&[]))
+            .unwrap();
         let err = db.add_edge_to_classification(cls, e2).unwrap_err();
         assert!(matches!(err, DbError::Classification(_)));
         // But a different classification may hold it: overlap.
-        let cls2 = db.create_classification("Koch 1824", attrs(&[]), true).unwrap();
+        let cls2 = db
+            .create_classification("Koch 1824", attrs(&[]), true)
+            .unwrap();
         db.add_edge_to_classification(cls2, e2).unwrap();
         assert_eq!(db.classifications_of_edge(e2).unwrap(), vec![cls2]);
         db.remove_edge_from_classification(cls2, e2).unwrap();
@@ -1698,9 +1927,15 @@ pub(crate) mod tests {
     fn deleting_relationship_leaves_classifications() {
         let db = taxo_db();
         let cls = db.create_classification("C", attrs(&[]), true).unwrap();
-        let a = db.create_object("Taxon", attrs(&[("name", "a".into())])).unwrap();
-        let b = db.create_object("Taxon", attrs(&[("name", "b".into())])).unwrap();
-        let e = db.create_relationship("Circumscribes", a, b, attrs(&[])).unwrap();
+        let a = db
+            .create_object("Taxon", attrs(&[("name", "a".into())]))
+            .unwrap();
+        let b = db
+            .create_object("Taxon", attrs(&[("name", "b".into())]))
+            .unwrap();
+        let e = db
+            .create_relationship("Circumscribes", a, b, attrs(&[]))
+            .unwrap();
         db.add_edge_to_classification(cls, e).unwrap();
         db.delete_relationship(e).unwrap();
         assert!(db.classification_edges(cls).unwrap().is_empty());
@@ -1709,22 +1944,38 @@ pub(crate) mod tests {
     #[test]
     fn unit_abort_rolls_back_everything() {
         let db = taxo_db();
-        let pre_existing = db.create_object("Taxon", attrs(&[("name", "Keep".into())])).unwrap();
+        let pre_existing = db
+            .create_object("Taxon", attrs(&[("name", "Keep".into())]))
+            .unwrap();
         let token = db.begin_unit();
-        let t = db.create_object("Taxon", attrs(&[("name", "Gone".into())])).unwrap();
-        let s = db.create_object("Specimen", attrs(&[("code", "Gone".into())])).unwrap();
-        let rel = db.create_relationship("Circumscribes", t, s, attrs(&[])).unwrap();
+        let t = db
+            .create_object("Taxon", attrs(&[("name", "Gone".into())]))
+            .unwrap();
+        let s = db
+            .create_object("Specimen", attrs(&[("code", "Gone".into())]))
+            .unwrap();
+        let rel = db
+            .create_relationship("Circumscribes", t, s, attrs(&[]))
+            .unwrap();
         db.set_attr(pre_existing, "name", "Renamed").unwrap();
-        let cls = db.create_classification("Scratch", attrs(&[]), true).unwrap();
+        let cls = db
+            .create_classification("Scratch", attrs(&[]), true)
+            .unwrap();
         db.add_edge_to_classification(cls, rel).unwrap();
         db.abort_unit(token);
         assert!(!db.exists(t));
         assert!(!db.exists(s));
         assert!(!db.exists(rel));
         assert!(!db.exists(cls));
-        assert_eq!(db.object(pre_existing).unwrap().attr("name"), Value::from("Keep"));
+        assert_eq!(
+            db.object(pre_existing).unwrap().attr("name"),
+            Value::from("Keep")
+        );
         // Indexes rolled back too.
-        assert!(db.find_by_attr("Taxon", "name", &"Gone".into()).unwrap().is_empty());
+        assert!(db
+            .find_by_attr("Taxon", "name", &"Gone".into())
+            .unwrap()
+            .is_empty());
         assert_eq!(
             db.find_by_attr("Taxon", "name", &"Keep".into()).unwrap(),
             vec![pre_existing]
@@ -1735,7 +1986,9 @@ pub(crate) mod tests {
     fn unit_commit_keeps_changes() {
         let db = taxo_db();
         let token = db.begin_unit();
-        let t = db.create_object("Taxon", attrs(&[("name", "Stay".into())])).unwrap();
+        let t = db
+            .create_object("Taxon", attrs(&[("name", "Stay".into())]))
+            .unwrap();
         db.commit_unit(token).unwrap();
         assert!(db.exists(t));
         assert!(!db.in_unit());
@@ -1745,21 +1998,34 @@ pub(crate) mod tests {
     fn nested_units_commit_with_outermost() {
         let db = taxo_db();
         let outer = db.begin_unit();
-        let t1 = db.create_object("Taxon", attrs(&[("name", "one".into())])).unwrap();
+        let t1 = db
+            .create_object("Taxon", attrs(&[("name", "one".into())]))
+            .unwrap();
         let inner = db.begin_unit();
-        let t2 = db.create_object("Taxon", attrs(&[("name", "two".into())])).unwrap();
+        let t2 = db
+            .create_object("Taxon", attrs(&[("name", "two".into())]))
+            .unwrap();
         db.commit_unit(inner).unwrap();
         assert!(db.in_unit(), "outer unit still active");
         db.abort_unit(outer);
-        assert!(!db.exists(t1) && !db.exists(t2), "abort undoes nested work too");
+        assert!(
+            !db.exists(t1) && !db.exists(t2),
+            "abort undoes nested work too"
+        );
     }
 
     #[test]
     fn unit_rollback_restores_deleted_object_with_relationships() {
         let db = taxo_db();
-        let t = db.create_object("Taxon", attrs(&[("name", "T".into())])).unwrap();
-        let s = db.create_object("Specimen", attrs(&[("code", "S".into())])).unwrap();
-        let rel = db.create_relationship("Circumscribes", t, s, attrs(&[])).unwrap();
+        let t = db
+            .create_object("Taxon", attrs(&[("name", "T".into())]))
+            .unwrap();
+        let s = db
+            .create_object("Specimen", attrs(&[("code", "S".into())]))
+            .unwrap();
+        let rel = db
+            .create_relationship("Circumscribes", t, s, attrs(&[]))
+            .unwrap();
         let cls = db.create_classification("C", attrs(&[]), true).unwrap();
         db.add_edge_to_classification(cls, rel).unwrap();
         let token = db.begin_unit();
@@ -1768,15 +2034,25 @@ pub(crate) mod tests {
         db.abort_unit(token);
         assert!(db.exists(t));
         assert!(db.exists(rel), "incident relationship restored");
-        assert!(db.edge_in_classification(cls, rel), "classification membership restored");
-        assert_eq!(db.rels_to(s, None).unwrap().len(), 1, "endpoint index restored");
+        assert!(
+            db.edge_in_classification(cls, rel),
+            "classification membership restored"
+        );
+        assert_eq!(
+            db.rels_to(s, None).unwrap().len(),
+            1,
+            "endpoint index restored"
+        );
     }
 
     struct VetoCreate;
     impl EventListener for VetoCreate {
         fn before(&self, _db: &Database, event: &Event) -> DbResult<()> {
             if matches!(event, Event::ObjectCreated { class, .. } if class == "Taxon") {
-                return Err(DbError::Vetoed { rule: "no-taxa".into(), reason: "blocked".into() });
+                return Err(DbError::Vetoed {
+                    rule: "no-taxa".into(),
+                    reason: "blocked".into(),
+                });
             }
             Ok(())
         }
@@ -1786,11 +2062,15 @@ pub(crate) mod tests {
     fn pre_listener_vetoes_creation() {
         let db = taxo_db();
         db.add_listener(Arc::new(VetoCreate));
-        let err = db.create_object("Taxon", attrs(&[("name", "X".into())])).unwrap_err();
+        let err = db
+            .create_object("Taxon", attrs(&[("name", "X".into())]))
+            .unwrap_err();
         assert!(matches!(err, DbError::Vetoed { .. }));
         assert!(db.extent("Taxon", false).unwrap().is_empty());
         // Other classes unaffected.
-        assert!(db.create_object("Specimen", attrs(&[("code", "ok".into())])).is_ok());
+        assert!(db
+            .create_object("Specimen", attrs(&[("code", "ok".into())]))
+            .is_ok());
     }
 
     struct FailAtCommit;
@@ -1814,7 +2094,9 @@ pub(crate) mod tests {
         let db = taxo_db();
         db.add_listener(Arc::new(FailAtCommit));
         let token = db.begin_unit();
-        let t = db.create_object("Taxon", attrs(&[("name", "X".into())])).unwrap();
+        let t = db
+            .create_object("Taxon", attrs(&[("name", "X".into())]))
+            .unwrap();
         assert!(db.exists(t), "visible inside the unit");
         let err = db.commit_unit(token).unwrap_err();
         assert!(matches!(err, DbError::ConstraintViolation { .. }));
@@ -1837,7 +2119,8 @@ pub(crate) mod tests {
         assert_eq!(problems.len(), 1);
         assert!(problems[0].contains("MustType"));
         let ty = db.create_object("Type", attrs(&[])).unwrap();
-        db.create_relationship("MustType", name, ty, attrs(&[])).unwrap();
+        db.create_relationship("MustType", name, ty, attrs(&[]))
+            .unwrap();
         assert!(db.validate_min_cardinalities().unwrap().is_empty());
     }
 
@@ -1850,16 +2133,23 @@ pub(crate) mod tests {
             .unwrap();
         db.define_class(ClassDef::new("Manual")).unwrap();
         // Engine: exclusive part. Manual: sharable aggregation.
-        db.define_relationship(RelClassDef::aggregation("HasEngine", "Car", "Engine")).unwrap();
+        db.define_relationship(RelClassDef::aggregation("HasEngine", "Car", "Engine"))
+            .unwrap();
         db.define_relationship(
             RelClassDef::aggregation("HasManual", "Car", "Manual").sharable(true),
         )
         .unwrap();
-        let car = db.create_object("Car", attrs(&[("model", "T".into())])).unwrap();
-        let engine = db.create_object("Engine", attrs(&[("serial", "E-1".into())])).unwrap();
+        let car = db
+            .create_object("Car", attrs(&[("model", "T".into())]))
+            .unwrap();
+        let engine = db
+            .create_object("Engine", attrs(&[("serial", "E-1".into())]))
+            .unwrap();
         let manual = db.create_object("Manual", attrs(&[])).unwrap();
-        db.create_relationship("HasEngine", car, engine, attrs(&[])).unwrap();
-        db.create_relationship("HasManual", car, manual, attrs(&[])).unwrap();
+        db.create_relationship("HasEngine", car, engine, attrs(&[]))
+            .unwrap();
+        db.create_relationship("HasManual", car, manual, attrs(&[]))
+            .unwrap();
 
         let copy = db.deep_copy(car).unwrap();
         assert_ne!(copy, car);
@@ -1867,7 +2157,10 @@ pub(crate) mod tests {
         let copy_manual = db.rels_from(copy, Some("HasManual")).unwrap()[0].destination;
         assert_ne!(copy_engine, engine, "exclusive part must be cloned");
         assert_eq!(copy_manual, manual, "sharable part must be shared");
-        assert_eq!(db.object(copy_engine).unwrap().attr("serial"), Value::from("E-1"));
+        assert_eq!(
+            db.object(copy_engine).unwrap().attr("serial"),
+            Value::from("E-1")
+        );
         // The original is untouched.
         assert_eq!(db.rels_from(car, None).unwrap().len(), 2);
         // Copying is atomic: both objects exist, extents updated.
@@ -1882,10 +2175,8 @@ pub(crate) mod tests {
         db.define_class(ClassDef::new("B")).unwrap();
         // Exclusive destination: the copy's second link to the same shared
         // associate is fine, but an exclusive association will conflict.
-        db.define_relationship(
-            RelClassDef::association("Only", "A", "B").exclusive(),
-        )
-        .unwrap();
+        db.define_relationship(RelClassDef::association("Only", "A", "B").exclusive())
+            .unwrap();
         let a = db.create_object("A", attrs(&[])).unwrap();
         let b = db.create_object("B", attrs(&[])).unwrap();
         db.create_relationship("Only", a, b, attrs(&[])).unwrap();
@@ -1893,7 +2184,11 @@ pub(crate) mod tests {
         // Copying re-links the association to the same (exclusive) B: error.
         let err = db.deep_copy(a).unwrap_err();
         assert!(matches!(err, DbError::ExclusivityViolation { .. }));
-        assert_eq!(db.extent("A", false).unwrap().len(), before, "copy rolled back");
+        assert_eq!(
+            db.extent("A", false).unwrap().len(),
+            before,
+            "copy rolled back"
+        );
     }
 
     #[test]
@@ -1913,14 +2208,20 @@ pub(crate) mod tests {
                 ClassDef::new("Taxon").attr(AttrDef::required("name", Type::Str).indexed()),
             )
             .unwrap();
-            db.define_relationship(RelClassDef::association("R", "Taxon", "Taxon")).unwrap();
-            oid = db.create_object("Taxon", attrs(&[("name", "Apium".into())])).unwrap();
+            db.define_relationship(RelClassDef::association("R", "Taxon", "Taxon"))
+                .unwrap();
+            oid = db
+                .create_object("Taxon", attrs(&[("name", "Apium".into())]))
+                .unwrap();
             cls = db.create_classification("C", attrs(&[]), true).unwrap();
         }
         let store = Arc::new(Store::open(&path).unwrap());
         let db = Database::open(store).unwrap();
         assert_eq!(db.object(oid).unwrap().attr("name"), Value::from("Apium"));
-        assert_eq!(db.find_by_attr("Taxon", "name", &"Apium".into()).unwrap(), vec![oid]);
+        assert_eq!(
+            db.find_by_attr("Taxon", "name", &"Apium".into()).unwrap(),
+            vec![oid]
+        );
         assert_eq!(db.classification_meta(cls).unwrap().name, "C");
         assert!(db.with_schema(|s| s.rel_class("R").is_some()));
         let _ = std::fs::remove_file(path);

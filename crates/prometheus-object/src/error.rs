@@ -19,26 +19,48 @@ pub enum DbError {
     /// Schema definition problem (unknown class, duplicate, bad inheritance…).
     Schema(String),
     /// A value did not conform to the declared attribute type.
-    TypeMismatch { expected: String, found: String, context: String },
+    TypeMismatch {
+        expected: String,
+        found: String,
+        context: String,
+    },
     /// Unknown object or relationship instance.
     NotFound(Oid),
     /// Unknown attribute for the instance's class.
     UnknownAttr { class: String, attr: String },
     /// An endpoint object's class does not conform to the relationship
     /// class's declared origin/destination class.
-    EndpointMismatch { relationship: String, expected: String, found: String },
+    EndpointMismatch {
+        relationship: String,
+        expected: String,
+        found: String,
+    },
     /// Exclusivity (§4.4.3, Figure 15): the destination already participates
     /// in an instance of an exclusive relationship class.
-    ExclusivityViolation { relationship: String, destination: Oid },
+    ExclusivityViolation {
+        relationship: String,
+        destination: Oid,
+    },
     /// Sharability (§4.4.3, Figure 16): the destination of a non-sharable
     /// aggregation is already part of another whole.
-    SharabilityViolation { relationship: String, destination: Oid },
+    SharabilityViolation {
+        relationship: String,
+        destination: Oid,
+    },
     /// Constancy: a constant relationship instance cannot be re-targeted.
     ConstancyViolation { relationship: Oid },
     /// Cardinality bounds on one side of a relationship class were exceeded.
-    CardinalityViolation { relationship: String, side: &'static str, limit: u32 },
+    CardinalityViolation {
+        relationship: String,
+        side: &'static str,
+        limit: u32,
+    },
     /// Adding this edge would create a cycle in an acyclic relationship class.
-    CycleViolation { relationship: String, origin: Oid, destination: Oid },
+    CycleViolation {
+        relationship: String,
+        origin: Oid,
+        destination: Oid,
+    },
     /// An object still participates in relationships that block the operation.
     DependencyViolation(String),
     /// Attribute inheritance produced conflicting values (§4.4.5).

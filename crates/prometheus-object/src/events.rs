@@ -23,15 +23,37 @@ pub enum Event {
     /// An object of `class` is being / has been created.
     ObjectCreated { oid: Oid, class: String },
     /// Attribute `attr` of an object changes from `old` to `new`.
-    ObjectUpdated { oid: Oid, class: String, attr: String, old: Value, new: Value },
+    ObjectUpdated {
+        oid: Oid,
+        class: String,
+        attr: String,
+        old: Value,
+        new: Value,
+    },
     /// An object is being / has been deleted.
     ObjectDeleted { oid: Oid, class: String },
     /// A relationship instance is being / has been created.
-    RelCreated { oid: Oid, class: String, origin: Oid, destination: Oid },
+    RelCreated {
+        oid: Oid,
+        class: String,
+        origin: Oid,
+        destination: Oid,
+    },
     /// An attribute of a relationship instance changes.
-    RelUpdated { oid: Oid, class: String, attr: String, old: Value, new: Value },
+    RelUpdated {
+        oid: Oid,
+        class: String,
+        attr: String,
+        old: Value,
+        new: Value,
+    },
     /// A relationship instance is being / has been deleted.
-    RelDeleted { oid: Oid, class: String, origin: Oid, destination: Oid },
+    RelDeleted {
+        oid: Oid,
+        class: String,
+        origin: Oid,
+        destination: Oid,
+    },
     /// An edge joined a classification.
     ClassificationEdgeAdded { classification: Oid, rel: Oid },
     /// An edge left a classification.
@@ -97,7 +119,10 @@ mod tests {
 
     #[test]
     fn event_accessors() {
-        let e = Event::ObjectCreated { oid: Oid::from_raw(4), class: "CT".into() };
+        let e = Event::ObjectCreated {
+            oid: Oid::from_raw(4),
+            class: "CT".into(),
+        };
         assert_eq!(e.class(), Some("CT"));
         assert_eq!(e.subject(), Oid::from_raw(4));
 

@@ -51,7 +51,9 @@ impl HistoryRecorder {
                 max_seq = max_seq.max(entry.seq);
             }
         }
-        let recorder = Arc::new(HistoryRecorder { seq: AtomicU64::new(max_seq + 1) });
+        let recorder = Arc::new(HistoryRecorder {
+            seq: AtomicU64::new(max_seq + 1),
+        });
         db.add_listener(recorder.clone());
         Ok(recorder)
     }
@@ -61,30 +63,58 @@ impl HistoryRecorder {
             Event::ObjectCreated { class, .. } => {
                 ("object-created".into(), format!("class {class}"))
             }
-            Event::ObjectUpdated { class, attr, old, new, .. } => (
+            Event::ObjectUpdated {
+                class,
+                attr,
+                old,
+                new,
+                ..
+            } => (
                 "attr-updated".into(),
                 format!("{class}.{attr}: {old} -> {new}"),
             ),
             Event::ObjectDeleted { class, .. } => {
                 ("object-deleted".into(), format!("class {class}"))
             }
-            Event::RelCreated { class, origin, destination, .. } => (
+            Event::RelCreated {
+                class,
+                origin,
+                destination,
+                ..
+            } => (
                 "rel-created".into(),
                 format!("{class}: {origin} -> {destination}"),
             ),
-            Event::RelUpdated { class, attr, old, new, .. } => (
+            Event::RelUpdated {
+                class,
+                attr,
+                old,
+                new,
+                ..
+            } => (
                 "rel-attr-updated".into(),
                 format!("{class}.{attr}: {old} -> {new}"),
             ),
-            Event::RelDeleted { class, origin, destination, .. } => (
+            Event::RelDeleted {
+                class,
+                origin,
+                destination,
+                ..
+            } => (
                 "rel-deleted".into(),
                 format!("{class}: {origin} -> {destination}"),
             ),
-            Event::ClassificationEdgeAdded { classification, rel } => (
+            Event::ClassificationEdgeAdded {
+                classification,
+                rel,
+            } => (
                 "classified".into(),
                 format!("edge {rel} joined classification {classification}"),
             ),
-            Event::ClassificationEdgeRemoved { classification, rel } => (
+            Event::ClassificationEdgeRemoved {
+                classification,
+                rel,
+            } => (
                 "declassified".into(),
                 format!("edge {rel} left classification {classification}"),
             ),
@@ -109,7 +139,12 @@ impl EventListener for HistoryRecorder {
             for event in events {
                 let seq = self.seq.fetch_add(1, Ordering::Relaxed);
                 let (kind, detail) = HistoryRecorder::describe(event);
-                let entry = HistoryEntry { seq, subject: event.subject(), kind, detail };
+                let entry = HistoryEntry {
+                    seq,
+                    subject: event.subject(),
+                    kind,
+                    detail,
+                };
                 let bytes = codec::to_bytes(&entry)?;
                 t.kv_put(KS_HISTORY, HistoryRecorder::key(entry.subject, seq), bytes);
             }
@@ -122,7 +157,10 @@ impl EventListener for HistoryRecorder {
 /// The recorded history of one subject, oldest first.
 pub fn history_of(db: &Database, subject: Oid) -> DbResult<Vec<HistoryEntry>> {
     let mut out = Vec::new();
-    for (_, value) in db.store().kv_scan_prefix(KS_HISTORY, &subject.to_be_bytes()) {
+    for (_, value) in db
+        .store()
+        .kv_scan_prefix(KS_HISTORY, &subject.to_be_bytes())
+    {
         out.push(codec::from_bytes::<HistoryEntry>(&value)?);
     }
     out.sort_by_key(|e| e.seq);
@@ -132,15 +170,17 @@ pub fn history_of(db: &Database, subject: Oid) -> DbResult<Vec<HistoryEntry>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::value::Value;
     use crate::database::tests::temp_db;
     use crate::schema::{AttrDef, ClassDef, RelClassDef};
     use crate::value::Type;
+    use crate::value::Value;
 
     fn setup() -> (Database, Arc<HistoryRecorder>) {
         let db = temp_db();
-        db.define_class(ClassDef::new("CT").attr(AttrDef::required("name", Type::Str))).unwrap();
-        db.define_relationship(RelClassDef::association("R", "CT", "CT")).unwrap();
+        db.define_class(ClassDef::new("CT").attr(AttrDef::required("name", Type::Str)))
+            .unwrap();
+        db.define_relationship(RelClassDef::association("R", "CT", "CT"))
+            .unwrap();
         let recorder = HistoryRecorder::install(&db).unwrap();
         (db, recorder)
     }

@@ -90,6 +90,43 @@ pub fn attr_prefix(class: &str, attr: &str) -> Vec<u8> {
     key
 }
 
+/// In-place variants for hot scan loops: a caller probing many classes (deep
+/// extents, polymorphic adjacency) clears and refills one buffer instead of
+/// allocating a fresh `Vec<u8>` per probe.
+pub mod build {
+    use super::*;
+
+    /// Fill `key` with the extent prefix of `class`.
+    pub fn extent_prefix(key: &mut Vec<u8>, class: &str) {
+        key.clear();
+        push_name(key, class);
+    }
+
+    /// Encode `value` once for use with [`attr_value_prefix`]; scanning N
+    /// subclasses then reuses the encoding instead of re-encoding per class.
+    pub fn encode_value(value: &Value) -> Vec<u8> {
+        let mut enc = Vec::new();
+        value.encode_ordered(&mut enc);
+        enc
+    }
+
+    /// Fill `key` with `class · attr · encoded`, where `encoded` came from
+    /// [`encode_value`].
+    pub fn attr_value_prefix(key: &mut Vec<u8>, class: &str, attr: &str, encoded: &[u8]) {
+        key.clear();
+        push_name(key, class);
+        push_name(key, attr);
+        key.extend_from_slice(encoded);
+    }
+
+    /// Fill `key` with the adjacency prefix `endpoint · rel_class`.
+    pub fn endpoint_class_prefix(key: &mut Vec<u8>, endpoint: Oid, rel_class: &str) {
+        key.clear();
+        key.extend_from_slice(&endpoint.to_be_bytes());
+        push_name(key, rel_class);
+    }
+}
+
 /// Extract the trailing OID from an index key.
 pub fn oid_suffix(key: &[u8]) -> Option<Oid> {
     if key.len() < 8 {
@@ -129,7 +166,9 @@ pub fn decode_endpoint_key(key: &[u8]) -> Option<(String, Oid)> {
     }
     let name_part = &key[8..key.len() - 8];
     let name_end = name_part.iter().position(|&b| b == SEP)?;
-    let class = std::str::from_utf8(&name_part[..name_end]).ok()?.to_string();
+    let class = std::str::from_utf8(&name_part[..name_end])
+        .ok()?
+        .to_string();
     let rel = oid_suffix(key)?;
     Some((class, rel))
 }
@@ -206,6 +245,22 @@ mod tests {
     fn endpoint_class_prefix_is_exact() {
         let key = endpoint_key(Oid::from_raw(10), "HasTypeX", Oid::from_raw(1));
         assert!(!key.starts_with(&endpoint_class_prefix(Oid::from_raw(10), "HasType")));
+    }
+
+    #[test]
+    fn build_variants_match_allocating_forms() {
+        let mut buf = Vec::new();
+        build::extent_prefix(&mut buf, "CT");
+        assert_eq!(buf, extent_prefix("CT"));
+        let v = Value::Int(1753);
+        let enc = build::encode_value(&v);
+        build::attr_value_prefix(&mut buf, "NT", "year", &enc);
+        assert_eq!(buf, attr_value_prefix("NT", "year", &v));
+        build::endpoint_class_prefix(&mut buf, Oid::from_raw(10), "Circumscribes");
+        assert_eq!(
+            buf,
+            endpoint_class_prefix(Oid::from_raw(10), "Circumscribes")
+        );
     }
 
     #[test]

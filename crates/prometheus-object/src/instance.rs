@@ -95,7 +95,11 @@ mod tests {
 
     #[test]
     fn object_attr_defaults_to_null() {
-        let obj = ObjectInstance { oid: Oid::from_raw(1), class: "CT".into(), attrs: BTreeMap::new() };
+        let obj = ObjectInstance {
+            oid: Oid::from_raw(1),
+            class: "CT".into(),
+            attrs: BTreeMap::new(),
+        };
         assert_eq!(obj.attr("missing"), Value::Null);
     }
 

@@ -40,6 +40,7 @@ pub mod events;
 pub mod history;
 pub mod index;
 pub mod instance;
+pub mod morsel;
 pub mod read;
 pub mod schema;
 pub mod synonym;
@@ -50,14 +51,12 @@ pub mod views;
 pub use classification::{Classification, ClassificationCompare};
 pub use database::{Database, UnitToken};
 pub use error::{DbError, DbResult};
-pub use read::{ReadView, Reader};
 pub use events::{Event, EventListener};
 pub use history::{history_of, HistoryEntry, HistoryRecorder};
 pub use instance::{ObjectInstance, RelInstance};
 pub use prometheus_storage::{Oid, Store, StoreOptions};
-pub use schema::{
-    AttrDef, Cardinality, ClassDef, RelClassDef, RelKind, SchemaRegistry,
-};
+pub use read::{ReadView, Reader};
+pub use schema::{AttrDef, Cardinality, ClassDef, RelClassDef, RelKind, SchemaRegistry};
 pub use traversal::{Direction, SynonymMode, TraversalSpec};
 pub use value::{Date, Type, Value};
 pub use views::View;

@@ -36,7 +36,12 @@ use std::sync::Arc;
 /// Implementors provide raw record and index access plus schema/synonym
 /// access; everything else is derived. The generic closure methods make the
 /// trait non-object-safe by design — callers monomorphise.
-pub trait Reader: Sized {
+///
+/// `Send + Sync` is part of the contract: the morsel-parallel executor
+/// shares one reader across `std::thread::scope` workers. Both existing
+/// implementors already satisfy it — [`ReadView`] is an immutable pinned
+/// snapshot, and [`Database`] guards its mutable state internally.
+pub trait Reader: Sized + Send + Sync {
     /// Fetch and decode the entity stored under `oid`.
     fn entity(&self, oid: Oid) -> DbResult<StoredEntity>;
 
@@ -127,8 +132,10 @@ pub trait Reader: Sized {
     fn rels_from_including_subs(&self, oid: Oid, class: &str) -> DbResult<Vec<RelInstance>> {
         let classes = self.with_schema(|s| s.with_subclasses(class));
         let mut out = Vec::new();
+        let mut prefix = Vec::new();
         for c in classes {
-            out.extend(self.rels_from(oid, Some(&c))?);
+            index::build::endpoint_class_prefix(&mut prefix, oid, &c);
+            out.extend(load_rels(self, KS_REL_FROM, &prefix)?);
         }
         Ok(out)
     }
@@ -137,8 +144,10 @@ pub trait Reader: Sized {
     fn rels_to_including_subs(&self, oid: Oid, class: &str) -> DbResult<Vec<RelInstance>> {
         let classes = self.with_schema(|s| s.with_subclasses(class));
         let mut out = Vec::new();
+        let mut prefix = Vec::new();
         for c in classes {
-            out.extend(self.rels_to(oid, Some(&c))?);
+            index::build::endpoint_class_prefix(&mut prefix, oid, &c);
+            out.extend(load_rels(self, KS_REL_TO, &prefix)?);
         }
         Ok(out)
     }
@@ -147,7 +156,12 @@ pub trait Reader: Sized {
     /// incident to `oid` as `(relationship oid, opposite endpoint)` pairs,
     /// straight from the endpoint index — no relationship records are
     /// fetched or decoded. `outgoing` selects the direction.
-    fn adjacency(&self, oid: Oid, class: Option<&str>, outgoing: bool) -> DbResult<Vec<(Oid, Oid)>> {
+    fn adjacency(
+        &self,
+        oid: Oid,
+        class: Option<&str>,
+        outgoing: bool,
+    ) -> DbResult<Vec<(Oid, Oid)>> {
         let ks = if outgoing { KS_REL_FROM } else { KS_REL_TO };
         let prefix = match class {
             Some(c) => index::endpoint_class_prefix(oid, c),
@@ -156,9 +170,46 @@ pub trait Reader: Sized {
         let entries = self.raw_kv_scan_prefix(ks, &prefix);
         let mut out = Vec::with_capacity(entries.len());
         for (key, value) in entries {
-            let Some(rel_oid) = index::oid_suffix(&key) else { continue };
-            let Ok(bytes) = <[u8; 8]>::try_from(value.as_slice()) else { continue };
+            let Some(rel_oid) = index::oid_suffix(&key) else {
+                continue;
+            };
+            let Ok(bytes) = <[u8; 8]>::try_from(value.as_slice()) else {
+                continue;
+            };
             out.push((rel_oid, Oid::from_be_bytes(bytes)));
+        }
+        Ok(out)
+    }
+
+    /// [`Reader::adjacency`] for a batch of nodes over a fixed set of
+    /// relationship classes, sharing one prefix buffer across all probes.
+    /// Returns one adjacency list per input node, in input order — the
+    /// frontier-parallel traversal expands whole morsels of a BFS level
+    /// through this. `classes` must already be subclass-expanded.
+    fn adjacency_batch(
+        &self,
+        oids: &[Oid],
+        classes: &[String],
+        outgoing: bool,
+    ) -> DbResult<Vec<Vec<(Oid, Oid)>>> {
+        let ks = if outgoing { KS_REL_FROM } else { KS_REL_TO };
+        let mut prefix = Vec::new();
+        let mut out = Vec::with_capacity(oids.len());
+        for &oid in oids {
+            let mut adj = Vec::new();
+            for class in classes {
+                index::build::endpoint_class_prefix(&mut prefix, oid, class);
+                for (key, value) in self.raw_kv_scan_prefix(ks, &prefix) {
+                    let Some(rel_oid) = index::oid_suffix(&key) else {
+                        continue;
+                    };
+                    let Ok(bytes) = <[u8; 8]>::try_from(value.as_slice()) else {
+                        continue;
+                    };
+                    adj.push((rel_oid, Oid::from_be_bytes(bytes)));
+                }
+            }
+            out.push(adj);
         }
         Ok(out)
     }
@@ -176,8 +227,10 @@ pub trait Reader: Sized {
             vec![class.to_string()]
         };
         let mut out = Vec::new();
+        let mut prefix = Vec::new();
         for c in classes {
-            for (key, _) in self.raw_kv_scan_prefix(KS_EXTENT, &index::extent_prefix(&c)) {
+            index::build::extent_prefix(&mut prefix, &c);
+            for (key, _) in self.raw_kv_scan_prefix(KS_EXTENT, &prefix) {
                 if let Some(oid) = index::oid_suffix(&key) {
                     out.push(oid);
                 }
@@ -186,12 +239,15 @@ pub trait Reader: Sized {
         Ok(out)
     }
 
-    /// Exact-match lookup over an indexed attribute (deep extent).
+    /// Exact-match lookup over an indexed attribute (deep extent). The value
+    /// is encoded once and the key prefix buffer reused across subclasses.
     fn find_by_attr(&self, class: &str, attr: &str, value: &Value) -> DbResult<Vec<Oid>> {
         let classes = self.with_schema(|s| s.with_subclasses(class));
+        let encoded = index::build::encode_value(value);
         let mut out = Vec::new();
+        let mut prefix = Vec::new();
         for c in classes {
-            let prefix = index::attr_value_prefix(&c, attr, value);
+            index::build::attr_value_prefix(&mut prefix, &c, attr, &encoded);
             for (key, _) in self.raw_kv_scan_prefix(KS_ATTR, &prefix) {
                 if let Some(oid) = index::oid_suffix(&key) {
                     out.push(oid);
@@ -210,10 +266,13 @@ pub trait Reader: Sized {
         hi: &Value,
     ) -> DbResult<Vec<Oid>> {
         let classes = self.with_schema(|s| s.with_subclasses(class));
+        let enc_lo = index::build::encode_value(lo);
+        let enc_hi = index::build::encode_value(hi);
         let mut out = Vec::new();
+        let (mut lo_key, mut hi_key) = (Vec::new(), Vec::new());
         for c in classes {
-            let lo_key = index::attr_value_prefix(&c, attr, lo);
-            let hi_key = index::attr_value_prefix(&c, attr, hi);
+            index::build::attr_value_prefix(&mut lo_key, &c, attr, &enc_lo);
+            index::build::attr_value_prefix(&mut hi_key, &c, attr, &enc_hi);
             for (key, _) in self.raw_kv_scan_range(KS_ATTR, &lo_key, &hi_key) {
                 if let Some(oid) = index::oid_suffix(&key) {
                     out.push(oid);
@@ -267,7 +326,10 @@ pub trait Reader: Sized {
         match inherited.len() {
             0 => Ok(Value::Null),
             1 => Ok(inherited.pop().unwrap()),
-            _ => Err(DbError::AmbiguousInheritedAttr { oid, attr: attr.to_string() }),
+            _ => Err(DbError::AmbiguousInheritedAttr {
+                oid,
+                attr: attr.to_string(),
+            }),
         }
     }
 
@@ -356,7 +418,8 @@ pub trait Reader: Sized {
 
     /// Whether an edge belongs to a classification.
     fn edge_in_classification(&self, cls: Oid, rel_oid: Oid) -> bool {
-        self.raw_kv_get(KS_CLS_EDGES, &index::cls_edge_key(cls, rel_oid)).is_some()
+        self.raw_kv_get(KS_CLS_EDGES, &index::cls_edge_key(cls, rel_oid))
+            .is_some()
     }
 }
 
@@ -477,7 +540,11 @@ impl ReadView {
         schema: Arc<SchemaRegistry>,
         synonyms: Arc<SynonymTable>,
     ) -> ReadView {
-        ReadView { snap, schema, synonyms }
+        ReadView {
+            snap,
+            schema,
+            synonyms,
+        }
     }
 
     /// Whether `other` pins the same published storage image.
@@ -531,15 +598,16 @@ mod tests {
             ClassDef::new("Taxon").attr(AttrDef::required("name", Type::Str).indexed()),
         )
         .unwrap();
-        db.define_relationship(
-            RelClassDef::aggregation("Circ", "Taxon", "Taxon").sharable(true),
-        )
-        .unwrap();
+        db.define_relationship(RelClassDef::aggregation("Circ", "Taxon", "Taxon").sharable(true))
+            .unwrap();
         let a = db
             .create_object("Taxon", vec![("name".to_string(), Value::from("Apium"))])
             .unwrap();
         let b = db
-            .create_object("Taxon", vec![("name".to_string(), Value::from("graveolens"))])
+            .create_object(
+                "Taxon",
+                vec![("name".to_string(), Value::from("graveolens"))],
+            )
             .unwrap();
         db.create_relationship("Circ", a, b, Vec::new()).unwrap();
         (db, a, b)
@@ -550,13 +618,23 @@ mod tests {
         let (db, a, b) = seeded();
         let view = db.read_view();
         assert_eq!(view.object(a).unwrap(), db.object(a).unwrap());
-        assert_eq!(view.extent("Taxon", true).unwrap(), db.extent("Taxon", true).unwrap());
         assert_eq!(
-            view.find_by_attr("Taxon", "name", &Value::from("Apium")).unwrap(),
+            view.extent("Taxon", true).unwrap(),
+            db.extent("Taxon", true).unwrap()
+        );
+        assert_eq!(
+            view.find_by_attr("Taxon", "name", &Value::from("Apium"))
+                .unwrap(),
             vec![a]
         );
-        assert_eq!(view.rels_from(a, None).unwrap(), db.rels_from(a, None).unwrap());
-        assert_eq!(view.adjacency(a, None, true).unwrap(), db.adjacency(a, None, true).unwrap());
+        assert_eq!(
+            view.rels_from(a, None).unwrap(),
+            db.rels_from(a, None).unwrap()
+        );
+        assert_eq!(
+            view.adjacency(a, None, true).unwrap(),
+            db.adjacency(a, None, true).unwrap()
+        );
         assert_eq!(view.class_of(b).unwrap(), "Taxon");
     }
 
@@ -571,7 +649,11 @@ mod tests {
         // The pinned view still sees the pre-mutation state…
         assert!(!view.exists(c));
         assert_eq!(view.object(a).unwrap().attr("name"), Value::from("Apium"));
-        assert_eq!(view.find_by_attr("Taxon", "name", &Value::from("Apium")).unwrap(), vec![a]);
+        assert_eq!(
+            view.find_by_attr("Taxon", "name", &Value::from("Apium"))
+                .unwrap(),
+            vec![a]
+        );
         // …while the database and a fresh view see the new one.
         assert_eq!(db.object(a).unwrap().attr("name"), Value::from("renamed"));
         let fresh = db.read_view();
@@ -585,11 +667,17 @@ mod tests {
         let token = db.begin_unit();
         db.set_attr(a, "name", "speculative").unwrap();
         // Inside the unit the database reads its own write…
-        assert_eq!(db.object(a).unwrap().attr("name"), Value::from("speculative"));
+        assert_eq!(
+            db.object(a).unwrap().attr("name"),
+            Value::from("speculative")
+        );
         // …but a view pinned mid-unit sees the last settled state.
         let view = db.read_view();
         assert_eq!(view.object(a).unwrap().attr("name"), Value::from("Apium"));
         db.commit_unit(token).unwrap();
-        assert_eq!(db.read_view().object(a).unwrap().attr("name"), Value::from("speculative"));
+        assert_eq!(
+            db.read_view().object(a).unwrap().attr("name"),
+            Value::from("speculative")
+        );
     }
 }

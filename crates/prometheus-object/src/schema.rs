@@ -47,12 +47,24 @@ pub struct AttrDef {
 impl AttrDef {
     /// A required attribute of the given type.
     pub fn required(name: impl Into<String>, ty: Type) -> Self {
-        AttrDef { name: name.into(), ty, optional: false, default: None, indexed: false }
+        AttrDef {
+            name: name.into(),
+            ty,
+            optional: false,
+            default: None,
+            indexed: false,
+        }
     }
 
     /// An optional attribute of the given type.
     pub fn optional(name: impl Into<String>, ty: Type) -> Self {
-        AttrDef { name: name.into(), ty, optional: true, default: None, indexed: false }
+        AttrDef {
+            name: name.into(),
+            ty,
+            optional: true,
+            default: None,
+            indexed: false,
+        }
     }
 
     /// Builder-style: mark indexed.
@@ -82,7 +94,12 @@ pub struct ClassDef {
 impl ClassDef {
     /// Start defining a class.
     pub fn new(name: impl Into<String>) -> Self {
-        ClassDef { name: name.into(), supers: Vec::new(), attrs: Vec::new(), is_abstract: false }
+        ClassDef {
+            name: name.into(),
+            supers: Vec::new(),
+            attrs: Vec::new(),
+            is_abstract: false,
+        }
     }
 
     /// Add a direct superclass.
@@ -127,9 +144,15 @@ impl Cardinality {
     /// Any number of participations, including none.
     pub const MANY: Cardinality = Cardinality { min: 0, max: None };
     /// Exactly one participation.
-    pub const ONE: Cardinality = Cardinality { min: 1, max: Some(1) };
+    pub const ONE: Cardinality = Cardinality {
+        min: 1,
+        max: Some(1),
+    };
     /// Zero or one participation.
-    pub const OPTIONAL: Cardinality = Cardinality { min: 0, max: Some(1) };
+    pub const OPTIONAL: Cardinality = Cardinality {
+        min: 0,
+        max: Some(1),
+    };
 
     /// At least `min` participations.
     pub fn at_least(min: u32) -> Self {
@@ -321,6 +344,13 @@ impl RelClassDef {
 pub struct SchemaRegistry {
     classes: BTreeMap<String, ClassDef>,
     rel_classes: BTreeMap<String, RelClassDef>,
+    /// Monotonic definition counter: always equals the number of registered
+    /// definitions (classes + relationship classes), maintained by
+    /// `rebuild_closures`. Plan caches key on this to invalidate anything
+    /// planned against an older schema; definitions are never removed, so
+    /// the counter only grows within a process.
+    #[serde(skip)]
+    version: u64,
     /// class -> all transitive superclasses (excluding itself and `Object`).
     #[serde(skip)]
     super_closure: HashMap<String, HashSet<String>>,
@@ -338,10 +368,16 @@ impl SchemaRegistry {
     /// Register an ordinary class. Superclasses must already be registered.
     pub fn define_class(&mut self, def: ClassDef) -> DbResult<()> {
         if def.name == OBJECT_CLASS || def.name == RELATIONSHIP_CLASS {
-            return Err(DbError::Schema(format!("class name '{}' is reserved", def.name)));
+            return Err(DbError::Schema(format!(
+                "class name '{}' is reserved",
+                def.name
+            )));
         }
         if self.classes.contains_key(&def.name) || self.rel_classes.contains_key(&def.name) {
-            return Err(DbError::Schema(format!("class '{}' is already defined", def.name)));
+            return Err(DbError::Schema(format!(
+                "class '{}' is already defined",
+                def.name
+            )));
         }
         for sup in &def.supers {
             if sup != OBJECT_CLASS && !self.classes.contains_key(sup) {
@@ -406,6 +442,13 @@ impl SchemaRegistry {
     /// All relationship class names.
     pub fn rel_class_names(&self) -> impl Iterator<Item = &str> {
         self.rel_classes.keys().map(String::as_str)
+    }
+
+    /// Schema generation: the number of definitions ever registered. Two
+    /// registries with the same version in one process have identical
+    /// definitions, so cached query plans keyed on it stay valid.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Is `sub` the same as, or a transitive subclass of, `sup`? Works for
@@ -501,13 +544,18 @@ impl SchemaRegistry {
 
     /// Rebuild closures after deserialisation (serde skips them).
     pub fn rebuild_closures(&mut self) {
+        self.version = (self.classes.len() + self.rel_classes.len()) as u64;
         self.super_closure.clear();
         self.sub_closure.clear();
         let class_supers: Vec<(String, Vec<String>)> = self
             .classes
             .values()
             .map(|c| (c.name.clone(), c.supers.clone()))
-            .chain(self.rel_classes.values().map(|r| (r.name.clone(), r.supers.clone())))
+            .chain(
+                self.rel_classes
+                    .values()
+                    .map(|r| (r.name.clone(), r.supers.clone())),
+            )
             .collect();
         for (name, _) in &class_supers {
             let mut all = HashSet::new();
@@ -524,7 +572,10 @@ impl SchemaRegistry {
         }
         for (name, supers) in self.super_closure.clone() {
             for sup in supers {
-                self.sub_closure.entry(sup).or_default().insert(name.clone());
+                self.sub_closure
+                    .entry(sup)
+                    .or_default()
+                    .insert(name.clone());
             }
         }
     }
@@ -625,7 +676,9 @@ mod tests {
     #[test]
     fn unknown_super_is_rejected() {
         let mut reg = SchemaRegistry::new();
-        let err = reg.define_class(ClassDef::new("X").extends("Nope")).unwrap_err();
+        let err = reg
+            .define_class(ClassDef::new("X").extends("Nope"))
+            .unwrap_err();
         assert!(matches!(err, DbError::Schema(_)));
     }
 
@@ -651,8 +704,10 @@ mod tests {
     #[test]
     fn diamond_type_conflict_is_rejected() {
         let mut reg = SchemaRegistry::new();
-        reg.define_class(ClassDef::new("A").attr(AttrDef::required("x", Type::Int))).unwrap();
-        reg.define_class(ClassDef::new("B").attr(AttrDef::required("x", Type::Str))).unwrap();
+        reg.define_class(ClassDef::new("A").attr(AttrDef::required("x", Type::Int)))
+            .unwrap();
+        reg.define_class(ClassDef::new("B").attr(AttrDef::required("x", Type::Str)))
+            .unwrap();
         let err = reg
             .define_class(ClassDef::new("C").extends("A").extends("B"))
             .unwrap_err();
@@ -697,7 +752,10 @@ mod tests {
     fn table3_exclusive_vs_destination_cardinality() {
         let def = RelClassDef::association("R", "Object", "Object")
             .exclusive()
-            .destination_cardinality(Cardinality { min: 0, max: Some(3) });
+            .destination_cardinality(Cardinality {
+                min: 0,
+                max: Some(3),
+            });
         assert!(def.validate_combination().is_err());
         let ok = RelClassDef::association("R", "Object", "Object")
             .exclusive()
@@ -747,7 +805,8 @@ mod tests {
     #[test]
     fn serde_round_trip_rebuilds_closures() {
         let mut reg = registry_with_taxa();
-        reg.define_relationship(RelClassDef::association("R", "CT", "Specimen")).unwrap();
+        reg.define_relationship(RelClassDef::association("R", "CT", "Specimen"))
+            .unwrap();
         let bytes = prometheus_storage::codec::to_bytes(&reg).unwrap();
         let mut back: SchemaRegistry = prometheus_storage::codec::from_bytes(&bytes).unwrap();
         back.rebuild_closures();
@@ -808,7 +867,11 @@ impl SchemaRegistry {
             if !rel.supers.is_empty() {
                 let _ = write!(out, " extends {}", rel.supers.join(", "));
             }
-            let _ = writeln!(out, " ({} -> {}) {{", rel.origin_class, rel.destination_class);
+            let _ = writeln!(
+                out,
+                " ({} -> {}) {{",
+                rel.origin_class, rel.destination_class
+            );
             let mut behaviours = Vec::new();
             if rel.exclusive {
                 behaviours.push("exclusive".to_string());
@@ -833,8 +896,11 @@ impl SchemaRegistry {
             behaviours.push(format!("destination {}", card(&rel.destination_card)));
             let _ = writeln!(out, "    [{}]", behaviours.join(", "));
             for attr in &rel.attrs {
-                let inherited =
-                    if rel.inheritable_attrs.contains(&attr.name) { " /* inheritable */" } else { "" };
+                let inherited = if rel.inheritable_attrs.contains(&attr.name) {
+                    " /* inheritable */"
+                } else {
+                    ""
+                };
                 let _ = writeln!(out, "    attribute {} {}{inherited};", attr.ty, attr.name);
             }
             let _ = writeln!(out, "}}");

@@ -134,7 +134,10 @@ mod tests {
         table.declare(oid(3), oid(4));
         assert!(!table.same(oid(1), oid(3)));
         table.declare(oid(2), oid(3));
-        assert!(table.same(oid(1), oid(4)), "transitivity across merged sets");
+        assert!(
+            table.same(oid(1), oid(4)),
+            "transitivity across merged sets"
+        );
     }
 
     #[test]
@@ -152,7 +155,10 @@ mod tests {
         table.declare(oid(1), oid(2));
         table.declare(oid(2), oid(3));
         let set = table.set_of(oid(2));
-        assert_eq!(set.into_iter().collect::<Vec<_>>(), vec![oid(1), oid(2), oid(3)]);
+        assert_eq!(
+            set.into_iter().collect::<Vec<_>>(),
+            vec![oid(1), oid(2), oid(3)]
+        );
         assert_eq!(table.set_of(oid(10)).len(), 1);
     }
 
@@ -164,7 +170,10 @@ mod tests {
         table.dissolve(oid(2));
         assert!(!table.same(oid(2), oid(1)));
         assert!(!table.same(oid(2), oid(3)));
-        assert!(table.same(oid(1), oid(3)), "remaining members stay synonymous");
+        assert!(
+            table.same(oid(1), oid(3)),
+            "remaining members stay synonymous"
+        );
     }
 
     #[test]

@@ -11,9 +11,10 @@
 //! instance synonyms transparently (§4.5).
 
 use crate::error::DbResult;
+use crate::morsel;
 use crate::read::Reader;
 use prometheus_storage::Oid;
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::BTreeSet;
 
 /// Which way to walk relationship instances.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -68,7 +69,10 @@ impl TraversalSpec {
 
     /// Direct neighbours only.
     pub fn neighbours(rel_classes: impl IntoIterator<Item = String>) -> Self {
-        TraversalSpec { max_depth: Some(1), ..TraversalSpec::closure(rel_classes) }
+        TraversalSpec {
+            max_depth: Some(1),
+            ..TraversalSpec::closure(rel_classes)
+        }
     }
 
     /// Builder-style adjustments.
@@ -113,29 +117,121 @@ pub struct Visit {
 /// Generic over [`Reader`]: run it against the live `Database` or against a
 /// pinned `ReadView` for a traversal over one consistent snapshot.
 pub fn traverse<R: Reader>(db: &R, start: Oid, spec: &TraversalSpec) -> DbResult<Vec<Visit>> {
-    let mut out = Vec::new();
-    let mut visited: BTreeSet<Oid> = BTreeSet::new();
-    let mut frontier: VecDeque<(Oid, u32, Option<Oid>)> = VecDeque::new();
-    frontier.push_back((start, 0, None));
-    let canon = |db: &R, oid: Oid| match spec.synonyms {
+    Ok(traverse_with(db, start, spec, 1)?.0)
+}
+
+/// Items per frontier morsel. Expanding one node costs several index scans,
+/// so morsels are much smaller than the executor's filter morsels.
+const FRONTIER_MORSEL: usize = 16;
+
+/// [`traverse`] with a worker budget: each BFS level's frontier is expanded
+/// morsel-parallel, and the expansions are merged in frontier order before
+/// the visited-set is updated sequentially. Level-by-level expansion in
+/// frontier order visits exactly the nodes, depths and `via` edges of the
+/// FIFO walk, so the result is identical for every worker count. Also
+/// returns the number of frontier morsels expanded in parallel (0 when the
+/// walk stayed sequential).
+pub fn traverse_with<R: Reader>(
+    db: &R,
+    start: Oid,
+    spec: &TraversalSpec,
+    workers: usize,
+) -> DbResult<(Vec<Visit>, u64)> {
+    let canon = |oid: Oid| match spec.synonyms {
         SynonymMode::Ignore => oid,
         SynonymMode::Transparent => db.synonym_representative(oid),
     };
-    visited.insert(canon(db, start));
-    while let Some((node, depth, via)) = frontier.pop_front() {
-        if depth >= spec.min_depth {
-            out.push(Visit { node, depth, via });
+    // Subclass-expand the relationship-class filter once per traversal
+    // instead of once per visited node, preserving per-class probe order.
+    let classes: Option<Vec<String>> = if spec.rel_classes.is_empty() {
+        None
+    } else {
+        Some(db.with_schema(|s| {
+            let mut acc = Vec::new();
+            for class in &spec.rel_classes {
+                if spec.include_subclasses {
+                    acc.extend(s.with_subclasses(class));
+                } else {
+                    acc.push(class.clone());
+                }
+            }
+            acc
+        }))
+    };
+    let mut out = Vec::new();
+    let mut visited: BTreeSet<Oid> = BTreeSet::new();
+    visited.insert(canon(start));
+    let mut level: Vec<(Oid, u32, Option<Oid>)> = vec![(start, 0, None)];
+    let mut depth = 0u32;
+    let mut parallel_morsels = 0u64;
+    while !level.is_empty() {
+        for &(node, d, via) in &level {
+            if d >= spec.min_depth {
+                out.push(Visit {
+                    node,
+                    depth: d,
+                    via,
+                });
+            }
         }
         if let Some(max) = spec.max_depth {
             if depth >= max {
-                continue;
+                break;
             }
         }
-        for (edge, next) in step(db, node, spec)? {
-            let key = canon(db, next);
-            if visited.insert(key) {
-                frontier.push_back((next, depth + 1, Some(edge)));
+        let nodes: Vec<Oid> = level.iter().map(|&(n, _, _)| n).collect();
+        let run = morsel::run(&nodes, workers, FRONTIER_MORSEL, |chunk| {
+            expand_nodes(db, chunk, classes.as_deref(), spec)
+        })?;
+        parallel_morsels += run.parallel_morsels;
+        let mut next_level = Vec::new();
+        for (edge, next) in run.output {
+            if visited.insert(canon(next)) {
+                next_level.push((next, depth + 1, Some(edge)));
             }
+        }
+        level = next_level;
+        depth += 1;
+    }
+    Ok((out, parallel_morsels))
+}
+
+/// Admissible edges of a batch of frontier nodes, concatenated in node
+/// order (each node's edges in the same order [`step`] yields them).
+/// `classes` is the pre-expanded relationship-class list (`None` = all).
+fn expand_nodes<R: Reader>(
+    db: &R,
+    nodes: &[Oid],
+    classes: Option<&[String]>,
+    spec: &TraversalSpec,
+) -> DbResult<Vec<(Oid, Oid)>> {
+    let outgoing = spec.direction == Direction::Outgoing;
+    let mut out = Vec::new();
+    if spec.synonyms == SynonymMode::Ignore {
+        let pairs_per_node = match classes {
+            // Batched adjacency shares one key-prefix buffer across probes.
+            Some(classes) => db.adjacency_batch(nodes, classes, outgoing)?,
+            None => {
+                let mut acc = Vec::with_capacity(nodes.len());
+                for &node in nodes {
+                    acc.push(db.adjacency(node, None, outgoing)?);
+                }
+                acc
+            }
+        };
+        for pairs in pairs_per_node {
+            for (edge, next) in pairs {
+                if let Some(cls) = spec.classification {
+                    if !db.edge_in_classification(cls, edge) {
+                        continue;
+                    }
+                }
+                out.push((edge, next));
+            }
+        }
+    } else {
+        for &node in nodes {
+            out.extend(step(db, node, spec)?);
         }
     }
     Ok(out)
@@ -195,7 +291,15 @@ pub fn paths<R: Reader>(
     let mut path_edges: Vec<Oid> = Vec::new();
     let mut path_nodes: BTreeSet<Oid> = BTreeSet::new();
     path_nodes.insert(start);
-    dfs_paths(db, start, goal, spec, &mut path_edges, &mut path_nodes, &mut out)?;
+    dfs_paths(
+        db,
+        start,
+        goal,
+        spec,
+        &mut path_edges,
+        &mut path_nodes,
+        &mut out,
+    )?;
     Ok(out)
 }
 
@@ -242,7 +346,8 @@ mod tests {
         db.define_class(ClassDef::new("N")).unwrap();
         db.define_relationship(RelClassDef::aggregation("Tree", "N", "N").sharable(true))
             .unwrap();
-        db.define_relationship(RelClassDef::association("Link", "N", "N")).unwrap();
+        db.define_relationship(RelClassDef::association("Link", "N", "N"))
+            .unwrap();
         let a = db.create_object("N", Vec::new()).unwrap();
         let b = db.create_object("N", Vec::new()).unwrap();
         let c = db.create_object("N", Vec::new()).unwrap();
@@ -291,7 +396,14 @@ mod tests {
         // depth 0 includes the start node.
         let spec = TraversalSpec::closure(vec!["Tree".into()]).depth(0, Some(0));
         let visits = traverse(&db, a, &spec).unwrap();
-        assert_eq!(visits, vec![Visit { node: a, depth: 0, via: None }]);
+        assert_eq!(
+            visits,
+            vec![Visit {
+                node: a,
+                depth: 0,
+                via: None
+            }]
+        );
     }
 
     #[test]
@@ -308,7 +420,8 @@ mod tests {
     fn cycles_terminate() {
         let db = temp_db();
         db.define_class(ClassDef::new("N")).unwrap();
-        db.define_relationship(RelClassDef::association("Next", "N", "N")).unwrap();
+        db.define_relationship(RelClassDef::association("Next", "N", "N"))
+            .unwrap();
         let a = db.create_object("N", Vec::new()).unwrap();
         let b = db.create_object("N", Vec::new()).unwrap();
         db.create_relationship("Next", a, b, Vec::new()).unwrap();
@@ -320,7 +433,9 @@ mod tests {
     #[test]
     fn classification_scope_filters_edges() {
         let (db, [a, b, _c, d]) = diamond();
-        let cls = db.create_classification("only-ab", Vec::new(), false).unwrap();
+        let cls = db
+            .create_classification("only-ab", Vec::new(), false)
+            .unwrap();
         let edge_ab = db.rels_from(a, Some("Tree")).unwrap();
         let ab = edge_ab.iter().find(|e| e.destination == b).unwrap().oid;
         db.add_edge_to_classification(cls, ab).unwrap();
@@ -335,7 +450,8 @@ mod tests {
     fn transparent_synonyms_bridge_edges() {
         let db = temp_db();
         db.define_class(ClassDef::new("N")).unwrap();
-        db.define_relationship(RelClassDef::association("Next", "N", "N")).unwrap();
+        db.define_relationship(RelClassDef::association("Next", "N", "N"))
+            .unwrap();
         // a -> b ; b' -> c with b ≡ b'.
         let a = db.create_object("N", Vec::new()).unwrap();
         let b = db.create_object("N", Vec::new()).unwrap();
@@ -346,7 +462,8 @@ mod tests {
         db.declare_synonym(b, b2).unwrap();
         let ignore = traverse(&db, a, &TraversalSpec::closure(vec!["Next".into()])).unwrap();
         assert_eq!(ignore.len(), 1, "without synonyms the walk stops at b");
-        let spec = TraversalSpec::closure(vec!["Next".into()]).synonym_mode(SynonymMode::Transparent);
+        let spec =
+            TraversalSpec::closure(vec!["Next".into()]).synonym_mode(SynonymMode::Transparent);
         let transparent = traverse(&db, a, &spec).unwrap();
         let nodes: Vec<Oid> = transparent.iter().map(|v| v.node).collect();
         assert!(nodes.contains(&c), "synonym set bridges to c");
@@ -356,7 +473,8 @@ mod tests {
     fn subclass_edges_are_followed_when_requested() {
         let db = temp_db();
         db.define_class(ClassDef::new("N")).unwrap();
-        db.define_relationship(RelClassDef::association("Base", "N", "N")).unwrap();
+        db.define_relationship(RelClassDef::association("Base", "N", "N"))
+            .unwrap();
         db.define_relationship(RelClassDef::association("Derived", "N", "N").extends("Base"))
             .unwrap();
         let a = db.create_object("N", Vec::new()).unwrap();
@@ -367,6 +485,46 @@ mod tests {
         let spec = TraversalSpec::closure(vec!["Base".into()]).with_subclasses();
         let poly = traverse(&db, a, &spec).unwrap();
         assert_eq!(poly.len(), 1);
+    }
+
+    #[test]
+    fn parallel_traversal_matches_sequential_exactly() {
+        // A dense layered graph big enough that several frontier morsels
+        // actually run in parallel (frontier width > FRONTIER_MORSEL).
+        let db = temp_db();
+        db.define_class(ClassDef::new("N")).unwrap();
+        db.define_relationship(RelClassDef::association("E", "N", "N"))
+            .unwrap();
+        let layers: Vec<Vec<Oid>> = (0..3)
+            .map(|i| {
+                (0..(20 + i * 30))
+                    .map(|_| db.create_object("N", Vec::new()).unwrap())
+                    .collect()
+            })
+            .collect();
+        for w in layers.windows(2) {
+            for (i, &from) in w[0].iter().enumerate() {
+                for (j, &to) in w[1].iter().enumerate() {
+                    if (i + j) % 3 == 0 {
+                        db.create_relationship("E", from, to, Vec::new()).unwrap();
+                    }
+                }
+            }
+        }
+        let root = db.create_object("N", Vec::new()).unwrap();
+        for &n in &layers[0] {
+            db.create_relationship("E", root, n, Vec::new()).unwrap();
+        }
+        for spec in [
+            TraversalSpec::closure(vec!["E".into()]),
+            TraversalSpec::closure(Vec::new()).depth(0, Some(2)),
+            TraversalSpec::closure(vec!["E".into()]).with_subclasses(),
+        ] {
+            let seq = traverse(&db, root, &spec).unwrap();
+            let (par, morsels) = traverse_with(&db, root, &spec, 8).unwrap();
+            assert_eq!(seq, par, "parallel visits must be byte-identical");
+            assert!(morsels > 0, "wide frontiers must actually parallelise");
+        }
     }
 
     #[test]

@@ -25,7 +25,11 @@ pub struct Date {
 impl Date {
     /// Build a date, clamping month/day into their calendar ranges.
     pub fn new(year: i32, month: u8, day: u8) -> Self {
-        Date { year, month: month.clamp(1, 12), day: day.clamp(1, 31) }
+        Date {
+            year,
+            month: month.clamp(1, 12),
+            day: day.clamp(1, 31),
+        }
     }
 
     /// A year-only date (January 1st), the usual precision of old botanical
@@ -139,7 +143,11 @@ impl Value {
                 out.push(0x03);
                 // IEEE-754 total-order trick.
                 let bits = x.to_bits();
-                let key = if bits >> 63 == 0 { bits ^ (1u64 << 63) } else { !bits };
+                let key = if bits >> 63 == 0 {
+                    bits ^ (1u64 << 63)
+                } else {
+                    !bits
+                };
                 out.extend_from_slice(&key.to_be_bytes());
             }
             Value::Str(s) => {
@@ -413,12 +421,13 @@ mod tests {
     fn type_shape_admission() {
         assert!(Type::Int.admits_shape(&Value::Int(1)));
         assert!(!Type::Int.admits_shape(&Value::Str("x".into())));
-        assert!(Type::Float.admits_shape(&Value::Int(1)), "ints widen to float");
+        assert!(
+            Type::Float.admits_shape(&Value::Int(1)),
+            "ints widen to float"
+        );
         assert!(Type::Any.admits_shape(&Value::List(vec![])));
         assert!(Type::Ref("Taxon".into()).admits_shape(&Value::Ref(Oid::from_raw(1))));
-        assert!(
-            Type::List(Box::new(Type::Int)).admits_shape(&Value::List(vec![Value::Int(1)])),
-        );
+        assert!(Type::List(Box::new(Type::Int)).admits_shape(&Value::List(vec![Value::Int(1)])),);
         assert!(
             !Type::List(Box::new(Type::Int)).admits_shape(&Value::List(vec![Value::Bool(true)])),
         );
@@ -430,6 +439,9 @@ mod tests {
     fn display_forms() {
         assert_eq!(Value::from("x").to_string(), "\"x\"");
         assert_eq!(Value::Date(Date::year(1753)).to_string(), "1753-01-01");
-        assert_eq!(Type::List(Box::new(Type::Ref("CT".into()))).to_string(), "list<ref<CT>>");
+        assert_eq!(
+            Type::List(Box::new(Type::Ref("CT".into()))).to_string(),
+            "list<ref<CT>>"
+        );
     }
 }

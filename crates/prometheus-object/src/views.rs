@@ -27,7 +27,11 @@ pub struct View {
 impl View {
     /// Define a view.
     pub fn new(name: impl Into<String>) -> Self {
-        View { name: name.into(), classes: Vec::new(), classifications: Vec::new() }
+        View {
+            name: name.into(),
+            classes: Vec::new(),
+            classifications: Vec::new(),
+        }
     }
 
     /// Restrict to a class (deep extent).
@@ -141,7 +145,8 @@ mod tests {
             .unwrap();
         db.define_class(ClassDef::new("Specimen").attr(AttrDef::required("code", Type::Str)))
             .unwrap();
-        db.define_relationship(RelClassDef::association("R", "Object", "Object")).unwrap();
+        db.define_relationship(RelClassDef::association("R", "Object", "Object"))
+            .unwrap();
         let t1 = db
             .create_object("Taxon", vec![("name".to_string(), Value::from("a"))])
             .unwrap();

@@ -81,11 +81,17 @@ pub struct Depth {
 
 impl Depth {
     /// `->Rel` — one step.
-    pub const ONE: Depth = Depth { min: 1, max: Some(1) };
+    pub const ONE: Depth = Depth {
+        min: 1,
+        max: Some(1),
+    };
     /// `->Rel*` — closure, one or more steps.
     pub const STAR: Depth = Depth { min: 1, max: None };
     /// `->Rel?` — zero or one step (optionality, §3.2.2 requirement).
-    pub const OPT: Depth = Depth { min: 0, max: Some(1) };
+    pub const OPT: Depth = Depth {
+        min: 0,
+        max: Some(1),
+    };
 }
 
 /// Expressions.
@@ -98,11 +104,23 @@ pub enum Expr {
     Bin(BinOp, Box<Expr>, Box<Expr>),
     Un(UnOp, Box<Expr>),
     /// `expr -> Rel[depth]` / `expr <- Rel[depth]` — the objects reached.
-    Traverse { from: Box<Expr>, rel: String, dir: TravDir, depth: Depth },
+    Traverse {
+        from: Box<Expr>,
+        rel: String,
+        dir: TravDir,
+        depth: Depth,
+    },
     /// `expr ->> Rel` / `expr <<- Rel` — the relationship instances.
-    Edges { from: Box<Expr>, rel: String, dir: TravDir },
+    Edges {
+        from: Box<Expr>,
+        rel: String,
+        dir: TravDir,
+    },
     /// `(Class) expr` — selective downcast.
-    Downcast { class: String, expr: Box<Expr> },
+    Downcast {
+        class: String,
+        expr: Box<Expr>,
+    },
     /// `expr in (subquery)` or `expr in collection-expr`.
     In(Box<Expr>, Box<InSource>),
     /// `exists (subquery)`.
@@ -143,9 +161,21 @@ mod tests {
 
     #[test]
     fn depth_constants() {
-        assert_eq!(Depth::ONE, Depth { min: 1, max: Some(1) });
+        assert_eq!(
+            Depth::ONE,
+            Depth {
+                min: 1,
+                max: Some(1)
+            }
+        );
         assert_eq!(Depth::STAR, Depth { min: 1, max: None });
-        assert_eq!(Depth::OPT, Depth { min: 0, max: Some(1) });
+        assert_eq!(
+            Depth::OPT,
+            Depth {
+                min: 0,
+                max: Some(1)
+            }
+        );
     }
 
     #[test]

@@ -1,14 +1,24 @@
-//! POOL evaluation (the query layer of §6.1.5).
+//! POOL execution (the query layer of §6.1.5).
 //!
-//! Execution is nested-loop over the `from` bindings with two planner
-//! optimisations taken from §6.1.5.3:
+//! Planning lives in [`crate::plan`]: index seeding, predicate pushdown and
+//! conformance sets are resolved there, once, against the schema. This
+//! module *executes* a plan: candidate enumeration, per-candidate filters,
+//! the nested-loop join, expression evaluation, ordering and projection.
 //!
-//! * **index seeding** — a top-level conjunct `var.attr = literal` over an
-//!   indexed attribute seeds the variable's candidate set from the
-//!   attribute index instead of the full extent;
-//! * **predicate pushdown** — conjuncts that reference a single `from`
-//!   variable filter that variable's candidates *before* the cross join, so
-//!   a two-variable query does not enumerate the full product.
+//! ## Parallelism
+//!
+//! Execution is optionally morsel-parallel (see
+//! [`prometheus_object::morsel`]): with a worker budget above one, the
+//! per-candidate filter pass and the outermost join loop fan work out to
+//! scoped threads, and deep traversals expand their frontiers in parallel.
+//! Each parallel stage merges per-morsel outputs in morsel order, so the
+//! result — rows, row order, even which error surfaces — is byte-identical
+//! to the sequential run. `tests/parallel_equivalence.rs` holds this
+//! property over randomized databases and queries.
+//!
+//! Workers inside a parallel stage run nested evaluation sequentially (one
+//! level of fan-out, no thread explosion); when the outer loop is too small
+//! to split, the budget flows to traversal frontiers instead.
 //!
 //! Queries with a classification context range over the classification's
 //! participants only, and every traversal operator follows only that
@@ -16,10 +26,13 @@
 //! persisted view's members (§6.1.3).
 
 use crate::ast::*;
+use crate::plan::{self, PlanInfo, SourcePlan};
 use prometheus_object::classification::Classification;
+use prometheus_object::morsel;
 use prometheus_object::traversal::{self, Direction, TraversalSpec};
 use prometheus_object::{DbError, DbResult, Oid, Reader, Value};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One result row.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,12 +51,18 @@ pub struct QueryResult {
 impl QueryResult {
     /// The values of the first column — the common single-projection case.
     pub fn first_column(&self) -> Vec<Value> {
-        self.rows.iter().filter_map(|r| r.columns.first().cloned()).collect()
+        self.rows
+            .iter()
+            .filter_map(|r| r.columns.first().cloned())
+            .collect()
     }
 
     /// The OIDs in the first column (non-refs are skipped).
     pub fn oids(&self) -> Vec<Oid> {
-        self.first_column().iter().filter_map(Value::as_ref_oid).collect()
+        self.first_column()
+            .iter()
+            .filter_map(Value::as_ref_oid)
+            .collect()
     }
 
     /// Number of rows.
@@ -80,6 +99,45 @@ impl Env {
     }
 }
 
+/// Execution context threaded through the evaluator: the worker budget and
+/// where to tally morsels that actually ran on parallel workers.
+#[derive(Clone, Copy)]
+pub(crate) struct Cx<'a> {
+    pub workers: usize,
+    pub morsels: Option<&'a AtomicU64>,
+}
+
+impl<'a> Cx<'a> {
+    /// Sequential execution, no telemetry — the default for the plain
+    /// [`evaluate`] entry points and the rule engine.
+    pub(crate) const SEQ: Cx<'static> = Cx {
+        workers: 1,
+        morsels: None,
+    };
+
+    fn tally(&self, n: u64) {
+        if n > 0 {
+            if let Some(counter) = self.morsels {
+                counter.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The context handed to work running *inside* a parallel stage:
+    /// sequential (one level of fan-out only), same telemetry sink.
+    fn inner(&self) -> Cx<'a> {
+        Cx {
+            workers: 1,
+            morsels: self.morsels,
+        }
+    }
+}
+
+/// Candidates per morsel in the outer join loop. Each item is a full inner
+/// evaluation (remaining joins, where clause, projection), so morsels are
+/// much smaller than the filter pass's [`morsel::MORSEL_SIZE`].
+const JOIN_MORSEL: usize = 16;
+
 /// Evaluate a parsed query.
 ///
 /// Generic over [`Reader`]: pass the live `Database`, or a pinned `ReadView`
@@ -92,6 +150,48 @@ pub fn evaluate<R: Reader>(db: &R, q: &Query) -> DbResult<QueryResult> {
 
 /// Evaluate with outer bindings in scope (correlated subqueries).
 pub fn evaluate_with_env<R: Reader>(db: &R, q: &Query, outer: &Env) -> DbResult<QueryResult> {
+    evaluate_with_env_cx(db, q, outer, Cx::SEQ)
+}
+
+fn evaluate_with_env_cx<R: Reader>(
+    db: &R,
+    q: &Query,
+    outer: &Env,
+    cx: Cx<'_>,
+) -> DbResult<QueryResult> {
+    let info = plan::plan(db, q)?;
+    execute(db, q, &info, outer, cx)
+}
+
+/// Execute a pre-planned query with a worker budget, tallying parallel
+/// morsels into `morsels`. Entry point for [`crate::exec::Executor`].
+pub(crate) fn execute_parallel<R: Reader>(
+    db: &R,
+    q: &Query,
+    info: &PlanInfo,
+    workers: usize,
+    morsels: &AtomicU64,
+) -> DbResult<QueryResult> {
+    execute(
+        db,
+        q,
+        info,
+        &Env::empty(),
+        Cx {
+            workers: workers.max(1),
+            morsels: Some(morsels),
+        },
+    )
+}
+
+fn execute<R: Reader>(
+    db: &R,
+    q: &Query,
+    info: &PlanInfo,
+    outer: &Env,
+    cx: Cx<'_>,
+) -> DbResult<QueryResult> {
+    debug_assert_eq!(info.sources.len(), q.from.len(), "plan and query disagree");
     let context = match &q.context {
         Some(name) => Some(
             db.classification_by_name(name)?
@@ -99,38 +199,22 @@ pub fn evaluate_with_env<R: Reader>(db: &R, q: &Query, outer: &Env) -> DbResult<
         ),
         None => None,
     };
+    let conjuncts = match &q.where_clause {
+        Some(w) => plan::conjuncts_of(w),
+        None => Vec::new(),
+    };
 
-    // Candidate sets per from-variable, possibly index-seeded and
-    // pre-filtered by single-variable conjuncts (predicate pushdown).
-    let from_vars: Vec<&str> = q.from.iter().map(|c| c.var.as_str()).collect();
-    let mut candidate_sets: Vec<(String, Vec<Oid>)> = Vec::new();
-    for clause in &q.from {
+    // Candidate sets per from-variable: enumerate (index seed, extent or
+    // view), scope to the classification context, then filter candidates —
+    // conformance plus pushed-down conjuncts — morsel-parallel.
+    let mut candidate_sets: Vec<(String, Vec<Oid>)> = Vec::with_capacity(q.from.len());
+    for (clause, source) in q.from.iter().zip(&info.sources) {
         let mut candidates = if clause.view {
             crate::view_members(db, &clause.class)?
+        } else if let Some((attr, value)) = &source.seed {
+            db.find_by_attr(&clause.class, attr, value)?
         } else {
-            let known = db.with_schema(|s| {
-                if clause.edges {
-                    s.rel_class(&clause.class).is_some()
-                } else {
-                    s.class(&clause.class).is_some()
-                }
-            });
-            if !known {
-                return Err(DbError::Query(format!(
-                    "unknown {} '{}' in from clause",
-                    if clause.edges { "relationship class" } else { "class" },
-                    clause.class
-                )));
-            }
-            let seeded = q
-                .where_clause
-                .as_ref()
-                .and_then(|w| index_seed(db, w, clause).transpose())
-                .transpose()?;
-            match seeded {
-                Some(oids) => oids,
-                None => db.extent(&clause.class, true)?,
-            }
+            db.extent(&clause.class, true)?
         };
         if let Some(cls) = context {
             let handle = Classification::from_oid(cls);
@@ -143,75 +227,33 @@ pub fn evaluate_with_env<R: Reader>(db: &R, q: &Query, outer: &Env) -> DbResult<
                 candidates.retain(|oid| nodes.contains(oid));
             }
         }
-        // The deep extent may also contain entities of the wrong kind when a
-        // class name is shared; verify conformance (views skip this — they
-        // define their own membership).
-        let mut schema_ok: Vec<Oid> = if clause.view {
+        let pushdown: Vec<&Expr> = source.pushdown.iter().map(|&i| conjuncts[i]).collect();
+        let filtered = if source.conforming.is_none() && pushdown.is_empty() {
             candidates
         } else {
-            candidates
-                .into_iter()
-                .filter(|oid| {
-                    db.class_of(*oid)
-                        .map(|c| db.with_schema(|s| s.conforms(&c, &clause.class)))
-                        .unwrap_or(false)
-                })
-                .collect()
+            let run = morsel::run(&candidates, cx.workers, morsel::MORSEL_SIZE, |chunk| {
+                filter_candidates(
+                    db,
+                    chunk,
+                    clause,
+                    source,
+                    &pushdown,
+                    outer,
+                    context,
+                    cx.inner(),
+                )
+            })?;
+            cx.tally(run.parallel_morsels);
+            run.output
         };
-        // Predicate pushdown: conjuncts whose only from-variable is this one
-        // filter the candidate set before the join.
-        if let Some(w) = &q.where_clause {
-            let mut conjuncts = Vec::new();
-            collect_conjuncts(w, &mut conjuncts);
-            let single_var: Vec<&Expr> = conjuncts
-                .into_iter()
-                .filter(|e| {
-                    let mut free = std::collections::BTreeSet::new();
-                    free_vars(e, &mut free);
-                    let from_refs: Vec<&str> = free
-                        .iter()
-                        .filter(|v| from_vars.contains(&v.as_str()))
-                        .map(|v| v.as_str())
-                        .collect();
-                    from_refs == [clause.var.as_str()]
-                        && free.iter().all(|v| {
-                            v == &clause.var || outer.get(v).is_some() || !from_vars.contains(&v.as_str())
-                        })
-                })
-                .collect();
-            if !single_var.is_empty() {
-                let mut env = outer.clone();
-                let mut kept = Vec::with_capacity(schema_ok.len());
-                'cand: for oid in schema_ok {
-                    env.bind(&clause.var, Value::Ref(oid));
-                    for e in &single_var {
-                        // Unbound references to *other* from-variables cannot
-                        // occur (filtered above). Conjuncts short-circuit in
-                        // source order, mirroring the unpushed evaluation.
-                        if !eval_expr(db, e, &env, context)?.is_truthy() {
-                            continue 'cand;
-                        }
-                    }
-                    kept.push(oid);
-                }
-                schema_ok = kept;
-            }
-        }
-        candidate_sets.push((clause.var.clone(), schema_ok));
+        candidate_sets.push((clause.var.clone(), filtered));
     }
 
-    // Nested-loop join.
-    let mut rows: Vec<Row> = Vec::new();
-    let mut env = outer.clone();
-    bind_loop(db, q, context, &candidate_sets, 0, &mut env, &mut rows)?;
+    // Nested-loop join, outermost variable partitioned across workers.
+    let mut rows = join_rows(db, q, context, &candidate_sets, outer, cx)?;
 
-    // Order by.
+    // Order by (hidden trailing sort keys appended in bind_loop).
     if !q.order_by.is_empty() {
-        // Pre-compute sort keys (expressions may only use projected columns'
-        // source env; we re-evaluate against the row env captured below).
-        // Simpler: sort on already-computed auxiliary keys appended during
-        // projection. We recompute by storing keys alongside rows instead.
-        // (Handled in bind_loop via trailing hidden columns.)
         let keys = q.order_by.len();
         rows.sort_by(|a, b| {
             let a_keys = &a.columns[a.columns.len() - keys..];
@@ -254,6 +296,84 @@ pub fn evaluate_with_env<R: Reader>(db: &R, q: &Query, outer: &Env) -> DbResult<
     Ok(QueryResult { columns, rows })
 }
 
+/// Per-candidate filter for one morsel: conformance (the deep extent may
+/// contain entities of the wrong kind when a class name is shared), then the
+/// pushed-down conjuncts, short-circuiting in source order. Views skip
+/// conformance — they define their own membership ([`SourcePlan::conforming`]
+/// is `None`).
+#[allow(clippy::too_many_arguments)]
+fn filter_candidates<R: Reader>(
+    db: &R,
+    chunk: &[Oid],
+    clause: &FromClause,
+    source: &SourcePlan,
+    pushdown: &[&Expr],
+    outer: &Env,
+    context: Option<Oid>,
+    cx: Cx<'_>,
+) -> DbResult<Vec<Oid>> {
+    let mut env = outer.clone();
+    let mut kept = Vec::with_capacity(chunk.len());
+    'cand: for &oid in chunk {
+        if let Some(conforming) = &source.conforming {
+            let ok = db
+                .class_of(oid)
+                .map(|c| conforming.contains(&c))
+                .unwrap_or(false);
+            if !ok {
+                continue;
+            }
+        }
+        if !pushdown.is_empty() {
+            env.bind(&clause.var, Value::Ref(oid));
+            for e in pushdown {
+                // Unbound references to *other* from-variables cannot occur
+                // (the planner filtered those out).
+                if !eval_expr_cx(db, e, &env, context, cx)?.is_truthy() {
+                    continue 'cand;
+                }
+            }
+        }
+        kept.push(oid);
+    }
+    Ok(kept)
+}
+
+/// The nested-loop join. With a worker budget and an outermost candidate
+/// set spanning more than one morsel, the outer loop is split across
+/// workers — each chunk runs the full inner join sequentially and the
+/// per-morsel row vectors concatenate in morsel order, reproducing the
+/// sequential row order exactly. Small outer sets stay sequential so the
+/// budget reaches traversal frontiers inside the expressions instead.
+fn join_rows<R: Reader>(
+    db: &R,
+    q: &Query,
+    context: Option<Oid>,
+    sets: &[(String, Vec<Oid>)],
+    outer: &Env,
+    cx: Cx<'_>,
+) -> DbResult<Vec<Row>> {
+    if cx.workers > 1 && sets.first().is_some_and(|(_, c)| c.len() > JOIN_MORSEL) {
+        let (var0, candidates) = &sets[0];
+        let run = morsel::run(candidates, cx.workers, JOIN_MORSEL, |chunk| {
+            let mut env = outer.clone();
+            let mut out = Vec::new();
+            for &oid in chunk {
+                env.bind(var0, Value::Ref(oid));
+                bind_loop(db, q, context, sets, 1, &mut env, &mut out, cx.inner())?;
+            }
+            Ok(out)
+        })?;
+        cx.tally(run.parallel_morsels);
+        return Ok(run.output);
+    }
+    let mut rows = Vec::new();
+    let mut env = outer.clone();
+    bind_loop(db, q, context, sets, 0, &mut env, &mut rows, cx)?;
+    Ok(rows)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn bind_loop<R: Reader>(
     db: &R,
     q: &Query,
@@ -262,20 +382,21 @@ fn bind_loop<R: Reader>(
     depth: usize,
     env: &mut Env,
     rows: &mut Vec<Row>,
+    cx: Cx<'_>,
 ) -> DbResult<()> {
     if depth == sets.len() {
         if let Some(w) = &q.where_clause {
-            if !eval_expr(db, w, env, context)?.is_truthy() {
+            if !eval_expr_cx(db, w, env, context, cx)?.is_truthy() {
                 return Ok(());
             }
         }
         let mut columns = Vec::with_capacity(q.projection.len() + q.order_by.len());
         for (expr, _) in &q.projection {
-            columns.push(eval_expr(db, expr, env, context)?);
+            columns.push(eval_expr_cx(db, expr, env, context, cx)?);
         }
         // Hidden trailing sort keys (stripped after sorting).
         for key in &q.order_by {
-            columns.push(eval_expr(db, &key.expr, env, context)?);
+            columns.push(eval_expr_cx(db, &key.expr, env, context, cx)?);
         }
         rows.push(Row { columns });
         return Ok(());
@@ -283,109 +404,10 @@ fn bind_loop<R: Reader>(
     let (var, candidates) = &sets[depth];
     for oid in candidates {
         env.bind(var, Value::Ref(*oid));
-        bind_loop(db, q, context, sets, depth + 1, env, rows)?;
+        bind_loop(db, q, context, sets, depth + 1, env, rows, cx)?;
     }
     env.vars.remove(var);
     Ok(())
-}
-
-/// Planner: if the where clause has a top-level conjunct
-/// `clause.var.attr = literal`, try the attribute index.
-fn index_seed<R: Reader>(
-    db: &R,
-    where_clause: &Expr,
-    clause: &FromClause,
-) -> DbResult<Option<Vec<Oid>>> {
-    if clause.edges {
-        return Ok(None); // relationship attrs are not indexed
-    }
-    let mut conjuncts = Vec::new();
-    collect_conjuncts(where_clause, &mut conjuncts);
-    for e in conjuncts {
-        if let Expr::Bin(BinOp::Eq, l, r) = e {
-            for (attr_side, lit_side) in [(l, r), (r, l)] {
-                if let (Expr::Attr(base, attr), Expr::Literal(v)) =
-                    (attr_side.as_ref(), lit_side.as_ref())
-                {
-                    if let Expr::Var(name) = base.as_ref() {
-                        if name == &clause.var && attr_is_indexed(db, &clause.class, attr) {
-                            return Ok(Some(db.find_by_attr(&clause.class, attr, v)?));
-                        }
-                    }
-                }
-            }
-        }
-    }
-    Ok(None)
-}
-
-fn attr_is_indexed<R: Reader>(db: &R, class: &str, attr: &str) -> bool {
-    db.with_schema(|s| {
-        s.all_attrs(class)
-            .map(|attrs| attrs.iter().any(|a| a.name == attr && a.indexed))
-            .unwrap_or(false)
-    })
-}
-
-/// Free variables of an expression (including those referenced inside
-/// subqueries, minus the subqueries' own `from` bindings).
-fn free_vars(expr: &Expr, out: &mut std::collections::BTreeSet<String>) {
-    match expr {
-        Expr::Literal(_) => {}
-        Expr::Var(name) => {
-            out.insert(name.clone());
-        }
-        Expr::Attr(base, _) => free_vars(base, out),
-        Expr::Bin(_, l, r) => {
-            free_vars(l, out);
-            free_vars(r, out);
-        }
-        Expr::Un(_, e) => free_vars(e, out),
-        Expr::Traverse { from, .. } | Expr::Edges { from, .. } => free_vars(from, out),
-        Expr::Downcast { expr, .. } => free_vars(expr, out),
-        Expr::In(needle, source) => {
-            free_vars(needle, out);
-            match source.as_ref() {
-                InSource::Expr(e) => free_vars(e, out),
-                InSource::Query(q) => query_free_vars(q, out),
-            }
-        }
-        Expr::Exists(q) => query_free_vars(q, out),
-        Expr::Call(_, args) => {
-            for arg in args {
-                match arg {
-                    CallArg::Expr(e) => free_vars(e, out),
-                    CallArg::Query(q) => query_free_vars(q, out),
-                }
-            }
-        }
-    }
-}
-
-fn query_free_vars(q: &Query, out: &mut std::collections::BTreeSet<String>) {
-    let mut inner = std::collections::BTreeSet::new();
-    for (e, _) in &q.projection {
-        free_vars(e, &mut inner);
-    }
-    if let Some(w) = &q.where_clause {
-        free_vars(w, &mut inner);
-    }
-    for k in &q.order_by {
-        free_vars(&k.expr, &mut inner);
-    }
-    for clause in &q.from {
-        inner.remove(&clause.var);
-    }
-    out.extend(inner);
-}
-
-fn collect_conjuncts<'a>(expr: &'a Expr, out: &mut Vec<&'a Expr>) {
-    if let Expr::Bin(BinOp::And, l, r) = expr {
-        collect_conjuncts(l, out);
-        collect_conjuncts(r, out);
-    } else {
-        out.push(expr);
-    }
 }
 
 fn render_expr(expr: &Expr, i: usize) -> String {
@@ -424,8 +446,23 @@ fn attr_of_any<R: Reader>(db: &R, oid: Oid, attr: &str) -> DbResult<Value> {
     db.attr_of(oid, attr)
 }
 
-/// Evaluate an expression.
-pub fn eval_expr<R: Reader>(db: &R, expr: &Expr, env: &Env, context: Option<Oid>) -> DbResult<Value> {
+/// Evaluate an expression (sequential; the rule engine's entry point).
+pub fn eval_expr<R: Reader>(
+    db: &R,
+    expr: &Expr,
+    env: &Env,
+    context: Option<Oid>,
+) -> DbResult<Value> {
+    eval_expr_cx(db, expr, env, context, Cx::SEQ)
+}
+
+fn eval_expr_cx<R: Reader>(
+    db: &R,
+    expr: &Expr,
+    env: &Env,
+    context: Option<Oid>,
+    cx: Cx<'_>,
+) -> DbResult<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
         Expr::Var(name) => env
@@ -433,7 +470,7 @@ pub fn eval_expr<R: Reader>(db: &R, expr: &Expr, env: &Env, context: Option<Oid>
             .cloned()
             .ok_or_else(|| DbError::Query(format!("unbound variable '{name}'"))),
         Expr::Attr(base, attr) => {
-            let base = eval_expr(db, base, env, context)?;
+            let base = eval_expr_cx(db, base, env, context, cx)?;
             match base {
                 Value::Ref(oid) => attr_of_any(db, oid, attr),
                 Value::Null => Ok(Value::Null),
@@ -452,34 +489,40 @@ pub fn eval_expr<R: Reader>(db: &R, expr: &Expr, env: &Env, context: Option<Oid>
                     }
                     Ok(Value::List(out))
                 }
-                other => Err(DbError::Query(format!("cannot read attribute '{attr}' of {other}"))),
+                other => Err(DbError::Query(format!(
+                    "cannot read attribute '{attr}' of {other}"
+                ))),
             }
         }
         Expr::Bin(op, l, r) => {
             // Short-circuit booleans.
             match op {
                 BinOp::And => {
-                    let lv = eval_expr(db, l, env, context)?;
+                    let lv = eval_expr_cx(db, l, env, context, cx)?;
                     if !lv.is_truthy() {
                         return Ok(Value::Bool(false));
                     }
-                    return Ok(Value::Bool(eval_expr(db, r, env, context)?.is_truthy()));
+                    return Ok(Value::Bool(
+                        eval_expr_cx(db, r, env, context, cx)?.is_truthy(),
+                    ));
                 }
                 BinOp::Or => {
-                    let lv = eval_expr(db, l, env, context)?;
+                    let lv = eval_expr_cx(db, l, env, context, cx)?;
                     if lv.is_truthy() {
                         return Ok(Value::Bool(true));
                     }
-                    return Ok(Value::Bool(eval_expr(db, r, env, context)?.is_truthy()));
+                    return Ok(Value::Bool(
+                        eval_expr_cx(db, r, env, context, cx)?.is_truthy(),
+                    ));
                 }
                 _ => {}
             }
-            let lv = eval_expr(db, l, env, context)?;
-            let rv = eval_expr(db, r, env, context)?;
+            let lv = eval_expr_cx(db, l, env, context, cx)?;
+            let rv = eval_expr_cx(db, r, env, context, cx)?;
             eval_binop(*op, lv, rv)
         }
         Expr::Un(op, inner) => {
-            let v = eval_expr(db, inner, env, context)?;
+            let v = eval_expr_cx(db, inner, env, context, cx)?;
             match op {
                 UnOp::Not => Ok(Value::Bool(!v.is_truthy())),
                 UnOp::Neg => match v {
@@ -489,8 +532,13 @@ pub fn eval_expr<R: Reader>(db: &R, expr: &Expr, env: &Env, context: Option<Oid>
                 },
             }
         }
-        Expr::Traverse { from, rel, dir, depth } => {
-            let start = eval_expr(db, from, env, context)?;
+        Expr::Traverse {
+            from,
+            rel,
+            dir,
+            depth,
+        } => {
+            let start = eval_expr_cx(db, from, env, context, cx)?;
             let starts = refs_of(&start, "traversal source")?;
             let direction = match dir {
                 TravDir::Forward => Direction::Outgoing,
@@ -506,7 +554,12 @@ pub fn eval_expr<R: Reader>(db: &R, expr: &Expr, env: &Env, context: Option<Oid>
             let mut out: Vec<Value> = Vec::new();
             let mut seen = std::collections::BTreeSet::new();
             for s in starts {
-                for visit in traversal::traverse(db, s, &spec)? {
+                // Frontier-parallel under a worker budget; sequential (and
+                // identical) otherwise.
+                let (visits, frontier_morsels) =
+                    traversal::traverse_with(db, s, &spec, cx.workers)?;
+                cx.tally(frontier_morsels);
+                for visit in visits {
                     if seen.insert(visit.node) {
                         out.push(Value::Ref(visit.node));
                     }
@@ -515,7 +568,7 @@ pub fn eval_expr<R: Reader>(db: &R, expr: &Expr, env: &Env, context: Option<Oid>
             Ok(Value::List(out))
         }
         Expr::Edges { from, rel, dir } => {
-            let start = eval_expr(db, from, env, context)?;
+            let start = eval_expr_cx(db, from, env, context, cx)?;
             let starts = refs_of(&start, "edge-traversal source")?;
             let mut out = Vec::new();
             for s in starts {
@@ -535,7 +588,7 @@ pub fn eval_expr<R: Reader>(db: &R, expr: &Expr, env: &Env, context: Option<Oid>
             Ok(Value::List(out))
         }
         Expr::Downcast { class, expr } => {
-            let v = eval_expr(db, expr, env, context)?;
+            let v = eval_expr_cx(db, expr, env, context, cx)?;
             match v {
                 Value::Ref(oid) => {
                     let actual = db.class_of(oid)?;
@@ -564,13 +617,13 @@ pub fn eval_expr<R: Reader>(db: &R, expr: &Expr, env: &Env, context: Option<Oid>
             }
         }
         Expr::In(needle, source) => {
-            let v = eval_expr(db, needle, env, context)?;
+            let v = eval_expr_cx(db, needle, env, context, cx)?;
             let haystack = match source.as_ref() {
                 InSource::Query(q) => {
-                    let result = evaluate_with_env(db, q, env)?;
+                    let result = evaluate_with_env_cx(db, q, env, cx)?;
                     result.first_column()
                 }
-                InSource::Expr(e) => match eval_expr(db, e, env, context)? {
+                InSource::Expr(e) => match eval_expr_cx(db, e, env, context, cx)? {
                     Value::List(items) => items,
                     Value::Null => Vec::new(),
                     single => vec![single],
@@ -579,10 +632,10 @@ pub fn eval_expr<R: Reader>(db: &R, expr: &Expr, env: &Env, context: Option<Oid>
             Ok(Value::Bool(haystack.contains(&v)))
         }
         Expr::Exists(q) => {
-            let result = evaluate_with_env(db, q, env)?;
+            let result = evaluate_with_env_cx(db, q, env, cx)?;
             Ok(Value::Bool(!result.is_empty()))
         }
-        Expr::Call(name, args) => eval_call(db, name, args, env, context),
+        Expr::Call(name, args) => eval_call(db, name, args, env, context, cx),
     }
 }
 
@@ -597,7 +650,9 @@ fn refs_of(v: &Value, what: &str) -> DbResult<Vec<Oid>> {
                     .ok_or_else(|| DbError::Query(format!("{what} must be references, found {i}")))
             })
             .collect(),
-        other => Err(DbError::Query(format!("{what} must be a reference, found {other}"))),
+        other => Err(DbError::Query(format!(
+            "{what} must be a reference, found {other}"
+        ))),
     }
 }
 
@@ -612,46 +667,46 @@ fn eval_binop(op: BinOp, l: Value, r: Value) -> DbResult<Value> {
         Ge => Value::Bool(l >= r),
         Like => {
             let (Value::Str(s), Value::Str(p)) = (&l, &r) else {
-                return Err(DbError::Query(format!("like requires strings, found {l} and {r}")));
+                return Err(DbError::Query(format!(
+                    "like requires strings, found {l} and {r}"
+                )));
             };
             Value::Bool(like_match(s, p))
         }
-        Add | Sub | Mul | Div => {
-            match (&l, &r) {
-                (Value::Int(a), Value::Int(b)) => match op {
-                    Add => Value::Int(a + b),
-                    Sub => Value::Int(a - b),
-                    Mul => Value::Int(a * b),
+        Add | Sub | Mul | Div => match (&l, &r) {
+            (Value::Int(a), Value::Int(b)) => match op {
+                Add => Value::Int(a + b),
+                Sub => Value::Int(a - b),
+                Mul => Value::Int(a * b),
+                Div => {
+                    if *b == 0 {
+                        return Err(DbError::Query("division by zero".into()));
+                    }
+                    Value::Int(a / b)
+                }
+                _ => unreachable!(),
+            },
+            (Value::Str(a), Value::Str(b)) if op == Add => Value::Str(format!("{a}{b}")),
+            _ => {
+                let (Some(a), Some(b)) = (l.as_float(), r.as_float()) else {
+                    return Err(DbError::Query(format!(
+                        "arithmetic requires numbers, found {l} and {r}"
+                    )));
+                };
+                match op {
+                    Add => Value::Float(a + b),
+                    Sub => Value::Float(a - b),
+                    Mul => Value::Float(a * b),
                     Div => {
-                        if *b == 0 {
+                        if b == 0.0 {
                             return Err(DbError::Query("division by zero".into()));
                         }
-                        Value::Int(a / b)
+                        Value::Float(a / b)
                     }
                     _ => unreachable!(),
-                },
-                (Value::Str(a), Value::Str(b)) if op == Add => Value::Str(format!("{a}{b}")),
-                _ => {
-                    let (Some(a), Some(b)) = (l.as_float(), r.as_float()) else {
-                        return Err(DbError::Query(format!(
-                            "arithmetic requires numbers, found {l} and {r}"
-                        )));
-                    };
-                    match op {
-                        Add => Value::Float(a + b),
-                        Sub => Value::Float(a - b),
-                        Mul => Value::Float(a * b),
-                        Div => {
-                            if b == 0.0 {
-                                return Err(DbError::Query("division by zero".into()));
-                            }
-                            Value::Float(a / b)
-                        }
-                        _ => unreachable!(),
-                    }
                 }
             }
-        }
+        },
         And | Or => unreachable!("handled with short-circuit"),
     })
 }
@@ -690,12 +745,13 @@ fn eval_call<R: Reader>(
     args: &[CallArg],
     env: &Env,
     context: Option<Oid>,
+    cx: Cx<'_>,
 ) -> DbResult<Value> {
     // Aggregate / collection argument: a subquery's first column or a list.
     let collection = |arg: &CallArg| -> DbResult<Vec<Value>> {
         match arg {
-            CallArg::Query(q) => Ok(evaluate_with_env(db, q, env)?.first_column()),
-            CallArg::Expr(e) => match eval_expr(db, e, env, context)? {
+            CallArg::Query(q) => Ok(evaluate_with_env_cx(db, q, env, cx)?.first_column()),
+            CallArg::Expr(e) => match eval_expr_cx(db, e, env, context, cx)? {
                 Value::List(items) => Ok(items),
                 Value::Null => Ok(Vec::new()),
                 single => Ok(vec![single]),
@@ -704,9 +760,9 @@ fn eval_call<R: Reader>(
     };
     let scalar = |arg: &CallArg| -> DbResult<Value> {
         match arg {
-            CallArg::Expr(e) => eval_expr(db, e, env, context),
+            CallArg::Expr(e) => eval_expr_cx(db, e, env, context, cx),
             CallArg::Query(q) => {
-                let c = evaluate_with_env(db, q, env)?.first_column();
+                let c = evaluate_with_env_cx(db, q, env, cx)?.first_column();
                 Ok(c.into_iter().next().unwrap_or(Value::Null))
             }
         }
@@ -758,7 +814,11 @@ fn eval_call<R: Reader>(
                 }
             }
             if name == "sum" {
-                Ok(if all_int { Value::Int(int_total) } else { Value::Float(total) })
+                Ok(if all_int {
+                    Value::Int(int_total)
+                } else {
+                    Value::Float(total)
+                })
             } else if count == 0 {
                 Ok(Value::Null)
             } else {
@@ -771,20 +831,27 @@ fn eval_call<R: Reader>(
         }
         "first" => {
             need(1)?;
-            Ok(collection(&args[0])?.into_iter().next().unwrap_or(Value::Null))
+            Ok(collection(&args[0])?
+                .into_iter()
+                .next()
+                .unwrap_or(Value::Null))
         }
         "oid" => {
             need(1)?;
             match scalar(&args[0])? {
                 Value::Ref(oid) => Ok(Value::Int(oid.raw() as i64)),
-                other => Err(DbError::Query(format!("oid() expects a reference, found {other}"))),
+                other => Err(DbError::Query(format!(
+                    "oid() expects a reference, found {other}"
+                ))),
             }
         }
         "class" => {
             need(1)?;
             match scalar(&args[0])? {
                 Value::Ref(oid) => Ok(Value::Str(db.class_of(oid)?)),
-                other => Err(DbError::Query(format!("class() expects a reference, found {other}"))),
+                other => Err(DbError::Query(format!(
+                    "class() expects a reference, found {other}"
+                ))),
             }
         }
         "starts_with" | "ends_with" => {
@@ -796,7 +863,9 @@ fn eval_call<R: Reader>(
                     s.ends_with(&p)
                 })),
                 (Value::Null, _) | (_, Value::Null) => Ok(Value::Bool(false)),
-                (a, b) => Err(DbError::Query(format!("{name}() expects strings, found {a}, {b}"))),
+                (a, b) => Err(DbError::Query(format!(
+                    "{name}() expects strings, found {a}, {b}"
+                ))),
             }
         }
         "capitalized" => {
@@ -804,11 +873,13 @@ fn eval_call<R: Reader>(
             // (genus-name rule, Figure 36) need exactly this predicate.
             need(1)?;
             match scalar(&args[0])? {
-                Value::Str(s) => {
-                    Ok(Value::Bool(s.chars().next().map(char::is_uppercase).unwrap_or(false)))
-                }
+                Value::Str(s) => Ok(Value::Bool(
+                    s.chars().next().map(char::is_uppercase).unwrap_or(false),
+                )),
                 Value::Null => Ok(Value::Bool(false)),
-                other => Err(DbError::Query(format!("capitalized() expects a string, found {other}"))),
+                other => Err(DbError::Query(format!(
+                    "capitalized() expects a string, found {other}"
+                ))),
             }
         }
         "lower" | "upper" => {
@@ -820,7 +891,9 @@ fn eval_call<R: Reader>(
                     s.to_uppercase()
                 })),
                 Value::Null => Ok(Value::Null),
-                other => Err(DbError::Query(format!("{name}() expects a string, found {other}"))),
+                other => Err(DbError::Query(format!(
+                    "{name}() expects a string, found {other}"
+                ))),
             }
         }
         "date" => {
@@ -832,7 +905,9 @@ fn eval_call<R: Reader>(
                 match scalar(arg)? {
                     Value::Int(n) => parts[i] = n,
                     other => {
-                        return Err(DbError::Query(format!("date() expects integers, found {other}")))
+                        return Err(DbError::Query(format!(
+                            "date() expects integers, found {other}"
+                        )))
                     }
                 }
             }
@@ -865,7 +940,10 @@ mod tests {
 
     #[test]
     fn binop_arithmetic_and_comparison() {
-        assert_eq!(eval_binop(BinOp::Add, Value::Int(2), Value::Int(3)).unwrap(), Value::Int(5));
+        assert_eq!(
+            eval_binop(BinOp::Add, Value::Int(2), Value::Int(3)).unwrap(),
+            Value::Int(5)
+        );
         assert_eq!(
             eval_binop(BinOp::Add, Value::from("a"), Value::from("b")).unwrap(),
             Value::from("ab")

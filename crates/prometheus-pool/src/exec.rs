@@ -1,0 +1,163 @@
+//! The POOL executor: a schema-versioned plan cache in front of
+//! morsel-parallel execution.
+//!
+//! [`Executor`] is the long-lived query front end an embedder (the wire
+//! server, the load generator) keeps next to its database handle. Per query
+//! it:
+//!
+//! 1. looks the query text up in an LRU **plan cache** keyed by
+//!    `(default context, text)` — a hit skips lexing, parsing and planning;
+//! 2. validates the cached plan's schema version against
+//!    [`prometheus_object::SchemaRegistry::version`], re-planning if the
+//!    schema moved since (so `define_class` can never leave a stale seed or
+//!    conformance set behind);
+//! 3. executes the plan with this executor's worker budget — candidate
+//!    filtering, the outer join loop and traversal frontiers run
+//!    morsel-parallel, with outputs merged in morsel order so results are
+//!    byte-identical to a sequential run.
+//!
+//! The executor is `Sync`: one instance serves concurrent sessions, which
+//! is what makes the plan cache pay — every session reuses every other
+//! session's plans.
+
+use crate::ast::Query;
+use crate::eval::{self, QueryResult};
+use crate::plan::{self, PlanInfo};
+use prometheus_object::{DbResult, Reader};
+use prometheus_storage::cache::LruCache;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Plan-cache capacity of [`Executor::new`]: generous for a realistic
+/// workload's distinct query texts, small against object-cache budgets.
+pub const DEFAULT_PLAN_CACHE: usize = 256;
+
+/// A cached, immutable plan: the contextualised parsed query, the planner's
+/// per-clause decisions, and the schema version they were made against.
+#[derive(Debug)]
+pub struct QueryPlan {
+    pub query: Query,
+    pub info: PlanInfo,
+    pub schema_version: u64,
+}
+
+/// Point-in-time executor counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStatsSnapshot {
+    /// Queries answered from the plan cache (current schema version).
+    pub plan_cache_hits: u64,
+    /// Queries that had to parse + plan (cold, evicted, or schema moved).
+    pub plan_cache_misses: u64,
+    /// Morsels executed by parallel workers across all stages (candidate
+    /// filters, outer join loops, traversal frontiers). Zero under a
+    /// one-worker budget or when inputs fit in single morsels.
+    pub parallel_morsels: u64,
+}
+
+#[derive(Debug, Default)]
+struct ExecStats {
+    plan_cache_hits: AtomicU64,
+    plan_cache_misses: AtomicU64,
+    parallel_morsels: AtomicU64,
+}
+
+type PlanKey = (Option<String>, String);
+
+/// Cached-plan, worker-pooled POOL query front end. See the module docs.
+#[derive(Debug)]
+pub struct Executor {
+    workers: usize,
+    cache: Mutex<LruCache<PlanKey, Arc<QueryPlan>>>,
+    stats: ExecStats,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // The cache holds only immutable Arc'd plans; a panicking thread cannot
+    // leave it half-updated, so poison is safe to swallow.
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Executor {
+    /// An executor with `workers` parallel workers per query (clamped to at
+    /// least 1) and the default plan-cache capacity.
+    pub fn new(workers: usize) -> Executor {
+        Executor::with_cache_capacity(workers, DEFAULT_PLAN_CACHE)
+    }
+
+    /// [`Executor::new`] with an explicit plan-cache capacity (0 disables
+    /// plan caching; every query then parses and plans).
+    pub fn with_cache_capacity(workers: usize, capacity: usize) -> Executor {
+        Executor {
+            workers: workers.max(1),
+            cache: Mutex::new(LruCache::new(capacity)),
+            stats: ExecStats::default(),
+        }
+    }
+
+    /// The per-query worker budget.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Parse (or fetch from the plan cache), plan and execute `text`.
+    ///
+    /// `default_context` is the session's classification context: applied
+    /// only when the query has no `in classification` clause of its own,
+    /// and part of the cache key, so sessions in different contexts never
+    /// share a contextualised plan.
+    pub fn query<R: Reader>(
+        &self,
+        db: &R,
+        text: &str,
+        default_context: Option<&str>,
+    ) -> DbResult<QueryResult> {
+        let plan = self.plan_for(db, text, default_context)?;
+        eval::execute_parallel(
+            db,
+            &plan.query,
+            &plan.info,
+            self.workers,
+            &self.stats.parallel_morsels,
+        )
+    }
+
+    /// Counter snapshot (plan-cache hits/misses, parallel morsels).
+    pub fn stats(&self) -> ExecStatsSnapshot {
+        ExecStatsSnapshot {
+            plan_cache_hits: self.stats.plan_cache_hits.load(Ordering::Relaxed),
+            plan_cache_misses: self.stats.plan_cache_misses.load(Ordering::Relaxed),
+            parallel_morsels: self.stats.parallel_morsels.load(Ordering::Relaxed),
+        }
+    }
+
+    fn plan_for<R: Reader>(
+        &self,
+        db: &R,
+        text: &str,
+        default_context: Option<&str>,
+    ) -> DbResult<Arc<QueryPlan>> {
+        let version = db.with_schema(|s| s.version());
+        let key: PlanKey = (default_context.map(str::to_string), text.to_string());
+        if let Some(cached) = lock(&self.cache).get(&key).cloned() {
+            if cached.schema_version == version {
+                self.stats.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(cached);
+            }
+            // Schema moved under the plan: seeds and conformance sets may be
+            // stale. Fall through and re-plan (the put below replaces it).
+        }
+        self.stats.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
+        let mut query = crate::parse(text)?;
+        if query.context.is_none() {
+            query.context = default_context.map(str::to_string);
+        }
+        let info = plan::plan(db, &query)?;
+        let plan = Arc::new(QueryPlan {
+            query,
+            info,
+            schema_version: version,
+        });
+        lock(&self.cache).put(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+}

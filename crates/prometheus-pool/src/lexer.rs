@@ -28,10 +28,10 @@ pub enum Token {
     Le,
     Gt,
     Ge,
-    Arrow,      // ->
-    ArrowEdge,  // ->>
-    BackArrow,  // <-
-    BackEdge,   // <<-
+    Arrow,     // ->
+    ArrowEdge, // ->>
+    BackArrow, // <-
+    BackEdge,  // <<-
 }
 
 impl fmt::Display for Token {
@@ -224,19 +224,20 @@ pub fn lex(input: &str) -> Result<Vec<Token>, String> {
                     }
                     let text = &input[start..i];
                     tokens.push(Token::Float(
-                        text.parse().map_err(|e| format!("bad float '{text}': {e}"))?,
+                        text.parse()
+                            .map_err(|e| format!("bad float '{text}': {e}"))?,
                     ));
                 } else {
                     let text = &input[start..i];
                     tokens.push(Token::Int(
-                        text.parse().map_err(|e| format!("bad integer '{text}': {e}"))?,
+                        text.parse()
+                            .map_err(|e| format!("bad integer '{text}': {e}"))?,
                     ));
                 }
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len()
-                    && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
                 {
                     i += 1;
                 }
@@ -292,14 +293,25 @@ mod tests {
         let tokens = lex("< <= > >= = != <>").unwrap();
         assert_eq!(
             tokens,
-            vec![Token::Lt, Token::Le, Token::Gt, Token::Ge, Token::Eq, Token::Ne, Token::Ne]
+            vec![
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Eq,
+                Token::Ne,
+                Token::Ne
+            ]
         );
     }
 
     #[test]
     fn strings_with_escapes_and_quotes() {
         let tokens = lex(r#""a\"b" 'single'"#).unwrap();
-        assert_eq!(tokens, vec![Token::Str("a\"b".into()), Token::Str("single".into())]);
+        assert_eq!(
+            tokens,
+            vec![Token::Str("a\"b".into()), Token::Str("single".into())]
+        );
     }
 
     #[test]
@@ -311,7 +323,10 @@ mod tests {
     #[test]
     fn comments_are_skipped() {
         let tokens = lex("select // this is a comment\n x").unwrap();
-        assert_eq!(tokens, vec![Token::Ident("select".into()), Token::Ident("x".into())]);
+        assert_eq!(
+            tokens,
+            vec![Token::Ident("select".into()), Token::Ident("x".into())]
+        );
     }
 
     #[test]

@@ -58,18 +58,23 @@
 
 pub mod ast;
 pub mod eval;
+pub mod exec;
 pub mod lexer;
 pub mod parser;
+pub mod plan;
 pub mod printer;
 
 pub use ast::{BinOp, Expr, FromClause, OrderKey, Query, UnOp};
 pub use eval::{QueryResult, Row};
+pub use exec::{ExecStatsSnapshot, Executor};
 use prometheus_object::{DbError, DbResult, Reader};
 
 /// Parse a POOL query string.
 pub fn parse(input: &str) -> DbResult<Query> {
     let tokens = lexer::lex(input).map_err(DbError::Query)?;
-    parser::Parser::new(tokens).parse_query().map_err(DbError::Query)
+    parser::Parser::new(tokens)
+        .parse_query()
+        .map_err(DbError::Query)
 }
 
 /// Parse and evaluate a POOL query.
@@ -92,14 +97,18 @@ pub(crate) fn view_members<R: Reader>(db: &R, name: &str) -> DbResult<Vec<promet
 /// this for conditions, evaluated later against event bindings.
 pub fn parse_expr(input: &str) -> DbResult<Expr> {
     let tokens = lexer::lex(input).map_err(DbError::Query)?;
-    parser::Parser::new(tokens).parse_standalone_expr().map_err(DbError::Query)
+    parser::Parser::new(tokens)
+        .parse_standalone_expr()
+        .map_err(DbError::Query)
 }
 
 /// Parse and evaluate a POOL *expression* (no `select`), with no variables
 /// in scope. Useful for rule conditions over literals and functions.
 pub fn eval_expr<R: Reader>(db: &R, input: &str) -> DbResult<prometheus_object::Value> {
     let tokens = lexer::lex(input).map_err(DbError::Query)?;
-    let expr = parser::Parser::new(tokens).parse_standalone_expr().map_err(DbError::Query)?;
+    let expr = parser::Parser::new(tokens)
+        .parse_standalone_expr()
+        .map_err(DbError::Query)?;
     let env = eval::Env::empty();
     eval::eval_expr(db, &expr, &env, None)
 }

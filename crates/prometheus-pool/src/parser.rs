@@ -12,8 +12,23 @@ use prometheus_object::Value;
 /// downcast target.
 fn is_clause_keyword(word: &str) -> bool {
     const CLAUSE_KEYWORDS: [&str; 17] = [
-        "select", "distinct", "as", "from", "edges", "in", "classification", "where", "order",
-        "by", "desc", "asc", "limit", "and", "or", "like", "not",
+        "select",
+        "distinct",
+        "as",
+        "from",
+        "edges",
+        "in",
+        "classification",
+        "where",
+        "order",
+        "by",
+        "desc",
+        "asc",
+        "limit",
+        "and",
+        "or",
+        "like",
+        "not",
     ];
     CLAUSE_KEYWORDS.iter().any(|k| word.eq_ignore_ascii_case(k))
 }
@@ -36,7 +51,10 @@ impl Parser {
     pub fn parse_query(mut self) -> PResult<Query> {
         let q = self.query()?;
         if self.pos != self.tokens.len() {
-            return Err(format!("unexpected trailing token: {}", self.tokens[self.pos]));
+            return Err(format!(
+                "unexpected trailing token: {}",
+                self.tokens[self.pos]
+            ));
         }
         Ok(q)
     }
@@ -46,7 +64,10 @@ impl Parser {
     pub fn parse_standalone_expr(mut self) -> PResult<Expr> {
         let e = self.expr()?;
         if self.pos != self.tokens.len() {
-            return Err(format!("unexpected trailing token: {}", self.tokens[self.pos]));
+            return Err(format!(
+                "unexpected trailing token: {}",
+                self.tokens[self.pos]
+            ));
         }
         Ok(e)
     }
@@ -119,7 +140,11 @@ impl Parser {
         let mut projection = Vec::new();
         loop {
             let e = self.expr()?;
-            let alias = if self.eat_keyword("as") { Some(self.ident()?) } else { None };
+            let alias = if self.eat_keyword("as") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
             projection.push((e, alias));
             if !matches!(self.peek(), Some(Token::Comma)) {
                 break;
@@ -132,14 +157,26 @@ impl Parser {
             // `view "name" var` ranges over a persisted view's members.
             if self.is_keyword(0, "view") && matches!(self.peek_at(1), Some(Token::Str(_))) {
                 self.pos += 1;
-                let Token::Str(name) = self.next()? else { unreachable!() };
+                let Token::Str(name) = self.next()? else {
+                    unreachable!()
+                };
                 let var = self.ident()?;
-                from.push(FromClause { var, class: name, edges: false, view: true });
+                from.push(FromClause {
+                    var,
+                    class: name,
+                    edges: false,
+                    view: true,
+                });
             } else {
                 let edges = self.eat_keyword("edges");
                 let class = self.ident()?;
                 let var = self.ident()?;
-                from.push(FromClause { var, class, edges, view: false });
+                from.push(FromClause {
+                    var,
+                    class,
+                    edges,
+                    view: false,
+                });
             }
             if !matches!(self.peek(), Some(Token::Comma)) {
                 break;
@@ -155,7 +192,11 @@ impl Parser {
         } else {
             None
         };
-        let where_clause = if self.eat_keyword("where") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_keyword("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.is_keyword(0, "order") && self.is_keyword(1, "by") {
             self.pos += 2;
@@ -182,7 +223,15 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { distinct, projection, from, context, where_clause, order_by, limit })
+        Ok(Query {
+            distinct,
+            projection,
+            from,
+            context,
+            where_clause,
+            order_by,
+            limit,
+        })
     }
 
     fn expr(&mut self) -> PResult<Expr> {
@@ -325,12 +374,20 @@ impl Parser {
                 Some(Token::ArrowEdge) => {
                     self.pos += 1;
                     let rel = self.ident()?;
-                    expr = Expr::Edges { from: Box::new(expr), rel, dir: TravDir::Forward };
+                    expr = Expr::Edges {
+                        from: Box::new(expr),
+                        rel,
+                        dir: TravDir::Forward,
+                    };
                 }
                 Some(Token::BackEdge) => {
                     self.pos += 1;
                     let rel = self.ident()?;
-                    expr = Expr::Edges { from: Box::new(expr), rel, dir: TravDir::Backward };
+                    expr = Expr::Edges {
+                        from: Box::new(expr),
+                        rel,
+                        dir: TravDir::Backward,
+                    };
                 }
                 _ => break,
             }
@@ -365,12 +422,18 @@ impl Parser {
                             if max < min as i64 {
                                 return Err(format!("empty depth range [{min}..{max}]"));
                             }
-                            Depth { min, max: Some(max as u32) }
+                            Depth {
+                                min,
+                                max: Some(max as u32),
+                            }
                         }
                         _ => Depth { min, max: None },
                     }
                 } else {
-                    Depth { min, max: Some(min) }
+                    Depth {
+                        min,
+                        max: Some(min),
+                    }
                 };
                 self.expect(&Token::RBracket)?;
                 Ok(depth)
@@ -414,7 +477,10 @@ impl Parser {
                     if target_starts {
                         self.pos += 3;
                         let target = self.postfix_expr()?;
-                        return Ok(Expr::Downcast { class, expr: Box::new(target) });
+                        return Ok(Expr::Downcast {
+                            class,
+                            expr: Box::new(target),
+                        });
                     }
                 }
                 if self.is_keyword(1, "select") {
@@ -500,7 +566,12 @@ mod tests {
         assert_eq!(q.projection.len(), 1);
         assert_eq!(
             q.from,
-            vec![FromClause { var: "x".into(), class: "Taxon".into(), edges: false, view: false }]
+            vec![FromClause {
+                var: "x".into(),
+                class: "Taxon".into(),
+                edges: false,
+                view: false
+            }]
         );
         assert!(q.where_clause.is_none());
         assert!(!q.distinct);
@@ -553,13 +624,29 @@ mod tests {
             ("x -> R*", Depth::STAR),
             ("x -> R+", Depth::STAR),
             ("x -> R?", Depth::OPT),
-            ("x -> R[2..4]", Depth { min: 2, max: Some(4) }),
-            ("x -> R[3]", Depth { min: 3, max: Some(3) }),
+            (
+                "x -> R[2..4]",
+                Depth {
+                    min: 2,
+                    max: Some(4),
+                },
+            ),
+            (
+                "x -> R[3]",
+                Depth {
+                    min: 3,
+                    max: Some(3),
+                },
+            ),
             ("x -> R[1..]", Depth { min: 1, max: None }),
         ] {
             let q = parse(&format!("select y from T y where z in {src}"));
-            let Some(Expr::In(_, b)) = q.where_clause else { panic!() };
-            let InSource::Expr(Expr::Traverse { depth, .. }) = *b else { panic!() };
+            let Some(Expr::In(_, b)) = q.where_clause else {
+                panic!()
+            };
+            let InSource::Expr(Expr::Traverse { depth, .. }) = *b else {
+                panic!()
+            };
             assert_eq!(depth, expected, "{src}");
         }
     }
@@ -577,7 +664,10 @@ mod tests {
         let q = parse("select (CT) x from Taxon x");
         assert!(matches!(q.projection[0].0, Expr::Downcast { .. }));
         let q = parse("select x from Taxon x where (x.a) = 1");
-        assert!(matches!(q.where_clause.unwrap(), Expr::Bin(BinOp::Eq, _, _)));
+        assert!(matches!(
+            q.where_clause.unwrap(),
+            Expr::Bin(BinOp::Eq, _, _)
+        ));
     }
 
     #[test]
@@ -605,7 +695,9 @@ mod tests {
         let q = parse("select x from T x where x.a = 1 + 2 * 3");
         match q.where_clause.unwrap() {
             Expr::Bin(BinOp::Eq, _, rhs) => match *rhs {
-                Expr::Bin(BinOp::Add, _, mul) => assert!(matches!(*mul, Expr::Bin(BinOp::Mul, _, _))),
+                Expr::Bin(BinOp::Add, _, mul) => {
+                    assert!(matches!(*mul, Expr::Bin(BinOp::Mul, _, _)))
+                }
                 other => panic!("unexpected {other:?}"),
             },
             other => panic!("unexpected {other:?}"),
@@ -622,7 +714,9 @@ mod tests {
 
     #[test]
     fn standalone_expr() {
-        let e = Parser::new(lex("1 + 2 = 3").unwrap()).parse_standalone_expr().unwrap();
+        let e = Parser::new(lex("1 + 2 = 3").unwrap())
+            .parse_standalone_expr()
+            .unwrap();
         assert!(matches!(e, Expr::Bin(BinOp::Eq, _, _)));
     }
 }

@@ -13,55 +13,55 @@ use std::fmt;
 
 impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            write!(f, "select ")?;
-            if self.distinct {
-                write!(f, "distinct ")?;
+        write!(f, "select ")?;
+        if self.distinct {
+            write!(f, "distinct ")?;
+        }
+        for (i, (expr, alias)) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
             }
-            for (i, (expr, alias)) in self.projection.iter().enumerate() {
+            write!(f, "{expr}")?;
+            if let Some(a) = alias {
+                write!(f, " as {a}")?;
+            }
+        }
+        write!(f, " from ")?;
+        for (i, clause) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if clause.view {
+                write!(f, "view \"{}\" {}", escape(&clause.class), clause.var)?;
+            } else {
+                if clause.edges {
+                    write!(f, "edges ")?;
+                }
+                write!(f, "{} {}", clause.class, clause.var)?;
+            }
+        }
+        if let Some(ctx) = &self.context {
+            write!(f, " in classification \"{}\"", escape(ctx))?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " where {w}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " order by ")?;
+            for (i, key) in self.order_by.iter().enumerate() {
                 if i > 0 {
                     write!(f, ", ")?;
                 }
-                write!(f, "{expr}")?;
-                if let Some(a) = alias {
-                    write!(f, " as {a}")?;
+                write!(f, "{}", key.expr)?;
+                if key.descending {
+                    write!(f, " desc")?;
                 }
             }
-            write!(f, " from ")?;
-            for (i, clause) in self.from.iter().enumerate() {
-                if i > 0 {
-                    write!(f, ", ")?;
-                }
-                if clause.view {
-                    write!(f, "view \"{}\" {}", escape(&clause.class), clause.var)?;
-                } else {
-                    if clause.edges {
-                        write!(f, "edges ")?;
-                    }
-                    write!(f, "{} {}", clause.class, clause.var)?;
-                }
-            }
-            if let Some(ctx) = &self.context {
-                write!(f, " in classification \"{}\"", escape(ctx))?;
-            }
-            if let Some(w) = &self.where_clause {
-                write!(f, " where {w}")?;
-            }
-            if !self.order_by.is_empty() {
-                write!(f, " order by ")?;
-                for (i, key) in self.order_by.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    write!(f, "{}", key.expr)?;
-                    if key.descending {
-                        write!(f, " desc")?;
-                    }
-                }
-            }
-            if let Some(n) = self.limit {
-                write!(f, " limit {n}")?;
-            }
-            Ok(())
+        }
+        if let Some(n) = self.limit {
+            write!(f, " limit {n}")?;
+        }
+        Ok(())
     }
 }
 
@@ -74,7 +74,12 @@ impl fmt::Display for Expr {
             Expr::Bin(op, l, r) => write!(f, "({l} {} {r})", bin_op_str(*op)),
             Expr::Un(UnOp::Not, e) => write!(f, "(not {e})"),
             Expr::Un(UnOp::Neg, e) => write!(f, "(-{e})"),
-            Expr::Traverse { from, rel, dir, depth } => {
+            Expr::Traverse {
+                from,
+                rel,
+                dir,
+                depth,
+            } => {
                 let arrow = match dir {
                     TravDir::Forward => "->",
                     TravDir::Backward => "<-",
@@ -186,7 +191,10 @@ mod tests {
         let q1 = parse(src).expect(src);
         let printed = q1.to_string();
         let q2 = parse(&printed).unwrap_or_else(|e| panic!("reparse of `{printed}`: {e}"));
-        assert_eq!(q1, q2, "print/reparse changed the AST for `{src}` -> `{printed}`");
+        assert_eq!(
+            q1, q2,
+            "print/reparse changed the AST for `{src}` -> `{printed}`"
+        );
     }
 
     #[test]

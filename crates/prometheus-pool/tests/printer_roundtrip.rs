@@ -1,11 +1,11 @@
 //! Property test: any POOL AST the printer can express re-parses to the
 //! identical AST (`parse ∘ print = id`).
 
+use prometheus_object::Value;
 use prometheus_pool::ast::{
     BinOp, CallArg, Depth, Expr, FromClause, InSource, OrderKey, Query, TravDir, UnOp,
 };
 use prometheus_pool::parse;
-use prometheus_object::Value;
 use proptest::prelude::*;
 
 /// Identifiers that can never collide with keywords.
@@ -33,8 +33,14 @@ fn depth() -> impl Strategy<Value = Depth> {
         Just(Depth::ONE),
         Just(Depth::STAR),
         Just(Depth::OPT),
-        (0u32..5).prop_map(|n| Depth { min: n, max: Some(n) }),
-        (0u32..3, 3u32..6).prop_map(|(a, b)| Depth { min: a, max: Some(b) }),
+        (0u32..5).prop_map(|n| Depth {
+            min: n,
+            max: Some(n)
+        }),
+        (0u32..3, 3u32..6).prop_map(|(a, b)| Depth {
+            min: a,
+            max: Some(b)
+        }),
         (0u32..4).prop_map(|n| Depth { min: n, max: None }),
     ]
 }
@@ -62,8 +68,11 @@ fn expr() -> impl Strategy<Value = Expr> {
     leaf.prop_recursive(3, 24, 3, |inner| {
         prop_oneof![
             (inner.clone(), ident()).prop_map(|(e, a)| Expr::Attr(Box::new(e), a)),
-            (bin_op(), inner.clone(), inner.clone())
-                .prop_map(|(op, l, r)| Expr::Bin(op, Box::new(l), Box::new(r))),
+            (bin_op(), inner.clone(), inner.clone()).prop_map(|(op, l, r)| Expr::Bin(
+                op,
+                Box::new(l),
+                Box::new(r)
+            )),
             inner.clone().prop_map(|e| Expr::Un(UnOp::Not, Box::new(e))),
             // Match the parser's normal form: Neg folds into numeric
             // literals.
@@ -76,17 +85,27 @@ fn expr() -> impl Strategy<Value = Expr> {
                 |(e, rel, fwd, depth)| Expr::Traverse {
                     from: Box::new(e),
                     rel,
-                    dir: if fwd { TravDir::Forward } else { TravDir::Backward },
+                    dir: if fwd {
+                        TravDir::Forward
+                    } else {
+                        TravDir::Backward
+                    },
                     depth,
                 }
             ),
             (inner.clone(), class_ident(), any::<bool>()).prop_map(|(e, rel, fwd)| Expr::Edges {
                 from: Box::new(e),
                 rel,
-                dir: if fwd { TravDir::Forward } else { TravDir::Backward },
+                dir: if fwd {
+                    TravDir::Forward
+                } else {
+                    TravDir::Backward
+                },
             }),
-            (class_ident(), inner.clone())
-                .prop_map(|(c, e)| Expr::Downcast { class: c, expr: Box::new(e) }),
+            (class_ident(), inner.clone()).prop_map(|(c, e)| Expr::Downcast {
+                class: c,
+                expr: Box::new(e)
+            }),
             (inner.clone(), inner.clone())
                 .prop_map(|(n, c)| Expr::In(Box::new(n), Box::new(InSource::Expr(c)))),
             (inner.clone(),).prop_map(|(e,)| Expr::Call("count".into(), vec![CallArg::Expr(e)])),
@@ -104,26 +123,28 @@ fn query() -> impl Strategy<Value = Query> {
         prop::collection::vec((expr(), any::<bool>()), 0..2),
         prop::option::of(0usize..100),
     )
-        .prop_map(|(distinct, projection, from, context, where_clause, order, limit)| Query {
-            distinct,
-            projection,
-            from: from
-                .into_iter()
-                .map(|(class, var, edges, view)| FromClause {
-                    var,
-                    class,
-                    edges: edges && !view,
-                    view,
-                })
-                .collect(),
-            context,
-            where_clause,
-            order_by: order
-                .into_iter()
-                .map(|(expr, descending)| OrderKey { expr, descending })
-                .collect(),
-            limit,
-        })
+        .prop_map(
+            |(distinct, projection, from, context, where_clause, order, limit)| Query {
+                distinct,
+                projection,
+                from: from
+                    .into_iter()
+                    .map(|(class, var, edges, view)| FromClause {
+                        var,
+                        class,
+                        edges: edges && !view,
+                        view,
+                    })
+                    .collect(),
+                context,
+                where_clause,
+                order_by: order
+                    .into_iter()
+                    .map(|(expr, descending)| OrderKey { expr, descending })
+                    .collect(),
+                limit,
+            },
+        )
 }
 
 proptest! {

@@ -8,7 +8,10 @@ use prometheus_pool::query;
 use std::sync::Arc;
 
 fn attrs(pairs: &[(&str, Value)]) -> Vec<(String, Value)> {
-    pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
 }
 
 /// Build the test database:
@@ -30,7 +33,15 @@ fn sample_db() -> Database {
             .as_nanos()
     ));
     let _ = std::fs::remove_file(&path);
-    let store = Arc::new(Store::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap());
+    let store = Arc::new(
+        Store::open_with(
+            &path,
+            StoreOptions {
+                sync_on_commit: false,
+            },
+        )
+        .unwrap(),
+    );
     let db = Database::open(store).unwrap();
 
     db.define_class(
@@ -40,7 +51,8 @@ fn sample_db() -> Database {
             .attr(AttrDef::optional("rank", Type::Str).indexed()),
     )
     .unwrap();
-    db.define_class(ClassDef::new("CT").extends("Taxon")).unwrap();
+    db.define_class(ClassDef::new("CT").extends("Taxon"))
+        .unwrap();
     db.define_class(
         ClassDef::new("NT")
             .extends("Taxon")
@@ -54,22 +66,35 @@ fn sample_db() -> Database {
             .attr(AttrDef::optional("collector", Type::Str)),
     )
     .unwrap();
-    db.define_relationship(RelClassDef::aggregation("Circumscribes", "CT", "Object").sharable(true))
-        .unwrap();
+    db.define_relationship(
+        RelClassDef::aggregation("Circumscribes", "CT", "Object").sharable(true),
+    )
+    .unwrap();
     db.define_relationship(
         RelClassDef::association("HasType", "NT", "Object")
             .attr(AttrDef::optional("kind", Type::Str))
             .destination_cardinality(Cardinality::MANY),
     )
     .unwrap();
-    db.define_relationship(RelClassDef::association("Placement", "NT", "NT")).unwrap();
+    db.define_relationship(RelClassDef::association("Placement", "NT", "NT"))
+        .unwrap();
 
     // Specimens.
     let s107 = db
-        .create_object("Specimen", attrs(&[("code", "Herb.Cliff.107".into()), ("collector", "Linnaeus".into())]))
+        .create_object(
+            "Specimen",
+            attrs(&[
+                ("code", "Herb.Cliff.107".into()),
+                ("collector", "Linnaeus".into()),
+            ]),
+        )
         .unwrap();
-    let s201 = db.create_object("Specimen", attrs(&[("code", "RBGE-201".into())])).unwrap();
-    let s202 = db.create_object("Specimen", attrs(&[("code", "RBGE-202".into())])).unwrap();
+    let s201 = db
+        .create_object("Specimen", attrs(&[("code", "RBGE-201".into())]))
+        .unwrap();
+    let s202 = db
+        .create_object("Specimen", attrs(&[("code", "RBGE-202".into())]))
+        .unwrap();
 
     // Nomenclatural taxa.
     let apium = db
@@ -105,37 +130,71 @@ fn sample_db() -> Database {
             ]),
         )
         .unwrap();
-    db.create_relationship("Placement", apium, graveolens, attrs(&[])).unwrap();
-    db.create_relationship("HasType", graveolens, s107, attrs(&[("kind", "lectotype".into())]))
+    db.create_relationship("Placement", apium, graveolens, attrs(&[]))
         .unwrap();
-    db.create_relationship("HasType", apium, graveolens, attrs(&[("kind", "holotype".into())]))
-        .unwrap();
+    db.create_relationship(
+        "HasType",
+        graveolens,
+        s107,
+        attrs(&[("kind", "lectotype".into())]),
+    )
+    .unwrap();
+    db.create_relationship(
+        "HasType",
+        apium,
+        graveolens,
+        attrs(&[("kind", "holotype".into())]),
+    )
+    .unwrap();
     let _ = helio;
 
     // Circumscription taxa and two overlapping classifications.
     let ct_apium = db
-        .create_object("CT", attrs(&[("name", "Apium".into()), ("rank", "Genus".into())]))
+        .create_object(
+            "CT",
+            attrs(&[("name", "Apium".into()), ("rank", "Genus".into())]),
+        )
         .unwrap();
     let ct_graveolens = db
-        .create_object("CT", attrs(&[("name", "graveolens".into()), ("rank", "Species".into())]))
+        .create_object(
+            "CT",
+            attrs(&[("name", "graveolens".into()), ("rank", "Species".into())]),
+        )
         .unwrap();
     let ct_helio = db
-        .create_object("CT", attrs(&[("name", "Heliosciadium".into()), ("rank", "Genus".into())]))
+        .create_object(
+            "CT",
+            attrs(&[("name", "Heliosciadium".into()), ("rank", "Genus".into())]),
+        )
         .unwrap();
 
-    let l1753 = db.create_classification("L1753", attrs(&[("author", "Linnaeus".into())]), true).unwrap();
-    let k1824 = db.create_classification("K1824", attrs(&[("author", "Koch".into())]), true).unwrap();
+    let l1753 = db
+        .create_classification("L1753", attrs(&[("author", "Linnaeus".into())]), true)
+        .unwrap();
+    let k1824 = db
+        .create_classification("K1824", attrs(&[("author", "Koch".into())]), true)
+        .unwrap();
 
-    let e1 = db.create_relationship("Circumscribes", ct_apium, ct_graveolens, attrs(&[])).unwrap();
-    let e2 = db.create_relationship("Circumscribes", ct_graveolens, s107, attrs(&[])).unwrap();
-    let e3 = db.create_relationship("Circumscribes", ct_graveolens, s201, attrs(&[])).unwrap();
+    let e1 = db
+        .create_relationship("Circumscribes", ct_apium, ct_graveolens, attrs(&[]))
+        .unwrap();
+    let e2 = db
+        .create_relationship("Circumscribes", ct_graveolens, s107, attrs(&[]))
+        .unwrap();
+    let e3 = db
+        .create_relationship("Circumscribes", ct_graveolens, s201, attrs(&[]))
+        .unwrap();
     db.add_edge_to_classification(l1753, e1).unwrap();
     db.add_edge_to_classification(l1753, e2).unwrap();
     db.add_edge_to_classification(l1753, e3).unwrap();
 
     // Koch's revision: Heliosciadium takes s201 and s202 directly.
-    let e4 = db.create_relationship("Circumscribes", ct_helio, s201, attrs(&[])).unwrap();
-    let e5 = db.create_relationship("Circumscribes", ct_helio, s202, attrs(&[])).unwrap();
+    let e4 = db
+        .create_relationship("Circumscribes", ct_helio, s201, attrs(&[]))
+        .unwrap();
+    let e5 = db
+        .create_relationship("Circumscribes", ct_helio, s202, attrs(&[]))
+        .unwrap();
     db.add_edge_to_classification(k1824, e4).unwrap();
     db.add_edge_to_classification(k1824, e5).unwrap();
 
@@ -145,9 +204,16 @@ fn sample_db() -> Database {
 #[test]
 fn exact_match_uses_index_and_returns_rows() {
     let db = sample_db();
-    let r = query(&db, "select t.name, t.year from NT t where t.name = \"Apium\"").unwrap();
+    let r = query(
+        &db,
+        "select t.name, t.year from NT t where t.name = \"Apium\"",
+    )
+    .unwrap();
     assert_eq!(r.len(), 1);
-    assert_eq!(r.rows[0].columns, vec![Value::from("Apium"), Value::Int(1753)]);
+    assert_eq!(
+        r.rows[0].columns,
+        vec![Value::from("Apium"), Value::Int(1753)]
+    );
     assert_eq!(r.columns, vec!["t.name".to_string(), "t.year".to_string()]);
 }
 
@@ -171,7 +237,11 @@ fn range_comparison_and_ordering() {
     .unwrap();
     let names: Vec<Value> = r.first_column();
     assert_eq!(names, vec![Value::from("Apium"), Value::from("graveolens")]);
-    let r = query(&db, "select t.name from NT t order by t.year desc, t.name limit 1").unwrap();
+    let r = query(
+        &db,
+        "select t.name from NT t order by t.year desc, t.name limit 1",
+    )
+    .unwrap();
     assert_eq!(r.first_column(), vec![Value::from("Heliosciadium")]);
 }
 
@@ -219,7 +289,11 @@ fn backward_traversal_finds_containing_taxa() {
     // 201 is in graveolens (hence Apium) and in Heliosciadium.
     assert_eq!(
         r.first_column(),
-        vec![Value::from("Apium"), Value::from("Heliosciadium"), Value::from("graveolens")]
+        vec![
+            Value::from("Apium"),
+            Value::from("Heliosciadium"),
+            Value::from("graveolens")
+        ]
     );
 }
 
@@ -233,7 +307,10 @@ fn classification_context_scopes_queries_and_traversals() {
          where s.code = \"RBGE-201\" and t in s <- Circumscribes* order by t.name",
     )
     .unwrap();
-    assert_eq!(r.first_column(), vec![Value::from("Apium"), Value::from("graveolens")]);
+    assert_eq!(
+        r.first_column(),
+        vec![Value::from("Apium"), Value::from("graveolens")]
+    );
     // In Koch's context, it is Heliosciadium.
     let r = query(
         &db,
@@ -323,7 +400,10 @@ fn exists_and_in_subqueries() {
          order by t.name",
     )
     .unwrap();
-    assert_eq!(r.first_column(), vec![Value::from("Apium"), Value::from("graveolens")]);
+    assert_eq!(
+        r.first_column(),
+        vec![Value::from("Apium"), Value::from("graveolens")]
+    );
     // `in (select ...)`.
     let r = query(
         &db,
@@ -337,7 +417,11 @@ fn exists_and_in_subqueries() {
 #[test]
 fn aggregates() {
     let db = sample_db();
-    let r = query(&db, "select count(select t from NT t) from Specimen s limit 1").unwrap();
+    let r = query(
+        &db,
+        "select count(select t from NT t) from Specimen s limit 1",
+    )
+    .unwrap();
     assert_eq!(r.rows[0].columns, vec![Value::Int(3)]);
     let r = query(
         &db,
@@ -440,7 +524,10 @@ fn dates_compare() {
 fn distinct_and_limit() {
     let db = sample_db();
     let r = query(&db, "select distinct t.rank from Taxon t order by t.rank").unwrap();
-    assert_eq!(r.first_column(), vec![Value::from("Genus"), Value::from("Species")]);
+    assert_eq!(
+        r.first_column(),
+        vec![Value::from("Genus"), Value::from("Species")]
+    );
     let r = query(&db, "select t from Taxon t limit 2").unwrap();
     assert_eq!(r.len(), 2);
 }
@@ -465,7 +552,11 @@ fn view_sources_range_over_view_members() {
         .classification(cls)
         .save(&db)
         .unwrap();
-    let r = query(&db, "select s.code from view \"linnaean-specimens\" s order by s.code").unwrap();
+    let r = query(
+        &db,
+        "select s.code from view \"linnaean-specimens\" s order by s.code",
+    )
+    .unwrap();
     assert_eq!(
         r.first_column(),
         vec![Value::from("Herb.Cliff.107"), Value::from("RBGE-201")]

@@ -76,7 +76,10 @@ impl RuleEngine {
         }
         let mut rules = self.rules.write();
         if rules.iter().any(|r| r.name == rule.name) {
-            return Err(DbError::Schema(format!("rule '{}' already defined", rule.name)));
+            return Err(DbError::Schema(format!(
+                "rule '{}' already defined",
+                rule.name
+            )));
         }
         rules.push(rule);
         Ok(())
@@ -126,7 +129,11 @@ impl RuleEngine {
     pub fn save_to(&self, db: &Database) -> DbResult<()> {
         let bytes = prometheus_storage::codec::to_bytes(&*self.rules.read())?;
         db.store().with_txn(|t| {
-            t.kv_put(prometheus_object::index::KS_META, META_RULES.to_vec(), bytes.clone());
+            t.kv_put(
+                prometheus_object::index::KS_META,
+                META_RULES.to_vec(),
+                bytes.clone(),
+            );
             Ok(())
         })?;
         Ok(())
@@ -134,7 +141,10 @@ impl RuleEngine {
 
     /// Load rules persisted by [`RuleEngine::save_to`].
     pub fn load_from(&self, db: &Database) -> DbResult<()> {
-        if let Some(bytes) = db.store().kv_get(prometheus_object::index::KS_META, META_RULES) {
+        if let Some(bytes) = db
+            .store()
+            .kv_get(prometheus_object::index::KS_META, META_RULES)
+        {
             let rules: Vec<Rule> = prometheus_storage::codec::from_bytes(&bytes)?;
             *self.rules.write() = rules;
         }
@@ -161,13 +171,27 @@ impl RuleEngine {
                 env.bind("old", old.clone());
                 env.bind("new", new.clone());
             }
-            Event::RelCreated { origin, destination, .. }
-            | Event::RelDeleted { origin, destination, .. } => {
+            Event::RelCreated {
+                origin,
+                destination,
+                ..
+            }
+            | Event::RelDeleted {
+                origin,
+                destination,
+                ..
+            } => {
                 env.bind("origin", Value::Ref(*origin));
                 env.bind("destination", Value::Ref(*destination));
             }
-            Event::ClassificationEdgeAdded { classification, rel }
-            | Event::ClassificationEdgeRemoved { classification, rel } => {
+            Event::ClassificationEdgeAdded {
+                classification,
+                rel,
+            }
+            | Event::ClassificationEdgeRemoved {
+                classification,
+                rel,
+            } => {
                 env.bind("classification", Value::Ref(*classification));
                 env.bind("self", Value::Ref(*rel));
             }
@@ -264,7 +288,10 @@ impl EventListener for RuleEngine {
     fn after(&self, db: &Database, event: &Event) -> DbResult<()> {
         let rules = self.rules.read().clone();
         // Creation pre-conditions (subject exists now)...
-        if matches!(event, Event::ObjectCreated { .. } | Event::RelCreated { .. }) {
+        if matches!(
+            event,
+            Event::ObjectCreated { .. } | Event::RelCreated { .. }
+        ) {
             for rule in self.matching(db, &rules, event, Timing::Immediate, Some(true)) {
                 self.check(db, rule, event)?;
             }
@@ -273,7 +300,10 @@ impl EventListener for RuleEngine {
         for rule in self.matching(db, &rules, event, Timing::Immediate, Some(false)) {
             // Deletions cannot evaluate `self` afterwards; skip subject-less
             // checks for them (use pre-conditions for deletion constraints).
-            if matches!(event, Event::ObjectDeleted { .. } | Event::RelDeleted { .. }) {
+            if matches!(
+                event,
+                Event::ObjectDeleted { .. } | Event::RelDeleted { .. }
+            ) {
                 continue;
             }
             self.check(db, rule, event)?;
@@ -307,7 +337,10 @@ impl EventListener for RuleEngine {
         // (§5.2.2.1), then evaluate.
         let mut scheduled: Vec<(&Rule, &Event)> = Vec::new();
         for event in events {
-            if matches!(event, Event::ObjectDeleted { .. } | Event::RelDeleted { .. }) {
+            if matches!(
+                event,
+                Event::ObjectDeleted { .. } | Event::RelDeleted { .. }
+            ) {
                 continue; // subject gone; deferred deletion checks are
                           // expressed as rules over surviving objects
             }
@@ -346,8 +379,15 @@ mod tests {
                 .as_nanos()
         ));
         let _ = std::fs::remove_file(&path);
-        let store =
-            Arc::new(Store::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap());
+        let store = Arc::new(
+            Store::open_with(
+                &path,
+                StoreOptions {
+                    sync_on_commit: false,
+                },
+            )
+            .unwrap(),
+        );
         let db = Database::open(store).unwrap();
         db.define_class(
             ClassDef::new("CT")
@@ -355,13 +395,17 @@ mod tests {
                 .attr(AttrDef::optional("rank", Type::Str)),
         )
         .unwrap();
-        db.define_relationship(RelClassDef::association("Circ", "CT", "CT")).unwrap();
+        db.define_relationship(RelClassDef::association("Circ", "CT", "CT"))
+            .unwrap();
         let engine = RuleEngine::install(&db).unwrap();
         (db, engine)
     }
 
     fn attrs(pairs: &[(&str, &str)]) -> Vec<(String, Value)> {
-        pairs.iter().map(|(k, v)| (k.to_string(), Value::from(*v))).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::from(*v)))
+            .collect()
     }
 
     #[test]
@@ -373,9 +417,14 @@ mod tests {
                     .immediate(),
             )
             .unwrap();
-        let err = db.create_object("CT", attrs(&[("name", "bad")])).unwrap_err();
+        let err = db
+            .create_object("CT", attrs(&[("name", "bad")]))
+            .unwrap_err();
         assert!(matches!(err, DbError::ConstraintViolation { .. }));
-        assert!(db.extent("CT", false).unwrap().is_empty(), "creation rolled back");
+        assert!(
+            db.extent("CT", false).unwrap().is_empty(),
+            "creation rolled back"
+        );
         assert!(db.create_object("CT", attrs(&[("name", "good")])).is_ok());
     }
 
@@ -402,7 +451,12 @@ mod tests {
     fn deferred_rule_rolls_back_whole_unit() {
         let (db, engine) = db_with_engine();
         engine
-            .add_rule(Rule::invariant("needs-rank", "CT", "self.rank != null", "rank required"))
+            .add_rule(Rule::invariant(
+                "needs-rank",
+                "CT",
+                "self.rank != null",
+                "rank required",
+            ))
             .unwrap();
         // A unit may pass through invalid intermediate states...
         let token = db.begin_unit();
@@ -412,7 +466,9 @@ mod tests {
         assert!(db.exists(ct));
         // ...but an invalid final state aborts everything.
         let token = db.begin_unit();
-        let bad = db.create_object("CT", attrs(&[("name", "NoRank")])).unwrap();
+        let bad = db
+            .create_object("CT", attrs(&[("name", "NoRank")]))
+            .unwrap();
         let err = db.commit_unit(token).unwrap_err();
         assert!(matches!(err, DbError::ConstraintViolation { .. }));
         assert!(!db.exists(bad));
@@ -509,7 +565,9 @@ mod tests {
         let a = db.create_object("CT", attrs(&[("name", "A")])).unwrap();
         let b = db.create_object("CT", attrs(&[("name", "B")])).unwrap();
         assert!(db.create_relationship("Circ", a, b, Vec::new()).is_ok());
-        let err = db.create_relationship("Circ", a, a, Vec::new()).unwrap_err();
+        let err = db
+            .create_relationship("Circ", a, a, Vec::new())
+            .unwrap_err();
         assert!(matches!(err, DbError::ConstraintViolation { .. }));
     }
 
@@ -519,7 +577,9 @@ mod tests {
         engine
             .add_rule(Rule::invariant("r1", "CT", "self.rank != null", "m").immediate())
             .unwrap();
-        assert!(engine.add_rule(Rule::invariant("r1", "CT", "true", "")).is_err());
+        assert!(engine
+            .add_rule(Rule::invariant("r1", "CT", "true", ""))
+            .is_err());
         assert!(db.create_object("CT", attrs(&[("name", "x")])).is_err());
         // Disable: passes.
         assert!(engine.set_enabled("r1", false));
@@ -561,11 +621,20 @@ mod tests {
         // relationship must give the created CT a rank.
         engine
             .add_rule(
-                Rule::invariant("paired", "CT", "self.rank != null", "rank required when linking")
-                    .when_all_events(vec![
-                        EventSpec::ObjectCreated { class: Some("CT".into()) },
-                        EventSpec::RelCreated { class: Some("Circ".into()) },
-                    ]),
+                Rule::invariant(
+                    "paired",
+                    "CT",
+                    "self.rank != null",
+                    "rank required when linking",
+                )
+                .when_all_events(vec![
+                    EventSpec::ObjectCreated {
+                        class: Some("CT".into()),
+                    },
+                    EventSpec::RelCreated {
+                        class: Some("Circ".into()),
+                    },
+                ]),
             )
             .unwrap();
         // Creating a CT alone (no relationship event): rule silent.
@@ -574,13 +643,17 @@ mod tests {
         // A unit with both events and no rank: violation, rolled back.
         let token = db.begin_unit();
         let ct = db.create_object("CT", attrs(&[("name", "pair")])).unwrap();
-        db.create_relationship("Circ", ct, lone, Vec::new()).unwrap();
+        db.create_relationship("Circ", ct, lone, Vec::new())
+            .unwrap();
         assert!(db.commit_unit(token).is_err());
         assert!(!db.exists(ct));
         // Same unit shape with a rank: passes.
         let token = db.begin_unit();
-        let ct = db.create_object("CT", attrs(&[("name", "pair"), ("rank", "Genus")])).unwrap();
-        db.create_relationship("Circ", ct, lone, Vec::new()).unwrap();
+        let ct = db
+            .create_object("CT", attrs(&[("name", "pair"), ("rank", "Genus")]))
+            .unwrap();
+        db.create_relationship("Circ", ct, lone, Vec::new())
+            .unwrap();
         db.commit_unit(token).unwrap();
         assert!(db.exists(ct));
     }
@@ -590,7 +663,12 @@ mod tests {
         let (db, engine) = db_with_engine();
         // The high-priority rule aborts first even though added second.
         engine
-            .add_rule(Rule::invariant("low", "CT", "self.rank != null", "low-message"))
+            .add_rule(Rule::invariant(
+                "low",
+                "CT",
+                "self.rank != null",
+                "low-message",
+            ))
             .unwrap();
         engine
             .add_rule(

@@ -8,12 +8,26 @@ use serde::{Deserialize, Serialize};
 /// `attr: None` matches updates to any attribute.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum EventSpec {
-    ObjectCreated { class: Option<String> },
-    ObjectUpdated { class: Option<String>, attr: Option<String> },
-    ObjectDeleted { class: Option<String> },
-    RelCreated { class: Option<String> },
-    RelUpdated { class: Option<String>, attr: Option<String> },
-    RelDeleted { class: Option<String> },
+    ObjectCreated {
+        class: Option<String>,
+    },
+    ObjectUpdated {
+        class: Option<String>,
+        attr: Option<String>,
+    },
+    ObjectDeleted {
+        class: Option<String>,
+    },
+    RelCreated {
+        class: Option<String>,
+    },
+    RelUpdated {
+        class: Option<String>,
+        attr: Option<String>,
+    },
+    RelDeleted {
+        class: Option<String>,
+    },
     ClassificationEdgeAdded,
     ClassificationEdgeRemoved,
     /// Composite event (§5.2.1.1): fires when any member fires.
@@ -24,9 +38,16 @@ impl EventSpec {
     /// Convenience: any mutation of objects of `class` (create/update/delete).
     pub fn any_object_change(class: &str) -> EventSpec {
         EventSpec::AnyOf(vec![
-            EventSpec::ObjectCreated { class: Some(class.to_string()) },
-            EventSpec::ObjectUpdated { class: Some(class.to_string()), attr: None },
-            EventSpec::ObjectDeleted { class: Some(class.to_string()) },
+            EventSpec::ObjectCreated {
+                class: Some(class.to_string()),
+            },
+            EventSpec::ObjectUpdated {
+                class: Some(class.to_string()),
+                attr: None,
+            },
+            EventSpec::ObjectDeleted {
+                class: Some(class.to_string()),
+            },
         ])
     }
 
@@ -42,7 +63,11 @@ impl EventSpec {
             }
             (
                 EventSpec::ObjectUpdated { class, attr },
-                Event::ObjectUpdated { class: got, attr: got_attr, .. },
+                Event::ObjectUpdated {
+                    class: got,
+                    attr: got_attr,
+                    ..
+                },
             ) => class_ok(class, got) && attr.as_deref().map_or(true, |a| a == got_attr),
             (EventSpec::ObjectDeleted { class }, Event::ObjectDeleted { class: got, .. }) => {
                 class_ok(class, got)
@@ -52,7 +77,11 @@ impl EventSpec {
             }
             (
                 EventSpec::RelUpdated { class, attr },
-                Event::RelUpdated { class: got, attr: got_attr, .. },
+                Event::RelUpdated {
+                    class: got,
+                    attr: got_attr,
+                    ..
+                },
             ) => class_ok(class, got) && attr.as_deref().map_or(true, |a| a == got_attr),
             (EventSpec::RelDeleted { class }, Event::RelDeleted { class: got, .. }) => {
                 class_ok(class, got)
@@ -78,31 +107,55 @@ mod tests {
             std::thread::current().id()
         ));
         let _ = std::fs::remove_file(&path);
-        let store =
-            Arc::new(Store::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap());
+        let store = Arc::new(
+            Store::open_with(
+                &path,
+                StoreOptions {
+                    sync_on_commit: false,
+                },
+            )
+            .unwrap(),
+        );
         let db = Database::open(store).unwrap();
         db.define_class(ClassDef::new("Taxon")).unwrap();
-        db.define_class(ClassDef::new("CT").extends("Taxon")).unwrap();
+        db.define_class(ClassDef::new("CT").extends("Taxon"))
+            .unwrap();
         db
     }
 
     #[test]
     fn class_matching_includes_subclasses() {
         let db = db();
-        let spec = EventSpec::ObjectCreated { class: Some("Taxon".into()) };
-        let e = Event::ObjectCreated { oid: Oid::from_raw(1), class: "CT".into() };
+        let spec = EventSpec::ObjectCreated {
+            class: Some("Taxon".into()),
+        };
+        let e = Event::ObjectCreated {
+            oid: Oid::from_raw(1),
+            class: "CT".into(),
+        };
         assert!(spec.matches(&db, &e));
-        let e = Event::ObjectCreated { oid: Oid::from_raw(1), class: "Taxon".into() };
+        let e = Event::ObjectCreated {
+            oid: Oid::from_raw(1),
+            class: "Taxon".into(),
+        };
         assert!(spec.matches(&db, &e));
-        let spec = EventSpec::ObjectCreated { class: Some("CT".into()) };
-        let e = Event::ObjectCreated { oid: Oid::from_raw(1), class: "Taxon".into() };
+        let spec = EventSpec::ObjectCreated {
+            class: Some("CT".into()),
+        };
+        let e = Event::ObjectCreated {
+            oid: Oid::from_raw(1),
+            class: "Taxon".into(),
+        };
         assert!(!spec.matches(&db, &e));
     }
 
     #[test]
     fn attr_filter() {
         let db = db();
-        let spec = EventSpec::ObjectUpdated { class: None, attr: Some("rank".into()) };
+        let spec = EventSpec::ObjectUpdated {
+            class: None,
+            attr: Some("rank".into()),
+        };
         let hit = Event::ObjectUpdated {
             oid: Oid::from_raw(1),
             class: "CT".into(),
@@ -125,7 +178,13 @@ mod tests {
     fn composite_any_of() {
         let db = db();
         let spec = EventSpec::any_object_change("Taxon");
-        assert!(spec.matches(&db, &Event::ObjectDeleted { oid: Oid::from_raw(1), class: "CT".into() }));
+        assert!(spec.matches(
+            &db,
+            &Event::ObjectDeleted {
+                oid: Oid::from_raw(1),
+                class: "CT".into()
+            }
+        ));
         assert!(!spec.matches(
             &db,
             &Event::RelCreated {
@@ -141,6 +200,12 @@ mod tests {
     fn wrong_kind_never_matches() {
         let db = db();
         let spec = EventSpec::ClassificationEdgeAdded;
-        assert!(!spec.matches(&db, &Event::ObjectCreated { oid: Oid::from_raw(1), class: "CT".into() }));
+        assert!(!spec.matches(
+            &db,
+            &Event::ObjectCreated {
+                oid: Oid::from_raw(1),
+                class: "CT".into()
+            }
+        ));
     }
 }

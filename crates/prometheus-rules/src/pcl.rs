@@ -84,12 +84,15 @@ fn translate_statement(stmt: &str) -> DbResult<Rule> {
         Some((c, a)) => (c.to_string(), Some(a.to_string())),
         None => (ctx.to_string(), None),
     };
-    let (kind_word, rest) = take_word(rest.trim_start()).ok_or_else(|| err("expected rule kind"))?;
+    let (kind_word, rest) =
+        take_word(rest.trim_start()).ok_or_else(|| err("expected rule kind"))?;
     let (name, rest) = take_word(rest.trim_start()).ok_or_else(|| err("expected rule name"))?;
     // Optional `when <expr>` up to the colon.
     let rest = rest.trim_start();
     let (applicability, rest) = if let Some(after) = rest.strip_prefix("when ") {
-        let colon = after.find(':').ok_or_else(|| err("expected ':' after when-clause"))?;
+        let colon = after
+            .find(':')
+            .ok_or_else(|| err("expected ':' after when-clause"))?;
         (Some(after[..colon].trim().to_string()), &after[colon + 1..])
     } else {
         let rest = rest.strip_prefix(':').ok_or_else(|| err("expected ':'"))?;
@@ -125,25 +128,37 @@ fn translate_statement(stmt: &str) -> DbResult<Rule> {
         ),
         ("pre", None) => (
             RuleKind::PreCondition,
-            vec![EventSpec::ObjectCreated { class: Some(class.clone()) }],
+            vec![EventSpec::ObjectCreated {
+                class: Some(class.clone()),
+            }],
             Timing::Immediate,
         ),
         ("pre", Some(a)) => (
             RuleKind::PreCondition,
-            vec![EventSpec::ObjectUpdated { class: Some(class.clone()), attr: Some(a.clone()) }],
+            vec![EventSpec::ObjectUpdated {
+                class: Some(class.clone()),
+                attr: Some(a.clone()),
+            }],
             Timing::Immediate,
         ),
         ("post", None) => (
             RuleKind::PostCondition,
             vec![
-                EventSpec::ObjectCreated { class: Some(class.clone()) },
-                EventSpec::ObjectUpdated { class: Some(class.clone()), attr: None },
+                EventSpec::ObjectCreated {
+                    class: Some(class.clone()),
+                },
+                EventSpec::ObjectUpdated {
+                    class: Some(class.clone()),
+                    attr: None,
+                },
             ],
             Timing::Immediate,
         ),
         ("link", None) => (
             RuleKind::RelationshipRule,
-            vec![EventSpec::RelCreated { class: Some(class.clone()) }],
+            vec![EventSpec::RelCreated {
+                class: Some(class.clone()),
+            }],
             Timing::Immediate,
         ),
         (other, _) => return Err(err(&format!("unknown rule kind '{other}'"))),
@@ -176,7 +191,9 @@ fn take_word(s: &str) -> Option<(&str, &str)> {
     let mut end = end;
     if s[end..].starts_with("::") {
         let tail = &s[end + 2..];
-        let next = tail.find(|c: char| c.is_whitespace() || c == ':').unwrap_or(tail.len());
+        let next = tail
+            .find(|c: char| c.is_whitespace() || c == ':')
+            .unwrap_or(tail.len());
         end = end + 2 + next;
     }
     if end == 0 {
@@ -210,7 +227,10 @@ mod tests {
         .unwrap();
         assert_eq!(rules.len(), 2);
         assert_eq!(rules[0].kind, RuleKind::PreCondition);
-        assert!(matches!(rules[0].events[0], EventSpec::ObjectCreated { .. }));
+        assert!(matches!(
+            rules[0].events[0],
+            EventSpec::ObjectCreated { .. }
+        ));
         match &rules[1].events[0] {
             EventSpec::ObjectUpdated { class, attr } => {
                 assert_eq!(class.as_deref(), Some("NT"));
@@ -242,7 +262,10 @@ mod tests {
             "context CT inv genusRanked when self.rank = \"Genus\": self.name like \"A%\"",
         )
         .unwrap();
-        assert_eq!(rules[0].applicability.as_deref(), Some("self.rank = \"Genus\""));
+        assert_eq!(
+            rules[0].applicability.as_deref(),
+            Some("self.rank = \"Genus\"")
+        );
         assert_eq!(rules[0].constraint, "self.name like \"A%\"");
     }
 

@@ -98,7 +98,9 @@ impl Rule {
         Rule {
             name: name.to_string(),
             kind: RuleKind::PreCondition,
-            events: vec![EventSpec::ObjectCreated { class: Some(class.to_string()) }],
+            events: vec![EventSpec::ObjectCreated {
+                class: Some(class.to_string()),
+            }],
             timing: Timing::Immediate,
             applicability: None,
             constraint: constraint.to_string(),
@@ -111,7 +113,13 @@ impl Rule {
     }
 
     /// An immediate pre-condition on attribute update.
-    pub fn pre_update(name: &str, class: &str, attr: &str, constraint: &str, message: &str) -> Rule {
+    pub fn pre_update(
+        name: &str,
+        class: &str,
+        attr: &str,
+        constraint: &str,
+        message: &str,
+    ) -> Rule {
         Rule {
             name: name.to_string(),
             kind: RuleKind::PreCondition,
@@ -136,7 +144,9 @@ impl Rule {
         Rule {
             name: name.to_string(),
             kind: RuleKind::RelationshipRule,
-            events: vec![EventSpec::RelCreated { class: Some(rel_class.to_string()) }],
+            events: vec![EventSpec::RelCreated {
+                class: Some(rel_class.to_string()),
+            }],
             timing: Timing::Immediate,
             applicability: None,
             constraint: constraint.to_string(),
@@ -198,7 +208,9 @@ mod tests {
         assert_eq!(r.kind, RuleKind::PreCondition);
         assert_eq!(r.timing, Timing::Immediate);
 
-        let r = Rule::on_link("rr", "Circumscribes", "true", "").warn_only().with_priority(5);
+        let r = Rule::on_link("rr", "Circumscribes", "true", "")
+            .warn_only()
+            .with_priority(5);
         assert_eq!(r.kind, RuleKind::RelationshipRule);
         assert_eq!(r.on_violation, Action::Warn);
         assert_eq!(r.priority, 5);

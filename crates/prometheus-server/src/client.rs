@@ -129,7 +129,9 @@ impl PrometheusClient {
 
     /// Set (`Some`) or clear (`None`) this session's classification context.
     pub fn set_context(&mut self, classification: Option<&str>) -> ServerResult<()> {
-        let req = Request::SetContext { classification: classification.map(String::from) };
+        let req = Request::SetContext {
+            classification: classification.map(String::from),
+        };
         match self.request(req)? {
             Response::Ack => Ok(()),
             other => Err(unexpected("Ack", other)),
@@ -138,7 +140,9 @@ impl PrometheusClient {
 
     /// Translate and install a PCL document; returns the rule count.
     pub fn install_pcl(&mut self, source: &str) -> ServerResult<usize> {
-        match self.request(Request::InstallPcl { source: source.into() })? {
+        match self.request(Request::InstallPcl {
+            source: source.into(),
+        })? {
             Response::Installed { rules } => Ok(rules),
             other => Err(unexpected("Installed", other)),
         }
@@ -156,7 +160,10 @@ impl PrometheusClient {
     /// Open a streamed unit of work.
     pub fn begin_unit(&mut self) -> ServerResult<UnitGuard<'_>> {
         match self.request(Request::UnitBegin)? {
-            Response::Ack => Ok(UnitGuard { client: self, open: true }),
+            Response::Ack => Ok(UnitGuard {
+                client: self,
+                open: true,
+            }),
             other => Err(unexpected("Ack", other)),
         }
     }
@@ -172,7 +179,7 @@ impl PrometheusClient {
     /// Fetch server metrics and storage counters.
     pub fn stats(&mut self) -> ServerResult<(MetricsSnapshot, StatsSnapshot)> {
         match self.request(Request::Stats)? {
-            Response::Stats { server, storage } => Ok((server, storage)),
+            Response::Stats { server, storage } => Ok((*server, storage)),
             other => Err(unexpected("Stats", other)),
         }
     }
@@ -228,19 +235,22 @@ impl UnitGuard<'_> {
     }
 
     /// `Database::create_object` over the wire.
-    pub fn create_object(
-        &mut self,
-        class: &str,
-        attrs: Vec<(String, Value)>,
-    ) -> ServerResult<Oid> {
-        self.op(MutationOp::CreateObject { class: class.into(), attrs })?
-            .ok_or_else(|| ServerError::Protocol("create_object returned no oid".into()))
+    pub fn create_object(&mut self, class: &str, attrs: Vec<(String, Value)>) -> ServerResult<Oid> {
+        self.op(MutationOp::CreateObject {
+            class: class.into(),
+            attrs,
+        })?
+        .ok_or_else(|| ServerError::Protocol("create_object returned no oid".into()))
     }
 
     /// `Database::set_attr` over the wire.
     pub fn set_attr(&mut self, oid: Oid, attr: &str, value: Value) -> ServerResult<()> {
-        self.op(MutationOp::SetAttr { oid, attr: attr.into(), value })
-            .map(|_| ())
+        self.op(MutationOp::SetAttr {
+            oid,
+            attr: attr.into(),
+            value,
+        })
+        .map(|_| ())
     }
 
     /// `Database::delete_object` over the wire.
@@ -256,8 +266,13 @@ impl UnitGuard<'_> {
         destination: Oid,
         attrs: Vec<(String, Value)>,
     ) -> ServerResult<Oid> {
-        self.op(MutationOp::CreateRelationship { class: class.into(), origin, destination, attrs })?
-            .ok_or_else(|| ServerError::Protocol("create_relationship returned no oid".into()))
+        self.op(MutationOp::CreateRelationship {
+            class: class.into(),
+            origin,
+            destination,
+            attrs,
+        })?
+        .ok_or_else(|| ServerError::Protocol("create_relationship returned no oid".into()))
     }
 
     /// Query inside the unit: sees the unit's own uncommitted writes.

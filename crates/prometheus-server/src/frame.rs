@@ -96,7 +96,9 @@ mod tests {
     #[test]
     fn frames_round_trip_through_a_buffer() {
         let mut buf: Vec<u8> = Vec::new();
-        let req = Request::Query { pool: "select t from CT t".into() };
+        let req = Request::Query {
+            pool: "select t from CT t".into(),
+        };
         write_msg(&mut buf, &req).unwrap();
         let back: Request = read_msg(&mut &buf[..]).unwrap();
         assert_eq!(back, req);

@@ -127,7 +127,11 @@ mod tests {
             w.join().unwrap();
         }
         let order = order.lock().unwrap();
-        assert_eq!(*order, (0..8).collect::<Vec<u64>>(), "lane granted out of draw order");
+        assert_eq!(
+            *order,
+            (0..8).collect::<Vec<u64>>(),
+            "lane granted out of draw order"
+        );
     }
 
     #[test]

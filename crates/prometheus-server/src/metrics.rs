@@ -102,9 +102,18 @@ impl ServerMetrics {
                 .units_rolled_back_on_disconnect
                 .load(Ordering::Relaxed),
             units_timed_out: self.units_timed_out.load(Ordering::Relaxed),
+            // Executor counters live with the query executor, not here; the
+            // server fills them in when it assembles a snapshot.
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            parallel_morsels: 0,
             latency: LatencyHistogram {
                 bounds_us: LATENCY_BOUNDS_US.to_vec(),
-                counts: self.latency.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+                counts: self
+                    .latency
+                    .iter()
+                    .map(|c| c.load(Ordering::Relaxed))
+                    .collect(),
                 count: self.latency_count.load(Ordering::Relaxed),
                 sum_us: self.latency_sum_us.load(Ordering::Relaxed),
             },
@@ -125,6 +134,14 @@ pub struct MetricsSnapshot {
     pub units_aborted: u64,
     pub units_rolled_back_on_disconnect: u64,
     pub units_timed_out: u64,
+    /// Pinned queries answered from the POOL plan cache (protocol v2).
+    pub plan_cache_hits: u64,
+    /// Pinned queries that had to parse and plan: cold, evicted, or the
+    /// schema version moved under the cached plan (protocol v2).
+    pub plan_cache_misses: u64,
+    /// Work morsels executed by parallel query workers — candidate filters,
+    /// outer join loops and traversal frontiers (protocol v2).
+    pub parallel_morsels: u64,
     pub latency: LatencyHistogram,
 }
 
@@ -201,11 +218,20 @@ mod tests {
         use prometheus_db::{Oid, Value};
         // Every Request variant's kind_name must have a metrics slot.
         let reqs = vec![
-            Request::Hello { version: 1, client: "t".into() },
+            Request::Hello {
+                version: 1,
+                client: "t".into(),
+            },
             Request::Ping,
-            Request::Query { pool: String::new() },
-            Request::SetContext { classification: None },
-            Request::InstallPcl { source: String::new() },
+            Request::Query {
+                pool: String::new(),
+            },
+            Request::SetContext {
+                classification: None,
+            },
+            Request::InstallPcl {
+                source: String::new(),
+            },
             Request::UnitBegin,
             Request::UnitOp {
                 op: MutationOp::SetAttr {

@@ -32,7 +32,11 @@ use serde::{Deserialize, Serialize};
 use crate::metrics::MetricsSnapshot;
 
 /// Wire protocol version; bumped on any incompatible message change.
-pub const PROTOCOL_VERSION: u16 = 1;
+///
+/// v2: [`crate::metrics::MetricsSnapshot`] gained `plan_cache_hits`,
+/// `plan_cache_misses` and `parallel_morsels`. The codec is positional, so
+/// v1 clients cannot decode the enlarged `Stats` response.
+pub const PROTOCOL_VERSION: u16 = 2;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -101,9 +105,16 @@ impl Request {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum MutationOp {
     /// `Database::create_object`.
-    CreateObject { class: String, attrs: Vec<(String, Value)> },
+    CreateObject {
+        class: String,
+        attrs: Vec<(String, Value)>,
+    },
     /// `Database::set_attr`.
-    SetAttr { oid: Oid, attr: String, value: Value },
+    SetAttr {
+        oid: Oid,
+        attr: String,
+        value: Value,
+    },
     /// `Database::delete_object`.
     DeleteObject { oid: Oid },
     /// `Database::create_relationship`.
@@ -143,11 +154,18 @@ pub enum Response {
     Batch { created: Vec<Oid> },
     /// Number of rules a PCL document installed.
     Installed { rules: usize },
-    /// Server + storage counters.
-    Stats { server: MetricsSnapshot, storage: StatsSnapshot },
+    /// Server + storage counters. Boxed: the snapshot dwarfs every other
+    /// variant, and responses are built once and serialized immediately.
+    Stats {
+        server: Box<MetricsSnapshot>,
+        storage: StatsSnapshot,
+    },
     /// The request failed; the session stays usable unless the transport
     /// itself broke.
-    Error { kind: crate::error::ErrorKind, message: String },
+    Error {
+        kind: crate::error::ErrorKind,
+        message: String,
+    },
     /// Answer to [`Request::Bye`]; the server closes after sending it.
     Goodbye,
 }
@@ -200,12 +218,23 @@ mod tests {
     #[test]
     fn requests_round_trip_through_the_codec() {
         let samples = vec![
-            Request::Hello { version: PROTOCOL_VERSION, client: "test".into() },
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+                client: "test".into(),
+            },
             Request::Ping,
-            Request::Query { pool: "select t from CT t".into() },
-            Request::SetContext { classification: Some("Linnaeus 1753".into()) },
-            Request::SetContext { classification: None },
-            Request::InstallPcl { source: "context CT pre w: self.rank != null".into() },
+            Request::Query {
+                pool: "select t from CT t".into(),
+            },
+            Request::SetContext {
+                classification: Some("Linnaeus 1753".into()),
+            },
+            Request::SetContext {
+                classification: None,
+            },
+            Request::InstallPcl {
+                source: "context CT pre w: self.rank != null".into(),
+            },
             Request::UnitBegin,
             Request::UnitOp {
                 op: MutationOp::SetAttr {
@@ -237,15 +266,22 @@ mod tests {
     #[test]
     fn responses_round_trip_through_the_codec() {
         let samples = vec![
-            Response::Welcome { version: 1, session: 42 },
+            Response::Welcome {
+                version: 1,
+                session: 42,
+            },
             Response::Pong,
             Response::Rows(WireRows {
                 columns: vec!["t".into()],
                 rows: vec![vec![Value::Ref(Oid::from_raw(3))], vec![Value::Null]],
             }),
             Response::Ack,
-            Response::Created { oid: Oid::from_raw(9) },
-            Response::Batch { created: vec![Oid::from_raw(1), Oid::NIL] },
+            Response::Created {
+                oid: Oid::from_raw(9),
+            },
+            Response::Batch {
+                created: vec![Oid::from_raw(1), Oid::NIL],
+            },
             Response::Installed { rules: 4 },
             Response::Error {
                 kind: crate::error::ErrorKind::Db,

@@ -53,6 +53,7 @@ use crate::metrics::{MetricsSnapshot, ServerMetrics};
 use crate::protocol::{MutationOp, Request, Response, WireRows, PROTOCOL_VERSION};
 use crate::session::Session;
 use prometheus_db::{Database, DbResult, Oid, Prometheus};
+use prometheus_pool::Executor;
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -74,6 +75,11 @@ pub struct ServerConfig {
     /// while holding the writer lane before the server rolls it back and
     /// frees the lane for queued writers.
     pub unit_idle_timeout: Duration,
+    /// Degree of parallelism for each pinned (out-of-unit) query: the worker
+    /// budget of the shared [`prometheus_pool::Executor`]. `0` means auto —
+    /// use the machine's available parallelism. `1` forces sequential
+    /// execution. Results are identical either way; only latency changes.
+    pub parallelism: usize,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +88,7 @@ impl Default for ServerConfig {
             addr: "127.0.0.1:0".into(),
             workers: 8,
             unit_idle_timeout: Duration::from_secs(30),
+            parallelism: 0,
         }
     }
 }
@@ -90,6 +97,10 @@ impl Default for ServerConfig {
 struct Shared {
     db: Prometheus,
     metrics: ServerMetrics,
+    /// Plan-caching, morsel-parallel POOL executor for pinned queries. One
+    /// instance across all sessions, so every session shares every other
+    /// session's cached plans.
+    executor: Executor,
     /// The writer lane: serialises every mutating request in FIFO arrival
     /// order, preserving the engine's single-writer discipline across
     /// sessions without letting any session barge the queue.
@@ -118,9 +129,17 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 pub fn serve(db: Prometheus, config: ServerConfig) -> ServerResult<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+    let parallelism = if config.parallelism == 0 {
+        thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.parallelism
+    };
     let shared = Arc::new(Shared {
         db,
         metrics: ServerMetrics::default(),
+        executor: Executor::new(parallelism),
         writer_lane: TicketLane::new(),
         unit_idle_timeout: config.unit_idle_timeout,
         shutting_down: AtomicBool::new(false),
@@ -145,7 +164,11 @@ pub fn serve(db: Prometheus, config: ServerConfig) -> ServerResult<ServerHandle>
             .name("prometheus-accept".into())
             .spawn(move || accept_loop(shared, listener, tx))?
     };
-    Ok(ServerHandle { shared, accept: Some(accept), workers })
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+        workers,
+    })
 }
 
 /// A running server: address, metrics, shutdown and join.
@@ -163,7 +186,7 @@ impl ServerHandle {
 
     /// Point-in-time server counters (also available over the wire).
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        metrics_snapshot(&self.shared)
     }
 
     /// Whether shutdown has been initiated.
@@ -225,7 +248,10 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener, tx: mpsc::Sender<TcpS
         }
         match stream {
             Ok(s) => {
-                shared.metrics.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .connections_accepted
+                    .fetch_add(1, Ordering::Relaxed);
                 if tx.send(s).is_err() {
                     break;
                 }
@@ -261,12 +287,18 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
     if let Ok(clone) = stream.try_clone() {
         lock(&shared.conns).insert(id, clone);
     }
-    shared.metrics.connections_active.fetch_add(1, Ordering::Relaxed);
+    shared
+        .metrics
+        .connections_active
+        .fetch_add(1, Ordering::Relaxed);
     // Session errors are per-connection: counted in metrics, never fatal to
     // the server.
     let _ = run_session(shared, id, stream);
     lock(&shared.conns).remove(&id);
-    shared.metrics.connections_active.fetch_sub(1, Ordering::Relaxed);
+    shared
+        .metrics
+        .connections_active
+        .fetch_sub(1, Ordering::Relaxed);
 }
 
 /// What the outer session loop should do after a request.
@@ -297,7 +329,10 @@ fn run_session(shared: &Arc<Shared>, id: u64, stream: TcpStream) -> ServerResult
             Err(ServerError::Disconnected) => return Ok(()),
             Err(e) => {
                 if matches!(e, ServerError::Frame(_) | ServerError::Codec(_)) {
-                    shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .metrics
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
                 }
                 return Err(e);
             }
@@ -331,7 +366,10 @@ fn dispatch(
         return match req {
             Request::Hello { version, client } => {
                 if version != PROTOCOL_VERSION {
-                    shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .metrics
+                        .protocol_errors
+                        .fetch_add(1, Ordering::Relaxed);
                     write_msg(
                         writer,
                         &Response::Error {
@@ -347,13 +385,19 @@ fn dispatch(
                     session.client = client;
                     write_msg(
                         writer,
-                        &Response::Welcome { version: PROTOCOL_VERSION, session: session.id },
+                        &Response::Welcome {
+                            version: PROTOCOL_VERSION,
+                            session: session.id,
+                        },
                     )?;
                     Ok(Flow::Continue)
                 }
             }
             _ => {
-                shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                shared
+                    .metrics
+                    .protocol_errors
+                    .fetch_add(1, Ordering::Relaxed);
                 write_msg(
                     writer,
                     &Response::Error {
@@ -440,7 +484,10 @@ fn dispatch(
             });
             match result {
                 Ok(created) => {
-                    shared.metrics.units_committed.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .metrics
+                        .units_committed
+                        .fetch_add(1, Ordering::Relaxed);
                     write_msg(writer, &Response::Batch { created })?;
                 }
                 Err(e) => db_error(shared, writer, e.to_string())?,
@@ -485,7 +532,9 @@ fn run_unit(
     let db = shared.db.db();
     // While this session holds the lane, silence is billed: arm a read
     // timeout so a stalled client cannot block queued writers forever.
-    let _ = reader.get_ref().set_read_timeout(Some(shared.unit_idle_timeout));
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(shared.unit_idle_timeout));
     let mut token = Some(db.begin_unit());
     let mut timed_out = false;
     let outcome: ServerResult<()> = loop {
@@ -529,7 +578,10 @@ fn run_unit(
                 let result = db.commit_unit(token.take().expect("unit token"));
                 match result {
                     Ok(()) => {
-                        shared.metrics.units_committed.fetch_add(1, Ordering::Relaxed);
+                        shared
+                            .metrics
+                            .units_committed
+                            .fetch_add(1, Ordering::Relaxed);
                         write_msg(writer, &Response::Ack).map(|_| true)
                     }
                     Err(e) => {
@@ -543,14 +595,15 @@ fn run_unit(
                 shared.metrics.units_aborted.fetch_add(1, Ordering::Relaxed);
                 write_msg(writer, &Response::Ack).map(|_| true)
             }
-            other => {
-                protocol_error(
-                    shared,
-                    writer,
-                    &format!("request '{}' is not allowed inside a unit of work", other.kind_name()),
-                )
-                .map(|_| false)
-            }
+            other => protocol_error(
+                shared,
+                writer,
+                &format!(
+                    "request '{}' is not allowed inside a unit of work",
+                    other.kind_name()
+                ),
+            )
+            .map(|_| false),
         };
         shared
             .metrics
@@ -569,7 +622,10 @@ fn run_unit(
             // session itself survives; the client is told on its next frame.
             db.abort_unit(token);
         }
-        shared.metrics.units_timed_out.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .units_timed_out
+            .fetch_add(1, Ordering::Relaxed);
         session.unit_timed_out = true;
         return Ok(());
     }
@@ -582,10 +638,7 @@ fn run_unit(
             .units_rolled_back_on_disconnect
             .fetch_add(1, Ordering::Relaxed);
     }
-    match outcome {
-        Err(ServerError::Disconnected) => Err(ServerError::Disconnected),
-        other => other,
-    }
+    outcome
 }
 
 /// Parse, contextualise and evaluate a POOL query for this session.
@@ -601,11 +654,17 @@ fn run_query(
     pool: &str,
     pinned: bool,
 ) -> DbResult<WireRows> {
-    let mut query = prometheus_pool::parse(pool)?;
-    query.context = session.effective_context(query.context.take());
     let result = if pinned {
-        prometheus_pool::eval::evaluate(&shared.db.read_view(), &query)?
+        // The executor applies the session context exactly like
+        // `Session::effective_context`: the query's own clause wins. Its
+        // plan cache keys on (context, text), so distinct contexts never
+        // share a contextualised plan.
+        shared
+            .executor
+            .query(&shared.db.read_view(), pool, session.context.as_deref())?
     } else {
+        let mut query = prometheus_pool::parse(pool)?;
+        query.context = session.effective_context(query.context.take());
         prometheus_pool::eval::evaluate(shared.db.db(), &query)?
     };
     Ok(result.into())
@@ -624,11 +683,21 @@ fn respond_query(
     }
 }
 
+/// Server counters plus the query executor's, as one wire-ready snapshot.
+fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
+    let mut snap = shared.metrics.snapshot();
+    let exec = shared.executor.stats();
+    snap.plan_cache_hits = exec.plan_cache_hits;
+    snap.plan_cache_misses = exec.plan_cache_misses;
+    snap.parallel_morsels = exec.parallel_morsels;
+    snap
+}
+
 fn write_stats(shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) -> ServerResult<()> {
     write_msg(
         writer,
         &Response::Stats {
-            server: shared.metrics.snapshot(),
+            server: Box::new(metrics_snapshot(shared)),
             storage: shared.db.stats(),
         },
     )
@@ -640,7 +709,13 @@ fn db_error(
     message: String,
 ) -> ServerResult<()> {
     shared.metrics.db_errors.fetch_add(1, Ordering::Relaxed);
-    write_msg(writer, &Response::Error { kind: ErrorKind::Db, message })
+    write_msg(
+        writer,
+        &Response::Error {
+            kind: ErrorKind::Db,
+            message,
+        },
+    )
 }
 
 fn protocol_error(
@@ -648,10 +723,16 @@ fn protocol_error(
     writer: &mut BufWriter<TcpStream>,
     message: &str,
 ) -> ServerResult<()> {
-    shared.metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    shared
+        .metrics
+        .protocol_errors
+        .fetch_add(1, Ordering::Relaxed);
     write_msg(
         writer,
-        &Response::Error { kind: ErrorKind::Protocol, message: message.into() },
+        &Response::Error {
+            kind: ErrorKind::Protocol,
+            message: message.into(),
+        },
     )
 }
 
@@ -665,16 +746,28 @@ fn apply_op(db: &Database, op: &MutationOp) -> DbResult<Option<Oid>> {
             db.set_attr(*oid, attr, value.clone()).map(|_| None)
         }
         MutationOp::DeleteObject { oid } => db.delete_object(*oid).map(|_| None),
-        MutationOp::CreateRelationship { class, origin, destination, attrs } => db
+        MutationOp::CreateRelationship {
+            class,
+            origin,
+            destination,
+            attrs,
+        } => db
             .create_relationship(class, *origin, *destination, attrs.iter().cloned())
             .map(Some),
         MutationOp::DeleteRelationship { oid } => db.delete_relationship(*oid).map(|_| None),
-        MutationOp::CreateClassification { name, attrs, strict_hierarchy } => db
+        MutationOp::CreateClassification {
+            name,
+            attrs,
+            strict_hierarchy,
+        } => db
             .create_classification(name, attrs.iter().cloned(), *strict_hierarchy)
             .map(Some),
-        MutationOp::AddEdgeToClassification { classification, rel } => {
-            db.add_edge_to_classification(*classification, *rel).map(|_| None)
-        }
+        MutationOp::AddEdgeToClassification {
+            classification,
+            rel,
+        } => db
+            .add_edge_to_classification(*classification, *rel)
+            .map(|_| None),
     }
 }
 
@@ -696,13 +789,23 @@ mod tests {
     }
 
     fn serve_taxonomy(name: &str, workers: usize) -> ServerHandle {
-        let p = Prometheus::open_with(tmp(name), StoreOptions { sync_on_commit: false }).unwrap();
+        let p = Prometheus::open_with(
+            tmp(name),
+            StoreOptions {
+                sync_on_commit: false,
+            },
+        )
+        .unwrap();
         let tax = p.taxonomy().unwrap();
         tax.create_ct("Apium", Rank::Genus).unwrap();
         tax.create_ct("Heliosciadium", Rank::Genus).unwrap();
         serve(
             p,
-            ServerConfig { addr: "127.0.0.1:0".into(), workers, ..ServerConfig::default() },
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers,
+                ..ServerConfig::default()
+            },
         )
         .unwrap()
     }
@@ -712,7 +815,9 @@ mod tests {
         let handle = serve_taxonomy("roundtrip", 2);
         let mut client = PrometheusClient::connect(handle.addr()).unwrap();
         client.ping().unwrap();
-        let rows = client.query("select t.working_name from CT t order by t.working_name").unwrap();
+        let rows = client
+            .query("select t.working_name from CT t order by t.working_name")
+            .unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows.rows[0][0], Value::Str("Apium".into()));
         let (server, storage) = client.stats().unwrap();
@@ -728,15 +833,13 @@ mod tests {
         let handle = serve_taxonomy("batch", 2);
         let mut client = PrometheusClient::connect(handle.addr()).unwrap();
         let created = client
-            .unit_batch(vec![
-                MutationOp::CreateObject {
-                    class: "CT".into(),
-                    attrs: vec![
-                        ("working_name".into(), Value::Str("Daucus".into())),
-                        ("rank".into(), Value::Str("Genus".into())),
-                    ],
-                },
-            ])
+            .unit_batch(vec![MutationOp::CreateObject {
+                class: "CT".into(),
+                attrs: vec![
+                    ("working_name".into(), Value::Str("Daucus".into())),
+                    ("rank".into(), Value::Str("Genus".into())),
+                ],
+            }])
             .unwrap();
         assert_eq!(created.len(), 1);
         assert!(!created[0].is_nil());
@@ -750,7 +853,10 @@ mod tests {
                     ("rank".into(), Value::Str("Genus".into())),
                 ],
             },
-            MutationOp::CreateObject { class: "NoSuchClass".into(), attrs: vec![] },
+            MutationOp::CreateObject {
+                class: "NoSuchClass".into(),
+                attrs: vec![],
+            },
         ]);
         assert!(err.is_err());
         assert_eq!(client.query("select t from CT t").unwrap().len(), 3);
@@ -819,8 +925,13 @@ mod tests {
 
     #[test]
     fn idle_unit_times_out_rolls_back_and_frees_the_lane() {
-        let p = Prometheus::open_with(tmp("timeout"), StoreOptions { sync_on_commit: false })
-            .unwrap();
+        let p = Prometheus::open_with(
+            tmp("timeout"),
+            StoreOptions {
+                sync_on_commit: false,
+            },
+        )
+        .unwrap();
         let tax = p.taxonomy().unwrap();
         tax.create_ct("Apium", Rank::Genus).unwrap();
         let handle = serve(
@@ -829,6 +940,7 @@ mod tests {
                 addr: "127.0.0.1:0".into(),
                 workers: 2,
                 unit_idle_timeout: Duration::from_millis(150),
+                ..ServerConfig::default()
             },
         )
         .unwrap();
@@ -885,17 +997,28 @@ mod tests {
 
     #[test]
     fn session_context_scopes_queries() {
-        let p = Prometheus::open_with(tmp("context"), StoreOptions { sync_on_commit: false })
-            .unwrap();
+        let p = Prometheus::open_with(
+            tmp("context"),
+            StoreOptions {
+                sync_on_commit: false,
+            },
+        )
+        .unwrap();
         let tax = p.taxonomy().unwrap();
-        let cls = tax.new_classification("Linnaeus 1753", "L.", "habit").unwrap();
+        let cls = tax
+            .new_classification("Linnaeus 1753", "L.", "habit")
+            .unwrap();
         let genus = tax.create_ct("Apium", Rank::Genus).unwrap();
         let species = tax.create_ct("graveolens", Rank::Species).unwrap();
         tax.circumscribe(&cls, genus, species).unwrap();
         tax.create_ct("Orphan", Rank::Genus).unwrap(); // outside the classification
         let handle = serve(
             p,
-            ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, ..ServerConfig::default() },
+            ServerConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                ..ServerConfig::default()
+            },
         )
         .unwrap();
         let mut client = PrometheusClient::connect(handle.addr()).unwrap();
@@ -906,6 +1029,30 @@ mod tests {
         assert_eq!(client.query("select t from CT t").unwrap().len(), 3);
         assert!(client.set_context(Some("No Such Revision")).is_err());
         client.close().unwrap();
+        handle.stop();
+    }
+
+    #[test]
+    fn pinned_queries_share_the_plan_cache() {
+        let handle = serve_taxonomy("plancache", 2);
+        let mut a = PrometheusClient::connect(handle.addr()).unwrap();
+        let mut b = PrometheusClient::connect(handle.addr()).unwrap();
+        let q = "select t.working_name from CT t order by t.working_name";
+        a.query(q).unwrap();
+        // The cache is shared: a different session reuses the plan.
+        b.query(q).unwrap();
+        a.query(q).unwrap();
+        let (server, _) = a.stats().unwrap();
+        assert!(
+            server.plan_cache_misses >= 1,
+            "first run must plan: {server:?}"
+        );
+        assert!(
+            server.plan_cache_hits >= 2,
+            "repeats must hit the cached plan: {server:?}"
+        );
+        a.close().unwrap();
+        b.close().unwrap();
         handle.stop();
     }
 
@@ -934,11 +1081,20 @@ mod tests {
         let mut reader = BufReader::new(stream);
         write_msg(
             &mut writer,
-            &Request::Hello { version: 999, client: "old".into() },
+            &Request::Hello {
+                version: 999,
+                client: "old".into(),
+            },
         )
         .unwrap();
         let resp: Response = read_msg(&mut reader).unwrap();
-        assert!(matches!(resp, Response::Error { kind: ErrorKind::Protocol, .. }));
+        assert!(matches!(
+            resp,
+            Response::Error {
+                kind: ErrorKind::Protocol,
+                ..
+            }
+        ));
         handle.stop();
     }
 

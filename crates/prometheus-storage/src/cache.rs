@@ -19,6 +19,11 @@ struct Slot<K, V> {
 }
 
 /// Least-recently-used cache with a fixed entry capacity.
+///
+/// The cache keeps its own hit/miss tally ([`LruCache::hits`] /
+/// [`LruCache::misses`]), so every embedder — the object cache, the POOL
+/// plan cache — can surface warm-vs-cold behaviour (thesis §7.2) without
+/// wrapping each call site in external counters.
 #[derive(Debug)]
 pub struct LruCache<K, V> {
     map: HashMap<K, usize>,
@@ -27,6 +32,8 @@ pub struct LruCache<K, V> {
     head: usize, // most recently used
     tail: usize, // least recently used
     capacity: usize,
+    hits: u64,
+    misses: u64,
 }
 
 impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
@@ -40,6 +47,8 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             head: NIL,
             tail: NIL,
             capacity,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -53,9 +62,23 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         self.map.is_empty()
     }
 
+    /// Lookups answered from the cache since creation.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that found nothing since creation.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
     /// Look up `key`, promoting it to most-recently-used on a hit.
     pub fn get(&mut self, key: &K) -> Option<&V> {
-        let idx = *self.map.get(key)?;
+        let Some(&idx) = self.map.get(key) else {
+            self.misses += 1;
+            return None;
+        };
+        self.hits += 1;
         self.detach(idx);
         self.attach_front(idx);
         self.slots[idx].value.as_ref()
@@ -79,7 +102,10 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             let slot = &mut self.slots[victim];
             let old_key = slot.key.clone();
             self.map.remove(&old_key);
-            let old_value = slot.value.replace(value).expect("occupied slot has a value");
+            let old_value = slot
+                .value
+                .replace(value)
+                .expect("occupied slot has a value");
             slot.key = key.clone();
             self.map.insert(key, victim);
             self.attach_front(victim);
@@ -87,11 +113,21 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
         } else {
             let idx = match self.free.pop() {
                 Some(i) => {
-                    self.slots[i] = Slot { key: key.clone(), value: Some(value), prev: NIL, next: NIL };
+                    self.slots[i] = Slot {
+                        key: key.clone(),
+                        value: Some(value),
+                        prev: NIL,
+                        next: NIL,
+                    };
                     i
                 }
                 None => {
-                    self.slots.push(Slot { key: key.clone(), value: Some(value), prev: NIL, next: NIL });
+                    self.slots.push(Slot {
+                        key: key.clone(),
+                        value: Some(value),
+                        prev: NIL,
+                        next: NIL,
+                    });
                     self.slots.len() - 1
                 }
             };
@@ -161,6 +197,7 @@ mod tests {
         assert!(c.get(&1).is_none());
         c.put(1, "a".into());
         assert_eq!(c.get(&1).map(String::as_str), Some("a"));
+        assert_eq!((c.hits(), c.misses()), (1, 1));
     }
 
     #[test]

@@ -198,7 +198,8 @@ impl<'a> ser::Serializer for &'a mut Serializer {
         value.serialize(self)
     }
     fn serialize_seq(self, len: Option<usize>) -> StorageResult<Self::SerializeSeq> {
-        let len = len.ok_or_else(|| StorageError::Codec("sequences must have a known length".into()))?;
+        let len =
+            len.ok_or_else(|| StorageError::Codec("sequences must have a known length".into()))?;
         write_varint(&mut self.out, len as u64);
         Ok(self)
     }
@@ -469,11 +470,17 @@ impl<'de, 'a> de::Deserializer<'de> for &'a mut Deserializer<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
         let len = self.read_len()?;
-        visitor.visit_seq(CountedAccess { de: self, remaining: len })
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(self, len: usize, visitor: V) -> StorageResult<V::Value> {
-        visitor.visit_seq(CountedAccess { de: self, remaining: len })
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -487,7 +494,10 @@ impl<'de, 'a> de::Deserializer<'de> for &'a mut Deserializer<'de> {
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> StorageResult<V::Value> {
         let len = read_varint(&mut self.input)? as usize;
-        visitor.visit_map(CountedAccess { de: self, remaining: len })
+        visitor.visit_map(CountedAccess {
+            de: self,
+            remaining: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -550,7 +560,10 @@ impl<'a, 'de> SeqAccess<'de> for CountedAccess<'a, 'de> {
 impl<'a, 'de> MapAccess<'de> for CountedAccess<'a, 'de> {
     type Error = StorageError;
 
-    fn next_key_seed<K: DeserializeSeed<'de>>(&mut self, seed: K) -> StorageResult<Option<K::Value>> {
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> StorageResult<Option<K::Value>> {
         if self.remaining == 0 {
             return Ok(None);
         }
@@ -647,7 +660,10 @@ mod tests {
         assert_eq!(round_trip(&-1i32), -1);
         assert_eq!(round_trip(&3.5f64), 3.5);
         assert_eq!(round_trip(&'ß'), 'ß');
-        assert_eq!(round_trip(&"Apium graveolens".to_string()), "Apium graveolens");
+        assert_eq!(
+            round_trip(&"Apium graveolens".to_string()),
+            "Apium graveolens"
+        );
     }
 
     #[test]
@@ -663,7 +679,10 @@ mod tests {
             Sample::Unit,
             Sample::Newtype(7),
             Sample::Tuple(-9, "x".into()),
-            Sample::Struct { a: true, b: vec![1, 2, 3] },
+            Sample::Struct {
+                a: true,
+                b: vec![1, 2, 3],
+            },
         ] {
             let bytes = to_bytes(&v).unwrap();
             let back: Sample = from_bytes(&bytes).unwrap();

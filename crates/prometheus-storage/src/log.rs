@@ -43,9 +43,18 @@ pub enum LogRecord {
     /// A record was deleted.
     Delete { txn: u64, oid: Oid },
     /// An entry was written in an ordered keyspace (secondary indexes).
-    KvPut { txn: u64, keyspace: u8, key: Vec<u8>, value: Vec<u8> },
+    KvPut {
+        txn: u64,
+        keyspace: u8,
+        key: Vec<u8>,
+        value: Vec<u8>,
+    },
     /// An entry was removed from an ordered keyspace.
-    KvDelete { txn: u64, keyspace: u8, key: Vec<u8> },
+    KvDelete {
+        txn: u64,
+        keyspace: u8,
+        key: Vec<u8>,
+    },
     // New variants append only: the codec identifies variants by position, so
     // reordering would misread logs written by earlier builds.
     /// A unit of work opened. Transactions between this frame and the
@@ -114,7 +123,10 @@ impl LogWriter {
         file.set_len(valid_len)?;
         let mut writer = BufWriter::new(file);
         writer.seek(SeekFrom::Start(valid_len))?;
-        Ok(LogWriter { writer, offset: valid_len })
+        Ok(LogWriter {
+            writer,
+            offset: valid_len,
+        })
     }
 
     /// Append one record; returns the byte offset of its frame.
@@ -127,7 +139,8 @@ impl LogWriter {
             )));
         }
         let at = self.offset;
-        self.writer.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.writer
+            .write_all(&(payload.len() as u32).to_le_bytes())?;
         self.writer.write_all(&crc32(&payload).to_le_bytes())?;
         self.writer.write_all(&payload)?;
         self.offset += 8 + payload.len() as u64;
@@ -216,7 +229,10 @@ pub fn scan(path: &Path) -> StorageResult<LogScan> {
             Ok(r) => r,
             Err(_) => break, // undecodable payload
         };
-        frames.push(RecoveredFrame { offset: valid_len, record });
+        frames.push(RecoveredFrame {
+            offset: valid_len,
+            record,
+        });
         valid_len += 8 + len as u64;
     }
     Ok(LogScan { frames, valid_len })
@@ -233,7 +249,11 @@ fn read_exact_or_eof<R: Read>(reader: &mut R, buf: &mut [u8]) -> StorageResult<R
     while filled < buf.len() {
         let n = reader.read(&mut buf[filled..])?;
         if n == 0 {
-            return Ok(if filled == 0 { ReadOutcome::Eof } else { ReadOutcome::Partial });
+            return Ok(if filled == 0 {
+                ReadOutcome::Eof
+            } else {
+                ReadOutcome::Partial
+            });
         }
         filled += n;
     }
@@ -257,10 +277,25 @@ mod tests {
     fn sample_records() -> Vec<LogRecord> {
         vec![
             LogRecord::Begin { txn: 1 },
-            LogRecord::Put { txn: 1, oid: Oid::from_raw(10), bytes: vec![1, 2, 3] },
-            LogRecord::KvPut { txn: 1, keyspace: 2, key: b"k".to_vec(), value: b"v".to_vec() },
-            LogRecord::Delete { txn: 1, oid: Oid::from_raw(9) },
-            LogRecord::Commit { txn: 1, next_oid: 11 },
+            LogRecord::Put {
+                txn: 1,
+                oid: Oid::from_raw(10),
+                bytes: vec![1, 2, 3],
+            },
+            LogRecord::KvPut {
+                txn: 1,
+                keyspace: 2,
+                key: b"k".to_vec(),
+                value: b"v".to_vec(),
+            },
+            LogRecord::Delete {
+                txn: 1,
+                oid: Oid::from_raw(9),
+            },
+            LogRecord::Commit {
+                txn: 1,
+                next_oid: 11,
+            },
         ]
     }
 
@@ -327,7 +362,10 @@ mod tests {
         data[mid] ^= 0xFF;
         std::fs::write(&path, &data).unwrap();
         let scan = scan(&path).unwrap();
-        assert!(scan.frames.len() < 5, "scan must stop at the corrupted frame");
+        assert!(
+            scan.frames.len() < 5,
+            "scan must stop at the corrupted frame"
+        );
     }
 
     #[test]
@@ -345,7 +383,11 @@ mod tests {
         let s1 = scan(&path).unwrap();
         let mut w = LogWriter::open(&path, s1.valid_len).unwrap();
         assert_eq!(w.len(), good);
-        w.append(&LogRecord::Commit { txn: 1, next_oid: 1 }).unwrap();
+        w.append(&LogRecord::Commit {
+            txn: 1,
+            next_oid: 1,
+        })
+        .unwrap();
         w.sync().unwrap();
         let s2 = scan(&path).unwrap();
         assert_eq!(s2.frames.len(), 2);

@@ -161,7 +161,11 @@ mod tests {
     #[test]
     fn hit_ratio_handles_zero_reads() {
         assert_eq!(StatsSnapshot::default().hit_ratio(), 0.0);
-        let s = StatsSnapshot { cache_hits: 3, cache_misses: 1, ..Default::default() };
+        let s = StatsSnapshot {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..Default::default()
+        };
         assert!((s.hit_ratio() - 0.75).abs() < 1e-12);
     }
 }

@@ -49,7 +49,9 @@ pub struct StoreOptions {
 
 impl Default for StoreOptions {
     fn default() -> Self {
-        StoreOptions { sync_on_commit: true }
+        StoreOptions {
+            sync_on_commit: true,
+        }
     }
 }
 
@@ -69,7 +71,9 @@ impl Default for Image {
         let empty_records = Arc::new(HashMap::new());
         let empty_kv = Arc::new(BTreeMap::new());
         Image {
-            records: (0..RECORD_SHARDS).map(|_| Arc::clone(&empty_records)).collect(),
+            records: (0..RECORD_SHARDS)
+                .map(|_| Arc::clone(&empty_records))
+                .collect(),
             kv: (0..KEYSPACES).map(|_| Arc::clone(&empty_kv)).collect(),
         }
     }
@@ -116,7 +120,12 @@ impl Image {
             LogRecord::Delete { oid, .. } => {
                 Arc::make_mut(&mut self.records[Image::shard(*oid)]).remove(oid);
             }
-            LogRecord::KvPut { keyspace, key, value, .. } => {
+            LogRecord::KvPut {
+                keyspace,
+                key,
+                value,
+                ..
+            } => {
                 Arc::make_mut(&mut self.kv[*keyspace as usize]).insert(key.clone(), value.clone());
             }
             LogRecord::KvDelete { keyspace, key, .. } => {
@@ -170,7 +179,12 @@ impl Snapshot {
     }
 
     /// All entries in `keyspace` with `lo <= key < hi`.
-    pub fn kv_scan_range(&self, keyspace: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    pub fn kv_scan_range(
+        &self,
+        keyspace: Keyspace,
+        lo: &[u8],
+        hi: &[u8],
+    ) -> Vec<(Vec<u8>, Vec<u8>)> {
         self.image.kv_scan_range(keyspace, lo, hi)
     }
 
@@ -287,7 +301,10 @@ impl Store {
             // The log ends inside an unsealed unit (crash mid-unit). Seal it
             // as aborted so later replays — which will see frames appended
             // after this point — don't buffer them into the dead unit.
-            logw.append(&LogRecord::UnitEnd { unit, committed: false })?;
+            logw.append(&LogRecord::UnitEnd {
+                unit,
+                committed: false,
+            })?;
             logw.sync()?;
         }
         let published = Arc::new(image.clone());
@@ -312,7 +329,9 @@ impl Store {
     /// each other, and never observe a commit made after this call — or any
     /// part of a unit of work that had not settled yet.
     pub fn snapshot(&self) -> Snapshot {
-        Snapshot { image: Arc::clone(&self.published.read()) }
+        Snapshot {
+            image: Arc::clone(&self.published.read()),
+        }
     }
 
     /// Republish the working image as the new read snapshot.
@@ -342,7 +361,10 @@ impl Store {
     /// pre-unit state.
     pub fn end_unit_scope(&self, committed: bool) -> StorageResult<()> {
         let mut inner = self.inner.lock();
-        debug_assert!(inner.hold_depth > 0, "end_unit_scope without begin_unit_scope");
+        debug_assert!(
+            inner.hold_depth > 0,
+            "end_unit_scope without begin_unit_scope"
+        );
         inner.hold_depth = inner.hold_depth.saturating_sub(1);
         if inner.hold_depth > 0 {
             return Ok(());
@@ -458,7 +480,11 @@ impl Store {
         new_log.append(&LogRecord::Begin { txn })?;
         for shard in &inner.image.records {
             for (oid, bytes) in shard.iter() {
-                new_log.append(&LogRecord::Put { txn, oid: *oid, bytes: bytes.to_vec() })?;
+                new_log.append(&LogRecord::Put {
+                    txn,
+                    oid: *oid,
+                    bytes: bytes.to_vec(),
+                })?;
             }
         }
         for (ks, map) in inner.image.kv.iter().enumerate() {
@@ -471,7 +497,10 @@ impl Store {
                 })?;
             }
         }
-        new_log.append(&LogRecord::Commit { txn, next_oid: self.oids.high_water_mark() })?;
+        new_log.append(&LogRecord::Commit {
+            txn,
+            next_oid: self.oids.high_water_mark(),
+        })?;
         new_log.sync()?;
         drop(new_log);
         std::fs::rename(&tmp_path, &self.path)?;
@@ -509,7 +538,11 @@ impl Store {
             match change {
                 Some(bytes) => {
                     bytes_written += bytes.len() as u64;
-                    apply.push(LogRecord::Put { txn, oid: *oid, bytes: bytes.to_vec() });
+                    apply.push(LogRecord::Put {
+                        txn,
+                        oid: *oid,
+                        bytes: bytes.to_vec(),
+                    });
                     Stats::bump(&self.stats.puts);
                 }
                 None => {
@@ -530,11 +563,18 @@ impl Store {
                     });
                 }
                 None => {
-                    apply.push(LogRecord::KvDelete { txn, keyspace: *ks, key: key.clone() });
+                    apply.push(LogRecord::KvDelete {
+                        txn,
+                        keyspace: *ks,
+                        key: key.clone(),
+                    });
                 }
             }
         }
-        apply.push(LogRecord::Commit { txn, next_oid: self.oids.high_water_mark() });
+        apply.push(LogRecord::Commit {
+            txn,
+            next_oid: self.oids.high_water_mark(),
+        });
         for record in &apply {
             inner.logw.append(record)?;
             appends += 1;
@@ -653,7 +693,9 @@ impl<'s> Txn<'s> {
     /// Durably commit all staged changes.
     pub fn commit(mut self) -> StorageResult<()> {
         if self.finished {
-            return Err(StorageError::TxnState("transaction already finished".into()));
+            return Err(StorageError::TxnState(
+                "transaction already finished".into(),
+            ));
         }
         self.finished = true;
         self.store.commit_txn(&self.staged_records, &self.staged_kv)
@@ -755,14 +797,24 @@ mod tests {
             inner.logw.append(&LogRecord::Begin { txn: 99 }).unwrap();
             inner
                 .logw
-                .append(&LogRecord::Put { txn: 99, oid: b, bytes: b"lost".to_vec() })
+                .append(&LogRecord::Put {
+                    txn: 99,
+                    oid: b,
+                    bytes: b"lost".to_vec(),
+                })
                 .unwrap();
             inner.logw.sync().unwrap();
         }
         let store = Store::open(&path).unwrap();
         assert_eq!(store.get(a).as_deref(), Some(&b"committed"[..]));
-        assert!(store.get(b).is_none(), "uncommitted write must not survive recovery");
-        assert_eq!(store.kv_get(Keyspace(1), b"key").as_deref(), Some(&b"val"[..]));
+        assert!(
+            store.get(b).is_none(),
+            "uncommitted write must not survive recovery"
+        );
+        assert_eq!(
+            store.kv_get(Keyspace(1), b"key").as_deref(),
+            Some(&b"val"[..])
+        );
         // OIDs must not be re-issued.
         let c = store.allocate_oid();
         assert!(c > b);
@@ -822,8 +874,14 @@ mod tests {
                 Ok(())
             })
             .unwrap();
-        assert_eq!(store.kv_get(Keyspace(1), b"k").as_deref(), Some(&b"one"[..]));
-        assert_eq!(store.kv_get(Keyspace(2), b"k").as_deref(), Some(&b"two"[..]));
+        assert_eq!(
+            store.kv_get(Keyspace(1), b"k").as_deref(),
+            Some(&b"one"[..])
+        );
+        assert_eq!(
+            store.kv_get(Keyspace(2), b"k").as_deref(),
+            Some(&b"two"[..])
+        );
         assert_eq!(store.kv_scan_prefix(Keyspace(1), b"").len(), 1);
         let _ = std::fs::remove_file(path);
     }
@@ -844,7 +902,10 @@ mod tests {
         let before = std::fs::metadata(&path).unwrap().len();
         store.compact().unwrap();
         let after = std::fs::metadata(&path).unwrap().len();
-        assert!(after < before, "compaction must shrink the log ({before} -> {after})");
+        assert!(
+            after < before,
+            "compaction must shrink the log ({before} -> {after})"
+        );
         assert_eq!(store.get(oid).as_deref(), Some(&[49u8; 64][..]));
         // The store must remain writable after compaction.
         store
@@ -887,7 +948,10 @@ mod tests {
         let store = Store::open(&path).unwrap();
         assert_eq!(store.get(kept).as_deref(), Some(&b"stable"[..]));
         assert!(store.get(churn).is_none());
-        assert_eq!(store.kv_get(Keyspace(4), b"idx").as_deref(), Some(&b"entry"[..]));
+        assert_eq!(
+            store.kv_get(Keyspace(4), b"idx").as_deref(),
+            Some(&b"entry"[..])
+        );
         assert_eq!(store.record_count(), 1);
         // OIDs still monotonic after the compact+reopen cycle.
         assert!(store.allocate_oid() > kept.max(churn));
@@ -931,7 +995,10 @@ mod tests {
         // The old snapshot is frozen; the new one sees the commit.
         assert_eq!(before.get(a).as_deref(), Some(&b"one"[..]));
         assert!(before.get(b).is_none());
-        assert_eq!(before.kv_get(Keyspace(2), b"k").as_deref(), Some(&b"v1"[..]));
+        assert_eq!(
+            before.kv_get(Keyspace(2), b"k").as_deref(),
+            Some(&b"v1"[..])
+        );
         assert_eq!(after.get(b).as_deref(), Some(&b"two"[..]));
         assert_eq!(after.kv_get(Keyspace(2), b"k").as_deref(), Some(&b"v2"[..]));
         assert!(!before.same_version(&after));

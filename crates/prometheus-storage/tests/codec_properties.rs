@@ -14,14 +14,25 @@ fn arb_record() -> impl Strategy<Value = LogRecord> {
         (1u64..1000).prop_map(|txn| LogRecord::Begin { txn }),
         (1u64..1000, 1u64..1_000_000)
             .prop_map(|(txn, next_oid)| LogRecord::Commit { txn, next_oid }),
-        (1u64..1000, oid.clone(), bytes.clone())
-            .prop_map(|(txn, oid, bytes)| LogRecord::Put { txn, oid, bytes }),
+        (1u64..1000, oid.clone(), bytes.clone()).prop_map(|(txn, oid, bytes)| LogRecord::Put {
+            txn,
+            oid,
+            bytes
+        }),
         (1u64..1000, oid).prop_map(|(txn, oid)| LogRecord::Delete { txn, oid }),
         (1u64..1000, any::<u8>(), bytes.clone(), bytes.clone()).prop_map(
-            |(txn, keyspace, key, value)| LogRecord::KvPut { txn, keyspace, key, value }
+            |(txn, keyspace, key, value)| LogRecord::KvPut {
+                txn,
+                keyspace,
+                key,
+                value
+            }
         ),
-        (1u64..1000, any::<u8>(), bytes)
-            .prop_map(|(txn, keyspace, key)| LogRecord::KvDelete { txn, keyspace, key }),
+        (1u64..1000, any::<u8>(), bytes).prop_map(|(txn, keyspace, key)| LogRecord::KvDelete {
+            txn,
+            keyspace,
+            key
+        }),
     ]
 }
 

@@ -32,8 +32,7 @@ pub struct ChecklistEntry {
 pub fn entries(tax: &Taxonomy, cls: &Classification) -> DbResult<Vec<ChecklistEntry>> {
     let db = tax.db();
     let mut out = Vec::new();
-    let mut stack: Vec<(Oid, usize)> =
-        cls.roots(db)?.into_iter().rev().map(|r| (r, 0)).collect();
+    let mut stack: Vec<(Oid, usize)> = cls.roots(db)?.into_iter().rev().map(|r| (r, 0)).collect();
     let mut seen = std::collections::BTreeSet::new();
     while let Some((node, depth)) = stack.pop() {
         if !seen.insert(node) {

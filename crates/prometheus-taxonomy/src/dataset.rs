@@ -261,10 +261,7 @@ impl FloraParams {
 
     /// Total number of specimens.
     pub fn specimen_count(&self) -> usize {
-        self.families
-            * self.genera_per_family
-            * self.species_per_genus
-            * self.specimens_per_species
+        self.families * self.genera_per_family * self.species_per_genus * self.specimens_per_species
     }
 }
 
@@ -321,7 +318,13 @@ pub fn random_flora(tax: &Taxonomy, params: &FloraParams, seed: u64) -> DbResult
         }
     }
     db.commit_unit(token)?;
-    Ok(Flora { classification: cls, families, genera, species, specimens })
+    Ok(Flora {
+        classification: cls,
+        families,
+        genera,
+        species,
+        specimens,
+    })
 }
 
 /// Build `count` overlapping revisions of `flora`'s classification: each is

@@ -82,7 +82,9 @@ pub fn derive_names(
         if tax.is_specimen(node) {
             continue;
         }
-        let Some(rank) = tax.rank_of(node)? else { continue };
+        let Some(rank) = tax.rank_of(node)? else {
+            continue;
+        };
 
         // Steps 2–3: candidates at this rank via the type hierarchy.
         let circumscription: Vec<Oid> = tax
@@ -107,9 +109,15 @@ pub fn derive_names(
 
         let genus_nt = genus_context(tax, cls, node, &genus_above)?;
         let record = match chosen {
-            Some((_, candidate)) => {
-                resolve_candidate(tax, node, rank, candidate, genus_nt, publishing_author, publish_year)?
-            }
+            Some((_, candidate)) => resolve_candidate(
+                tax,
+                node,
+                rank,
+                candidate,
+                genus_nt,
+                publishing_author,
+                publish_year,
+            )?,
             None => publish_new_name(
                 tax,
                 node,
@@ -180,7 +188,9 @@ fn genus_context(
     let mut current = node;
     loop {
         let parents = cls.parents(db, current)?;
-        let Some(parent) = parents.first().copied() else { return Ok(None) };
+        let Some(parent) = parents.first().copied() else {
+            return Ok(None);
+        };
         if let Some(nt) = derived_genus.get(&parent) {
             return Ok(Some(*nt));
         }
@@ -260,7 +270,12 @@ fn resolve_candidate(
     }
     // Publish the new combination: epithet kept, basionym author bracketed,
     // primary type carried over.
-    let basionym_citation = db.object(candidate)?.attr("author").as_str().unwrap_or("").to_string();
+    let basionym_citation = db
+        .object(candidate)?
+        .attr("author")
+        .as_str()
+        .unwrap_or("")
+        .to_string();
     let basionym = basionym_author(&basionym_citation);
     let citation = format!("({basionym}){publishing_author}");
     let new_nt = tax.create_nt(&epithet, rank, publish_year, &citation)?;

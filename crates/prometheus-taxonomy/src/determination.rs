@@ -16,7 +16,9 @@ pub const DETERMINATION: &str = "Determination";
 
 /// Install the determination relationship class (idempotent).
 pub fn install(tax: &Taxonomy) -> DbResult<()> {
-    let present = tax.db().with_schema(|s| s.rel_class(DETERMINATION).is_some());
+    let present = tax
+        .db()
+        .with_schema(|s| s.rel_class(DETERMINATION).is_some());
     if present {
         return Ok(());
     }
@@ -42,7 +44,8 @@ pub fn determine(
     if let Some(d) = date {
         attrs.push(("date".to_string(), Value::Date(d)));
     }
-    tax.db().create_relationship(DETERMINATION, nt, specimen, attrs)
+    tax.db()
+        .create_relationship(DETERMINATION, nt, specimen, attrs)
 }
 
 /// All determinations of a specimen, as `(name NT, determiner, date)`.
@@ -54,7 +57,10 @@ pub fn determinations_of(
     for rel in tax.db().rels_to(specimen, Some(DETERMINATION))? {
         out.push((
             rel.origin,
-            rel.attr("determiner").as_str().unwrap_or_default().to_string(),
+            rel.attr("determiner")
+                .as_str()
+                .unwrap_or_default()
+                .to_string(),
             rel.attr("date").as_date(),
         ));
     }
@@ -91,7 +97,9 @@ pub fn disagreements(
         }
         // The specimen's direct parents in this classification.
         for parent in cls.parents(db, node)? {
-            let Some(calculated) = tax.calculated_name(parent)? else { continue };
+            let Some(calculated) = tax.calculated_name(parent)? else {
+                continue;
+            };
             for (determined, _, _) in determinations_of(tax, node)? {
                 if determined != calculated {
                     out.push((node, determined, calculated));
@@ -114,7 +122,9 @@ mod tests {
         let tax = fresh();
         install(&tax).unwrap();
         install(&tax).unwrap(); // idempotent
-        let nt = tax.create_nt("graveolens", Rank::Species, 1753, "L.").unwrap();
+        let nt = tax
+            .create_nt("graveolens", Rank::Species, 1753, "L.")
+            .unwrap();
         let s = tax.create_specimen("E-1").unwrap();
         determine(&tax, nt, s, "Newman", Some(Date::new(1998, 4, 2))).unwrap();
         determine(&tax, nt, s, "Watson", None).unwrap();
@@ -124,9 +134,11 @@ mod tests {
         assert_eq!(specimens_determined_as(&tax, nt).unwrap(), vec![s]);
         // A determination is not a classification edge: the specimen belongs
         // to no classification.
-        assert!(tax.db().classifications_of_edge(
-            tax.db().rels_to(s, Some(DETERMINATION)).unwrap()[0].oid
-        ).unwrap().is_empty());
+        assert!(tax
+            .db()
+            .classifications_of_edge(tax.db().rels_to(s, Some(DETERMINATION)).unwrap()[0].oid)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

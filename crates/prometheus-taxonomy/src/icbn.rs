@@ -85,7 +85,8 @@ pub fn install(tax: &Taxonomy, engine: &RuleEngine) -> DbResult<Vec<String>> {
     names.push("icbn-type-existence".into());
 
     // Figures 38–40: native rank-lattice rules.
-    tax.db().add_listener(Arc::new(RankRules { tax: tax.clone() }));
+    tax.db()
+        .add_listener(Arc::new(RankRules { tax: tax.clone() }));
     names.push("icbn-rank-order (native)".into());
     names.push("icbn-placement (native)".into());
     Ok(names)
@@ -98,7 +99,13 @@ struct RankRules {
 
 impl EventListener for RankRules {
     fn after(&self, _db: &Database, event: &Event) -> DbResult<()> {
-        let Event::RelCreated { class, origin, destination, .. } = event else {
+        let Event::RelCreated {
+            class,
+            origin,
+            destination,
+            ..
+        } = event
+        else {
             return Ok(());
         };
         match class.as_str() {
@@ -148,8 +155,8 @@ impl EventListener for RankRules {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rank::Rank;
     use crate::model::tests::fresh;
+    use crate::rank::Rank;
     use crate::typification::TypeKind;
 
     fn with_rules() -> (Taxonomy, Arc<RuleEngine>) {
@@ -167,13 +174,17 @@ mod tests {
         // will also run it — so typify inside a unit).
         let db = tax.db().clone();
         let token = db.begin_unit();
-        let nt = tax.create_nt("Apiaceae", Rank::Familia, 1789, "Lindl.").unwrap();
+        let nt = tax
+            .create_nt("Apiaceae", Rank::Familia, 1789, "Lindl.")
+            .unwrap();
         let s = tax.create_specimen("S").unwrap();
         tax.typify(nt, s, TypeKind::Lectotype).unwrap();
         db.commit_unit(token).unwrap();
         // Exception family.
         let token = db.begin_unit();
-        let nt = tax.create_nt("Umbelliferae", Rank::Familia, 1753, "Juss.").unwrap();
+        let nt = tax
+            .create_nt("Umbelliferae", Rank::Familia, 1753, "Juss.")
+            .unwrap();
         tax.typify(nt, s, TypeKind::Lectotype).unwrap();
         db.commit_unit(token).unwrap();
     }
@@ -182,7 +193,9 @@ mod tests {
     fn capitalisation_rules() {
         let (tax, _) = with_rules();
         assert!(tax.create_nt("apium", Rank::Genus, 1753, "L.").is_err());
-        assert!(tax.create_nt("Graveolens", Rank::Species, 1753, "L.").is_err());
+        assert!(tax
+            .create_nt("Graveolens", Rank::Species, 1753, "L.")
+            .is_err());
     }
 
     #[test]
@@ -212,7 +225,9 @@ mod tests {
             .create_relationship(CIRCUMSCRIBES, species, genus, Vec::new())
             .unwrap_err();
         assert!(matches!(err, DbError::ConstraintViolation { .. }));
-        assert!(db.create_relationship(CIRCUMSCRIBES, genus, species, Vec::new()).is_ok());
+        assert!(db
+            .create_relationship(CIRCUMSCRIBES, genus, species, Vec::new())
+            .is_ok());
     }
 
     #[test]
@@ -222,7 +237,9 @@ mod tests {
         // Build two valid names inside units (type rule).
         let token = db.begin_unit();
         let genus = tax.create_nt("Apium", Rank::Genus, 1753, "L.").unwrap();
-        let species = tax.create_nt("graveolens", Rank::Species, 1753, "L.").unwrap();
+        let species = tax
+            .create_nt("graveolens", Rank::Species, 1753, "L.")
+            .unwrap();
         let s = tax.create_specimen("S1").unwrap();
         tax.typify(species, s, TypeKind::Lectotype).unwrap();
         tax.typify(genus, species, TypeKind::Holotype).unwrap();

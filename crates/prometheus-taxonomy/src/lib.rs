@@ -36,8 +36,8 @@
 
 pub mod checklist;
 pub mod dataset;
-pub mod determination;
 pub mod derivation;
+pub mod determination;
 pub mod icbn;
 pub mod model;
 pub mod nomenclature;

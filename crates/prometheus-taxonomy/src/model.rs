@@ -25,8 +25,8 @@ use crate::nomenclature;
 use crate::rank::Rank;
 use crate::typification::TypeKind;
 use prometheus_object::{
-    AttrDef, Cardinality, ClassDef, Classification, Database, DbError, DbResult, Oid,
-    RelClassDef, Type, Value,
+    AttrDef, Cardinality, ClassDef, Classification, Database, DbError, DbResult, Oid, RelClassDef,
+    Type, Value,
 };
 use std::sync::Arc;
 
@@ -109,7 +109,8 @@ impl Taxonomy {
 
     /// Record a specimen.
     pub fn create_specimen(&self, code: &str) -> DbResult<Oid> {
-        self.db.create_object("Specimen", vec![("code".to_string(), Value::from(code))])
+        self.db
+            .create_object("Specimen", vec![("code".to_string(), Value::from(code))])
     }
 
     /// Record a specimen with collector details.
@@ -225,17 +226,25 @@ impl Taxonomy {
     /// Record a published combination: `epithet` was used inside `genus`
     /// (nomenclatural bookkeeping only, §2.1.2).
     pub fn place(&self, genus: Oid, epithet: Oid) -> DbResult<Oid> {
-        self.db.create_relationship(PLACEMENT, genus, epithet, Vec::new())
+        self.db
+            .create_relationship(PLACEMENT, genus, epithet, Vec::new())
     }
 
     /// The genus name an epithet NT is placed in, if any.
     pub fn placement_of(&self, epithet: Oid) -> DbResult<Option<Oid>> {
-        Ok(self.db.rels_to(epithet, Some(PLACEMENT))?.first().map(|r| r.origin))
+        Ok(self
+            .db
+            .rels_to(epithet, Some(PLACEMENT))?
+            .first()
+            .map(|r| r.origin))
     }
 
     /// Has the combination `genus name + epithet name` been published?
     pub fn combination_published(&self, genus_name: &str, epithet_name: &str) -> DbResult<bool> {
-        for nt in self.db.find_by_attr("NT", "name", &Value::from(epithet_name))? {
+        for nt in self
+            .db
+            .find_by_attr("NT", "name", &Value::from(epithet_name))?
+        {
             if let Some(genus) = self.placement_of(nt)? {
                 if self.name_of(genus)? == genus_name {
                     return Ok(true);
@@ -251,7 +260,12 @@ impl Taxonomy {
 
     /// Start a classification (strict hierarchy), recording author and
     /// criteria for traceability (requirement 4).
-    pub fn new_classification(&self, name: &str, author: &str, criteria: &str) -> DbResult<Classification> {
+    pub fn new_classification(
+        &self,
+        name: &str,
+        author: &str,
+        criteria: &str,
+    ) -> DbResult<Classification> {
         Classification::create(
             &self.db,
             name,
@@ -268,7 +282,11 @@ impl Taxonomy {
     /// rank rule of §2.1.1).
     pub fn circumscribe(&self, cls: &Classification, parent: Oid, child: Oid) -> DbResult<Oid> {
         let parent_rank = self.rank_of(parent)?;
-        let child_rank = if self.is_specimen(child) { None } else { self.rank_of(child)? };
+        let child_rank = if self.is_specimen(child) {
+            None
+        } else {
+            self.rank_of(child)?
+        };
         if let (Some(pr), Some(cr)) = (parent_rank, child_rank) {
             if !cr.may_be_placed_below(pr) {
                 return Err(DbError::ConstraintViolation {
@@ -292,7 +310,8 @@ impl Taxonomy {
 
     /// Attach an ascribed (historically published) name to a CT.
     pub fn ascribe_name(&self, ct: Oid, nt: Oid) -> DbResult<Oid> {
-        self.db.create_relationship(ASCRIBED_NAME, ct, nt, Vec::new())
+        self.db
+            .create_relationship(ASCRIBED_NAME, ct, nt, Vec::new())
     }
 
     /// Attach a calculated name (the derivation algorithm's output).
@@ -300,17 +319,26 @@ impl Taxonomy {
         for existing in self.db.rels_from(ct, Some(CALCULATED_NAME))? {
             self.db.delete_relationship(existing.oid)?;
         }
-        self.db.create_relationship(CALCULATED_NAME, ct, nt, Vec::new())
+        self.db
+            .create_relationship(CALCULATED_NAME, ct, nt, Vec::new())
     }
 
     /// The calculated name of a CT, if derivation ran.
     pub fn calculated_name(&self, ct: Oid) -> DbResult<Option<Oid>> {
-        Ok(self.db.rels_from(ct, Some(CALCULATED_NAME))?.first().map(|r| r.destination))
+        Ok(self
+            .db
+            .rels_from(ct, Some(CALCULATED_NAME))?
+            .first()
+            .map(|r| r.destination))
     }
 
     /// The ascribed name of a CT, if any.
     pub fn ascribed_name(&self, ct: Oid) -> DbResult<Option<Oid>> {
-        Ok(self.db.rels_from(ct, Some(ASCRIBED_NAME))?.first().map(|r| r.destination))
+        Ok(self
+            .db
+            .rels_from(ct, Some(ASCRIBED_NAME))?
+            .first()
+            .map(|r| r.destination))
     }
 
     // -------------------------------------------------------------
@@ -325,7 +353,9 @@ impl Taxonomy {
             "CT" => "working_name",
             "Specimen" => "code",
             other => {
-                return Err(DbError::Query(format!("no name attribute for class {other}")))
+                return Err(DbError::Query(format!(
+                    "no name attribute for class {other}"
+                )))
             }
         };
         Ok(obj.attr(attr).as_str().unwrap_or_default().to_string())
@@ -363,12 +393,21 @@ impl Taxonomy {
         };
         // Recombinations store the citation in `author` directly (e.g.
         // "(Jacq.)Lag."), so no further bracketing here.
-        Ok(nomenclature::full_name(rank, &element, genus.as_deref(), &author, None))
+        Ok(nomenclature::full_name(
+            rank,
+            &element,
+            genus.as_deref(),
+            &author,
+            None,
+        ))
     }
 
     /// Whether an object is a specimen.
     pub fn is_specimen(&self, oid: Oid) -> bool {
-        self.db.class_of(oid).map(|c| c == "Specimen").unwrap_or(false)
+        self.db
+            .class_of(oid)
+            .map(|c| c == "Specimen")
+            .unwrap_or(false)
     }
 }
 
@@ -388,8 +427,15 @@ pub(crate) mod tests {
                 .as_nanos()
         ));
         let _ = std::fs::remove_file(&path);
-        let store =
-            Arc::new(Store::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap());
+        let store = Arc::new(
+            Store::open_with(
+                &path,
+                StoreOptions {
+                    sync_on_commit: false,
+                },
+            )
+            .unwrap(),
+        );
         let db = Arc::new(Database::open(store).unwrap());
         Taxonomy::install(db).unwrap()
     }
@@ -398,7 +444,9 @@ pub(crate) mod tests {
     fn install_is_idempotent() {
         let tax = fresh();
         Taxonomy::install(tax.db().clone()).unwrap();
-        assert!(tax.db().with_schema(|s| s.rel_class(CIRCUMSCRIBES).is_some()));
+        assert!(tax
+            .db()
+            .with_schema(|s| s.rel_class(CIRCUMSCRIBES).is_some()));
     }
 
     #[test]
@@ -420,7 +468,9 @@ pub(crate) mod tests {
     #[test]
     fn typification_rules() {
         let tax = fresh();
-        let nt = tax.create_nt("graveolens", Rank::Species, 1753, "L.").unwrap();
+        let nt = tax
+            .create_nt("graveolens", Rank::Species, 1753, "L.")
+            .unwrap();
         let s1 = tax.create_specimen("S1").unwrap();
         let s2 = tax.create_specimen("S2").unwrap();
         tax.typify(nt, s1, TypeKind::Lectotype).unwrap();
@@ -429,7 +479,12 @@ pub(crate) mod tests {
         // …but isotypes are unlimited.
         tax.typify(nt, s2, TypeKind::Isotype).unwrap();
         tax.typify(nt, s1, TypeKind::Isotype).unwrap();
-        let kinds: Vec<TypeKind> = tax.types_of(nt).unwrap().into_iter().map(|(k, _)| k).collect();
+        let kinds: Vec<TypeKind> = tax
+            .types_of(nt)
+            .unwrap()
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
         assert_eq!(kinds.iter().filter(|k| **k == TypeKind::Isotype).count(), 2);
     }
 
@@ -442,7 +497,11 @@ pub(crate) mod tests {
         tax.typify(nt, lecto, TypeKind::Lectotype).unwrap();
         assert_eq!(tax.primary_type(nt).unwrap(), Some(lecto));
         tax.typify(nt, holo, TypeKind::Holotype).unwrap();
-        assert_eq!(tax.primary_type(nt).unwrap(), Some(holo), "holotype outranks lectotype");
+        assert_eq!(
+            tax.primary_type(nt).unwrap(),
+            Some(holo),
+            "holotype outranks lectotype"
+        );
         assert_eq!(tax.names_typified_by(holo).unwrap(), vec![nt]);
     }
 
@@ -450,11 +509,15 @@ pub(crate) mod tests {
     fn placement_and_combinations() {
         let tax = fresh();
         let apium = tax.create_nt("Apium", Rank::Genus, 1753, "L.").unwrap();
-        let graveolens = tax.create_nt("graveolens", Rank::Species, 1753, "L.").unwrap();
+        let graveolens = tax
+            .create_nt("graveolens", Rank::Species, 1753, "L.")
+            .unwrap();
         tax.place(apium, graveolens).unwrap();
         assert_eq!(tax.placement_of(graveolens).unwrap(), Some(apium));
         assert!(tax.combination_published("Apium", "graveolens").unwrap());
-        assert!(!tax.combination_published("Heliosciadium", "graveolens").unwrap());
+        assert!(!tax
+            .combination_published("Heliosciadium", "graveolens")
+            .unwrap());
         assert_eq!(tax.full_name(graveolens).unwrap(), "Apium graveolens L.");
         assert_eq!(tax.full_name(apium).unwrap(), "Apium L.");
     }
@@ -482,7 +545,9 @@ pub(crate) mod tests {
         let tax = fresh();
         let ct = tax.create_ct("Taxon 1", Rank::Genus).unwrap();
         let nt1 = tax.create_nt("Apium", Rank::Genus, 1753, "L.").unwrap();
-        let nt2 = tax.create_nt("Heliosciadium", Rank::Genus, 1824, "Koch").unwrap();
+        let nt2 = tax
+            .create_nt("Heliosciadium", Rank::Genus, 1824, "Koch")
+            .unwrap();
         tax.ascribe_name(ct, nt1).unwrap();
         assert_eq!(tax.ascribed_name(ct).unwrap(), Some(nt1));
         tax.set_calculated_name(ct, nt1).unwrap();

@@ -184,7 +184,10 @@ mod tests {
     fn single_worded() {
         assert!(validate_name_element("Apium graveolens", Rank::Genus)
             .contains(&NameProblem::MultiWord));
-        assert_eq!(validate_name_element("", Rank::Genus), vec![NameProblem::Empty]);
+        assert_eq!(
+            validate_name_element("", Rank::Genus),
+            vec![NameProblem::Empty]
+        );
     }
 
     #[test]
@@ -197,13 +200,28 @@ mod tests {
     #[test]
     fn full_names_compose() {
         // Figure 3's names render exactly.
-        assert_eq!(full_name(Rank::Genus, "Apium", None, "L.", None), "Apium L.");
         assert_eq!(
-            full_name(Rank::Species, "repens", Some("Apium"), "Jacq.", Some("Lag.")),
+            full_name(Rank::Genus, "Apium", None, "L.", None),
+            "Apium L."
+        );
+        assert_eq!(
+            full_name(
+                Rank::Species,
+                "repens",
+                Some("Apium"),
+                "Jacq.",
+                Some("Lag.")
+            ),
             "Apium repens (Jacq.)Lag."
         );
         assert_eq!(
-            full_name(Rank::Species, "nodiflorum", Some("Heliosciadium"), "L.", Some("W.D.J.Koch")),
+            full_name(
+                Rank::Species,
+                "nodiflorum",
+                Some("Heliosciadium"),
+                "L.",
+                Some("W.D.J.Koch")
+            ),
             "Heliosciadium nodiflorum (L.)W.D.J.Koch"
         );
         assert_eq!(full_name(Rank::Genus, "Apium", None, "", None), "Apium");

@@ -91,7 +91,10 @@ impl Rank {
 
     /// Is this a secondary rank (Tribus, Sectio, Series, Varietas, Forma)?
     pub fn is_secondary(self) -> bool {
-        matches!(self, Rank::Tribus | Rank::Sectio | Rank::Series | Rank::Varietas | Rank::Forma)
+        matches!(
+            self,
+            Rank::Tribus | Rank::Sectio | Rank::Series | Rank::Varietas | Rank::Forma
+        )
     }
 
     /// The rank this sub-rank subdivides, e.g. Subgenus → Genus.
@@ -146,7 +149,9 @@ impl Rank {
         if name.eq_ignore_ascii_case("Phyllum") || name.eq_ignore_ascii_case("Phylum") {
             return Some(Rank::Divisio);
         }
-        Rank::ALL.into_iter().find(|r| r.name().eq_ignore_ascii_case(name))
+        Rank::ALL
+            .into_iter()
+            .find(|r| r.name().eq_ignore_ascii_case(name))
     }
 
     /// Are names at this rank multinomial (Species and below, §2.4.1 req 8)?

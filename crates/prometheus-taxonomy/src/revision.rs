@@ -21,7 +21,10 @@ impl Revision {
     /// Start a revision: deep-copy `base` into a working classification.
     pub fn start(tax: &Taxonomy, base: &Classification, working_name: &str) -> DbResult<Revision> {
         let working = base.copy(tax.db(), working_name)?;
-        Ok(Revision { base: *base, working })
+        Ok(Revision {
+            base: *base,
+            working,
+        })
     }
 
     /// Move `taxon` under `new_parent` in the working classification
@@ -115,8 +118,10 @@ impl Revision {
     /// they are fully independent copies; a sanity check used by tests).
     pub fn shared_edge_count(&self, tax: &Taxonomy) -> DbResult<usize> {
         let db = tax.db();
-        let base: std::collections::BTreeSet<Oid> =
-            db.classification_edges(self.base.oid())?.into_iter().collect();
+        let base: std::collections::BTreeSet<Oid> = db
+            .classification_edges(self.base.oid())?
+            .into_iter()
+            .collect();
         Ok(db
             .classification_edges(self.working.oid())?
             .into_iter()

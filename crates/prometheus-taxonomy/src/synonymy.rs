@@ -93,14 +93,26 @@ pub fn compare_taxa(
     }
     let only_a = a.len() - shared;
     let only_b = b.len() - shared;
-    let kind = if only_a == 0 && only_b == 0 { SynonymKind::Full } else { SynonymKind::ProParte };
+    let kind = if only_a == 0 && only_b == 0 {
+        SynonymKind::Full
+    } else {
+        SynonymKind::ProParte
+    };
     let type_a = taxon_type(tax, cls_a, taxon_a)?;
     let type_b = taxon_type(tax, cls_b, taxon_b)?;
     let homotypic = match (type_a, type_b) {
         (Some(ta), Some(tb)) => canon(ta) == canon(tb),
         _ => false,
     };
-    Ok(Some(SynonymReport { taxon_a, taxon_b, kind, homotypic, shared, only_a, only_b }))
+    Ok(Some(SynonymReport {
+        taxon_a,
+        taxon_b,
+        kind,
+        homotypic,
+        shared,
+        only_a,
+        only_b,
+    }))
 }
 
 /// Detect every synonym pair between two classifications: same-rank CT pairs
@@ -227,7 +239,11 @@ pub fn detect_name_synonyms(
             }
             let Some(nb) = name_of_ct(tb)? else { continue };
             if na == nb {
-                out.push(NameSynonym { taxon_a: ta, taxon_b: tb, name: na });
+                out.push(NameSynonym {
+                    taxon_a: ta,
+                    taxon_b: tb,
+                    name: na,
+                });
             }
         }
     }
@@ -262,10 +278,7 @@ pub fn detect_homonyms(tax: &Taxonomy) -> DbResult<Vec<(Oid, Oid)>> {
 /// Audit a classification after derivation (§7.1.2): CTs whose ascribed
 /// (historically published) name disagrees with the calculated one. Each
 /// entry is `(ct, ascribed, calculated)`.
-pub fn audit_names(
-    tax: &Taxonomy,
-    cls: &Classification,
-) -> DbResult<Vec<(Oid, Oid, Oid)>> {
+pub fn audit_names(tax: &Taxonomy, cls: &Classification) -> DbResult<Vec<(Oid, Oid, Oid)>> {
     let db = tax.db();
     let mut out = Vec::new();
     for node in cls.nodes(db)? {
@@ -347,7 +360,10 @@ mod tests {
         // audit says so.
         let calculated = tax.calculated_name(ct).unwrap().unwrap();
         assert_ne!(calculated, wrong);
-        assert_eq!(tax.name_of(calculated).unwrap(), tax.name_of(right).unwrap());
+        assert_eq!(
+            tax.name_of(calculated).unwrap(),
+            tax.name_of(right).unwrap()
+        );
         let audit = audit_names(&tax, &cls).unwrap();
         assert_eq!(audit, vec![(ct, wrong, calculated)]);
     }

@@ -46,7 +46,9 @@ impl TypeKind {
 
     /// Parse from the relationship attribute value.
     pub fn from_str_opt(s: &str) -> Option<TypeKind> {
-        TypeKind::ALL.into_iter().find(|k| k.as_str().eq_ignore_ascii_case(s))
+        TypeKind::ALL
+            .into_iter()
+            .find(|k| k.as_str().eq_ignore_ascii_case(s))
     }
 
     /// Priority during name derivation (§2.1.2: "the holotype is always the
@@ -65,7 +67,10 @@ impl TypeKind {
     /// May a name carry more than one designation of this kind?
     /// (§2.1.2: one holo/lecto/neotype; any number of isotypes/syntypes.)
     pub fn unique_per_name(self) -> bool {
-        matches!(self, TypeKind::Holotype | TypeKind::Lectotype | TypeKind::Neotype)
+        matches!(
+            self,
+            TypeKind::Holotype | TypeKind::Lectotype | TypeKind::Neotype
+        )
     }
 }
 
@@ -90,8 +95,10 @@ mod tests {
 
     #[test]
     fn priority_order_matches_icbn() {
-        let mut with_priority: Vec<TypeKind> =
-            TypeKind::ALL.into_iter().filter(|k| k.naming_priority().is_some()).collect();
+        let mut with_priority: Vec<TypeKind> = TypeKind::ALL
+            .into_iter()
+            .filter(|k| k.naming_priority().is_some())
+            .collect();
         with_priority.sort_by_key(|k| k.naming_priority().unwrap());
         assert_eq!(
             with_priority,

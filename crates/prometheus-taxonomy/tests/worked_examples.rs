@@ -15,10 +15,21 @@ fn fresh() -> Taxonomy {
         "taxo-worked-{}-{:?}-{}.log",
         std::process::id(),
         std::thread::current().id(),
-        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
     ));
     let _ = std::fs::remove_file(&path);
-    let store = Arc::new(Store::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap());
+    let store = Arc::new(
+        Store::open_with(
+            &path,
+            StoreOptions {
+                sync_on_commit: false,
+            },
+        )
+        .unwrap(),
+    );
     Taxonomy::install(Arc::new(Database::open(store).unwrap())).unwrap()
 }
 
@@ -45,7 +56,10 @@ fn figure3_derivation_produces_heliosciadium_repens() {
     assert_eq!(t2.rendered, "Heliosciadium repens (Jacq.)Raguenaud.");
 
     // The calculated names are attached to the CTs.
-    assert_eq!(tax.calculated_name(fig.taxon1).unwrap(), Some(fig.nt_heliosciadium));
+    assert_eq!(
+        tax.calculated_name(fig.taxon1).unwrap(),
+        Some(fig.nt_heliosciadium)
+    );
     assert_eq!(tax.calculated_name(fig.taxon2).unwrap(), Some(t2.nt));
     // The new combination is placed in Heliosciadium and typified by the
     // old repens type.
@@ -78,7 +92,12 @@ fn figure4_overlap_and_synonyms() {
     // All four classifications share specimen objects.
     let t1_nodes = fig.taxonomist1.nodes(db).unwrap();
     let t3_nodes = fig.taxonomist3.nodes(db).unwrap();
-    let white_square = fig.specimens.iter().find(|(n, _)| n == "white-square").unwrap().1;
+    let white_square = fig
+        .specimens
+        .iter()
+        .find(|(n, _)| n == "white-square")
+        .unwrap()
+        .1;
     assert!(t1_nodes.contains(&white_square) && t3_nodes.contains(&white_square));
 
     // Publish a name typified by the white square so the groups have a
@@ -87,8 +106,11 @@ fn figure4_overlap_and_synonyms() {
     {
         let db = tax.db().clone();
         let token = db.begin_unit();
-        let nt = tax.create_nt("squarea", Rank::Species, 1753, "T1.").unwrap();
-        tax.typify(nt, white_square, prometheus_taxonomy::TypeKind::Holotype).unwrap();
+        let nt = tax
+            .create_nt("squarea", Rank::Species, 1753, "T1.")
+            .unwrap();
+        tax.typify(nt, white_square, prometheus_taxonomy::TypeKind::Holotype)
+            .unwrap();
         db.commit_unit(token).unwrap();
     }
 
@@ -109,17 +131,26 @@ fn figure4_overlap_and_synonyms() {
         })
         .expect("Squares/Squares-2 synonym found");
     assert_eq!(squares_report.kind, SynonymKind::Full);
-    assert!(squares_report.homotypic, "both typified by the white square");
+    assert!(
+        squares_report.homotypic,
+        "both typified by the white square"
+    );
 
     // Between taxonomist 2's Circles (dark-circle + white-circle) and
     // taxonomist 3's Dark (black-oval, dark-triangle, dark-circle):
     // pro-parte overlap (shared: dark-circle).
-    let reports =
-        detect_synonyms(&tax, &fig.taxonomist2, &fig.taxonomist3, SynonymMode::Ignore).unwrap();
+    let reports = detect_synonyms(
+        &tax,
+        &fig.taxonomist2,
+        &fig.taxonomist3,
+        SynonymMode::Ignore,
+    )
+    .unwrap();
     let pro_parte = reports
         .iter()
         .find(|r| {
-            tax.name_of(r.taxon_a).unwrap() == "Circles" && tax.name_of(r.taxon_b).unwrap() == "Dark"
+            tax.name_of(r.taxon_a).unwrap() == "Circles"
+                && tax.name_of(r.taxon_b).unwrap() == "Dark"
         })
         .expect("Circles/Dark overlap");
     assert_eq!(pro_parte.kind, SK::ProParte);
@@ -141,19 +172,36 @@ fn figure4_taxon_types_follow_oldest_published_type() {
     // Publish names so the shapes have types: white-square is the oldest.
     let db = tax.db().clone();
     let token = db.begin_unit();
-    let ws = fig.specimens.iter().find(|(n, _)| n == "white-square").unwrap().1;
-    let bo = fig.specimens.iter().find(|(n, _)| n == "black-oval").unwrap().1;
-    let nt_squares = tax.create_nt("squarea", Rank::Species, 1753, "T1.").unwrap();
+    let ws = fig
+        .specimens
+        .iter()
+        .find(|(n, _)| n == "white-square")
+        .unwrap()
+        .1;
+    let bo = fig
+        .specimens
+        .iter()
+        .find(|(n, _)| n == "black-oval")
+        .unwrap()
+        .1;
+    let nt_squares = tax
+        .create_nt("squarea", Rank::Species, 1753, "T1.")
+        .unwrap();
     let nt_ovals = tax.create_nt("ovalea", Rank::Species, 1790, "T1.").unwrap();
-    tax.typify(nt_squares, ws, prometheus_taxonomy::TypeKind::Holotype).unwrap();
-    tax.typify(nt_ovals, bo, prometheus_taxonomy::TypeKind::Holotype).unwrap();
+    tax.typify(nt_squares, ws, prometheus_taxonomy::TypeKind::Holotype)
+        .unwrap();
+    tax.typify(nt_ovals, bo, prometheus_taxonomy::TypeKind::Holotype)
+        .unwrap();
     db.commit_unit(token).unwrap();
 
     // The type of taxonomist 1's whole Shapes group is the white square
     // (oldest published type below it) — Figure 4's "the group called
     // Squares is the type of all the shapes".
     let shapes_root = fig.taxonomist1.roots(&db).unwrap()[0];
-    assert_eq!(taxon_type(&tax, &fig.taxonomist1, shapes_root).unwrap(), Some(ws));
+    assert_eq!(
+        taxon_type(&tax, &fig.taxonomist1, shapes_root).unwrap(),
+        Some(ws)
+    );
 }
 
 #[test]
@@ -161,7 +209,11 @@ fn revision_what_if_keep_and_discard() {
     let tax = fresh();
     let flora = random_flora(&tax, &FloraParams::default(), 7).unwrap();
     let revision = Revision::start(&tax, &flora.classification, "rev-A").unwrap();
-    assert_eq!(revision.shared_edge_count(&tax).unwrap(), 0, "copies share no edges");
+    assert_eq!(
+        revision.shared_edge_count(&tax).unwrap(),
+        0,
+        "copies share no edges"
+    );
     let db = tax.db();
     let species = flora.species[0];
     let old_parent = revision.working.parents(db, species).unwrap()[0];
@@ -184,13 +236,22 @@ fn revision_what_if_keep_and_discard() {
         })
         .unwrap();
     assert_eq!(decision, WhatIf::Discard);
-    assert_eq!(revision.working.parents(db, species).unwrap(), vec![old_parent]);
+    assert_eq!(
+        revision.working.parents(db, species).unwrap(),
+        vec![old_parent]
+    );
 
     // Kept scenario persists.
     revision.move_taxon(&tax, species, new_parent).unwrap();
-    assert_eq!(revision.working.parents(db, species).unwrap(), vec![new_parent]);
+    assert_eq!(
+        revision.working.parents(db, species).unwrap(),
+        vec![new_parent]
+    );
     // The base classification never moved.
-    assert_eq!(revision.base.parents(db, species).unwrap(), vec![old_parent]);
+    assert_eq!(
+        revision.base.parents(db, species).unwrap(),
+        vec![old_parent]
+    );
 }
 
 #[test]
@@ -198,7 +259,12 @@ fn revision_merge_and_split() {
     let tax = fresh();
     let flora = random_flora(
         &tax,
-        &FloraParams { families: 1, genera_per_family: 2, species_per_genus: 3, ..Default::default() },
+        &FloraParams {
+            families: 1,
+            genera_per_family: 2,
+            species_per_genus: 3,
+            ..Default::default()
+        },
         11,
     )
     .unwrap();
@@ -210,14 +276,19 @@ fn revision_merge_and_split() {
     let before = revision.working.children(db, g1).unwrap().len();
     let moved = revision.working.children(db, g2).unwrap().len();
     revision.merge_taxa(&tax, g1, g2).unwrap();
-    assert_eq!(revision.working.children(db, g1).unwrap().len(), before + moved);
+    assert_eq!(
+        revision.working.children(db, g1).unwrap().len(),
+        before + moved
+    );
     assert!(revision.working.children(db, g2).unwrap().is_empty());
     assert!(revision.working.parents(db, g2).unwrap().is_empty());
 
     // Split genus 1: move two species into a new CT.
     let children = revision.working.children(db, g1).unwrap();
     let to_move = &children[..2];
-    let new_ct = revision.split_taxon(&tax, g1, to_move, "GenusNovus").unwrap();
+    let new_ct = revision
+        .split_taxon(&tax, g1, to_move, "GenusNovus")
+        .unwrap();
     assert_eq!(revision.working.children(db, new_ct).unwrap().len(), 2);
     assert_eq!(
         revision.working.children(db, g1).unwrap().len(),
@@ -283,5 +354,9 @@ fn derivation_over_random_flora_is_total() {
         .filter(|n| flora.genera.contains(&n.ct))
         .filter(|n| n.is_new)
         .count();
-    assert_eq!(new_genera, flora.genera.len(), "no genus names existed; all published fresh");
+    assert_eq!(
+        new_genera,
+        flora.genera.len(),
+        "no genus names existed; all published fresh"
+    );
 }

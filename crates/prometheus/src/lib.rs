@@ -31,10 +31,10 @@ pub use prometheus_object::{
     classification, database, events, index, instance, schema, synonym, traversal, value, views,
 };
 pub use prometheus_object::{
-    history_of, AttrDef, Cardinality, ClassDef, Classification, Database, Date, DbError,
-    DbResult, Event, EventListener, HistoryEntry, HistoryRecorder, ObjectInstance, Oid,
-    ReadView, Reader, RelClassDef, RelInstance, RelKind, SchemaRegistry, Store, StoreOptions,
-    SynonymMode, Type, Value, View,
+    history_of, AttrDef, Cardinality, ClassDef, Classification, Database, Date, DbError, DbResult,
+    Event, EventListener, HistoryEntry, HistoryRecorder, ObjectInstance, Oid, ReadView, Reader,
+    RelClassDef, RelInstance, RelKind, SchemaRegistry, Store, StoreOptions, SynonymMode, Type,
+    Value, View,
 };
 pub use prometheus_pool as pool;
 pub use prometheus_pool::{QueryResult, Row};
@@ -169,7 +169,9 @@ mod tests {
     fn open_query_and_pcl_round_trip() {
         let p = Prometheus::open_with(
             tmp("roundtrip"),
-            StoreOptions { sync_on_commit: false },
+            StoreOptions {
+                sync_on_commit: false,
+            },
         )
         .unwrap();
         let tax = p.taxonomy().unwrap();
@@ -186,20 +188,35 @@ mod tests {
 
     #[test]
     fn stats_expose_storage_counters() {
-        let p = Prometheus::open_with(tmp("stats"), StoreOptions { sync_on_commit: false }).unwrap();
+        let p = Prometheus::open_with(
+            tmp("stats"),
+            StoreOptions {
+                sync_on_commit: false,
+            },
+        )
+        .unwrap();
         let before = p.stats();
         let tax = p.taxonomy().unwrap();
         tax.create_ct("counted", Rank::Genus).unwrap();
         let after = p.stats();
         let delta = after.since(&before);
-        assert!(delta.commits >= 1, "facade stats must reflect store commits");
+        assert!(
+            delta.commits >= 1,
+            "facade stats must reflect store commits"
+        );
         assert!(delta.puts >= 1);
         assert!(delta.bytes_written > 0);
     }
 
     #[test]
     fn taxonomy_with_icbn_installs_rules() {
-        let p = Prometheus::open_with(tmp("icbn"), StoreOptions { sync_on_commit: false }).unwrap();
+        let p = Prometheus::open_with(
+            tmp("icbn"),
+            StoreOptions {
+                sync_on_commit: false,
+            },
+        )
+        .unwrap();
         let tax = p.taxonomy_with_icbn().unwrap();
         // Genus names must be capitalised per Figure 36.
         assert!(tax.create_nt("apium", Rank::Genus, 1753, "L.").is_err());
@@ -208,11 +225,15 @@ mod tests {
 
     #[test]
     fn unit_helper_commits_and_aborts() {
-        let p = Prometheus::open_with(tmp("unit"), StoreOptions { sync_on_commit: false }).unwrap();
+        let p = Prometheus::open_with(
+            tmp("unit"),
+            StoreOptions {
+                sync_on_commit: false,
+            },
+        )
+        .unwrap();
         let tax = p.taxonomy().unwrap();
-        let kept = p
-            .unit(|_| tax.create_ct("kept", Rank::Genus))
-            .unwrap();
+        let kept = p.unit(|_| tax.create_ct("kept", Rank::Genus)).unwrap();
         assert!(p.db().exists(kept));
         let result: DbResult<Oid> = p.unit(|_| {
             let _ = tax.create_ct("lost", Rank::Genus)?;

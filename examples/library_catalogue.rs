@@ -13,7 +13,12 @@ use prometheus_db::{
 fn main() -> DbResult<()> {
     let path = std::env::temp_dir().join("prometheus-library.db");
     let _ = std::fs::remove_file(&path);
-    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false })?;
+    let p = Prometheus::open_with(
+        &path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )?;
     let db = p.db();
 
     db.define_class(
@@ -27,9 +32,7 @@ fn main() -> DbResult<()> {
     )?;
     // Shelving is a generic placement classification — not is-a, not is-of
     // (requirement 11), so a plain sharable aggregation fits.
-    db.define_relationship(
-        RelClassDef::aggregation("Holds", "Category", "Object").sharable(true),
-    )?;
+    db.define_relationship(RelClassDef::aggregation("Holds", "Category", "Object").sharable(true))?;
 
     let cat = |label: &str| -> DbResult<_> {
         db.create_object("Category", vec![("label".to_string(), Value::from(label))])
@@ -103,8 +106,13 @@ fn main() -> DbResult<()> {
     );
 
     // Views scope the database to one catalogue (views layer, §6.1.3).
-    let view = View::new("subject-books").class("Book").classification(by_subject.oid());
+    let view = View::new("subject-books")
+        .class("Book")
+        .classification(by_subject.oid());
     view.save(db)?;
-    println!("View 'subject-books' sees {} objects", view.members(db)?.len());
+    println!(
+        "View 'subject-books' sees {} objects",
+        view.members(db)?.len()
+    );
     Ok(())
 }

@@ -6,16 +6,21 @@
 //!
 //! Run with: `cargo run --example plant_revision`
 
+use prometheus_db::SynonymMode;
 use prometheus_db::{DbResult, Prometheus, StoreOptions};
 use prometheus_taxonomy::dataset::figure3;
 use prometheus_taxonomy::derivation::derive_names;
 use prometheus_taxonomy::synonymy::detect_synonyms;
-use prometheus_db::SynonymMode;
 
 fn main() -> DbResult<()> {
     let path = std::env::temp_dir().join("prometheus-plant-revision.db");
     let _ = std::fs::remove_file(&path);
-    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false })?;
+    let p = Prometheus::open_with(
+        &path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )?;
     let tax = p.taxonomy()?;
 
     // Build the published state of the world (Figure 3's left-hand side):
@@ -25,15 +30,19 @@ fn main() -> DbResult<()> {
     // nodiflorum (1824).
     let fig = figure3(&tax)?;
     println!("Published names:");
-    for nt in [fig.nt_apium, fig.nt_graveolens, fig.nt_apium_repens, fig.nt_heliosciadium, fig.nt_nodiflorum]
-    {
+    for nt in [
+        fig.nt_apium,
+        fig.nt_graveolens,
+        fig.nt_apium_repens,
+        fig.nt_heliosciadium,
+        fig.nt_nodiflorum,
+    ] {
         println!("  {}", tax.full_name(nt)?);
     }
 
     // POOL sees the same world (typical taxonomic query, §7.1.3.1).
-    let r = p.query(
-        "select n.name, n.year from NT n where n.rank = \"Species\" order by n.year",
-    )?;
+    let r =
+        p.query("select n.name, n.year from NT n where n.rank = \"Species\" order by n.year")?;
     println!("Species names by priority:");
     for row in &r.rows {
         println!("  {} ({})", row.columns[0], row.columns[1]);
@@ -58,12 +67,7 @@ fn main() -> DbResult<()> {
     // the nodiflorum type specimen moves into a new species-level group,
     // then compare the revision against the original.
     let revision = prometheus_taxonomy::revision::Revision::start(&tax, &fig.cls, "rev-2001")?;
-    let new_ct = revision.split_taxon(
-        &tax,
-        fig.taxon2,
-        &[fig.spec_nodiflorum_type],
-        "Taxon 3",
-    )?;
+    let new_ct = revision.split_taxon(&tax, fig.taxon2, &[fig.spec_nodiflorum_type], "Taxon 3")?;
     let reports = detect_synonyms(&tax, &fig.cls, &revision.working, SynonymMode::Ignore)?;
     println!(
         "\nAfter splitting Taxon 2 in the revision ({} overlap pair(s) found):",
@@ -75,13 +79,20 @@ fn main() -> DbResult<()> {
             tax.name_of(r.taxon_a)?,
             tax.name_of(r.taxon_b)?,
             r.kind,
-            if r.homotypic { "homotypic" } else { "heterotypic" },
+            if r.homotypic {
+                "homotypic"
+            } else {
+                "heterotypic"
+            },
         );
     }
     let _ = new_ct;
 
     // Finally, the artifact taxonomists actually publish: the checklist.
     println!("\nChecklist of 'Raguenaud 2000':");
-    print!("{}", prometheus_taxonomy::checklist::render(&tax, &fig.cls)?);
+    print!(
+        "{}",
+        prometheus_taxonomy::checklist::render(&tax, &fig.cls)?
+    );
     Ok(())
 }

@@ -18,7 +18,12 @@ use std::io::{BufRead, Write};
 fn main() -> DbResult<()> {
     let path = std::env::temp_dir().join("prometheus-repl.db");
     let _ = std::fs::remove_file(&path);
-    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false })?;
+    let p = Prometheus::open_with(
+        &path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )?;
     let tax = p.taxonomy()?;
     figure3(&tax)?;
     figure4(&tax)?;

@@ -5,14 +5,18 @@
 //! Run with: `cargo run --example quickstart`
 
 use prometheus_db::{
-    AttrDef, ClassDef, Classification, DbResult, Prometheus, RelClassDef, StoreOptions, Type,
-    Value,
+    AttrDef, ClassDef, Classification, DbResult, Prometheus, RelClassDef, StoreOptions, Type, Value,
 };
 
 fn main() -> DbResult<()> {
     let path = std::env::temp_dir().join("prometheus-quickstart.db");
     let _ = std::fs::remove_file(&path);
-    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false })?;
+    let p = Prometheus::open_with(
+        &path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )?;
     let db = p.db();
 
     // 1. Schema: a class and a relationship class. Relationships are
@@ -36,12 +40,36 @@ fn main() -> DbResult<()> {
 
     // 3. Two overlapping classifications of the *same* topics.
     let acm = Classification::create(db, "ACM-style", Vec::new(), true)?;
-    acm.link(db, "Narrower", science, computing, attrs(&[("reason", "discipline")]))?;
-    acm.link(db, "Narrower", computing, databases, attrs(&[("reason", "subfield")]))?;
+    acm.link(
+        db,
+        "Narrower",
+        science,
+        computing,
+        attrs(&[("reason", "discipline")]),
+    )?;
+    acm.link(
+        db,
+        "Narrower",
+        computing,
+        databases,
+        attrs(&[("reason", "subfield")]),
+    )?;
 
     let library = Classification::create(db, "Library", Vec::new(), true)?;
-    library.link(db, "Narrower", science, botany, attrs(&[("reason", "shelf B")]))?;
-    library.link(db, "Narrower", science, databases, attrs(&[("reason", "shelf D")]))?;
+    library.link(
+        db,
+        "Narrower",
+        science,
+        botany,
+        attrs(&[("reason", "shelf B")]),
+    )?;
+    library.link(
+        db,
+        "Narrower",
+        science,
+        databases,
+        attrs(&[("reason", "shelf D")]),
+    )?;
 
     // 4. POOL queries: the `in classification` clause scopes traversals.
     println!("Everything under Science, ACM view:");
@@ -83,5 +111,8 @@ fn main() -> DbResult<()> {
 }
 
 fn attrs(pairs: &[(&str, &str)]) -> Vec<(String, Value)> {
-    pairs.iter().map(|(k, v)| (k.to_string(), Value::from(*v))).collect()
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), Value::from(*v)))
+        .collect()
 }

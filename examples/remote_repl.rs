@@ -27,7 +27,12 @@ use std::io::{BufRead, Write};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let path = std::env::temp_dir().join("prometheus-remote-repl.db");
     let _ = std::fs::remove_file(&path);
-    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false })?;
+    let p = Prometheus::open_with(
+        &path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )?;
     let tax = p.taxonomy()?;
     figure3(&tax)?;
     figure4(&tax)?;
@@ -79,6 +84,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 server.connections_accepted,
                 server.units_committed,
                 server.latency.mean_us(),
+            );
+            println!(
+                "executor: {} plan-cache hits / {} misses, {} parallel morsels",
+                server.plan_cache_hits, server.plan_cache_misses, server.parallel_morsels,
             );
             println!(
                 "storage: {} commits, {} puts, {} bytes written, cache hit ratio {:.2}",

@@ -13,7 +13,12 @@ use prometheus_taxonomy::revision::{Revision, WhatIf};
 fn main() -> DbResult<()> {
     let path = std::env::temp_dir().join("prometheus-what-if.db");
     let _ = std::fs::remove_file(&path);
-    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false })?;
+    let p = Prometheus::open_with(
+        &path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )?;
     let tax = p.taxonomy()?;
 
     // A small synthetic flora (see DESIGN.md, Substitutions) and a revision.
@@ -48,12 +53,17 @@ fn main() -> DbResult<()> {
         tax.circumscribe(working, new_genus, species)?;
         let old_size = tax.circumscription(working, old_genus)?.len();
         let new_size = tax.circumscription(working, new_genus)?.len();
-        println!("  inside the scenario: old genus now holds {old_size} specimens, new genus {new_size}");
+        println!(
+            "  inside the scenario: old genus now holds {old_size} specimens, new genus {new_size}"
+        );
         Ok((WhatIf::Discard, (old_size, new_size)))
     })?;
     println!("  decision: {decision:?} (sizes seen: {counts:?})");
     assert_eq!(revision.working.parents(db, species)?, vec![old_genus]);
-    println!("  after discard the species is back under '{}'", tax.name_of(old_genus)?);
+    println!(
+        "  after discard the species is back under '{}'",
+        tax.name_of(old_genus)?
+    );
 
     // Scenario 2: same move, KEEP it this time.
     let (decision, _) = revision.what_if(&tax, |tax, working| {

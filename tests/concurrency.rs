@@ -2,7 +2,7 @@
 //! observe consistent state while a single writer mutates (the single-writer
 //! discipline the thesis prototype also assumed — POET serialised writes).
 
-use prometheus_db::{Prometheus, Rank, StoreOptions, Value};
+use prometheus_db::{Prometheus, Rank, Reader, StoreOptions, Value};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -13,7 +13,13 @@ fn open(name: &str) -> Prometheus {
         std::thread::current().id()
     ));
     let _ = std::fs::remove_file(&path);
-    Prometheus::open_with(path, StoreOptions { sync_on_commit: false }).unwrap()
+    Prometheus::open_with(
+        path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )
+    .unwrap()
 }
 
 #[test]
@@ -85,11 +91,15 @@ fn readers_see_whole_units_not_fragments() {
         let stop = stop.clone();
         std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
-                let markers = db
+                // Both probes must resolve against ONE pinned snapshot: on the
+                // live database a whole delete-unit can commit between the two
+                // reads, which would report a torn state that never existed.
+                let view = db.read_view();
+                let markers = view
                     .find_by_attr("CT", "working_name", &Value::from("marker"))
                     .unwrap();
                 if !markers.is_empty() {
-                    let partners = db
+                    let partners = view
                         .find_by_attr("CT", "working_name", &Value::from("partner"))
                         .unwrap();
                     assert!(

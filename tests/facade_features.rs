@@ -13,7 +13,13 @@ fn open(name: &str) -> Prometheus {
         std::thread::current().id()
     ));
     let _ = std::fs::remove_file(&path);
-    Prometheus::open_with(path, StoreOptions { sync_on_commit: false }).unwrap()
+    Prometheus::open_with(
+        path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )
+    .unwrap()
 }
 
 #[test]
@@ -89,7 +95,8 @@ fn min_cardinality_validation_as_a_deferred_audit() {
     let problems = db.validate_min_cardinalities().unwrap();
     assert_eq!(problems.len(), 1, "{problems:?}");
     let s = tax.create_specimen("S").unwrap();
-    db.create_relationship("AuditHasType", nt, s, Vec::new()).unwrap();
+    db.create_relationship("AuditHasType", nt, s, Vec::new())
+        .unwrap();
     assert!(db.validate_min_cardinalities().unwrap().is_empty());
 }
 

@@ -10,7 +10,13 @@ fn open(name: &str) -> Prometheus {
         std::thread::current().id()
     ));
     let _ = std::fs::remove_file(&path);
-    Prometheus::open_with(path, StoreOptions { sync_on_commit: false }).unwrap()
+    Prometheus::open_with(
+        path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )
+    .unwrap()
 }
 
 #[test]
@@ -23,14 +29,20 @@ fn the_full_icbn_set_installs_and_enforces() {
     assert!(tax.create_nt("Apium", Rank::Familia, 1753, "L.").is_err());
     // Figure 36: genus names capitalised; species epithets lowercase.
     assert!(tax.create_nt("apium", Rank::Genus, 1753, "L.").is_err());
-    assert!(tax.create_nt("Graveolens", Rank::Species, 1753, "L.").is_err());
+    assert!(tax
+        .create_nt("Graveolens", Rank::Species, 1753, "L.")
+        .is_err());
 
     // Figure 37: the type-existence rule is deferred — a unit that creates
     // and typifies in sequence commits cleanly.
     let token = db.begin_unit();
-    let family = tax.create_nt("Apiaceae", Rank::Familia, 1789, "Lindl.").unwrap();
+    let family = tax
+        .create_nt("Apiaceae", Rank::Familia, 1789, "Lindl.")
+        .unwrap();
     let genus = tax.create_nt("Apium", Rank::Genus, 1753, "L.").unwrap();
-    let species = tax.create_nt("graveolens", Rank::Species, 1753, "L.").unwrap();
+    let species = tax
+        .create_nt("graveolens", Rank::Species, 1753, "L.")
+        .unwrap();
     let spec = tax.create_specimen("Herb.Cliff.107").unwrap();
     tax.typify(species, spec, TypeKind::Lectotype).unwrap();
     tax.typify(genus, species, TypeKind::Holotype).unwrap();
@@ -41,7 +53,9 @@ fn the_full_icbn_set_installs_and_enforces() {
     let token = db.begin_unit();
     let orphan = tax.create_nt("Sium", Rank::Genus, 1753, "L.").unwrap();
     let err = db.commit_unit(token).unwrap_err();
-    assert!(matches!(err, DbError::ConstraintViolation { rule, .. } if rule == "icbn-type-existence"));
+    assert!(
+        matches!(err, DbError::ConstraintViolation { rule, .. } if rule == "icbn-type-existence")
+    );
     assert!(!db.exists(orphan));
 
     // Figures 38/39 (rank order, native rule) and the facade-level check.
@@ -74,14 +88,19 @@ fn pcl_documents_install_through_the_facade() {
     assert!(tax.create_ct("", Rank::Genus).is_err());
     // The warn-rule lets the operation pass but records the problem.
     tax.create_ct("BadCase", Rank::Species).unwrap();
-    assert!(p.rules().warnings().iter().any(|w| w.contains("speciesAreLower")));
+    assert!(p
+        .rules()
+        .warnings()
+        .iter()
+        .any(|w| w.contains("speciesAreLower")));
 }
 
 #[test]
 fn icbn_rules_coexist_with_user_rules() {
     let p = open("coexist");
     let tax = p.taxonomy_with_icbn().unwrap();
-    p.install_pcl("context Specimen pre coded: self.code != \"\"").unwrap();
+    p.install_pcl("context Specimen pre coded: self.code != \"\"")
+        .unwrap();
     assert!(tax.create_specimen("").is_err());
     assert!(tax.create_specimen("E-1").is_ok());
     // ICBN rules still active.

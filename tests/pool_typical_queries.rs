@@ -13,7 +13,13 @@ fn open(name: &str) -> Prometheus {
         std::thread::current().id()
     ));
     let _ = std::fs::remove_file(&path);
-    Prometheus::open_with(path, StoreOptions { sync_on_commit: false }).unwrap()
+    Prometheus::open_with(
+        path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )
+    .unwrap()
 }
 
 #[test]
@@ -55,7 +61,11 @@ fn which_taxa_circumscribe_a_specimen_in_each_context() {
              order by t.working_name",
         )
         .unwrap();
-    assert!(r.len() >= 6, "containers across 4 classifications, got {}", r.len());
+    assert!(
+        r.len() >= 6,
+        "containers across 4 classifications, got {}",
+        r.len()
+    );
     // …but within taxonomist 3's context exactly two (Bright, Shades).
     let r = p
         .query(
@@ -121,7 +131,10 @@ fn type_hierarchy_navigation() {
              where n.name = \"Apium\" and s in n -> HasType[2..2]",
         )
         .unwrap();
-    assert_eq!(r.first_column(), vec![Value::from("Herb.Cliff.107 Apium 1 BM")]);
+    assert_eq!(
+        r.first_column(),
+        vec![Value::from("Herb.Cliff.107 Apium 1 BM")]
+    );
 }
 
 #[test]
@@ -154,6 +167,12 @@ fn working_names_vs_published_names() {
         )
         .unwrap();
     assert_eq!(r.len(), 2);
-    assert_eq!(r.rows[0].columns, vec![Value::from("Taxon 1"), Value::from("Heliosciadium")]);
-    assert_eq!(r.rows[1].columns, vec![Value::from("Taxon 2"), Value::from("repens")]);
+    assert_eq!(
+        r.rows[0].columns,
+        vec![Value::from("Taxon 1"), Value::from("Heliosciadium")]
+    );
+    assert_eq!(
+        r.rows[1].columns,
+        vec![Value::from("Taxon 2"), Value::from("repens")]
+    );
 }

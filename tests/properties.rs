@@ -123,7 +123,13 @@ fn classification_invariants_under_random_edits() {
         std::thread::current().id()
     ));
     let _ = std::fs::remove_file(&path);
-    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap();
+    let p = Prometheus::open_with(
+        &path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )
+    .unwrap();
     let tax = p.taxonomy().unwrap();
     let db = tax.db();
     let cls = tax.new_classification("fuzz", "f", "f").unwrap();

@@ -15,7 +15,13 @@ fn large_flora_end_to_end() {
         std::thread::current().id()
     ));
     let _ = std::fs::remove_file(&path);
-    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap();
+    let p = Prometheus::open_with(
+        &path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )
+    .unwrap();
     let tax = p.taxonomy().unwrap();
 
     // ~2.6k CTs, ~4.8k specimens — the "family with thousands of names"
@@ -44,8 +50,13 @@ fn large_flora_end_to_end() {
 
     // Synonym detection between base and revision finds pro-parte overlaps
     // for every genus that lost or gained species.
-    let reports =
-        detect_synonyms(&tax, &flora.classification, &revisions[0], SynonymMode::Ignore).unwrap();
+    let reports = detect_synonyms(
+        &tax,
+        &flora.classification,
+        &revisions[0],
+        SynonymMode::Ignore,
+    )
+    .unwrap();
     assert!(!reports.is_empty());
 
     // POOL at scale: count species CTs, indexed lookup, contextual closure.

@@ -20,14 +20,24 @@ fn tmp(name: &str) -> PathBuf {
 }
 
 fn serve_seeded(path: &PathBuf, seed: usize, workers: usize) -> ServerHandle {
-    let p = Prometheus::open_with(path, StoreOptions { sync_on_commit: false }).unwrap();
+    let p = Prometheus::open_with(
+        path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )
+    .unwrap();
     let tax = p.taxonomy().unwrap();
     for i in 0..seed {
         tax.create_ct(&format!("Seed-{i:03}"), Rank::Genus).unwrap();
     }
     serve(
         p,
-        ServerConfig { addr: "127.0.0.1:0".into(), workers, ..ServerConfig::default() },
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            ..ServerConfig::default()
+        },
     )
     .unwrap()
 }
@@ -149,7 +159,10 @@ fn client_killed_mid_unit_rolls_back_and_survives_reopen() {
             ],
         }])
         .unwrap();
-    assert_eq!(observer.query("select t from CT t").unwrap().len(), SEED + 1);
+    assert_eq!(
+        observer.query("select t from CT t").unwrap().len(),
+        SEED + 1
+    );
     observer.close().unwrap();
     handle.stop();
 

@@ -25,13 +25,21 @@ fn tmp(name: &str) -> std::path::PathBuf {
 
 fn open(name: &str) -> (Prometheus, std::path::PathBuf) {
     let path = tmp(name);
-    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap();
+    let p = Prometheus::open_with(
+        &path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )
+    .unwrap();
     (p, path)
 }
 
 /// Count the CTs named `name` as seen by one pinned view.
 fn count_in_view<R: Reader>(view: &R, name: &str) -> usize {
-    view.find_by_attr("CT", "working_name", &Value::from(name)).unwrap().len()
+    view.find_by_attr("CT", "working_name", &Value::from(name))
+        .unwrap()
+        .len()
 }
 
 #[test]
@@ -79,7 +87,10 @@ fn read_views_never_observe_torn_units() {
     }
     // The committed end state is whole too.
     let view = db.read_view();
-    assert_eq!(count_in_view(&view, "pair-marker"), count_in_view(&view, "pair-partner"));
+    assert_eq!(
+        count_in_view(&view, "pair-marker"),
+        count_in_view(&view, "pair-partner")
+    );
     drop(p);
     let _ = std::fs::remove_file(path);
 }
@@ -96,7 +107,10 @@ fn view_pinned_before_a_unit_commits_stays_pre_unit() {
     // Mid-unit: the open unit is invisible to old and new views alike.
     let mid = db.read_view();
     assert_eq!(count_in_view(&mid, "Streaming"), 0);
-    assert!(before.same_version(&mid), "an open unit must not publish a snapshot");
+    assert!(
+        before.same_version(&mid),
+        "an open unit must not publish a snapshot"
+    );
     db.commit_unit(token).unwrap();
     // Post-commit: the pinned views still answer from their image; a fresh
     // view sees the whole unit.
@@ -112,7 +126,13 @@ fn view_pinned_before_a_unit_commits_stays_pre_unit() {
 fn crashed_unit_is_invisible_after_reopen() {
     let path = tmp("crash");
     {
-        let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap();
+        let p = Prometheus::open_with(
+            &path,
+            StoreOptions {
+                sync_on_commit: false,
+            },
+        )
+        .unwrap();
         let tax = p.taxonomy().unwrap();
         // One whole unit, committed.
         let token = tax.db().begin_unit();
@@ -125,7 +145,13 @@ fn crashed_unit_is_invisible_after_reopen() {
         tax.create_ct("torn-partner", Rank::Genus).unwrap();
         tax.create_ct("torn-marker", Rank::Genus).unwrap();
     }
-    let p = Prometheus::open_with(&path, StoreOptions { sync_on_commit: false }).unwrap();
+    let p = Prometheus::open_with(
+        &path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )
+    .unwrap();
     let view = p.read_view();
     assert_eq!(count_in_view(&view, "pair-partner"), 1);
     assert_eq!(count_in_view(&view, "pair-marker"), 1);

@@ -3,7 +3,7 @@
 //! classifications (§7.1.2), and classification comparison.
 
 use prometheus_db::{Prometheus, Rank, StoreOptions, SynonymMode, TypeKind, Value};
-use prometheus_taxonomy::dataset::{figure4, random_flora, overlapping_revisions, FloraParams};
+use prometheus_taxonomy::dataset::{figure4, overlapping_revisions, random_flora, FloraParams};
 use prometheus_taxonomy::synonymy::detect_synonyms;
 
 fn open(name: &str) -> Prometheus {
@@ -13,7 +13,13 @@ fn open(name: &str) -> Prometheus {
         std::thread::current().id()
     ));
     let _ = std::fs::remove_file(&path);
-    Prometheus::open_with(path, StoreOptions { sync_on_commit: false }).unwrap()
+    Prometheus::open_with(
+        path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )
+    .unwrap()
 }
 
 #[test]
@@ -26,22 +32,49 @@ fn multiple_overlapping_classifications_coexist() {
 
     assert_eq!(db.classifications().unwrap().len(), 4);
     // Every classification holds the white square somewhere.
-    let ws = fig.specimens.iter().find(|(n, _)| n == "white-square").unwrap().1;
-    for cls in [&fig.taxonomist1, &fig.taxonomist2, &fig.taxonomist3, &fig.taxonomist4] {
-        assert!(cls.nodes(db).unwrap().contains(&ws), "{}", cls.name(db).unwrap());
+    let ws = fig
+        .specimens
+        .iter()
+        .find(|(n, _)| n == "white-square")
+        .unwrap()
+        .1;
+    for cls in [
+        &fig.taxonomist1,
+        &fig.taxonomist2,
+        &fig.taxonomist3,
+        &fig.taxonomist4,
+    ] {
+        assert!(
+            cls.nodes(db).unwrap().contains(&ws),
+            "{}",
+            cls.name(db).unwrap()
+        );
     }
     // The mid-grey square was ignored by taxonomist 3 but not 4 (§2.1.3).
-    let mg = fig.specimens.iter().find(|(n, _)| n == "mid-grey-square").unwrap().1;
+    let mg = fig
+        .specimens
+        .iter()
+        .find(|(n, _)| n == "mid-grey-square")
+        .unwrap()
+        .1;
     assert!(!fig.taxonomist3.nodes(db).unwrap().contains(&mg));
     assert!(fig.taxonomist4.nodes(db).unwrap().contains(&mg));
 
     // Strict hierarchies hold within each classification even though the
     // shared specimens have several parents globally.
-    for cls in [&fig.taxonomist1, &fig.taxonomist2, &fig.taxonomist3, &fig.taxonomist4] {
+    for cls in [
+        &fig.taxonomist1,
+        &fig.taxonomist2,
+        &fig.taxonomist3,
+        &fig.taxonomist4,
+    ] {
         assert!(cls.check_integrity(db).unwrap().is_empty());
         assert!(cls.parents(db, ws).unwrap().len() <= 1);
     }
-    assert!(db.rels_to(ws, None).unwrap().len() >= 4, "shared across classifications");
+    assert!(
+        db.rels_to(ws, None).unwrap().len() >= 4,
+        "shared across classifications"
+    );
 }
 
 #[test]
@@ -52,14 +85,18 @@ fn historical_classification_with_ascribed_names() {
     let tax = p.taxonomy().unwrap();
     let db = tax.db().clone();
     let token = db.begin_unit();
-    let cls = tax.new_classification("Linnaeus 1753 (historical)", "L.", "habit").unwrap();
+    let cls = tax
+        .new_classification("Linnaeus 1753 (historical)", "L.", "habit")
+        .unwrap();
     let genus_ct = tax.create_ct("Apium-1753", Rank::Genus).unwrap();
     let species_ct = tax.create_ct("graveolens-1753", Rank::Species).unwrap();
     let spec = tax.create_specimen("Herb.Cliff.107").unwrap();
     tax.circumscribe(&cls, genus_ct, species_ct).unwrap();
     tax.circumscribe(&cls, species_ct, spec).unwrap();
     let nt_apium = tax.create_nt("Apium", Rank::Genus, 1753, "L.").unwrap();
-    let nt_grav = tax.create_nt("graveolens", Rank::Species, 1753, "L.").unwrap();
+    let nt_grav = tax
+        .create_nt("graveolens", Rank::Species, 1753, "L.")
+        .unwrap();
     tax.typify(nt_grav, spec, TypeKind::Lectotype).unwrap();
     tax.typify(nt_apium, nt_grav, TypeKind::Holotype).unwrap();
     tax.ascribe_name(genus_ct, nt_apium).unwrap();
@@ -68,8 +105,7 @@ fn historical_classification_with_ascribed_names() {
 
     assert_eq!(tax.ascribed_name(genus_ct).unwrap(), Some(nt_apium));
     // Derivation agrees with history here (no conflicting names exist).
-    let outcome =
-        prometheus_taxonomy::derivation::derive_names(&tax, &cls, "X.", 2000).unwrap();
+    let outcome = prometheus_taxonomy::derivation::derive_names(&tax, &cls, "X.", 2000).unwrap();
     assert_eq!(outcome.for_ct(genus_ct).unwrap().nt, nt_apium);
     assert_eq!(tax.calculated_name(genus_ct).unwrap(), Some(nt_apium));
     // Ascribed and calculated names are independent attachments (Figure 6).
@@ -93,7 +129,10 @@ fn revisions_generate_detectable_synonym_structure() {
     // Every revision shares all specimens with the base classification.
     let db = tax.db();
     for rev in &revisions {
-        let cmp = flora.classification.compare(db, rev, SynonymMode::Ignore).unwrap();
+        let cmp = flora
+            .classification
+            .compare(db, rev, SynonymMode::Ignore)
+            .unwrap();
         assert_eq!(cmp.shared_leaves.len(), flora.specimens.len());
     }
     // Specimen-based synonym detection finds at least the unchanged species
@@ -102,8 +141,13 @@ fn revisions_generate_detectable_synonym_structure() {
     // objects (copy shares nodes), so detect_synonyms skips identical pairs.
     // What it finds are cross-rank-equal overlaps between different CTs:
     // genera that exchanged species overlap pro parte.
-    let reports = detect_synonyms(&tax, &flora.classification, &revisions[0], SynonymMode::Ignore)
-        .unwrap();
+    let reports = detect_synonyms(
+        &tax,
+        &flora.classification,
+        &revisions[0],
+        SynonymMode::Ignore,
+    )
+    .unwrap();
     assert!(
         reports.iter().any(|r| r.taxon_a != r.taxon_b),
         "moved species must create cross-genus overlaps"
@@ -115,7 +159,9 @@ fn traceability_is_recorded_on_classifications_and_edges() {
     // Requirement 4: the motivation for a classification is data.
     let p = open("trace");
     let tax = p.taxonomy().unwrap();
-    let cls = tax.new_classification("rev-1", "Newman", "leaf shape").unwrap();
+    let cls = tax
+        .new_classification("rev-1", "Newman", "leaf shape")
+        .unwrap();
     let db = tax.db();
     let meta = db.classification_meta(cls.oid()).unwrap();
     assert_eq!(meta.attrs.get("author"), Some(&Value::from("Newman")));
@@ -132,7 +178,10 @@ fn traceability_is_recorded_on_classifications_and_edges() {
             vec![("remark".to_string(), Value::from("petal form"))],
         )
         .unwrap();
-    assert_eq!(db.rel(edge).unwrap().attr("remark"), Value::from("petal form"));
+    assert_eq!(
+        db.rel(edge).unwrap().attr("remark"),
+        Value::from("petal form")
+    );
 }
 
 #[test]
@@ -152,14 +201,24 @@ fn instance_synonyms_unify_duplicate_specimens() {
 
     // Without synonymy, the circumscriptions are disjoint.
     let r = prometheus_taxonomy::synonymy::compare_taxa(
-        &tax, &cls_a, ct_a, &cls_b, ct_b, SynonymMode::Ignore,
+        &tax,
+        &cls_a,
+        ct_a,
+        &cls_b,
+        ct_b,
+        SynonymMode::Ignore,
     )
     .unwrap();
     assert!(r.is_none());
     // Declare the two records to be the same physical specimen.
     db.declare_synonym(s_edinburgh, s_kew).unwrap();
     let r = prometheus_taxonomy::synonymy::compare_taxa(
-        &tax, &cls_a, ct_a, &cls_b, ct_b, SynonymMode::Transparent,
+        &tax,
+        &cls_a,
+        ct_a,
+        &cls_b,
+        ct_b,
+        SynonymMode::Transparent,
     )
     .unwrap()
     .expect("now they overlap");

@@ -1,0 +1,28 @@
+//! A vendored, dependency-free subset of the serde data model.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! slice of serde's API the workspace actually exercises: the `Serialize` /
+//! `Deserialize` traits, the 29-method (de)serializer data model, the
+//! visitor/access machinery, and impls for the std types that appear in
+//! persisted records. The derive macros live in the sibling
+//! `serde_derive` vendor crate and are re-exported under the `derive`
+//! feature, mirroring the real crate layout.
+//!
+//! Behavioural compatibility notes:
+//! * integer visitors forward upward (`visit_u8` defaults to `visit_u64`)
+//!   exactly like serde, so a visitor may implement only the widest method;
+//! * `deserialize_str` may borrow from the input (`visit_borrowed_str`),
+//!   falling back to the owned path is each visitor's choice;
+//! * no `serde(rename)` / adjacently-tagged representations — the binary
+//!   codec in `prometheus-storage` is positional and never needs them.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, DeserializeOwned, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;

@@ -1,0 +1,583 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` without syn/quote.
+//!
+//! Parses the item declaration directly from the proc-macro token stream and
+//! emits impl source as text. Supports exactly the shapes this workspace
+//! derives on: non-generic structs (unit / tuple / named, with
+//! `#[serde(skip)]` on named fields) and non-generic enums whose variants are
+//! unit, newtype, tuple or struct-like (explicit discriminants tolerated).
+//! Anything fancier (generics, rename, borrows) panics at expansion time
+//! with a clear message rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    /// Tuple struct with its arity.
+    TupleStruct(usize),
+    NamedStruct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skip leading attributes; returns true if any was `#[serde(skip)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut skip = false;
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    match self.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            let mut inner = g.stream().into_iter();
+                            if let Some(TokenTree::Ident(head)) = inner.next() {
+                                if head.to_string() == "serde" {
+                                    if let Some(TokenTree::Group(args)) = inner.next() {
+                                        for tok in args.stream() {
+                                            match tok {
+                                                TokenTree::Ident(i) if i.to_string() == "skip" => {
+                                                    skip = true;
+                                                }
+                                                TokenTree::Punct(p) if p.as_char() == ',' => {}
+                                                other => panic!(
+                                                    "serde_derive: unsupported serde attribute \
+                                                     `{other}` (only `skip` is vendored)"
+                                                ),
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        other => panic!("serde_derive: malformed attribute near {other:?}"),
+                    }
+                }
+                _ => return skip,
+            }
+        }
+    }
+
+    /// Skip a `pub` / `pub(...)` visibility marker.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consume tokens up to (and including) a depth-0 comma. Depth counts
+    /// `<`/`>` pairs so commas inside generic arguments don't split fields;
+    /// `->` is recognised so function-pointer types don't unbalance it.
+    fn skip_until_comma(&mut self) {
+        let mut angle: i32 = 0;
+        let mut prev_dash = false;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == ',' && angle == 0 {
+                        self.next();
+                        return;
+                    }
+                    match c {
+                        '<' => angle += 1,
+                        '>' if !prev_dash => angle -= 1,
+                        _ => {}
+                    }
+                    prev_dash = c == '-';
+                }
+                _ => prev_dash = false,
+            }
+            self.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs();
+    cur.skip_vis();
+    let keyword = cur.expect_ident("`struct` or `enum`");
+    let name = cur.expect_ident("item name");
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the vendored derive ({name})");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde_derive: unexpected token after struct {name}: {other:?}"),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: expected enum body for {name}, found {other:?}"),
+        },
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        let skip = cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_vis();
+        let name = cur.expect_ident("field name");
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field {name}, found {other:?}"),
+        }
+        cur.skip_until_comma();
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cur = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_vis();
+        if cur.at_end() {
+            break;
+        }
+        count += 1;
+        cur.skip_until_comma();
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident("variant name");
+        let shape = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                cur.next();
+                match n {
+                    0 => Shape::Unit,
+                    1 => Shape::Newtype,
+                    n => Shape::Tuple(n),
+                }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        // Tolerate explicit discriminants (`= expr`) and the trailing comma.
+        cur.skip_until_comma();
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => format!("serializer.serialize_unit_struct(\"{name}\")"),
+        Kind::TupleStruct(1) => {
+            format!("serializer.serialize_newtype_struct(\"{name}\", &self.0)")
+        }
+        Kind::TupleStruct(n) => {
+            let mut s = String::new();
+            s.push_str("{ use serde::ser::SerializeTupleStruct as _;\n");
+            s.push_str(&format!(
+                "let mut state = serializer.serialize_tuple_struct(\"{name}\", {n})?;\n"
+            ));
+            for i in 0..*n {
+                s.push_str(&format!("state.serialize_field(&self.{i})?;\n"));
+            }
+            s.push_str("state.end() }");
+            s
+        }
+        Kind::NamedStruct(fields) => {
+            let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+            let mut s = String::new();
+            s.push_str("{ use serde::ser::SerializeStruct as _;\n");
+            s.push_str(&format!(
+                "let mut state = serializer.serialize_struct(\"{name}\", {})?;\n",
+                live.len()
+            ));
+            for f in &live {
+                s.push_str(&format!(
+                    "state.serialize_field(\"{0}\", &self.{0})?;\n",
+                    f.name
+                ));
+            }
+            s.push_str("state.end() }");
+            s
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => serializer.serialize_unit_variant(\"{name}\", {idx}u32, \"{vname}\"),\n"
+                    )),
+                    Shape::Newtype => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => serializer.serialize_newtype_variant(\"{name}\", {idx}u32, \"{vname}\", f0),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{ use serde::ser::SerializeTupleVariant as _;\n\
+                             let mut state = serializer.serialize_tuple_variant(\"{name}\", {idx}u32, \"{vname}\", {n})?;\n",
+                            binds.join(", ")
+                        );
+                        for b in &binds {
+                            arm.push_str(&format!("state.serialize_field({b})?;\n"));
+                        }
+                        arm.push_str("state.end() }\n");
+                        arms.push_str(&arm);
+                    }
+                    Shape::Named(fields) => {
+                        let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{ use serde::ser::SerializeStructVariant as _;\n\
+                             let mut state = serializer.serialize_struct_variant(\"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                            binds.join(", "),
+                            live.len()
+                        );
+                        for f in fields {
+                            if f.skip {
+                                arm.push_str(&format!("let _ = {};\n", f.name));
+                            } else {
+                                arm.push_str(&format!(
+                                    "state.serialize_field(\"{0}\", {0})?;\n",
+                                    f.name
+                                ));
+                            }
+                        }
+                        arm.push_str("state.end() }\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::ser::Serialize for {name} {{\n\
+             fn serialize<S: serde::ser::Serializer>(&self, serializer: S) \
+                 -> std::result::Result<S::Ok, S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// `seq.next_element()?` unwrapped with a positional length error.
+fn next_element(pos: usize, what: &str) -> String {
+    format!(
+        "match seq.next_element()? {{ Some(v) => v, None => \
+         return Err(serde::de::Error::invalid_length({pos}usize, &\"{what}\")) }}"
+    )
+}
+
+/// A `visit_seq` visitor body building `ctor` from `fields` in order,
+/// filling skipped fields from `Default`.
+fn seq_visitor(value_ty: &str, ctor: &str, fields: &[Field], what: &str) -> String {
+    let mut inits = String::new();
+    let mut pos = 0usize;
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!("{}: std::default::Default::default(),\n", f.name));
+        } else {
+            inits.push_str(&format!("{}: {},\n", f.name, next_element(pos, what)));
+            pos += 1;
+        }
+    }
+    format!(
+        "struct SeqV;\n\
+         impl<'de> serde::de::Visitor<'de> for SeqV {{\n\
+             type Value = {value_ty};\n\
+             fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                 f.write_str(\"{what}\")\n\
+             }}\n\
+             fn visit_seq<A: serde::de::SeqAccess<'de>>(self, mut seq: A) \
+                 -> std::result::Result<Self::Value, A::Error> {{\n\
+                 Ok({ctor} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+/// Same, for tuple-positional constructors.
+fn tuple_seq_visitor(value_ty: &str, ctor: &str, arity: usize, what: &str) -> String {
+    let args: Vec<String> = (0..arity).map(|i| next_element(i, what)).collect();
+    format!(
+        "struct SeqV;\n\
+         impl<'de> serde::de::Visitor<'de> for SeqV {{\n\
+             type Value = {value_ty};\n\
+             fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                 f.write_str(\"{what}\")\n\
+             }}\n\
+             fn visit_seq<A: serde::de::SeqAccess<'de>>(self, mut seq: A) \
+                 -> std::result::Result<Self::Value, A::Error> {{\n\
+                 Ok({ctor}({}))\n\
+             }}\n\
+         }}",
+        args.join(", ")
+    )
+}
+
+fn field_name_list(fields: &[Field]) -> String {
+    let names: Vec<String> = fields
+        .iter()
+        .filter(|f| !f.skip)
+        .map(|f| format!("\"{}\"", f.name))
+        .collect();
+    names.join(", ")
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::UnitStruct => format!(
+            "struct V;\n\
+             impl<'de> serde::de::Visitor<'de> for V {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                     f.write_str(\"unit struct {name}\")\n\
+                 }}\n\
+                 fn visit_unit<E: serde::de::Error>(self) -> std::result::Result<{name}, E> {{\n\
+                     Ok({name})\n\
+                 }}\n\
+             }}\n\
+             deserializer.deserialize_unit_struct(\"{name}\", V)"
+        ),
+        Kind::TupleStruct(1) => format!(
+            "struct V;\n\
+             impl<'de> serde::de::Visitor<'de> for V {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                     f.write_str(\"newtype struct {name}\")\n\
+                 }}\n\
+                 fn visit_newtype_struct<D: serde::de::Deserializer<'de>>(self, d: D) \
+                     -> std::result::Result<{name}, D::Error> {{\n\
+                     Ok({name}(serde::de::Deserialize::deserialize(d)?))\n\
+                 }}\n\
+             }}\n\
+             deserializer.deserialize_newtype_struct(\"{name}\", V)"
+        ),
+        Kind::TupleStruct(n) => {
+            let visitor = tuple_seq_visitor(name, name, *n, &format!("tuple struct {name}"));
+            format!("{visitor}\ndeserializer.deserialize_tuple_struct(\"{name}\", {n}, SeqV)")
+        }
+        Kind::NamedStruct(fields) => {
+            let visitor = seq_visitor(name, name, fields, &format!("struct {name}"));
+            format!(
+                "{visitor}\n\
+                 deserializer.deserialize_struct(\"{name}\", &[{}], SeqV)",
+                field_name_list(fields)
+            )
+        }
+        Kind::Enum(variants) => {
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{idx}u32 => {{ variant.unit_variant()?; Ok({name}::{vname}) }}\n"
+                    )),
+                    Shape::Newtype => arms.push_str(&format!(
+                        "{idx}u32 => Ok({name}::{vname}(variant.newtype_variant()?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let visitor = tuple_seq_visitor(
+                            name,
+                            &format!("{name}::{vname}"),
+                            *n,
+                            &format!("tuple variant {name}::{vname}"),
+                        );
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{ {visitor}\nvariant.tuple_variant({n}, SeqV) }}\n"
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let visitor = seq_visitor(
+                            name,
+                            &format!("{name}::{vname}"),
+                            fields,
+                            &format!("struct variant {name}::{vname}"),
+                        );
+                        arms.push_str(&format!(
+                            "{idx}u32 => {{ {visitor}\n\
+                             variant.struct_variant(&[{}], SeqV) }}\n",
+                            field_name_list(fields)
+                        ));
+                    }
+                }
+            }
+            format!(
+                "struct Idx(u32);\n\
+                 impl<'de> serde::de::Deserialize<'de> for Idx {{\n\
+                     fn deserialize<D: serde::de::Deserializer<'de>>(d: D) \
+                         -> std::result::Result<Idx, D::Error> {{\n\
+                         struct IdxV;\n\
+                         impl<'de> serde::de::Visitor<'de> for IdxV {{\n\
+                             type Value = Idx;\n\
+                             fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                                 f.write_str(\"a variant index\")\n\
+                             }}\n\
+                             fn visit_u64<E: serde::de::Error>(self, v: u64) \
+                                 -> std::result::Result<Idx, E> {{\n\
+                                 Ok(Idx(v as u32))\n\
+                             }}\n\
+                         }}\n\
+                         d.deserialize_identifier(IdxV)\n\
+                     }}\n\
+                 }}\n\
+                 const VARIANTS: &[&str] = &[{variant_list}];\n\
+                 struct V;\n\
+                 impl<'de> serde::de::Visitor<'de> for V {{\n\
+                     type Value = {name};\n\
+                     fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                         f.write_str(\"enum {name}\")\n\
+                     }}\n\
+                     fn visit_enum<A: serde::de::EnumAccess<'de>>(self, data: A) \
+                         -> std::result::Result<{name}, A::Error> {{\n\
+                         use serde::de::VariantAccess as _;\n\
+                         let (Idx(idx), variant) = data.variant()?;\n\
+                         match idx {{\n\
+                             {arms}\
+                             other => Err(serde::de::Error::unknown_variant(other, VARIANTS)),\n\
+                         }}\n\
+                     }}\n\
+                 }}\n\
+                 deserializer.deserialize_enum(\"{name}\", VARIANTS, V)",
+                variant_list = variant_names.join(", "),
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::de::Deserializer<'de>>(deserializer: D) \
+                 -> std::result::Result<Self, D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
