@@ -9,18 +9,29 @@
 //! Sections: `schema`, `raw`, `queries`, `traversals`, `t5`, `s1`, `s2`,
 //! `ablation` (design-choice costs: indexes, rules, context scoping).
 //! CSV artifacts are written to `bench-results/`.
+//!
+//! Operational (not part of `all`): `stats [--format=prometheus] [addr]`
+//! fetches a running server's counters over the wire (or boots a demo
+//! server when no address is given) and prints them — with
+//! `--format=prometheus`, in the Prometheus text exposition format, ready
+//! for a scrape endpoint or file-based collector.
 
 use prometheus_bench::ops;
 use prometheus_bench::report::{
-    growth_ratio, render_sweep, render_table, write_sweep_csv, write_table_csv, CompareRow,
-    SweepPoint,
+    growth_ratio, render_prometheus_exposition, render_sweep, render_table, write_sweep_csv,
+    write_table_csv, CompareRow, SweepPoint,
 };
 use prometheus_bench::schema::{BenchParams, PromDb, RawDb};
 use prometheus_bench::{micros, time_median, time_once};
 use std::path::PathBuf;
 
 fn main() {
-    let section = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("stats") {
+        stats_section(&argv[1..]);
+        return;
+    }
+    let section = argv.first().cloned().unwrap_or_else(|| "all".to_string());
     let out_dir = PathBuf::from("bench-results");
     let _ = std::fs::create_dir_all(&out_dir);
     let run = |s: &str| section == "all" || section == s;
@@ -247,25 +258,26 @@ fn traversals(out: &std::path::Path) {
     let raw = RawDb::build("h-t-raw", medium()).unwrap();
     let prom = PromDb::build("h-t-prom", medium()).unwrap();
     let nodes = medium().node_count();
-    let mut rows = Vec::new();
-    rows.push(CompareRow {
-        operation: "T1 full read traversal".into(),
-        raw_us: micros(time_median(3, || ops::raw_t1(&raw).unwrap())),
-        prom_us: micros(time_median(3, || ops::prom_t1(&prom).unwrap())),
-        items: nodes,
-    });
-    rows.push(CompareRow {
-        operation: "T2 full update traversal".into(),
-        raw_us: micros(time_median(2, || ops::raw_t2(&raw).unwrap())),
-        prom_us: micros(time_median(2, || ops::prom_t2(&prom).unwrap())),
-        items: nodes,
-    });
-    rows.push(CompareRow {
-        operation: "T3 sparse traversal".into(),
-        raw_us: micros(time_median(5, || ops::raw_t3(&raw).unwrap())),
-        prom_us: micros(time_median(5, || ops::prom_t3(&prom).unwrap())),
-        items: medium().levels + 1,
-    });
+    let rows = vec![
+        CompareRow {
+            operation: "T1 full read traversal".into(),
+            raw_us: micros(time_median(3, || ops::raw_t1(&raw).unwrap())),
+            prom_us: micros(time_median(3, || ops::prom_t1(&prom).unwrap())),
+            items: nodes,
+        },
+        CompareRow {
+            operation: "T2 full update traversal".into(),
+            raw_us: micros(time_median(2, || ops::raw_t2(&raw).unwrap())),
+            prom_us: micros(time_median(2, || ops::prom_t2(&prom).unwrap())),
+            items: nodes,
+        },
+        CompareRow {
+            operation: "T3 sparse traversal".into(),
+            raw_us: micros(time_median(5, || ops::raw_t3(&raw).unwrap())),
+            prom_us: micros(time_median(5, || ops::prom_t3(&prom).unwrap())),
+            items: medium().levels + 1,
+        },
+    ];
     print!("{}", render_table("traversals", &rows));
     let _ = write_table_csv(&out.join("traversals.csv"), &rows);
     raw.cleanup();
@@ -443,4 +455,88 @@ fn ablation(out: &std::path::Path) {
     print!("{}", render_table("ablations (design-choice costs)", &rows));
     let _ = write_table_csv(&out.join("ablations.csv"), &rows);
     prom.cleanup();
+}
+
+/// `harness stats [--format=prometheus] [addr]`
+///
+/// With an address, scrape a running server's counters over the wire.
+/// Without one, boot an ephemeral seeded server, run a handful of
+/// representative requests, and report what they produced — a smoke path
+/// for the exposition format that needs no prior deployment.
+fn stats_section(argv: &[String]) {
+    use prometheus_server::{serve, PrometheusClient, ServerConfig};
+
+    let mut prometheus_format = false;
+    let mut addr: Option<std::net::SocketAddr> = None;
+    for arg in argv {
+        match arg.as_str() {
+            "--format=prometheus" => prometheus_format = true,
+            "--format=text" => prometheus_format = false,
+            other => match other.parse() {
+                Ok(a) => addr = Some(a),
+                Err(_) => {
+                    eprintln!("stats: expected --format=prometheus|text or an addr, got {other}");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+
+    let (server, storage, handle) = match addr {
+        Some(addr) => {
+            let mut client = PrometheusClient::connect(addr).expect("connect to server");
+            let stats = client.stats().expect("fetch stats");
+            let _ = client.close();
+            (stats.0, stats.1, None)
+        }
+        None => {
+            let path = std::env::temp_dir().join(format!(
+                "prometheus-harness-stats-{}.log",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_file(&path);
+            let prom = prometheus_db::Prometheus::open_with(
+                &path,
+                prometheus_db::StoreOptions {
+                    sync_on_commit: false,
+                },
+            )
+            .expect("open store");
+            let tax = prom.taxonomy().expect("taxonomy layer");
+            for name in ["Apium", "Daucus", "Torilis"] {
+                tax.create_ct(name, prometheus_taxonomy::Rank::Genus)
+                    .expect("seed genus");
+            }
+            let handle = serve(
+                prom,
+                ServerConfig {
+                    addr: "127.0.0.1:0".into(),
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("serve");
+            let mut client = PrometheusClient::connect(handle.addr()).expect("connect");
+            client.ping().expect("ping");
+            for _ in 0..3 {
+                client
+                    .query("select t.working_name from CT t order by t.working_name")
+                    .expect("query");
+            }
+            let stats = client.stats().expect("fetch stats");
+            let _ = client.close();
+            (stats.0, stats.1, Some((handle, path)))
+        }
+    };
+
+    if prometheus_format {
+        print!("{}", render_prometheus_exposition(&server, &storage));
+    } else {
+        println!("server: {server:#?}");
+        println!("storage: {storage:#?}");
+    }
+
+    if let Some((handle, path)) = handle {
+        handle.stop();
+        let _ = std::fs::remove_file(&path);
+    }
 }

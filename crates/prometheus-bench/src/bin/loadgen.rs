@@ -20,6 +20,12 @@
 //!   both ways plus the machine's core count, written to
 //!   `BENCH_parallel.json`. On a single-core box the speedup is honestly
 //!   ~1× — the `cores` field is there so readers can tell.
+//! * **trace-smoke** — boots a server with a zero slow-query threshold,
+//!   runs a short read/write burst plus a `profile` statement, then pulls
+//!   `Trace { n }` and `SlowLog { n }` over the wire and checks both are
+//!   non-empty and well-formed (spans carry ids, the request/commit stages
+//!   appear, slow-log entries carry fingerprints). Exit 1 on any miss —
+//!   this is the CI gate for the tracing path.
 //!
 //! ```text
 //! cargo run --release -p prometheus-bench --bin loadgen                # mixed defaults
@@ -28,6 +34,7 @@
 //! #                                                        readers ops workers
 //! cargo run --release -p prometheus-bench --bin loadgen -- parallel 4000 5 8
 //! #                                                        objects iters workers
+//! cargo run --release -p prometheus-bench --bin loadgen -- trace-smoke
 //! ```
 
 use prometheus_bench::report::{percentile_us, render_latency_summary};
@@ -107,7 +114,17 @@ fn main() {
     match argv.first().map(String::as_str) {
         Some("contention") => contention(&argv[1..]),
         Some("parallel") => parallel(&argv[1..]),
+        Some("trace-smoke") => trace_smoke(&argv[1..]),
         _ => mixed(parse_args(&argv)),
+    }
+}
+
+/// A histogram percentile, or an honest marker when the rank fell in the
+/// overflow bucket (beyond the last bound).
+fn bound_or_overflow(p: Option<u64>) -> String {
+    match p {
+        Some(us) => us.to_string(),
+        None => "overflow".into(),
     }
 }
 
@@ -202,8 +219,8 @@ fn mixed(args: Args) {
     println!(
         "server latency: mean {:.1} µs, ~p50 {} µs, ~p99 {} µs (histogram bounds)",
         server.latency.mean_us(),
-        server.latency.approx_percentile_us(0.50),
-        server.latency.approx_percentile_us(0.99),
+        bound_or_overflow(server.latency.approx_percentile_us(0.50)),
+        bound_or_overflow(server.latency.approx_percentile_us(0.99)),
     );
     println!(
         "storage: {} commits, {} puts, {} bytes written, {} snapshot swaps",
@@ -221,6 +238,127 @@ fn mixed(args: Args) {
         std::process::exit(1);
     }
     println!("\nOK: zero client failures, zero protocol errors.");
+}
+
+/// Smoke-test the observability path end to end: every query is "slow"
+/// (threshold zero), so after a short burst the trace ring and the slow
+/// log must both have well-formed contents over the wire.
+fn trace_smoke(argv: &[String]) {
+    use prometheus_server::Stage;
+    use std::time::Duration;
+
+    let ops: usize = argv
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25)
+        .max(5);
+
+    let path = std::env::temp_dir().join(format!(
+        "prometheus-loadgen-trace-smoke-{}.db",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let p = Prometheus::open_with(
+        &path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )
+    .expect("open scratch database");
+    let tax = p.taxonomy().expect("install taxonomy schema");
+    for i in 0..8 {
+        tax.create_ct(&format!("Seed-{i:03}"), Rank::Genus)
+            .expect("seed taxon");
+    }
+    let handle = serve(
+        p,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            slow_query_threshold: Duration::ZERO,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    println!(
+        "loadgen trace-smoke: {ops} queries against {}",
+        handle.addr()
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |ok: bool, what: &str| {
+        if ok {
+            println!("  ok: {what}");
+        } else {
+            failures.push(what.to_string());
+            eprintln!("  MISSING: {what}");
+        }
+    };
+
+    let mut client = PrometheusClient::connect(handle.addr()).expect("connect");
+    for i in 0..ops {
+        let q = QUERIES[i % QUERIES.len()];
+        client.query(q).expect("query");
+    }
+    client
+        .unit_batch(vec![MutationOp::CreateObject {
+            class: "CT".into(),
+            attrs: vec![
+                ("working_name".into(), Value::Str("Smoke".into())),
+                ("rank".into(), Value::Str("Species".into())),
+            ],
+        }])
+        .expect("unit batch");
+    let profile = client
+        .query("profile select t.working_name from CT t order by t.working_name")
+        .expect("profile");
+    check(
+        profile.columns.iter().any(|c| c == "stage") && !profile.rows.is_empty(),
+        "profile returns a non-empty span tree",
+    );
+
+    let events = client.trace(4096).expect("trace");
+    check(!events.is_empty(), "trace ring has events");
+    check(
+        events.iter().all(|ev| ev.span_id != 0 && ev.trace_id != 0),
+        "every span carries a span id and a trace id",
+    );
+    check(
+        events.iter().any(|ev| ev.stage == Stage::Request),
+        "request framing is spanned",
+    );
+    check(
+        events.iter().any(|ev| ev.stage == Stage::Scan),
+        "query execution is spanned",
+    );
+    check(
+        events.iter().any(|ev| ev.stage == Stage::Commit),
+        "the unit commit is spanned",
+    );
+
+    let entries = client.slow_log(256).expect("slow log");
+    check(!entries.is_empty(), "slow log has entries");
+    check(
+        entries
+            .iter()
+            .filter(|e| e.pinned)
+            .all(|e| e.fingerprint != 0),
+        "pinned slow queries carry plan fingerprints",
+    );
+    check(
+        entries.iter().all(|e| e.trace_id != 0),
+        "slow-log entries link to the trace ring",
+    );
+
+    client.close().expect("close");
+    handle.stop();
+    let _ = std::fs::remove_file(&path);
+
+    if !failures.is_empty() {
+        eprintln!("FAILED: {} tracing checks missed", failures.len());
+        std::process::exit(1);
+    }
+    println!("OK: trace ring and slow log are live and well-formed.");
 }
 
 /// Run every reader for `ops` queries each; returns merged, sorted latencies

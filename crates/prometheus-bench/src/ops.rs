@@ -508,7 +508,7 @@ mod tests {
         let prom = PromDb::build("rp-prom", BenchParams::SMALL).unwrap();
         let r = raw_create(&raw, 10).unwrap();
         let p = prom_create(&prom, 10).unwrap();
-        assert_eq!(raw_lookup(&raw, &r).unwrap() > 0, true);
+        assert!(raw_lookup(&raw, &r).unwrap() > 0);
         assert!(prom_lookup(&prom, &p).unwrap() > 0);
         let before = raw_read_attr(&raw, &r).unwrap();
         raw_update_attr(&raw, &r).unwrap();

@@ -1,6 +1,9 @@
 //! Table and series formatting for the harness binary, plus CSV output so
-//! EXPERIMENTS.md can reference reproducible artifacts.
+//! EXPERIMENTS.md can reference reproducible artifacts, and a Prometheus
+//! text-exposition renderer for scraping a live server's counters.
 
+use prometheus_server::MetricsSnapshot;
+use prometheus_storage::StatsSnapshot;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -135,6 +138,170 @@ pub fn render_latency_summary(label: &str, sorted_us: &[u64], elapsed_secs: f64)
     )
 }
 
+/// Render server + storage counters in the Prometheus text exposition
+/// format (the *monitoring system* — a happy naming coincidence with the
+/// database), one metric per line, ready for a scrape endpoint or a
+/// file-based collector. Counter names follow the convention
+/// `prometheus_{server,storage}_<what>[_total]`; the latency histogram uses
+/// the standard cumulative `_bucket{le=…}` / `_sum` / `_count` triple.
+pub fn render_prometheus_exposition(server: &MetricsSnapshot, storage: &StatsSnapshot) -> String {
+    let mut out = String::new();
+    let mut counter = |name: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    counter(
+        "prometheus_server_connections_accepted_total",
+        "Connections handed to the worker pool.",
+        server.connections_accepted,
+    );
+    counter(
+        "prometheus_server_protocol_errors_total",
+        "Frames that failed to decode or out-of-order requests.",
+        server.protocol_errors,
+    );
+    counter(
+        "prometheus_server_db_errors_total",
+        "Requests the database layer rejected.",
+        server.db_errors,
+    );
+    counter(
+        "prometheus_server_units_committed_total",
+        "Units of work committed over the wire.",
+        server.units_committed,
+    );
+    counter(
+        "prometheus_server_units_aborted_total",
+        "Units rolled back on client request.",
+        server.units_aborted,
+    );
+    counter(
+        "prometheus_server_units_rolled_back_on_disconnect_total",
+        "Units rolled back because the connection dropped mid-unit.",
+        server.units_rolled_back_on_disconnect,
+    );
+    counter(
+        "prometheus_server_units_timed_out_total",
+        "Units rolled back at the idle deadline.",
+        server.units_timed_out,
+    );
+    counter(
+        "prometheus_server_plan_cache_hits_total",
+        "Queries answered from the POOL plan cache.",
+        server.plan_cache_hits,
+    );
+    counter(
+        "prometheus_server_plan_cache_misses_total",
+        "Queries that had to parse and plan.",
+        server.plan_cache_misses,
+    );
+    counter(
+        "prometheus_server_parallel_morsels_total",
+        "Work morsels executed by parallel query workers.",
+        server.parallel_morsels,
+    );
+    counter(
+        "prometheus_storage_log_appends_total",
+        "Redo-log records appended.",
+        storage.log_appends,
+    );
+    counter(
+        "prometheus_storage_bytes_written_total",
+        "Bytes appended to the redo log.",
+        storage.bytes_written,
+    );
+    counter(
+        "prometheus_storage_syncs_total",
+        "fsync calls on the redo log.",
+        storage.syncs,
+    );
+    counter(
+        "prometheus_storage_cache_hits_total",
+        "Object-cache hits.",
+        storage.cache_hits,
+    );
+    counter(
+        "prometheus_storage_cache_misses_total",
+        "Object-cache misses.",
+        storage.cache_misses,
+    );
+    counter(
+        "prometheus_storage_commits_total",
+        "Transactions committed.",
+        storage.commits,
+    );
+    counter(
+        "prometheus_storage_aborts_total",
+        "Transactions rolled back.",
+        storage.aborts,
+    );
+    counter(
+        "prometheus_storage_snapshot_swaps_total",
+        "Immutable snapshot publications.",
+        storage.snapshot_swaps,
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP prometheus_server_connections_active Sessions currently being served."
+    );
+    let _ = writeln!(out, "# TYPE prometheus_server_connections_active gauge");
+    let _ = writeln!(
+        out,
+        "prometheus_server_connections_active {}",
+        server.connections_active
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP prometheus_server_requests_total Requests processed, by kind."
+    );
+    let _ = writeln!(out, "# TYPE prometheus_server_requests_total counter");
+    for (kind, n) in &server.requests_by_kind {
+        let _ = writeln!(
+            out,
+            "prometheus_server_requests_total{{kind=\"{kind}\"}} {n}"
+        );
+    }
+
+    let hist = &server.latency;
+    let _ = writeln!(
+        out,
+        "# HELP prometheus_server_request_latency_us Per-request wall-clock latency (µs)."
+    );
+    let _ = writeln!(out, "# TYPE prometheus_server_request_latency_us histogram");
+    let mut cumulative = 0u64;
+    for (i, &n) in hist.counts.iter().enumerate() {
+        cumulative += n;
+        match hist.bounds_us.get(i) {
+            Some(bound) => {
+                let _ = writeln!(
+                    out,
+                    "prometheus_server_request_latency_us_bucket{{le=\"{bound}\"}} {cumulative}"
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "prometheus_server_request_latency_us_bucket{{le=\"+Inf\"}} {cumulative}"
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "prometheus_server_request_latency_us_sum {}",
+        hist.sum_us
+    );
+    let _ = writeln!(
+        out,
+        "prometheus_server_request_latency_us_count {}",
+        hist.count
+    );
+    out
+}
+
 /// Classify a sweep's growth: the ratio of the last per-item cost to the
 /// first. Near 1.0 ⇒ constant per-item cost (Figure 44's claim); well above
 /// 1.0 ⇒ non-constant (Figures 45/46).
@@ -223,6 +390,42 @@ mod tests {
         let summary = render_latency_summary("query", &sample, 2.0);
         assert!(summary.contains("50 op/s"));
         assert!(summary.contains("p99"));
+    }
+
+    #[test]
+    fn exposition_renders_counters_and_histogram() {
+        use prometheus_server::metrics::{LATENCY_BOUNDS_US, LATENCY_BUCKETS};
+        let mut server = MetricsSnapshot {
+            connections_accepted: 3,
+            connections_active: 1,
+            requests_by_kind: vec![("query".into(), 12), ("ping".into(), 2)],
+            plan_cache_hits: 9,
+            ..MetricsSnapshot::default()
+        };
+        server.latency.bounds_us = LATENCY_BOUNDS_US.to_vec();
+        server.latency.counts = vec![0; LATENCY_BUCKETS];
+        server.latency.counts[0] = 5;
+        server.latency.counts[LATENCY_BUCKETS - 1] = 1;
+        server.latency.count = 6;
+        server.latency.sum_us = 2_000_100;
+        let storage = StatsSnapshot {
+            commits: 4,
+            ..StatsSnapshot::default()
+        };
+        let text = render_prometheus_exposition(&server, &storage);
+        assert!(text.contains("prometheus_server_connections_accepted_total 3"));
+        assert!(text.contains("prometheus_server_connections_active 1"));
+        assert!(text.contains("prometheus_server_requests_total{kind=\"query\"} 12"));
+        assert!(text.contains("prometheus_server_plan_cache_hits_total 9"));
+        assert!(text.contains("prometheus_storage_commits_total 4"));
+        // Histogram buckets are cumulative and end at +Inf = count.
+        assert!(text.contains("prometheus_server_request_latency_us_bucket{le=\"50\"} 5"));
+        assert!(text.contains("prometheus_server_request_latency_us_bucket{le=\"+Inf\"} 6"));
+        assert!(text.contains("prometheus_server_request_latency_us_count 6"));
+        // Every non-comment line is "name[{labels}] value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "malformed line: {line}");
+        }
     }
 
     #[test]

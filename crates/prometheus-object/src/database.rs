@@ -597,7 +597,7 @@ impl Database {
         Ok(incoming.iter().any(|r| {
             schema
                 .rel_class(&r.class)
-                .map_or(false, |d| d.kind == RelKind::Aggregation)
+                .is_some_and(|d| d.kind == RelKind::Aggregation)
         }))
     }
 

@@ -466,7 +466,7 @@ impl SchemaRegistry {
         }
         self.super_closure
             .get(sub)
-            .map_or(false, |supers| supers.contains(sup))
+            .is_some_and(|supers| supers.contains(sup))
     }
 
     /// `class` itself plus all its transitive subclasses.

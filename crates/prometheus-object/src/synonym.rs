@@ -73,7 +73,7 @@ impl SynonymTable {
         let root = self.find(oid);
         let mut out: BTreeSet<Oid> = BTreeSet::new();
         out.insert(root);
-        for (&child, _) in &self.parent {
+        for &child in self.parent.keys() {
             if self.find(child) == root {
                 out.insert(child);
             }

@@ -31,6 +31,7 @@ use prometheus_object::classification::Classification;
 use prometheus_object::morsel;
 use prometheus_object::traversal::{self, Direction, TraversalSpec};
 use prometheus_object::{DbError, DbResult, Oid, Reader, Value};
+use prometheus_trace::{Recorder, Stage};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -105,6 +106,10 @@ impl Env {
 pub(crate) struct Cx<'a> {
     pub workers: usize,
     pub morsels: Option<&'a AtomicU64>,
+    /// Span recorder for the *top-level* execution only: [`execute`] strips
+    /// it before delegating to per-row work, so subqueries and pushed-down
+    /// predicates never flood the trace ring with one span per candidate.
+    pub tracer: Option<&'a Recorder>,
 }
 
 impl<'a> Cx<'a> {
@@ -113,6 +118,7 @@ impl<'a> Cx<'a> {
     pub(crate) const SEQ: Cx<'static> = Cx {
         workers: 1,
         morsels: None,
+        tracer: None,
     };
 
     fn tally(&self, n: u64) {
@@ -129,6 +135,7 @@ impl<'a> Cx<'a> {
         Cx {
             workers: 1,
             morsels: self.morsels,
+            tracer: None,
         }
     }
 }
@@ -171,6 +178,7 @@ pub(crate) fn execute_parallel<R: Reader>(
     info: &PlanInfo,
     workers: usize,
     morsels: &AtomicU64,
+    tracer: &Recorder,
 ) -> DbResult<QueryResult> {
     execute(
         db,
@@ -180,6 +188,7 @@ pub(crate) fn execute_parallel<R: Reader>(
         Cx {
             workers: workers.max(1),
             morsels: Some(morsels),
+            tracer: Some(tracer),
         },
     )
 }
@@ -192,6 +201,11 @@ fn execute<R: Reader>(
     cx: Cx<'_>,
 ) -> DbResult<QueryResult> {
     debug_assert_eq!(info.sources.len(), q.from.len(), "plan and query disagree");
+    // Only this frame records spans; everything downstream (pushdown
+    // filters, subqueries, per-row projection) runs with the tracer
+    // stripped so the ring sees stages, not per-candidate noise.
+    let tracer = cx.tracer;
+    let cx = Cx { tracer: None, ..cx };
     let context = match &q.context {
         Some(name) => Some(
             db.classification_by_name(name)?
@@ -209,6 +223,7 @@ fn execute<R: Reader>(
     // conformance plus pushed-down conjuncts — morsel-parallel.
     let mut candidate_sets: Vec<(String, Vec<Oid>)> = Vec::with_capacity(q.from.len());
     for (clause, source) in q.from.iter().zip(&info.sources) {
+        let scan_span = tracer.map(|r| r.span(Stage::Scan));
         let mut candidates = if clause.view {
             crate::view_members(db, &clause.class)?
         } else if let Some((attr, value)) = &source.seed {
@@ -227,7 +242,13 @@ fn execute<R: Reader>(
                 candidates.retain(|oid| nodes.contains(oid));
             }
         }
+        if let Some(span) = scan_span {
+            // c0 = candidate rows entering the filter; c1 = 1 when an index
+            // seeded the scan instead of a deep-extent walk.
+            span.finish(candidates.len() as u64, source.seed.is_some() as u64);
+        }
         let pushdown: Vec<&Expr> = source.pushdown.iter().map(|&i| conjuncts[i]).collect();
+        let filter_span = tracer.map(|r| r.span(Stage::Filter));
         let filtered = if source.conforming.is_none() && pushdown.is_empty() {
             candidates
         } else {
@@ -246,11 +267,19 @@ fn execute<R: Reader>(
             cx.tally(run.parallel_morsels);
             run.output
         };
+        if let Some(span) = filter_span {
+            span.finish(filtered.len() as u64, cx.workers as u64);
+        }
         candidate_sets.push((clause.var.clone(), filtered));
     }
 
     // Nested-loop join, outermost variable partitioned across workers.
+    let join_span = tracer.map(|r| r.span(Stage::Join));
     let mut rows = join_rows(db, q, context, &candidate_sets, outer, cx)?;
+    if let Some(span) = join_span {
+        span.finish(rows.len() as u64, cx.workers as u64);
+    }
+    let emit_span = tracer.map(|r| r.span(Stage::Emit));
 
     // Order by (hidden trailing sort keys appended in bind_loop).
     if !q.order_by.is_empty() {
@@ -293,6 +322,9 @@ fn execute<R: Reader>(
         .enumerate()
         .map(|(i, (expr, alias))| alias.clone().unwrap_or_else(|| render_expr(expr, i)))
         .collect();
+    if let Some(span) = emit_span {
+        span.finish(rows.len() as u64, 0);
+    }
     Ok(QueryResult { columns, rows })
 }
 

@@ -25,8 +25,9 @@ use crate::eval::{self, QueryResult};
 use crate::plan::{self, PlanInfo};
 use prometheus_object::{DbResult, Reader};
 use prometheus_storage::cache::LruCache;
+use prometheus_trace::{Recorder, Stage};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 
 /// Plan-cache capacity of [`Executor::new`]: generous for a realistic
 /// workload's distinct query texts, small against object-cache budgets.
@@ -39,6 +40,27 @@ pub struct QueryPlan {
     pub query: Query,
     pub info: PlanInfo,
     pub schema_version: u64,
+    /// Stable FNV-1a hash over the contextualised query text, the planner's
+    /// decisions and the schema version: two queries with the same
+    /// fingerprint took the same plan. Reported by `EXPLAIN`, `PROFILE` and
+    /// the slow-query log so operators can correlate entries.
+    pub fingerprint: u64,
+}
+
+/// FNV-1a over the rendered query, plan decisions and schema version.
+fn fingerprint_of(query: &Query, info: &PlanInfo, schema_version: u64) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+    };
+    eat(query.to_string().as_bytes());
+    eat(format!("{info:?}").as_bytes());
+    eat(&schema_version.to_le_bytes());
+    h
 }
 
 /// Point-in-time executor counters.
@@ -69,12 +91,23 @@ pub struct Executor {
     workers: usize,
     cache: Mutex<LruCache<PlanKey, Arc<QueryPlan>>>,
     stats: ExecStats,
+    /// Span recorder for plan-cache and execution-stage spans; disabled
+    /// until [`Executor::set_recorder`] installs a live one.
+    recorder: RwLock<Recorder>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     // The cache holds only immutable Arc'd plans; a panicking thread cannot
     // leave it half-updated, so poison is safe to swallow.
     m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn lock_rw<T>(l: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(|p| p.into_inner())
+}
+
+fn lock_rw_read<T>(l: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(|p| p.into_inner())
 }
 
 impl Executor {
@@ -91,12 +124,25 @@ impl Executor {
             workers: workers.max(1),
             cache: Mutex::new(LruCache::new(capacity)),
             stats: ExecStats::default(),
+            recorder: RwLock::new(Recorder::disabled()),
         }
     }
 
     /// The per-query worker budget.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// Install the span recorder used for plan-cache lookups and execution
+    /// stages (scan, filter, join, emit). Normally the same recorder the
+    /// store and server share, so one ring holds the whole request.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        *lock_rw(&self.recorder) = recorder;
+    }
+
+    /// The installed span recorder (disabled by default).
+    pub fn recorder(&self) -> Recorder {
+        lock_rw_read(&self.recorder).clone()
     }
 
     /// Parse (or fetch from the plan cache), plan and execute `text`.
@@ -111,14 +157,96 @@ impl Executor {
         text: &str,
         default_context: Option<&str>,
     ) -> DbResult<QueryResult> {
-        let plan = self.plan_for(db, text, default_context)?;
-        eval::execute_parallel(
+        self.query_with_plan(db, text, default_context)
+            .map(|(result, _)| result)
+    }
+
+    /// [`Executor::query`], also returning the plan that ran — the wire
+    /// server reads its fingerprint for the slow-query log.
+    pub fn query_with_plan<R: Reader>(
+        &self,
+        db: &R,
+        text: &str,
+        default_context: Option<&str>,
+    ) -> DbResult<(QueryResult, Arc<QueryPlan>)> {
+        let (plan, _) = self.plan_with_origin(db, text, default_context)?;
+        let result = eval::execute_parallel(
             db,
             &plan.query,
             &plan.info,
             self.workers,
             &self.stats.parallel_morsels,
-        )
+            &self.recorder(),
+        )?;
+        Ok((result, plan))
+    }
+
+    /// `EXPLAIN`: resolve (or fetch) the plan and render it as text lines —
+    /// source index seeds, pushed-down conjuncts, conformance sets, cache
+    /// hit/miss and the plan fingerprint. Nothing is executed.
+    pub fn explain<R: Reader>(
+        &self,
+        db: &R,
+        text: &str,
+        default_context: Option<&str>,
+    ) -> DbResult<Vec<String>> {
+        let (plan, hit) = self.plan_with_origin(db, text, default_context)?;
+        let mut lines = vec![
+            format!(
+                "plan: {} (schema v{}, fingerprint {:016x})",
+                if hit { "cache hit" } else { "planned" },
+                plan.schema_version,
+                plan.fingerprint,
+            ),
+            format!("query: {}", plan.query),
+        ];
+        match &plan.query.context {
+            Some(name) => lines.push(format!("context: classification \"{name}\"")),
+            None => lines.push("context: none".into()),
+        }
+        let conjuncts = match &plan.query.where_clause {
+            Some(w) => plan::conjuncts_of(w),
+            None => Vec::new(),
+        };
+        for (clause, source) in plan.query.from.iter().zip(&plan.info.sources) {
+            let kind = if clause.view {
+                "view"
+            } else if clause.edges {
+                "relationship class"
+            } else {
+                "class"
+            };
+            lines.push(format!("source {}: {} {}", clause.var, kind, clause.class));
+            match &source.seed {
+                Some((attr, value)) => {
+                    lines.push(format!("  seed: index probe {attr} = {value}"));
+                }
+                None => lines.push("  seed: deep extent scan".into()),
+            }
+            if source.pushdown.is_empty() {
+                lines.push("  pushdown: none".into());
+            } else {
+                let rendered: Vec<String> = source
+                    .pushdown
+                    .iter()
+                    .map(|&i| conjuncts[i].to_string())
+                    .collect();
+                lines.push(format!("  pushdown: {}", rendered.join(" and ")));
+            }
+            match &source.conforming {
+                Some(set) => {
+                    let names: Vec<&str> = set.iter().map(String::as_str).collect();
+                    lines.push(format!("  conforming: {{{}}}", names.join(", ")));
+                }
+                None => lines.push("  conforming: view-defined membership".into()),
+            }
+        }
+        lines.push(format!(
+            "join: nested-loop over {} source(s), morsel-parallel outer loop ({} worker(s))",
+            plan.query.from.len(),
+            self.workers,
+        ));
+        Ok(lines)
     }
 
     /// Counter snapshot (plan-cache hits/misses, parallel morsels).
@@ -130,18 +258,22 @@ impl Executor {
         }
     }
 
-    fn plan_for<R: Reader>(
+    /// Plan-cache lookup: the plan plus whether it was served from cache.
+    /// Records one `plan_cache` span (c0 = hit, c1 = fingerprint).
+    pub fn plan_with_origin<R: Reader>(
         &self,
         db: &R,
         text: &str,
         default_context: Option<&str>,
-    ) -> DbResult<Arc<QueryPlan>> {
+    ) -> DbResult<(Arc<QueryPlan>, bool)> {
+        let span = self.recorder().span(Stage::PlanCache);
         let version = db.with_schema(|s| s.version());
         let key: PlanKey = (default_context.map(str::to_string), text.to_string());
         if let Some(cached) = lock(&self.cache).get(&key).cloned() {
             if cached.schema_version == version {
                 self.stats.plan_cache_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(cached);
+                span.finish(1, cached.fingerprint);
+                return Ok((cached, true));
             }
             // Schema moved under the plan: seeds and conformance sets may be
             // stale. Fall through and re-plan (the put below replaces it).
@@ -152,12 +284,15 @@ impl Executor {
             query.context = default_context.map(str::to_string);
         }
         let info = plan::plan(db, &query)?;
+        let fingerprint = fingerprint_of(&query, &info, version);
         let plan = Arc::new(QueryPlan {
             query,
             info,
             schema_version: version,
+            fingerprint,
         });
         lock(&self.cache).put(key, Arc::clone(&plan));
-        Ok(plan)
+        span.finish(0, fingerprint);
+        Ok((plan, false))
     }
 }

@@ -66,7 +66,7 @@ pub mod printer;
 
 pub use ast::{BinOp, Expr, FromClause, OrderKey, Query, UnOp};
 pub use eval::{QueryResult, Row};
-pub use exec::{ExecStatsSnapshot, Executor};
+pub use exec::{ExecStatsSnapshot, Executor, QueryPlan};
 use prometheus_object::{DbError, DbResult, Reader};
 
 /// Parse a POOL query string.
@@ -75,6 +75,59 @@ pub fn parse(input: &str) -> DbResult<Query> {
     parser::Parser::new(tokens)
         .parse_query()
         .map_err(DbError::Query)
+}
+
+/// A top-level POOL statement: a plain query, or a query wrapped in one of
+/// the introspection verbs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// Execute the query and return its rows.
+    Select(Query),
+    /// Render the plan (`EXPLAIN <query>`); nothing is executed.
+    Explain(Query),
+    /// Execute the query and return its span tree (`PROFILE <query>`).
+    Profile(Query),
+}
+
+/// How a statement's text should be dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatementKind {
+    Select,
+    Explain,
+    Profile,
+}
+
+/// Split an introspection verb off the front of a statement, returning the
+/// kind and the bare query text. `EXPLAIN`/`PROFILE` are case-insensitive
+/// and must be followed by whitespace; everything else is a plain select.
+///
+/// Callers that cache plans by text (the wire server) use the *stripped*
+/// text, so `PROFILE <q>` shares a cache entry with `<q>` itself.
+pub fn split_statement(input: &str) -> (StatementKind, &str) {
+    let trimmed = input.trim_start();
+    for (verb, kind) in [
+        ("explain", StatementKind::Explain),
+        ("profile", StatementKind::Profile),
+    ] {
+        if trimmed.len() > verb.len()
+            && trimmed[..verb.len()].eq_ignore_ascii_case(verb)
+            && trimmed.as_bytes()[verb.len()].is_ascii_whitespace()
+        {
+            return (kind, trimmed[verb.len()..].trim_start());
+        }
+    }
+    (StatementKind::Select, trimmed)
+}
+
+/// Parse a top-level POOL statement (`EXPLAIN`/`PROFILE` prefix allowed).
+pub fn parse_statement(input: &str) -> DbResult<Statement> {
+    let (kind, text) = split_statement(input);
+    let query = parse(text)?;
+    Ok(match kind {
+        StatementKind::Select => Statement::Select(query),
+        StatementKind::Explain => Statement::Explain(query),
+        StatementKind::Profile => Statement::Profile(query),
+    })
 }
 
 /// Parse and evaluate a POOL query.
@@ -111,4 +164,44 @@ pub fn eval_expr<R: Reader>(db: &R, input: &str) -> DbResult<prometheus_object::
         .map_err(DbError::Query)?;
     let env = eval::Env::empty();
     eval::eval_expr(db, &expr, &env, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_statement_strips_the_verb_case_insensitively() {
+        let (kind, text) = split_statement("  EXPLAIN select t from CT t");
+        assert_eq!(kind, StatementKind::Explain);
+        assert_eq!(text, "select t from CT t");
+        let (kind, text) = split_statement("Profile\tselect t from CT t");
+        assert_eq!(kind, StatementKind::Profile);
+        assert_eq!(text, "select t from CT t");
+    }
+
+    #[test]
+    fn a_verb_needs_trailing_whitespace_to_count() {
+        // An identifier that merely starts with a verb is a plain select —
+        // the parser will reject it, but the splitter must not eat it.
+        let (kind, text) = split_statement("explainer");
+        assert_eq!(kind, StatementKind::Select);
+        assert_eq!(text, "explainer");
+        let (kind, _) = split_statement("profile");
+        assert_eq!(kind, StatementKind::Select);
+    }
+
+    #[test]
+    fn statements_parse_through_the_same_grammar() {
+        let q = "select t from CT t";
+        match parse_statement(&format!("explain {q}")).unwrap() {
+            Statement::Explain(query) => assert_eq!(query, parse(q).unwrap()),
+            other => panic!("expected Explain, got {other:?}"),
+        }
+        match parse_statement(&format!("profile {q}")).unwrap() {
+            Statement::Profile(query) => assert_eq!(query, parse(q).unwrap()),
+            other => panic!("expected Profile, got {other:?}"),
+        }
+        assert!(parse_statement("explain not a query").is_err());
+    }
 }

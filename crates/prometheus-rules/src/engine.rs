@@ -40,6 +40,7 @@ pub struct RuleEngine {
     warnings: Mutex<Vec<String>>,
     handler: RwLock<Option<Arc<dyn ViolationHandler>>>,
     parsed: RwLock<HashMap<String, Expr>>,
+    recorder: RwLock<prometheus_trace::Recorder>,
 }
 
 impl Default for RuleEngine {
@@ -56,7 +57,14 @@ impl RuleEngine {
             warnings: Mutex::new(Vec::new()),
             handler: RwLock::new(None),
             parsed: RwLock::new(HashMap::new()),
+            recorder: RwLock::new(prometheus_trace::Recorder::disabled()),
         }
+    }
+
+    /// Install the span recorder used for rule-firing spans (one `rule`
+    /// span per dispatch that actually checked at least one rule).
+    pub fn set_recorder(&self, recorder: prometheus_trace::Recorder) {
+        *self.recorder.write() = recorder;
     }
 
     /// Create an engine, load any persisted rules, and attach it to `db`.
@@ -312,6 +320,27 @@ impl EventListener for RuleEngine {
     }
 
     fn at_commit(&self, db: &Database, events: &[Event]) -> DbResult<()> {
+        let span = self.recorder.read().span(prometheus_trace::Stage::Rule);
+        let mut checked = 0u64;
+        let result = self.at_commit_counted(db, events, &mut checked);
+        if checked > 0 {
+            span.finish(checked, events.len() as u64);
+        } else {
+            span.cancel();
+        }
+        result
+    }
+}
+
+impl RuleEngine {
+    /// [`EventListener::at_commit`] body, tallying constraint checks into
+    /// `checked` for the rule-firing span.
+    fn at_commit_counted(
+        &self,
+        db: &Database,
+        events: &[Event],
+        checked: &mut u64,
+    ) -> DbResult<()> {
         let rules = self.rules.read().clone();
         // Composite-event rules (§5.2.1.1): fire once per unit when every
         // spec matched some event of the unit.
@@ -329,6 +358,7 @@ impl EventListener for RuleEngine {
                 .and_then(|spec| events.iter().find(|e| spec.matches(db, e)));
             if let Some(event) = subject {
                 if db.exists(event.subject()) {
+                    *checked += 1;
                     self.check(db, rule, event)?;
                 }
             }
@@ -357,6 +387,7 @@ impl EventListener for RuleEngine {
             if !db.exists(event.subject()) {
                 continue;
             }
+            *checked += 1;
             self.check(db, rule, event)?;
         }
         Ok(())

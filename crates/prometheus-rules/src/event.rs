@@ -68,7 +68,7 @@ impl EventSpec {
                     attr: got_attr,
                     ..
                 },
-            ) => class_ok(class, got) && attr.as_deref().map_or(true, |a| a == got_attr),
+            ) => class_ok(class, got) && attr.as_deref().is_none_or(|a| a == got_attr),
             (EventSpec::ObjectDeleted { class }, Event::ObjectDeleted { class: got, .. }) => {
                 class_ok(class, got)
             }
@@ -82,7 +82,7 @@ impl EventSpec {
                     attr: got_attr,
                     ..
                 },
-            ) => class_ok(class, got) && attr.as_deref().map_or(true, |a| a == got_attr),
+            ) => class_ok(class, got) && attr.as_deref().is_none_or(|a| a == got_attr),
             (EventSpec::RelDeleted { class }, Event::RelDeleted { class: got, .. }) => {
                 class_ok(class, got)
             }

@@ -15,8 +15,10 @@ use crate::error::{ServerError, ServerResult};
 use crate::frame::{read_msg, write_msg};
 use crate::metrics::MetricsSnapshot;
 use crate::protocol::{MutationOp, Request, Response, WireRows, PROTOCOL_VERSION};
+use crate::slowlog::SlowLogEntry;
 use prometheus_db::{Oid, Value};
 use prometheus_storage::StatsSnapshot;
+use prometheus_trace::TraceEvent;
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::thread;
@@ -181,6 +183,23 @@ impl PrometheusClient {
         match self.request(Request::Stats)? {
             Response::Stats { server, storage } => Ok((*server, storage)),
             other => Err(unexpected("Stats", other)),
+        }
+    }
+
+    /// Fetch the newest `n` span events from the server's trace ring,
+    /// oldest first.
+    pub fn trace(&mut self, n: u32) -> ServerResult<Vec<TraceEvent>> {
+        match self.request(Request::Trace { n })? {
+            Response::Trace { events } => Ok(events),
+            other => Err(unexpected("Trace", other)),
+        }
+    }
+
+    /// Fetch the newest `n` slow-query log entries, oldest first.
+    pub fn slow_log(&mut self, n: u32) -> ServerResult<Vec<SlowLogEntry>> {
+        match self.request(Request::SlowLog { n })? {
+            Response::SlowLog { entries } => Ok(entries),
+            other => Err(unexpected("SlowLog", other)),
         }
     }
 

@@ -50,12 +50,15 @@ pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod slowlog;
 
 pub use client::{ClientConfig, PrometheusClient, UnitGuard};
 pub use error::{ErrorKind, ServerError, ServerResult};
 pub use frame::MAX_FRAME_LEN;
 pub use lane::{LaneGuard, TicketLane};
 pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
+pub use prometheus_trace::{Recorder, Stage, TraceEvent};
 pub use protocol::{MutationOp, Request, Response, WireRows, PROTOCOL_VERSION};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use session::Session;
+pub use slowlog::{SlowLog, SlowLogEntry};

@@ -27,16 +27,24 @@
 
 use prometheus_db::{Oid, QueryResult, Value};
 use prometheus_storage::StatsSnapshot;
+use prometheus_trace::TraceEvent;
 use serde::{Deserialize, Serialize};
 
 use crate::metrics::MetricsSnapshot;
+use crate::slowlog::SlowLogEntry;
 
 /// Wire protocol version; bumped on any incompatible message change.
 ///
 /// v2: [`crate::metrics::MetricsSnapshot`] gained `plan_cache_hits`,
 /// `plan_cache_misses` and `parallel_morsels`. The codec is positional, so
 /// v1 clients cannot decode the enlarged `Stats` response.
-pub const PROTOCOL_VERSION: u16 = 2;
+///
+/// v3: observability — [`Request::Trace`]/[`Request::SlowLog`] with the
+/// matching [`Response::Trace`]/[`Response::SlowLog`], carrying span events
+/// from the server's trace ring and entries from the slow-query log.
+/// (`EXPLAIN`/`PROFILE` need no new messages: they travel as ordinary
+/// queries and answer with rows.)
+pub const PROTOCOL_VERSION: u16 = 3;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -69,6 +77,10 @@ pub enum Request {
     Compact,
     /// Server + storage counters.
     Stats,
+    /// The newest `n` span events from the server's trace ring.
+    Trace { n: u32 },
+    /// The newest `n` slow-query log entries.
+    SlowLog { n: u32 },
     /// Ask the server to shut down gracefully (drain and close).
     Shutdown,
     /// Close this session politely.
@@ -91,6 +103,8 @@ impl Request {
             Request::UnitBatch { .. } => "unit_batch",
             Request::Compact => "compact",
             Request::Stats => "stats",
+            Request::Trace { .. } => "trace",
+            Request::SlowLog { .. } => "slow_log",
             Request::Shutdown => "shutdown",
             Request::Bye => "bye",
         }
@@ -160,6 +174,10 @@ pub enum Response {
         server: Box<MetricsSnapshot>,
         storage: StatsSnapshot,
     },
+    /// Span events from the trace ring, oldest first.
+    Trace { events: Vec<TraceEvent> },
+    /// Slow-query log entries, oldest first.
+    SlowLog { entries: Vec<SlowLogEntry> },
     /// The request failed; the session stays usable unless the transport
     /// itself broke.
     Error {
@@ -253,6 +271,8 @@ mod tests {
             },
             Request::Compact,
             Request::Stats,
+            Request::Trace { n: 64 },
+            Request::SlowLog { n: 16 },
             Request::Shutdown,
             Request::Bye,
         ];
@@ -283,6 +303,30 @@ mod tests {
                 created: vec![Oid::from_raw(1), Oid::NIL],
             },
             Response::Installed { rules: 4 },
+            Response::Trace {
+                events: vec![TraceEvent {
+                    trace_id: 1,
+                    span_id: 2,
+                    parent_id: 0,
+                    stage: prometheus_trace::Stage::Scan,
+                    start_us: 10,
+                    dur_us: 250,
+                    c0: 42,
+                    c1: 1,
+                }],
+            },
+            Response::SlowLog {
+                entries: vec![crate::slowlog::SlowLogEntry {
+                    session: 3,
+                    query: "select t from CT t".into(),
+                    context: Some("Linnaeus 1753".into()),
+                    trace_id: 1,
+                    fingerprint: 0xdead_beef,
+                    dur_us: 120_000,
+                    rows: 2,
+                    pinned: true,
+                }],
+            },
             Response::Error {
                 kind: crate::error::ErrorKind::Db,
                 message: "unknown class 'XT'".into(),

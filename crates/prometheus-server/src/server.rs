@@ -48,12 +48,14 @@
 
 use crate::error::{ErrorKind, ServerError, ServerResult};
 use crate::frame::{read_msg, write_msg};
-use crate::lane::TicketLane;
-use crate::metrics::{MetricsSnapshot, ServerMetrics};
+use crate::lane::{LaneGuard, TicketLane};
+use crate::metrics::{MetricsSnapshot, ServerMetrics, REQUEST_KINDS};
 use crate::protocol::{MutationOp, Request, Response, WireRows, PROTOCOL_VERSION};
 use crate::session::Session;
-use prometheus_db::{Database, DbResult, Oid, Prometheus};
-use prometheus_pool::Executor;
+use crate::slowlog::{SlowLog, SlowLogEntry};
+use prometheus_db::{Database, DbResult, Oid, Prometheus, Value};
+use prometheus_pool::{Executor, StatementKind};
+use prometheus_trace::{Recorder, Stage, TraceEvent, TraceScope};
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -80,6 +82,15 @@ pub struct ServerConfig {
     /// use the machine's available parallelism. `1` forces sequential
     /// execution. Results are identical either way; only latency changes.
     pub parallelism: usize,
+    /// Queries at or above this wall-clock land in the slow-query log
+    /// (fetch with `Request::SlowLog`). `Duration::ZERO` logs every query —
+    /// useful in tests and when characterising a workload.
+    pub slow_query_threshold: Duration,
+    /// Capacity (events) of the trace ring shared by every layer — request
+    /// framing, lane waits, plan cache, execution stages, storage commits.
+    /// `0` disables tracing entirely (spans become no-ops; `PROFILE` returns
+    /// an empty span tree).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +100,8 @@ impl Default for ServerConfig {
             workers: 8,
             unit_idle_timeout: Duration::from_secs(30),
             parallelism: 0,
+            slow_query_threshold: Duration::from_millis(100),
+            trace_capacity: Recorder::DEFAULT_CAPACITY,
         }
     }
 }
@@ -107,6 +120,13 @@ struct Shared {
     writer_lane: TicketLane,
     /// Idle deadline for streamed units holding the lane.
     unit_idle_timeout: Duration,
+    /// One span recorder across every layer: the store, the rule engine,
+    /// the executor and the server itself all record into this ring, so a
+    /// request's whole span tree shares one trace id.
+    recorder: Recorder,
+    /// Bounded log of queries slower than `slow_query_threshold`.
+    slow_log: SlowLog,
+    slow_query_threshold: Duration,
     shutting_down: AtomicBool,
     next_session: AtomicU64,
     /// Read-half clones of live session sockets, for shutdown.
@@ -136,12 +156,26 @@ pub fn serve(db: Prometheus, config: ServerConfig) -> ServerResult<ServerHandle>
     } else {
         config.parallelism
     };
+    let recorder = if config.trace_capacity == 0 {
+        Recorder::disabled()
+    } else {
+        Recorder::new(config.trace_capacity)
+    };
+    // One recorder everywhere: storage commit/fsync/compact spans, rule
+    // firing, plan-cache lookups and execution stages all land in the same
+    // ring as the server's own request and lane-wait spans.
+    db.set_recorder(recorder.clone());
+    let executor = Executor::new(parallelism);
+    executor.set_recorder(recorder.clone());
     let shared = Arc::new(Shared {
         db,
         metrics: ServerMetrics::default(),
-        executor: Executor::new(parallelism),
+        executor,
         writer_lane: TicketLane::new(),
         unit_idle_timeout: config.unit_idle_timeout,
+        recorder,
+        slow_log: SlowLog::default(),
+        slow_query_threshold: config.slow_query_threshold,
         shutting_down: AtomicBool::new(false),
         next_session: AtomicU64::new(1),
         conns: Mutex::new(HashMap::new()),
@@ -301,6 +335,22 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
         .fetch_sub(1, Ordering::Relaxed);
 }
 
+/// Index of a request kind in [`REQUEST_KINDS`]; recorded as `c0` of the
+/// root `request` span so traces can be bucketed without the query text.
+fn kind_code(kind: &str) -> u64 {
+    REQUEST_KINDS.iter().position(|k| *k == kind).unwrap_or(0) as u64
+}
+
+/// Acquire the writer lane, timing the queue wait as a `lane_wait` span
+/// (`c0 = 1`: the lane really was taken — pinned queries record a synthetic
+/// zero-wait span with `c0 = 0` instead, see `profile_query`).
+fn acquire_lane(shared: &Shared) -> LaneGuard<'_> {
+    let span = shared.recorder.span(Stage::LaneWait);
+    let guard = shared.writer_lane.acquire();
+    span.finish(1, 0);
+    guard
+}
+
 /// What the outer session loop should do after a request.
 enum Flow {
     Continue,
@@ -338,8 +388,19 @@ fn run_session(shared: &Arc<Shared>, id: u64, stream: TcpStream) -> ServerResult
             }
         };
         let start = Instant::now();
-        shared.metrics.count_request(req.kind_name());
-        let flow = dispatch(shared, &mut session, &mut writer, req)?;
+        let kind = req.kind_name();
+        shared.metrics.count_request(kind);
+        // Root span for this request: while it is the thread's trace scope,
+        // every span any layer records (lane wait, plan cache, execution,
+        // storage commit…) attaches to this trace.
+        let root = shared
+            .recorder
+            .span_in(Stage::Request, shared.recorder.new_trace_id(), 0);
+        let scope = TraceScope::enter(root.trace_id(), root.id());
+        let flow = dispatch(shared, &mut session, &mut writer, req);
+        drop(scope);
+        root.finish(kind_code(kind), session.id);
+        let flow = flow?;
         shared
             .metrics
             .record_latency_us(start.elapsed().as_micros() as u64);
@@ -457,7 +518,7 @@ fn dispatch(
             Ok(Flow::Continue)
         }
         Request::InstallPcl { source } => {
-            let _lane = shared.writer_lane.acquire();
+            let _lane = acquire_lane(shared);
             match shared.db.install_pcl(&source) {
                 Ok(rules) => write_msg(writer, &Response::Installed { rules })?,
                 Err(e) => db_error(shared, writer, e.to_string())?,
@@ -473,7 +534,7 @@ fn dispatch(
             Ok(Flow::Continue)
         }
         Request::UnitBatch { ops } => {
-            let _lane = shared.writer_lane.acquire();
+            let _lane = acquire_lane(shared);
             let db = shared.db.db();
             let result = db.in_unit_scope(|db| {
                 let mut created = Vec::with_capacity(ops.len());
@@ -495,7 +556,7 @@ fn dispatch(
             Ok(Flow::Continue)
         }
         Request::Compact => {
-            let _lane = shared.writer_lane.acquire();
+            let _lane = acquire_lane(shared);
             match shared.db.compact() {
                 Ok(()) => write_msg(writer, &Response::Ack)?,
                 Err(e) => db_error(shared, writer, e.to_string())?,
@@ -504,6 +565,24 @@ fn dispatch(
         }
         Request::Stats => {
             write_stats(shared, writer)?;
+            Ok(Flow::Continue)
+        }
+        Request::Trace { n } => {
+            write_msg(
+                writer,
+                &Response::Trace {
+                    events: shared.recorder.recent(n as usize),
+                },
+            )?;
+            Ok(Flow::Continue)
+        }
+        Request::SlowLog { n } => {
+            write_msg(
+                writer,
+                &Response::SlowLog {
+                    entries: shared.slow_log.recent(n as usize),
+                },
+            )?;
             Ok(Flow::Continue)
         }
         Request::Shutdown => {
@@ -528,7 +607,7 @@ fn run_unit(
     reader: &mut BufReader<TcpStream>,
     writer: &mut BufWriter<TcpStream>,
 ) -> ServerResult<()> {
-    let _lane = shared.writer_lane.acquire();
+    let _lane = acquire_lane(shared);
     let db = shared.db.db();
     // While this session holds the lane, silence is billed: arm a read
     // timeout so a stalled client cannot block queued writers forever.
@@ -555,7 +634,12 @@ fn run_unit(
             Err(e) => break Err(e),
         };
         let start = Instant::now();
-        shared.metrics.count_request(req.kind_name());
+        let kind = req.kind_name();
+        shared.metrics.count_request(kind);
+        let root = shared
+            .recorder
+            .span_in(Stage::Request, shared.recorder.new_trace_id(), 0);
+        let scope = TraceScope::enter(root.trace_id(), root.id());
         let step: ServerResult<bool> = match req {
             Request::UnitOp { op } => {
                 // A failed op leaves the unit open: the client chooses to
@@ -605,6 +689,8 @@ fn run_unit(
             )
             .map(|_| false),
         };
+        drop(scope);
+        root.finish(kind_code(kind), session.id);
         shared
             .metrics
             .record_latency_us(start.elapsed().as_micros() as u64);
@@ -641,33 +727,159 @@ fn run_unit(
     outcome
 }
 
-/// Parse, contextualise and evaluate a POOL query for this session.
+/// Parse, contextualise and evaluate a POOL statement for this session;
+/// returns the wire rows plus the fingerprint of the plan that ran (0 when
+/// no cached plan was involved: unpinned in-unit selects, `EXPLAIN`).
 ///
 /// With `pinned`, the whole query (traversals included) runs against one
 /// immutable [`prometheus_db::ReadView`] snapshot: no store mutex, no cache
 /// locks, no interaction with the writer lane. Unpinned queries run on the
 /// live database — required inside a unit, where the session must observe
 /// its own uncommitted writes.
+///
+/// The statement may carry an `EXPLAIN` or `PROFILE` verb: `EXPLAIN`
+/// answers with the (cached or freshly derived) plan rendered as one-column
+/// rows; `PROFILE` executes under a fresh trace and answers with the span
+/// tree. Both share the bare query's plan-cache entry — the verb is
+/// stripped before the cache key is formed.
 fn run_query(
     shared: &Arc<Shared>,
     session: &Session,
     pool: &str,
     pinned: bool,
-) -> DbResult<WireRows> {
-    let result = if pinned {
-        // The executor applies the session context exactly like
-        // `Session::effective_context`: the query's own clause wins. Its
-        // plan cache keys on (context, text), so distinct contexts never
-        // share a contextualised plan.
-        shared
-            .executor
-            .query(&shared.db.read_view(), pool, session.context.as_deref())?
-    } else {
-        let mut query = prometheus_pool::parse(pool)?;
-        query.context = session.effective_context(query.context.take());
-        prometheus_pool::eval::evaluate(shared.db.db(), &query)?
+) -> DbResult<(WireRows, u64)> {
+    let (verb, text) = prometheus_pool::split_statement(pool);
+    match verb {
+        StatementKind::Select => {
+            if pinned {
+                // The executor applies the session context exactly like
+                // `Session::effective_context`: the query's own clause wins.
+                // Its plan cache keys on (context, text), so distinct
+                // contexts never share a contextualised plan.
+                let (result, plan) = shared.executor.query_with_plan(
+                    &shared.db.read_view(),
+                    text,
+                    session.context.as_deref(),
+                )?;
+                Ok((result.into(), plan.fingerprint))
+            } else {
+                let mut query = prometheus_pool::parse(text)?;
+                query.context = session.effective_context(query.context.take());
+                let result = prometheus_pool::eval::evaluate(shared.db.db(), &query)?;
+                Ok((result.into(), 0))
+            }
+        }
+        StatementKind::Explain => {
+            let lines = if pinned {
+                shared
+                    .executor
+                    .explain(&shared.db.read_view(), text, session.context.as_deref())?
+            } else {
+                shared
+                    .executor
+                    .explain(shared.db.db(), text, session.context.as_deref())?
+            };
+            let rows = lines.into_iter().map(|l| vec![Value::Str(l)]).collect();
+            Ok((
+                WireRows {
+                    columns: vec!["plan".into()],
+                    rows,
+                },
+                0,
+            ))
+        }
+        StatementKind::Profile => profile_query(shared, session, text, pinned),
+    }
+}
+
+/// `PROFILE <query>`: execute under a fresh trace id and answer with the
+/// span tree — one row per span, parent-linked, with per-stage wall-clock
+/// and counters (rows scanned, index seeding, worker counts, cache hits).
+fn profile_query(
+    shared: &Arc<Shared>,
+    session: &Session,
+    text: &str,
+    pinned: bool,
+) -> DbResult<(WireRows, u64)> {
+    let rec = &shared.recorder;
+    let trace_id = rec.new_trace_id();
+    let root = rec.span_in(Stage::Request, trace_id, 0);
+    let root_id = root.id();
+    let ran = {
+        let _scope = TraceScope::enter(trace_id, root_id);
+        // Pinned queries never touch the writer lane — record the zero wait
+        // explicitly (c0 = 0) so the profile shows the stage honestly
+        // instead of omitting it. In-unit profiles inherit the real lane
+        // wait from `run_unit`'s acquisition, outside this trace.
+        rec.span(Stage::LaneWait).finish(0, 0);
+        // Both pinned and in-unit profiles go through the executor so the
+        // plan cache, fingerprint and stage spans are all exercised; the
+        // live-db reader keeps read-your-own-writes inside a unit.
+        if pinned {
+            shared.executor.query_with_plan(
+                &shared.db.read_view(),
+                text,
+                session.context.as_deref(),
+            )
+        } else {
+            shared
+                .executor
+                .query_with_plan(shared.db.db(), text, session.context.as_deref())
+        }
     };
-    Ok(result.into())
+    let (result, plan) = ran?;
+    root.finish(result.rows.len() as u64, plan.fingerprint);
+    let events = rec.events_for(trace_id);
+    Ok((profile_rows(&events), plan.fingerprint))
+}
+
+/// Render a trace's events as wire rows, one per span, depth-indented in
+/// tree order (parents before children, siblings in start order).
+fn profile_rows(events: &[TraceEvent]) -> WireRows {
+    let depth_of = |mut parent: u64| {
+        let mut depth = 0usize;
+        while parent != 0 {
+            match events.iter().find(|e| e.span_id == parent) {
+                Some(p) => {
+                    depth += 1;
+                    parent = p.parent_id;
+                }
+                None => break, // parent span lost to ring overwrite
+            }
+        }
+        depth
+    };
+    let rows = events
+        .iter()
+        .map(|ev| {
+            vec![
+                Value::Str(format!(
+                    "{:indent$}{}",
+                    "",
+                    ev.stage,
+                    indent = depth_of(ev.parent_id) * 2
+                )),
+                Value::Int(ev.start_us as i64),
+                Value::Int(ev.dur_us as i64),
+                Value::Int(ev.c0 as i64),
+                Value::Int(ev.c1 as i64),
+                Value::Int(ev.span_id as i64),
+                Value::Int(ev.parent_id as i64),
+            ]
+        })
+        .collect();
+    WireRows {
+        columns: vec![
+            "stage".into(),
+            "start_us".into(),
+            "dur_us".into(),
+            "c0".into(),
+            "c1".into(),
+            "span".into(),
+            "parent".into(),
+        ],
+        rows,
+    }
 }
 
 fn respond_query(
@@ -677,20 +889,34 @@ fn respond_query(
     pool: &str,
     pinned: bool,
 ) -> ServerResult<()> {
+    let start = Instant::now();
     match run_query(shared, session, pool, pinned) {
-        Ok(rows) => write_msg(writer, &Response::Rows(rows)),
+        Ok((rows, fingerprint)) => {
+            let elapsed = start.elapsed();
+            if elapsed >= shared.slow_query_threshold {
+                // The thread's current trace scope is the request root span
+                // set up in `run_session`/`run_unit`, so the entry links to
+                // the span tree still held by the trace ring.
+                shared.slow_log.push(SlowLogEntry {
+                    session: session.id,
+                    query: pool.to_string(),
+                    context: session.context.clone(),
+                    trace_id: Recorder::current().0,
+                    fingerprint,
+                    dur_us: elapsed.as_micros() as u64,
+                    rows: rows.len() as u64,
+                    pinned,
+                });
+            }
+            write_msg(writer, &Response::Rows(rows))
+        }
         Err(e) => db_error(shared, writer, e.to_string()),
     }
 }
 
 /// Server counters plus the query executor's, as one wire-ready snapshot.
 fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
-    let mut snap = shared.metrics.snapshot();
-    let exec = shared.executor.stats();
-    snap.plan_cache_hits = exec.plan_cache_hits;
-    snap.plan_cache_misses = exec.plan_cache_misses;
-    snap.parallel_morsels = exec.parallel_morsels;
-    snap
+    shared.metrics.snapshot(&shared.executor.stats())
 }
 
 fn write_stats(shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) -> ServerResult<()> {

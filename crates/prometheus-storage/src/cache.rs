@@ -96,7 +96,8 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             self.attach_front(idx);
             return None;
         }
-        let evicted = if self.map.len() >= self.capacity {
+
+        if self.map.len() >= self.capacity {
             let victim = self.tail;
             self.detach(victim);
             let slot = &mut self.slots[victim];
@@ -134,8 +135,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             self.map.insert(key, idx);
             self.attach_front(idx);
             None
-        };
-        evicted
+        }
     }
 
     /// Remove `key` from the cache, returning its value.

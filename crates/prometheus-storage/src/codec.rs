@@ -98,7 +98,7 @@ impl Serializer {
     }
 }
 
-impl<'a> ser::Serializer for &'a mut Serializer {
+impl ser::Serializer for &mut Serializer {
     type Ok = ();
     type Error = StorageError;
     type SerializeSeq = Self;
@@ -267,7 +267,7 @@ forward_compound!(SerializeTuple, serialize_element);
 forward_compound!(SerializeTupleStruct, serialize_field);
 forward_compound!(SerializeTupleVariant, serialize_field);
 
-impl<'a> ser::SerializeMap for &'a mut Serializer {
+impl ser::SerializeMap for &mut Serializer {
     type Ok = ();
     type Error = StorageError;
     fn serialize_key<T: ?Sized + Serialize>(&mut self, key: &T) -> StorageResult<()> {
@@ -281,7 +281,7 @@ impl<'a> ser::SerializeMap for &'a mut Serializer {
     }
 }
 
-impl<'a> ser::SerializeStruct for &'a mut Serializer {
+impl ser::SerializeStruct for &mut Serializer {
     type Ok = ();
     type Error = StorageError;
     fn serialize_field<T: ?Sized + Serialize>(
@@ -296,7 +296,7 @@ impl<'a> ser::SerializeStruct for &'a mut Serializer {
     }
 }
 
-impl<'a> ser::SerializeStructVariant for &'a mut Serializer {
+impl ser::SerializeStructVariant for &mut Serializer {
     type Ok = ();
     type Error = StorageError;
     fn serialize_field<T: ?Sized + Serialize>(
@@ -368,7 +368,7 @@ macro_rules! de_signed {
     };
 }
 
-impl<'de, 'a> de::Deserializer<'de> for &'a mut Deserializer<'de> {
+impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
     type Error = StorageError;
 
     fn deserialize_any<V: Visitor<'de>>(self, _visitor: V) -> StorageResult<V::Value> {
@@ -653,7 +653,7 @@ mod tests {
 
     #[test]
     fn primitives_round_trip() {
-        assert_eq!(round_trip(&true), true);
+        assert!(round_trip(&true));
         assert_eq!(round_trip(&0u64), 0);
         assert_eq!(round_trip(&u64::MAX), u64::MAX);
         assert_eq!(round_trip(&i64::MIN), i64::MIN);

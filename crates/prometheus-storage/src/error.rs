@@ -74,7 +74,7 @@ mod tests {
 
     #[test]
     fn io_error_is_wrapped_and_sourced() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let e: StorageError = io.into();
         assert!(matches!(e, StorageError::Io(_)));
         assert!(std::error::Error::source(&e).is_some());

@@ -113,6 +113,7 @@ impl LogWriter {
     pub fn open(path: &Path, valid_len: u64) -> StorageResult<Self> {
         let file = OpenOptions::new()
             .create(true)
+            .truncate(false) // recovery truncates precisely, via set_len below
             .read(true)
             .write(true)
             .open(path)?;

@@ -17,6 +17,7 @@ use crate::oid::{Oid, OidAllocator};
 use crate::stats::Stats;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
+use prometheus_trace::{Recorder, Stage};
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
@@ -220,6 +221,9 @@ pub struct Store {
     stats: Arc<Stats>,
     options: StoreOptions,
     path: PathBuf,
+    /// Span recorder for commit/fsync/compact timing; disabled by default,
+    /// installed by the embedding layer (see [`Store::set_recorder`]).
+    recorder: RwLock<Recorder>,
 }
 
 impl Store {
@@ -321,6 +325,7 @@ impl Store {
             stats: Arc::new(Stats::default()),
             options,
             path,
+            recorder: RwLock::new(Recorder::disabled()),
         })
     }
 
@@ -373,7 +378,9 @@ impl Store {
             inner.logw.append(&LogRecord::UnitEnd { unit, committed })?;
             Stats::bump(&self.stats.log_appends);
             if self.options.sync_on_commit {
+                let span = self.recorder.read().span(Stage::Fsync);
                 inner.logw.sync()?;
+                span.finish(1, 0); // c0 = 1: the unit's single deferred fsync
                 Stats::bump(&self.stats.syncs);
             } else {
                 inner.logw.flush()?;
@@ -381,6 +388,19 @@ impl Store {
         }
         self.publish(&inner);
         Ok(())
+    }
+
+    /// Install the span recorder used for commit/fsync/compact spans. The
+    /// same recorder is normally shared with the executor and server so all
+    /// layers append to one ring.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        *self.recorder.write() = recorder;
+    }
+
+    /// The installed span recorder (disabled unless [`Store::set_recorder`]
+    /// was called).
+    pub fn recorder(&self) -> Recorder {
+        self.recorder.read().clone()
     }
 
     /// Allocate a fresh, never-used OID.
@@ -466,6 +486,7 @@ impl Store {
     /// Rewrite the log so it contains exactly the live image, as a single
     /// committed transaction. Reclaims space occupied by superseded records.
     pub fn compact(&self) -> StorageResult<()> {
+        let span = self.recorder.read().span(Stage::Compact);
         let mut inner = self.inner.lock();
         if inner.hold_depth > 0 {
             return Err(StorageError::TxnState(
@@ -510,6 +531,7 @@ impl Store {
         // Reopen the writer positioned at the end of the compacted log.
         let scan = log::scan(&self.path)?;
         inner.logw = LogWriter::open(&self.path, scan.valid_len)?;
+        span.finish(inner.image.record_count() as u64, scan.valid_len);
         Ok(())
     }
 
@@ -518,6 +540,8 @@ impl Store {
         staged_records: &HashMap<Oid, Option<Bytes>>,
         staged_kv: &BTreeMap<(u8, Vec<u8>), Option<Vec<u8>>>,
     ) -> StorageResult<()> {
+        let rec = self.recorder.read().clone();
+        let commit_span = rec.span(Stage::Commit);
         let mut inner = self.inner.lock();
         if inner.hold_depth > 0 && inner.active_unit.is_none() {
             // First commit inside a unit scope: open the atomic group in the
@@ -580,7 +604,9 @@ impl Store {
             appends += 1;
         }
         if self.options.sync_on_commit && inner.hold_depth == 0 {
+            let fsync_span = rec.span_in(Stage::Fsync, commit_span.trace_id(), commit_span.id());
             inner.logw.sync()?;
+            fsync_span.finish(0, 0); // c0 = 0: immediate per-commit fsync
             Stats::bump(&self.stats.syncs);
         } else {
             // Inside a unit scope durability is deferred to the unit's seal:
@@ -597,6 +623,7 @@ impl Store {
         if inner.hold_depth == 0 {
             self.publish(&inner);
         }
+        commit_span.finish(appends, bytes_written);
         Ok(())
     }
 }

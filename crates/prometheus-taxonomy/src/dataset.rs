@@ -303,7 +303,7 @@ pub fn random_flora(tax: &Taxonomy, params: &FloraParams, seed: u64) -> DbResult
                 let nt = tax.create_nt(
                     &format!("species{f}x{g}x{sp}"),
                     Rank::Species,
-                    1700 + rng.gen_range(0..300) as i32,
+                    1700 + rng.gen_range(0..300),
                     "Gen.",
                 )?;
                 for k in 0..params.specimens_per_species {

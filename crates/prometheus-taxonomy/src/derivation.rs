@@ -102,7 +102,7 @@ pub fn derive_names(
                 continue;
             }
             let year = tax.year_of(*nt)?.unwrap_or(i32::MAX);
-            if chosen.map_or(true, |(y, o)| (year, *nt) < (y, o)) {
+            if chosen.is_none_or(|(y, o)| (year, *nt) < (y, o)) {
                 chosen = Some((year, *nt));
             }
         }

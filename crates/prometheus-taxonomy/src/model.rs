@@ -204,7 +204,7 @@ impl Taxonomy {
         let mut best: Option<(u8, Oid)> = None;
         for (kind, target) in self.types_of(nt)? {
             if let Some(p) = kind.naming_priority() {
-                if best.map_or(true, |(bp, _)| p < bp) {
+                if best.is_none_or(|(bp, _)| p < bp) {
                     best = Some((p, target));
                 }
             }

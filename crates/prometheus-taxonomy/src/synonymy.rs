@@ -49,12 +49,12 @@ pub fn taxon_type(tax: &Taxonomy, cls: &Classification, ct: Oid) -> DbResult<Opt
         let mut oldest_name_year: Option<i32> = None;
         for nt in tax.names_typified_by(specimen)? {
             let year = tax.year_of(nt)?.unwrap_or(i32::MAX);
-            if oldest_name_year.map_or(true, |y| year < y) {
+            if oldest_name_year.is_none_or(|y| year < y) {
                 oldest_name_year = Some(year);
             }
         }
         if let Some(year) = oldest_name_year {
-            if best.map_or(true, |(y, o)| (year, specimen) < (y, o)) {
+            if best.is_none_or(|(y, o)| (year, specimen) < (y, o)) {
                 best = Some((year, specimen));
             }
         }

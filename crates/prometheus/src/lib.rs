@@ -44,6 +44,8 @@ pub use prometheus_storage as storage;
 pub use prometheus_storage::{Stats, StatsSnapshot};
 pub use prometheus_taxonomy as taxonomy;
 pub use prometheus_taxonomy::{Rank, Taxonomy, TypeKind};
+pub use prometheus_trace as trace;
+pub use prometheus_trace::{Recorder, Stage, TraceEvent, TraceScope};
 
 use std::path::Path;
 use std::sync::Arc;
@@ -78,6 +80,22 @@ impl Prometheus {
     /// The rule engine.
     pub fn rules(&self) -> &Arc<RuleEngine> {
         &self.engine
+    }
+
+    /// Install one span [`Recorder`] across every layer this handle owns:
+    /// the store (commit/fsync/compact spans) and the rule engine (rule
+    /// firing). Embedders that also run a [`pool::Executor`] or a wire
+    /// server share the same recorder with those, so a single ring holds a
+    /// request's whole span tree.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        self.db.store().set_recorder(recorder.clone());
+        self.engine.set_recorder(recorder);
+    }
+
+    /// The store's installed recorder (disabled unless
+    /// [`Prometheus::set_recorder`] was called).
+    pub fn recorder(&self) -> Recorder {
+        self.db.store().recorder()
     }
 
     /// Install (idempotently) the Prometheus taxonomic schema and return the

@@ -16,6 +16,9 @@
 //! pool> select t from CT t          // now only taxonomist-1's taxa
 //! pool> \context                    // clear
 //! pool> \stats                      // server + storage counters, over the wire
+//! pool> \profile select t from CT t // span tree for one execution
+//! pool> \trace 20                   // newest span events from the trace ring
+//! pool> \slowlog 10                 // slow-query log with plan fingerprints
 //! pool> \quit
 //! ```
 
@@ -45,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         handle.addr()
     );
     println!("Classifications: Raguenaud 2000, taxonomist-1..4. Classes: NT, CT, Specimen.");
-    println!("Commands: \\context [name], \\stats, \\quit.");
+    println!(
+        "Commands: \\context [name], \\stats, \\profile <query>, \\trace [n], \
+         \\slowlog [n], \\quit. Also: explain <query>, profile <query>."
+    );
 
     let stdin = std::io::stdin();
     loop {
@@ -75,6 +81,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             continue;
         }
+        if let Some(q) = line.strip_prefix("\\profile ") {
+            match client.query(&format!("profile {}", q.trim())) {
+                Ok(rows) => print_rows(&rows),
+                Err(ServerError::Remote { message, .. }) => println!("error: {message}"),
+                Err(e) => return Err(e.into()),
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\trace") {
+            let n: u32 = rest.trim().parse().unwrap_or(20);
+            let events = client.trace(n)?;
+            if events.is_empty() {
+                println!("trace ring is empty (tracing may be disabled)");
+            } else {
+                print!("{}", prometheus_trace::render_tree(&events));
+                println!("({} span(s))", events.len());
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\\slowlog") {
+            let n: u32 = rest.trim().parse().unwrap_or(10);
+            let entries = client.slow_log(n)?;
+            if entries.is_empty() {
+                println!("slow log is empty (raise traffic or lower the threshold)");
+            }
+            for e in &entries {
+                println!(
+                    "{:>8} µs  {} row(s)  fp {:016x}  trace {:016x}  session {}{}  {}",
+                    e.dur_us,
+                    e.rows,
+                    e.fingerprint,
+                    e.trace_id,
+                    e.session,
+                    e.context
+                        .as_deref()
+                        .map(|c| format!("  [{c}]"))
+                        .unwrap_or_default(),
+                    e.query,
+                );
+            }
+            continue;
+        }
         if line == "\\stats" {
             let (server, storage) = client.stats()?;
             println!(
@@ -99,14 +147,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         match client.query(line) {
-            Ok(rows) => {
-                println!("{}", rows.columns.join(" | "));
-                for row in &rows.rows {
-                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
-                    println!("{}", cells.join(" | "));
-                }
-                println!("({} row(s))", rows.len());
-            }
+            Ok(rows) => print_rows(&rows),
             Err(ServerError::Remote { message, .. }) => println!("error: {message}"),
             Err(e) => return Err(e.into()),
         }
@@ -114,4 +155,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     client.close()?;
     handle.stop();
     Ok(())
+}
+
+fn print_rows(rows: &prometheus_server::WireRows) {
+    println!("{}", rows.columns.join(" | "));
+    for row in &rows.rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join(" | "));
+    }
+    println!("({} row(s))", rows.len());
 }

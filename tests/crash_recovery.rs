@@ -245,12 +245,11 @@ fn every_log_truncation_point_recovers_cleanly() {
         for oid in &cts {
             let obj = p.db().object(*oid).unwrap();
             let name = obj.attr("working_name");
-            assert_eq!(
+            assert!(
                 p.db()
                     .find_by_attr("CT", "working_name", &name)
                     .unwrap()
                     .contains(oid),
-                true,
                 "index out of sync at truncation {cut}"
             );
         }
