@@ -73,7 +73,14 @@ pub fn lex(input: &str) -> Result<Vec<Token>, String> {
     let mut tokens = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
-        let c = bytes[i] as char;
+        // Decode the real char: casting a multibyte lead byte would
+        // misclassify it (0xC3 reads as 'Ã') and later slices would land
+        // off a char boundary. Every arm advances `i` by whole chars, so
+        // `i` is always a boundary here.
+        let c = input[i..]
+            .chars()
+            .next()
+            .ok_or_else(|| format!("invalid char boundary at byte {i}"))?;
         match c {
             ' ' | '\t' | '\r' | '\n' => i += 1,
             '(' => {
@@ -237,9 +244,15 @@ pub fn lex(input: &str) -> Result<Vec<Token>, String> {
             }
             c if c.is_alphabetic() || c == '_' => {
                 let start = i;
-                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
-                {
-                    i += 1;
+                // Walk whole chars: a byte-wise scan would halt on the
+                // continuation byte of a multibyte identifier char and the
+                // slice below would panic mid-codepoint.
+                for ch in input[start..].chars() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        i += ch.len_utf8();
+                    } else {
+                        break;
+                    }
                 }
                 tokens.push(Token::Ident(input[start..i].to_string()));
             }
@@ -252,6 +265,19 @@ pub fn lex(input: &str) -> Result<Vec<Token>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn multibyte_identifiers_lex_without_panicking() {
+        // 'é' is two bytes; the byte-wise ident scan used to stop on its
+        // continuation byte and slice mid-codepoint.
+        let tokens = lex("profilé x").unwrap();
+        assert_eq!(
+            tokens,
+            vec![Token::Ident("profilé".into()), Token::Ident("x".into())]
+        );
+        // Non-alphabetic multibyte chars are a lex error, not a panic.
+        assert!(lex("select €").is_err());
+    }
 
     #[test]
     fn basic_query_tokens() {

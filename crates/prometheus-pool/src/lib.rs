@@ -109,8 +109,12 @@ pub fn split_statement(input: &str) -> (StatementKind, &str) {
         ("explain", StatementKind::Explain),
         ("profile", StatementKind::Profile),
     ] {
+        // Compare bytes, not a `str` slice: `verb.len()` need not be a char
+        // boundary of arbitrary wire input (e.g. `profilé x`), and slicing
+        // off-boundary panics. A byte match implies the prefix is ASCII, so
+        // the slice below is boundary-safe.
         if trimmed.len() > verb.len()
-            && trimmed[..verb.len()].eq_ignore_ascii_case(verb)
+            && trimmed.as_bytes()[..verb.len()].eq_ignore_ascii_case(verb.as_bytes())
             && trimmed.as_bytes()[verb.len()].is_ascii_whitespace()
         {
             return (kind, trimmed[verb.len()..].trim_start());
@@ -189,6 +193,21 @@ mod tests {
         assert_eq!(text, "explainer");
         let (kind, _) = split_statement("profile");
         assert_eq!(kind, StatementKind::Select);
+    }
+
+    #[test]
+    fn multibyte_input_near_a_verb_boundary_does_not_panic() {
+        // `é` is two bytes straddling the would-be slice at byte 7; this
+        // used to panic on a non-char-boundary `str` slice.
+        let (kind, text) = split_statement("profilé x");
+        assert_eq!(kind, StatementKind::Select);
+        assert_eq!(text, "profilé x");
+        let (kind, _) = split_statement("explaiñ y");
+        assert_eq!(kind, StatementKind::Select);
+        // A multibyte char *after* the verb is fine and still splits.
+        let (kind, text) = split_statement("profile séance");
+        assert_eq!(kind, StatementKind::Profile);
+        assert_eq!(text, "séance");
     }
 
     #[test]

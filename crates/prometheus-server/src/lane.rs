@@ -45,10 +45,17 @@ impl TicketLane {
     /// with [`TicketLane::wait`]. Split from acquisition so callers (and
     /// tests) can fix the grant order before anyone starts waiting.
     pub fn ticket(&self) -> u64 {
+        self.ticket_with_distance().0
+    }
+
+    /// Draw a ticket and also report its distance from the head of the
+    /// queue at draw time — how many earlier holders must release before
+    /// this ticket is served (0 = the lane is free right now).
+    pub fn ticket_with_distance(&self) -> (u64, u64) {
         let mut state = lock(&self.state);
         let t = state.next;
         state.next += 1;
-        t
+        (t, t - state.serving)
     }
 
     /// Block until `ticket` is at the head of the queue, then hold the lane.

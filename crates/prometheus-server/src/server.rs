@@ -326,8 +326,12 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
         .connections_active
         .fetch_add(1, Ordering::Relaxed);
     // Session errors are per-connection: counted in metrics, never fatal to
-    // the server.
-    let _ = run_session(shared, id, stream);
+    // the server. That includes panics — a worker thread serves many
+    // connections over its lifetime, so an unwinding session must not kill
+    // it (or skip the bookkeeping below).
+    let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_session(shared, id, stream)
+    }));
     lock(&shared.conns).remove(&id);
     shared
         .metrics
@@ -341,13 +345,15 @@ fn kind_code(kind: &str) -> u64 {
     REQUEST_KINDS.iter().position(|k| *k == kind).unwrap_or(0) as u64
 }
 
-/// Acquire the writer lane, timing the queue wait as a `lane_wait` span
-/// (`c0 = 1`: the lane really was taken — pinned queries record a synthetic
-/// zero-wait span with `c0 = 0` instead, see `profile_query`).
+/// Acquire the writer lane, timing the queue wait as a `lane_wait` span:
+/// `c0` is the ticket distance at draw time (holders ahead in the FIFO),
+/// `c1 = 1` marks a real acquisition — pinned queries record a synthetic
+/// zero-wait span with `c1 = 0` instead, see `profile_query`.
 fn acquire_lane(shared: &Shared) -> LaneGuard<'_> {
     let span = shared.recorder.span(Stage::LaneWait);
-    let guard = shared.writer_lane.acquire();
-    span.finish(1, 0);
+    let (ticket, distance) = shared.writer_lane.ticket_with_distance();
+    let guard = shared.writer_lane.wait(ticket);
+    span.finish(distance, 1);
     guard
 }
 
@@ -808,9 +814,9 @@ fn profile_query(
     let ran = {
         let _scope = TraceScope::enter(trace_id, root_id);
         // Pinned queries never touch the writer lane — record the zero wait
-        // explicitly (c0 = 0) so the profile shows the stage honestly
-        // instead of omitting it. In-unit profiles inherit the real lane
-        // wait from `run_unit`'s acquisition, outside this trace.
+        // explicitly (c1 = 0: synthetic) so the profile shows the stage
+        // honestly instead of omitting it. In-unit profiles inherit the real
+        // lane wait from `run_unit`'s acquisition, outside this trace.
         rec.span(Stage::LaneWait).finish(0, 0);
         // Both pinned and in-unit profiles go through the executor so the
         // plan cache, fingerprint and stage spans are all exercised; the

@@ -487,6 +487,24 @@ impl Store {
     /// committed transaction. Reclaims space occupied by superseded records.
     pub fn compact(&self) -> StorageResult<()> {
         let span = self.recorder.read().span(Stage::Compact);
+        // Only successful compactions belong in the ring: a refused or
+        // failed attempt did no work, so its span is discarded rather than
+        // recorded with zeroed counters on drop.
+        match self.compact_inner() {
+            Ok((live_records, log_len)) => {
+                span.finish(live_records, log_len);
+                Ok(())
+            }
+            Err(e) => {
+                span.cancel();
+                Err(e)
+            }
+        }
+    }
+
+    /// The fallible body of [`Store::compact`]; returns the live record
+    /// count and compacted log length for the caller's span counters.
+    fn compact_inner(&self) -> StorageResult<(u64, u64)> {
         let mut inner = self.inner.lock();
         if inner.hold_depth > 0 {
             return Err(StorageError::TxnState(
@@ -531,8 +549,7 @@ impl Store {
         // Reopen the writer positioned at the end of the compacted log.
         let scan = log::scan(&self.path)?;
         inner.logw = LogWriter::open(&self.path, scan.valid_len)?;
-        span.finish(inner.image.record_count() as u64, scan.valid_len);
-        Ok(())
+        Ok((inner.image.record_count() as u64, scan.valid_len))
     }
 
     fn commit_txn(

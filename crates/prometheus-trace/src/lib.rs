@@ -47,7 +47,9 @@ use std::time::Instant;
 pub enum Stage {
     /// One wire request, end to end (root span). c0 = request kind ordinal.
     Request = 0,
-    /// Time spent queued on the writer lane. c0 = ticket distance waited.
+    /// Time spent queued on the writer lane. c0 = ticket distance at draw
+    /// (holders ahead in the FIFO), c1 = 1 for a real acquisition
+    /// (0 = the synthetic zero-wait span a pinned-query profile records).
     LaneWait = 1,
     /// Plan-cache lookup. c0 = 1 on hit / 0 on miss, c1 = plan fingerprint.
     PlanCache = 2,
@@ -286,19 +288,25 @@ impl Recorder {
     }
 
     /// Record a fully-formed event into the ring. Lock-free: one
-    /// `fetch_add` claims a slot, the seqlock word publishes it.
+    /// `fetch_add` draws a slot, a compare-exchange on the slot's seqlock
+    /// word claims it, and the final even store publishes it.
     pub fn record(&self, ev: TraceEvent) {
         let Some(inner) = &self.inner else { return };
         let ticket = inner.cursor.fetch_add(1, Ordering::Relaxed);
         let slot = &inner.slots[(ticket % inner.slots.len() as u64) as usize];
-        // Claim: advance the sequence to odd. On the (benign) race where two
-        // writers lap each other onto the same slot, the loser's even/odd
-        // dance still leaves the slot either consistent or detectably torn.
-        let seq = slot.seq.fetch_add(1, Ordering::Acquire);
-        if seq % 2 == 1 {
-            // A lapped writer is mid-flight on this slot; drop the event
-            // rather than interleave two payloads under one sequence.
-            slot.seq.fetch_sub(1, Ordering::Release);
+        // Claim: advance the sequence even -> odd with a CAS, so the odd
+        // state only ever has a single owner. A blind fetch_add would let a
+        // lapped loser transiently restore an even sequence while the winner
+        // is still storing payload words, and a reader could then accept a
+        // torn event. Losers (slot already odd, or the CAS raced) drop the
+        // event without touching the sequence.
+        let seq = slot.seq.load(Ordering::Relaxed);
+        if seq % 2 == 1
+            || slot
+                .seq
+                .compare_exchange(seq, seq + 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+        {
             inner.dropped.fetch_add(1, Ordering::Relaxed);
             return;
         }
@@ -374,6 +382,11 @@ fn read_slot(slot: &Slot) -> Option<TraceEvent> {
         w[6].load(Ordering::Relaxed),
         w[7].load(Ordering::Relaxed),
     ];
+    // Standard seqlock reader protocol: an acquire *load* of `after` only
+    // orders later accesses, so on weakly ordered targets the relaxed
+    // payload loads above could sink past it. The fence pins them before
+    // the re-check.
+    std::sync::atomic::fence(Ordering::Acquire);
     let after = slot.seq.load(Ordering::Acquire);
     if before != after {
         return None; // torn: a writer replaced the slot while we copied

@@ -123,9 +123,11 @@ fn profile_returns_a_span_tree_with_all_stages() {
     // Filter (morsel execution): c1 is the worker count.
     let filter = row_of("filter");
     assert!(as_int(&filter[c1_col]) >= 1, "workers recorded: {filter:?}");
-    // Lane wait is synthetic for a pinned query: c0 = 0, zero wait.
+    // Lane wait is synthetic for a pinned query: c1 = 0 (never drew a
+    // ticket), c0 = 0 (no holders ahead of a wait that never happened).
     let lane = row_of("lane_wait");
-    assert_eq!(as_int(&lane[c0_col]), 0, "pinned query takes no lane");
+    assert_eq!(as_int(&lane[c0_col]), 0, "pinned query waits on nobody");
+    assert_eq!(as_int(&lane[c1_col]), 0, "pinned query takes no lane");
     // Tree shape: exactly one root (the request span), everything else
     // parented inside the same trace.
     let roots = profile
@@ -243,7 +245,7 @@ fn trace_request_returns_well_formed_spans() {
     assert!(
         events
             .iter()
-            .any(|ev| ev.stage == Stage::LaneWait && ev.c0 == 1),
+            .any(|ev| ev.stage == Stage::LaneWait && ev.c1 == 1),
         "a real lane acquisition is spanned: {events:?}"
     );
     assert!(
