@@ -15,6 +15,13 @@
 //! server when no address is given) and prints them — with
 //! `--format=prometheus`, in the Prometheus text exposition format, ready
 //! for a scrape endpoint or file-based collector.
+//!
+//! `replica <primary-addr> <data-path> [--addr ip:port] [--name s]` runs a
+//! read-only follower of a running primary: it replays the primary's redo
+//! log into `data-path`, serves POOL queries on `--addr` (default an
+//! ephemeral port, printed at startup), and reports its applied position
+//! once a second until killed. Restarting with the same `data-path`
+//! resumes from the local cursor.
 
 use prometheus_bench::ops;
 use prometheus_bench::report::{
@@ -29,6 +36,10 @@ fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("stats") {
         stats_section(&argv[1..]);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("replica") {
+        replica_section(&argv[1..]);
         return;
     }
     let section = argv.first().cloned().unwrap_or_else(|| "all".to_string());
@@ -455,6 +466,66 @@ fn ablation(out: &std::path::Path) {
     print!("{}", render_table("ablations (design-choice costs)", &rows));
     let _ = write_table_csv(&out.join("ablations.csv"), &rows);
     prom.cleanup();
+}
+
+/// `harness replica <primary-addr> <data-path> [--addr ip:port] [--name s]`
+///
+/// Run a read-only follower of a running primary until the process is
+/// killed. The follower owns `data-path` exclusively; point a second
+/// invocation at a different path. Status is printed once a second so an
+/// operator can watch the applied cursor and lag without a scrape setup.
+fn replica_section(argv: &[String]) {
+    use prometheus_replica::{Follower, FollowerConfig};
+
+    let mut positional = Vec::new();
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut name = format!("replica-{}", std::process::id());
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = v.clone(),
+                None => {
+                    eprintln!("replica: --addr needs a value");
+                    std::process::exit(2);
+                }
+            },
+            "--name" => match it.next() {
+                Some(v) => name = v.clone(),
+                None => {
+                    eprintln!("replica: --name needs a value");
+                    std::process::exit(2);
+                }
+            },
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [primary, path] = positional.as_slice() else {
+        eprintln!("usage: harness replica <primary-addr> <data-path> [--addr ip:port] [--name s]");
+        std::process::exit(2);
+    };
+
+    let mut config = FollowerConfig::new(primary.clone(), PathBuf::from(path));
+    config.addr = addr;
+    config.name = name.clone();
+    let follower = Follower::start(config).expect("start follower");
+    println!(
+        "replica '{name}' following {primary}; serving read-only queries on {}",
+        follower.addr()
+    );
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+        let s = follower.status();
+        println!(
+            "applied {} / {} bytes (epoch {}, lag {} B, resyncs {}, caught-up age {:.1}s)",
+            s.applied_offset(),
+            s.primary_log_len(),
+            s.epoch(),
+            s.lag_bytes(),
+            s.resyncs(),
+            s.caught_up_age_us() as f64 / 1e6,
+        );
+    }
 }
 
 /// `harness stats [--format=prometheus] [addr]`

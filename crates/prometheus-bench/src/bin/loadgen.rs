@@ -26,6 +26,15 @@
 //!   non-empty and well-formed (spans carry ids, the request/commit stages
 //!   appear, slow-log entries carry fingerprints). Exit 1 on any miss —
 //!   this is the CI gate for the tracing path.
+//! * **replication** — a primary plus in-process log-shipping followers:
+//!   one writer streams units at the primary throughout while the same
+//!   read workload runs twice — first with every reader on the primary,
+//!   then fanned across the followers. A sampler thread watches the
+//!   primary's per-follower lag gauges the whole time; the report is
+//!   primary-only vs fanned read throughput, lag percentiles (bytes), and
+//!   whether lag converged back to zero once the writer stopped — written
+//!   to `BENCH_replication.json`, exit 1 on any failure or an unconverged
+//!   follower.
 //!
 //! ```text
 //! cargo run --release -p prometheus-bench --bin loadgen                # mixed defaults
@@ -35,6 +44,8 @@
 //! cargo run --release -p prometheus-bench --bin loadgen -- parallel 4000 5 8
 //! #                                                        objects iters workers
 //! cargo run --release -p prometheus-bench --bin loadgen -- trace-smoke
+//! cargo run --release -p prometheus-bench --bin loadgen -- replication 4 150 2
+//! #                                                        readers ops followers
 //! ```
 
 use prometheus_bench::report::{percentile_us, render_latency_summary};
@@ -115,6 +126,7 @@ fn main() {
         Some("contention") => contention(&argv[1..]),
         Some("parallel") => parallel(&argv[1..]),
         Some("trace-smoke") => trace_smoke(&argv[1..]),
+        Some("replication") => replication(&argv[1..]),
         _ => mixed(parse_args(&argv)),
     }
 }
@@ -518,6 +530,277 @@ fn contention(argv: &[String]) {
         std::process::exit(1);
     }
     println!("OK: zero reader failures, zero protocol errors.");
+}
+
+/// Like [`run_readers`], but reader `i` connects to `addrs[i % addrs.len()]`
+/// — the fan-out the replication scenario uses to spread reads across
+/// followers.
+fn run_readers_across(addrs: &[SocketAddr], readers: usize, ops: usize) -> (Vec<u64>, usize) {
+    let mut threads = Vec::new();
+    for reader_id in 0..readers {
+        let addr = addrs[reader_id % addrs.len()];
+        threads.push(std::thread::spawn(move || {
+            let mut client = PrometheusClient::connect(addr)?;
+            let mut rng = StdRng::seed_from_u64(0xFA11 ^ reader_id as u64);
+            let mut samples: Vec<u64> = Vec::with_capacity(ops);
+            for _ in 0..ops {
+                let q = QUERIES[rng.gen_range(0..QUERIES.len())];
+                let start = Instant::now();
+                client.query(q)?;
+                samples.push(start.elapsed().as_micros() as u64);
+            }
+            client.close()?;
+            Ok::<_, prometheus_server::ServerError>(samples)
+        }));
+    }
+    let mut merged = Vec::new();
+    let mut failures = 0usize;
+    for t in threads {
+        match t.join() {
+            Ok(Ok(samples)) => merged.extend(samples),
+            Ok(Err(e)) => {
+                failures += 1;
+                eprintln!("reader error: {e}");
+            }
+            Err(_) => {
+                failures += 1;
+                eprintln!("reader thread panicked");
+            }
+        }
+    }
+    merged.sort_unstable();
+    (merged, failures)
+}
+
+/// Primary + log-shipping followers under a steady write stream: measure
+/// how far follower reads scale query throughput, and what replication lag
+/// looks like while it happens.
+fn replication(argv: &[String]) {
+    use prometheus_replica::{Follower, FollowerConfig};
+    use std::time::Duration;
+
+    let num =
+        |i: usize, default: usize| argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(default);
+    let readers = num(0, 4).max(1);
+    let ops = num(1, 150).max(1);
+    let follower_count = num(2, 2).clamp(1, 8);
+
+    let (handle, path) = boot_seeded_server("replication", readers + 2);
+    let addr = handle.addr();
+    println!(
+        "loadgen replication: {readers} readers × {ops} ops, 1 writer, \
+         {follower_count} followers of {addr}"
+    );
+
+    // A fixed churn pool the writer will update in place: the redo log (and
+    // so the replication stream) keeps flowing, but the table size — and so
+    // the read workload's cost — stays identical across both phases.
+    let churn_pool: Vec<_> = {
+        let mut seeder = PrometheusClient::connect(addr).expect("connect seeder");
+        let pool = seeder
+            .unit_batch(
+                (0..64)
+                    .map(|i| MutationOp::CreateObject {
+                        class: "CT".into(),
+                        attrs: vec![
+                            ("working_name".into(), Value::Str(format!("Churn-{i:03}"))),
+                            ("rank".into(), Value::Str("Species".into())),
+                        ],
+                    })
+                    .collect(),
+            )
+            .expect("seed churn pool");
+        let _ = seeder.close();
+        pool
+    };
+
+    let mut followers = Vec::new();
+    let mut follower_paths = Vec::new();
+    for i in 0..follower_count {
+        let fpath = std::env::temp_dir().join(format!(
+            "prometheus-loadgen-replica-{i}-{}.db",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&fpath);
+        let mut config = FollowerConfig::new(addr.to_string(), &fpath);
+        config.name = format!("bench-{i}");
+        config.poll_interval = Duration::from_millis(10);
+        config.max_batch_bytes = 64 * 1024;
+        followers.push(Follower::start(config).expect("start follower"));
+        follower_paths.push(fpath);
+    }
+    for f in &followers {
+        assert!(
+            f.wait_caught_up(Duration::from_secs(30)),
+            "follower failed to catch up with the seed data"
+        );
+    }
+    let follower_addrs: Vec<SocketAddr> = followers.iter().map(|f| f.addr()).collect();
+
+    // One writer streams units at the primary for the whole run, so both
+    // read phases — and the lag samples — happen under live replication.
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut client = PrometheusClient::connect(addr)?;
+            let mut units = 0u64;
+            let mut serial = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let mut unit = client.begin_unit()?;
+                for k in 0..32usize {
+                    serial += 1;
+                    let oid = churn_pool[(units as usize * 32 + k) % churn_pool.len()];
+                    unit.set_attr(oid, "working_name", Value::Str(format!("Churn-{serial}")))?;
+                }
+                unit.commit()?;
+                units += 1;
+            }
+            client.close()?;
+            Ok::<_, prometheus_server::ServerError>(units)
+        })
+    };
+    // Lag sampler: the primary's own per-follower gauges, every few ms.
+    let sampler = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut observer = PrometheusClient::connect(addr)?;
+            let mut samples: Vec<u64> = Vec::new();
+            while !stop.load(Ordering::Relaxed) {
+                let (server, _) = observer.stats()?;
+                for f in &server.replication {
+                    samples.push(f.lag_bytes);
+                }
+                std::thread::sleep(Duration::from_millis(3));
+            }
+            observer.close()?;
+            Ok::<_, prometheus_server::ServerError>(samples)
+        })
+    };
+
+    let wall = Instant::now();
+    // Phase 1: every reader on the primary — the no-replica baseline.
+    let (primary_lat, primary_failures) = run_readers_across(&[addr], readers, ops);
+    let primary_secs = wall.elapsed().as_secs_f64();
+    // Phase 2: the same read workload fanned across the followers.
+    let fanned_start = Instant::now();
+    let (fanned_lat, fanned_failures) = run_readers_across(&follower_addrs, readers, ops);
+    let fanned_secs = fanned_start.elapsed().as_secs_f64();
+
+    stop.store(true, Ordering::Relaxed);
+    let (writer_units, writer_failed) = match writer.join() {
+        Ok(Ok(units)) => (units, false),
+        Ok(Err(e)) => {
+            eprintln!("writer error: {e}");
+            (0, true)
+        }
+        Err(_) => {
+            eprintln!("writer thread panicked");
+            (0, true)
+        }
+    };
+    let mut lag_samples = match sampler.join() {
+        Ok(Ok(samples)) => samples,
+        _ => {
+            eprintln!("lag sampler failed");
+            Vec::new()
+        }
+    };
+
+    // Writer stopped: every follower must converge back to zero lag, as
+    // seen from the primary's own gauges (which measure against the live
+    // commit horizon, so a follower is only "caught up" once it has polled
+    // past the writer's final unit).
+    let mut observer = PrometheusClient::connect(addr).expect("connect for stats");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let (mut server, mut storage) = observer.stats().expect("fetch stats");
+    while server.replication.iter().any(|f| f.lag_bytes > 0) && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+        (server, storage) = observer.stats().expect("fetch stats");
+    }
+    let _ = observer.close();
+    let converged = server.replication.iter().all(|f| f.lag_bytes == 0);
+    if !converged {
+        for f in &server.replication {
+            eprintln!(
+                "follower {} never converged: {} bytes behind",
+                f.follower, f.lag_bytes
+            );
+        }
+    }
+    // The primary's exposition must carry the per-follower lag gauges — the
+    // scrape surface operators actually watch.
+    let exposition = prometheus_bench::report::render_prometheus_exposition(&server, &storage);
+    let exposes_lag = exposition.contains("prometheus_server_replication_follower_lag_bytes{");
+    let final_lag: u64 = server.replication.iter().map(|f| f.lag_bytes).sum();
+
+    lag_samples.sort_unstable();
+    let saw_lag = lag_samples.iter().any(|&l| l > 0);
+    let primary_qps = primary_lat.len() as f64 / primary_secs.max(1e-9);
+    let fanned_qps = fanned_lat.len() as f64 / fanned_secs.max(1e-9);
+    let scaling = fanned_qps / primary_qps.max(1e-9);
+
+    println!();
+    println!(
+        "{}",
+        render_latency_summary("primary", &primary_lat, primary_secs)
+    );
+    println!(
+        "{}",
+        render_latency_summary("fanned", &fanned_lat, fanned_secs)
+    );
+    println!();
+    println!(
+        "throughput: primary-only {primary_qps:.0} q/s, fanned {fanned_qps:.0} q/s \
+         ({scaling:.2}x across {follower_count} followers)"
+    );
+    println!(
+        "lag: {} samples, p50 {} B, p99 {} B, max {} B; saw lag: {saw_lag}; \
+         converged to {final_lag} B; exposition gauges: {exposes_lag}",
+        lag_samples.len(),
+        percentile_us(&lag_samples, 0.50),
+        percentile_us(&lag_samples, 0.99),
+        lag_samples.last().copied().unwrap_or(0),
+    );
+    println!("writer: {writer_units} units shipped while reads ran");
+
+    let json = format!(
+        "{{\n  \"scenario\": \"replication\",\n  \"readers\": {readers},\n  \
+         \"ops_per_reader\": {ops},\n  \"followers\": {follower_count},\n  \
+         \"primary_qps\": {primary_qps:.2},\n  \"fanned_qps\": {fanned_qps:.2},\n  \
+         \"read_scaling\": {scaling:.3},\n  \
+         \"lag_p50_bytes\": {},\n  \"lag_p99_bytes\": {},\n  \"lag_max_bytes\": {},\n  \
+         \"lag_saw_nonzero\": {saw_lag},\n  \"lag_final_bytes\": {final_lag},\n  \
+         \"lag_converged\": {converged},\n  \
+         \"writer_units_committed\": {writer_units},\n  \
+         \"exposition_has_follower_gauges\": {exposes_lag}\n}}\n",
+        percentile_us(&lag_samples, 0.50),
+        percentile_us(&lag_samples, 0.99),
+        lag_samples.last().copied().unwrap_or(0),
+    );
+    std::fs::write("BENCH_replication.json", &json).expect("write BENCH_replication.json");
+    println!("\nwrote BENCH_replication.json");
+
+    for f in followers {
+        f.stop();
+    }
+    handle.stop();
+    let _ = std::fs::remove_file(&path);
+    for p in follower_paths {
+        let _ = std::fs::remove_file(p);
+    }
+
+    let failures = primary_failures + fanned_failures;
+    if failures > 0 || writer_failed || !converged || !exposes_lag || server.protocol_errors > 0 {
+        eprintln!(
+            "FAILED: {failures} reader failures, writer failed: {writer_failed}, \
+             converged: {converged}, exposition gauges: {exposes_lag}, \
+             {} protocol errors",
+            server.protocol_errors
+        );
+        std::process::exit(1);
+    }
+    println!("OK: followers converged, reads fanned out, zero failures.");
 }
 
 /// Queries for the `parallel` scenario, chosen to hit every morsel-parallel

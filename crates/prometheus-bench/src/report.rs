@@ -299,6 +299,73 @@ pub fn render_prometheus_exposition(server: &MetricsSnapshot, storage: &StatsSna
         "prometheus_server_request_latency_us_count {}",
         hist.count
     );
+
+    if !server.latency_by_class.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP prometheus_server_request_class_latency_us Request latency (µs) by request class."
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE prometheus_server_request_class_latency_us histogram"
+        );
+        for (class, hist) in &server.latency_by_class {
+            let mut cumulative = 0u64;
+            for (i, &n) in hist.counts.iter().enumerate() {
+                cumulative += n;
+                let le = match hist.bounds_us.get(i) {
+                    Some(bound) => bound.to_string(),
+                    None => "+Inf".into(),
+                };
+                let _ = writeln!(
+                    out,
+                    "prometheus_server_request_class_latency_us_bucket{{class=\"{class}\",le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "prometheus_server_request_class_latency_us_sum{{class=\"{class}\"}} {}",
+                hist.sum_us
+            );
+            let _ = writeln!(
+                out,
+                "prometheus_server_request_class_latency_us_count{{class=\"{class}\"}} {}",
+                hist.count
+            );
+        }
+    }
+
+    if !server.replication.is_empty() {
+        type GaugeSpec = (
+            &'static str,
+            &'static str,
+            fn(&prometheus_server::FollowerLag) -> u64,
+        );
+        let gauges: [GaugeSpec; 3] = [
+            (
+                "prometheus_server_replication_follower_lag_bytes",
+                "Committed redo-log bytes a follower has not pulled yet.",
+                |f| f.lag_bytes,
+            ),
+            (
+                "prometheus_server_replication_follower_next_offset",
+                "The log offset a follower will poll next.",
+                |f| f.next_offset,
+            ),
+            (
+                "prometheus_server_replication_follower_last_poll_age_us",
+                "Micros since a follower last polled; large means it is gone.",
+                |f| f.last_poll_age_us,
+            ),
+        ];
+        for (name, help, value) in gauges {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for f in &server.replication {
+                let _ = writeln!(out, "{name}{{follower=\"{}\"}} {}", f.follower, value(f));
+            }
+        }
+    }
     out
 }
 
@@ -408,6 +475,17 @@ mod tests {
         server.latency.counts[LATENCY_BUCKETS - 1] = 1;
         server.latency.count = 6;
         server.latency.sum_us = 2_000_100;
+        let mut query_hist = server.latency.clone();
+        query_hist.counts[LATENCY_BUCKETS - 1] = 0;
+        query_hist.count = 5;
+        server.latency_by_class = vec![("query".into(), query_hist)];
+        server.replication = vec![prometheus_server::FollowerLag {
+            follower: "replica-a".into(),
+            next_offset: 100,
+            log_len: 400,
+            lag_bytes: 300,
+            last_poll_age_us: 1_500,
+        }];
         let storage = StatsSnapshot {
             commits: 4,
             ..StatsSnapshot::default()
@@ -422,6 +500,19 @@ mod tests {
         assert!(text.contains("prometheus_server_request_latency_us_bucket{le=\"50\"} 5"));
         assert!(text.contains("prometheus_server_request_latency_us_bucket{le=\"+Inf\"} 6"));
         assert!(text.contains("prometheus_server_request_latency_us_count 6"));
+        // Per-class histograms and per-follower replication-lag gauges.
+        assert!(text.contains(
+            "prometheus_server_request_class_latency_us_bucket{class=\"query\",le=\"50\"} 5"
+        ));
+        assert!(
+            text.contains("prometheus_server_request_class_latency_us_count{class=\"query\"} 5")
+        );
+        assert!(text.contains(
+            "prometheus_server_replication_follower_lag_bytes{follower=\"replica-a\"} 300"
+        ));
+        assert!(text.contains(
+            "prometheus_server_replication_follower_next_offset{follower=\"replica-a\"} 100"
+        ));
         // Every non-comment line is "name[{labels}] value".
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(line.split_whitespace().count(), 2, "malformed line: {line}");

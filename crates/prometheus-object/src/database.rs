@@ -182,6 +182,55 @@ impl Database {
         self.persist_schema()
     }
 
+    // -----------------------------------------------------------------
+    // Replication
+    // -----------------------------------------------------------------
+
+    /// Refresh derived state after a replication follower applied a batch of
+    /// primary frames directly to the store (bypassing this facade's write
+    /// path): drop cached decoded entities for every touched OID, and — when
+    /// the batch touched the meta keyspace — reload the schema registry and
+    /// synonym table the primary persisted, so `read_view()` pins current
+    /// definitions and the plan cache sees the new schema version.
+    pub fn refresh_replicated(&self, summary: &prometheus_storage::ReplicaApply) -> DbResult<()> {
+        for oid in &summary.touched_oids {
+            self.cache_shard(*oid).lock().remove(oid);
+        }
+        if summary.touched_keyspaces.contains(&KS_META) {
+            self.reload_meta()?;
+        }
+        Ok(())
+    }
+
+    /// Drop every derived cache and reload schema/synonym state from the
+    /// store. A follower calls this after a full resync
+    /// (`Store::reset_to_empty` + re-replay), when per-OID invalidation
+    /// would be meaningless.
+    pub fn refresh_all(&self) -> DbResult<()> {
+        for shard in &self.cache {
+            shard.lock().clear();
+        }
+        self.reload_meta()
+    }
+
+    fn reload_meta(&self) -> DbResult<()> {
+        let schema = match self.store.kv_get(KS_META, index::META_SCHEMA) {
+            Some(bytes) => {
+                let mut reg: SchemaRegistry = codec::from_bytes(&bytes)?;
+                reg.rebuild_closures();
+                reg
+            }
+            None => SchemaRegistry::new(),
+        };
+        *self.schema.write() = Arc::new(schema);
+        let synonyms = match self.store.kv_get(KS_META, index::META_SYNONYMS) {
+            Some(bytes) => codec::from_bytes(&bytes)?,
+            None => SynonymTable::new(),
+        };
+        *self.synonyms.write() = Arc::new(synonyms);
+        Ok(())
+    }
+
     fn persist_schema(&self) -> DbResult<()> {
         let bytes = codec::to_bytes(&**self.schema.read())?;
         self.store.with_txn(|t| {

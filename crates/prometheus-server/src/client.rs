@@ -14,10 +14,12 @@
 use crate::error::{ServerError, ServerResult};
 use crate::frame::{read_msg, write_msg};
 use crate::metrics::MetricsSnapshot;
-use crate::protocol::{MutationOp, Request, Response, WireRows, PROTOCOL_VERSION};
+use crate::protocol::{
+    MutationOp, ReplicaStatusInfo, Request, Response, WireRows, PROTOCOL_VERSION,
+};
 use crate::slowlog::SlowLogEntry;
 use prometheus_db::{Oid, Value};
-use prometheus_storage::StatsSnapshot;
+use prometheus_storage::{LogRecord, StatsSnapshot};
 use prometheus_trace::TraceEvent;
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpStream};
@@ -203,6 +205,47 @@ impl PrometheusClient {
         }
     }
 
+    /// Poll the primary for committed redo frames past `offset` (replication
+    /// protocol, v4). `epoch` must be the log epoch from the previous poll
+    /// (0 on a fresh cursor); a [`PollOutcome::Reset`] answer means the
+    /// cursor is stale — discard local state and re-poll from offset 0.
+    pub fn replica_poll(
+        &mut self,
+        follower: &str,
+        epoch: u64,
+        offset: u64,
+        max_bytes: u64,
+    ) -> ServerResult<PollOutcome> {
+        match self.request(Request::ReplicaPoll {
+            follower: follower.into(),
+            epoch,
+            offset,
+            max_bytes,
+        })? {
+            Response::ReplicaFrames {
+                epoch,
+                frames,
+                next_offset,
+                log_len,
+            } => Ok(PollOutcome::Frames {
+                epoch,
+                frames,
+                next_offset,
+                log_len,
+            }),
+            Response::ReplicaReset { epoch, log_len } => Ok(PollOutcome::Reset { epoch, log_len }),
+            other => Err(unexpected("ReplicaFrames or ReplicaReset", other)),
+        }
+    }
+
+    /// Ask the server for its replication role and progress.
+    pub fn replica_status(&mut self) -> ServerResult<ReplicaStatusInfo> {
+        match self.request(Request::ReplicaStatus)? {
+            Response::ReplicaStatus(info) => Ok(*info),
+            other => Err(unexpected("ReplicaStatus", other)),
+        }
+    }
+
     /// Request graceful server shutdown.
     pub fn shutdown_server(&mut self) -> ServerResult<()> {
         match self.request(Request::Shutdown)? {
@@ -231,6 +274,22 @@ impl PrometheusClient {
     pub fn commit_orphan_unit(&mut self) -> ServerResult<Response> {
         self.request(Request::UnitCommit)
     }
+}
+
+/// What one replication poll yielded; see [`PrometheusClient::replica_poll`].
+#[derive(Debug)]
+pub enum PollOutcome {
+    /// Committed frames from the requested offset. Empty `frames` with
+    /// `next_offset == log_len` means the follower is caught up.
+    Frames {
+        epoch: u64,
+        frames: Vec<LogRecord>,
+        next_offset: u64,
+        log_len: u64,
+    },
+    /// The cursor no longer matches the primary's log (compaction rewrote
+    /// it, or histories diverged across a crash): resync from offset 0.
+    Reset { epoch: u64, log_len: u64 },
 }
 
 fn unexpected(wanted: &str, got: Response) -> ServerError {

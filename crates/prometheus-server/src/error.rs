@@ -18,6 +18,12 @@ pub enum ErrorKind {
     /// A streamed unit of work sat silent past the server's idle deadline
     /// and was rolled back so the writer lane could serve other sessions.
     UnitTimedOut,
+    /// The handshake carried a protocol version the server does not speak;
+    /// the message names both versions.
+    ProtocolMismatch,
+    /// The server is a read-only replication follower; the message names the
+    /// primary that accepts writes.
+    ReadOnlyReplica,
 }
 
 impl fmt::Display for ErrorKind {
@@ -27,6 +33,8 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Db => write!(f, "db"),
             ErrorKind::ShuttingDown => write!(f, "shutting-down"),
             ErrorKind::UnitTimedOut => write!(f, "unit-timed-out"),
+            ErrorKind::ProtocolMismatch => write!(f, "protocol-mismatch"),
+            ErrorKind::ReadOnlyReplica => write!(f, "read-only-replica"),
         }
     }
 }

@@ -21,8 +21,12 @@
 //!   classification context (§4.6.2 "working inside a classification");
 //! * [`client`] — [`client::PrometheusClient`] and the RAII
 //!   [`client::UnitGuard`];
-//! * [`metrics`] — lock-free server counters and a latency histogram,
-//!   queryable over the wire;
+//! * [`metrics`] — lock-free server counters, latency histograms (merged
+//!   and per request class) and per-follower replication lag, queryable
+//!   over the wire;
+//! * [`replica`] — the state a server carries when it runs as a read-only
+//!   replication follower (see the `prometheus-replica` crate for the
+//!   puller that drives it);
 //! * [`error`] — transport, protocol and remote error types.
 //!
 //! ## Example
@@ -48,17 +52,19 @@ pub mod frame;
 pub mod lane;
 pub mod metrics;
 pub mod protocol;
+pub mod replica;
 pub mod server;
 pub mod session;
 pub mod slowlog;
 
-pub use client::{ClientConfig, PrometheusClient, UnitGuard};
+pub use client::{ClientConfig, PollOutcome, PrometheusClient, UnitGuard};
 pub use error::{ErrorKind, ServerError, ServerResult};
 pub use frame::MAX_FRAME_LEN;
 pub use lane::{LaneGuard, TicketLane};
-pub use metrics::{LatencyHistogram, MetricsSnapshot, ServerMetrics};
+pub use metrics::{FollowerLag, LatencyHistogram, MetricsSnapshot, ServerMetrics, REQUEST_CLASSES};
 pub use prometheus_trace::{Recorder, Stage, TraceEvent};
-pub use protocol::{MutationOp, Request, Response, WireRows, PROTOCOL_VERSION};
+pub use protocol::{MutationOp, ReplicaStatusInfo, Request, Response, WireRows, PROTOCOL_VERSION};
+pub use replica::{ReplicaInfo, ReplicaStatusCell};
 pub use server::{serve, ServerConfig, ServerHandle};
 pub use session::Session;
 pub use slowlog::{SlowLog, SlowLogEntry};

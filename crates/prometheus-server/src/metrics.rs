@@ -8,7 +8,10 @@
 
 use prometheus_pool::ExecStatsSnapshot;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Upper bounds (µs, inclusive) of the latency histogram buckets; one
 /// overflow bucket follows the last bound.
@@ -19,7 +22,7 @@ pub const LATENCY_BOUNDS_US: [u64; 9] =
 pub const LATENCY_BUCKETS: usize = LATENCY_BOUNDS_US.len() + 1;
 
 /// Request kinds tracked per-counter; mirrors `Request::kind_name`.
-pub const REQUEST_KINDS: [&str; 16] = [
+pub const REQUEST_KINDS: [&str; 18] = [
     "hello",
     "ping",
     "query",
@@ -36,7 +39,26 @@ pub const REQUEST_KINDS: [&str; 16] = [
     "slow_log",
     "shutdown",
     "bye",
+    "replica_poll",
+    "replica_status",
 ];
+
+/// Coarse request classes, each with its own latency histogram: a query's
+/// latency profile and a replication poll's have nothing in common, and one
+/// merged histogram hides both.
+pub const REQUEST_CLASSES: [&str; 5] = ["query", "unit", "observability", "replication", "other"];
+
+/// Map a request kind (by `Request::kind_name`) to its [`REQUEST_CLASSES`]
+/// index.
+pub fn class_of_kind(kind_name: &str) -> usize {
+    match kind_name {
+        "query" => 0,
+        "install_pcl" | "unit_begin" | "unit_op" | "unit_commit" | "unit_abort" | "unit_batch" => 1,
+        "stats" | "trace" | "slow_log" => 2,
+        "replica_poll" | "replica_status" => 3,
+        _ => 4,
+    }
+}
 
 /// Shared, lock-free counters for one running server.
 #[derive(Debug, Default)]
@@ -60,12 +82,27 @@ pub struct ServerMetrics {
     /// Units rolled back because the client sat silent past the idle
     /// deadline while holding the writer lane.
     pub units_timed_out: AtomicU64,
-    /// Per-request wall-clock latency histogram.
+    /// Per-request wall-clock latency histogram (all kinds merged).
     latency: [AtomicU64; LATENCY_BUCKETS],
     /// Total requests timed (histogram population).
     pub latency_count: AtomicU64,
     /// Sum of all request latencies, µs (for the mean).
     pub latency_sum_us: AtomicU64,
+    /// Per-class latency histograms (indexes follow [`REQUEST_CLASSES`]).
+    class_latency: [[AtomicU64; LATENCY_BUCKETS]; REQUEST_CLASSES.len()],
+    class_count: [AtomicU64; REQUEST_CLASSES.len()],
+    class_sum_us: [AtomicU64; REQUEST_CLASSES.len()],
+    /// Replication followers by name: cursor and horizon at their last poll,
+    /// for per-follower lag in `stats` and the prometheus exposition. Cold
+    /// path (one update per poll), so a plain mutex is fine here.
+    followers: Mutex<HashMap<String, FollowerTrack>>,
+}
+
+#[derive(Debug)]
+struct FollowerTrack {
+    next_offset: u64,
+    log_len: u64,
+    last_poll: Instant,
 }
 
 impl ServerMetrics {
@@ -76,8 +113,9 @@ impl ServerMetrics {
         }
     }
 
-    /// Record one request's wall-clock latency.
-    pub fn record_latency_us(&self, us: u64) {
+    /// Record one request's wall-clock latency, both in the merged histogram
+    /// and in the request-class histogram `kind_name` maps to.
+    pub fn record_latency_us(&self, kind_name: &str, us: u64) {
         let idx = LATENCY_BOUNDS_US
             .iter()
             .position(|&bound| us <= bound)
@@ -85,6 +123,24 @@ impl ServerMetrics {
         self.latency[idx].fetch_add(1, Ordering::Relaxed);
         self.latency_count.fetch_add(1, Ordering::Relaxed);
         self.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        let class = class_of_kind(kind_name);
+        self.class_latency[class][idx].fetch_add(1, Ordering::Relaxed);
+        self.class_count[class].fetch_add(1, Ordering::Relaxed);
+        self.class_sum_us[class].fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Record a replication follower's poll: its cursor after the batch and
+    /// the committed horizon it was served against.
+    pub fn record_follower_poll(&self, follower: &str, next_offset: u64, log_len: u64) {
+        let mut followers = self.followers.lock().expect("follower map poisoned");
+        followers.insert(
+            follower.to_string(),
+            FollowerTrack {
+                next_offset,
+                log_len,
+                last_poll: Instant::now(),
+            },
+        );
     }
 
     /// Capture a point-in-time copy of all counters.
@@ -124,6 +180,39 @@ impl ServerMetrics {
                 count: self.latency_count.load(Ordering::Relaxed),
                 sum_us: self.latency_sum_us.load(Ordering::Relaxed),
             },
+            latency_by_class: REQUEST_CLASSES
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    (
+                        name.to_string(),
+                        LatencyHistogram {
+                            bounds_us: LATENCY_BOUNDS_US.to_vec(),
+                            counts: self.class_latency[i]
+                                .iter()
+                                .map(|c| c.load(Ordering::Relaxed))
+                                .collect(),
+                            count: self.class_count[i].load(Ordering::Relaxed),
+                            sum_us: self.class_sum_us[i].load(Ordering::Relaxed),
+                        },
+                    )
+                })
+                .collect(),
+            replication: {
+                let followers = self.followers.lock().expect("follower map poisoned");
+                let mut lags: Vec<FollowerLag> = followers
+                    .iter()
+                    .map(|(name, t)| FollowerLag {
+                        follower: name.clone(),
+                        next_offset: t.next_offset,
+                        log_len: t.log_len,
+                        lag_bytes: t.log_len.saturating_sub(t.next_offset),
+                        last_poll_age_us: t.last_poll.elapsed().as_micros() as u64,
+                    })
+                    .collect();
+                lags.sort_by(|a, b| a.follower.cmp(&b.follower));
+                lags
+            },
         }
     }
 }
@@ -150,6 +239,27 @@ pub struct MetricsSnapshot {
     /// outer join loops and traversal frontiers (protocol v2).
     pub parallel_morsels: u64,
     pub latency: LatencyHistogram,
+    /// Per-request-class latency histograms, in [`REQUEST_CLASSES`] order
+    /// (protocol v4).
+    pub latency_by_class: Vec<(String, LatencyHistogram)>,
+    /// Per-follower replication lag as of each follower's last poll, sorted
+    /// by follower name (protocol v4; empty when nothing replicates).
+    pub replication: Vec<FollowerLag>,
+}
+
+/// One replication follower's position as the primary last saw it.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FollowerLag {
+    /// The follower's self-chosen stable name.
+    pub follower: String,
+    /// Byte cursor the follower will poll from next.
+    pub next_offset: u64,
+    /// Committed log length it was last served against.
+    pub log_len: u64,
+    /// `log_len - next_offset`: bytes the follower had not yet applied.
+    pub lag_bytes: u64,
+    /// Microseconds since the follower's last poll.
+    pub last_poll_age_us: u64,
 }
 
 impl MetricsSnapshot {
@@ -258,6 +368,13 @@ mod tests {
             Request::SlowLog { n: 1 },
             Request::Shutdown,
             Request::Bye,
+            Request::ReplicaPoll {
+                follower: String::new(),
+                epoch: 0,
+                offset: 0,
+                max_bytes: 0,
+            },
+            Request::ReplicaStatus,
         ];
         assert_eq!(reqs.len(), REQUEST_KINDS.len());
         for r in reqs {
@@ -266,15 +383,20 @@ mod tests {
                 "unknown kind {}",
                 r.kind_name()
             );
+            assert!(
+                class_of_kind(r.kind_name()) < REQUEST_CLASSES.len(),
+                "kind {} has no class",
+                r.kind_name()
+            );
         }
     }
 
     #[test]
     fn latency_buckets_accumulate() {
         let m = ServerMetrics::default();
-        m.record_latency_us(10); // bucket 0 (<=50)
-        m.record_latency_us(80); // bucket 1 (<=100)
-        m.record_latency_us(2_000_000); // overflow
+        m.record_latency_us("query", 10); // bucket 0 (<=50)
+        m.record_latency_us("query", 80); // bucket 1 (<=100)
+        m.record_latency_us("query", 2_000_000); // overflow
         let snap = m.snapshot(&ExecStatsSnapshot::default());
         assert_eq!(snap.latency.count, 3);
         assert_eq!(snap.latency.counts[0], 1);
@@ -285,12 +407,60 @@ mod tests {
     }
 
     #[test]
+    fn per_class_histograms_split_by_request_kind() {
+        let m = ServerMetrics::default();
+        m.record_latency_us("query", 10);
+        m.record_latency_us("query", 80);
+        m.record_latency_us("unit_batch", 600);
+        m.record_latency_us("replica_poll", 30);
+        m.record_latency_us("trace", 40);
+        m.record_latency_us("ping", 5);
+        let snap = m.snapshot(&ExecStatsSnapshot::default());
+        let of = |class: &str| {
+            snap.latency_by_class
+                .iter()
+                .find(|(name, _)| name == class)
+                .map(|(_, h)| h.clone())
+                .unwrap()
+        };
+        assert_eq!(of("query").count, 2);
+        assert_eq!(of("unit").count, 1);
+        assert_eq!(of("replication").count, 1);
+        assert_eq!(of("observability").count, 1);
+        assert_eq!(of("other").count, 1);
+        // The merged histogram still sees everything.
+        assert_eq!(snap.latency.count, 6);
+        // Every class observation lands in exactly one bucket of its class.
+        assert_eq!(of("query").counts.iter().sum::<u64>(), 2);
+        assert_eq!(of("unit").counts[4], 1); // 600µs → <=1000 bucket
+    }
+
+    #[test]
+    fn follower_polls_surface_as_lag() {
+        let m = ServerMetrics::default();
+        m.record_follower_poll("replica-b", 100, 400);
+        m.record_follower_poll("replica-a", 400, 400);
+        let snap = m.snapshot(&ExecStatsSnapshot::default());
+        assert_eq!(snap.replication.len(), 2);
+        // Sorted by follower name for stable exposition output.
+        assert_eq!(snap.replication[0].follower, "replica-a");
+        assert_eq!(snap.replication[0].lag_bytes, 0);
+        assert_eq!(snap.replication[1].follower, "replica-b");
+        assert_eq!(snap.replication[1].lag_bytes, 300);
+        // A later poll replaces the entry, never duplicates it.
+        m.record_follower_poll("replica-b", 400, 400);
+        let snap = m.snapshot(&ExecStatsSnapshot::default());
+        assert_eq!(snap.replication.len(), 2);
+        assert_eq!(snap.replication[1].lag_bytes, 0);
+    }
+
+    #[test]
     fn percentile_walks_buckets() {
         let m = ServerMetrics::default();
         for _ in 0..99 {
-            m.record_latency_us(40);
+            m.record_latency_us("query", 40);
         }
-        m.record_latency_us(900); // lands in the <=1000 bucket
+        m.record_latency_us("query", 900); // lands in the <=1000 bucket
         let snap = m.snapshot(&ExecStatsSnapshot::default());
         assert_eq!(snap.latency.approx_percentile_us(0.50), Some(50));
         assert_eq!(snap.latency.approx_percentile_us(1.0), Some(1_000));
@@ -300,8 +470,8 @@ mod tests {
     #[test]
     fn percentile_in_the_overflow_bucket_is_honestly_unknown() {
         let m = ServerMetrics::default();
-        m.record_latency_us(40);
-        m.record_latency_us(2_000_000); // past the last bound
+        m.record_latency_us("query", 40);
+        m.record_latency_us("query", 2_000_000); // past the last bound
         let snap = m.snapshot(&ExecStatsSnapshot::default());
         // The median is still known…
         assert_eq!(snap.latency.approx_percentile_us(0.50), Some(50));
@@ -361,7 +531,7 @@ mod tests {
                 scope.spawn(move || {
                     for i in 0..OPS {
                         metrics.count_request("query");
-                        metrics.record_latency_us(i % 3_000);
+                        metrics.record_latency_us("query", i % 3_000);
                         // Self-consistent payload: every word equals the
                         // marker, so a torn read is detectable.
                         let marker = t * OPS + i + 1;

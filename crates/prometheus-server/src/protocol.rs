@@ -44,7 +44,13 @@ use crate::slowlog::SlowLogEntry;
 /// from the server's trace ring and entries from the slow-query log.
 /// (`EXPLAIN`/`PROFILE` need no new messages: they travel as ordinary
 /// queries and answer with rows.)
-pub const PROTOCOL_VERSION: u16 = 3;
+///
+/// v4: replication — [`Request::ReplicaPoll`]/[`Request::ReplicaStatus`]
+/// with [`Response::ReplicaFrames`]/[`Response::ReplicaReset`]/
+/// [`Response::ReplicaStatus`]; `MetricsSnapshot` gained per-request-class
+/// latency histograms and per-follower replication lag; a version-mismatched
+/// handshake now answers the typed `protocol-mismatch` error kind.
+pub const PROTOCOL_VERSION: u16 = 4;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -85,6 +91,18 @@ pub enum Request {
     Shutdown,
     /// Close this session politely.
     Bye,
+    /// A replication follower asks for committed log frames from `offset`
+    /// within log `epoch`, batched to roughly `max_bytes`. `follower` is a
+    /// stable name the primary uses for per-follower lag accounting.
+    ReplicaPoll {
+        follower: String,
+        epoch: u64,
+        offset: u64,
+        max_bytes: u64,
+    },
+    /// Replication role and position of the answering server; clients use
+    /// this for lag-aware routing.
+    ReplicaStatus,
 }
 
 impl Request {
@@ -107,6 +125,8 @@ impl Request {
             Request::SlowLog { .. } => "slow_log",
             Request::Shutdown => "shutdown",
             Request::Bye => "bye",
+            Request::ReplicaPoll { .. } => "replica_poll",
+            Request::ReplicaStatus => "replica_status",
         }
     }
 }
@@ -186,6 +206,45 @@ pub enum Response {
     },
     /// Answer to [`Request::Bye`]; the server closes after sending it.
     Goodbye,
+    /// Committed log frames for a [`Request::ReplicaPoll`] whose cursor was
+    /// valid. An empty `frames` with `next_offset == log_len` means the
+    /// follower is caught up.
+    ReplicaFrames {
+        epoch: u64,
+        frames: Vec<prometheus_storage::LogRecord>,
+        next_offset: u64,
+        log_len: u64,
+    },
+    /// The poll's cursor is from a previous log epoch (the primary
+    /// compacted) or otherwise meaningless: the follower must discard its
+    /// local state and re-poll from offset zero with the given epoch.
+    ReplicaReset { epoch: u64, log_len: u64 },
+    /// Answer to [`Request::ReplicaStatus`].
+    ReplicaStatus(Box<ReplicaStatusInfo>),
+}
+
+/// Replication role and position of a server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicaStatusInfo {
+    /// `"primary"` or `"replica"`.
+    pub role: String,
+    /// For a replica: the primary address writes should go to.
+    pub primary: Option<String>,
+    /// Log epoch this server is on (for a replica: the primary epoch it
+    /// last synced against).
+    pub epoch: u64,
+    /// Committed log length. For a replica this equals its applied cursor;
+    /// for a primary it is the replication horizon followers chase.
+    pub log_len: u64,
+    /// The replica's applied byte cursor (equals `log_len` on a primary).
+    pub applied_offset: u64,
+    /// Microseconds since this replica last confirmed it was caught up with
+    /// the primary's horizon; 0 on a primary. Grows without bound while the
+    /// primary is unreachable, which is exactly what staleness routing
+    /// needs.
+    pub caught_up_age_us: u64,
+    /// Number of full resyncs this replica has performed.
+    pub resyncs: u64,
 }
 
 /// A query result in wire form: column labels plus row-major values.
@@ -275,6 +334,13 @@ mod tests {
             Request::SlowLog { n: 16 },
             Request::Shutdown,
             Request::Bye,
+            Request::ReplicaPoll {
+                follower: "replica-1".into(),
+                epoch: 2,
+                offset: 4096,
+                max_bytes: 1 << 20,
+            },
+            Request::ReplicaStatus,
         ];
         for req in samples {
             let bytes = codec::to_bytes(&req).unwrap();
@@ -331,7 +397,41 @@ mod tests {
                 kind: crate::error::ErrorKind::Db,
                 message: "unknown class 'XT'".into(),
             },
+            Response::Error {
+                kind: crate::error::ErrorKind::ReadOnlyReplica,
+                message: "writes go to 127.0.0.1:7070".into(),
+            },
             Response::Goodbye,
+            Response::ReplicaFrames {
+                epoch: 1,
+                frames: vec![
+                    prometheus_storage::LogRecord::Begin { txn: 7 },
+                    prometheus_storage::LogRecord::Put {
+                        txn: 7,
+                        oid: Oid::from_raw(3),
+                        bytes: vec![1, 2, 3],
+                    },
+                    prometheus_storage::LogRecord::Commit {
+                        txn: 7,
+                        next_oid: 4,
+                    },
+                ],
+                next_offset: 512,
+                log_len: 2048,
+            },
+            Response::ReplicaReset {
+                epoch: 3,
+                log_len: 128,
+            },
+            Response::ReplicaStatus(Box::new(ReplicaStatusInfo {
+                role: "replica".into(),
+                primary: Some("127.0.0.1:7070".into()),
+                epoch: 3,
+                log_len: 1024,
+                applied_offset: 1024,
+                caught_up_age_us: 1500,
+                resyncs: 1,
+            })),
         ];
         for resp in samples {
             let bytes = codec::to_bytes(&resp).unwrap();

@@ -50,7 +50,10 @@ use crate::error::{ErrorKind, ServerError, ServerResult};
 use crate::frame::{read_msg, write_msg};
 use crate::lane::{LaneGuard, TicketLane};
 use crate::metrics::{MetricsSnapshot, ServerMetrics, REQUEST_KINDS};
-use crate::protocol::{MutationOp, Request, Response, WireRows, PROTOCOL_VERSION};
+use crate::protocol::{
+    MutationOp, ReplicaStatusInfo, Request, Response, WireRows, PROTOCOL_VERSION,
+};
+use crate::replica::ReplicaInfo;
 use crate::session::Session;
 use crate::slowlog::{SlowLog, SlowLogEntry};
 use prometheus_db::{Database, DbResult, Oid, Prometheus, Value};
@@ -91,6 +94,13 @@ pub struct ServerConfig {
     /// `0` disables tracing entirely (spans become no-ops; `PROFILE` returns
     /// an empty span tree).
     pub trace_capacity: usize,
+    /// `Some` marks this server as a read-only replication follower: every
+    /// mutating verb is rejected with a typed
+    /// [`ErrorKind::ReadOnlyReplica`] error naming the primary, and
+    /// `Request::ReplicaStatus` answers from the follower's
+    /// [`crate::replica::ReplicaStatusCell`] instead of the local store.
+    /// `None` (the default) is a normal primary.
+    pub replica: Option<ReplicaInfo>,
 }
 
 impl Default for ServerConfig {
@@ -102,6 +112,7 @@ impl Default for ServerConfig {
             parallelism: 0,
             slow_query_threshold: Duration::from_millis(100),
             trace_capacity: Recorder::DEFAULT_CAPACITY,
+            replica: None,
         }
     }
 }
@@ -132,6 +143,8 @@ struct Shared {
     /// Read-half clones of live session sockets, for shutdown.
     conns: Mutex<HashMap<u64, TcpStream>>,
     addr: SocketAddr,
+    /// `Some` when serving as a read-only replication follower.
+    replica: Option<ReplicaInfo>,
 }
 
 /// Recover from a poisoned lock: the protected state (the connection
@@ -180,6 +193,7 @@ pub fn serve(db: Prometheus, config: ServerConfig) -> ServerResult<ServerHandle>
         next_session: AtomicU64::new(1),
         conns: Mutex::new(HashMap::new()),
         addr,
+        replica: config.replica,
     });
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
@@ -409,7 +423,7 @@ fn run_session(shared: &Arc<Shared>, id: u64, stream: TcpStream) -> ServerResult
         let flow = flow?;
         shared
             .metrics
-            .record_latency_us(start.elapsed().as_micros() as u64);
+            .record_latency_us(kind, start.elapsed().as_micros() as u64);
         match flow {
             Flow::EnterUnit => run_unit(shared, &mut session, &mut reader, &mut writer)?,
             Flow::Close => return Ok(()),
@@ -440,7 +454,7 @@ fn dispatch(
                     write_msg(
                         writer,
                         &Response::Error {
-                            kind: ErrorKind::Protocol,
+                            kind: ErrorKind::ProtocolMismatch,
                             message: format!(
                                 "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
                             ),
@@ -490,6 +504,26 @@ fn dispatch(
             },
         )?;
         return Ok(Flow::Continue);
+    }
+    // A follower is a full query endpoint but owns no redo log of its own —
+    // its store is a replay of the primary's. Letting a write through would
+    // fork the histories, so every mutating verb gets a typed error that
+    // names where writes actually go.
+    if let Some(replica) = &shared.replica {
+        if is_mutating(&req) {
+            shared.metrics.db_errors.fetch_add(1, Ordering::Relaxed);
+            write_msg(
+                writer,
+                &Response::Error {
+                    kind: ErrorKind::ReadOnlyReplica,
+                    message: format!(
+                        "this server is a read-only replica; send writes to the primary at {}",
+                        replica.primary
+                    ),
+                },
+            )?;
+            return Ok(Flow::Continue);
+        }
     }
     match req {
         Request::Hello { .. } => {
@@ -588,6 +622,62 @@ fn dispatch(
                 &Response::SlowLog {
                     entries: shared.slow_log.recent(n as usize),
                 },
+            )?;
+            Ok(Flow::Continue)
+        }
+        Request::ReplicaPoll {
+            follower,
+            epoch,
+            offset,
+            max_bytes,
+        } => {
+            // Serve committed frames straight off the log file: the store
+            // reads below its flushed horizon without the inner lock, so a
+            // polling follower never contends with writers. `None` means the
+            // cursor no longer matches this log (compaction bumped the
+            // epoch, or the offsets diverged) — tell the follower to resync
+            // from scratch rather than guess.
+            let span = shared.recorder.span(Stage::ReplicaPoll);
+            let store = shared.db.db().store();
+            match store.read_frames(epoch, offset, max_bytes) {
+                Ok(Some(batch)) => {
+                    shared.metrics.record_follower_poll(
+                        &follower,
+                        batch.next_offset,
+                        batch.log_len,
+                    );
+                    span.finish(
+                        batch.frames.len() as u64,
+                        batch.log_len.saturating_sub(batch.next_offset),
+                    );
+                    write_msg(
+                        writer,
+                        &Response::ReplicaFrames {
+                            epoch: batch.epoch,
+                            frames: batch.frames,
+                            next_offset: batch.next_offset,
+                            log_len: batch.log_len,
+                        },
+                    )?;
+                }
+                Ok(None) => {
+                    let epoch = store.log_epoch();
+                    let log_len = store.committed_log_len();
+                    shared.metrics.record_follower_poll(&follower, 0, log_len);
+                    span.finish(0, log_len);
+                    write_msg(writer, &Response::ReplicaReset { epoch, log_len })?;
+                }
+                Err(e) => {
+                    span.finish(0, 0);
+                    db_error(shared, writer, e.to_string())?;
+                }
+            }
+            Ok(Flow::Continue)
+        }
+        Request::ReplicaStatus => {
+            write_msg(
+                writer,
+                &Response::ReplicaStatus(Box::new(replica_status_info(shared))),
             )?;
             Ok(Flow::Continue)
         }
@@ -699,7 +789,7 @@ fn run_unit(
         root.finish(kind_code(kind), session.id);
         shared
             .metrics
-            .record_latency_us(start.elapsed().as_micros() as u64);
+            .record_latency_us(kind, start.elapsed().as_micros() as u64);
         match step {
             Ok(true) => break Ok(()),
             Ok(false) => {}
@@ -920,9 +1010,64 @@ fn respond_query(
     }
 }
 
+/// Whether a request would mutate the database — the set a read-only
+/// replication follower must reject. `Compact` counts: it rewrites the redo
+/// log, and a follower's log is owned by its replication puller.
+fn is_mutating(req: &Request) -> bool {
+    matches!(
+        req,
+        Request::InstallPcl { .. }
+            | Request::UnitBegin
+            | Request::UnitOp { .. }
+            | Request::UnitCommit
+            | Request::UnitAbort
+            | Request::UnitBatch { .. }
+            | Request::Compact
+    )
+}
+
+/// Answer `Request::ReplicaStatus` for either role. A primary reports its
+/// own committed log as both ends of the cursor (zero lag by definition); a
+/// follower reports the puller's live progress cell.
+fn replica_status_info(shared: &Shared) -> ReplicaStatusInfo {
+    match &shared.replica {
+        Some(info) => ReplicaStatusInfo {
+            role: "replica".into(),
+            primary: Some(info.primary.clone()),
+            epoch: info.status.epoch(),
+            log_len: info.status.primary_log_len(),
+            applied_offset: info.status.applied_offset(),
+            caught_up_age_us: info.status.caught_up_age_us(),
+            resyncs: info.status.resyncs(),
+        },
+        None => {
+            let store = shared.db.db().store();
+            let len = store.committed_log_len();
+            ReplicaStatusInfo {
+                role: "primary".into(),
+                primary: None,
+                epoch: store.log_epoch(),
+                log_len: len,
+                applied_offset: len,
+                caught_up_age_us: 0,
+                resyncs: 0,
+            }
+        }
+    }
+}
+
 /// Server counters plus the query executor's, as one wire-ready snapshot.
 fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
-    shared.metrics.snapshot(&shared.executor.stats())
+    let mut snap = shared.metrics.snapshot(&shared.executor.stats());
+    // Lag is measured against the commit horizon *now*, not the horizon at
+    // the follower's last poll: a follower that fully drained its last batch
+    // is still behind by whatever committed since.
+    let committed = shared.db.db().store().committed_log_len();
+    for f in &mut snap.replication {
+        f.log_len = f.log_len.max(committed);
+        f.lag_bytes = f.log_len.saturating_sub(f.next_offset);
+    }
+    snap
 }
 
 fn write_stats(shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) -> ServerResult<()> {
@@ -1320,13 +1465,16 @@ mod tests {
         )
         .unwrap();
         let resp: Response = read_msg(&mut reader).unwrap();
-        assert!(matches!(
-            resp,
-            Response::Error {
-                kind: ErrorKind::Protocol,
-                ..
+        match resp {
+            Response::Error { kind, message } => {
+                assert_eq!(kind, ErrorKind::ProtocolMismatch);
+                assert!(
+                    message.contains("999") && message.contains(&PROTOCOL_VERSION.to_string()),
+                    "mismatch error must name both versions: {message}"
+                );
             }
-        ));
+            other => panic!("expected protocol-mismatch error, got {other:?}"),
+        }
         handle.stop();
     }
 

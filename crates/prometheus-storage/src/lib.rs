@@ -31,6 +31,9 @@ pub mod stats;
 pub mod store;
 
 pub use error::{StorageError, StorageResult};
+pub use log::LogRecord;
 pub use oid::{Oid, OidAllocator};
 pub use stats::{Stats, StatsSnapshot};
-pub use store::{Keyspace, Snapshot, Store, StoreOptions, Txn};
+pub use store::{
+    FrameBatch, Keyspace, ReplayState, ReplicaApply, Snapshot, Store, StoreOptions, Txn,
+};

@@ -239,6 +239,69 @@ pub fn scan(path: &Path) -> StorageResult<LogScan> {
     Ok(LogScan { frames, valid_len })
 }
 
+/// Read frames from `offset` up to `end` (a known committed frame boundary),
+/// stopping after at least `max_bytes` of frame data have been collected.
+///
+/// Returns the decoded records and the offset of the first unread frame.
+/// `Ok(None)` means `offset` does not sit on a decodable frame boundary —
+/// which happens when the log was rewritten underneath the caller (compaction
+/// on the primary while a replication follower still holds byte cursors into
+/// the old file). Callers treat `None` as "your cursor is meaningless,
+/// re-handshake from scratch".
+pub fn tail(
+    path: &Path,
+    offset: u64,
+    max_bytes: u64,
+    end: u64,
+) -> StorageResult<Option<(Vec<LogRecord>, u64)>> {
+    let file = match File::open(path) {
+        Ok(f) => f,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    let mut reader = std::io::BufReader::new(file);
+    reader.seek(SeekFrom::Start(offset))?;
+    let mut frames = Vec::new();
+    let mut at = offset;
+    let mut collected = 0u64;
+    let mut header = [0u8; 8];
+    while at < end && collected < max_bytes.max(1) {
+        if at + 8 > end {
+            break; // a frame header cannot straddle the committed boundary
+        }
+        match read_exact_or_eof(&mut reader, &mut header)? {
+            ReadOutcome::Full => {}
+            _ => break, // file shorter than `end`: rewritten underneath us
+        }
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if len > MAX_FRAME_LEN || at + 8 + len as u64 > end {
+            break; // not a frame boundary
+        }
+        let mut payload = vec![0u8; len as usize];
+        match read_exact_or_eof(&mut reader, &mut payload)? {
+            ReadOutcome::Full => {}
+            _ => break,
+        }
+        if crc32(&payload) != crc {
+            break;
+        }
+        let record = match codec::from_bytes::<LogRecord>(&payload) {
+            Ok(r) => r,
+            Err(_) => break,
+        };
+        frames.push(record);
+        at += 8 + len as u64;
+        collected += 8 + len as u64;
+    }
+    if frames.is_empty() && at < end {
+        // We were asked for data that provably exists but could not decode a
+        // single frame at `offset`: the cursor is misaligned.
+        return Ok(None);
+    }
+    Ok(Some((frames, at)))
+}
+
 enum ReadOutcome {
     Full,
     Partial,

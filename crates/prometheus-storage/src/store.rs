@@ -21,6 +21,7 @@ use prometheus_trace::{Recorder, Stage};
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Number of record shards in the image. Sharding bounds the copy-on-write
@@ -195,6 +196,115 @@ impl Snapshot {
     }
 }
 
+/// The log-replay state machine, shared by crash recovery and replication.
+///
+/// Frames are offered one at a time in log order; [`ReplayState::offer`]
+/// returns the records of any transaction group that *settled* with that
+/// frame, in apply order. The semantics mirror recovery exactly: a `Commit`
+/// outside a unit scope settles immediately; commits inside a unit are
+/// buffered until the unit seals committed and are discarded on an aborted
+/// (or superseded) seal — so a follower replaying a live tail can never
+/// publish half a unit, for the same reason a crash can never recover one.
+#[derive(Debug, Default)]
+pub struct ReplayState {
+    pending: HashMap<u64, Vec<LogRecord>>,
+    open_unit: Option<(u64, Vec<LogRecord>)>,
+    next_txn: u64,
+    next_oid: u64,
+}
+
+impl ReplayState {
+    /// Feed one frame; returns the records of the group it settled, if any.
+    pub fn offer(&mut self, record: &LogRecord) -> Vec<LogRecord> {
+        match record {
+            LogRecord::Begin { txn } => {
+                self.pending.insert(*txn, Vec::new());
+                self.next_txn = self.next_txn.max(txn + 1);
+                Vec::new()
+            }
+            LogRecord::Commit { txn, next_oid } => {
+                // The OID high-water mark is honoured even for discarded
+                // units, so identifiers are never re-issued.
+                self.next_oid = self.next_oid.max(*next_oid);
+                match self.pending.remove(txn) {
+                    Some(records) => match self.open_unit.as_mut() {
+                        Some((_, buffered)) => {
+                            buffered.extend(records);
+                            Vec::new()
+                        }
+                        None => records,
+                    },
+                    // Records for unknown transactions (no Begin) are
+                    // ignored; a correct writer never produces them.
+                    None => Vec::new(),
+                }
+            }
+            LogRecord::UnitBegin { unit } => {
+                // A new unit while one is still open means the previous one
+                // was never sealed: discard it.
+                self.open_unit = Some((*unit, Vec::new()));
+                self.next_txn = self.next_txn.max(unit + 1);
+                Vec::new()
+            }
+            LogRecord::UnitEnd { unit, committed } => match self.open_unit.take() {
+                Some((open, buffered)) if *committed && open == *unit => buffered,
+                _ => Vec::new(),
+            },
+            other => {
+                if let Some(buf) = self.pending.get_mut(&other.txn()) {
+                    buf.push(other.clone());
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Unit id of a group still open mid-replay (the log ended inside it).
+    pub fn open_unit_id(&self) -> Option<u64> {
+        self.open_unit.as_ref().map(|(u, _)| *u)
+    }
+
+    /// One past the highest transaction/unit id observed.
+    pub fn next_txn(&self) -> u64 {
+        self.next_txn
+    }
+
+    /// The OID high-water mark carried by observed `Commit` frames.
+    pub fn next_oid(&self) -> u64 {
+        self.next_oid
+    }
+}
+
+/// A batch of committed log frames read for a replication follower, together
+/// with the cursor and length needed to compute lag.
+#[derive(Debug)]
+pub struct FrameBatch {
+    /// Log epoch the byte offsets belong to (see [`Store::log_epoch`]).
+    pub epoch: u64,
+    /// Frames starting at the requested offset, verbatim.
+    pub frames: Vec<LogRecord>,
+    /// Offset of the first frame *not* included — the follower's next cursor.
+    pub next_offset: u64,
+    /// Committed log length at read time; `log_len - next_offset` is the
+    /// follower's byte lag after applying this batch.
+    pub log_len: u64,
+}
+
+/// Summary of one replicated frame batch applied by a follower store.
+#[derive(Debug, Default)]
+pub struct ReplicaApply {
+    /// Records of settled groups applied to the image.
+    pub applied: u64,
+    /// OIDs whose records changed; the object layer invalidates its decoded
+    /// entity cache for exactly these.
+    pub touched_oids: Vec<Oid>,
+    /// Keyspaces with changed entries; the object layer reloads schema and
+    /// synonym state when the meta keyspace appears here.
+    pub touched_keyspaces: Vec<Keyspace>,
+    /// Local log length after the batch — the follower's replication cursor.
+    pub log_len: u64,
+}
+
 #[derive(Debug)]
 struct Inner {
     image: Image,
@@ -207,6 +317,9 @@ struct Inner {
     /// scope; `None` until the scope's first commit (read-only units write no
     /// frames at all).
     active_unit: Option<u64>,
+    /// Replay state carried across [`Store::apply_replicated`] calls so a
+    /// follower can receive a unit of work split over many poll batches.
+    replay: ReplayState,
 }
 
 /// A durable, transactional record store.
@@ -224,6 +337,16 @@ pub struct Store {
     /// Span recorder for commit/fsync/compact timing; disabled by default,
     /// installed by the embedding layer (see [`Store::set_recorder`]).
     recorder: RwLock<Recorder>,
+    /// Epoch of the backing log file: bumped whenever compaction rewrites
+    /// the log in place, which invalidates every byte offset a replication
+    /// follower holds. Not persisted — a restart resets it to zero, which at
+    /// worst makes a follower resync conservatively.
+    log_epoch: AtomicU64,
+    /// Length of the committed, flushed log prefix — the bytes a replication
+    /// follower may safely read. Advanced only after the frames behind it
+    /// have reached the file (flush or fsync), so a concurrent tail read
+    /// never observes buffered or torn frames.
+    committed_len: AtomicU64,
 }
 
 impl Store {
@@ -245,72 +368,35 @@ impl Store {
         }
         let scan = log::scan(&path)?;
         let mut image = Image::default();
-        let mut next_oid = 1u64;
-        let mut next_txn = 1u64;
         // Group frames by transaction; apply only committed groups, in commit
         // order (commit order equals log order for a single-writer log).
         // Transactions committed inside a unit-of-work scope are buffered
         // until the unit's seal: applied on `UnitEnd { committed: true }`,
         // discarded otherwise — so a crash mid-unit loses the whole unit,
-        // never half of it.
-        let mut pending: HashMap<u64, Vec<LogRecord>> = HashMap::new();
-        let mut open_unit: Option<(u64, Vec<LogRecord>)> = None;
+        // never half of it. The same state machine drives follower replay
+        // (see [`ReplayState`]).
+        let mut replay = ReplayState::default();
         for frame in scan.frames {
-            match frame.record {
-                LogRecord::Begin { txn } => {
-                    pending.insert(txn, Vec::new());
-                    next_txn = next_txn.max(txn + 1);
-                }
-                LogRecord::Commit { txn, next_oid: hwm } => {
-                    // The OID high-water mark is honoured even for discarded
-                    // units, so identifiers are never re-issued.
-                    next_oid = next_oid.max(hwm);
-                    if let Some(records) = pending.remove(&txn) {
-                        match open_unit.as_mut() {
-                            Some((_, buffered)) => buffered.extend(records),
-                            None => {
-                                for r in &records {
-                                    image.apply(r);
-                                }
-                            }
-                        }
-                    }
-                }
-                LogRecord::UnitBegin { unit } => {
-                    // A new unit while one is still open means the previous
-                    // one was never sealed: discard it.
-                    open_unit = Some((unit, Vec::new()));
-                    next_txn = next_txn.max(unit + 1);
-                }
-                LogRecord::UnitEnd { unit, committed } => {
-                    if let Some((open, buffered)) = open_unit.take() {
-                        if committed && open == unit {
-                            for r in &buffered {
-                                image.apply(r);
-                            }
-                        }
-                    }
-                }
-                other => {
-                    if let Some(buf) = pending.get_mut(&other.txn()) {
-                        buf.push(other);
-                    }
-                    // Records for unknown transactions (no Begin) are ignored;
-                    // a correct writer never produces them.
-                }
+            for record in replay.offer(&frame.record) {
+                image.apply(&record);
             }
         }
         let mut logw = LogWriter::open(&path, scan.valid_len)?;
-        if let Some((unit, _)) = open_unit.take() {
+        if let Some(unit) = replay.open_unit_id() {
             // The log ends inside an unsealed unit (crash mid-unit). Seal it
             // as aborted so later replays — which will see frames appended
             // after this point — don't buffer them into the dead unit.
-            logw.append(&LogRecord::UnitEnd {
+            let seal = LogRecord::UnitEnd {
                 unit,
                 committed: false,
-            })?;
+            };
+            logw.append(&seal)?;
             logw.sync()?;
+            replay.offer(&seal);
         }
+        let next_txn = replay.next_txn().max(1);
+        let next_oid = replay.next_oid().max(1);
+        let committed_len = logw.len();
         let published = Arc::new(image.clone());
         Ok(Store {
             inner: Mutex::new(Inner {
@@ -319,6 +405,7 @@ impl Store {
                 next_txn,
                 hold_depth: 0,
                 active_unit: None,
+                replay,
             }),
             published: RwLock::new(published),
             oids: OidAllocator::starting_at(next_oid),
@@ -326,6 +413,8 @@ impl Store {
             options,
             path,
             recorder: RwLock::new(Recorder::disabled()),
+            log_epoch: AtomicU64::new(0),
+            committed_len: AtomicU64::new(committed_len),
         })
     }
 
@@ -385,6 +474,8 @@ impl Store {
             } else {
                 inner.logw.flush()?;
             }
+            self.committed_len
+                .store(inner.logw.len(), Ordering::Release);
         }
         self.publish(&inner);
         Ok(())
@@ -549,7 +640,164 @@ impl Store {
         // Reopen the writer positioned at the end of the compacted log.
         let scan = log::scan(&self.path)?;
         inner.logw = LogWriter::open(&self.path, scan.valid_len)?;
+        // Every byte offset into the old log is now meaningless: bump the
+        // epoch so replication followers mid-tail are forced to re-handshake
+        // instead of silently reading frames that no longer line up.
+        self.committed_len.store(scan.valid_len, Ordering::Release);
+        self.log_epoch.fetch_add(1, Ordering::Release);
         Ok((inner.image.record_count() as u64, scan.valid_len))
+    }
+
+    // -----------------------------------------------------------------
+    // Replication: log tailing (primary side) and frame replay (follower)
+    // -----------------------------------------------------------------
+
+    /// Epoch of the backing log file. Byte offsets handed to
+    /// [`Store::read_frames`] are only meaningful within one epoch;
+    /// compaction rewrites the log and bumps it.
+    pub fn log_epoch(&self) -> u64 {
+        self.log_epoch.load(Ordering::Acquire)
+    }
+
+    /// Length of the committed, flushed log prefix — the replication horizon.
+    pub fn committed_log_len(&self) -> u64 {
+        self.committed_len.load(Ordering::Acquire)
+    }
+
+    /// Read committed frames for a replication follower whose cursor is
+    /// `offset` within log `epoch`, batching roughly `max_bytes` of frames.
+    ///
+    /// Returns `Ok(None)` when the cursor is stale — wrong epoch, an offset
+    /// beyond the committed horizon, or bytes that no longer decode as
+    /// frames (compaction raced the read) — in which case the follower must
+    /// discard its local state and re-handshake from offset zero. The read
+    /// runs off the file without taking the writer lock, so tailing
+    /// followers never stall the commit path.
+    pub fn read_frames(
+        &self,
+        epoch: u64,
+        offset: u64,
+        max_bytes: u64,
+    ) -> StorageResult<Option<FrameBatch>> {
+        let current = self.log_epoch.load(Ordering::Acquire);
+        if epoch != current {
+            return Ok(None);
+        }
+        let end = self.committed_len.load(Ordering::Acquire);
+        if offset > end {
+            return Ok(None);
+        }
+        if offset == end {
+            return Ok(Some(FrameBatch {
+                epoch: current,
+                frames: Vec::new(),
+                next_offset: offset,
+                log_len: end,
+            }));
+        }
+        let read = log::tail(&self.path, offset, max_bytes, end)?;
+        // Compaction may have renamed a new log into place mid-read; the
+        // epoch check makes that window harmless.
+        if self.log_epoch.load(Ordering::Acquire) != current {
+            return Ok(None);
+        }
+        Ok(read.map(|(frames, next_offset)| FrameBatch {
+            epoch: current,
+            frames,
+            next_offset,
+            log_len: end,
+        }))
+    }
+
+    /// Append replicated frames verbatim to the local log and apply every
+    /// group that settles, exactly as crash recovery would. This is the
+    /// follower's write path: the codec is deterministic, so the local log
+    /// stays byte-identical to the primary's and the local length *is* the
+    /// replication cursor.
+    ///
+    /// Groups still open at the end of the batch (a unit of work split over
+    /// several polls) stay buffered in the store's [`ReplayState`] and are
+    /// published — atomically — only when a later batch delivers the seal.
+    pub fn apply_replicated(&self, records: &[LogRecord]) -> StorageResult<ReplicaApply> {
+        let span = self.recorder.read().span(Stage::ReplicaApply);
+        let mut inner = self.inner.lock();
+        let mut summary = ReplicaApply::default();
+        let mut appends = 0u64;
+        let mut bytes_written = 0u64;
+        for record in records {
+            let at = inner.logw.append(record)?;
+            bytes_written += inner.logw.len() - at;
+            appends += 1;
+            let ready = inner.replay.offer(record);
+            if !ready.is_empty() {
+                Stats::bump(&self.stats.commits);
+            }
+            for r in &ready {
+                match r {
+                    LogRecord::Put { oid, .. } => {
+                        summary.touched_oids.push(*oid);
+                        Stats::bump(&self.stats.puts);
+                    }
+                    LogRecord::Delete { oid, .. } => {
+                        summary.touched_oids.push(*oid);
+                        Stats::bump(&self.stats.deletes);
+                    }
+                    LogRecord::KvPut { keyspace, .. } | LogRecord::KvDelete { keyspace, .. } => {
+                        let ks = Keyspace(*keyspace);
+                        if !summary.touched_keyspaces.contains(&ks) {
+                            summary.touched_keyspaces.push(ks);
+                        }
+                    }
+                    _ => {}
+                }
+                inner.image.apply(r);
+                summary.applied += 1;
+            }
+        }
+        if self.options.sync_on_commit {
+            inner.logw.sync()?;
+            Stats::bump(&self.stats.syncs);
+        } else {
+            inner.logw.flush()?;
+        }
+        Stats::add(&self.stats.log_appends, appends);
+        Stats::add(&self.stats.bytes_written, bytes_written);
+        inner.next_txn = inner.next_txn.max(inner.replay.next_txn());
+        // Keep the local allocator above every identifier the primary has
+        // issued, so a promoted follower never re-issues an OID.
+        let hwm = inner.replay.next_oid();
+        if hwm > 0 {
+            self.oids.observe(Oid::from_raw(hwm - 1));
+        }
+        self.committed_len
+            .store(inner.logw.len(), Ordering::Release);
+        summary.log_len = inner.logw.len();
+        if summary.applied > 0 {
+            self.publish(&inner);
+        }
+        span.finish(appends, summary.applied);
+        Ok(summary)
+    }
+
+    /// Discard the image, the local log and any buffered replay state,
+    /// returning the store to the just-created state. A replication follower
+    /// does this when the primary tells it its cursor is from a previous
+    /// epoch (the primary compacted): offsets into the old log are
+    /// meaningless, so the follower re-replays the compacted log — the
+    /// checkpoint — from byte zero.
+    pub fn reset_to_empty(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.hold_depth > 0 {
+            return Err(StorageError::TxnState(
+                "cannot reset while a unit of work is open".into(),
+            ));
+        }
+        inner.image = Image::default();
+        inner.replay = ReplayState::default();
+        inner.logw = LogWriter::open(&self.path, 0)?;
+        self.committed_len.store(0, Ordering::Release);
+        self.publish(&inner);
+        Ok(())
     }
 
     fn commit_txn(
@@ -631,6 +879,8 @@ impl Store {
             // nothing, and one fsync per unit replaces one per mutation.
             inner.logw.flush()?;
         }
+        self.committed_len
+            .store(inner.logw.len(), Ordering::Release);
         for record in &apply {
             inner.image.apply(record);
         }

@@ -71,11 +71,17 @@ pub enum Stage {
     Compact = 9,
     /// One ECA/PCL rule evaluation batch. c0 = rules checked, c1 = events.
     Rule = 10,
+    /// One replication poll answered by the primary. c0 = frames served,
+    /// c1 = follower byte lag after the batch.
+    ReplicaPoll = 11,
+    /// One replicated frame batch applied by a follower. c0 = frames
+    /// appended, c1 = records of settled groups applied to the image.
+    ReplicaApply = 12,
 }
 
 impl Stage {
     /// All stages, in discriminant order.
-    pub const ALL: [Stage; 11] = [
+    pub const ALL: [Stage; 13] = [
         Stage::Request,
         Stage::LaneWait,
         Stage::PlanCache,
@@ -87,6 +93,8 @@ impl Stage {
         Stage::Fsync,
         Stage::Compact,
         Stage::Rule,
+        Stage::ReplicaPoll,
+        Stage::ReplicaApply,
     ];
 
     /// Decode a discriminant stored in the ring.
@@ -108,6 +116,8 @@ impl Stage {
             Stage::Fsync => "fsync",
             Stage::Compact => "compact",
             Stage::Rule => "rule",
+            Stage::ReplicaPoll => "replica_poll",
+            Stage::ReplicaApply => "replica_apply",
         }
     }
 }
