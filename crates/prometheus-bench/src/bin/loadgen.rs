@@ -35,6 +35,15 @@
 //!   whether lag converged back to zero once the writer stopped — written
 //!   to `BENCH_replication.json`, exit 1 on any failure or an unconverged
 //!   follower.
+//! * **commit-cost** — in-process, no server: at each image size (default
+//!   10k / 100k / 1M keys) a reader snapshot is pinned and probe commits run
+//!   against it, so publication must path-copy the persistent map instead of
+//!   mutating in place. The report is nodes cloned and bytes copied per
+//!   commit straight from the storage counters, plus commit latency
+//!   percentiles, written to `BENCH_commit.json`. Exit 1 unless the
+//!   per-commit clone cost grows sublinearly in the image size — the
+//!   structure-sharing contract (a commit clones a root-to-leaf path, not
+//!   the snapshot).
 //!
 //! ```text
 //! cargo run --release -p prometheus-bench --bin loadgen                # mixed defaults
@@ -46,6 +55,8 @@
 //! cargo run --release -p prometheus-bench --bin loadgen -- trace-smoke
 //! cargo run --release -p prometheus-bench --bin loadgen -- replication 4 150 2
 //! #                                                        readers ops followers
+//! cargo run --release -p prometheus-bench --bin loadgen -- commit-cost 10000 100000 1000000
+//! #                                                        image sizes (keys)
 //! ```
 
 use prometheus_bench::report::{percentile_us, render_latency_summary};
@@ -127,6 +138,7 @@ fn main() {
         Some("parallel") => parallel(&argv[1..]),
         Some("trace-smoke") => trace_smoke(&argv[1..]),
         Some("replication") => replication(&argv[1..]),
+        Some("commit-cost") => commit_cost(&argv[1..]),
         _ => mixed(parse_args(&argv)),
     }
 }
@@ -455,6 +467,11 @@ fn contention(argv: &[String]) {
                 }
                 unit.commit()?;
                 units += 1;
+                // Pace the churn: with structure-shared images a commit no
+                // longer copies the snapshot, so an unthrottled writer floods
+                // millions of rows and the readers' full scans end up
+                // measuring data volume instead of writer interference.
+                std::thread::sleep(std::time::Duration::from_millis(2));
             }
             client.close()?;
             Ok::<_, prometheus_server::ServerError>(units)
@@ -530,6 +547,171 @@ fn contention(argv: &[String]) {
         std::process::exit(1);
     }
     println!("OK: zero reader failures, zero protocol errors.");
+}
+
+/// Measure what one commit costs to *publish* as the image grows: with a
+/// reader snapshot pinned, applying a commit must path-copy the persistent
+/// map, and the `image_nodes_cloned` / `image_bytes_copied` counters say
+/// exactly how much was copied. Sublinear growth across a 100× size spread
+/// is the structure-sharing contract; anything near linear means a commit
+/// is cloning the snapshot, and the run exits 1.
+fn commit_cost(argv: &[String]) {
+    use prometheus_storage::{Keyspace, Store, StoreOptions};
+
+    let sizes: Vec<usize> = if argv.is_empty() {
+        vec![10_000, 100_000, 1_000_000]
+    } else {
+        argv.iter()
+            .filter_map(|s| s.parse().ok())
+            .filter(|&n| n > 0)
+            .collect()
+    };
+    const PROBES: usize = 64;
+    const WRITES_PER_COMMIT: usize = 4;
+    const VALUE_LEN: usize = 16;
+    let ks = Keyspace(7);
+
+    println!(
+        "loadgen commit-cost: {PROBES} probe commits × {WRITES_PER_COMMIT} writes \
+         against pinned snapshots at image sizes {sizes:?}"
+    );
+
+    struct SizeRow {
+        keys: usize,
+        bulk_load_secs: f64,
+        nodes_per_commit: f64,
+        bytes_per_commit: f64,
+        p50_us: u64,
+        p99_us: u64,
+    }
+    let mut rows: Vec<SizeRow> = Vec::new();
+
+    for &n in &sizes {
+        let path = std::env::temp_dir().join(format!(
+            "prometheus-commit-cost-{n}-{}.db",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let store = Store::open_with(
+            &path,
+            StoreOptions {
+                sync_on_commit: false,
+            },
+        )
+        .expect("open scratch store");
+
+        // Bulk-load n keys; nothing pins the image, so these commits mutate
+        // the unique spine in place and are not what we are measuring.
+        let load = Instant::now();
+        let mut next = 0usize;
+        while next < n {
+            let end = (next + 4096).min(n);
+            store
+                .with_txn(|t| {
+                    for k in next..end {
+                        t.kv_put(ks, (k as u64).to_be_bytes().to_vec(), vec![0xAB; VALUE_LEN]);
+                    }
+                    Ok(())
+                })
+                .expect("bulk load");
+            next = end;
+        }
+        let bulk_load_secs = load.elapsed().as_secs_f64();
+
+        // Probe: every commit runs against a freshly pinned reader snapshot,
+        // forcing publication to clone the root-to-leaf path of each write.
+        let mut rng = StdRng::seed_from_u64(7);
+        let before = store.stats().snapshot();
+        let mut samples = Vec::with_capacity(PROBES);
+        for _ in 0..PROBES {
+            let pin = store.snapshot();
+            let t0 = Instant::now();
+            store
+                .with_txn(|t| {
+                    for _ in 0..WRITES_PER_COMMIT {
+                        let k: u64 = rng.gen_range(0..n as u64);
+                        t.kv_put(ks, k.to_be_bytes().to_vec(), vec![0xCD; VALUE_LEN]);
+                    }
+                    Ok(())
+                })
+                .expect("probe commit");
+            samples.push(t0.elapsed().as_micros() as u64);
+            drop(pin);
+        }
+        let after = store.stats().snapshot();
+        samples.sort_unstable();
+
+        let nodes_per_commit =
+            (after.image_nodes_cloned - before.image_nodes_cloned) as f64 / PROBES as f64;
+        let bytes_per_commit =
+            (after.image_bytes_copied - before.image_bytes_copied) as f64 / PROBES as f64;
+        println!(
+            "  {n:>9} keys: {nodes_per_commit:.1} nodes / {bytes_per_commit:.0} bytes \
+             cloned per commit, p50 {} us, p99 {} us (bulk load {bulk_load_secs:.2}s)",
+            percentile_us(&samples, 0.50),
+            percentile_us(&samples, 0.99),
+        );
+        rows.push(SizeRow {
+            keys: n,
+            bulk_load_secs,
+            nodes_per_commit,
+            bytes_per_commit,
+            p50_us: percentile_us(&samples, 0.50),
+            p99_us: percentile_us(&samples, 0.99),
+        });
+
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // Sublinearity verdict across the extremes: if the image grew R× but the
+    // per-commit clone cost grew anywhere near R×, commits are copying the
+    // map, not a path. Demand at least a 5× gap.
+    let mut sublinear = true;
+    if let (Some(small), Some(large)) = (rows.first(), rows.last()) {
+        if large.keys > small.keys && small.nodes_per_commit > 0.0 {
+            let size_ratio = large.keys as f64 / small.keys as f64;
+            let cost_ratio = large.nodes_per_commit / small.nodes_per_commit;
+            sublinear = cost_ratio * 5.0 <= size_ratio;
+            println!(
+                "image grew {size_ratio:.0}×, per-commit clone cost grew {cost_ratio:.2}× \
+                 — {}",
+                if sublinear {
+                    "sublinear"
+                } else {
+                    "NOT sublinear"
+                }
+            );
+        }
+    }
+
+    let mut json = String::from("{\n  \"scenario\": \"commit-cost\",\n  \"sizes\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{ \"keys\": {}, \"nodes_cloned_per_commit\": {:.2}, \
+             \"bytes_copied_per_commit\": {:.0}, \"commit_p50_us\": {}, \
+             \"commit_p99_us\": {}, \"bulk_load_secs\": {:.3} }}{}\n",
+            r.keys,
+            r.nodes_per_commit,
+            r.bytes_per_commit,
+            r.p50_us,
+            r.p99_us,
+            r.bulk_load_secs,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"probe_commits\": {PROBES},\n  \"writes_per_commit\": {WRITES_PER_COMMIT},\n  \
+         \"sublinear\": {sublinear}\n}}\n"
+    ));
+    std::fs::write("BENCH_commit.json", &json).expect("write BENCH_commit.json");
+    println!("\nwrote BENCH_commit.json");
+
+    if !sublinear {
+        eprintln!("FAILED: per-commit publication cost is not sublinear in the image size");
+        std::process::exit(1);
+    }
+    println!("OK: publication cost is a path, not the image.");
 }
 
 /// Like [`run_readers`], but reader `i` connects to `addrs[i % addrs.len()]`

@@ -241,6 +241,16 @@ pub fn render_prometheus_exposition(server: &MetricsSnapshot, storage: &StatsSna
         "Immutable snapshot publications.",
         storage.snapshot_swaps,
     );
+    counter(
+        "prometheus_storage_image_nodes_cloned_total",
+        "Persistent-map nodes path-copied while publishing commits.",
+        storage.image_nodes_cloned,
+    );
+    counter(
+        "prometheus_storage_image_bytes_copied_total",
+        "Bytes copied cloning image nodes (structure only, not payloads).",
+        storage.image_bytes_copied,
+    );
 
     let _ = writeln!(
         out,

@@ -28,7 +28,7 @@ use crate::instance::{ClassificationMeta, ObjectInstance, RelInstance, StoredEnt
 use crate::schema::SchemaRegistry;
 use crate::synonym::SynonymTable;
 use crate::value::Value;
-use prometheus_storage::{codec, Keyspace, Oid, Snapshot};
+use prometheus_storage::{codec, Bytes, Keyspace, Oid, Snapshot};
 use std::sync::Arc;
 
 /// Read access to a (possibly pinned) database state.
@@ -45,14 +45,39 @@ pub trait Reader: Sized + Send + Sync {
     /// Fetch and decode the entity stored under `oid`.
     fn entity(&self, oid: Oid) -> DbResult<StoredEntity>;
 
-    /// Point lookup in an index keyspace.
-    fn raw_kv_get(&self, ks: Keyspace, key: &[u8]) -> Option<Vec<u8>>;
+    /// Point lookup in an index keyspace. The returned value is a shared
+    /// handle into the underlying image, not a copy.
+    fn raw_kv_get(&self, ks: Keyspace, key: &[u8]) -> Option<Bytes>;
 
-    /// Ordered prefix scan over an index keyspace.
-    fn raw_kv_scan_prefix(&self, ks: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)>;
+    /// Ordered prefix scan over an index keyspace; keys and values are
+    /// shared handles into the image.
+    fn raw_kv_scan_prefix(&self, ks: Keyspace, prefix: &[u8]) -> Vec<(Bytes, Bytes)>;
 
     /// Ordered range scan `lo <= key < hi` over an index keyspace.
-    fn raw_kv_scan_range(&self, ks: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)>;
+    fn raw_kv_scan_range(&self, ks: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Bytes, Bytes)>;
+
+    /// Stream every entry under `prefix` in key order, without materialising
+    /// an intermediate vector. Implementations drive this straight off the
+    /// storage image's range cursor; the default falls back to the
+    /// materialising scan for exotic readers.
+    fn raw_kv_for_each_prefix(&self, ks: Keyspace, prefix: &[u8], mut f: impl FnMut(&[u8], &[u8])) {
+        for (k, v) in self.raw_kv_scan_prefix(ks, prefix) {
+            f(&k, &v);
+        }
+    }
+
+    /// Stream every entry with `lo <= key < hi` in key order.
+    fn raw_kv_for_each_range(
+        &self,
+        ks: Keyspace,
+        lo: &[u8],
+        hi: &[u8],
+        mut f: impl FnMut(&[u8], &[u8]),
+    ) {
+        for (k, v) in self.raw_kv_scan_range(ks, lo, hi) {
+            f(&k, &v);
+        }
+    }
 
     /// Run `f` with read access to the schema registry.
     fn with_schema<T>(&self, f: impl FnOnce(&SchemaRegistry) -> T) -> T;
@@ -167,17 +192,13 @@ pub trait Reader: Sized + Send + Sync {
             Some(c) => index::endpoint_class_prefix(oid, c),
             None => index::endpoint_prefix(oid),
         };
-        let entries = self.raw_kv_scan_prefix(ks, &prefix);
-        let mut out = Vec::with_capacity(entries.len());
-        for (key, value) in entries {
-            let Some(rel_oid) = index::oid_suffix(&key) else {
-                continue;
-            };
-            let Ok(bytes) = <[u8; 8]>::try_from(value.as_slice()) else {
-                continue;
-            };
-            out.push((rel_oid, Oid::from_be_bytes(bytes)));
-        }
+        let mut out = Vec::new();
+        self.raw_kv_for_each_prefix(ks, &prefix, |key, value| {
+            if let (Some(rel_oid), Ok(bytes)) = (index::oid_suffix(key), <[u8; 8]>::try_from(value))
+            {
+                out.push((rel_oid, Oid::from_be_bytes(bytes)));
+            }
+        });
         Ok(out)
     }
 
@@ -199,15 +220,13 @@ pub trait Reader: Sized + Send + Sync {
             let mut adj = Vec::new();
             for class in classes {
                 index::build::endpoint_class_prefix(&mut prefix, oid, class);
-                for (key, value) in self.raw_kv_scan_prefix(ks, &prefix) {
-                    let Some(rel_oid) = index::oid_suffix(&key) else {
-                        continue;
-                    };
-                    let Ok(bytes) = <[u8; 8]>::try_from(value.as_slice()) else {
-                        continue;
-                    };
-                    adj.push((rel_oid, Oid::from_be_bytes(bytes)));
-                }
+                self.raw_kv_for_each_prefix(ks, &prefix, |key, value| {
+                    if let (Some(rel_oid), Ok(bytes)) =
+                        (index::oid_suffix(key), <[u8; 8]>::try_from(value))
+                    {
+                        adj.push((rel_oid, Oid::from_be_bytes(bytes)));
+                    }
+                });
             }
             out.push(adj);
         }
@@ -230,11 +249,11 @@ pub trait Reader: Sized + Send + Sync {
         let mut prefix = Vec::new();
         for c in classes {
             index::build::extent_prefix(&mut prefix, &c);
-            for (key, _) in self.raw_kv_scan_prefix(KS_EXTENT, &prefix) {
-                if let Some(oid) = index::oid_suffix(&key) {
+            self.raw_kv_for_each_prefix(KS_EXTENT, &prefix, |key, _| {
+                if let Some(oid) = index::oid_suffix(key) {
                     out.push(oid);
                 }
-            }
+            });
         }
         Ok(out)
     }
@@ -248,11 +267,11 @@ pub trait Reader: Sized + Send + Sync {
         let mut prefix = Vec::new();
         for c in classes {
             index::build::attr_value_prefix(&mut prefix, &c, attr, &encoded);
-            for (key, _) in self.raw_kv_scan_prefix(KS_ATTR, &prefix) {
-                if let Some(oid) = index::oid_suffix(&key) {
+            self.raw_kv_for_each_prefix(KS_ATTR, &prefix, |key, _| {
+                if let Some(oid) = index::oid_suffix(key) {
                     out.push(oid);
                 }
-            }
+            });
         }
         Ok(out)
     }
@@ -273,11 +292,11 @@ pub trait Reader: Sized + Send + Sync {
         for c in classes {
             index::build::attr_value_prefix(&mut lo_key, &c, attr, &enc_lo);
             index::build::attr_value_prefix(&mut hi_key, &c, attr, &enc_hi);
-            for (key, _) in self.raw_kv_scan_range(KS_ATTR, &lo_key, &hi_key) {
-                if let Some(oid) = index::oid_suffix(&key) {
+            self.raw_kv_for_each_range(KS_ATTR, &lo_key, &hi_key, |key, _| {
+                if let Some(oid) = index::oid_suffix(key) {
                     out.push(oid);
                 }
-            }
+            });
         }
         Ok(out)
     }
@@ -359,11 +378,13 @@ pub trait Reader: Sized + Send + Sync {
     /// All classification OIDs.
     fn classifications(&self) -> DbResult<Vec<Oid>> {
         let prefix = index::extent_prefix(CLASSIFICATION_EXTENT);
-        Ok(self
-            .raw_kv_scan_prefix(KS_EXTENT, &prefix)
-            .into_iter()
-            .filter_map(|(k, _)| index::oid_suffix(&k))
-            .collect())
+        let mut out = Vec::new();
+        self.raw_kv_for_each_prefix(KS_EXTENT, &prefix, |key, _| {
+            if let Some(oid) = index::oid_suffix(key) {
+                out.push(oid);
+            }
+        });
+        Ok(out)
     }
 
     /// Find a classification by name.
@@ -378,20 +399,24 @@ pub trait Reader: Sized + Send + Sync {
 
     /// All edge OIDs of a classification.
     fn classification_edges(&self, cls: Oid) -> DbResult<Vec<Oid>> {
-        Ok(self
-            .raw_kv_scan_prefix(KS_CLS_EDGES, &index::cls_prefix(cls))
-            .into_iter()
-            .filter_map(|(k, _)| index::oid_suffix(&k))
-            .collect())
+        let mut out = Vec::new();
+        self.raw_kv_for_each_prefix(KS_CLS_EDGES, &index::cls_prefix(cls), |key, _| {
+            if let Some(oid) = index::oid_suffix(key) {
+                out.push(oid);
+            }
+        });
+        Ok(out)
     }
 
     /// All classifications an edge belongs to.
     fn classifications_of_edge(&self, rel_oid: Oid) -> DbResult<Vec<Oid>> {
-        Ok(self
-            .raw_kv_scan_prefix(KS_EDGE_CLS, &index::edge_prefix(rel_oid))
-            .into_iter()
-            .filter_map(|(k, _)| index::oid_suffix(&k))
-            .collect())
+        let mut out = Vec::new();
+        self.raw_kv_for_each_prefix(KS_EDGE_CLS, &index::edge_prefix(rel_oid), |key, _| {
+            if let Some(oid) = index::oid_suffix(key) {
+                out.push(oid);
+            }
+        });
+        Ok(out)
     }
 
     /// Edges of `cls` arriving at `node` (its parent edges there).
@@ -424,12 +449,17 @@ pub trait Reader: Sized + Send + Sync {
 }
 
 fn load_rels<R: Reader>(db: &R, ks: Keyspace, prefix: &[u8]) -> DbResult<Vec<RelInstance>> {
-    let entries = db.raw_kv_scan_prefix(ks, prefix);
-    let mut out = Vec::with_capacity(entries.len());
-    for (key, _) in entries {
-        if let Some((_, rel_oid)) = index::decode_endpoint_key(&key) {
-            out.push(db.rel(rel_oid)?);
+    // Stream the index cursor first, then decode records: `Database`'s
+    // streaming scan holds the store mutex, which `rel` must re-take.
+    let mut rel_oids = Vec::new();
+    db.raw_kv_for_each_prefix(ks, prefix, |key, _| {
+        if let Some((_, rel_oid)) = index::decode_endpoint_key(key) {
+            rel_oids.push(rel_oid);
         }
+    });
+    let mut out = Vec::with_capacity(rel_oids.len());
+    for rel_oid in rel_oids {
+        out.push(db.rel(rel_oid)?);
     }
     Ok(out)
 }
@@ -441,16 +471,30 @@ impl Reader for Database {
         self.entity_cached(oid)
     }
 
-    fn raw_kv_get(&self, ks: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
+    fn raw_kv_get(&self, ks: Keyspace, key: &[u8]) -> Option<Bytes> {
         self.store().kv_get(ks, key)
     }
 
-    fn raw_kv_scan_prefix(&self, ks: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    fn raw_kv_scan_prefix(&self, ks: Keyspace, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
         self.store().kv_scan_prefix(ks, prefix)
     }
 
-    fn raw_kv_scan_range(&self, ks: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    fn raw_kv_scan_range(&self, ks: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Bytes, Bytes)> {
         self.store().kv_scan_range(ks, lo, hi)
+    }
+
+    fn raw_kv_for_each_prefix(&self, ks: Keyspace, prefix: &[u8], f: impl FnMut(&[u8], &[u8])) {
+        self.store().kv_for_each_prefix(ks, prefix, f)
+    }
+
+    fn raw_kv_for_each_range(
+        &self,
+        ks: Keyspace,
+        lo: &[u8],
+        hi: &[u8],
+        f: impl FnMut(&[u8], &[u8]),
+    ) {
+        self.store().kv_for_each_range(ks, lo, hi, f)
     }
 
     fn with_schema<T>(&self, f: impl FnOnce(&SchemaRegistry) -> T) -> T {
@@ -470,16 +514,30 @@ impl<R: Reader> Reader for &R {
         (**self).entity(oid)
     }
 
-    fn raw_kv_get(&self, ks: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
+    fn raw_kv_get(&self, ks: Keyspace, key: &[u8]) -> Option<Bytes> {
         (**self).raw_kv_get(ks, key)
     }
 
-    fn raw_kv_scan_prefix(&self, ks: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    fn raw_kv_scan_prefix(&self, ks: Keyspace, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
         (**self).raw_kv_scan_prefix(ks, prefix)
     }
 
-    fn raw_kv_scan_range(&self, ks: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    fn raw_kv_scan_range(&self, ks: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Bytes, Bytes)> {
         (**self).raw_kv_scan_range(ks, lo, hi)
+    }
+
+    fn raw_kv_for_each_prefix(&self, ks: Keyspace, prefix: &[u8], f: impl FnMut(&[u8], &[u8])) {
+        (**self).raw_kv_for_each_prefix(ks, prefix, f)
+    }
+
+    fn raw_kv_for_each_range(
+        &self,
+        ks: Keyspace,
+        lo: &[u8],
+        hi: &[u8],
+        f: impl FnMut(&[u8], &[u8]),
+    ) {
+        (**self).raw_kv_for_each_range(ks, lo, hi, f)
     }
 
     fn with_schema<T>(&self, f: impl FnOnce(&SchemaRegistry) -> T) -> T {
@@ -498,16 +556,30 @@ impl<R: Reader> Reader for Arc<R> {
         (**self).entity(oid)
     }
 
-    fn raw_kv_get(&self, ks: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
+    fn raw_kv_get(&self, ks: Keyspace, key: &[u8]) -> Option<Bytes> {
         (**self).raw_kv_get(ks, key)
     }
 
-    fn raw_kv_scan_prefix(&self, ks: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    fn raw_kv_scan_prefix(&self, ks: Keyspace, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
         (**self).raw_kv_scan_prefix(ks, prefix)
     }
 
-    fn raw_kv_scan_range(&self, ks: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    fn raw_kv_scan_range(&self, ks: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Bytes, Bytes)> {
         (**self).raw_kv_scan_range(ks, lo, hi)
+    }
+
+    fn raw_kv_for_each_prefix(&self, ks: Keyspace, prefix: &[u8], f: impl FnMut(&[u8], &[u8])) {
+        (**self).raw_kv_for_each_prefix(ks, prefix, f)
+    }
+
+    fn raw_kv_for_each_range(
+        &self,
+        ks: Keyspace,
+        lo: &[u8],
+        hi: &[u8],
+        f: impl FnMut(&[u8], &[u8]),
+    ) {
+        (**self).raw_kv_for_each_range(ks, lo, hi, f)
     }
 
     fn with_schema<T>(&self, f: impl FnOnce(&SchemaRegistry) -> T) -> T {
@@ -564,16 +636,30 @@ impl Reader for ReadView {
         Ok(codec::from_bytes(&bytes)?)
     }
 
-    fn raw_kv_get(&self, ks: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
+    fn raw_kv_get(&self, ks: Keyspace, key: &[u8]) -> Option<Bytes> {
         self.snap.kv_get(ks, key)
     }
 
-    fn raw_kv_scan_prefix(&self, ks: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    fn raw_kv_scan_prefix(&self, ks: Keyspace, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
         self.snap.kv_scan_prefix(ks, prefix)
     }
 
-    fn raw_kv_scan_range(&self, ks: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    fn raw_kv_scan_range(&self, ks: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Bytes, Bytes)> {
         self.snap.kv_scan_range(ks, lo, hi)
+    }
+
+    fn raw_kv_for_each_prefix(&self, ks: Keyspace, prefix: &[u8], f: impl FnMut(&[u8], &[u8])) {
+        self.snap.kv_for_each_prefix(ks, prefix, f)
+    }
+
+    fn raw_kv_for_each_range(
+        &self,
+        ks: Keyspace,
+        lo: &[u8],
+        hi: &[u8],
+        f: impl FnMut(&[u8], &[u8]),
+    ) {
+        self.snap.kv_for_each_range(ks, lo, hi, f)
     }
 
     fn with_schema<T>(&self, f: impl FnOnce(&SchemaRegistry) -> T) -> T {

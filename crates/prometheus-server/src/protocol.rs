@@ -50,7 +50,12 @@ use crate::slowlog::SlowLogEntry;
 /// [`Response::ReplicaStatus`]; `MetricsSnapshot` gained per-request-class
 /// latency histograms and per-follower replication lag; a version-mismatched
 /// handshake now answers the typed `protocol-mismatch` error kind.
-pub const PROTOCOL_VERSION: u16 = 4;
+///
+/// v5: the storage [`prometheus_storage::StatsSnapshot`] carried inside
+/// `MetricsSnapshot` gained `image_nodes_cloned` and `image_bytes_copied`
+/// (persistent-map publication cost); positional codec, so v4 clients
+/// cannot decode the enlarged `Stats` response.
+pub const PROTOCOL_VERSION: u16 = 5;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

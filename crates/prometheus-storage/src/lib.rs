@@ -27,12 +27,15 @@ pub mod crc;
 pub mod error;
 pub mod log;
 pub mod oid;
+pub mod pmap;
 pub mod stats;
 pub mod store;
 
+pub use bytes::Bytes;
 pub use error::{StorageError, StorageResult};
 pub use log::LogRecord;
 pub use oid::{Oid, OidAllocator};
+pub use pmap::{PMap, Touch};
 pub use stats::{Stats, StatsSnapshot};
 pub use store::{
     FrameBatch, Keyspace, ReplayState, ReplicaApply, Snapshot, Store, StoreOptions, Txn,

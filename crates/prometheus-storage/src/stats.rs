@@ -32,6 +32,13 @@ pub struct Stats {
     /// Immutable-image publications (one per commit or settled unit of work);
     /// readers pin the image published by the latest swap.
     pub snapshot_swaps: AtomicU64,
+    /// Persistent-map nodes cloned while folding commits into the image —
+    /// the path-copy cost of publication (nodes shared with a pinned
+    /// snapshot that had to be made unique).
+    pub image_nodes_cloned: AtomicU64,
+    /// Bytes memcpy'd cloning those nodes (entry vectors, not payloads —
+    /// payload `Bytes` are refcounted and never copied).
+    pub image_bytes_copied: AtomicU64,
 }
 
 impl Stats {
@@ -60,6 +67,8 @@ impl Stats {
             commits: self.commits.load(Ordering::Relaxed),
             aborts: self.aborts.load(Ordering::Relaxed),
             snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
+            image_nodes_cloned: self.image_nodes_cloned.load(Ordering::Relaxed),
+            image_bytes_copied: self.image_bytes_copied.load(Ordering::Relaxed),
         }
     }
 
@@ -76,6 +85,8 @@ impl Stats {
             &self.commits,
             &self.aborts,
             &self.snapshot_swaps,
+            &self.image_nodes_cloned,
+            &self.image_bytes_copied,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -98,6 +109,8 @@ pub struct StatsSnapshot {
     pub commits: u64,
     pub aborts: u64,
     pub snapshot_swaps: u64,
+    pub image_nodes_cloned: u64,
+    pub image_bytes_copied: u64,
 }
 
 impl StatsSnapshot {
@@ -115,6 +128,8 @@ impl StatsSnapshot {
             commits: self.commits - earlier.commits,
             aborts: self.aborts - earlier.aborts,
             snapshot_swaps: self.snapshot_swaps - earlier.snapshot_swaps,
+            image_nodes_cloned: self.image_nodes_cloned - earlier.image_nodes_cloned,
+            image_bytes_copied: self.image_bytes_copied - earlier.image_bytes_copied,
         }
     }
 

@@ -14,23 +14,18 @@
 use crate::error::{StorageError, StorageResult};
 use crate::log::{self, LogRecord, LogWriter};
 use crate::oid::{Oid, OidAllocator};
+use crate::pmap::{PMap, Touch};
 use crate::stats::Stats;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use prometheus_trace::{Recorder, Stage};
 use std::collections::{BTreeMap, HashMap};
-use std::ops::Bound;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Number of record shards in the image. Sharding bounds the copy-on-write
-/// cost of a commit: only the shards a transaction touches are cloned when
-/// publishing a new snapshot.
-const RECORD_SHARDS: usize = 64;
-
-/// One ordered map per possible keyspace id. All start as clones of one empty
-/// `Arc`, so unused keyspaces cost a pointer each.
+/// One persistent ordered map per possible keyspace id. Empty [`PMap`]s have
+/// no nodes, so unused keyspaces cost a `None` root each.
 const KEYSPACES: usize = 256;
 
 /// Identifier of an ordered key/value namespace within the store.
@@ -57,70 +52,100 @@ impl Default for StoreOptions {
     }
 }
 
-/// The committed database image: a sharded record map plus one ordered
-/// key/value map per keyspace, every part behind an `Arc` for structural
-/// sharing. Mutation goes through [`Image::apply`], which copies only the
-/// shard it touches (`Arc::make_mut`), so cloning the image — done once per
-/// published snapshot — is 320 pointer bumps, not a deep copy.
+/// The committed database image: a persistent record map (keyed by the OID's
+/// big-endian bytes) plus one persistent ordered key/value map per keyspace,
+/// all built on the structure-sharing [`PMap`]. Mutation goes through
+/// [`Image::apply_owned`], which path-copies only the root-to-leaf spine of
+/// the touched key, so cloning the image — done once per published snapshot —
+/// is 257 root handles, and a commit's publication cost is O(log n) per
+/// touched key instead of O(shard).
 #[derive(Debug, Clone)]
 struct Image {
-    records: Vec<Arc<HashMap<Oid, Bytes>>>,
-    kv: Vec<Arc<BTreeMap<Vec<u8>, Vec<u8>>>>,
+    records: PMap,
+    kv: Vec<PMap>,
 }
 
 impl Default for Image {
     fn default() -> Self {
-        let empty_records = Arc::new(HashMap::new());
-        let empty_kv = Arc::new(BTreeMap::new());
         Image {
-            records: (0..RECORD_SHARDS)
-                .map(|_| Arc::clone(&empty_records))
-                .collect(),
-            kv: (0..KEYSPACES).map(|_| Arc::clone(&empty_kv)).collect(),
+            records: PMap::new(),
+            kv: (0..KEYSPACES).map(|_| PMap::new()).collect(),
         }
     }
 }
 
-impl Image {
-    fn shard(oid: Oid) -> usize {
-        (oid.raw() % RECORD_SHARDS as u64) as usize
-    }
+fn oid_key(oid: Oid) -> Bytes {
+    Bytes::copy_from_slice(&oid.raw().to_be_bytes())
+}
 
+impl Image {
     fn get(&self, oid: Oid) -> Option<Bytes> {
-        self.records[Image::shard(oid)].get(&oid).cloned()
+        self.records.get(&oid.raw().to_be_bytes())
     }
 
     fn contains(&self, oid: Oid) -> bool {
-        self.records[Image::shard(oid)].contains_key(&oid)
+        self.records.contains_key(&oid.raw().to_be_bytes())
     }
 
     fn record_count(&self) -> usize {
-        self.records.iter().map(|s| s.len()).sum()
+        self.records.len()
     }
 
-    fn kv_get(&self, keyspace: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
-        self.kv[keyspace.0 as usize].get(key).cloned()
+    fn kv_get(&self, keyspace: Keyspace, key: &[u8]) -> Option<Bytes> {
+        self.kv[keyspace.0 as usize].get(key)
     }
 
-    fn kv_scan_prefix(&self, keyspace: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
-        scan_prefix(&self.kv[keyspace.0 as usize], prefix)
+    fn kv_scan_prefix(&self, keyspace: Keyspace, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
+        self.kv[keyspace.0 as usize].scan_prefix(prefix)
     }
 
-    fn kv_scan_range(&self, keyspace: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
-        self.kv[keyspace.0 as usize]
-            .range((Bound::Included(lo.to_vec()), Bound::Excluded(hi.to_vec())))
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect()
+    fn kv_scan_range(&self, keyspace: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Bytes, Bytes)> {
+        self.kv[keyspace.0 as usize].scan_range(lo, hi)
     }
 
-    fn apply(&mut self, record: &LogRecord) {
+    fn kv_for_each_prefix(
+        &self,
+        keyspace: Keyspace,
+        prefix: &[u8],
+        mut f: impl FnMut(&[u8], &[u8]),
+    ) {
+        for (k, v) in self.kv[keyspace.0 as usize].range(
+            std::ops::Bound::Included(prefix),
+            std::ops::Bound::Unbounded,
+        ) {
+            if !k.starts_with(prefix) {
+                break;
+            }
+            f(k, v);
+        }
+    }
+
+    fn kv_for_each_range(
+        &self,
+        keyspace: Keyspace,
+        lo: &[u8],
+        hi: &[u8],
+        mut f: impl FnMut(&[u8], &[u8]),
+    ) {
+        for (k, v) in self.kv[keyspace.0 as usize]
+            .range(std::ops::Bound::Included(lo), std::ops::Bound::Excluded(hi))
+        {
+            f(k, v);
+        }
+    }
+
+    /// Apply one settled log record, consuming it. Taking ownership lets the
+    /// `Vec<u8>` payloads the log codec produces become [`Bytes`] without a
+    /// copy (`Bytes::from(Vec<u8>)` takes over the allocation), so replay and
+    /// commit share one zero-copy path into the image. Path-copy costs are
+    /// tallied into `touch`.
+    fn apply_owned(&mut self, record: LogRecord, touch: &mut Touch) {
         match record {
             LogRecord::Put { oid, bytes, .. } => {
-                Arc::make_mut(&mut self.records[Image::shard(*oid)])
-                    .insert(*oid, Bytes::from(bytes.clone()));
+                self.records.insert(oid_key(oid), Bytes::from(bytes), touch);
             }
             LogRecord::Delete { oid, .. } => {
-                Arc::make_mut(&mut self.records[Image::shard(*oid)]).remove(oid);
+                self.records.remove(&oid.raw().to_be_bytes(), touch);
             }
             LogRecord::KvPut {
                 keyspace,
@@ -128,10 +153,10 @@ impl Image {
                 value,
                 ..
             } => {
-                Arc::make_mut(&mut self.kv[*keyspace as usize]).insert(key.clone(), value.clone());
+                self.kv[keyspace as usize].insert(Bytes::from(key), Bytes::from(value), touch);
             }
             LogRecord::KvDelete { keyspace, key, .. } => {
-                Arc::make_mut(&mut self.kv[*keyspace as usize]).remove(key);
+                self.kv[keyspace as usize].remove(&key, touch);
             }
             LogRecord::Begin { .. }
             | LogRecord::Commit { .. }
@@ -170,24 +195,45 @@ impl Snapshot {
         self.image.record_count()
     }
 
-    /// Read a key/value entry as of this snapshot.
-    pub fn kv_get(&self, keyspace: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
+    /// Read a key/value entry as of this snapshot. The returned value is a
+    /// shared handle into the image, not a copy.
+    pub fn kv_get(&self, keyspace: Keyspace, key: &[u8]) -> Option<Bytes> {
         self.image.kv_get(keyspace, key)
     }
 
-    /// All entries whose key starts with `prefix`, in key order.
-    pub fn kv_scan_prefix(&self, keyspace: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    /// All entries whose key starts with `prefix`, in key order. Keys and
+    /// values are shared handles into the image — no payload copies.
+    pub fn kv_scan_prefix(&self, keyspace: Keyspace, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
         self.image.kv_scan_prefix(keyspace, prefix)
     }
 
-    /// All entries in `keyspace` with `lo <= key < hi`.
-    pub fn kv_scan_range(
+    /// All entries in `keyspace` with `lo <= key < hi`, as shared handles.
+    pub fn kv_scan_range(&self, keyspace: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Bytes, Bytes)> {
+        self.image.kv_scan_range(keyspace, lo, hi)
+    }
+
+    /// Stream every entry whose key starts with `prefix`, in key order,
+    /// straight off the image's range cursor — no intermediate vector, no
+    /// payload copies. The scan hot path for extent walks and index probes.
+    pub fn kv_for_each_prefix(
+        &self,
+        keyspace: Keyspace,
+        prefix: &[u8],
+        f: impl FnMut(&[u8], &[u8]),
+    ) {
+        self.image.kv_for_each_prefix(keyspace, prefix, f)
+    }
+
+    /// Stream every entry with `lo <= key < hi`, in key order, off the
+    /// image's range cursor.
+    pub fn kv_for_each_range(
         &self,
         keyspace: Keyspace,
         lo: &[u8],
         hi: &[u8],
-    ) -> Vec<(Vec<u8>, Vec<u8>)> {
-        self.image.kv_scan_range(keyspace, lo, hi)
+        f: impl FnMut(&[u8], &[u8]),
+    ) {
+        self.image.kv_for_each_range(keyspace, lo, hi, f)
     }
 
     /// Whether two snapshots pin the same published image.
@@ -339,8 +385,10 @@ pub struct Store {
     recorder: RwLock<Recorder>,
     /// Epoch of the backing log file: bumped whenever compaction rewrites
     /// the log in place, which invalidates every byte offset a replication
-    /// follower holds. Not persisted — a restart resets it to zero, which at
-    /// worst makes a follower resync conservatively.
+    /// follower holds. Persisted in a sidecar file next to the log (written
+    /// durably on every compaction), so a restarted primary keeps its epoch
+    /// and followers mid-tail continue from their cursor instead of being
+    /// forced into a blanket resync.
     log_epoch: AtomicU64,
     /// Length of the committed, flushed log prefix — the bytes a replication
     /// follower may safely read. Advanced only after the frames behind it
@@ -376,9 +424,12 @@ impl Store {
         // never half of it. The same state machine drives follower replay
         // (see [`ReplayState`]).
         let mut replay = ReplayState::default();
+        // Replay applies owned records: the decoded payloads move straight
+        // into the image as `Bytes` without a second copy.
+        let mut replay_touch = Touch::default();
         for frame in scan.frames {
             for record in replay.offer(&frame.record) {
-                image.apply(&record);
+                image.apply_owned(record, &mut replay_touch);
             }
         }
         let mut logw = LogWriter::open(&path, scan.valid_len)?;
@@ -397,6 +448,7 @@ impl Store {
         let next_txn = replay.next_txn().max(1);
         let next_oid = replay.next_oid().max(1);
         let committed_len = logw.len();
+        let log_epoch = read_epoch_sidecar(&path);
         let published = Arc::new(image.clone());
         Ok(Store {
             inner: Mutex::new(Inner {
@@ -413,7 +465,7 @@ impl Store {
             options,
             path,
             recorder: RwLock::new(Recorder::disabled()),
-            log_epoch: AtomicU64::new(0),
+            log_epoch: AtomicU64::new(log_epoch),
             committed_len: AtomicU64::new(committed_len),
         })
     }
@@ -525,24 +577,50 @@ impl Store {
         self.inner.lock().image.record_count()
     }
 
-    /// Read a key/value entry from the working image.
-    pub fn kv_get(&self, keyspace: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
+    /// Read a key/value entry from the working image; the returned value is
+    /// a shared handle, not a copy.
+    pub fn kv_get(&self, keyspace: Keyspace, key: &[u8]) -> Option<Bytes> {
         self.inner.lock().image.kv_get(keyspace, key)
     }
 
-    /// All working-image entries whose key starts with `prefix`, in key order.
-    pub fn kv_scan_prefix(&self, keyspace: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+    /// All working-image entries whose key starts with `prefix`, in key
+    /// order, as shared handles into the image.
+    pub fn kv_scan_prefix(&self, keyspace: Keyspace, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
         self.inner.lock().image.kv_scan_prefix(keyspace, prefix)
     }
 
     /// All working-image entries in `keyspace` with `lo <= key < hi`.
-    pub fn kv_scan_range(
+    pub fn kv_scan_range(&self, keyspace: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Bytes, Bytes)> {
+        self.inner.lock().image.kv_scan_range(keyspace, lo, hi)
+    }
+
+    /// Stream working-image entries under `prefix` in key order. The store
+    /// mutex is held for the duration of the scan, exactly as it is for
+    /// [`Store::kv_scan_prefix`] — keep callbacks cheap.
+    pub fn kv_for_each_prefix(
+        &self,
+        keyspace: Keyspace,
+        prefix: &[u8],
+        f: impl FnMut(&[u8], &[u8]),
+    ) {
+        self.inner
+            .lock()
+            .image
+            .kv_for_each_prefix(keyspace, prefix, f)
+    }
+
+    /// Stream working-image entries with `lo <= key < hi` in key order.
+    pub fn kv_for_each_range(
         &self,
         keyspace: Keyspace,
         lo: &[u8],
         hi: &[u8],
-    ) -> Vec<(Vec<u8>, Vec<u8>)> {
-        self.inner.lock().image.kv_scan_range(keyspace, lo, hi)
+        f: impl FnMut(&[u8], &[u8]),
+    ) {
+        self.inner
+            .lock()
+            .image
+            .kv_for_each_range(keyspace, lo, hi, f)
     }
 
     /// Begin a read-write transaction.
@@ -608,22 +686,23 @@ impl Store {
         let txn = inner.next_txn;
         inner.next_txn += 1;
         new_log.append(&LogRecord::Begin { txn })?;
-        for shard in &inner.image.records {
-            for (oid, bytes) in shard.iter() {
-                new_log.append(&LogRecord::Put {
-                    txn,
-                    oid: *oid,
-                    bytes: bytes.to_vec(),
-                })?;
-            }
+        for (key, bytes) in inner.image.records.iter() {
+            let oid = Oid::from_raw(u64::from_be_bytes(
+                key.as_ref().try_into().expect("record keys are 8 bytes"),
+            ));
+            new_log.append(&LogRecord::Put {
+                txn,
+                oid,
+                bytes: bytes.to_vec(),
+            })?;
         }
         for (ks, map) in inner.image.kv.iter().enumerate() {
             for (key, value) in map.iter() {
                 new_log.append(&LogRecord::KvPut {
                     txn,
                     keyspace: ks as u8,
-                    key: key.clone(),
-                    value: value.clone(),
+                    key: key.to_vec(),
+                    value: value.to_vec(),
                 })?;
             }
         }
@@ -642,9 +721,14 @@ impl Store {
         inner.logw = LogWriter::open(&self.path, scan.valid_len)?;
         // Every byte offset into the old log is now meaningless: bump the
         // epoch so replication followers mid-tail are forced to re-handshake
-        // instead of silently reading frames that no longer line up.
+        // instead of silently reading frames that no longer line up. The new
+        // epoch is persisted durably *before* polls can observe it, so a
+        // crash between rename and sidecar write can at worst leave the old
+        // epoch on disk — which sends followers through the conservative
+        // resync path, never through a silent misread of the new log.
         self.committed_len.store(scan.valid_len, Ordering::Release);
-        self.log_epoch.fetch_add(1, Ordering::Release);
+        let epoch = self.log_epoch.fetch_add(1, Ordering::Release) + 1;
+        persist_epoch_sidecar(&self.path, epoch)?;
         Ok((inner.image.record_count() as u64, scan.valid_len))
     }
 
@@ -724,6 +808,7 @@ impl Store {
         let mut summary = ReplicaApply::default();
         let mut appends = 0u64;
         let mut bytes_written = 0u64;
+        let mut touch = Touch::default();
         for record in records {
             let at = inner.logw.append(record)?;
             bytes_written += inner.logw.len() - at;
@@ -732,8 +817,8 @@ impl Store {
             if !ready.is_empty() {
                 Stats::bump(&self.stats.commits);
             }
-            for r in &ready {
-                match r {
+            for r in ready {
+                match &r {
                     LogRecord::Put { oid, .. } => {
                         summary.touched_oids.push(*oid);
                         Stats::bump(&self.stats.puts);
@@ -750,10 +835,12 @@ impl Store {
                     }
                     _ => {}
                 }
-                inner.image.apply(r);
+                inner.image.apply_owned(r, &mut touch);
                 summary.applied += 1;
             }
         }
+        Stats::add(&self.stats.image_nodes_cloned, touch.nodes_cloned);
+        Stats::add(&self.stats.image_bytes_copied, touch.bytes_copied);
         if self.options.sync_on_commit {
             inner.logw.sync()?;
             Stats::bump(&self.stats.syncs);
@@ -796,6 +883,10 @@ impl Store {
         inner.replay = ReplayState::default();
         inner.logw = LogWriter::open(&self.path, 0)?;
         self.committed_len.store(0, Ordering::Release);
+        // The local log restarts from byte zero as a fresh copy of whatever
+        // stream is replayed into it; any previous epoch lineage is void.
+        self.log_epoch.store(0, Ordering::Release);
+        let _ = std::fs::remove_file(epoch_sidecar_path(&self.path));
         self.publish(&inner);
         Ok(())
     }
@@ -881,15 +972,25 @@ impl Store {
         }
         self.committed_len
             .store(inner.logw.len(), Ordering::Release);
-        for record in &apply {
-            inner.image.apply(record);
+        // Fold the staged records into the persistent image. Only the
+        // root-to-leaf spines of touched keys are cloned (and only when a
+        // published snapshot still shares them); the publish span records
+        // that path-copy cost so EXPLAIN/PROFILE and the exposition can show
+        // what a commit actually paid to become visible.
+        let publish_span = rec.span_in(Stage::Publish, commit_span.trace_id(), commit_span.id());
+        let mut touch = Touch::default();
+        for record in apply {
+            inner.image.apply_owned(record, &mut touch);
         }
+        Stats::add(&self.stats.image_nodes_cloned, touch.nodes_cloned);
+        Stats::add(&self.stats.image_bytes_copied, touch.bytes_copied);
         Stats::add(&self.stats.log_appends, appends);
         Stats::add(&self.stats.bytes_written, bytes_written);
         Stats::bump(&self.stats.commits);
         if inner.hold_depth == 0 {
             self.publish(&inner);
         }
+        publish_span.finish(touch.nodes_cloned, touch.bytes_copied);
         commit_span.finish(appends, bytes_written);
         Ok(())
     }
@@ -947,9 +1048,9 @@ impl<'s> Txn<'s> {
     }
 
     /// Read a key/value entry through this transaction.
-    pub fn kv_get(&self, keyspace: Keyspace, key: &[u8]) -> Option<Vec<u8>> {
+    pub fn kv_get(&self, keyspace: Keyspace, key: &[u8]) -> Option<Bytes> {
         match self.staged_kv.get(&(keyspace.0, key.to_vec())) {
-            Some(Some(v)) => Some(v.clone()),
+            Some(Some(v)) => Some(Bytes::copy_from_slice(v)),
             Some(None) => None,
             None => self.store.kv_get(keyspace, key),
         }
@@ -957,8 +1058,8 @@ impl<'s> Txn<'s> {
 
     /// Prefix scan merging committed entries with this transaction's staged
     /// overlay.
-    pub fn kv_scan_prefix(&self, keyspace: Keyspace, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
-        let mut merged: BTreeMap<Vec<u8>, Vec<u8>> = self
+    pub fn kv_scan_prefix(&self, keyspace: Keyspace, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
+        let mut merged: BTreeMap<Bytes, Bytes> = self
             .store
             .kv_scan_prefix(keyspace, prefix)
             .into_iter()
@@ -969,10 +1070,10 @@ impl<'s> Txn<'s> {
             }
             match change {
                 Some(v) => {
-                    merged.insert(key.clone(), v.clone());
+                    merged.insert(Bytes::copy_from_slice(key), Bytes::copy_from_slice(v));
                 }
                 None => {
-                    merged.remove(key);
+                    merged.remove(key.as_slice());
                 }
             }
         }
@@ -1002,11 +1103,34 @@ impl<'s> Txn<'s> {
     }
 }
 
-fn scan_prefix(kv: &BTreeMap<Vec<u8>, Vec<u8>>, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
-    kv.range((Bound::Included(prefix.to_vec()), Bound::Unbounded))
-        .take_while(|(k, _)| k.starts_with(prefix))
-        .map(|(k, v)| (k.clone(), v.clone()))
-        .collect()
+/// Sidecar file carrying the persisted log epoch (see [`Store::log_epoch`]).
+fn epoch_sidecar_path(log_path: &Path) -> PathBuf {
+    log_path.with_extension("epoch")
+}
+
+/// Read the persisted epoch; a missing or unreadable sidecar is epoch zero
+/// (a store that never compacted).
+fn read_epoch_sidecar(log_path: &Path) -> u64 {
+    std::fs::read_to_string(epoch_sidecar_path(log_path))
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Durably persist the epoch: write a temp file, fsync it, rename it over
+/// the sidecar, fsync the directory — the same rename discipline compaction
+/// uses for the log itself.
+fn persist_epoch_sidecar(log_path: &Path, epoch: u64) -> StorageResult<()> {
+    use std::io::Write;
+    let tmp = log_path.with_extension("epoch-tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(epoch.to_string().as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, epoch_sidecar_path(log_path))?;
+    log::fsync_parent_dir(log_path)?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -1020,7 +1144,40 @@ mod tests {
             std::thread::current().id()
         ));
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(epoch_sidecar_path(&path));
         (Store::open(&path).unwrap(), path)
+    }
+
+    #[test]
+    fn log_epoch_survives_restart() {
+        let (store, path) = temp_store();
+        let oid = store.allocate_oid();
+        for i in 0..10u8 {
+            store
+                .with_txn(|t| {
+                    t.put(oid, vec![i; 16]);
+                    Ok(())
+                })
+                .unwrap();
+        }
+        assert_eq!(store.log_epoch(), 0);
+        store.compact().unwrap();
+        store.compact().unwrap();
+        assert_eq!(store.log_epoch(), 2);
+        drop(store);
+        // A restarted primary must keep its epoch: followers mid-tail hold
+        // byte cursors qualified by it, and a reset-to-zero would force
+        // every one of them through a blanket resync.
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.log_epoch(), 2);
+        // A follower-style reset voids the lineage.
+        store.reset_to_empty().unwrap();
+        assert_eq!(store.log_epoch(), 0);
+        drop(store);
+        let store = Store::open(&path).unwrap();
+        assert_eq!(store.log_epoch(), 0);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(epoch_sidecar_path(&path));
     }
 
     #[test]
@@ -1131,7 +1288,7 @@ mod tests {
         txn.kv_delete(ks, b"x/1".to_vec());
         txn.kv_put(ks, b"x/3".to_vec(), b"d".to_vec());
         let scanned = txn.kv_scan_prefix(ks, b"x/");
-        let keys: Vec<&[u8]> = scanned.iter().map(|(k, _)| k.as_slice()).collect();
+        let keys: Vec<&[u8]> = scanned.iter().map(|(k, _)| k.as_ref()).collect();
         assert_eq!(keys, vec![&b"x/2"[..], &b"x/3"[..]]);
         txn.abort();
         // After abort the committed state is unchanged.

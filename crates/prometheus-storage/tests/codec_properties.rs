@@ -110,8 +110,11 @@ proptest! {
                 model.remove(key);
             }
         }
-        let scanned: std::collections::BTreeMap<Vec<u8>, Vec<u8>> =
-            store.kv_scan_prefix(ks, &[]).into_iter().collect();
+        let scanned: std::collections::BTreeMap<Vec<u8>, Vec<u8>> = store
+            .kv_scan_prefix(ks, &[])
+            .into_iter()
+            .map(|(k, v)| (k.to_vec(), v.to_vec()))
+            .collect();
         prop_assert_eq!(scanned, model);
         let _ = std::fs::remove_file(path);
     }

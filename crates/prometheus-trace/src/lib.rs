@@ -77,11 +77,14 @@ pub enum Stage {
     /// One replicated frame batch applied by a follower. c0 = frames
     /// appended, c1 = records of settled groups applied to the image.
     ReplicaApply = 12,
+    /// Folding one commit's records into the persistent image. c0 = map
+    /// nodes cloned by the path-copy, c1 = bytes copied cloning them.
+    Publish = 13,
 }
 
 impl Stage {
     /// All stages, in discriminant order.
-    pub const ALL: [Stage; 13] = [
+    pub const ALL: [Stage; 14] = [
         Stage::Request,
         Stage::LaneWait,
         Stage::PlanCache,
@@ -95,6 +98,7 @@ impl Stage {
         Stage::Rule,
         Stage::ReplicaPoll,
         Stage::ReplicaApply,
+        Stage::Publish,
     ];
 
     /// Decode a discriminant stored in the ring.
@@ -118,6 +122,7 @@ impl Stage {
             Stage::Rule => "rule",
             Stage::ReplicaPoll => "replica_poll",
             Stage::ReplicaApply => "replica_apply",
+            Stage::Publish => "publish",
         }
     }
 }

@@ -317,6 +317,67 @@ fn failover_replica_serves_reads_then_resumes_from_cursor() {
 }
 
 #[test]
+fn primary_restart_preserves_epoch_and_avoids_blanket_resync() {
+    let path = tmp("epoch-primary");
+    let handle = boot_primary(&path, &["Apium", "Daucus"]);
+    let addr = handle.addr();
+    let mut client = PrometheusClient::connect(addr).unwrap();
+    // Compact so the primary sits on a non-zero epoch — exactly the state a
+    // restart used to lose (the epoch lived only in memory, so reopening the
+    // store regressed it to zero and every follower's cursor stopped
+    // matching).
+    client.compact().unwrap();
+    add_genus(&mut client, "Heliosciadium");
+
+    let follower = follower_of(addr, "epoch");
+    assert!(follower.wait_caught_up(Duration::from_secs(10)));
+    // The fresh follower resynced onto the compacted epoch once; that count
+    // must not move again for the rest of the test.
+    let resyncs_before = follower.status().resyncs();
+    let epoch_before = client.replica_status().unwrap().epoch;
+    assert_eq!(epoch_before, 1, "compaction must bump the log epoch");
+
+    // Restart the primary: same store, same address.
+    client.close().unwrap();
+    handle.stop();
+    let handle = reserve_primary(&path, addr);
+    let mut client = PrometheusClient::connect(handle.addr()).unwrap();
+    assert_eq!(
+        client.replica_status().unwrap().epoch,
+        epoch_before,
+        "the log epoch must survive a primary restart"
+    );
+
+    // New writes must reach the follower through its existing cursor.
+    add_genus(&mut client, "Sium");
+    let mut replica_client = PrometheusClient::connect(follower.addr()).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let rows = replica_client.query("select t from CT t").unwrap();
+        if rows.len() == 4 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "follower never saw the post-restart write"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(
+        follower.status().resyncs(),
+        resyncs_before,
+        "a restarted primary must not force a blanket resync"
+    );
+    for q in SUITE {
+        assert_eq!(client.query(q).unwrap(), replica_client.query(q).unwrap());
+    }
+    replica_client.close().unwrap();
+    client.close().unwrap();
+    follower.stop();
+    handle.stop();
+}
+
+#[test]
 fn protocol_version_mismatch_is_typed_on_the_client() {
     // Server side: a wrong Hello version earns the typed error with both
     // versions named.
@@ -336,7 +397,7 @@ fn protocol_version_mismatch_is_typed_on_the_client() {
     match read_msg::<_, Response>(&mut reader).unwrap() {
         Response::Error { kind, message } => {
             assert_eq!(kind, ErrorKind::ProtocolMismatch);
-            assert!(message.contains('1') && message.contains('4'), "{message}");
+            assert!(message.contains('1') && message.contains('5'), "{message}");
         }
         other => panic!("expected typed mismatch, got {other:?}"),
     }
@@ -356,7 +417,7 @@ fn protocol_version_mismatch_is_typed_on_the_client() {
             &mut writer,
             &Response::Error {
                 kind: ErrorKind::ProtocolMismatch,
-                message: "protocol version 4 unsupported (server speaks 99)".into(),
+                message: "protocol version 5 unsupported (server speaks 99)".into(),
             },
         )
         .unwrap();
