@@ -16,6 +16,13 @@
 //! `--format=prometheus`, in the Prometheus text exposition format, ready
 //! for a scrape endpoint or file-based collector.
 //!
+//! `serve [--addr ip:port] [--metrics ip:port] [--io-threads n]
+//! [--duration secs]` boots a seeded demo server on the event-driven
+//! transport with the HTTP `GET /metrics` scrape endpoint enabled, prints
+//! both addresses, and blocks (or exits after `--duration`) — the CI smoke
+//! target for `curl`-ing the scrape endpoint, and a convenient way to point
+//! a real Prometheus collector at the reproduction.
+//!
 //! `replica <primary-addr> <data-path> [--addr ip:port] [--name s]` runs a
 //! read-only follower of a running primary: it replays the primary's redo
 //! log into `data-path`, serves POOL queries on `--addr` (default an
@@ -40,6 +47,10 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("replica") {
         replica_section(&argv[1..]);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        serve_section(&argv[1..]);
         return;
     }
     let section = argv.first().cloned().unwrap_or_else(|| "all".to_string());
@@ -525,6 +536,101 @@ fn replica_section(argv: &[String]) {
             s.resyncs(),
             s.caught_up_age_us() as f64 / 1e6,
         );
+    }
+}
+
+/// `harness serve [--addr ip:port] [--metrics ip:port] [--io-threads n]
+/// [--duration secs]`
+///
+/// Boot a seeded demo server on the event-driven transport with the HTTP
+/// scrape endpoint on, print both addresses, and block — or exit cleanly
+/// after `--duration` seconds (the CI smoke mode).
+fn serve_section(argv: &[String]) {
+    use prometheus_server::{serve, ServerConfig};
+    use std::time::Duration;
+
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut metrics = "127.0.0.1:0".to_string();
+    let mut io_threads = 2usize;
+    let mut duration: Option<u64> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| match it.next() {
+            Some(v) => v.clone(),
+            None => {
+                eprintln!("serve: {flag} needs a value");
+                std::process::exit(2);
+            }
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--metrics" => metrics = value("--metrics"),
+            "--io-threads" => match value("--io-threads").parse() {
+                Ok(n) => io_threads = n,
+                Err(_) => {
+                    eprintln!("serve: --io-threads needs a number");
+                    std::process::exit(2);
+                }
+            },
+            "--duration" => match value("--duration").parse() {
+                Ok(s) => duration = Some(s),
+                Err(_) => {
+                    eprintln!("serve: --duration needs seconds");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("serve: unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let path = std::env::temp_dir().join(format!(
+        "prometheus-harness-serve-{}.log",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let prom = prometheus_db::Prometheus::open_with(
+        &path,
+        prometheus_db::StoreOptions {
+            sync_on_commit: false,
+        },
+    )
+    .expect("open store");
+    let tax = prom.taxonomy().expect("taxonomy layer");
+    for name in ["Apium", "Daucus", "Torilis"] {
+        tax.create_ct(name, prometheus_taxonomy::Rank::Genus)
+            .expect("seed genus");
+    }
+    let config = ServerConfig::builder()
+        .addr(addr)
+        .io_threads(io_threads)
+        .metrics_http_addr(metrics)
+        .build()
+        .expect("valid serve config");
+    let handle = match serve(prom, config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!("serving wire protocol on {}", handle.addr());
+    println!(
+        "serving GET /metrics on http://{}/metrics",
+        handle.metrics_addr().expect("scrape listener")
+    );
+    match duration {
+        Some(secs) => {
+            std::thread::sleep(Duration::from_secs(secs));
+            handle.stop();
+            let _ = std::fs::remove_file(&path);
+            println!("serve: done after {secs}s");
+        }
+        None => loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        },
     }
 }
 

@@ -35,6 +35,16 @@
 //!   whether lag converged back to zero once the writer stopped — written
 //!   to `BENCH_replication.json`, exit 1 on any failure or an unconverged
 //!   follower.
+//! * **idle-connections** — the event-transport capacity check: boots the
+//!   server in event-driven mode (`io_threads` ≤ 4) with the HTTP scrape
+//!   endpoint on, measures a query baseline, then opens thousands of
+//!   idle wire sessions (handshaking through the public sans-io
+//!   `FrameEncoder`/`FrameDecoder`) and measures the same queries again
+//!   while every session stays open. Pass requires the loaded p99 within
+//!   2× the idle baseline (with a small floor for timer noise), every
+//!   session still live, and a raw `GET /metrics` scrape whose counters
+//!   equal the same instant's wire `Stats` snapshot — written to
+//!   `BENCH_idle.json`, exit 1 on any failure. Linux only.
 //! * **commit-cost** — in-process, no server: at each image size (default
 //!   10k / 100k / 1M keys) a reader snapshot is pinned and probe commits run
 //!   against it, so publication must path-copy the persistent map instead of
@@ -57,6 +67,8 @@
 //! #                                                        readers ops followers
 //! cargo run --release -p prometheus-bench --bin loadgen -- commit-cost 10000 100000 1000000
 //! #                                                        image sizes (keys)
+//! cargo run --release -p prometheus-bench --bin loadgen -- idle-connections 5000 200 4
+//! #                                                        conns ops io_threads
 //! ```
 
 use prometheus_bench::report::{percentile_us, render_latency_summary};
@@ -139,6 +151,7 @@ fn main() {
         Some("trace-smoke") => trace_smoke(&argv[1..]),
         Some("replication") => replication(&argv[1..]),
         Some("commit-cost") => commit_cost(&argv[1..]),
+        Some("idle-connections") => idle_connections(&argv[1..]),
         _ => mixed(parse_args(&argv)),
     }
 }
@@ -1146,4 +1159,226 @@ fn parallel(argv: &[String]) {
         std::process::exit(1);
     }
     println!("OK: parallel results identical to sequential.");
+}
+
+/// Handshake a wire session through the public sans-io codecs — the same
+/// `FrameEncoder`/`FrameDecoder` the event transport itself uses — and
+/// return the socket to be parked open.
+fn sansio_handshake(addr: SocketAddr) -> std::io::Result<std::net::TcpStream> {
+    use prometheus_server::{FrameDecoder, FrameEncoder, Request, Response, PROTOCOL_VERSION};
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr)?;
+    let mut enc = FrameEncoder::new();
+    enc.push(&Request::Hello {
+        version: PROTOCOL_VERSION,
+        client: "loadgen-idle".into(),
+    })
+    .expect("encode Hello");
+    while !enc.is_empty() {
+        let n = s.write(enc.pending())?;
+        enc.consume(n);
+    }
+    let mut dec = FrameDecoder::new();
+    let mut buf = [0u8; 4096];
+    loop {
+        if let Some(resp) = dec.next_msg::<Response>().expect("decode handshake reply") {
+            match resp {
+                Response::Welcome { .. } => return Ok(s),
+                other => panic!("expected Welcome, got {other:?}"),
+            }
+        }
+        let n = s.read(&mut buf)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed during handshake",
+            ));
+        }
+        dec.extend(&buf[..n]);
+    }
+}
+
+/// One raw `GET /metrics` scrape; returns the body.
+fn http_scrape(addr: SocketAddr) -> String {
+    use std::io::{Read, Write};
+    let mut s = std::net::TcpStream::connect(addr).expect("connect to scrape endpoint");
+    s.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .expect("set scrape timeout");
+    write!(s, "GET /metrics HTTP/1.1\r\nHost: loadgen\r\n\r\n").expect("send scrape request");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read scrape response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("complete HTTP response");
+    assert!(
+        head.starts_with("HTTP/1.1 200"),
+        "scrape returned non-200: {head}"
+    );
+    body.to_string()
+}
+
+/// Pull one unlabelled metric value out of an exposition body.
+fn scrape_value(body: &str, name: &str) -> Option<u64> {
+    body.lines().find_map(|line| {
+        let (n, v) = line.split_once(' ')?;
+        (n == name).then(|| v.parse().ok())?
+    })
+}
+
+/// `loadgen idle-connections [conns] [ops] [io_threads]`
+fn idle_connections(argv: &[String]) {
+    let num =
+        |i: usize, default: usize| argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(default);
+    let conns = num(0, 5000).max(1);
+    let ops = num(1, 200).max(1);
+    let io_threads = num(2, 4).clamp(1, 4);
+
+    let path =
+        std::env::temp_dir().join(format!("prometheus-loadgen-idle-{}.db", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let p = Prometheus::open_with(
+        &path,
+        StoreOptions {
+            sync_on_commit: false,
+        },
+    )
+    .expect("open scratch database");
+    let tax = p.taxonomy().expect("install taxonomy schema");
+    for i in 0..32 {
+        tax.create_ct(&format!("Seed-{i:03}"), Rank::Genus)
+            .expect("seed taxon");
+    }
+    let handle = match serve(
+        p,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            io_threads,
+            metrics_http_addr: Some("127.0.0.1:0".into()),
+            ..ServerConfig::default()
+        },
+    ) {
+        Ok(h) => h,
+        Err(e) => {
+            // Event mode is Linux-only; report rather than panic elsewhere.
+            eprintln!("idle-connections needs the event transport: {e}");
+            std::process::exit(2);
+        }
+    };
+    let addr = handle.addr();
+    let scrape_addr = handle.metrics_addr().expect("scrape listener");
+    println!(
+        "loadgen idle-connections: {conns} parked sessions against {addr} \
+         ({io_threads} io threads), scrape endpoint on {scrape_addr}"
+    );
+
+    let wall = Instant::now();
+    // Baseline: one client, an empty house.
+    let (mut idle, baseline_failures) = run_readers(addr, 1, ops);
+    idle.sort_unstable();
+
+    // Park the idle herd, handshaking through the sans-io codecs.
+    let mut parked = Vec::with_capacity(conns);
+    for i in 0..conns {
+        match sansio_handshake(addr) {
+            Ok(s) => parked.push(s),
+            Err(e) => {
+                eprintln!("FAILED: handshake {i} refused: {e}");
+                std::process::exit(1);
+            }
+        }
+        if (i + 1) % 1000 == 0 {
+            println!("  {} sessions parked …", i + 1);
+        }
+    }
+    let active_peak = handle.metrics().connections_active;
+
+    // Same workload again with every session still open.
+    let (mut loaded, loaded_failures) = run_readers(addr, 1, ops);
+    loaded.sort_unstable();
+
+    // Scrape vs wire stats: same counters, two transports, one instant —
+    // compare values nothing moves between the two reads.
+    let mut observer = PrometheusClient::connect(addr).expect("connect for stats");
+    let (server, storage) = observer.stats().expect("fetch stats");
+    let body = http_scrape(scrape_addr);
+    let _ = observer.close();
+    let scrape_checks = [
+        (
+            "prometheus_server_connections_accepted_total",
+            server.connections_accepted,
+        ),
+        (
+            "prometheus_server_sessions_reaped_total",
+            server.sessions_reaped,
+        ),
+        (
+            "prometheus_server_units_committed_total",
+            server.units_committed,
+        ),
+        ("prometheus_storage_commits_total", storage.commits),
+    ];
+    let mut scrape_ok = true;
+    for (name, wire) in scrape_checks {
+        match scrape_value(&body, name) {
+            Some(v) if v == wire => {}
+            got => {
+                eprintln!("scrape mismatch: {name} = {got:?}, wire said {wire}");
+                scrape_ok = false;
+            }
+        }
+    }
+
+    let survivors = handle.metrics().connections_active;
+    let elapsed = wall.elapsed().as_secs_f64();
+    println!();
+    println!("{}", render_latency_summary("baseline", &idle, elapsed));
+    println!("{}", render_latency_summary("loaded", &loaded, elapsed));
+    println!(
+        "sessions: {active_peak} live at peak, {survivors} after the loaded run \
+         ({} accepted, {} reaped)",
+        server.connections_accepted, server.sessions_reaped
+    );
+
+    let idle_p99 = percentile_us(&idle, 0.99);
+    let loaded_p99 = percentile_us(&loaded, 0.99);
+    // A small floor keeps the ratio honest when the baseline p99 is a few
+    // dozen µs and scheduler noise alone could double it.
+    let budget_us = (2 * idle_p99).max(5_000);
+    let ratio = if idle_p99 > 0 {
+        loaded_p99 as f64 / idle_p99 as f64
+    } else {
+        f64::NAN
+    };
+    let json = format!(
+        "{{\n  \"scenario\": \"idle-connections\",\n  \"idle_conns\": {conns},\n  \
+         \"ops\": {ops},\n  \"io_threads\": {io_threads},\n  \
+         \"baseline_p50_us\": {},\n  \"baseline_p99_us\": {idle_p99},\n  \
+         \"loaded_p50_us\": {},\n  \"loaded_p99_us\": {loaded_p99},\n  \
+         \"p99_ratio\": {ratio:.3},\n  \"connections_active_peak\": {active_peak},\n  \
+         \"scrape_matches_wire_stats\": {scrape_ok},\n  \
+         \"elapsed_secs\": {elapsed:.3}\n}}\n",
+        percentile_us(&idle, 0.50),
+        percentile_us(&loaded, 0.50),
+    );
+    std::fs::write("BENCH_idle.json", &json).expect("write BENCH_idle.json");
+    println!("\nwrote BENCH_idle.json");
+
+    drop(parked);
+    handle.stop();
+    let _ = std::fs::remove_file(&path);
+
+    let failures = baseline_failures + loaded_failures;
+    let held = active_peak >= conns as u64;
+    let p99_ok = loaded_p99 <= budget_us;
+    if failures > 0 || !held || !p99_ok || !scrape_ok || server.protocol_errors > 0 {
+        eprintln!(
+            "FAILED: {failures} reader failures; held {active_peak}/{conns} sessions; \
+             loaded p99 {loaded_p99}µs vs budget {budget_us}µs; scrape ok: {scrape_ok}; \
+             {} protocol errors",
+            server.protocol_errors
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "OK: {conns} idle sessions held on {io_threads} io threads; \
+         loaded p99 {loaded_p99}µs within budget {budget_us}µs; scrape agrees with the wire."
+    );
 }

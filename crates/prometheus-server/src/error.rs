@@ -57,6 +57,9 @@ pub enum ServerError {
     Remote { kind: ErrorKind, message: String },
     /// Connecting (with retries) did not succeed in time.
     Connect(String),
+    /// A [`crate::ServerConfig`] failed validation (builder `build()` or
+    /// `serve` rejecting a combination the platform cannot run).
+    Config(String),
 }
 
 impl fmt::Display for ServerError {
@@ -71,6 +74,7 @@ impl fmt::Display for ServerError {
                 write!(f, "server error ({kind}): {message}")
             }
             ServerError::Connect(m) => write!(f, "connect failed: {m}"),
+            ServerError::Config(m) => write!(f, "invalid server config: {m}"),
         }
     }
 }

@@ -1,0 +1,338 @@
+//! Prometheus text-exposition rendering of the server + storage counters.
+//!
+//! One function, one format: [`render_prometheus_exposition`] turns a
+//! [`MetricsSnapshot`] and a [`StatsSnapshot`] into the text format the
+//! *monitoring system* Prometheus scrapes (a happy naming coincidence with
+//! the database). It backs both consumers:
+//!
+//! * the HTTP `GET /metrics` scrape endpoint
+//!   ([`crate::ServerConfig::metrics_http_addr`]), rendered inside the
+//!   event loop from the live counters;
+//! * `harness stats --format=prometheus`, rendered client-side from a wire
+//!   `Request::Stats` snapshot.
+//!
+//! Both paths go through this function, so a scrape and a wire stats call
+//! can never disagree about a counter's name or meaning.
+
+use crate::metrics::MetricsSnapshot;
+use prometheus_storage::StatsSnapshot;
+use std::fmt::Write as _;
+
+/// Render server + storage counters in the Prometheus text exposition
+/// format, one metric per line, ready for a scrape endpoint or a
+/// file-based collector. Counter names follow the convention
+/// `prometheus_{server,storage}_<what>[_total]`; the latency histogram uses
+/// the standard cumulative `_bucket{le=…}` / `_sum` / `_count` triple.
+pub fn render_prometheus_exposition(server: &MetricsSnapshot, storage: &StatsSnapshot) -> String {
+    let mut out = String::new();
+    let mut counter = |name: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    counter(
+        "prometheus_server_connections_accepted_total",
+        "Connections handed to the worker pool.",
+        server.connections_accepted,
+    );
+    counter(
+        "prometheus_server_sessions_reaped_total",
+        "Idle sessions closed by the reaper.",
+        server.sessions_reaped,
+    );
+    counter(
+        "prometheus_server_protocol_errors_total",
+        "Frames that failed to decode or out-of-order requests.",
+        server.protocol_errors,
+    );
+    counter(
+        "prometheus_server_db_errors_total",
+        "Requests the database layer rejected.",
+        server.db_errors,
+    );
+    counter(
+        "prometheus_server_units_committed_total",
+        "Units of work committed over the wire.",
+        server.units_committed,
+    );
+    counter(
+        "prometheus_server_units_aborted_total",
+        "Units rolled back on client request.",
+        server.units_aborted,
+    );
+    counter(
+        "prometheus_server_units_rolled_back_on_disconnect_total",
+        "Units rolled back because the connection dropped mid-unit.",
+        server.units_rolled_back_on_disconnect,
+    );
+    counter(
+        "prometheus_server_units_timed_out_total",
+        "Units rolled back at the idle deadline.",
+        server.units_timed_out,
+    );
+    counter(
+        "prometheus_server_plan_cache_hits_total",
+        "Queries answered from the POOL plan cache.",
+        server.plan_cache_hits,
+    );
+    counter(
+        "prometheus_server_plan_cache_misses_total",
+        "Queries that had to parse and plan.",
+        server.plan_cache_misses,
+    );
+    counter(
+        "prometheus_server_parallel_morsels_total",
+        "Work morsels executed by parallel query workers.",
+        server.parallel_morsels,
+    );
+    counter(
+        "prometheus_storage_log_appends_total",
+        "Redo-log records appended.",
+        storage.log_appends,
+    );
+    counter(
+        "prometheus_storage_bytes_written_total",
+        "Bytes appended to the redo log.",
+        storage.bytes_written,
+    );
+    counter(
+        "prometheus_storage_syncs_total",
+        "fsync calls on the redo log.",
+        storage.syncs,
+    );
+    counter(
+        "prometheus_storage_cache_hits_total",
+        "Object-cache hits.",
+        storage.cache_hits,
+    );
+    counter(
+        "prometheus_storage_cache_misses_total",
+        "Object-cache misses.",
+        storage.cache_misses,
+    );
+    counter(
+        "prometheus_storage_commits_total",
+        "Transactions committed.",
+        storage.commits,
+    );
+    counter(
+        "prometheus_storage_aborts_total",
+        "Transactions rolled back.",
+        storage.aborts,
+    );
+    counter(
+        "prometheus_storage_snapshot_swaps_total",
+        "Immutable snapshot publications.",
+        storage.snapshot_swaps,
+    );
+    counter(
+        "prometheus_storage_image_nodes_cloned_total",
+        "Persistent-map nodes path-copied while publishing commits.",
+        storage.image_nodes_cloned,
+    );
+    counter(
+        "prometheus_storage_image_bytes_copied_total",
+        "Bytes copied cloning image nodes (structure only, not payloads).",
+        storage.image_bytes_copied,
+    );
+
+    let mut gauge = |name: &str, help: &str, value: u64| {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    };
+    gauge(
+        "prometheus_server_connections_active",
+        "Sessions currently being served.",
+        server.connections_active,
+    );
+    gauge(
+        "prometheus_server_accept_queue_depth",
+        "Accepted connections waiting for a free worker (blocking mode) or a ready slot (event mode).",
+        server.accept_queue_depth,
+    );
+
+    let _ = writeln!(
+        out,
+        "# HELP prometheus_server_requests_total Requests processed, by kind."
+    );
+    let _ = writeln!(out, "# TYPE prometheus_server_requests_total counter");
+    for (kind, n) in &server.requests_by_kind {
+        let _ = writeln!(
+            out,
+            "prometheus_server_requests_total{{kind=\"{kind}\"}} {n}"
+        );
+    }
+
+    let hist = &server.latency;
+    let _ = writeln!(
+        out,
+        "# HELP prometheus_server_request_latency_us Per-request wall-clock latency (µs)."
+    );
+    let _ = writeln!(out, "# TYPE prometheus_server_request_latency_us histogram");
+    let mut cumulative = 0u64;
+    for (i, &n) in hist.counts.iter().enumerate() {
+        cumulative += n;
+        match hist.bounds_us.get(i) {
+            Some(bound) => {
+                let _ = writeln!(
+                    out,
+                    "prometheus_server_request_latency_us_bucket{{le=\"{bound}\"}} {cumulative}"
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "prometheus_server_request_latency_us_bucket{{le=\"+Inf\"}} {cumulative}"
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "prometheus_server_request_latency_us_sum {}",
+        hist.sum_us
+    );
+    let _ = writeln!(
+        out,
+        "prometheus_server_request_latency_us_count {}",
+        hist.count
+    );
+
+    if !server.latency_by_class.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP prometheus_server_request_class_latency_us Request latency (µs) by request class."
+        );
+        let _ = writeln!(
+            out,
+            "# TYPE prometheus_server_request_class_latency_us histogram"
+        );
+        for (class, hist) in &server.latency_by_class {
+            let mut cumulative = 0u64;
+            for (i, &n) in hist.counts.iter().enumerate() {
+                cumulative += n;
+                let le = match hist.bounds_us.get(i) {
+                    Some(bound) => bound.to_string(),
+                    None => "+Inf".into(),
+                };
+                let _ = writeln!(
+                    out,
+                    "prometheus_server_request_class_latency_us_bucket{{class=\"{class}\",le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "prometheus_server_request_class_latency_us_sum{{class=\"{class}\"}} {}",
+                hist.sum_us
+            );
+            let _ = writeln!(
+                out,
+                "prometheus_server_request_class_latency_us_count{{class=\"{class}\"}} {}",
+                hist.count
+            );
+        }
+    }
+
+    if !server.replication.is_empty() {
+        type GaugeSpec = (
+            &'static str,
+            &'static str,
+            fn(&crate::metrics::FollowerLag) -> u64,
+        );
+        let gauges: [GaugeSpec; 3] = [
+            (
+                "prometheus_server_replication_follower_lag_bytes",
+                "Committed redo-log bytes a follower has not pulled yet.",
+                |f| f.lag_bytes,
+            ),
+            (
+                "prometheus_server_replication_follower_next_offset",
+                "The log offset a follower will poll next.",
+                |f| f.next_offset,
+            ),
+            (
+                "prometheus_server_replication_follower_last_poll_age_us",
+                "Micros since a follower last polled; large means it is gone.",
+                |f| f.last_poll_age_us,
+            ),
+        ];
+        for (name, help, value) in gauges {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            for f in &server.replication {
+                let _ = writeln!(out, "{name}{{follower=\"{}\"}} {}", f.follower, value(f));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{FollowerLag, LATENCY_BOUNDS_US, LATENCY_BUCKETS};
+
+    #[test]
+    fn exposition_renders_counters_and_histogram() {
+        let mut server = MetricsSnapshot {
+            connections_accepted: 3,
+            connections_active: 1,
+            accept_queue_depth: 2,
+            sessions_reaped: 4,
+            requests_by_kind: vec![("query".into(), 12), ("ping".into(), 2)],
+            plan_cache_hits: 9,
+            ..MetricsSnapshot::default()
+        };
+        server.latency.bounds_us = LATENCY_BOUNDS_US.to_vec();
+        server.latency.counts = vec![0; LATENCY_BUCKETS];
+        server.latency.counts[0] = 5;
+        server.latency.counts[LATENCY_BUCKETS - 1] = 1;
+        server.latency.count = 6;
+        server.latency.sum_us = 2_000_100;
+        let mut query_hist = server.latency.clone();
+        query_hist.counts[LATENCY_BUCKETS - 1] = 0;
+        query_hist.count = 5;
+        server.latency_by_class = vec![("query".into(), query_hist)];
+        server.replication = vec![FollowerLag {
+            follower: "replica-a".into(),
+            next_offset: 100,
+            log_len: 400,
+            lag_bytes: 300,
+            last_poll_age_us: 1_500,
+        }];
+        let storage = StatsSnapshot {
+            commits: 4,
+            ..StatsSnapshot::default()
+        };
+        let text = render_prometheus_exposition(&server, &storage);
+        assert!(text.contains("prometheus_server_connections_accepted_total 3"));
+        assert!(text.contains("prometheus_server_connections_active 1"));
+        assert!(text.contains("prometheus_server_accept_queue_depth 2"));
+        assert!(text.contains("prometheus_server_sessions_reaped_total 4"));
+        assert!(text.contains("prometheus_server_requests_total{kind=\"query\"} 12"));
+        assert!(text.contains("prometheus_server_plan_cache_hits_total 9"));
+        assert!(text.contains("prometheus_storage_commits_total 4"));
+        // Histogram buckets are cumulative and end at +Inf = count.
+        assert!(text.contains("prometheus_server_request_latency_us_bucket{le=\"50\"} 5"));
+        assert!(text.contains("prometheus_server_request_latency_us_bucket{le=\"+Inf\"} 6"));
+        assert!(text.contains("prometheus_server_request_latency_us_count 6"));
+        // Per-class histograms and per-follower replication-lag gauges.
+        assert!(text.contains(
+            "prometheus_server_request_class_latency_us_bucket{class=\"query\",le=\"50\"} 5"
+        ));
+        assert!(
+            text.contains("prometheus_server_request_class_latency_us_count{class=\"query\"} 5")
+        );
+        assert!(text.contains(
+            "prometheus_server_replication_follower_lag_bytes{follower=\"replica-a\"} 300"
+        ));
+        assert!(text.contains(
+            "prometheus_server_replication_follower_next_offset{follower=\"replica-a\"} 100"
+        ));
+        // Every non-comment line is "name[{labels}] value".
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            assert_eq!(line.split_whitespace().count(), 2, "malformed line: {line}");
+        }
+    }
+}

@@ -63,6 +63,177 @@ pub fn read_msg<R: Read, T: DeserializeOwned>(r: &mut R) -> ServerResult<T> {
     codec::from_bytes(&payload).map_err(|e| ServerError::Codec(e.to_string()))
 }
 
+/// Incremental, sans-io frame decoder: feed it bytes in whatever chunks the
+/// transport produces and pull complete messages out.
+///
+/// The blocking [`read_msg`] owns its socket and can simply block for the
+/// rest of a frame; an event-driven server cannot — a readiness loop hands
+/// it arbitrary slices (often one syscall's worth, sometimes a single byte)
+/// and needs to know whether a whole frame has arrived yet. `FrameDecoder`
+/// buffers input across calls and applies exactly the same validation as
+/// `read_msg`: the [`MAX_FRAME_LEN`] guard against hostile length words and
+/// the CRC check over the payload. Decode results are therefore identical to
+/// the blocking reader's for any split of the byte stream (property-tested
+/// in `tests/frame_streaming.rs`).
+///
+/// ```
+/// use prometheus_server::{FrameDecoder, Request};
+/// use prometheus_server::frame::write_msg;
+///
+/// let mut wire: Vec<u8> = Vec::new();
+/// write_msg(&mut wire, &Request::Ping).unwrap();
+/// write_msg(&mut wire, &Request::Stats).unwrap();
+///
+/// let mut dec = FrameDecoder::new();
+/// let (head, tail) = wire.split_at(3); // arbitrary split mid-header
+/// dec.extend(head);
+/// assert!(dec.next_msg::<Request>().unwrap().is_none()); // incomplete
+/// dec.extend(tail);
+/// assert_eq!(dec.next_msg::<Request>().unwrap(), Some(Request::Ping));
+/// assert_eq!(dec.next_msg::<Request>().unwrap(), Some(Request::Stats));
+/// assert!(dec.at_boundary()); // clean EOF here would be a polite close
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted lazily so `next` is O(frame), not
+    /// O(buffer), even when many frames arrive in one read.
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder, positioned at a frame boundary.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Append transport bytes to the internal buffer.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Reclaim the consumed prefix before growing: the buffer never holds
+        // more than one partial frame plus whatever arrived with it.
+        if self.start > 0 && (self.start == self.buf.len() || self.start >= 4096) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Decode the next complete frame, if one is buffered.
+    ///
+    /// `Ok(None)` means more bytes are needed. Errors mirror [`read_msg`]:
+    /// an oversized length word or CRC mismatch is a fatal
+    /// [`ServerError::Frame`] / [`ServerError::Codec`] — the stream is
+    /// desynchronised and the connection must close.
+    pub fn next_msg<T: DeserializeOwned>(&mut self) -> ServerResult<Option<T>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 8 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[0..4].try_into().unwrap());
+        let crc = u32::from_le_bytes(avail[4..8].try_into().unwrap());
+        if len > MAX_FRAME_LEN {
+            return Err(ServerError::Frame(format!(
+                "declared frame length {len} exceeds maximum {MAX_FRAME_LEN}"
+            )));
+        }
+        let total = 8 + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let payload = &avail[8..total];
+        if crc32(payload) != crc {
+            return Err(ServerError::Frame("frame failed CRC check".into()));
+        }
+        let msg = codec::from_bytes(payload).map_err(|e| ServerError::Codec(e.to_string()))?;
+        self.start += total;
+        Ok(Some(msg))
+    }
+
+    /// Whether the buffer sits exactly at a frame boundary — an EOF here is
+    /// a polite close ([`ServerError::Disconnected`] in the blocking
+    /// reader's taxonomy), while an EOF mid-frame is a torn frame.
+    pub fn at_boundary(&self) -> bool {
+        self.start == self.buf.len()
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+}
+
+/// Incremental, sans-io frame encoder: queue messages, then drain the byte
+/// buffer as fast as the transport accepts it.
+///
+/// The blocking [`write_msg`] writes and flushes in one call; an
+/// event-driven writer may manage only a partial write before the socket
+/// reports `WouldBlock`, and must keep the rest for the next writability
+/// event. `FrameEncoder` is that carry-over buffer: [`FrameEncoder::push`]
+/// frames a message exactly as `write_msg` does (same envelope, same
+/// [`MAX_FRAME_LEN`] refusal), [`FrameEncoder::pending`] exposes what still
+/// has to go out, and [`FrameEncoder::consume`] records transport progress.
+///
+/// ```
+/// use prometheus_server::{FrameEncoder, Response};
+///
+/// let mut enc = FrameEncoder::new();
+/// enc.push(&Response::Pong).unwrap();
+/// let n = enc.pending().len(); // pretend the socket took every byte
+/// enc.consume(n);
+/// assert!(enc.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct FrameEncoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameEncoder {
+    /// An empty encoder.
+    pub fn new() -> FrameEncoder {
+        FrameEncoder::default()
+    }
+
+    /// Frame `msg` and queue its bytes for the transport.
+    pub fn push<T: Serialize>(&mut self, msg: &T) -> ServerResult<()> {
+        let payload = codec::to_bytes(msg)?;
+        if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+            return Err(ServerError::Frame(format!(
+                "message of {} bytes exceeds maximum frame size",
+                payload.len()
+            )));
+        }
+        if self.start > 0 && self.start == self.buf.len() {
+            self.buf.clear();
+            self.start = 0;
+        }
+        self.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        self.buf.extend_from_slice(&payload);
+        Ok(())
+    }
+
+    /// Bytes queued but not yet taken by the transport.
+    pub fn pending(&self) -> &[u8] {
+        &self.buf[self.start..]
+    }
+
+    /// Record that the transport accepted the first `n` pending bytes.
+    pub fn consume(&mut self, n: usize) {
+        self.start += n.min(self.buf.len() - self.start);
+        if self.start == self.buf.len() && self.start >= 4096 {
+            self.buf.clear();
+            self.start = 0;
+        }
+    }
+
+    /// Whether everything queued has been handed to the transport.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.buf.len()
+    }
+}
+
 /// `read_exact` that distinguishes a clean close (no bytes read, and we are
 /// at a frame boundary) from a torn frame.
 fn read_exact_or_disconnect<R: Read>(
@@ -139,6 +310,70 @@ mod tests {
             read_msg::<_, Request>(&mut &buf[..]),
             Err(ServerError::Frame(_))
         ));
+    }
+
+    #[test]
+    fn decoder_assembles_frames_from_single_bytes() {
+        let mut wire: Vec<u8> = Vec::new();
+        let req = Request::Query {
+            pool: "select t from CT t".into(),
+        };
+        write_msg(&mut wire, &req).unwrap();
+        write_msg(&mut wire, &Request::Ping).unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for b in &wire {
+            dec.extend(std::slice::from_ref(b));
+            while let Some(msg) = dec.next_msg::<Request>().unwrap() {
+                out.push(msg);
+            }
+        }
+        assert_eq!(out, vec![req, Request::Ping]);
+        assert!(dec.at_boundary());
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_and_corrupt_frames() {
+        let mut dec = FrameDecoder::new();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_LEN + 1).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        dec.extend(&bytes);
+        assert!(matches!(
+            dec.next_msg::<Request>(),
+            Err(ServerError::Frame(_))
+        ));
+
+        let mut wire: Vec<u8> = Vec::new();
+        write_msg(&mut wire, &Response::Pong).unwrap();
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF;
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        assert!(matches!(
+            dec.next_msg::<Response>(),
+            Err(ServerError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn encoder_output_matches_write_msg_and_survives_partial_drains() {
+        let msgs = vec![Request::Ping, Request::Stats, Request::UnitBegin];
+        let mut blocking: Vec<u8> = Vec::new();
+        let mut enc = FrameEncoder::new();
+        for m in &msgs {
+            write_msg(&mut blocking, m).unwrap();
+            enc.push(m).unwrap();
+        }
+        // Drain in awkward chunk sizes; the byte stream must be identical.
+        let mut drained = Vec::new();
+        while !enc.is_empty() {
+            let take = enc.pending().len().min(5);
+            drained.extend_from_slice(&enc.pending()[..take]);
+            enc.consume(take);
+        }
+        assert_eq!(drained, blocking);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! serves tickets strictly in draw order. Whoever asked first writes first,
 //! regardless of scheduler whims.
 
-use std::sync::{Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 /// FIFO mutual exclusion: tickets are granted strictly in draw order.
 #[derive(Debug, Default)]
@@ -74,6 +74,47 @@ impl TicketLane {
     pub fn acquire(&self) -> LaneGuard<'_> {
         let ticket = self.ticket();
         self.wait(ticket)
+    }
+
+    /// The ticket currently being served — the one a holder owns, or the
+    /// next grant if the lane is free. Event-driven callers poll this to
+    /// decide whether the head of their wait queue can claim the lane.
+    pub fn serving(&self) -> u64 {
+        lock(&self.state).serving
+    }
+
+    /// Claim `ticket` without blocking: `Some` exactly when `ticket` is at
+    /// the head of the queue right now. The returned guard owns an `Arc` to
+    /// the lane, so it can be parked in per-connection state and dropped
+    /// from any thread — the event loop's workers must never block in
+    /// [`TicketLane::wait`] (the current holder may be an idle session whose
+    /// releasing frame needs a free worker).
+    pub fn try_claim(lane: &Arc<TicketLane>, ticket: u64) -> Option<OwnedLaneGuard> {
+        let state = lock(&lane.state);
+        if state.serving == ticket {
+            drop(state);
+            Some(OwnedLaneGuard {
+                lane: Arc::clone(lane),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// An owning counterpart of [`LaneGuard`]: holds the lane via an `Arc`, so
+/// it can outlive the stack frame that claimed it (parked in a connection's
+/// unit state between readiness events). Dropping it serves the next ticket.
+#[derive(Debug)]
+pub struct OwnedLaneGuard {
+    lane: Arc<TicketLane>,
+}
+
+impl Drop for OwnedLaneGuard {
+    fn drop(&mut self) {
+        let mut state = lock(&self.lane.state);
+        state.serving += 1;
+        self.lane.served.notify_all();
     }
 }
 
@@ -139,6 +180,39 @@ mod tests {
             (0..8).collect::<Vec<u64>>(),
             "lane granted out of draw order"
         );
+    }
+
+    #[test]
+    fn try_claim_only_grants_the_head_ticket() {
+        let lane = Arc::new(TicketLane::new());
+        let first = lane.ticket();
+        let second = lane.ticket();
+        assert!(TicketLane::try_claim(&lane, second).is_none());
+        let head = TicketLane::try_claim(&lane, first).expect("head ticket claims");
+        // While held, nobody else claims — not even the head ticket again.
+        assert!(TicketLane::try_claim(&lane, second).is_none());
+        drop(head);
+        assert_eq!(lane.serving(), second);
+        let next = TicketLane::try_claim(&lane, second).expect("next after release");
+        drop(next);
+    }
+
+    #[test]
+    fn owned_guard_interleaves_with_blocking_waiters() {
+        let lane = Arc::new(TicketLane::new());
+        let t0 = lane.ticket();
+        let owned = TicketLane::try_claim(&lane, t0).unwrap();
+        let t1 = lane.ticket();
+        let waiter = {
+            let lane = Arc::clone(&lane);
+            std::thread::spawn(move || {
+                let _guard = lane.wait(t1);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        drop(owned); // releases from this thread; the blocked waiter proceeds
+        waiter.join().unwrap();
+        drop(lane.acquire());
     }
 
     #[test]

@@ -8,22 +8,33 @@
 //! binary wire protocol, plus the matching blocking client.
 //!
 //! * [`frame`] — length-prefixed, CRC-protected frames (the redo-log
-//!   envelope, reused for the network);
+//!   envelope, reused for the network), both blocking ([`frame::read_msg`] /
+//!   [`frame::write_msg`]) and incremental ([`FrameDecoder`] /
+//!   [`FrameEncoder`] for non-blocking sockets);
 //! * [`protocol`] — versioned [`protocol::Request`]/[`protocol::Response`]
 //!   messages: handshake, POOL queries, PCL installation, units of work
 //!   (streamed and batched), compaction, stats, shutdown;
-//! * [`server`] — accept loop + fixed worker pool; queries run lock-free
-//!   against pinned storage snapshots while every mutation passes through
-//!   the fair FIFO **writer lane** ([`lane`]), preserving the engine's
-//!   single-writer discipline across sessions; a unit that sits silent past
-//!   the idle deadline is rolled back so the lane keeps moving;
+//! * [`core`] — the **sans-io** per-session protocol state machine
+//!   ([`SessionCore`]): consumes decoded requests, answers with ready
+//!   responses or typed [`Work`] items, and never touches a socket — both
+//!   transports below drive it, so the protocol cannot drift between them;
+//! * [`server`] — the two transports behind one [`serve`] entry point: the
+//!   blocking accept-loop + worker-pool path
+//!   ([`ServerConfig::io_threads`]` == 0`), and the **event-driven** path
+//!   (`io_threads > 0`, Linux) where an epoll readiness loop ([`poll`],
+//!   [`event`]) owns thousands of connections with a handful of threads and
+//!   also serves the HTTP `GET /metrics` scrape endpoint. In both, queries
+//!   run lock-free against pinned storage snapshots while every mutation
+//!   passes through the fair FIFO **writer lane** ([`lane`]), preserving the
+//!   engine's single-writer discipline across sessions; a unit that sits
+//!   silent past the idle deadline is rolled back so the lane keeps moving;
 //! * [`session`] — per-connection state, notably the session's
 //!   classification context (§4.6.2 "working inside a classification");
 //! * [`client`] — [`client::PrometheusClient`] and the RAII
 //!   [`client::UnitGuard`];
 //! * [`metrics`] — lock-free server counters, latency histograms (merged
 //!   and per request class) and per-follower replication lag, queryable
-//!   over the wire;
+//!   over the wire — and [`exposition`], their Prometheus text rendering;
 //! * [`replica`] — the state a server carries when it runs as a read-only
 //!   replication follower (see the `prometheus-replica` crate for the
 //!   puller that drives it);
@@ -47,24 +58,32 @@
 //! ```
 
 pub mod client;
+pub mod core;
 pub mod error;
+#[cfg(target_os = "linux")]
+pub mod event;
+pub mod exposition;
 pub mod frame;
 pub mod lane;
 pub mod metrics;
+#[cfg(target_os = "linux")]
+pub mod poll;
 pub mod protocol;
 pub mod replica;
 pub mod server;
 pub mod session;
 pub mod slowlog;
 
+pub use crate::core::{is_mutating, SessionCore, Step, Work};
 pub use client::{ClientConfig, PollOutcome, PrometheusClient, UnitGuard};
 pub use error::{ErrorKind, ServerError, ServerResult};
-pub use frame::MAX_FRAME_LEN;
-pub use lane::{LaneGuard, TicketLane};
+pub use exposition::render_prometheus_exposition;
+pub use frame::{FrameDecoder, FrameEncoder, MAX_FRAME_LEN};
+pub use lane::{LaneGuard, OwnedLaneGuard, TicketLane};
 pub use metrics::{FollowerLag, LatencyHistogram, MetricsSnapshot, ServerMetrics, REQUEST_CLASSES};
 pub use prometheus_trace::{Recorder, Stage, TraceEvent};
 pub use protocol::{MutationOp, ReplicaStatusInfo, Request, Response, WireRows, PROTOCOL_VERSION};
 pub use replica::{ReplicaInfo, ReplicaStatusCell};
-pub use server::{serve, ServerConfig, ServerHandle};
+pub use server::{serve, ServerConfig, ServerConfigBuilder, ServerHandle};
 pub use session::Session;
 pub use slowlog::{SlowLog, SlowLogEntry};

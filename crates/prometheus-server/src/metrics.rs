@@ -67,6 +67,15 @@ pub struct ServerMetrics {
     pub connections_accepted: AtomicU64,
     /// Sessions currently being served.
     pub connections_active: AtomicU64,
+    /// Accepted connections (blocking mode) or ready connections (event
+    /// mode) currently queued for a worker. A persistently non-zero gauge
+    /// means the worker pool is the bottleneck — accepted-but-unserved
+    /// sessions used to wait here invisibly.
+    pub accept_queued: AtomicU64,
+    /// Sessions closed by the idle-connection reaper
+    /// ([`crate::ServerConfig::idle_timeout`]): socket closed, any open unit
+    /// rolled back.
+    pub sessions_reaped: AtomicU64,
     /// Requests processed, by kind (indexes follow [`REQUEST_KINDS`]).
     requests: [AtomicU64; REQUEST_KINDS.len()],
     /// Frames that failed to decode, or out-of-order requests.
@@ -154,6 +163,8 @@ impl ServerMetrics {
         MetricsSnapshot {
             connections_accepted: self.connections_accepted.load(Ordering::Relaxed),
             connections_active: self.connections_active.load(Ordering::Relaxed),
+            accept_queue_depth: self.accept_queued.load(Ordering::Relaxed),
+            sessions_reaped: self.sessions_reaped.load(Ordering::Relaxed),
             requests_by_kind: REQUEST_KINDS
                 .iter()
                 .zip(self.requests.iter())
@@ -223,6 +234,10 @@ impl ServerMetrics {
 pub struct MetricsSnapshot {
     pub connections_accepted: u64,
     pub connections_active: u64,
+    /// Connections queued for a worker at snapshot time (protocol v6).
+    pub accept_queue_depth: u64,
+    /// Sessions closed by the idle-connection reaper (protocol v6).
+    pub sessions_reaped: u64,
     pub requests_by_kind: Vec<(String, u64)>,
     pub protocol_errors: u64,
     pub db_errors: u64,

@@ -1,0 +1,246 @@
+//! A minimal epoll shim for the event-driven server.
+//!
+//! The workspace vendors no I/O-reactor crate (no `mio`, no `libc`), but the
+//! event loop only needs four syscalls — `epoll_create1`, `epoll_ctl`,
+//! `epoll_wait` and `eventfd` — all exported by the C library every Linux
+//! Rust binary already links. This module declares them directly and wraps
+//! the file descriptors in `OwnedFd` so nothing leaks.
+//!
+//! The shim is deliberately small and **level-triggered + one-shot**: every
+//! registration uses `EPOLLONESHOT`, so after a readiness event fires the
+//! descriptor stays registered but silent until some thread re-arms it with
+//! [`Poller::rearm`]. That is the concurrency discipline the server builds
+//! on — at most one worker processes a connection at a time, with no
+//! edge-trigger starvation corner cases to reason about.
+//!
+//! Only compiled on Linux (`cfg(target_os = "linux")` in `lib.rs`); on other
+//! platforms [`crate::ServerConfig::io_threads`] is rejected at
+//! serve time and the blocking path remains available.
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::raw::{c_int, c_uint};
+
+/// Readiness: data to read (or a peer hang-up, which also wakes readers).
+pub const EV_READ: u32 = EPOLLIN | EPOLLRDHUP;
+/// Readiness: socket writable again after a short write.
+pub const EV_WRITE: u32 = EPOLLOUT;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLONESHOT: u32 = 1 << 30;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// Mirror of the kernel's `struct epoll_event`. Packed on x86-64 (the one
+/// ABI where the kernel declares it packed); natural layout elsewhere.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+struct RawEpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut RawEpollEvent) -> c_int;
+    fn epoll_wait(
+        epfd: c_int,
+        events: *mut RawEpollEvent,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// One readiness event: the registration token plus what happened. `error`
+/// folds in `EPOLLERR`/`EPOLLHUP`/`EPOLLRDHUP` — all of them mean "read
+/// until EOF/error and tear down", which is what a reader does anyway.
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    pub error: bool,
+}
+
+/// A one-shot, level-triggered epoll instance.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: OwnedFd,
+}
+
+impl Poller {
+    pub fn new() -> io::Result<Poller> {
+        let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+        Ok(Poller {
+            epfd: unsafe { OwnedFd::from_raw_fd(fd) },
+        })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = RawEpollEvent {
+            events,
+            data: token,
+        };
+        cvt(unsafe { epoll_ctl(self.epfd.as_raw_fd(), op, fd, &mut ev) })?;
+        Ok(())
+    }
+
+    /// Register `fd` one-shot for `interest` ([`EV_READ`] and/or
+    /// [`EV_WRITE`]); the token comes back in the matching [`PollEvent`].
+    pub fn register(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, interest | EPOLLONESHOT, token)
+    }
+
+    /// Re-arm an already-registered `fd` after its one-shot event fired (or
+    /// to change its interest set). Safe to call from any thread — this is
+    /// how workers hand a connection back to the loop.
+    pub fn rearm(&self, fd: RawFd, token: u64, interest: u32) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, interest | EPOLLONESHOT, token)
+    }
+
+    /// Remove `fd` from the poller (idempotent at teardown: a missing fd is
+    /// not an error worth surfacing).
+    pub fn deregister(&self, fd: RawFd) {
+        let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Block up to `timeout_ms` (`-1` = forever) for readiness events,
+    /// appending them to `out`. Returns the number of events delivered.
+    pub fn wait(&self, out: &mut Vec<PollEvent>, timeout_ms: i32) -> io::Result<usize> {
+        const CAPACITY: usize = 256;
+        let mut raw = [RawEpollEvent { events: 0, data: 0 }; CAPACITY];
+        let n = loop {
+            let ret = unsafe {
+                epoll_wait(
+                    self.epfd.as_raw_fd(),
+                    raw.as_mut_ptr(),
+                    CAPACITY as c_int,
+                    timeout_ms,
+                )
+            };
+            if ret >= 0 {
+                break ret as usize;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        };
+        for ev in &raw[..n] {
+            let bits = ev.events;
+            out.push(PollEvent {
+                token: ev.data,
+                readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                writable: bits & EPOLLOUT != 0,
+                error: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+/// A cross-thread wake-up for the event loop, built on `eventfd`. Cloneable
+/// and cheap: [`Waker::wake`] writes one counter increment, the loop drains
+/// it and rechecks its control state.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    fd: std::sync::Arc<OwnedFd>,
+}
+
+impl Waker {
+    pub fn new() -> io::Result<Waker> {
+        let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+        Ok(Waker {
+            fd: std::sync::Arc::new(unsafe { OwnedFd::from_raw_fd(fd) }),
+        })
+    }
+
+    /// The fd to register with the [`Poller`] (readable when woken).
+    pub fn as_raw_fd(&self) -> RawFd {
+        self.fd.as_raw_fd()
+    }
+
+    /// Wake the loop. Never blocks: the eventfd is a saturating counter.
+    pub fn wake(&self) {
+        let one: u64 = 1;
+        let _ = unsafe { write(self.fd.as_raw_fd(), one.to_ne_bytes().as_ptr(), 8) };
+    }
+
+    /// Consume pending wake-ups so the (level-triggered) fd goes quiet.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        let _ = unsafe { read(self.fd.as_raw_fd(), buf.as_mut_ptr(), 8) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let poller = Poller::new().unwrap();
+        let waker = Waker::new().unwrap();
+        poller.register(waker.as_raw_fd(), 7, EV_READ).unwrap();
+        let mut events = Vec::new();
+        // Nothing yet: a zero timeout returns empty.
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+        waker.wake();
+        assert_eq!(poller.wait(&mut events, 1000).unwrap(), 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        waker.drain();
+        // One-shot: silent until re-armed, even though it was drained.
+        events.clear();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0);
+        waker.wake();
+        poller.rearm(waker.as_raw_fd(), 7, EV_READ).unwrap();
+        assert_eq!(poller.wait(&mut events, 1000).unwrap(), 1);
+    }
+
+    #[test]
+    fn socket_readiness_round_trip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut tx = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.register(rx.as_raw_fd(), 42, EV_READ).unwrap();
+        let mut events = Vec::new();
+        assert_eq!(poller.wait(&mut events, 0).unwrap(), 0, "no data yet");
+        tx.write_all(b"hi").unwrap();
+        assert_eq!(poller.wait(&mut events, 2000).unwrap(), 1);
+        assert_eq!(events[0].token, 42);
+        assert!(events[0].readable && !events[0].error);
+        // Peer close after re-arm surfaces as readable+error (RDHUP).
+        drop(tx);
+        poller.rearm(rx.as_raw_fd(), 42, EV_READ).unwrap();
+        events.clear();
+        assert_eq!(poller.wait(&mut events, 2000).unwrap(), 1);
+        assert!(events[0].readable && events[0].error);
+        poller.deregister(rx.as_raw_fd());
+    }
+}

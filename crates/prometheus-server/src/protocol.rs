@@ -55,7 +55,14 @@ use crate::slowlog::SlowLogEntry;
 /// `MetricsSnapshot` gained `image_nodes_cloned` and `image_bytes_copied`
 /// (persistent-map publication cost); positional codec, so v4 clients
 /// cannot decode the enlarged `Stats` response.
-pub const PROTOCOL_VERSION: u16 = 5;
+///
+/// v6: [`crate::metrics::MetricsSnapshot`] gained `accept_queue_depth` (a
+/// gauge of accepted-but-unserved connections) and `sessions_reaped`
+/// (idle-connection reaper kills). Positional codec, so v5 clients cannot
+/// decode the enlarged `Stats` response. No request/response variants
+/// changed — the event-driven server speaks the same frames as the
+/// blocking one.
+pub const PROTOCOL_VERSION: u16 = 6;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

@@ -46,15 +46,13 @@
 //! rolled back, and the worker threads drain and exit. [`ServerHandle`]
 //! joins all threads on drop, so no test or embedder leaks threads.
 
+use crate::core::{SessionCore, Step, Work};
 use crate::error::{ErrorKind, ServerError, ServerResult};
 use crate::frame::{read_msg, write_msg};
 use crate::lane::{LaneGuard, TicketLane};
 use crate::metrics::{MetricsSnapshot, ServerMetrics, REQUEST_KINDS};
-use crate::protocol::{
-    MutationOp, ReplicaStatusInfo, Request, Response, WireRows, PROTOCOL_VERSION,
-};
+use crate::protocol::{MutationOp, ReplicaStatusInfo, Request, Response, WireRows};
 use crate::replica::ReplicaInfo;
-use crate::session::Session;
 use crate::slowlog::{SlowLog, SlowLogEntry};
 use prometheus_db::{Database, DbResult, Oid, Prometheus, Value};
 use prometheus_pool::{Executor, StatementKind};
@@ -68,13 +66,20 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`serve`].
+///
+/// Plain-struct construction keeps working (`ServerConfig { ..Default::default() }`),
+/// but prefer [`ServerConfig::builder`] — it validates knob combinations at
+/// build time instead of letting a zero timeout or an impossible thread
+/// count surface as runtime behaviour.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Address to bind; use port 0 for an ephemeral port (tests, loadgen).
     pub addr: String,
-    /// Fixed worker-thread pool size. Each live session occupies one worker
-    /// for its lifetime, so this bounds concurrent sessions; further
-    /// connections queue until a worker frees up.
+    /// Fixed worker-thread pool size for the **blocking** path
+    /// (`io_threads == 0`). Each live session occupies one worker for its
+    /// lifetime, so this bounds concurrent sessions; further connections
+    /// queue until a worker frees up (visible as the `accept_queue_depth`
+    /// gauge). Ignored when `io_threads > 0`.
     pub workers: usize,
     /// How long a streamed unit may sit silent (no frame from the client)
     /// while holding the writer lane before the server rolls it back and
@@ -101,6 +106,29 @@ pub struct ServerConfig {
     /// [`crate::replica::ReplicaStatusCell`] instead of the local store.
     /// `None` (the default) is a normal primary.
     pub replica: Option<ReplicaInfo>,
+    /// `0` (the default) keeps the blocking one-thread-per-session path.
+    /// `> 0` switches to the **event-driven** path: a readiness loop
+    /// (epoll) owns every connection and this many worker threads execute
+    /// only ready work, so live sessions are no longer capped by thread
+    /// count. The wire protocol is identical in both modes. Linux only;
+    /// [`serve`] returns [`ServerError::Config`] elsewhere.
+    pub io_threads: usize,
+    /// Maximum concurrently live sessions; `0` = unlimited. The
+    /// event-driven path stops accepting at the cap and resumes as sessions
+    /// close; the blocking path closes excess connections at accept.
+    pub max_connections: usize,
+    /// `Some(addr)` serves the Prometheus text exposition of
+    /// [`ServerHandle::metrics`] over plain HTTP at `GET /metrics` on a
+    /// second listener (the scrape endpoint). Works in both modes — the
+    /// blocking path spins up a one-thread readiness loop just for HTTP.
+    /// Linux only.
+    pub metrics_http_addr: Option<String>,
+    /// Close sessions that send no frame for this long (between requests —
+    /// a unit holding the writer lane is governed by the stricter
+    /// `unit_idle_timeout` instead): the socket is closed, any open unit is
+    /// rolled back, and the `sessions_reaped` counter is bumped. `None`
+    /// (the default) never reaps.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -113,38 +141,198 @@ impl Default for ServerConfig {
             slow_query_threshold: Duration::from_millis(100),
             trace_capacity: Recorder::DEFAULT_CAPACITY,
             replica: None,
+            io_threads: 0,
+            max_connections: 0,
+            metrics_http_addr: None,
+            idle_timeout: None,
         }
     }
 }
 
-/// State shared by the accept loop, the worker pool and the handle.
-struct Shared {
-    db: Prometheus,
-    metrics: ServerMetrics,
+impl ServerConfig {
+    /// A validating builder; see [`ServerConfigBuilder`].
+    pub fn builder() -> ServerConfigBuilder {
+        ServerConfigBuilder {
+            cfg: ServerConfig::default(),
+        }
+    }
+}
+
+/// Validating builder for [`ServerConfig`].
+///
+/// ```
+/// use prometheus_server::ServerConfig;
+/// use std::time::Duration;
+///
+/// let cfg = ServerConfig::builder()
+///     .addr("127.0.0.1:0")
+///     .io_threads(2)                 // event-driven mode
+///     .max_connections(10_000)
+///     .metrics_http_addr("127.0.0.1:0") // GET /metrics scrape endpoint
+///     .idle_timeout(Duration::from_secs(600))
+///     .build()
+///     .unwrap();
+/// assert_eq!(cfg.io_threads, 2);
+///
+/// // Nonsense combinations fail at build time, not at runtime:
+/// assert!(ServerConfig::builder()
+///     .unit_idle_timeout(Duration::ZERO)
+///     .build()
+///     .is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServerConfigBuilder {
+    cfg: ServerConfig,
+}
+
+impl ServerConfigBuilder {
+    /// Address to bind (port 0 for ephemeral).
+    pub fn addr(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.addr = addr.into();
+        self
+    }
+
+    /// Blocking-mode worker pool size (ignored when `io_threads > 0`).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.cfg.workers = workers;
+        self
+    }
+
+    /// Event-mode worker threads; `0` keeps the blocking path.
+    pub fn io_threads(mut self, io_threads: usize) -> Self {
+        self.cfg.io_threads = io_threads;
+        self
+    }
+
+    /// Cap on concurrently live sessions (`0` = unlimited).
+    pub fn max_connections(mut self, max: usize) -> Self {
+        self.cfg.max_connections = max;
+        self
+    }
+
+    /// Serve `GET /metrics` (Prometheus text exposition) on this address.
+    pub fn metrics_http_addr(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.metrics_http_addr = Some(addr.into());
+        self
+    }
+
+    /// Reap sessions idle longer than this between requests.
+    pub fn idle_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.idle_timeout = Some(timeout);
+        self
+    }
+
+    /// Idle deadline for streamed units holding the writer lane.
+    pub fn unit_idle_timeout(mut self, timeout: Duration) -> Self {
+        self.cfg.unit_idle_timeout = timeout;
+        self
+    }
+
+    /// Per-query parallelism budget (`0` = auto).
+    pub fn parallelism(mut self, parallelism: usize) -> Self {
+        self.cfg.parallelism = parallelism;
+        self
+    }
+
+    /// Slow-query log threshold.
+    pub fn slow_query_threshold(mut self, threshold: Duration) -> Self {
+        self.cfg.slow_query_threshold = threshold;
+        self
+    }
+
+    /// Trace ring capacity (`0` disables tracing).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.cfg.trace_capacity = capacity;
+        self
+    }
+
+    /// Run as a read-only replication follower.
+    pub fn replica(mut self, replica: ReplicaInfo) -> Self {
+        self.cfg.replica = Some(replica);
+        self
+    }
+
+    /// Validate and produce the config.
+    ///
+    /// Rejected combinations: an empty bind address; `workers == 0` in
+    /// blocking mode; an implausible `io_threads` (> 1024); a zero
+    /// `unit_idle_timeout` or zero `idle_timeout` (every unit/session would
+    /// die instantly); an `idle_timeout` shorter than `unit_idle_timeout`
+    /// (the reaper would undercut the unit deadline it defers to).
+    pub fn build(self) -> ServerResult<ServerConfig> {
+        let cfg = self.cfg;
+        if cfg.addr.is_empty() {
+            return Err(ServerError::Config("bind address must not be empty".into()));
+        }
+        if cfg.io_threads == 0 && cfg.workers == 0 {
+            return Err(ServerError::Config(
+                "workers must be >= 1 in blocking mode (or set io_threads > 0)".into(),
+            ));
+        }
+        if cfg.io_threads > 1024 {
+            return Err(ServerError::Config(format!(
+                "io_threads = {} is implausible (max 1024)",
+                cfg.io_threads
+            )));
+        }
+        if cfg.unit_idle_timeout.is_zero() {
+            return Err(ServerError::Config(
+                "unit_idle_timeout must be non-zero (every unit would time out instantly)".into(),
+            ));
+        }
+        if let Some(idle) = cfg.idle_timeout {
+            if idle.is_zero() {
+                return Err(ServerError::Config(
+                    "idle_timeout must be non-zero (every session would be reaped instantly)"
+                        .into(),
+                ));
+            }
+            if idle < cfg.unit_idle_timeout {
+                return Err(ServerError::Config(format!(
+                    "idle_timeout ({idle:?}) must be >= unit_idle_timeout ({:?})",
+                    cfg.unit_idle_timeout
+                )));
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// State shared by the accept loop, the worker pool and the handle (and, in
+/// event mode, the readiness loop).
+pub(crate) struct Shared {
+    pub(crate) db: Prometheus,
+    pub(crate) metrics: ServerMetrics,
     /// Plan-caching, morsel-parallel POOL executor for pinned queries. One
     /// instance across all sessions, so every session shares every other
     /// session's cached plans.
-    executor: Executor,
+    pub(crate) executor: Executor,
     /// The writer lane: serialises every mutating request in FIFO arrival
     /// order, preserving the engine's single-writer discipline across
-    /// sessions without letting any session barge the queue.
-    writer_lane: TicketLane,
+    /// sessions without letting any session barge the queue. Behind an
+    /// `Arc` so the event loop can park owned guards in connection state.
+    pub(crate) writer_lane: Arc<TicketLane>,
     /// Idle deadline for streamed units holding the lane.
-    unit_idle_timeout: Duration,
+    pub(crate) unit_idle_timeout: Duration,
+    /// Idle deadline for whole sessions (the reaper); `None` never reaps.
+    pub(crate) idle_timeout: Option<Duration>,
     /// One span recorder across every layer: the store, the rule engine,
     /// the executor and the server itself all record into this ring, so a
     /// request's whole span tree shares one trace id.
-    recorder: Recorder,
+    pub(crate) recorder: Recorder,
     /// Bounded log of queries slower than `slow_query_threshold`.
-    slow_log: SlowLog,
-    slow_query_threshold: Duration,
-    shutting_down: AtomicBool,
-    next_session: AtomicU64,
+    pub(crate) slow_log: SlowLog,
+    pub(crate) slow_query_threshold: Duration,
+    pub(crate) shutting_down: AtomicBool,
+    pub(crate) next_session: AtomicU64,
     /// Read-half clones of live session sockets, for shutdown.
-    conns: Mutex<HashMap<u64, TcpStream>>,
-    addr: SocketAddr,
+    pub(crate) conns: Mutex<HashMap<u64, TcpStream>>,
+    pub(crate) addr: SocketAddr,
     /// `Some` when serving as a read-only replication follower.
-    replica: Option<ReplicaInfo>,
+    pub(crate) replica: Option<ReplicaInfo>,
+    /// Callbacks that wake any event loops attached to this server, so a
+    /// wire `Shutdown` (which only sees `Shared`) can reach them.
+    pub(crate) shutdown_wakers: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
 }
 
 /// Recover from a poisoned lock: the protected state (the connection
@@ -159,6 +347,12 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 ///
 /// The handle owns the database: stop the server (drop or
 /// [`ServerHandle::stop`]) before reopening the same path elsewhere.
+///
+/// With `config.io_threads == 0` (the default) this is the blocking
+/// one-thread-per-session server; with `io_threads > 0` the event-driven
+/// readiness loop serves the same wire protocol over non-blocking sockets
+/// (Linux only). `config.metrics_http_addr` additionally serves `GET
+/// /metrics` in either mode.
 pub fn serve(db: Prometheus, config: ServerConfig) -> ServerResult<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
@@ -184,8 +378,9 @@ pub fn serve(db: Prometheus, config: ServerConfig) -> ServerResult<ServerHandle>
         db,
         metrics: ServerMetrics::default(),
         executor,
-        writer_lane: TicketLane::new(),
+        writer_lane: Arc::new(TicketLane::new()),
         unit_idle_timeout: config.unit_idle_timeout,
+        idle_timeout: config.idle_timeout,
         recorder,
         slow_log: SlowLog::default(),
         slow_query_threshold: config.slow_query_threshold,
@@ -193,8 +388,54 @@ pub fn serve(db: Prometheus, config: ServerConfig) -> ServerResult<ServerHandle>
         next_session: AtomicU64::new(1),
         conns: Mutex::new(HashMap::new()),
         addr,
-        replica: config.replica,
+        replica: config.replica.clone(),
+        shutdown_wakers: Mutex::new(Vec::new()),
     });
+
+    #[cfg(not(target_os = "linux"))]
+    if config.io_threads > 0 || config.metrics_http_addr.is_some() {
+        return Err(ServerError::Config(
+            "io_threads > 0 and metrics_http_addr need the epoll event loop (Linux only)".into(),
+        ));
+    }
+
+    #[cfg(target_os = "linux")]
+    if config.io_threads > 0 {
+        // Fully event-driven: the readiness loop owns the db listener (and
+        // the metrics listener, if any); no blocking worker pool at all.
+        let event = crate::event::spawn_event_loop(
+            Arc::clone(&shared),
+            crate::event::EventConfig {
+                db_listener: Some(listener),
+                metrics_listener: bind_metrics(&config)?,
+                io_threads: config.io_threads,
+                max_connections: config.max_connections,
+            },
+        )?;
+        return Ok(ServerHandle {
+            shared,
+            accept: None,
+            workers: Vec::new(),
+            event: Some(event),
+        });
+    }
+
+    // Blocking path: accept thread + fixed worker pool. A metrics address
+    // still gets the event loop, but one that only owns the HTTP listener.
+    #[cfg(target_os = "linux")]
+    let event = match bind_metrics(&config)? {
+        Some(metrics_listener) => Some(crate::event::spawn_event_loop(
+            Arc::clone(&shared),
+            crate::event::EventConfig {
+                db_listener: None,
+                metrics_listener: Some(metrics_listener),
+                io_threads: 1,
+                max_connections: 0,
+            },
+        )?),
+        None => None,
+    };
+
     let (tx, rx) = mpsc::channel::<TcpStream>();
     let rx = Arc::new(Mutex::new(rx));
     let mut workers = Vec::with_capacity(config.workers.max(1));
@@ -208,15 +449,27 @@ pub fn serve(db: Prometheus, config: ServerConfig) -> ServerResult<ServerHandle>
     }
     let accept = {
         let shared = Arc::clone(&shared);
+        let max_connections = config.max_connections;
         thread::Builder::new()
             .name("prometheus-accept".into())
-            .spawn(move || accept_loop(shared, listener, tx))?
+            .spawn(move || accept_loop(shared, listener, tx, max_connections))?
     };
     Ok(ServerHandle {
         shared,
         accept: Some(accept),
         workers,
+        #[cfg(target_os = "linux")]
+        event,
     })
+}
+
+/// Bind the scrape-endpoint listener named by the config, if any.
+#[cfg(target_os = "linux")]
+fn bind_metrics(config: &ServerConfig) -> ServerResult<Option<TcpListener>> {
+    match &config.metrics_http_addr {
+        Some(addr) => Ok(Some(TcpListener::bind(addr)?)),
+        None => Ok(None),
+    }
 }
 
 /// A running server: address, metrics, shutdown and join.
@@ -224,12 +477,27 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<thread::JoinHandle<()>>,
     workers: Vec<thread::JoinHandle<()>>,
+    #[cfg(target_os = "linux")]
+    event: Option<crate::event::EventLoopHandle>,
 }
 
 impl ServerHandle {
     /// The bound address (with the real port when 0 was requested).
     pub fn addr(&self) -> SocketAddr {
         self.shared.addr
+    }
+
+    /// The bound address of the HTTP `GET /metrics` scrape endpoint, when
+    /// [`ServerConfig::metrics_http_addr`] asked for one.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        #[cfg(target_os = "linux")]
+        {
+            self.event.as_ref().and_then(|e| e.metrics_addr)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            None
+        }
     }
 
     /// Point-in-time server counters (also available over the wire).
@@ -266,6 +534,10 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        #[cfg(target_os = "linux")]
+        if let Some(event) = self.event.take() {
+            event.join();
+        }
     }
 }
 
@@ -276,12 +548,18 @@ impl Drop for ServerHandle {
     }
 }
 
-fn initiate_shutdown(shared: &Arc<Shared>) {
+pub(crate) fn initiate_shutdown(shared: &Arc<Shared>) {
     if shared.shutting_down.swap(true, Ordering::SeqCst) {
         return; // already in progress
     }
     // Wake the accept loop so it observes the flag.
     let _ = TcpStream::connect(shared.addr);
+    // Wake any event loops attached to this server (event mode, or the
+    // HTTP-only loop behind the blocking path); they tear their own
+    // connections down.
+    for wake in lock(&shared.shutdown_wakers).iter() {
+        wake();
+    }
     // Half-close every live session: pending responses still flush, the
     // next read sees EOF and the session winds down (aborting open units).
     for stream in lock(&shared.conns).values() {
@@ -289,7 +567,12 @@ fn initiate_shutdown(shared: &Arc<Shared>) {
     }
 }
 
-fn accept_loop(shared: Arc<Shared>, listener: TcpListener, tx: mpsc::Sender<TcpStream>) {
+fn accept_loop(
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    tx: mpsc::Sender<TcpStream>,
+    max_connections: usize,
+) {
     for stream in listener.incoming() {
         if shared.shutting_down.load(Ordering::SeqCst) {
             break;
@@ -300,6 +583,19 @@ fn accept_loop(shared: Arc<Shared>, listener: TcpListener, tx: mpsc::Sender<TcpS
                     .metrics
                     .connections_accepted
                     .fetch_add(1, Ordering::Relaxed);
+                let live = shared.metrics.connections_active.load(Ordering::Relaxed)
+                    + shared.metrics.accept_queued.load(Ordering::Relaxed);
+                if max_connections > 0 && live as usize >= max_connections {
+                    // At the session cap: close the excess connection rather
+                    // than queue it behind a bound it can never clear.
+                    drop(s);
+                    continue;
+                }
+                // Gauge the hand-off queue: incremented here, decremented
+                // when a worker picks the connection up. A persistently
+                // non-zero depth means every worker is occupied by a live
+                // session (the classic thread-per-session ceiling).
+                shared.metrics.accept_queued.fetch_add(1, Ordering::Relaxed);
                 if tx.send(s).is_err() {
                     break;
                 }
@@ -323,7 +619,10 @@ fn worker_loop(shared: Arc<Shared>, rx: Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
             guard.recv()
         };
         match next {
-            Ok(stream) => serve_connection(&shared, stream),
+            Ok(stream) => {
+                shared.metrics.accept_queued.fetch_sub(1, Ordering::Relaxed);
+                serve_connection(&shared, stream)
+            }
             Err(_) => break, // accept loop gone and queue drained
         }
     }
@@ -355,7 +654,7 @@ fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
 
 /// Index of a request kind in [`REQUEST_KINDS`]; recorded as `c0` of the
 /// root `request` span so traces can be bucketed without the query text.
-fn kind_code(kind: &str) -> u64 {
+pub(crate) fn kind_code(kind: &str) -> u64 {
     REQUEST_KINDS.iter().position(|k| *k == kind).unwrap_or(0) as u64
 }
 
@@ -382,7 +681,7 @@ enum Flow {
 fn run_session(shared: &Arc<Shared>, id: u64, stream: TcpStream) -> ServerResult<()> {
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    let mut session = Session::new(id);
+    let mut core = SessionCore::new(id, shared.replica.as_ref().map(|r| r.primary.clone()));
     if shared.shutting_down.load(Ordering::SeqCst) {
         let _ = write_msg(
             &mut writer,
@@ -393,10 +692,31 @@ fn run_session(shared: &Arc<Shared>, id: u64, stream: TcpStream) -> ServerResult
         );
         return Ok(());
     }
+    // Arm the idle reaper: a session that sends no frame for `idle_timeout`
+    // is closed (between requests — a streamed unit is governed by the
+    // stricter `unit_idle_timeout` inside `run_unit`, which restores this
+    // deadline on the way out).
+    let _ = reader.get_ref().set_read_timeout(shared.idle_timeout);
     loop {
         let req: Request = match read_msg(&mut reader) {
             Ok(r) => r,
             Err(ServerError::Disconnected) => return Ok(()),
+            Err(ServerError::Io(e))
+                if shared.idle_timeout.is_some()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                // Reaped: no unit can be open here (units run under their
+                // own deadline in `run_unit`), so closing the socket is the
+                // whole cleanup.
+                shared
+                    .metrics
+                    .sessions_reaped
+                    .fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
             Err(e) => {
                 if matches!(e, ServerError::Frame(_) | ServerError::Codec(_)) {
                     shared
@@ -417,15 +737,36 @@ fn run_session(shared: &Arc<Shared>, id: u64, stream: TcpStream) -> ServerResult
             .recorder
             .span_in(Stage::Request, shared.recorder.new_trace_id(), 0);
         let scope = TraceScope::enter(root.trace_id(), root.id());
-        let flow = dispatch(shared, &mut session, &mut writer, req);
+        let flow: ServerResult<Flow> = match core.on_request(req) {
+            Step::Reply(resp) => send(shared, &mut writer, &resp).map(|_| Flow::Continue),
+            Step::ReplyClose(resp) => send(shared, &mut writer, &resp).map(|_| Flow::Close),
+            Step::ShutdownAfter(resp) => {
+                let sent = send(shared, &mut writer, &resp);
+                initiate_shutdown(shared);
+                sent.map(|_| Flow::Close)
+            }
+            // Ack precedes the lane on purpose: a queued writer learns it is
+            // queued by its *next* response stalling, exactly like the
+            // in-process API blocking on the lane.
+            Step::OpenUnit => send(shared, &mut writer, &Response::Ack).map(|_| Flow::EnterUnit),
+            Step::Do(work) => {
+                let resp = if work.needs_lane() {
+                    let _lane = acquire_lane(shared);
+                    execute_work(shared, &mut core, work)
+                } else {
+                    execute_work(shared, &mut core, work)
+                };
+                send(shared, &mut writer, &resp).map(|_| Flow::Continue)
+            }
+        };
         drop(scope);
-        root.finish(kind_code(kind), session.id);
+        root.finish(kind_code(kind), core.id());
         let flow = flow?;
         shared
             .metrics
             .record_latency_us(kind, start.elapsed().as_micros() as u64);
         match flow {
-            Flow::EnterUnit => run_unit(shared, &mut session, &mut reader, &mut writer)?,
+            Flow::EnterUnit => run_unit(shared, &mut core, &mut reader, &mut writer)?,
             Flow::Close => return Ok(()),
             Flow::Continue => {
                 if shared.shutting_down.load(Ordering::SeqCst) {
@@ -436,145 +777,67 @@ fn run_session(shared: &Arc<Shared>, id: u64, stream: TcpStream) -> ServerResult
     }
 }
 
-/// Handle one request outside a streamed unit.
-fn dispatch(
-    shared: &Arc<Shared>,
-    session: &mut Session,
-    writer: &mut BufWriter<TcpStream>,
-    req: Request,
-) -> ServerResult<Flow> {
-    if !session.ready {
-        return match req {
-            Request::Hello { version, client } => {
-                if version != PROTOCOL_VERSION {
-                    shared
-                        .metrics
-                        .protocol_errors
-                        .fetch_add(1, Ordering::Relaxed);
-                    write_msg(
-                        writer,
-                        &Response::Error {
-                            kind: ErrorKind::ProtocolMismatch,
-                            message: format!(
-                                "protocol version {version} unsupported (server speaks {PROTOCOL_VERSION})"
-                            ),
-                        },
-                    )?;
-                    Ok(Flow::Close)
-                } else {
-                    session.ready = true;
-                    session.client = client;
-                    write_msg(
-                        writer,
-                        &Response::Welcome {
-                            version: PROTOCOL_VERSION,
-                            session: session.id,
-                        },
-                    )?;
-                    Ok(Flow::Continue)
-                }
+/// Count a response's error class into the server metrics — the one place
+/// the error counters are bumped, shared by both transports so they cannot
+/// drift. `ShuttingDown` and `UnitTimedOut` are lifecycle notices, not
+/// request failures, and count nowhere.
+pub(crate) fn count_response(metrics: &ServerMetrics, resp: &Response) {
+    if let Response::Error { kind, .. } = resp {
+        match kind {
+            ErrorKind::Protocol | ErrorKind::ProtocolMismatch => {
+                metrics.protocol_errors.fetch_add(1, Ordering::Relaxed);
             }
-            _ => {
-                shared
-                    .metrics
-                    .protocol_errors
-                    .fetch_add(1, Ordering::Relaxed);
-                write_msg(
-                    writer,
-                    &Response::Error {
-                        kind: ErrorKind::Protocol,
-                        message: "handshake required: send Hello first".into(),
-                    },
-                )?;
-                Ok(Flow::Close)
+            ErrorKind::Db | ErrorKind::ReadOnlyReplica => {
+                metrics.db_errors.fetch_add(1, Ordering::Relaxed);
             }
-        };
+            ErrorKind::ShuttingDown | ErrorKind::UnitTimedOut => {}
+        }
     }
-    if session.unit_timed_out {
-        // The unit this session was streaming hit the idle deadline and was
-        // rolled back. Answer the next frame — whatever it asked — with the
-        // typed error, so the client never acts on the assumption that the
-        // unit is still open; then the session is back to normal.
-        session.unit_timed_out = false;
-        write_msg(
-            writer,
-            &Response::Error {
-                kind: ErrorKind::UnitTimedOut,
-                message: "unit of work idled past the server deadline and was rolled back".into(),
+}
+
+/// Count and write one response on the blocking transport.
+fn send(shared: &Shared, writer: &mut BufWriter<TcpStream>, resp: &Response) -> ServerResult<()> {
+    count_response(&shared.metrics, resp);
+    write_msg(writer, resp)
+}
+
+fn db_err(message: String) -> Response {
+    Response::Error {
+        kind: ErrorKind::Db,
+        message,
+    }
+}
+
+/// Execute one [`Work`] item against the database and observability state.
+///
+/// Both transports call this with the writer lane already held where
+/// [`Work::needs_lane`] demands it. Error **counting** happens when the
+/// response is sent (see [`count_response`]), not here, so a work item
+/// executed on either transport lands in the same counter exactly once.
+/// `UnitCommit`/`UnitAbort` never reach this function — the drivers settle
+/// unit tokens themselves.
+pub(crate) fn execute_work(shared: &Shared, core: &mut SessionCore, work: Work) -> Response {
+    match work {
+        Work::Query { pool, pinned } => query_response(shared, core, &pool, pinned),
+        Work::SetContext { classification } => match &classification {
+            Some(name) => match shared.db.db().classification_by_name(name) {
+                Ok(Some(_)) => {
+                    core.set_context(classification);
+                    Response::Ack
+                }
+                Ok(None) => db_err(format!("unknown classification '{name}'")),
+                Err(e) => db_err(e.to_string()),
             },
-        )?;
-        return Ok(Flow::Continue);
-    }
-    // A follower is a full query endpoint but owns no redo log of its own —
-    // its store is a replay of the primary's. Letting a write through would
-    // fork the histories, so every mutating verb gets a typed error that
-    // names where writes actually go.
-    if let Some(replica) = &shared.replica {
-        if is_mutating(&req) {
-            shared.metrics.db_errors.fetch_add(1, Ordering::Relaxed);
-            write_msg(
-                writer,
-                &Response::Error {
-                    kind: ErrorKind::ReadOnlyReplica,
-                    message: format!(
-                        "this server is a read-only replica; send writes to the primary at {}",
-                        replica.primary
-                    ),
-                },
-            )?;
-            return Ok(Flow::Continue);
-        }
-    }
-    match req {
-        Request::Hello { .. } => {
-            protocol_error(shared, writer, "duplicate handshake")?;
-            Ok(Flow::Continue)
-        }
-        Request::Ping => {
-            write_msg(writer, &Response::Pong)?;
-            Ok(Flow::Continue)
-        }
-        Request::Query { pool } => {
-            respond_query(shared, session, writer, &pool, true)?;
-            Ok(Flow::Continue)
-        }
-        Request::SetContext { classification } => {
-            match &classification {
-                Some(name) => match shared.db.db().classification_by_name(name) {
-                    Ok(Some(_)) => {
-                        session.context = classification;
-                        write_msg(writer, &Response::Ack)?;
-                    }
-                    Ok(None) => {
-                        db_error(shared, writer, format!("unknown classification '{name}'"))?;
-                    }
-                    Err(e) => db_error(shared, writer, e.to_string())?,
-                },
-                None => {
-                    session.context = None;
-                    write_msg(writer, &Response::Ack)?;
-                }
+            None => {
+                core.set_context(None);
+                Response::Ack
             }
-            Ok(Flow::Continue)
-        }
-        Request::InstallPcl { source } => {
-            let _lane = acquire_lane(shared);
-            match shared.db.install_pcl(&source) {
-                Ok(rules) => write_msg(writer, &Response::Installed { rules })?,
-                Err(e) => db_error(shared, writer, e.to_string())?,
-            }
-            Ok(Flow::Continue)
-        }
-        Request::UnitBegin => {
-            write_msg(writer, &Response::Ack)?;
-            Ok(Flow::EnterUnit)
-        }
-        Request::UnitOp { .. } | Request::UnitCommit | Request::UnitAbort => {
-            protocol_error(shared, writer, "no unit of work is open on this session")?;
-            Ok(Flow::Continue)
-        }
-        Request::UnitBatch { ops } => {
-            let _lane = acquire_lane(shared);
+        },
+        Work::InstallPcl { source } => match shared.db.install_pcl(&source) {
+            Ok(rules) => Response::Installed { rules },
+            Err(e) => db_err(e.to_string()),
+        },
+        Work::UnitBatch { ops } => {
             let db = shared.db.db();
             let result = db.in_unit_scope(|db| {
                 let mut created = Vec::with_capacity(ops.len());
@@ -589,43 +852,26 @@ fn dispatch(
                         .metrics
                         .units_committed
                         .fetch_add(1, Ordering::Relaxed);
-                    write_msg(writer, &Response::Batch { created })?;
+                    Response::Batch { created }
                 }
-                Err(e) => db_error(shared, writer, e.to_string())?,
+                Err(e) => db_err(e.to_string()),
             }
-            Ok(Flow::Continue)
         }
-        Request::Compact => {
-            let _lane = acquire_lane(shared);
-            match shared.db.compact() {
-                Ok(()) => write_msg(writer, &Response::Ack)?,
-                Err(e) => db_error(shared, writer, e.to_string())?,
-            }
-            Ok(Flow::Continue)
-        }
-        Request::Stats => {
-            write_stats(shared, writer)?;
-            Ok(Flow::Continue)
-        }
-        Request::Trace { n } => {
-            write_msg(
-                writer,
-                &Response::Trace {
-                    events: shared.recorder.recent(n as usize),
-                },
-            )?;
-            Ok(Flow::Continue)
-        }
-        Request::SlowLog { n } => {
-            write_msg(
-                writer,
-                &Response::SlowLog {
-                    entries: shared.slow_log.recent(n as usize),
-                },
-            )?;
-            Ok(Flow::Continue)
-        }
-        Request::ReplicaPoll {
+        Work::Compact => match shared.db.compact() {
+            Ok(()) => Response::Ack,
+            Err(e) => db_err(e.to_string()),
+        },
+        Work::Stats => Response::Stats {
+            server: Box::new(metrics_snapshot(shared)),
+            storage: shared.db.stats(),
+        },
+        Work::Trace { n } => Response::Trace {
+            events: shared.recorder.recent(n as usize),
+        },
+        Work::SlowLog { n } => Response::SlowLog {
+            entries: shared.slow_log.recent(n as usize),
+        },
+        Work::ReplicaPoll {
             follower,
             epoch,
             offset,
@@ -650,46 +896,44 @@ fn dispatch(
                         batch.frames.len() as u64,
                         batch.log_len.saturating_sub(batch.next_offset),
                     );
-                    write_msg(
-                        writer,
-                        &Response::ReplicaFrames {
-                            epoch: batch.epoch,
-                            frames: batch.frames,
-                            next_offset: batch.next_offset,
-                            log_len: batch.log_len,
-                        },
-                    )?;
+                    Response::ReplicaFrames {
+                        epoch: batch.epoch,
+                        frames: batch.frames,
+                        next_offset: batch.next_offset,
+                        log_len: batch.log_len,
+                    }
                 }
                 Ok(None) => {
                     let epoch = store.log_epoch();
                     let log_len = store.committed_log_len();
                     shared.metrics.record_follower_poll(&follower, 0, log_len);
                     span.finish(0, log_len);
-                    write_msg(writer, &Response::ReplicaReset { epoch, log_len })?;
+                    Response::ReplicaReset { epoch, log_len }
                 }
                 Err(e) => {
                     span.finish(0, 0);
-                    db_error(shared, writer, e.to_string())?;
+                    db_err(e.to_string())
                 }
             }
-            Ok(Flow::Continue)
         }
-        Request::ReplicaStatus => {
-            write_msg(
-                writer,
-                &Response::ReplicaStatus(Box::new(replica_status_info(shared))),
-            )?;
-            Ok(Flow::Continue)
-        }
-        Request::Shutdown => {
-            write_msg(writer, &Response::Ack)?;
-            initiate_shutdown(shared);
-            Ok(Flow::Close)
-        }
-        Request::Bye => {
-            write_msg(writer, &Response::Goodbye)?;
-            Ok(Flow::Close)
-        }
+        Work::ReplicaStatus => Response::ReplicaStatus(Box::new(replica_status_info(shared))),
+        Work::UnitOp { op } => unit_op_response(shared.db.db(), &op),
+        // The drivers own unit tokens; the core only routes these to them.
+        Work::UnitCommit | Work::UnitAbort => Response::Error {
+            kind: ErrorKind::Protocol,
+            message: "unit settlement reached the work executor".into(),
+        },
+    }
+}
+
+/// Apply one in-unit mutation and shape the wire response. A failed op
+/// leaves the unit open: the client chooses to retry differently, commit
+/// what succeeded, or abort — exactly the in-process unit semantics.
+pub(crate) fn unit_op_response(db: &Database, op: &MutationOp) -> Response {
+    match apply_op(db, op) {
+        Ok(Some(oid)) => Response::Created { oid },
+        Ok(None) => Response::Ack,
+        Err(e) => db_err(e.to_string()),
     }
 }
 
@@ -699,7 +943,7 @@ fn dispatch(
 /// lane is released.
 fn run_unit(
     shared: &Arc<Shared>,
-    session: &mut Session,
+    core: &mut SessionCore,
     reader: &mut BufReader<TcpStream>,
     writer: &mut BufWriter<TcpStream>,
 ) -> ServerResult<()> {
@@ -711,6 +955,7 @@ fn run_unit(
         .get_ref()
         .set_read_timeout(Some(shared.unit_idle_timeout));
     let mut token = Some(db.begin_unit());
+    core.unit_opened();
     let mut timed_out = false;
     let outcome: ServerResult<()> = loop {
         let req: Request = match read_msg(reader) {
@@ -736,67 +981,50 @@ fn run_unit(
             .recorder
             .span_in(Stage::Request, shared.recorder.new_trace_id(), 0);
         let scope = TraceScope::enter(root.trace_id(), root.id());
-        let step: ServerResult<bool> = match req {
-            Request::UnitOp { op } => {
-                // A failed op leaves the unit open: the client chooses to
-                // retry differently, commit what succeeded, or abort —
-                // exactly the in-process unit semantics.
-                match apply_op(db, &op) {
-                    Ok(Some(oid)) => write_msg(writer, &Response::Created { oid }).map(|_| false),
-                    Ok(None) => write_msg(writer, &Response::Ack).map(|_| false),
-                    Err(e) => db_error(shared, writer, e.to_string()).map(|_| false),
-                }
-            }
-            Request::Query { pool } => {
-                // In-unit reads stay on the live database: the session must
-                // see its own uncommitted operations.
-                respond_query(shared, session, writer, &pool, false).map(|_| false)
-            }
-            Request::Ping => write_msg(writer, &Response::Pong).map(|_| false),
-            Request::Stats => write_stats(shared, writer).map(|_| false),
-            Request::UnitCommit => {
-                let result = db.commit_unit(token.take().expect("unit token"));
-                match result {
+        let done: ServerResult<bool> = match core.on_request(req) {
+            Step::Do(Work::UnitCommit) => {
+                let resp = match db.commit_unit(token.take().expect("unit token")) {
                     Ok(()) => {
                         shared
                             .metrics
                             .units_committed
                             .fetch_add(1, Ordering::Relaxed);
-                        write_msg(writer, &Response::Ack).map(|_| true)
+                        Response::Ack
                     }
-                    Err(e) => {
-                        // commit_unit rolls the unit back itself on failure.
-                        db_error(shared, writer, e.to_string()).map(|_| true)
-                    }
-                }
+                    // commit_unit rolls the unit back itself on failure.
+                    Err(e) => db_err(e.to_string()),
+                };
+                send(shared, writer, &resp).map(|_| true)
             }
-            Request::UnitAbort => {
+            Step::Do(Work::UnitAbort) => {
                 db.abort_unit(token.take().expect("unit token"));
                 shared.metrics.units_aborted.fetch_add(1, Ordering::Relaxed);
-                write_msg(writer, &Response::Ack).map(|_| true)
+                send(shared, writer, &Response::Ack).map(|_| true)
             }
-            other => protocol_error(
-                shared,
-                writer,
-                &format!(
-                    "request '{}' is not allowed inside a unit of work",
-                    other.kind_name()
-                ),
-            )
-            .map(|_| false),
+            Step::Do(work) => {
+                let resp = execute_work(shared, core, work);
+                send(shared, writer, &resp).map(|_| false)
+            }
+            Step::Reply(resp) => send(shared, writer, &resp).map(|_| false),
+            // The in-unit request set only yields Reply and Do (see the
+            // `SessionCore` state machine).
+            Step::OpenUnit | Step::ReplyClose(_) | Step::ShutdownAfter(_) => {
+                unreachable!("in-unit steps are Reply or Do")
+            }
         };
         drop(scope);
-        root.finish(kind_code(kind), session.id);
+        root.finish(kind_code(kind), core.id());
         shared
             .metrics
             .record_latency_us(kind, start.elapsed().as_micros() as u64);
-        match step {
+        match done {
             Ok(true) => break Ok(()),
             Ok(false) => {}
             Err(e) => break Err(e),
         }
     };
-    let _ = reader.get_ref().set_read_timeout(None);
+    // Back to the between-requests deadline (the idle reaper's, or none).
+    let _ = reader.get_ref().set_read_timeout(shared.idle_timeout);
     if timed_out {
         if let Some(token) = token.take() {
             // Journal-rollback the half-streamed unit, then let the lane go
@@ -808,9 +1036,10 @@ fn run_unit(
             .metrics
             .units_timed_out
             .fetch_add(1, Ordering::Relaxed);
-        session.unit_timed_out = true;
+        core.note_unit_timed_out();
         return Ok(());
     }
+    core.unit_closed();
     if let Some(token) = token.take() {
         // Connection dropped (or transport failed) mid-unit: roll back so
         // no half-applied unit is ever visible or durable.
@@ -839,8 +1068,8 @@ fn run_unit(
 /// tree. Both share the bare query's plan-cache entry — the verb is
 /// stripped before the cache key is formed.
 fn run_query(
-    shared: &Arc<Shared>,
-    session: &Session,
+    shared: &Shared,
+    core: &SessionCore,
     pool: &str,
     pinned: bool,
 ) -> DbResult<(WireRows, u64)> {
@@ -849,18 +1078,18 @@ fn run_query(
         StatementKind::Select => {
             if pinned {
                 // The executor applies the session context exactly like
-                // `Session::effective_context`: the query's own clause wins.
-                // Its plan cache keys on (context, text), so distinct
+                // `SessionCore::effective_context`: the query's own clause
+                // wins. Its plan cache keys on (context, text), so distinct
                 // contexts never share a contextualised plan.
                 let (result, plan) = shared.executor.query_with_plan(
                     &shared.db.read_view(),
                     text,
-                    session.context.as_deref(),
+                    core.context(),
                 )?;
                 Ok((result.into(), plan.fingerprint))
             } else {
                 let mut query = prometheus_pool::parse(text)?;
-                query.context = session.effective_context(query.context.take());
+                query.context = core.effective_context(query.context.take());
                 let result = prometheus_pool::eval::evaluate(shared.db.db(), &query)?;
                 Ok((result.into(), 0))
             }
@@ -869,11 +1098,11 @@ fn run_query(
             let lines = if pinned {
                 shared
                     .executor
-                    .explain(&shared.db.read_view(), text, session.context.as_deref())?
+                    .explain(&shared.db.read_view(), text, core.context())?
             } else {
                 shared
                     .executor
-                    .explain(shared.db.db(), text, session.context.as_deref())?
+                    .explain(shared.db.db(), text, core.context())?
             };
             let rows = lines.into_iter().map(|l| vec![Value::Str(l)]).collect();
             Ok((
@@ -884,7 +1113,7 @@ fn run_query(
                 0,
             ))
         }
-        StatementKind::Profile => profile_query(shared, session, text, pinned),
+        StatementKind::Profile => profile_query(shared, core, text, pinned),
     }
 }
 
@@ -892,8 +1121,8 @@ fn run_query(
 /// span tree — one row per span, parent-linked, with per-stage wall-clock
 /// and counters (rows scanned, index seeding, worker counts, cache hits).
 fn profile_query(
-    shared: &Arc<Shared>,
-    session: &Session,
+    shared: &Shared,
+    core: &SessionCore,
     text: &str,
     pinned: bool,
 ) -> DbResult<(WireRows, u64)> {
@@ -912,15 +1141,13 @@ fn profile_query(
         // plan cache, fingerprint and stage spans are all exercised; the
         // live-db reader keeps read-your-own-writes inside a unit.
         if pinned {
-            shared.executor.query_with_plan(
-                &shared.db.read_view(),
-                text,
-                session.context.as_deref(),
-            )
+            shared
+                .executor
+                .query_with_plan(&shared.db.read_view(), text, core.context())
         } else {
             shared
                 .executor
-                .query_with_plan(shared.db.db(), text, session.context.as_deref())
+                .query_with_plan(shared.db.db(), text, core.context())
         }
     };
     let (result, plan) = ran?;
@@ -978,25 +1205,24 @@ fn profile_rows(events: &[TraceEvent]) -> WireRows {
     }
 }
 
-fn respond_query(
-    shared: &Arc<Shared>,
-    session: &Session,
-    writer: &mut BufWriter<TcpStream>,
+/// Run a query and shape the wire response, feeding the slow-query log on
+/// the way (the calling transport's current trace scope is the request root
+/// span, so the entry links to the span tree still held by the trace ring).
+pub(crate) fn query_response(
+    shared: &Shared,
+    core: &SessionCore,
     pool: &str,
     pinned: bool,
-) -> ServerResult<()> {
+) -> Response {
     let start = Instant::now();
-    match run_query(shared, session, pool, pinned) {
+    match run_query(shared, core, pool, pinned) {
         Ok((rows, fingerprint)) => {
             let elapsed = start.elapsed();
             if elapsed >= shared.slow_query_threshold {
-                // The thread's current trace scope is the request root span
-                // set up in `run_session`/`run_unit`, so the entry links to
-                // the span tree still held by the trace ring.
                 shared.slow_log.push(SlowLogEntry {
-                    session: session.id,
+                    session: core.id(),
                     query: pool.to_string(),
-                    context: session.context.clone(),
+                    context: core.context().map(str::to_string),
                     trace_id: Recorder::current().0,
                     fingerprint,
                     dur_us: elapsed.as_micros() as u64,
@@ -1004,26 +1230,10 @@ fn respond_query(
                     pinned,
                 });
             }
-            write_msg(writer, &Response::Rows(rows))
+            Response::Rows(rows)
         }
-        Err(e) => db_error(shared, writer, e.to_string()),
+        Err(e) => db_err(e.to_string()),
     }
-}
-
-/// Whether a request would mutate the database — the set a read-only
-/// replication follower must reject. `Compact` counts: it rewrites the redo
-/// log, and a follower's log is owned by its replication puller.
-fn is_mutating(req: &Request) -> bool {
-    matches!(
-        req,
-        Request::InstallPcl { .. }
-            | Request::UnitBegin
-            | Request::UnitOp { .. }
-            | Request::UnitCommit
-            | Request::UnitAbort
-            | Request::UnitBatch { .. }
-            | Request::Compact
-    )
 }
 
 /// Answer `Request::ReplicaStatus` for either role. A primary reports its
@@ -1057,7 +1267,7 @@ fn replica_status_info(shared: &Shared) -> ReplicaStatusInfo {
 }
 
 /// Server counters plus the query executor's, as one wire-ready snapshot.
-fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
+pub(crate) fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
     let mut snap = shared.metrics.snapshot(&shared.executor.stats());
     // Lag is measured against the commit horizon *now*, not the horizon at
     // the follower's last poll: a follower that fully drained its last batch
@@ -1068,49 +1278,6 @@ fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
         f.lag_bytes = f.log_len.saturating_sub(f.next_offset);
     }
     snap
-}
-
-fn write_stats(shared: &Arc<Shared>, writer: &mut BufWriter<TcpStream>) -> ServerResult<()> {
-    write_msg(
-        writer,
-        &Response::Stats {
-            server: Box::new(metrics_snapshot(shared)),
-            storage: shared.db.stats(),
-        },
-    )
-}
-
-fn db_error(
-    shared: &Arc<Shared>,
-    writer: &mut BufWriter<TcpStream>,
-    message: String,
-) -> ServerResult<()> {
-    shared.metrics.db_errors.fetch_add(1, Ordering::Relaxed);
-    write_msg(
-        writer,
-        &Response::Error {
-            kind: ErrorKind::Db,
-            message,
-        },
-    )
-}
-
-fn protocol_error(
-    shared: &Arc<Shared>,
-    writer: &mut BufWriter<TcpStream>,
-    message: &str,
-) -> ServerResult<()> {
-    shared
-        .metrics
-        .protocol_errors
-        .fetch_add(1, Ordering::Relaxed);
-    write_msg(
-        writer,
-        &Response::Error {
-            kind: ErrorKind::Protocol,
-            message: message.into(),
-        },
-    )
 }
 
 /// Apply one wire mutation through the object layer (full §4.4 semantics).
@@ -1152,6 +1319,7 @@ fn apply_op(db: &Database, op: &MutationOp) -> DbResult<Option<Oid>> {
 mod tests {
     use super::*;
     use crate::client::PrometheusClient;
+    use crate::protocol::PROTOCOL_VERSION;
     use prometheus_db::{StoreOptions, Value};
     use prometheus_taxonomy::Rank;
 

@@ -11,6 +11,7 @@ use prometheus_server::frame::{read_msg, write_msg};
 use prometheus_server::protocol::{Request, Response};
 use prometheus_server::{
     serve, ErrorKind, MutationOp, PrometheusClient, ServerConfig, ServerError, ServerHandle,
+    PROTOCOL_VERSION,
 };
 use prometheus_taxonomy::Rank;
 use std::io::{BufReader, BufWriter};
@@ -397,7 +398,10 @@ fn protocol_version_mismatch_is_typed_on_the_client() {
     match read_msg::<_, Response>(&mut reader).unwrap() {
         Response::Error { kind, message } => {
             assert_eq!(kind, ErrorKind::ProtocolMismatch);
-            assert!(message.contains('1') && message.contains('5'), "{message}");
+            assert!(
+                message.contains('1') && message.contains(&PROTOCOL_VERSION.to_string()),
+                "{message}"
+            );
         }
         other => panic!("expected typed mismatch, got {other:?}"),
     }
