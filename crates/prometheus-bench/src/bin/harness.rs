@@ -23,8 +23,9 @@
 //! target for `curl`-ing the scrape endpoint, and a convenient way to point
 //! a real Prometheus collector at the reproduction.
 //!
-//! `replica <primary-addr> <data-path> [--addr ip:port] [--name s]` runs a
-//! read-only follower of a running primary: it replays the primary's redo
+//! `replica <primary-addr> <data-path> [--addr ip:port] [--name s]
+//! [--shards n]` runs a read-only follower of a running primary
+//! (`--shards` must match the primary's shard count): it replays the primary's redo
 //! log into `data-path`, serves POOL queries on `--addr` (default an
 //! ephemeral port, printed at startup), and reports its applied position
 //! once a second until killed. Restarting with the same `data-path`
@@ -479,10 +480,11 @@ fn ablation(out: &std::path::Path) {
     prom.cleanup();
 }
 
-/// `harness replica <primary-addr> <data-path> [--addr ip:port] [--name s]`
+/// `harness replica <primary-addr> <data-path> [--addr ip:port] [--name s]
+/// [--shards n]`
 ///
 /// Run a read-only follower of a running primary until the process is
-/// killed. The follower owns `data-path` exclusively; point a second
+/// killed. `--shards` must match the primary's shard count (default 1). The follower owns `data-path` exclusively; point a second
 /// invocation at a different path. Status is printed once a second so an
 /// operator can watch the applied cursor and lag without a scrape setup.
 fn replica_section(argv: &[String]) {
@@ -491,6 +493,7 @@ fn replica_section(argv: &[String]) {
     let mut positional = Vec::new();
     let mut addr = "127.0.0.1:0".to_string();
     let mut name = format!("replica-{}", std::process::id());
+    let mut shards = 1usize;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -508,17 +511,28 @@ fn replica_section(argv: &[String]) {
                     std::process::exit(2);
                 }
             },
+            "--shards" => match it.next().map(|v| v.parse::<usize>()) {
+                Some(Ok(n)) if (1..=64).contains(&n) => shards = n,
+                _ => {
+                    eprintln!("replica: --shards needs a number in 1..=64");
+                    std::process::exit(2);
+                }
+            },
             other => positional.push(other.to_string()),
         }
     }
     let [primary, path] = positional.as_slice() else {
-        eprintln!("usage: harness replica <primary-addr> <data-path> [--addr ip:port] [--name s]");
+        eprintln!(
+            "usage: harness replica <primary-addr> <data-path> \
+             [--addr ip:port] [--name s] [--shards n]"
+        );
         std::process::exit(2);
     };
 
     let mut config = FollowerConfig::new(primary.clone(), PathBuf::from(path));
     config.addr = addr;
     config.name = name.clone();
+    config.shards = shards;
     let follower = Follower::start(config).expect("start follower");
     println!(
         "replica '{name}' following {primary}; serving read-only queries on {}",
@@ -540,11 +554,13 @@ fn replica_section(argv: &[String]) {
 }
 
 /// `harness serve [--addr ip:port] [--metrics ip:port] [--io-threads n]
-/// [--duration secs]`
+/// [--shards n] [--duration secs]`
 ///
 /// Boot a seeded demo server on the event-driven transport with the HTTP
 /// scrape endpoint on, print both addresses, and block — or exit cleanly
-/// after `--duration` seconds (the CI smoke mode).
+/// after `--duration` seconds (the CI smoke mode). `--shards n` splits the
+/// store into n partitions with one writer lane each; mutations bound for
+/// different shards then commit in parallel.
 fn serve_section(argv: &[String]) {
     use prometheus_server::{serve, ServerConfig};
     use std::time::Duration;
@@ -552,6 +568,7 @@ fn serve_section(argv: &[String]) {
     let mut addr = "127.0.0.1:0".to_string();
     let mut metrics = "127.0.0.1:0".to_string();
     let mut io_threads = 2usize;
+    let mut shards = 1usize;
     let mut duration: Option<u64> = None;
     let mut it = argv.iter();
     while let Some(arg) = it.next() {
@@ -572,6 +589,13 @@ fn serve_section(argv: &[String]) {
                     std::process::exit(2);
                 }
             },
+            "--shards" => match value("--shards").parse::<usize>() {
+                Ok(n) if (1..=64).contains(&n) => shards = n,
+                _ => {
+                    eprintln!("serve: --shards needs a number in 1..=64");
+                    std::process::exit(2);
+                }
+            },
             "--duration" => match value("--duration").parse() {
                 Ok(s) => duration = Some(s),
                 Err(_) => {
@@ -586,16 +610,18 @@ fn serve_section(argv: &[String]) {
         }
     }
 
-    let path = std::env::temp_dir().join(format!(
-        "prometheus-harness-serve-{}.log",
-        std::process::id()
-    ));
-    let _ = std::fs::remove_file(&path);
-    let prom = prometheus_db::Prometheus::open_with(
+    // A sharded store is one log file per shard plus sidecars; keep the
+    // whole family in a scratch directory so cleanup is a single rmdir.
+    let dir = std::env::temp_dir().join(format!("prometheus-harness-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let path = dir.join("store.log");
+    let prom = prometheus_db::Prometheus::open_sharded(
         &path,
         prometheus_db::StoreOptions {
             sync_on_commit: false,
         },
+        shards,
     )
     .expect("open store");
     let tax = prom.taxonomy().expect("taxonomy layer");
@@ -607,6 +633,7 @@ fn serve_section(argv: &[String]) {
         .addr(addr)
         .io_threads(io_threads)
         .metrics_http_addr(metrics)
+        .shards(shards)
         .build()
         .expect("valid serve config");
     let handle = match serve(prom, config) {
@@ -616,7 +643,11 @@ fn serve_section(argv: &[String]) {
             std::process::exit(2);
         }
     };
-    println!("serving wire protocol on {}", handle.addr());
+    println!(
+        "serving wire protocol on {} ({shards} shard{})",
+        handle.addr(),
+        if shards == 1 { "" } else { "s" }
+    );
     println!(
         "serving GET /metrics on http://{}/metrics",
         handle.metrics_addr().expect("scrape listener")
@@ -625,7 +656,7 @@ fn serve_section(argv: &[String]) {
         Some(secs) => {
             std::thread::sleep(Duration::from_secs(secs));
             handle.stop();
-            let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_dir_all(&dir);
             println!("serve: done after {secs}s");
         }
         None => loop {
@@ -708,6 +739,13 @@ fn stats_section(argv: &[String]) {
     if prometheus_format {
         print!("{}", render_prometheus_exposition(&server, &storage));
     } else {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        println!(
+            "{}",
+            prometheus_bench::report::render_machine_summary(cores, server.shards.max(1) as usize)
+        );
         println!("server: {server:#?}");
         println!("storage: {storage:#?}");
     }

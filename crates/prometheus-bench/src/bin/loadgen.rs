@@ -45,6 +45,16 @@
 //!   session still live, and a raw `GET /metrics` scrape whose counters
 //!   equal the same instant's wire `Stats` snapshot — written to
 //!   `BENCH_idle.json`, exit 1 on any failure. Linux only.
+//! * **sharded-writes** — the per-shard writer-lane check: N writer clients
+//!   stream pure-creation unit batches (each batch claims exactly one
+//!   shard's lane via round-robin home placement) against a 1-shard server,
+//!   then against an n-shard server on the same hardware. The report is
+//!   units/sec both ways, the speedup, the per-shard commit distribution
+//!   (proving the batches actually spread), and an honest `cores` field —
+//!   written to `BENCH_shard.json`. The ≥1.5× speedup gate only arms when
+//!   `shards ≥ 2` **and** the box has more than one core; on a single-core
+//!   machine lane parallelism cannot buy wall-clock time, so the run is
+//!   informational there (and still fails on any protocol or unit error).
 //! * **commit-cost** — in-process, no server: at each image size (default
 //!   10k / 100k / 1M keys) a reader snapshot is pinned and probe commits run
 //!   against it, so publication must path-copy the persistent map instead of
@@ -65,6 +75,8 @@
 //! cargo run --release -p prometheus-bench --bin loadgen -- trace-smoke
 //! cargo run --release -p prometheus-bench --bin loadgen -- replication 4 150 2
 //! #                                                        readers ops followers
+//! cargo run --release -p prometheus-bench --bin loadgen -- sharded-writes 4 50 2
+//! #                                                        writers units shards
 //! cargo run --release -p prometheus-bench --bin loadgen -- commit-cost 10000 100000 1000000
 //! #                                                        image sizes (keys)
 //! cargo run --release -p prometheus-bench --bin loadgen -- idle-connections 5000 200 4
@@ -143,6 +155,48 @@ fn boot_seeded_server(tag: &str, workers: usize) -> (ServerHandle, std::path::Pa
     (handle, path)
 }
 
+/// Like [`boot_seeded_server`], but the store is split into `shards`
+/// partitions and every shard log lives in a scratch directory (a sharded
+/// store is one file per shard plus sidecars, so cleanup is `remove_dir_all`
+/// rather than `remove_file`).
+fn boot_sharded_server(
+    tag: &str,
+    workers: usize,
+    shards: usize,
+) -> (ServerHandle, std::path::PathBuf) {
+    let dir = std::env::temp_dir().join(format!(
+        "prometheus-loadgen-{tag}-{}shard-{}",
+        shards,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let p = Prometheus::open_sharded(
+        dir.join("store.db"),
+        StoreOptions {
+            sync_on_commit: false,
+        },
+        shards,
+    )
+    .expect("open sharded scratch database");
+    let tax = p.taxonomy().expect("install taxonomy schema");
+    for i in 0..32 {
+        tax.create_ct(&format!("Seed-{i:03}"), Rank::Genus)
+            .expect("seed taxon");
+    }
+    let handle = serve(
+        p,
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers,
+            shards,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("start server");
+    (handle, dir)
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     match argv.first().map(String::as_str) {
@@ -151,6 +205,7 @@ fn main() {
         Some("trace-smoke") => trace_smoke(&argv[1..]),
         Some("replication") => replication(&argv[1..]),
         Some("commit-cost") => commit_cost(&argv[1..]),
+        Some("sharded-writes") => sharded_writes(&argv[1..]),
         Some("idle-connections") => idle_connections(&argv[1..]),
         _ => mixed(parse_args(&argv)),
     }
@@ -560,6 +615,180 @@ fn contention(argv: &[String]) {
         std::process::exit(1);
     }
     println!("OK: zero reader failures, zero protocol errors.");
+}
+
+/// One sharded-writes measurement leg: `writers` concurrent clients each
+/// commit `units` pure-creation batches of `ops_per_unit` objects. Returns
+/// (units/sec, total units committed, failure count).
+fn run_sharded_writers(
+    addr: SocketAddr,
+    writers: usize,
+    units: usize,
+    ops_per_unit: usize,
+) -> (f64, u64, usize) {
+    let wall = Instant::now();
+    let mut threads = Vec::new();
+    for writer_id in 0..writers {
+        threads.push(std::thread::spawn(move || {
+            let mut client = PrometheusClient::connect(addr)?;
+            for unit in 0..units {
+                let ops = (0..ops_per_unit)
+                    .map(|i| MutationOp::CreateObject {
+                        class: "CT".into(),
+                        attrs: vec![
+                            (
+                                "working_name".into(),
+                                Value::Str(format!("Shard-{writer_id}-{unit}-{i}")),
+                            ),
+                            ("rank".into(), Value::Str("Species".into())),
+                        ],
+                    })
+                    .collect();
+                client.unit_batch(ops)?;
+            }
+            client.close()?;
+            Ok::<_, prometheus_server::ServerError>(units as u64)
+        }));
+    }
+    let mut committed = 0u64;
+    let mut failures = 0usize;
+    for t in threads {
+        match t.join() {
+            Ok(Ok(n)) => committed += n,
+            Ok(Err(e)) => {
+                failures += 1;
+                eprintln!("writer error: {e}");
+            }
+            Err(_) => {
+                failures += 1;
+                eprintln!("writer thread panicked");
+            }
+        }
+    }
+    let elapsed = wall.elapsed().as_secs_f64().max(1e-9);
+    (committed as f64 / elapsed, committed, failures)
+}
+
+/// Writer-lane scaling across shards: the same pure-creation write workload
+/// against a 1-shard server, then an n-shard server. Pure-creation batches
+/// claim exactly one lane (the round-robin home shard), so with n lanes up
+/// to n batches commit concurrently — on a multi-core box that must show up
+/// as throughput; on one core it honestly cannot, and the JSON says so.
+fn sharded_writes(argv: &[String]) {
+    let num =
+        |i: usize, default: usize| argv.get(i).and_then(|s| s.parse().ok()).unwrap_or(default);
+    let writers = num(0, 4).max(1);
+    let units = num(1, 50).max(1);
+    let shards = num(2, 2).clamp(1, 64);
+    let ops_per_unit = 16usize;
+    let workers = writers + 2;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!(
+        "loadgen sharded-writes: {writers} writers × {units} units × {ops_per_unit} creations, \
+         1 shard vs {shards} shards"
+    );
+    println!(
+        "{}",
+        prometheus_bench::report::render_machine_summary(cores, shards)
+    );
+
+    // Leg 1: the single-lane baseline.
+    let (base_handle, base_dir) = boot_sharded_server("shardbase", workers, 1);
+    let (baseline_rate, baseline_units, baseline_failures) =
+        run_sharded_writers(base_handle.addr(), writers, units, ops_per_unit);
+    base_handle.stop();
+    let _ = std::fs::remove_dir_all(&base_dir);
+
+    // Leg 2: same workload, n lanes.
+    let (handle, dir) = boot_sharded_server("shardfan", workers, shards);
+    let addr = handle.addr();
+    let (sharded_rate, sharded_units, sharded_failures) =
+        run_sharded_writers(addr, writers, units, ops_per_unit);
+
+    // The sharded leg must still be a correct database: every creation
+    // visible, spread across shards, with no 2PC units (pure single-shard
+    // batches never prepare).
+    let mut observer = PrometheusClient::connect(addr).expect("connect for stats");
+    let rows = observer
+        .query("select t from CT t")
+        .expect("count rows")
+        .rows
+        .len();
+    let expected = 32 + writers * units * ops_per_unit;
+    let (server, storage) = observer.stats().expect("fetch stats");
+    let _ = observer.close();
+    let per_shard_swaps: Vec<u64> = server.per_shard.iter().map(|s| s.snapshot_swaps).collect();
+    let shards_written = per_shard_swaps.iter().filter(|&&n| n > 0).count();
+    handle.stop();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let speedup = if baseline_rate > 0.0 {
+        sharded_rate / baseline_rate
+    } else {
+        0.0
+    };
+    println!();
+    println!("1 shard:  {baseline_rate:>8.1} units/sec ({baseline_units} committed)");
+    println!("{shards} shards: {sharded_rate:>8.1} units/sec ({sharded_units} committed)");
+    println!(
+        "speedup: {speedup:.2}× on {cores} core(s); commits landed on \
+         {shards_written}/{shards} shards {per_shard_swaps:?}; {} 2PC units",
+        storage.units_2pc
+    );
+
+    let json = format!(
+        "{{\n  \"scenario\": \"sharded-writes\",\n  \"writers\": {writers},\n  \
+         \"units_per_writer\": {units},\n  \"ops_per_unit\": {ops_per_unit},\n  \
+         \"shards\": {shards},\n  \"cores\": {cores},\n  \
+         \"baseline_units_per_sec\": {baseline_rate:.1},\n  \
+         \"sharded_units_per_sec\": {sharded_rate:.1},\n  \
+         \"speedup\": {speedup:.3},\n  \
+         \"shards_written\": {shards_written},\n  \
+         \"units_2pc\": {}\n}}\n",
+        storage.units_2pc
+    );
+    std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
+    println!("\nwrote BENCH_shard.json");
+
+    let mut failed = false;
+    if baseline_failures + sharded_failures > 0 {
+        eprintln!(
+            "FAILED: {} writer failures",
+            baseline_failures + sharded_failures
+        );
+        failed = true;
+    }
+    if server.protocol_errors > 0 || server.db_errors > 0 {
+        eprintln!(
+            "FAILED: {} protocol errors, {} db errors",
+            server.protocol_errors, server.db_errors
+        );
+        failed = true;
+    }
+    if rows != expected {
+        eprintln!("FAILED: sharded server holds {rows} rows, expected {expected}");
+        failed = true;
+    }
+    if shards > 1 && shards_written < 2 {
+        eprintln!(
+            "FAILED: commits landed on {shards_written} shard(s); expected spread across lanes"
+        );
+        failed = true;
+    }
+    // The throughput gate only arms where parallel lanes *can* win.
+    if shards >= 2 && cores > 1 && speedup < 1.5 {
+        eprintln!("FAILED: {speedup:.2}× speedup on {cores} cores; gate is 1.5×");
+        failed = true;
+    } else if shards >= 2 && cores <= 1 {
+        println!("note: single-core box — the 1.5× gate is informational here.");
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("OK: sharded writes correct; lanes spread across shards.");
 }
 
 /// Measure what one commit costs to *publish* as the image grows: with a

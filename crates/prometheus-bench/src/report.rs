@@ -141,6 +141,18 @@ pub fn render_latency_summary(label: &str, sorted_us: &[u64], elapsed_secs: f64)
     )
 }
 
+/// One-line environment stamp for bench output: core count and shard count
+/// side by side, so a reader of a stats dump or BENCH artifact can tell at
+/// a glance whether per-shard writer lanes *could* have bought wall-clock
+/// time on this machine (they cannot on one core, however many lanes).
+pub fn render_machine_summary(cores: usize, shards: usize) -> String {
+    format!(
+        "machine: {cores} core{}, {shards} shard{}",
+        if cores == 1 { "" } else { "s" },
+        if shards == 1 { "" } else { "s" },
+    )
+}
+
 /// Classify a sweep's growth: the ratio of the last per-item cost to the
 /// first. Near 1.0 ⇒ constant per-item cost (Figure 44's claim); well above
 /// 1.0 ⇒ non-constant (Figures 45/46).
@@ -229,6 +241,12 @@ mod tests {
         let summary = render_latency_summary("query", &sample, 2.0);
         assert!(summary.contains("50 op/s"));
         assert!(summary.contains("p99"));
+    }
+
+    #[test]
+    fn machine_summary_pluralises() {
+        assert_eq!(render_machine_summary(1, 1), "machine: 1 core, 1 shard");
+        assert_eq!(render_machine_summary(8, 4), "machine: 8 cores, 4 shards");
     }
 
     #[test]

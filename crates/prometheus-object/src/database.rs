@@ -33,10 +33,11 @@ use crate::read::{ReadView, Reader};
 use crate::schema::{RelKind, SchemaRegistry, OBJECT_CLASS};
 use crate::synonym::SynonymTable;
 use crate::value::Value;
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex, RwLock};
 use prometheus_storage::cache::LruCache;
-use prometheus_storage::{codec, Oid, Stats, Store};
-use std::collections::{BTreeMap, BTreeSet};
+use prometheus_storage::{codec, Oid, ShardedStore, Stats, Store};
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Reserved extent name under which classification metadata is indexed.
@@ -57,6 +58,7 @@ const CACHE_SHARDS: usize = 16;
 #[derive(Debug)]
 #[must_use = "a unit of work must be committed or aborted"]
 pub struct UnitToken {
+    unit: u64,
     depth: u32,
 }
 
@@ -81,6 +83,29 @@ struct UnitState {
     journal: Vec<UndoOp>,
     events: Vec<Event>,
     depth: u32,
+    /// Bitmask of the shards this unit claimed at open.
+    claim: u64,
+}
+
+/// All live units of work plus the per-shard ownership map that keeps their
+/// shard claims disjoint. Units with disjoint claims run (and seal)
+/// concurrently; a unit whose claim overlaps a held shard waits on
+/// [`Database::units_freed`].
+#[derive(Debug, Default)]
+struct UnitTable {
+    states: HashMap<u64, UnitState>,
+    /// Owning unit id per shard; 0 = free.
+    owners: Vec<u64>,
+    next_id: u64,
+}
+
+thread_local! {
+    /// Id of the unit of work bound to this thread (0 = none). Operations
+    /// journal into — and storage claims resolve against — the bound unit,
+    /// so independent units on different threads no longer share one global
+    /// journal. [`Database::with_unit_bound`] carries a binding across
+    /// threads for the server's event transport.
+    static CURRENT_UNIT: Cell<u64> = const { Cell::new(0) };
 }
 
 /// The Prometheus database.
@@ -89,18 +114,26 @@ struct UnitState {
 /// pin them alongside a storage snapshot with two pointer bumps; mutations
 /// copy-on-write via [`Arc::make_mut`].
 pub struct Database {
-    store: Arc<Store>,
+    store: Arc<ShardedStore>,
     schema: RwLock<Arc<SchemaRegistry>>,
     synonyms: RwLock<Arc<SynonymTable>>,
     listeners: RwLock<Vec<Arc<dyn EventListener>>>,
-    unit: Mutex<Option<UnitState>>,
+    units: Mutex<UnitTable>,
+    units_freed: Condvar,
     cache: Vec<Mutex<LruCache<Oid, StoredEntity>>>,
 }
 
 impl Database {
-    /// Open a database over `store`, loading any persisted schema and
-    /// synonym state.
+    /// Open a database over a single (unsharded) `store`, loading any
+    /// persisted schema and synonym state.
     pub fn open(store: Arc<Store>) -> DbResult<Self> {
+        Self::open_sharded(Arc::new(ShardedStore::from_single(store)))
+    }
+
+    /// Open a database over an already-assembled sharded store. Use
+    /// [`crate::index::shard_routing`] when opening the store so index
+    /// entries land on the shard their trailing/leading OID maps to.
+    pub fn open_sharded(store: Arc<ShardedStore>) -> DbResult<Self> {
         let schema = match store.kv_get(KS_META, index::META_SCHEMA) {
             Some(bytes) => {
                 let mut reg: SchemaRegistry = codec::from_bytes(&bytes)?;
@@ -113,12 +146,18 @@ impl Database {
             Some(bytes) => codec::from_bytes(&bytes)?,
             None => SynonymTable::new(),
         };
+        let shard_count = store.shard_count();
         Ok(Database {
             store,
             schema: RwLock::new(Arc::new(schema)),
             synonyms: RwLock::new(Arc::new(synonyms)),
             listeners: RwLock::new(Vec::new()),
-            unit: Mutex::new(None),
+            units: Mutex::new(UnitTable {
+                states: HashMap::new(),
+                owners: vec![0; shard_count],
+                next_id: 0,
+            }),
+            units_freed: Condvar::new(),
             cache: (0..CACHE_SHARDS)
                 .map(|_| Mutex::new(LruCache::new(DEFAULT_CACHE_CAPACITY / CACHE_SHARDS)))
                 .collect(),
@@ -126,7 +165,7 @@ impl Database {
     }
 
     /// The underlying store (exposed for the benchmark harness).
-    pub fn store(&self) -> &Arc<Store> {
+    pub fn store(&self) -> &Arc<ShardedStore> {
         &self.store
     }
 
@@ -244,31 +283,142 @@ impl Database {
     // Units of work
     // -----------------------------------------------------------------
 
-    /// Open a (possibly nested) unit of work.
+    /// Open a (possibly nested) unit of work claiming every shard.
     ///
-    /// Opening the outermost unit also opens a store-level unit scope: the
-    /// store keeps publishing snapshots of the pre-unit state until the unit
-    /// settles, so concurrent readers never observe a torn unit, and a crash
-    /// mid-unit replays to the pre-unit state.
+    /// Opening the outermost unit also opens a store-level unit scope on
+    /// each claimed shard: those shards keep publishing snapshots of the
+    /// pre-unit state until the unit settles, so concurrent readers never
+    /// observe a torn unit, and a crash mid-unit replays to the pre-unit
+    /// state. If this thread is already inside a unit, the new unit nests
+    /// inside it (sharing its claim) regardless of the mask requested.
     pub fn begin_unit(&self) -> UnitToken {
-        let mut unit = self.unit.lock();
-        if unit.is_none() {
-            self.store.begin_unit_scope();
-            *unit = Some(UnitState::default());
+        self.begin_unit_on(self.store.all_shards_mask())
+    }
+
+    /// Open a unit of work claiming only the shards in `mask`. Units with
+    /// disjoint claims proceed concurrently through their own writer lanes;
+    /// a unit whose claim overlaps a shard held by another unit blocks until
+    /// that unit settles. Writes routed outside the claim fail loudly at
+    /// commit rather than silently escaping the unit's atomicity.
+    pub fn begin_unit_on(&self, mask: u64) -> UnitToken {
+        let current = CURRENT_UNIT.with(|c| c.get());
+        if current != 0 {
+            // Nested unit: share the enclosing unit's claim and journal.
+            let mut table = self.units.lock();
+            let state = table
+                .states
+                .get_mut(&current)
+                .expect("thread-bound unit must exist");
+            state.depth += 1;
+            return UnitToken {
+                unit: current,
+                depth: state.depth,
+            };
         }
-        let state = unit.as_mut().expect("unit state just ensured");
-        state.depth += 1;
-        UnitToken { depth: state.depth }
+        let all = self.store.all_shards_mask();
+        let mask = match mask & all {
+            0 => all,
+            m => m,
+        };
+        let mut table = self.units.lock();
+        loop {
+            let free = table
+                .owners
+                .iter()
+                .enumerate()
+                .all(|(i, owner)| mask & (1u64 << i) == 0 || *owner == 0);
+            if free {
+                break;
+            }
+            self.units_freed.wait(&mut table);
+        }
+        table.next_id += 1;
+        let id = table.next_id;
+        for (i, owner) in table.owners.iter_mut().enumerate() {
+            if mask & (1u64 << i) != 0 {
+                *owner = id;
+            }
+        }
+        table.states.insert(
+            id,
+            UnitState {
+                claim: mask,
+                depth: 1,
+                ..UnitState::default()
+            },
+        );
+        drop(table);
+        // The claimed shards are exclusively ours (owners map), so opening
+        // their scopes outside the table lock cannot interleave with another
+        // unit's scopes on the same shards.
+        self.store.begin_unit_scope_on(mask);
+        Self::bind_thread(id, mask);
+        UnitToken { unit: id, depth: 1 }
+    }
+
+    /// Open a unit claiming every shard *without* leaving it bound to the
+    /// calling thread. The event transport opens units on whichever worker
+    /// happens to process the `UnitBegin` frame; that worker goes on to
+    /// serve other sessions, so a lingering binding would route their
+    /// journaling into this unit (or panic once it settles). Callers run
+    /// each of the unit's request slices under
+    /// [`Database::with_unit_bound`] instead.
+    pub fn begin_unit_detached(&self) -> UnitToken {
+        let token = self.begin_unit();
+        if CURRENT_UNIT.with(|c| c.get()) == token.unit {
+            Self::restore_thread((0, 0));
+        }
+        token
+    }
+
+    /// Bind this thread to `unit`: journaling and storage-claim resolution
+    /// route to it until the binding is cleared or replaced.
+    fn bind_thread(unit: u64, claim: u64) -> (u64, u64) {
+        let prev_unit = CURRENT_UNIT.with(|c| {
+            let prev = c.get();
+            c.set(unit);
+            prev
+        });
+        let prev_claim = prometheus_storage::shard::set_thread_claim(claim);
+        (prev_unit, prev_claim)
+    }
+
+    fn restore_thread(prev: (u64, u64)) {
+        CURRENT_UNIT.with(|c| c.set(prev.0));
+        prometheus_storage::shard::set_thread_claim(prev.1);
+    }
+
+    /// Run `f` with this thread bound to `token`'s unit. The server's event
+    /// transport executes one unit's requests across readiness callbacks on
+    /// one thread interleaved with other sessions' work; each slice is
+    /// wrapped in this so journaling and claim routing follow the token, not
+    /// the thread. If `f` settles the unit (commit/abort), the binding it
+    /// cleared stays cleared.
+    pub fn with_unit_bound<T>(&self, token: &UnitToken, f: impl FnOnce(&Database) -> T) -> T {
+        let claim = {
+            let table = self.units.lock();
+            table.states.get(&token.unit).map(|s| s.claim).unwrap_or(0)
+        };
+        let prev = Self::bind_thread(token.unit, claim);
+        let out = f(self);
+        if CURRENT_UNIT.with(|c| c.get()) == token.unit {
+            Self::restore_thread(prev);
+        }
+        out
     }
 
     /// Commit a unit of work. Committing the outermost unit fires deferred
     /// (`at_commit`) listeners; if any fails, the whole unit is rolled back
-    /// and the error returned.
+    /// and the error returned. May be called from a thread other than the
+    /// one that opened the unit (the event transport's reaper does this);
+    /// the thread is bound to the unit for the listeners' benefit.
     pub fn commit_unit(&self, token: UnitToken) -> DbResult<()> {
-        let (outermost, events) = {
-            let mut unit = self.unit.lock();
-            let state = unit
-                .as_mut()
+        let id = token.unit;
+        let (outermost, events, claim) = {
+            let mut table = self.units.lock();
+            let state = table
+                .states
+                .get_mut(&id)
                 .ok_or_else(|| DbError::Unit("commit without active unit".into()))?;
             if state.depth != token.depth {
                 return Err(DbError::Unit(format!(
@@ -278,66 +428,92 @@ impl Database {
             }
             state.depth -= 1;
             if state.depth == 0 {
-                (true, std::mem::take(&mut state.events))
+                (true, std::mem::take(&mut state.events), state.claim)
             } else {
-                (false, Vec::new())
+                (false, Vec::new(), 0)
             }
         };
         if !outermost {
             return Ok(());
         }
+        let _bound = Self::bind_thread(id, claim);
         // Deferred listeners run while the unit is still rollback-able; any
         // mutation they perform (repair actions) joins the journal.
         let listeners = self.listeners.read().clone();
         for listener in &listeners {
             if let Err(e) = listener.at_commit(self, &events) {
-                self.rollback_active_unit();
+                self.rollback_unit(id);
                 return Err(e);
             }
         }
-        // Seal the store-level unit scope: fsync once for the whole unit and
-        // publish its final state as the next readable snapshot. The unit
-        // mutex is held across the seal so a concurrently opened unit cannot
-        // interleave its scope with this one's.
-        let mut unit = self.unit.lock();
-        *unit = None;
-        self.store.end_unit_scope(true)?;
+        // Seal the store-level unit scopes: one fsync per touched shard for
+        // the whole unit (with a prepare/decide round first when more than
+        // one shard participated), publishing its final state as the next
+        // readable snapshot. The claimed shards stay owned until the seal
+        // lands, so a concurrently opened unit cannot interleave its scopes
+        // with this one's; disjoint units seal in parallel.
+        {
+            let mut table = self.units.lock();
+            table.states.remove(&id);
+        }
+        let sealed = self.store.end_unit_scope_on(claim, true);
+        self.release_unit(id);
+        sealed?;
         Ok(())
     }
 
     /// Abort a unit of work, rolling back everything it (and any nested
     /// units) changed.
     pub fn abort_unit(&self, token: UnitToken) {
-        let _ = token;
-        self.rollback_active_unit();
+        self.rollback_unit(token.unit);
     }
 
-    /// Whether a unit of work is currently active.
+    /// Whether a unit of work is bound to the calling thread.
     pub fn in_unit(&self) -> bool {
-        self.unit.lock().is_some()
+        CURRENT_UNIT.with(|c| c.get()) != 0
     }
 
-    fn rollback_active_unit(&self) {
-        // The unit mutex is held for the whole rollback (the raw inverse
-        // appliers never touch it) so no new unit can interleave with the
-        // scope being discarded.
-        let mut unit = self.unit.lock();
-        let state = match unit.take() {
-            Some(state) => state,
-            None => return,
+    /// Release `id`'s shard claims and thread binding after its scopes have
+    /// settled, waking units waiting for the freed shards.
+    fn release_unit(&self, id: u64) {
+        let mut table = self.units.lock();
+        for owner in table.owners.iter_mut() {
+            if *owner == id {
+                *owner = 0;
+            }
+        }
+        drop(table);
+        self.units_freed.notify_all();
+        if CURRENT_UNIT.with(|c| c.get()) == id {
+            Self::restore_thread((0, 0));
+        }
+    }
+
+    fn rollback_unit(&self, id: u64) {
+        let state = {
+            let mut table = self.units.lock();
+            match table.states.remove(&id) {
+                Some(state) => state,
+                None => return,
+            }
         };
+        // Bind the thread so the inverse appliers read the unit's own
+        // working state on its claimed shards (rollback may run on the
+        // event transport's reaper thread, not the opener's).
+        let _bound = Self::bind_thread(id, state.claim);
         for op in state.journal.into_iter().rev() {
             // Rollback applies raw inverse operations; failures here would
             // mean the log itself is failing, which we surface by panicking
             // rather than silently half-rolling-back.
             self.apply_undo(op).expect("rollback must not fail");
         }
-        // Discard the store-level unit scope: recovery skips the whole unit
+        // Discard the store-level unit scopes: recovery skips the whole unit
         // (forward ops and inverses alike) and readers keep seeing the
         // pre-unit snapshot throughout.
         self.store
-            .end_unit_scope(false)
+            .end_unit_scope_on(state.claim, false)
             .expect("rollback must not fail");
+        self.release_unit(id);
     }
 
     fn apply_undo(&self, op: UndoOp) -> DbResult<()> {
@@ -391,10 +567,17 @@ impl Database {
         }
     }
 
-    /// Record an undo op and an event in the active unit (if any).
+    /// Record an undo op and an event in the unit bound to this thread (if
+    /// any). During rollback the state has already been removed from the
+    /// table, so inverse appliers journal nowhere — matching the pre-shard
+    /// behaviour of journaling into a taken-out unit.
     fn journal(&self, undo: UndoOp, event: Option<Event>) {
-        let mut unit = self.unit.lock();
-        if let Some(state) = unit.as_mut() {
+        let id = CURRENT_UNIT.with(|c| c.get());
+        if id == 0 {
+            return;
+        }
+        let mut table = self.units.lock();
+        if let Some(state) = table.states.get_mut(&id) {
             state.journal.push(undo);
             if let Some(e) = event {
                 state.events.push(e);
@@ -405,6 +588,27 @@ impl Database {
     /// Run `f` inside a unit (reusing the active one if present).
     pub fn in_unit_scope<T>(&self, f: impl FnOnce(&Database) -> DbResult<T>) -> DbResult<T> {
         let token = self.begin_unit();
+        match f(self) {
+            Ok(v) => {
+                self.commit_unit(token)?;
+                Ok(v)
+            }
+            Err(e) => {
+                self.abort_unit(token);
+                Err(e)
+            }
+        }
+    }
+
+    /// [`Database::in_unit_scope`] claiming only the shards in `mask` (see
+    /// [`Database::begin_unit_on`]). A write `f` routes outside the claim
+    /// fails the commit and rolls the whole unit back.
+    pub fn in_unit_scope_on<T>(
+        &self,
+        mask: u64,
+        f: impl FnOnce(&Database) -> DbResult<T>,
+    ) -> DbResult<T> {
+        let token = self.begin_unit_on(mask);
         match f(self) {
             Ok(v) => {
                 self.commit_unit(token)?;
@@ -442,6 +646,17 @@ impl Database {
     }
 
     pub(crate) fn entity_cached(&self, oid: Oid) -> DbResult<StoredEntity> {
+        let claim = prometheus_storage::shard::thread_claim();
+        if claim != 0
+            && !prometheus_storage::shard::claim_covers(claim, self.store.shard_of_oid(oid))
+        {
+            // A unit is bound but this OID lives on a shard outside its
+            // claim: read the published snapshot directly and skip the
+            // shared cache, which may hold another unit's (or this unit's
+            // stale) working-state entries for that shard.
+            let bytes = self.store.get(oid).ok_or(DbError::NotFound(oid))?;
+            return Ok(codec::from_bytes(&bytes)?);
+        }
         {
             let mut cache = self.cache_shard(oid).lock();
             if let Some(entity) = cache.get(&oid) {
@@ -1410,10 +1625,10 @@ impl Database {
             .collect())
     }
 
-    /// Dispatch post-event; on failure roll the active unit back.
+    /// Dispatch post-event; on failure roll the thread's bound unit back.
     fn finish_op(&self, event: Event) -> DbResult<()> {
         if let Err(e) = self.dispatch_after(&event) {
-            self.rollback_active_unit();
+            self.rollback_unit(CURRENT_UNIT.with(|c| c.get()));
             return Err(e);
         }
         Ok(())

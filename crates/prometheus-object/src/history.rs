@@ -15,7 +15,7 @@
 use crate::database::Database;
 use crate::error::DbResult;
 use crate::events::{Event, EventListener};
-use prometheus_storage::{codec, Keyspace, Oid, Store};
+use prometheus_storage::{codec, Keyspace, Oid};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -134,7 +134,7 @@ impl EventListener for HistoryRecorder {
         if events.is_empty() {
             return Ok(());
         }
-        let store: &Arc<Store> = db.store();
+        let store = db.store();
         store.with_txn(|t| {
             for event in events {
                 let seq = self.seq.fetch_add(1, Ordering::Relaxed);

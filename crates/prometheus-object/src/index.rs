@@ -17,7 +17,7 @@
 //! edges of classification K".
 
 use crate::value::Value;
-use prometheus_storage::{Keyspace, Oid};
+use prometheus_storage::{Keyspace, Oid, RouteRule, ShardRouting};
 
 /// Keyspace holding schema, classification metadata and synonym state.
 pub const KS_META: Keyspace = Keyspace(0);
@@ -38,6 +38,31 @@ pub const KS_EDGE_CLS: Keyspace = Keyspace(6);
 pub const META_SCHEMA: &[u8] = b"schema";
 pub const META_SYNONYMS: &[u8] = b"synonyms";
 pub const META_VIEWS: &[u8] = b"views";
+
+/// The shard-routing table matching this module's key encodings, for
+/// [`prometheus_storage::ShardedStore::open_with`].
+///
+/// * Meta state (schema, synonyms, views) is global → shard 0.
+/// * Extent and attribute keys end in the member's OID → route with the
+///   record, so creating an object writes exactly one shard.
+/// * Endpoint/adjacency and classification-membership keys lead with the
+///   subject's OID → route with the *subject*, so "edges of X" scans one
+///   shard, and creating a relationship co-locates the edge record with its
+///   from-adjacency entry (the edge's OID is allocated on the same shard).
+/// * History entries (keyspace 7, see `crate::history`) lead with the
+///   subject OID → route with the subject.
+pub fn shard_routing() -> ShardRouting {
+    ShardRouting::with_rules(&[
+        (KS_META.0, RouteRule::ShardZero),
+        (KS_EXTENT.0, RouteRule::TrailingOid),
+        (KS_ATTR.0, RouteRule::TrailingOid),
+        (KS_REL_FROM.0, RouteRule::LeadingOid),
+        (KS_REL_TO.0, RouteRule::LeadingOid),
+        (KS_CLS_EDGES.0, RouteRule::LeadingOid),
+        (KS_EDGE_CLS.0, RouteRule::LeadingOid),
+        (crate::history::KS_HISTORY.0, RouteRule::LeadingOid),
+    ])
+}
 
 const SEP: u8 = 0x00;
 

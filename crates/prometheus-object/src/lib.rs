@@ -53,8 +53,9 @@ pub use database::{Database, UnitToken};
 pub use error::{DbError, DbResult};
 pub use events::{Event, EventListener};
 pub use history::{history_of, HistoryEntry, HistoryRecorder};
+pub use index::shard_routing;
 pub use instance::{ObjectInstance, RelInstance};
-pub use prometheus_storage::{Oid, Store, StoreOptions};
+pub use prometheus_storage::{Oid, ShardRouting, ShardedStore, Store, StoreOptions};
 pub use read::{ReadView, Reader};
 pub use schema::{AttrDef, Cardinality, ClassDef, RelClassDef, RelKind, SchemaRegistry};
 pub use traversal::{Direction, SynonymMode, TraversalSpec};

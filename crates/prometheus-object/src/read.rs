@@ -10,7 +10,7 @@
 //!   the object cache), so code running inside a unit of work sees its own
 //!   uncommitted operations;
 //! * [`ReadView`] reads a **pinned immutable snapshot**
-//!   ([`prometheus_storage::Snapshot`]) plus the schema registry and synonym
+//!   ([`prometheus_storage::ShardSnapshot`], one pinned image per shard) plus the schema registry and synonym
 //!   table current at pin time. A `ReadView` never takes the store mutex or
 //!   any cache lock, so any number of views proceed in parallel with the
 //!   writer, and a whole query — including recursive traversals and graph
@@ -28,7 +28,7 @@ use crate::instance::{ClassificationMeta, ObjectInstance, RelInstance, StoredEnt
 use crate::schema::SchemaRegistry;
 use crate::synonym::SynonymTable;
 use crate::value::Value;
-use prometheus_storage::{codec, Bytes, Keyspace, Oid, Snapshot};
+use prometheus_storage::{codec, Bytes, Keyspace, Oid, ShardSnapshot};
 use std::sync::Arc;
 
 /// Read access to a (possibly pinned) database state.
@@ -601,14 +601,14 @@ impl<R: Reader> Reader for Arc<R> {
 /// state. Cloning is three `Arc` bumps.
 #[derive(Debug, Clone)]
 pub struct ReadView {
-    snap: Snapshot,
+    snap: ShardSnapshot,
     schema: Arc<SchemaRegistry>,
     synonyms: Arc<SynonymTable>,
 }
 
 impl ReadView {
     pub(crate) fn new(
-        snap: Snapshot,
+        snap: ShardSnapshot,
         schema: Arc<SchemaRegistry>,
         synonyms: Arc<SynonymTable>,
     ) -> ReadView {

@@ -51,7 +51,7 @@ use prometheus_server::{
     serve, ClientConfig, ErrorKind, MutationOp, PrometheusClient, ReplicaInfo, ReplicaStatusCell,
     ServerConfig, ServerError, ServerHandle, ServerResult, WireRows,
 };
-use prometheus_storage::{Oid, Store};
+use prometheus_storage::{Oid, ShardedStore};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -87,6 +87,11 @@ pub struct FollowerConfig {
     /// primary's log is the durable copy, and a crashed follower rebuilds
     /// from it.
     pub sync_on_commit: bool,
+    /// Shard count — **must match the primary's**. The puller cursors each
+    /// shard's log independently (the wire poll names a shard since
+    /// protocol v7), keeping every local shard log byte-identical to its
+    /// primary counterpart.
+    pub shards: usize,
 }
 
 impl FollowerConfig {
@@ -101,6 +106,7 @@ impl FollowerConfig {
             max_batch_bytes: 1 << 20,
             workers: 4,
             sync_on_commit: false,
+            shards: 1,
         }
     }
 }
@@ -113,11 +119,15 @@ impl Follower {
     /// and the puller thread. Returns once the server is bound — the
     /// replica serves (possibly stale) reads immediately while catching up.
     pub fn start(config: FollowerConfig) -> ServerResult<FollowerHandle> {
-        let db = Prometheus::open_with(
+        // Follower-mode open: a crash-left prepared 2PC tail stays in-doubt
+        // locally — the primary's own resolution frames arrive through the
+        // replicated stream, keeping the shard logs byte-identical.
+        let db = Prometheus::open_follower(
             &config.path,
             StoreOptions {
                 sync_on_commit: config.sync_on_commit,
             },
+            config.shards.max(1),
         )
         .map_err(|e| ServerError::Connect(format!("open replica store: {e}")))?;
         let store = Arc::clone(db.db().store());
@@ -128,6 +138,7 @@ impl Follower {
             ServerConfig {
                 addr: config.addr.clone(),
                 workers: config.workers,
+                shards: config.shards.max(1),
                 replica: Some(ReplicaInfo {
                     primary: config.primary.clone(),
                     status: Arc::clone(&status),
@@ -211,19 +222,27 @@ impl Drop for FollowerHandle {
 }
 
 /// The puller: connect to the primary (forever, with backoff), cursor over
-/// its committed log, apply frames locally, repeat. The cursor is the
-/// follower's own log length — no separate progress file to keep honest.
+/// each shard's committed log, apply frames locally, repeat. A shard's
+/// cursor is the follower's own shard-log length — no separate progress
+/// file to keep honest. The status cell aggregates across shards (applied
+/// and horizon bytes summed), so lag and catch-up read exactly like the
+/// single-shard case.
 fn pull_loop(
     config: FollowerConfig,
-    store: Arc<Store>,
+    store: Arc<ShardedStore>,
     db: Arc<Database>,
     status: Arc<ReplicaStatusCell>,
     stop: Arc<AtomicBool>,
 ) {
-    // The epoch under which our local log bytes were pulled. Not persisted:
-    // a restarted follower starts at 0 and the primary's first answer either
-    // matches (primary never compacted) or forces one clean resync.
-    let mut epoch = 0u64;
+    let nshards = store.shard_count();
+    // Per-shard epochs under which the local log bytes were pulled. Not
+    // persisted: a restarted follower starts at 0 and the primary's first
+    // answer either matches (that shard never compacted) or forces one
+    // clean resync.
+    let mut epochs = vec![0u64; nshards];
+    // The primary's committed length per shard, as of the last poll that
+    // answered for it — the aggregate horizon for lag accounting.
+    let mut horizons = vec![0u64; nshards];
     while !stop.load(Ordering::SeqCst) {
         let client = PrometheusClient::connect_with(
             parse_addr(&config.primary),
@@ -240,72 +259,104 @@ fn pull_loop(
             sleep_unless_stopped(&stop, config.poll_interval);
             continue;
         };
-        while !stop.load(Ordering::SeqCst) {
-            let offset = store.committed_log_len();
-            match client.replica_poll(&config.name, epoch, offset, config.max_batch_bytes) {
-                Ok(PollOutcome::Frames {
-                    epoch: e,
-                    frames,
-                    next_offset,
-                    log_len,
-                }) => {
-                    epoch = e;
-                    if !frames.is_empty() {
-                        match store.apply_replicated(&frames) {
-                            Ok(summary) => {
-                                if db.refresh_replicated(&summary).is_err() {
-                                    // Cache refresh failing means local meta
-                                    // no longer decodes — resync from zero.
-                                    resync(&store, &db, &status);
-                                    continue;
+        'connected: while !stop.load(Ordering::SeqCst) {
+            // One sweep: poll every shard once, then report aggregate
+            // progress. While any shard has a backlog the sweep repeats
+            // immediately; fully drained, the puller eases off.
+            let mut caught_up = true;
+            for shard in 0..nshards {
+                let member = store.shard(shard);
+                let offset = member.committed_log_len();
+                match client.replica_poll(
+                    &config.name,
+                    shard as u32,
+                    epochs[shard],
+                    offset,
+                    config.max_batch_bytes,
+                ) {
+                    Ok(PollOutcome::Frames {
+                        epoch: e,
+                        frames,
+                        next_offset,
+                        log_len,
+                    }) => {
+                        epochs[shard] = e;
+                        horizons[shard] = log_len;
+                        if !frames.is_empty() {
+                            caught_up = false;
+                            match member.apply_replicated(&frames) {
+                                Ok(summary) => {
+                                    if db.refresh_replicated(&summary).is_err() {
+                                        // Cache refresh failing means local
+                                        // meta no longer decodes — resync
+                                        // from zero.
+                                        resync(&store, &db, &status, &mut horizons);
+                                        continue 'connected;
+                                    }
+                                }
+                                Err(_) => {
+                                    resync(&store, &db, &status, &mut horizons);
+                                    continue 'connected;
                                 }
                             }
-                            Err(_) => {
-                                resync(&store, &db, &status);
-                                continue;
-                            }
                         }
+                        let applied = member.committed_log_len();
+                        if applied < log_len {
+                            caught_up = false;
+                        }
+                        debug_assert!(
+                            frames.is_empty() || applied == next_offset,
+                            "replayed shard log must stay byte-aligned with the primary"
+                        );
                     }
-                    let applied = store.committed_log_len();
-                    status.record_progress(e, applied, log_len);
-                    debug_assert!(
-                        frames.is_empty() || applied == next_offset,
-                        "replayed log must stay byte-aligned with the primary"
-                    );
-                    if applied >= log_len {
-                        // Caught up: ease off the primary.
+                    Ok(PollOutcome::Reset {
+                        epoch: e,
+                        log_len: _,
+                    }) => {
+                        // Any shard diverging discards *all* local state:
+                        // cross-shard units settle with records on several
+                        // shard logs, so per-shard partial resync could
+                        // tear a committed unit apart.
+                        epochs[shard] = e;
+                        resync(&store, &db, &status, &mut horizons);
+                        continue 'connected;
+                    }
+                    Err(e) if e.is_fatal() => break 'connected, // reconnect
+                    Err(ServerError::Remote {
+                        kind: ErrorKind::ShuttingDown,
+                        ..
+                    }) => break 'connected,
+                    Err(_) => {
+                        // Non-fatal remote hiccup: back off and re-poll on
+                        // the same connection.
                         sleep_unless_stopped(&stop, config.poll_interval);
+                        continue 'connected;
                     }
                 }
-                Ok(PollOutcome::Reset {
-                    epoch: e,
-                    log_len: _,
-                }) => {
-                    epoch = e;
-                    resync(&store, &db, &status);
-                }
-                Err(e) if e.is_fatal() => break, // reconnect
-                Err(ServerError::Remote {
-                    kind: ErrorKind::ShuttingDown,
-                    ..
-                }) => break,
-                Err(_) => {
-                    // Non-fatal remote hiccup: back off and re-poll on the
-                    // same connection.
-                    sleep_unless_stopped(&stop, config.poll_interval);
-                }
+            }
+            let applied: u64 = (0..nshards)
+                .map(|k| store.shard(k).committed_log_len())
+                .sum();
+            status.record_progress(epochs[0], applied, horizons.iter().sum());
+            if caught_up {
+                // Caught up on every shard: ease off the primary.
+                sleep_unless_stopped(&stop, config.poll_interval);
             }
         }
     }
 }
 
-/// Discard all local replica state and count the resync; the next poll
-/// starts over from offset 0.
-fn resync(store: &Store, db: &Database, status: &ReplicaStatusCell) {
-    if store.reset_to_empty().is_ok() {
-        let _ = db.refresh_all();
-        status.record_resync();
+/// Discard all local replica state — every shard — and count the resync;
+/// the next sweep starts every cursor over from offset 0.
+fn resync(store: &ShardedStore, db: &Database, status: &ReplicaStatusCell, horizons: &mut [u64]) {
+    for k in 0..store.shard_count() {
+        if store.shard(k).reset_to_empty().is_err() {
+            return;
+        }
     }
+    horizons.fill(0);
+    let _ = db.refresh_all();
+    status.record_resync();
 }
 
 fn sleep_unless_stopped(stop: &AtomicBool, d: Duration) {

@@ -205,19 +205,22 @@ impl PrometheusClient {
         }
     }
 
-    /// Poll the primary for committed redo frames past `offset` (replication
-    /// protocol, v4). `epoch` must be the log epoch from the previous poll
-    /// (0 on a fresh cursor); a [`PollOutcome::Reset`] answer means the
-    /// cursor is stale — discard local state and re-poll from offset 0.
+    /// Poll the primary for committed redo frames of member `shard` past
+    /// `offset` (replication protocol, v4; per-shard cursors since v7).
+    /// `epoch` must be that shard's log epoch from the previous poll (0 on
+    /// a fresh cursor); a [`PollOutcome::Reset`] answer means the cursor is
+    /// stale — discard local state and re-poll from offset 0.
     pub fn replica_poll(
         &mut self,
         follower: &str,
+        shard: u32,
         epoch: u64,
         offset: u64,
         max_bytes: u64,
     ) -> ServerResult<PollOutcome> {
         match self.request(Request::ReplicaPoll {
             follower: follower.into(),
+            shard,
             epoch,
             offset,
             max_bytes,

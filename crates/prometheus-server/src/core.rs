@@ -102,9 +102,11 @@ pub enum Work {
     Trace { n: u32 },
     /// Recent slow-query log entries.
     SlowLog { n: u32 },
-    /// Serve committed redo-log frames to a replication follower.
+    /// Serve committed redo-log frames of one member shard to a
+    /// replication follower.
     ReplicaPoll {
         follower: String,
+        shard: u32,
         epoch: u64,
         offset: u64,
         max_bytes: u64,
@@ -314,11 +316,13 @@ impl SessionCore {
             Request::SlowLog { n } => Step::Do(Work::SlowLog { n }),
             Request::ReplicaPoll {
                 follower,
+                shard,
                 epoch,
                 offset,
                 max_bytes,
             } => Step::Do(Work::ReplicaPoll {
                 follower,
+                shard,
                 epoch,
                 offset,
                 max_bytes,

@@ -20,16 +20,24 @@
 //! re-arms it, so at most one worker touches a connection at a time without
 //! any per-connection thread.
 //!
-//! ## The writer lane without blocking
+//! ## The writer lanes without blocking
 //!
 //! Workers must never block in [`TicketLane::wait`]: the current holder may
 //! be an idle in-unit session whose commit frame needs a free worker, so a
 //! blocked pool would deadlock. Instead lane-bound work *parks*: the
-//! session draws a ticket (under the lane-queue mutex, preserving FIFO),
+//! session draws a ticket (under that lane's queue mutex, preserving FIFO),
 //! stops consuming decoded frames, and is rescheduled when
 //! [`pump_lane`] claims its ticket with [`TicketLane::try_claim`]. A parked
 //! session is not re-armed for reads either — the kernel buffers its
 //! backlog exactly as it would for a blocked thread.
+//!
+//! With sharded stores there is one lane per shard, each with its **own**
+//! park queue: releasing shard A's lane pumps only shard A's queue, so a
+//! grant on one shard never rouses (or reorders) sessions parked on
+//! another. A multi-lane claim is acquired one lane at a time in ascending
+//! index order — the same resource ordering as the blocking transport's
+//! `acquire_lanes`, so sessions on both transports are jointly
+//! deadlock-free.
 //!
 //! ## Backpressure
 //!
@@ -113,9 +121,9 @@ enum ConnKind {
     Http,
 }
 
-/// Why a session stopped consuming frames: it is queued for the writer lane.
+/// Why a session stopped consuming frames: it is queued for a writer lane.
 enum LanePending {
-    /// `UnitBegin` was acked; open the unit once the lane grants.
+    /// `UnitBegin` was acked; open the unit once every lane grants.
     OpenUnit,
     /// A one-shot lane-bound work item (batch, PCL install, compact); the
     /// request kind and start instant carry the latency accounting across
@@ -127,10 +135,21 @@ enum LanePending {
     },
 }
 
-/// An open streamed unit: the database token and the held lane guard.
+/// An in-flight multi-lane claim: the deferred action, the shard-lane mask
+/// being acquired (it becomes the unit's shard claim), and the guards
+/// already held — ascending by lane index, because lanes are always claimed
+/// in ascending order. While parked, the session is queued on exactly one
+/// lane: the lowest unheld lane of the mask.
+struct LanePark {
+    what: LanePending,
+    mask: u64,
+    held: Vec<(usize, OwnedLaneGuard)>,
+}
+
+/// An open streamed unit: the database token and the held lane guards.
 struct UnitState {
     token: UnitToken,
-    guard: OwnedLaneGuard,
+    guards: Vec<(usize, OwnedLaneGuard)>,
 }
 
 struct ConnState {
@@ -143,7 +162,7 @@ struct ConnState {
     http_out: Vec<u8>,
     http_pos: usize,
     unit: Option<UnitState>,
-    pending: Option<LanePending>,
+    pending: Option<LanePark>,
     last_activity: Instant,
     eof: bool,
     /// Deliver what the encoder holds, then tear down.
@@ -170,13 +189,16 @@ struct Reactor {
     ready_cv: Condvar,
     /// Workers may exit once this is set and the ready queue is drained.
     stopping: AtomicBool,
-    /// FIFO of `(ticket, token)` sessions parked for the writer lane.
-    /// Tickets are drawn under this mutex so event sessions keep strict
-    /// arrival order among themselves.
-    lane_queue: Mutex<VecDeque<(u64, u64)>>,
-    /// Lane guards claimed on behalf of a parked session, waiting for a
-    /// worker to pick the session up.
-    grants: Mutex<HashMap<u64, OwnedLaneGuard>>,
+    /// Per-lane FIFOs of `(ticket, token)` sessions parked for that writer
+    /// lane (index-aligned with `Shared::writer_lanes`). Tickets are drawn
+    /// under the lane's queue mutex so event sessions keep strict arrival
+    /// order among themselves, and a grant on one lane touches only that
+    /// lane's queue.
+    lane_queues: Vec<Mutex<VecDeque<(u64, u64)>>>,
+    /// A lane guard claimed on behalf of a parked session, waiting for a
+    /// worker to pick the session up. At most one per session: a session
+    /// queues on one lane at a time.
+    grants: Mutex<HashMap<u64, (usize, OwnedLaneGuard)>>,
     next_token: AtomicU64,
     max_connections: usize,
 }
@@ -209,7 +231,9 @@ pub(crate) fn spawn_event_loop(
         ready: Mutex::new(VecDeque::new()),
         ready_cv: Condvar::new(),
         stopping: AtomicBool::new(false),
-        lane_queue: Mutex::new(VecDeque::new()),
+        lane_queues: (0..shared.writer_lanes.len())
+            .map(|_| Mutex::new(VecDeque::new()))
+            .collect(),
         grants: Mutex::new(HashMap::new()),
         next_token: AtomicU64::new(FIRST_CONN_TOKEN),
         max_connections: cfg.max_connections,
@@ -281,8 +305,9 @@ fn worker_loop(rx: Arc<Reactor>) {
             Some(conn) => process_conn(&rx, &conn),
             None => {
                 // Torn down after scheduling; a lane grant may be parked.
-                if lock(&rx.grants).remove(&token).is_some() {
-                    pump_lane(&rx);
+                if let Some((lane, guard)) = lock(&rx.grants).remove(&token) {
+                    drop(guard);
+                    pump_lane(&rx, lane);
                 }
             }
         }
@@ -408,17 +433,19 @@ fn register_conn(rx: &Arc<Reactor>, stream: TcpStream, is_db: bool) {
     }
 }
 
-/// Grant the writer lane to the longest-parked session that is still alive,
-/// dropping grants for sessions torn down while queued so the lane never
-/// stalls behind a ghost. Call after *every* [`OwnedLaneGuard`] drop.
-fn pump_lane(rx: &Reactor) {
+/// Grant writer lane `lane` to its longest-parked session that is still
+/// alive, dropping grants for sessions torn down while queued so the lane
+/// never stalls behind a ghost. Call after *every* [`OwnedLaneGuard`] drop,
+/// with that guard's lane index — only this lane's queue is inspected, so a
+/// release on shard A never rouses a session parked on shard B.
+fn pump_lane(rx: &Reactor, lane: usize) {
     loop {
         let claimed = {
-            let mut q = lock(&rx.lane_queue);
+            let mut q = lock(&rx.lane_queues[lane]);
             match q.front().copied() {
                 None => return,
                 Some((ticket, token)) => {
-                    match TicketLane::try_claim(&rx.shared.writer_lane, ticket) {
+                    match TicketLane::try_claim(&rx.shared.writer_lanes[lane], ticket) {
                         Some(guard) => {
                             q.pop_front();
                             (guard, token)
@@ -438,7 +465,7 @@ fn pump_lane(rx: &Reactor) {
             let conns = lock(&rx.conns);
             if let Some(conn) = conns.get(&token) {
                 if !lock(&conn.state).dead {
-                    lock(&rx.grants).insert(token, guard);
+                    lock(&rx.grants).insert(token, (lane, guard));
                     drop(conns);
                     enqueue_ready(rx, token);
                     return;
@@ -450,33 +477,49 @@ fn pump_lane(rx: &Reactor) {
     }
 }
 
+/// Drop held lane guards and record their lanes for pumping. The pump runs
+/// *after* the caller releases the connection's state lock — `pump_lane`
+/// locks the granted session's state to check liveness, and the grantee may
+/// be the very connection the caller still holds.
+fn release_guards(guards: Vec<(usize, OwnedLaneGuard)>, pump: &mut Vec<usize>) {
+    for (lane, guard) in guards {
+        drop(guard);
+        pump.push(lane);
+    }
+}
+
 /// Close a connection and release everything it held. Idempotent.
 fn teardown(rx: &Reactor, conn: &Arc<Conn>, reaped: bool) {
-    let unit = {
+    let (unit, pending) = {
         let mut st = lock(&conn.state);
         if st.dead {
             return;
         }
         st.dead = true;
-        st.pending = None;
-        st.unit.take()
+        (st.unit.take(), st.pending.take())
     };
-    let mut released_lane = false;
+    let mut pump = Vec::new();
     if let Some(unit) = unit {
         // Disconnect (or reap) mid-unit: roll back so no half-applied unit
-        // is ever visible or durable, then free the lane.
+        // is ever visible or durable, then free the lanes.
         rx.shared.db.db().abort_unit(unit.token);
         rx.shared
             .metrics
             .units_rolled_back_on_disconnect
             .fetch_add(1, Ordering::Relaxed);
-        drop(unit.guard);
-        released_lane = true;
+        release_guards(unit.guards, &mut pump);
+    }
+    if let Some(park) = pending {
+        // Parked mid-acquisition: free the lanes already held. The stale
+        // queue entry on the lane it was waiting for is skipped by
+        // `pump_lane`'s liveness check when it reaches the head.
+        release_guards(park.held, &mut pump);
     }
     rx.poller.deregister(conn.stream.as_raw_fd());
     lock(&rx.conns).remove(&conn.token);
-    if lock(&rx.grants).remove(&conn.token).is_some() {
-        released_lane = true;
+    if let Some((lane, guard)) = lock(&rx.grants).remove(&conn.token) {
+        drop(guard);
+        pump.push(lane);
     }
     if matches!(conn.kind, ConnKind::Db) {
         rx.shared
@@ -490,8 +533,8 @@ fn teardown(rx: &Reactor, conn: &Arc<Conn>, reaped: bool) {
                 .fetch_add(1, Ordering::Relaxed);
         }
     }
-    if released_lane {
-        pump_lane(rx);
+    for lane in pump {
+        pump_lane(rx, lane);
     }
     // Let the poll thread resume accepting if it paused at the cap.
     rx.waker.wake();
@@ -505,7 +548,7 @@ fn teardown(rx: &Reactor, conn: &Arc<Conn>, reaped: bool) {
 fn scan_deadlines(rx: &Arc<Reactor>) {
     let conns: Vec<Arc<Conn>> = lock(&rx.conns).values().cloned().collect();
     for conn in conns {
-        let mut lane_guard = None;
+        let mut lane_guards = None;
         let mut reap = false;
         {
             let Ok(mut st) = conn.state.try_lock() else {
@@ -524,17 +567,21 @@ fn scan_deadlines(rx: &Arc<Reactor>) {
                         .fetch_add(1, Ordering::Relaxed);
                     st.core.note_unit_timed_out();
                     st.last_activity = Instant::now();
-                    lane_guard = Some(unit.guard);
+                    lane_guards = Some(unit.guards);
                 }
             } else if let Some(idle) = rx.shared.idle_timeout {
-                // A session parked for the lane is waiting on us, not idle.
+                // A session parked for a lane is waiting on us, not idle.
                 if st.pending.is_none() && st.last_activity.elapsed() >= idle {
                     reap = true;
                 }
             }
         }
-        if lane_guard.take().is_some() {
-            pump_lane(rx);
+        if let Some(guards) = lane_guards.take() {
+            let mut pump = Vec::new();
+            release_guards(guards, &mut pump);
+            for lane in pump {
+                pump_lane(rx, lane);
+            }
         }
         if reap {
             teardown(rx, &conn, matches!(conn.kind, ConnKind::Db));
@@ -626,11 +673,14 @@ fn push_msg(shared: &Shared, st: &mut ConnState, resp: &Response) {
 }
 
 /// Execute a (possibly lane-parked) work item under a fresh request span
-/// and settle its latency accounting.
+/// and settle its latency accounting. `claim_mask` is the lane mask the
+/// session holds for this work — the same mask inferred at dispatch, so the
+/// unit's shard claim matches the held lanes exactly.
 fn run_work(
     rx: &Reactor,
     core: &mut SessionCore,
     work: Work,
+    claim_mask: u64,
     kind: &'static str,
     start: Instant,
 ) -> Response {
@@ -639,7 +689,7 @@ fn run_work(
         .recorder
         .span_in(Stage::Request, shared.recorder.new_trace_id(), 0);
     let scope = TraceScope::enter(root.trace_id(), root.id());
-    let resp = execute_work(shared, core, work);
+    let resp = execute_work(shared, core, work, claim_mask);
     drop(scope);
     root.finish(kind_code(kind), core.id());
     shared
@@ -648,14 +698,15 @@ fn run_work(
     resp
 }
 
-/// Draw a lane ticket for this session and claim it immediately when the
-/// lane is free and nobody is parked ahead; otherwise enqueue. The ticket
-/// is drawn under the queue lock so FIFO order matches arrival order.
-fn claim_or_enqueue(rx: &Reactor, token: u64) -> Option<OwnedLaneGuard> {
-    let mut q = lock(&rx.lane_queue);
-    let ticket = rx.shared.writer_lane.ticket();
+/// Draw a ticket on lane `lane` for this session and claim it immediately
+/// when the lane is free and nobody is parked ahead; otherwise enqueue. The
+/// ticket is drawn under the lane's queue lock so FIFO order matches
+/// arrival order.
+fn claim_or_enqueue(rx: &Reactor, lane: usize, token: u64) -> Option<OwnedLaneGuard> {
+    let mut q = lock(&rx.lane_queues[lane]);
+    let ticket = rx.shared.writer_lanes[lane].ticket();
     if q.is_empty() {
-        if let Some(guard) = TicketLane::try_claim(&rx.shared.writer_lane, ticket) {
+        if let Some(guard) = TicketLane::try_claim(&rx.shared.writer_lanes[lane], ticket) {
             return Some(guard);
         }
     }
@@ -663,17 +714,62 @@ fn claim_or_enqueue(rx: &Reactor, token: u64) -> Option<OwnedLaneGuard> {
     None
 }
 
+/// Advance a multi-lane claim without blocking: claim each unheld lane of
+/// the mask in ascending index order until either every lane is held
+/// (returns `true`) or one must be queued for (returns `false`; the session
+/// parks and a future grant resumes the walk). Ascending order is the
+/// deadlock-freedom invariant shared with the blocking transport.
+fn advance_acquire(rx: &Reactor, token: u64, park: &mut LanePark) -> bool {
+    loop {
+        let from = park.held.last().map_or(0, |(k, _)| k + 1);
+        let Some(lane) = (from..rx.shared.writer_lanes.len()).find(|k| park.mask >> k & 1 != 0)
+        else {
+            return true;
+        };
+        match claim_or_enqueue(rx, lane, token) {
+            Some(guard) => park.held.push((lane, guard)),
+            None => return false,
+        }
+    }
+}
+
+/// A parked claim completed: perform the deferred action. One-shot work
+/// releases its lanes immediately; an opened unit keeps them until it
+/// settles.
+fn finish_park(rx: &Reactor, st: &mut ConnState, park: LanePark, pump: &mut Vec<usize>) {
+    match park.what {
+        LanePending::OpenUnit => {
+            // Detached: this worker thread serves other sessions next, so
+            // the unit must not stay bound to it. Each of the unit's
+            // request slices re-binds via `with_unit_bound`.
+            let token = rx.shared.db.db().begin_unit_detached();
+            st.core.unit_opened();
+            st.last_activity = Instant::now();
+            st.unit = Some(UnitState {
+                token,
+                guards: park.held,
+            });
+        }
+        LanePending::Work { work, kind, start } => {
+            let resp = run_work(rx, &mut st.core, work, park.mask, kind, start);
+            push_msg(&rx.shared, st, &resp);
+            release_guards(park.held, pump);
+        }
+    }
+}
+
 /// Serve one scheduled wake-up of a connection: perform any lane grant,
 /// read, run the state machine over every decodable frame, flush, and
 /// decide between re-arming and teardown.
 fn process_conn(rx: &Arc<Reactor>, conn: &Arc<Conn>) {
-    let mut need_pump = false;
+    let mut pump = Vec::new();
     let fate = {
         let mut st = lock(&conn.state);
         if st.dead {
             drop(st);
-            if lock(&rx.grants).remove(&conn.token).is_some() {
-                pump_lane(rx);
+            if let Some((lane, guard)) = lock(&rx.grants).remove(&conn.token) {
+                drop(guard);
+                pump_lane(rx, lane);
             }
             return;
         }
@@ -682,11 +778,11 @@ fn process_conn(rx: &Arc<Reactor>, conn: &Arc<Conn>) {
         }
         match conn.kind {
             ConnKind::Http => process_http(rx, conn, &mut st),
-            ConnKind::Db => process_db(rx, conn, &mut st, &mut need_pump),
+            ConnKind::Db => process_db(rx, conn, &mut st, &mut pump),
         }
     };
-    if need_pump {
-        pump_lane(rx);
+    for lane in pump {
+        pump_lane(rx, lane);
     }
     match fate {
         Fate::Teardown => teardown(rx, conn, false),
@@ -715,26 +811,24 @@ fn process_db(
     rx: &Arc<Reactor>,
     conn: &Arc<Conn>,
     st: &mut ConnState,
-    need_pump: &mut bool,
+    pump: &mut Vec<usize>,
 ) -> Fate {
-    // 1. A lane grant parked for this session? Perform the deferred action.
-    if let Some(guard) = lock(&rx.grants).remove(&conn.token) {
+    // 1. A lane grant parked for this session? Fold it into the in-flight
+    //    claim and keep walking the mask; the deferred action runs only
+    //    once every lane is held.
+    if let Some((lane, guard)) = lock(&rx.grants).remove(&conn.token) {
         match st.pending.take() {
-            Some(LanePending::OpenUnit) => {
-                let token = rx.shared.db.db().begin_unit();
-                st.core.unit_opened();
-                st.last_activity = Instant::now();
-                st.unit = Some(UnitState { token, guard });
-            }
-            Some(LanePending::Work { work, kind, start }) => {
-                let resp = run_work(rx, &mut st.core, work, kind, start);
-                push_msg(&rx.shared, st, &resp);
-                drop(guard);
-                *need_pump = true;
+            Some(mut park) => {
+                park.held.push((lane, guard));
+                if advance_acquire(rx, conn.token, &mut park) {
+                    finish_park(rx, st, park, pump);
+                } else {
+                    st.pending = Some(park);
+                }
             }
             None => {
                 drop(guard);
-                *need_pump = true;
+                pump.push(lane);
             }
         }
     }
@@ -754,7 +848,7 @@ fn process_db(
                 break;
             }
             match st.decoder.next_msg::<Request>() {
-                Ok(Some(req)) => handle_request(rx, conn, st, req, need_pump),
+                Ok(Some(req)) => handle_request(rx, conn, st, req, pump),
                 Ok(None) => break,
                 Err(e) => {
                     if matches!(e, ServerError::Frame(_) | ServerError::Codec(_)) {
@@ -804,7 +898,7 @@ fn handle_request(
     conn: &Arc<Conn>,
     st: &mut ConnState,
     req: Request,
-    need_pump: &mut bool,
+    pump: &mut Vec<usize>,
 ) {
     let shared = &rx.shared;
     let start = Instant::now();
@@ -827,19 +921,21 @@ fn handle_request(
             st.closing = true;
         }
         Step::OpenUnit => {
-            // Ack first (it goes out even while we queue for the lane),
-            // then claim or park — never block a worker on the lane.
+            // Ack first (it goes out even while we queue for the lanes),
+            // then claim or park — never block a worker on a lane. A
+            // streamed unit's ops arrive one frame at a time, so no shard
+            // mask can be inferred up front: claim every lane.
             push_msg(shared, st, &Response::Ack);
-            match claim_or_enqueue(rx, conn.token) {
-                Some(guard) => {
-                    let token = shared.db.db().begin_unit();
-                    st.core.unit_opened();
-                    st.unit = Some(UnitState { token, guard });
-                }
-                None => {
-                    st.pending = Some(LanePending::OpenUnit);
-                    parked = true;
-                }
+            let mut park = LanePark {
+                what: LanePending::OpenUnit,
+                mask: crate::server::all_lanes_mask(shared),
+                held: Vec::new(),
+            };
+            if advance_acquire(rx, conn.token, &mut park) {
+                finish_park(rx, st, park, pump);
+            } else {
+                st.pending = Some(park);
+                parked = true;
             }
         }
         Step::Do(Work::UnitCommit) => {
@@ -860,8 +956,7 @@ fn handle_request(
             };
             st.core.unit_closed();
             push_msg(shared, st, &resp);
-            drop(unit.guard);
-            *need_pump = true;
+            release_guards(unit.guards, pump);
         }
         Step::Do(Work::UnitAbort) => {
             let unit = st.unit.take().expect("unit state");
@@ -869,24 +964,46 @@ fn handle_request(
             shared.metrics.units_aborted.fetch_add(1, Ordering::Relaxed);
             st.core.unit_closed();
             push_msg(shared, st, &Response::Ack);
-            drop(unit.guard);
-            *need_pump = true;
+            release_guards(unit.guards, pump);
         }
-        Step::Do(work) if work.needs_lane() => match claim_or_enqueue(rx, conn.token) {
-            Some(guard) => {
-                let resp = execute_work(shared, &mut st.core, work);
-                push_msg(shared, st, &resp);
-                drop(guard);
-                *need_pump = true;
-            }
-            None => {
-                st.pending = Some(LanePending::Work { work, kind, start });
-                parked = true;
-            }
-        },
         Step::Do(work) => {
-            let resp = execute_work(shared, &mut st.core, work);
-            push_msg(shared, st, &resp);
+            // Infer the lane mask once, here; it travels with the park so
+            // the shard claim and the held lanes cannot drift apart.
+            let mask = crate::server::lane_mask_for(shared, &work);
+            if mask == 0 {
+                // In-unit slices (ops, unpinned queries) run on whichever
+                // worker is handy; bind the thread to the session's unit for
+                // the slice so journaling and claim routing follow the unit,
+                // not the thread.
+                let resp = match &st.unit {
+                    Some(unit) => {
+                        let core = &mut st.core;
+                        shared
+                            .db
+                            .db()
+                            .with_unit_bound(&unit.token, |_| execute_work(shared, core, work, 0))
+                    }
+                    None => execute_work(shared, &mut st.core, work, 0),
+                };
+                push_msg(shared, st, &resp);
+            } else {
+                let mut park = LanePark {
+                    what: LanePending::Work { work, kind, start },
+                    mask,
+                    held: Vec::new(),
+                };
+                if advance_acquire(rx, conn.token, &mut park) {
+                    let LanePending::Work { work, .. } = park.what else {
+                        unreachable!("park built with Work")
+                    };
+                    let resp = execute_work(shared, &mut st.core, work, mask);
+                    push_msg(shared, st, &resp);
+                    release_guards(park.held, pump);
+                } else {
+                    st.pending = Some(park);
+                    parked = true;
+                }
+            }
         }
     }
     drop(scope);

@@ -135,6 +135,11 @@ pub fn render_prometheus_exposition(server: &MetricsSnapshot, storage: &StatsSna
         "Bytes copied cloning image nodes (structure only, not payloads).",
         storage.image_bytes_copied,
     );
+    counter(
+        "prometheus_storage_units_2pc_total",
+        "Cross-shard units settled with a two-phase prepare/decide round.",
+        storage.units_2pc,
+    );
 
     let mut gauge = |name: &str, help: &str, value: u64| {
         let _ = writeln!(out, "# HELP {name} {help}");
@@ -151,6 +156,56 @@ pub fn render_prometheus_exposition(server: &MetricsSnapshot, storage: &StatsSna
         "Accepted connections waiting for a free worker (blocking mode) or a ready slot (event mode).",
         server.accept_queue_depth,
     );
+    gauge(
+        "prometheus_server_shards",
+        "Writer lanes / shard logs this server runs (1 = unsharded).",
+        server.shards as u64,
+    );
+
+    // Per-shard breakdowns, labelled shard="k". The aggregate counters
+    // above keep their unlabelled names, so single-shard dashboards are
+    // untouched and sharded ones can sum or drill down.
+    if !server.per_shard.is_empty() {
+        type ShardSpec = (
+            &'static str,
+            &'static str,
+            &'static str,
+            fn(&crate::metrics::ShardMetrics) -> u64,
+        );
+        let per_shard: [ShardSpec; 4] = [
+            (
+                "prometheus_server_shard_lane_depth",
+                "Writers holding or queued for this shard's lane.",
+                "gauge",
+                |s| s.lane_depth,
+            ),
+            (
+                "prometheus_storage_shard_snapshot_swaps_total",
+                "Immutable snapshot publications on this shard.",
+                "counter",
+                |s| s.snapshot_swaps,
+            ),
+            (
+                "prometheus_storage_shard_image_bytes_copied_total",
+                "Bytes copied cloning image nodes on this shard.",
+                "counter",
+                |s| s.image_bytes_copied,
+            ),
+            (
+                "prometheus_storage_shard_units_2pc_total",
+                "Two-phase units this shard participated in.",
+                "counter",
+                |s| s.units_2pc,
+            ),
+        ];
+        for (name, help, kind, value) in per_shard {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {kind}");
+            for (k, s) in server.per_shard.iter().enumerate() {
+                let _ = writeln!(out, "{name}{{shard=\"{k}\"}} {}", value(s));
+            }
+        }
+    }
 
     let _ = writeln!(
         out,
@@ -261,7 +316,13 @@ pub fn render_prometheus_exposition(server: &MetricsSnapshot, storage: &StatsSna
             let _ = writeln!(out, "# HELP {name} {help}");
             let _ = writeln!(out, "# TYPE {name} gauge");
             for f in &server.replication {
-                let _ = writeln!(out, "{name}{{follower=\"{}\"}} {}", f.follower, value(f));
+                let _ = writeln!(
+                    out,
+                    "{name}{{follower=\"{}\",shard=\"{}\"}} {}",
+                    f.follower,
+                    f.shard,
+                    value(f)
+                );
             }
         }
     }
@@ -296,13 +357,30 @@ mod tests {
         server.latency_by_class = vec![("query".into(), query_hist)];
         server.replication = vec![FollowerLag {
             follower: "replica-a".into(),
+            shard: 0,
             next_offset: 100,
             log_len: 400,
             lag_bytes: 300,
             last_poll_age_us: 1_500,
         }];
+        server.shards = 2;
+        server.per_shard = vec![
+            crate::metrics::ShardMetrics {
+                lane_depth: 1,
+                snapshot_swaps: 7,
+                image_bytes_copied: 64,
+                units_2pc: 2,
+            },
+            crate::metrics::ShardMetrics {
+                lane_depth: 0,
+                snapshot_swaps: 3,
+                image_bytes_copied: 32,
+                units_2pc: 2,
+            },
+        ];
         let storage = StatsSnapshot {
             commits: 4,
+            units_2pc: 4,
             ..StatsSnapshot::default()
         };
         let text = render_prometheus_exposition(&server, &storage);
@@ -325,11 +403,18 @@ mod tests {
             text.contains("prometheus_server_request_class_latency_us_count{class=\"query\"} 5")
         );
         assert!(text.contains(
-            "prometheus_server_replication_follower_lag_bytes{follower=\"replica-a\"} 300"
+            "prometheus_server_replication_follower_lag_bytes{follower=\"replica-a\",shard=\"0\"} 300"
         ));
         assert!(text.contains(
-            "prometheus_server_replication_follower_next_offset{follower=\"replica-a\"} 100"
+            "prometheus_server_replication_follower_next_offset{follower=\"replica-a\",shard=\"0\"} 100"
         ));
+        // Shard-labelled breakdowns alongside unlabelled aggregates.
+        assert!(text.contains("prometheus_server_shards 2"));
+        assert!(text.contains("prometheus_storage_units_2pc_total 4"));
+        assert!(text.contains("prometheus_server_shard_lane_depth{shard=\"0\"} 1"));
+        assert!(text.contains("prometheus_storage_shard_snapshot_swaps_total{shard=\"1\"} 3"));
+        assert!(text.contains("prometheus_storage_shard_units_2pc_total{shard=\"0\"} 2"));
+        assert!(text.contains("prometheus_storage_shard_image_bytes_copied_total{shard=\"1\"} 32"));
         // Every non-comment line is "name[{labels}] value".
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(line.split_whitespace().count(), 2, "malformed line: {line}");

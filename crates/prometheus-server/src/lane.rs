@@ -83,6 +83,14 @@ impl TicketLane {
         lock(&self.state).serving
     }
 
+    /// Outstanding tickets: drawn but not yet released (the current holder,
+    /// if any, plus everyone queued behind it). 0 = the lane is free. This
+    /// is the `lane_depth` gauge the metrics surface exports per shard.
+    pub fn depth(&self) -> u64 {
+        let state = lock(&self.state);
+        state.next - state.serving
+    }
+
     /// Claim `ticket` without blocking: `Some` exactly when `ticket` is at
     /// the head of the queue right now. The returned guard owns an `Arc` to
     /// the lane, so it can be parked in per-connection state and dropped

@@ -101,10 +101,11 @@ pub struct ServerMetrics {
     class_latency: [[AtomicU64; LATENCY_BUCKETS]; REQUEST_CLASSES.len()],
     class_count: [AtomicU64; REQUEST_CLASSES.len()],
     class_sum_us: [AtomicU64; REQUEST_CLASSES.len()],
-    /// Replication followers by name: cursor and horizon at their last poll,
-    /// for per-follower lag in `stats` and the prometheus exposition. Cold
-    /// path (one update per poll), so a plain mutex is fine here.
-    followers: Mutex<HashMap<String, FollowerTrack>>,
+    /// Replication followers by (name, shard): cursor and horizon at their
+    /// last poll of that shard's log, for per-follower lag in `stats` and
+    /// the prometheus exposition. Cold path (one update per poll), so a
+    /// plain mutex is fine here.
+    followers: Mutex<HashMap<(String, u32), FollowerTrack>>,
 }
 
 #[derive(Debug)]
@@ -138,12 +139,12 @@ impl ServerMetrics {
         self.class_sum_us[class].fetch_add(us, Ordering::Relaxed);
     }
 
-    /// Record a replication follower's poll: its cursor after the batch and
-    /// the committed horizon it was served against.
-    pub fn record_follower_poll(&self, follower: &str, next_offset: u64, log_len: u64) {
+    /// Record a replication follower's poll of one shard's log: its cursor
+    /// after the batch and the committed horizon it was served against.
+    pub fn record_follower_poll(&self, follower: &str, shard: u32, next_offset: u64, log_len: u64) {
         let mut followers = self.followers.lock().expect("follower map poisoned");
         followers.insert(
-            follower.to_string(),
+            (follower.to_string(), shard),
             FollowerTrack {
                 next_offset,
                 log_len,
@@ -213,17 +214,20 @@ impl ServerMetrics {
                 let followers = self.followers.lock().expect("follower map poisoned");
                 let mut lags: Vec<FollowerLag> = followers
                     .iter()
-                    .map(|(name, t)| FollowerLag {
+                    .map(|((name, shard), t)| FollowerLag {
                         follower: name.clone(),
+                        shard: *shard,
                         next_offset: t.next_offset,
                         log_len: t.log_len,
                         lag_bytes: t.log_len.saturating_sub(t.next_offset),
                         last_poll_age_us: t.last_poll.elapsed().as_micros() as u64,
                     })
                     .collect();
-                lags.sort_by(|a, b| a.follower.cmp(&b.follower));
+                lags.sort_by(|a, b| (&a.follower, a.shard).cmp(&(&b.follower, b.shard)));
                 lags
             },
+            shards: 1,
+            per_shard: Vec::new(),
         }
     }
 }
@@ -258,15 +262,38 @@ pub struct MetricsSnapshot {
     /// (protocol v4).
     pub latency_by_class: Vec<(String, LatencyHistogram)>,
     /// Per-follower replication lag as of each follower's last poll, sorted
-    /// by follower name (protocol v4; empty when nothing replicates).
+    /// by (follower name, shard) (protocol v4; one entry per polled shard
+    /// since v7; empty when nothing replicates).
     pub replication: Vec<FollowerLag>,
+    /// Number of store shards behind this server (protocol v7).
+    pub shards: u32,
+    /// Per-shard observability, one entry per shard in shard order
+    /// (protocol v7). Aggregate counters above and in the storage snapshot
+    /// are totals across shards; these break the contended ones down.
+    pub per_shard: Vec<ShardMetrics>,
 }
 
-/// One replication follower's position as the primary last saw it.
+/// One shard's slice of the contended counters (protocol v7).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ShardMetrics {
+    /// Sessions queued or holding this shard's writer lane right now.
+    pub lane_depth: u64,
+    /// Snapshot publications on this shard's store.
+    pub snapshot_swaps: u64,
+    /// Bytes copied publishing this shard's image.
+    pub image_bytes_copied: u64,
+    /// Cross-shard (two-phase) units this shard participated in.
+    pub units_2pc: u64,
+}
+
+/// One replication follower's position on one shard's log, as the primary
+/// last saw it.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct FollowerLag {
     /// The follower's self-chosen stable name.
     pub follower: String,
+    /// The member shard this cursor tracks (protocol v7).
+    pub shard: u32,
     /// Byte cursor the follower will poll from next.
     pub next_offset: u64,
     /// Committed log length it was last served against.
@@ -385,6 +412,7 @@ mod tests {
             Request::Bye,
             Request::ReplicaPoll {
                 follower: String::new(),
+                shard: 0,
                 epoch: 0,
                 offset: 0,
                 max_bytes: 0,
@@ -453,20 +481,27 @@ mod tests {
     #[test]
     fn follower_polls_surface_as_lag() {
         let m = ServerMetrics::default();
-        m.record_follower_poll("replica-b", 100, 400);
-        m.record_follower_poll("replica-a", 400, 400);
+        m.record_follower_poll("replica-b", 0, 100, 400);
+        m.record_follower_poll("replica-a", 0, 400, 400);
         let snap = m.snapshot(&ExecStatsSnapshot::default());
         assert_eq!(snap.replication.len(), 2);
-        // Sorted by follower name for stable exposition output.
+        // Sorted by (follower, shard) for stable exposition output.
         assert_eq!(snap.replication[0].follower, "replica-a");
         assert_eq!(snap.replication[0].lag_bytes, 0);
         assert_eq!(snap.replication[1].follower, "replica-b");
         assert_eq!(snap.replication[1].lag_bytes, 300);
         // A later poll replaces the entry, never duplicates it.
-        m.record_follower_poll("replica-b", 400, 400);
+        m.record_follower_poll("replica-b", 0, 400, 400);
         let snap = m.snapshot(&ExecStatsSnapshot::default());
         assert_eq!(snap.replication.len(), 2);
         assert_eq!(snap.replication[1].lag_bytes, 0);
+        // One cursor per polled shard: the same follower on another shard
+        // is its own entry, in shard order.
+        m.record_follower_poll("replica-b", 1, 10, 50);
+        let snap = m.snapshot(&ExecStatsSnapshot::default());
+        assert_eq!(snap.replication.len(), 3);
+        assert_eq!(snap.replication[2].shard, 1);
+        assert_eq!(snap.replication[2].lag_bytes, 40);
     }
 
     #[test]

@@ -62,7 +62,14 @@ use crate::slowlog::SlowLogEntry;
 /// decode the enlarged `Stats` response. No request/response variants
 /// changed — the event-driven server speaks the same frames as the
 /// blocking one.
-pub const PROTOCOL_VERSION: u16 = 6;
+///
+/// v7: sharding — [`Request::ReplicaPoll`] gained `shard` (followers keep
+/// one cursor per shard log), the storage `StatsSnapshot` gained
+/// `units_2pc`, and [`crate::metrics::MetricsSnapshot`] gained `shards`
+/// plus per-shard counters (`shard_lane_depth`, `shard_snapshot_swaps`,
+/// `shard_image_bytes_copied`, `shard_units_2pc`). Positional codec, so
+/// v6 clients cannot decode the enlarged messages.
+pub const PROTOCOL_VERSION: u16 = 7;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -103,11 +110,14 @@ pub enum Request {
     Shutdown,
     /// Close this session politely.
     Bye,
-    /// A replication follower asks for committed log frames from `offset`
-    /// within log `epoch`, batched to roughly `max_bytes`. `follower` is a
-    /// stable name the primary uses for per-follower lag accounting.
+    /// A replication follower asks for committed log frames of one member
+    /// `shard` from `offset` within that shard's log `epoch`, batched to
+    /// roughly `max_bytes`. `follower` is a stable name the primary uses
+    /// for per-follower lag accounting; followers keep an independent
+    /// `(epoch, offset)` cursor per shard.
     ReplicaPoll {
         follower: String,
+        shard: u32,
         epoch: u64,
         offset: u64,
         max_bytes: u64,
@@ -348,6 +358,7 @@ mod tests {
             Request::Bye,
             Request::ReplicaPoll {
                 follower: "replica-1".into(),
+                shard: 1,
                 epoch: 2,
                 offset: 4096,
                 max_bytes: 1 << 20,

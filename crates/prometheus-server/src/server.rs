@@ -50,7 +50,7 @@ use crate::core::{SessionCore, Step, Work};
 use crate::error::{ErrorKind, ServerError, ServerResult};
 use crate::frame::{read_msg, write_msg};
 use crate::lane::{LaneGuard, TicketLane};
-use crate::metrics::{MetricsSnapshot, ServerMetrics, REQUEST_KINDS};
+use crate::metrics::{MetricsSnapshot, ServerMetrics, ShardMetrics, REQUEST_KINDS};
 use crate::protocol::{MutationOp, ReplicaStatusInfo, Request, Response, WireRows};
 use crate::replica::ReplicaInfo;
 use crate::slowlog::{SlowLog, SlowLogEntry};
@@ -129,6 +129,13 @@ pub struct ServerConfig {
     /// rolled back, and the `sessions_reaped` counter is bumped. `None`
     /// (the default) never reaps.
     pub idle_timeout: Option<Duration>,
+    /// Number of writer lanes — one per store shard. Must equal the shard
+    /// count of the database being served (open it with
+    /// `Prometheus::open_sharded`); [`serve`] refuses a mismatch. Mutations
+    /// claim only the lanes of the shards they touch, so batches bound for
+    /// different shards commit in parallel; streamed units, PCL
+    /// installation and compaction still claim every lane.
+    pub shards: usize,
 }
 
 impl Default for ServerConfig {
@@ -145,6 +152,7 @@ impl Default for ServerConfig {
             max_connections: 0,
             metrics_http_addr: None,
             idle_timeout: None,
+            shards: 1,
         }
     }
 }
@@ -252,6 +260,12 @@ impl ServerConfigBuilder {
         self
     }
 
+    /// Writer lanes, one per store shard (must match the served database).
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.cfg.shards = shards;
+        self
+    }
+
     /// Validate and produce the config.
     ///
     /// Rejected combinations: an empty bind address; `workers == 0` in
@@ -280,6 +294,12 @@ impl ServerConfigBuilder {
                 "unit_idle_timeout must be non-zero (every unit would time out instantly)".into(),
             ));
         }
+        if cfg.shards == 0 || cfg.shards > 64 {
+            return Err(ServerError::Config(format!(
+                "shards must be 1..=64, got {}",
+                cfg.shards
+            )));
+        }
         if let Some(idle) = cfg.idle_timeout {
             if idle.is_zero() {
                 return Err(ServerError::Config(
@@ -307,11 +327,15 @@ pub(crate) struct Shared {
     /// instance across all sessions, so every session shares every other
     /// session's cached plans.
     pub(crate) executor: Executor,
-    /// The writer lane: serialises every mutating request in FIFO arrival
-    /// order, preserving the engine's single-writer discipline across
-    /// sessions without letting any session barge the queue. Behind an
-    /// `Arc` so the event loop can park owned guards in connection state.
-    pub(crate) writer_lane: Arc<TicketLane>,
+    /// The writer lanes, one per store shard: each serialises the mutating
+    /// requests bound for its shard in FIFO arrival order, preserving the
+    /// engine's single-writer-per-shard discipline across sessions without
+    /// letting any session barge a queue. Mutations that span (or might
+    /// span) several shards claim every affected lane in ascending index
+    /// order — a holder of lane `j` only ever waits on lanes `> j`, so
+    /// cross-session acquisition cannot deadlock. Behind `Arc`s so the
+    /// event loop can park owned guards in connection state.
+    pub(crate) writer_lanes: Vec<Arc<TicketLane>>,
     /// Idle deadline for streamed units holding the lane.
     pub(crate) unit_idle_timeout: Duration,
     /// Idle deadline for whole sessions (the reaper); `None` never reaps.
@@ -354,6 +378,14 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 /// (Linux only). `config.metrics_http_addr` additionally serves `GET
 /// /metrics` in either mode.
 pub fn serve(db: Prometheus, config: ServerConfig) -> ServerResult<ServerHandle> {
+    let store_shards = db.db().store().shard_count();
+    if config.shards != store_shards {
+        return Err(ServerError::Config(format!(
+            "config.shards = {} but the database has {store_shards} shard(s); \
+             open it with Prometheus::open_sharded({store_shards}) or fix the config",
+            config.shards
+        )));
+    }
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let parallelism = if config.parallelism == 0 {
@@ -378,7 +410,9 @@ pub fn serve(db: Prometheus, config: ServerConfig) -> ServerResult<ServerHandle>
         db,
         metrics: ServerMetrics::default(),
         executor,
-        writer_lane: Arc::new(TicketLane::new()),
+        writer_lanes: (0..store_shards)
+            .map(|_| Arc::new(TicketLane::new()))
+            .collect(),
         unit_idle_timeout: config.unit_idle_timeout,
         idle_timeout: config.idle_timeout,
         recorder,
@@ -658,16 +692,112 @@ pub(crate) fn kind_code(kind: &str) -> u64 {
     REQUEST_KINDS.iter().position(|k| *k == kind).unwrap_or(0) as u64
 }
 
-/// Acquire the writer lane, timing the queue wait as a `lane_wait` span:
-/// `c0` is the ticket distance at draw time (holders ahead in the FIFO),
-/// `c1 = 1` marks a real acquisition — pinned queries record a synthetic
-/// zero-wait span with `c1 = 0` instead, see `profile_query`.
-fn acquire_lane(shared: &Shared) -> LaneGuard<'_> {
+/// A mask claiming every writer lane.
+pub(crate) fn all_lanes_mask(shared: &Shared) -> u64 {
+    if shared.writer_lanes.len() == 64 {
+        u64::MAX
+    } else {
+        (1u64 << shared.writer_lanes.len()) - 1
+    }
+}
+
+/// Acquire the writer lanes in `mask`, timing the queue waits as one
+/// `lane_wait` span: `c0` is the largest ticket distance at draw time
+/// (holders ahead in a FIFO), `c1 = 1` marks a real acquisition — pinned
+/// queries record a synthetic zero-wait span with `c1 = 0` instead, see
+/// `profile_query`.
+///
+/// Lanes are acquired strictly in ascending index order, and each lane's
+/// ticket is drawn only after the previous lane is *held* — the resource
+/// ordering that makes cross-session multi-lane acquisition deadlock-free
+/// (a holder of lane `j` only ever waits on lanes `> j`).
+fn acquire_lanes<'a>(shared: &'a Shared, mask: u64) -> Vec<LaneGuard<'a>> {
     let span = shared.recorder.span(Stage::LaneWait);
-    let (ticket, distance) = shared.writer_lane.ticket_with_distance();
-    let guard = shared.writer_lane.wait(ticket);
-    span.finish(distance, 1);
-    guard
+    let mut guards = Vec::new();
+    let mut worst = 0u64;
+    for (k, lane) in shared.writer_lanes.iter().enumerate() {
+        if mask & (1u64 << k) == 0 {
+            continue;
+        }
+        let (ticket, distance) = lane.ticket_with_distance();
+        worst = worst.max(distance);
+        guards.push(lane.wait(ticket));
+    }
+    span.finish(worst, 1);
+    guards
+}
+
+/// The writer lanes `work` must hold, as a shard mask (0 = none). Streamed
+/// unit ops never reach this — their lanes are held for the whole unit.
+pub(crate) fn lane_mask_for(shared: &Shared, work: &Work) -> u64 {
+    match work {
+        // PCL installation changes what every future mutation does, and
+        // compaction rewrites each shard's log: both quiesce every lane.
+        Work::InstallPcl { .. } | Work::Compact => all_lanes_mask(shared),
+        Work::UnitBatch { ops } => batch_lane_mask(shared, ops),
+        _ => 0,
+    }
+}
+
+/// Infer which shards a batch can touch, as a lane mask. Conservative by
+/// construction: an under-inclusive mask would let two sessions write the
+/// same shard concurrently, so anything unpredictable widens to every lane
+/// (deletes cascade through relationships on arbitrary shards; installed
+/// rules may fire repair actions anywhere). The store-level claim check is
+/// the backstop — a write routed outside the unit's claim fails the commit
+/// loudly rather than escaping — but the masks here are meant to never
+/// trip it.
+pub(crate) fn batch_lane_mask(shared: &Shared, ops: &[MutationOp]) -> u64 {
+    let store = shared.db.db().store();
+    let all = all_lanes_mask(shared);
+    if store.shard_count() == 1 || !shared.db.rules().rules().is_empty() {
+        return all;
+    }
+    let mut mask = 0u64;
+    let mut creations = false;
+    for op in ops {
+        match op {
+            MutationOp::CreateObject { .. } | MutationOp::CreateClassification { .. } => {
+                creations = true;
+            }
+            MutationOp::SetAttr { oid, .. } => {
+                mask |= 1u64 << store.shard_of_oid(*oid);
+            }
+            MutationOp::CreateRelationship {
+                origin,
+                destination,
+                ..
+            } => {
+                mask |= 1u64 << store.shard_of_oid(*origin);
+                mask |= 1u64 << store.shard_of_oid(*destination);
+                creations = true; // the relationship record itself
+            }
+            MutationOp::AddEdgeToClassification {
+                classification,
+                rel,
+            } => {
+                mask |= 1u64 << store.shard_of_oid(*classification);
+                mask |= 1u64 << store.shard_of_oid(*rel);
+            }
+            // Deletes cascade (dependent destinations, incident
+            // relationships, synonym dissolution in the meta keyspace) to
+            // shards no static inspection can bound.
+            MutationOp::DeleteObject { .. } | MutationOp::DeleteRelationship { .. } => {
+                return all;
+            }
+        }
+    }
+    if creations && mask == 0 {
+        // Pure creations: home the whole batch on one round-robin shard.
+        // Inside the unit, claim-aware OID allocation keeps every created
+        // record on the claimed shard.
+        mask = 1u64 << store.next_home_hint();
+    }
+    if mask == 0 {
+        all
+    } else {
+        mask
+    }
 }
 
 /// What the outer session loop should do after a request.
@@ -750,11 +880,17 @@ fn run_session(shared: &Arc<Shared>, id: u64, stream: TcpStream) -> ServerResult
             // in-process API blocking on the lane.
             Step::OpenUnit => send(shared, &mut writer, &Response::Ack).map(|_| Flow::EnterUnit),
             Step::Do(work) => {
-                let resp = if work.needs_lane() {
-                    let _lane = acquire_lane(shared);
-                    execute_work(shared, &mut core, work)
+                // Infer the lane mask once, here, and execute under exactly
+                // those lanes. The same mask becomes the unit's shard claim:
+                // recomputing it inside `execute_work` would advance the
+                // round-robin home hint a second time and could home a
+                // creation batch on a shard whose lane we do not hold.
+                let mask = lane_mask_for(shared, &work);
+                let resp = if mask != 0 {
+                    let _lanes = acquire_lanes(shared, mask);
+                    execute_work(shared, &mut core, work, mask)
                 } else {
-                    execute_work(shared, &mut core, work)
+                    execute_work(shared, &mut core, work, 0)
                 };
                 send(shared, &mut writer, &resp).map(|_| Flow::Continue)
             }
@@ -810,13 +946,20 @@ fn db_err(message: String) -> Response {
 
 /// Execute one [`Work`] item against the database and observability state.
 ///
-/// Both transports call this with the writer lane already held where
-/// [`Work::needs_lane`] demands it. Error **counting** happens when the
-/// response is sent (see [`count_response`]), not here, so a work item
-/// executed on either transport lands in the same counter exactly once.
-/// `UnitCommit`/`UnitAbort` never reach this function — the drivers settle
-/// unit tokens themselves.
-pub(crate) fn execute_work(shared: &Shared, core: &mut SessionCore, work: Work) -> Response {
+/// Both transports call this with the writer lanes named by `claim_mask`
+/// already held (the mask [`lane_mask_for`] computed at dispatch — passed in
+/// rather than recomputed so the batch's shard claim and the held lanes
+/// cannot drift apart). Error **counting** happens when the response is sent
+/// (see [`count_response`]), not here, so a work item executed on either
+/// transport lands in the same counter exactly once. `UnitCommit`/
+/// `UnitAbort` never reach this function — the drivers settle unit tokens
+/// themselves.
+pub(crate) fn execute_work(
+    shared: &Shared,
+    core: &mut SessionCore,
+    work: Work,
+    claim_mask: u64,
+) -> Response {
     match work {
         Work::Query { pool, pinned } => query_response(shared, core, &pool, pinned),
         Work::SetContext { classification } => match &classification {
@@ -839,7 +982,7 @@ pub(crate) fn execute_work(shared: &Shared, core: &mut SessionCore, work: Work) 
         },
         Work::UnitBatch { ops } => {
             let db = shared.db.db();
-            let result = db.in_unit_scope(|db| {
+            let result = db.in_unit_scope_on(claim_mask, |db| {
                 let mut created = Vec::with_capacity(ops.len());
                 for op in &ops {
                     created.push(apply_op(db, op)?.unwrap_or(Oid::NIL));
@@ -873,22 +1016,31 @@ pub(crate) fn execute_work(shared: &Shared, core: &mut SessionCore, work: Work) 
         },
         Work::ReplicaPoll {
             follower,
+            shard,
             epoch,
             offset,
             max_bytes,
         } => {
-            // Serve committed frames straight off the log file: the store
-            // reads below its flushed horizon without the inner lock, so a
-            // polling follower never contends with writers. `None` means the
-            // cursor no longer matches this log (compaction bumped the
-            // epoch, or the offsets diverged) — tell the follower to resync
-            // from scratch rather than guess.
+            // Serve committed frames straight off the requested shard's log
+            // file: the member store reads below its flushed horizon without
+            // the inner lock, so a polling follower never contends with
+            // writers. `None` means the cursor no longer matches this log
+            // (compaction bumped the epoch, or the offsets diverged) — tell
+            // the follower to resync from scratch rather than guess.
+            let sharded = shared.db.db().store();
+            if shard as usize >= sharded.shard_count() {
+                return db_err(format!(
+                    "replica poll for shard {shard} but this database has {} shard(s)",
+                    sharded.shard_count()
+                ));
+            }
             let span = shared.recorder.span(Stage::ReplicaPoll);
-            let store = shared.db.db().store();
+            let store = sharded.shard(shard as usize);
             match store.read_frames(epoch, offset, max_bytes) {
                 Ok(Some(batch)) => {
                     shared.metrics.record_follower_poll(
                         &follower,
+                        shard,
                         batch.next_offset,
                         batch.log_len,
                     );
@@ -906,7 +1058,9 @@ pub(crate) fn execute_work(shared: &Shared, core: &mut SessionCore, work: Work) 
                 Ok(None) => {
                     let epoch = store.log_epoch();
                     let log_len = store.committed_log_len();
-                    shared.metrics.record_follower_poll(&follower, 0, log_len);
+                    shared
+                        .metrics
+                        .record_follower_poll(&follower, shard, 0, log_len);
                     span.finish(0, log_len);
                     Response::ReplicaReset { epoch, log_len }
                 }
@@ -937,17 +1091,19 @@ pub(crate) fn unit_op_response(db: &Database, op: &MutationOp) -> Response {
     }
 }
 
-/// Streamed unit of work: the session holds the writer lane from `UnitBegin`
-/// until the unit settles — or until the connection drops or goes silent
-/// past the idle deadline, in which cases the unit is rolled back before the
-/// lane is released.
+/// Streamed unit of work: the session holds **every** writer lane from
+/// `UnitBegin` until the unit settles — or until the connection drops or
+/// goes silent past the idle deadline, in which cases the unit is rolled
+/// back before the lanes are released. Streamed ops arrive one frame at a
+/// time, so no shard mask can be inferred up front; the all-shards claim is
+/// the honest one.
 fn run_unit(
     shared: &Arc<Shared>,
     core: &mut SessionCore,
     reader: &mut BufReader<TcpStream>,
     writer: &mut BufWriter<TcpStream>,
 ) -> ServerResult<()> {
-    let _lane = acquire_lane(shared);
+    let _lanes = acquire_lanes(shared, all_lanes_mask(shared));
     let db = shared.db.db();
     // While this session holds the lane, silence is billed: arm a read
     // timeout so a stalled client cannot block queued writers forever.
@@ -1002,7 +1158,7 @@ fn run_unit(
                 send(shared, writer, &Response::Ack).map(|_| true)
             }
             Step::Do(work) => {
-                let resp = execute_work(shared, core, work);
+                let resp = execute_work(shared, core, work, all_lanes_mask(shared));
                 send(shared, writer, &resp).map(|_| false)
             }
             Step::Reply(resp) => send(shared, writer, &resp).map(|_| false),
@@ -1251,12 +1407,18 @@ fn replica_status_info(shared: &Shared) -> ReplicaStatusInfo {
             resyncs: info.status.resyncs(),
         },
         None => {
+            // Sum the commit horizon across every shard log; the epoch
+            // reported is shard 0's (each shard keeps its own epoch, but
+            // compaction bumps them together, and single-shard databases —
+            // the common case — have exactly one).
             let store = shared.db.db().store();
-            let len = store.committed_log_len();
+            let len: u64 = (0..store.shard_count())
+                .map(|k| store.shard(k).committed_log_len())
+                .sum();
             ReplicaStatusInfo {
                 role: "primary".into(),
                 primary: None,
-                epoch: store.log_epoch(),
+                epoch: store.shard(0).log_epoch(),
                 log_len: len,
                 applied_offset: len,
                 caught_up_age_us: 0,
@@ -1269,14 +1431,29 @@ fn replica_status_info(shared: &Shared) -> ReplicaStatusInfo {
 /// Server counters plus the query executor's, as one wire-ready snapshot.
 pub(crate) fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
     let mut snap = shared.metrics.snapshot(&shared.executor.stats());
-    // Lag is measured against the commit horizon *now*, not the horizon at
-    // the follower's last poll: a follower that fully drained its last batch
-    // is still behind by whatever committed since.
-    let committed = shared.db.db().store().committed_log_len();
+    let store = shared.db.db().store();
+    // Lag is measured against the shard's commit horizon *now*, not the
+    // horizon at the follower's last poll: a follower that fully drained its
+    // last batch is still behind by whatever committed since.
     for f in &mut snap.replication {
-        f.log_len = f.log_len.max(committed);
+        if (f.shard as usize) < store.shard_count() {
+            let committed = store.shard(f.shard as usize).committed_log_len();
+            f.log_len = f.log_len.max(committed);
+        }
         f.lag_bytes = f.log_len.saturating_sub(f.next_offset);
     }
+    snap.shards = store.shard_count() as u32;
+    snap.per_shard = store
+        .per_shard_stats()
+        .into_iter()
+        .enumerate()
+        .map(|(k, s)| ShardMetrics {
+            lane_depth: shared.writer_lanes[k].depth(),
+            snapshot_swaps: s.snapshot_swaps,
+            image_bytes_copied: s.image_bytes_copied,
+            units_2pc: s.units_2pc,
+        })
+        .collect();
     snap
 }
 

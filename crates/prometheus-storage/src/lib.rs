@@ -28,6 +28,7 @@ pub mod error;
 pub mod log;
 pub mod oid;
 pub mod pmap;
+pub mod shard;
 pub mod stats;
 pub mod store;
 
@@ -36,6 +37,9 @@ pub use error::{StorageError, StorageResult};
 pub use log::LogRecord;
 pub use oid::{Oid, OidAllocator};
 pub use pmap::{PMap, Touch};
+pub use shard::{
+    ClaimGuard, RouteRule, ShardRouting, ShardSnapshot, ShardedStore, ShardedTxn, MAX_SHARDS,
+};
 pub use stats::{Stats, StatsSnapshot};
 pub use store::{
     FrameBatch, Keyspace, ReplayState, ReplicaApply, Snapshot, Store, StoreOptions, Txn,

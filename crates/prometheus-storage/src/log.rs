@@ -63,6 +63,22 @@ pub enum LogRecord {
     /// A unit of work settled. Recovery applies the group's transactions only
     /// when `committed` is true; a missing or false seal discards them all.
     UnitEnd { unit: u64, committed: bool },
+    /// Two-phase commit, phase one: this shard's portion of a cross-shard
+    /// unit is complete and durable. `gid` is the global unit id (the
+    /// coordinator shard's unit id) and `coordinator` the shard index whose
+    /// log carries the authoritative [`LogRecord::UnitDecision`]. A log that
+    /// ends after this frame but before the matching `UnitEnd` is *in doubt*:
+    /// recovery must consult the coordinator instead of presuming abort.
+    UnitPrepared {
+        unit: u64,
+        gid: u64,
+        coordinator: u32,
+    },
+    /// Two-phase commit decision record, written (and fsynced) only on the
+    /// coordinator shard before any participant seals. Its presence is the
+    /// commit point: a prepared unit whose coordinator log lacks a decision
+    /// for `gid` is presumed aborted.
+    UnitDecision { gid: u64, committed: bool },
 }
 
 impl LogRecord {
@@ -75,7 +91,10 @@ impl LogRecord {
             | LogRecord::Delete { txn, .. }
             | LogRecord::KvPut { txn, .. }
             | LogRecord::KvDelete { txn, .. } => *txn,
-            LogRecord::UnitBegin { unit } | LogRecord::UnitEnd { unit, .. } => *unit,
+            LogRecord::UnitBegin { unit }
+            | LogRecord::UnitEnd { unit, .. }
+            | LogRecord::UnitPrepared { unit, .. } => *unit,
+            LogRecord::UnitDecision { gid, .. } => *gid,
         }
     }
 }

@@ -1,0 +1,1182 @@
+//! Sharded store: the OID space partitioned across N [`Store`] instances.
+//!
+//! Each shard is a complete [`Store`] — its own redo log, epoch sidecar,
+//! working image and published `Arc` snapshot — so per-shard commits proceed
+//! in parallel with no shared writer state. Placement is deterministic:
+//!
+//! * a record lives on shard `oid % n`;
+//! * an ordered-keyspace entry lives on the shard of the OID embedded in its
+//!   key ([`RouteRule`]), chosen per keyspace by the object layer so that an
+//!   object's record and its index entries co-locate — creating an object is
+//!   a single-shard transaction;
+//! * keyspaces with no embedded OID (metadata) pin to shard 0.
+//!
+//! Reads compose: point reads route, ordered scans k-way-merge the per-shard
+//! cursors — per-shard maps are disjoint and individually sorted, so the
+//! merged stream is in global key order, byte-identical to a single store's.
+//!
+//! Cross-shard units of work settle through two-phase commit over the
+//! per-shard logs: every participant durably appends `UnitPrepared`, the
+//! coordinator (lowest participating shard) durably appends `UnitDecision` —
+//! the commit point — and then every participant seals with `UnitEnd`. A
+//! crash leaves at worst prepared-but-unsealed tails, which
+//! [`ShardedStore::open_with`] resolves against the coordinator's decision
+//! record (absence of a decision means abort — *presumed abort*).
+
+use crate::error::{StorageError, StorageResult};
+use crate::oid::Oid;
+use crate::pmap::Cursor;
+use crate::stats::{Stats, StatsSnapshot};
+use crate::store::{Keyspace, Snapshot, Store, StoreOptions};
+use bytes::Bytes;
+use prometheus_trace::Recorder;
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Maximum shard count: unit shard-claims are a `u64` bitmask.
+pub const MAX_SHARDS: usize = 64;
+
+/// How entries of one keyspace map to shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteRule {
+    /// Every key pins to shard 0 (fixed-key metadata keyspaces).
+    ShardZero,
+    /// The owning OID is the key's trailing 8 big-endian bytes
+    /// (extent and attribute-index keys). Shorter keys pin to shard 0.
+    TrailingOid,
+    /// The owning OID is the key's leading 8 big-endian bytes
+    /// (relationship-endpoint and classification-edge keys).
+    LeadingOid,
+}
+
+/// Per-keyspace routing table. The object layer builds one that matches its
+/// index key encodings; the default routes every keyspace by trailing OID.
+#[derive(Clone)]
+pub struct ShardRouting {
+    rules: [RouteRule; 256],
+}
+
+impl std::fmt::Debug for ShardRouting {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ShardRouting")
+    }
+}
+
+impl Default for ShardRouting {
+    fn default() -> Self {
+        ShardRouting {
+            rules: [RouteRule::TrailingOid; 256],
+        }
+    }
+}
+
+impl ShardRouting {
+    /// The default table with specific keyspaces overridden.
+    pub fn with_rules(overrides: &[(u8, RouteRule)]) -> Self {
+        let mut routing = ShardRouting::default();
+        for (ks, rule) in overrides {
+            routing.rules[*ks as usize] = *rule;
+        }
+        routing
+    }
+
+    /// The rule for one keyspace.
+    pub fn rule(&self, keyspace: Keyspace) -> RouteRule {
+        self.rules[keyspace.0 as usize]
+    }
+
+    fn shard_of(&self, keyspace: Keyspace, key: &[u8], n: usize) -> usize {
+        if n == 1 {
+            return 0;
+        }
+        let oid = match self.rules[keyspace.0 as usize] {
+            RouteRule::ShardZero => return 0,
+            RouteRule::TrailingOid => {
+                let Some(tail) = key.len().checked_sub(8) else {
+                    return 0;
+                };
+                u64::from_be_bytes(key[tail..].try_into().unwrap())
+            }
+            RouteRule::LeadingOid => {
+                if key.len() < 8 {
+                    return 0;
+                }
+                u64::from_be_bytes(key[..8].try_into().unwrap())
+            }
+        };
+        (oid % n as u64) as usize
+    }
+}
+
+thread_local! {
+    /// The shard-claim of the unit of work bound to this thread, as a
+    /// bitmask. Zero = no unit bound: reads use working images everywhere
+    /// (single-writer semantics, as before sharding). Non-zero: reads on
+    /// claimed shards see the unit's own writes (working image); reads on
+    /// foreign shards use the published snapshot, so a parallel unit's
+    /// unsettled writes are never observed.
+    static CLAIM: Cell<u64> = const { Cell::new(0) };
+}
+
+/// RAII restore for a thread's bound shard-claim (see [`ShardedStore::bind_claim`]).
+#[derive(Debug)]
+pub struct ClaimGuard {
+    prev: u64,
+}
+
+impl Drop for ClaimGuard {
+    fn drop(&mut self) {
+        CLAIM.with(|c| c.set(self.prev));
+    }
+}
+
+fn claimed(mask: u64, shard: usize) -> bool {
+    mask == 0 || mask & (1u64 << shard) != 0
+}
+
+/// Set this thread's shard-claim mask directly, returning the previous
+/// value. Unlike [`ShardedStore::bind_claim`] there is no RAII guard: the
+/// object layer's unit-of-work table uses this to bind a claim for the
+/// lifetime of a token (which outlives any one stack frame) and restores it
+/// on commit/abort.
+pub fn set_thread_claim(mask: u64) -> u64 {
+    CLAIM.with(|c| {
+        let prev = c.get();
+        c.set(mask);
+        prev
+    })
+}
+
+/// This thread's currently bound shard-claim mask (0 = unbound).
+pub fn thread_claim() -> u64 {
+    CLAIM.with(|c| c.get())
+}
+
+/// Whether `shard` is readable through this thread's claim with working
+/// (unit-local) state: true when unbound (legacy single-writer semantics)
+/// or when the claim covers the shard.
+pub fn claim_covers(mask: u64, shard: usize) -> bool {
+    claimed(mask, shard)
+}
+
+/// Path of shard `k`'s redo log: shard 0 keeps the store's own path (a
+/// pre-sharding log *is* shard 0 of a 1-shard store), extra shards derive
+/// sibling files.
+fn shard_log_path(path: &Path, k: usize) -> PathBuf {
+    if k == 0 {
+        path.to_path_buf()
+    } else {
+        path.with_extension(format!("shard{k}.log"))
+    }
+}
+
+fn shards_sidecar_path(path: &Path) -> PathBuf {
+    path.with_extension("shards")
+}
+
+/// N stores behind one storage surface (see the module docs).
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<Arc<Store>>,
+    routing: ShardRouting,
+    /// Per-shard stride OID allocators: shard `k` issues OIDs `≡ k (mod n)`,
+    /// so placement is derivable from the identifier alone.
+    alloc: Vec<AtomicU64>,
+    /// Round-robin cursor for home-shard selection.
+    next_home: AtomicUsize,
+}
+
+impl ShardedStore {
+    /// Open (or create) a store of `shards` partitions rooted at `path`.
+    ///
+    /// The shard count is fixed at creation and recorded in a `.shards`
+    /// sidecar; reopening with a different count is refused (resharding
+    /// requires a dump/reload). Any cross-shard unit left in doubt by a
+    /// crash between prepare and seal is resolved here, against the
+    /// coordinator shard's decision record, before the store accepts writes.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        options: StoreOptions,
+        shards: usize,
+        routing: ShardRouting,
+    ) -> StorageResult<Self> {
+        Self::open_inner(path.as_ref(), options, shards, routing, true)
+    }
+
+    /// Open as a replication follower: a prepared-but-undecided unit tail is
+    /// left buffered instead of being settled locally. The follower's log
+    /// must stay byte-identical to the primary's, and the primary's own
+    /// resolution (a `UnitDecision`/`UnitEnd` it appends on recovery) will
+    /// arrive through the replicated stream and seal the buffered group.
+    pub fn open_follower(
+        path: impl AsRef<Path>,
+        options: StoreOptions,
+        shards: usize,
+        routing: ShardRouting,
+    ) -> StorageResult<Self> {
+        Self::open_inner(path.as_ref(), options, shards, routing, false)
+    }
+
+    fn open_inner(
+        path: &Path,
+        options: StoreOptions,
+        shards: usize,
+        routing: ShardRouting,
+        resolve_in_doubt: bool,
+    ) -> StorageResult<Self> {
+        if shards == 0 || shards > MAX_SHARDS {
+            return Err(StorageError::TxnState(format!(
+                "shard count must be 1..={MAX_SHARDS}, got {shards}"
+            )));
+        }
+        let sidecar = shards_sidecar_path(path);
+        if let Ok(text) = std::fs::read_to_string(&sidecar) {
+            if let Ok(existing) = text.trim().parse::<usize>() {
+                if existing != shards {
+                    return Err(StorageError::TxnState(format!(
+                        "store at {} was created with {existing} shard(s), cannot open with {shards}",
+                        path.display()
+                    )));
+                }
+            }
+        } else if shards > 1 {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            std::fs::write(&sidecar, shards.to_string())?;
+        }
+        let members = (0..shards)
+            .map(|k| {
+                Store::open_shard_member(shard_log_path(path, k), options.clone()).map(Arc::new)
+            })
+            .collect::<StorageResult<Vec<_>>>()?;
+        let sharded = ShardedStore {
+            alloc: members
+                .iter()
+                .enumerate()
+                .map(|(k, s)| AtomicU64::new(stride_start(s.oid_high_water(), k, shards)))
+                .collect(),
+            shards: members,
+            routing,
+            next_home: AtomicUsize::new(0),
+        };
+        if resolve_in_doubt {
+            sharded.resolve_in_doubt_units()?;
+        }
+        Ok(sharded)
+    }
+
+    /// Wrap an already-open single [`Store`] as a 1-shard store — the
+    /// compatibility path for embedders that construct the store themselves.
+    pub fn from_single(store: Arc<Store>) -> Self {
+        let hwm = store.oid_high_water();
+        ShardedStore {
+            shards: vec![store],
+            routing: ShardRouting::default(),
+            alloc: vec![AtomicU64::new(hwm.max(1))],
+            next_home: AtomicUsize::new(0),
+        }
+    }
+
+    /// Settle any prepared-but-undecided unit tails left by a crash between
+    /// 2PC phases: commit when the coordinator's durable decision says so,
+    /// abort otherwise (the decision is written before any participant
+    /// seals, so its absence proves nothing committed).
+    fn resolve_in_doubt_units(&self) -> StorageResult<()> {
+        for shard in &self.shards {
+            if let Some((_unit, gid, coordinator)) = shard.in_doubt_unit() {
+                let committed = self
+                    .shards
+                    .get(coordinator as usize)
+                    .and_then(|c| c.decision_for(gid))
+                    .unwrap_or(false);
+                shard.resolve_in_doubt(committed)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One member shard (replication and observability address shards
+    /// directly).
+    pub fn shard(&self, index: usize) -> &Arc<Store> {
+        &self.shards[index]
+    }
+
+    /// All member shards, in shard order.
+    pub fn shards(&self) -> &[Arc<Store>] {
+        &self.shards
+    }
+
+    /// The shard a record with this OID lives on.
+    pub fn shard_of_oid(&self, oid: Oid) -> usize {
+        (oid.raw() % self.shards.len() as u64) as usize
+    }
+
+    /// The shard an ordered-keyspace entry with this key lives on.
+    pub fn shard_of_key(&self, keyspace: Keyspace, key: &[u8]) -> usize {
+        self.routing.shard_of(keyspace, key, self.shards.len())
+    }
+
+    /// The routing table in force.
+    pub fn routing(&self) -> &ShardRouting {
+        &self.routing
+    }
+
+    /// Allocate a fresh OID on a home shard: the lowest shard of this
+    /// thread's bound claim when the claim is a proper subset (so a masked
+    /// unit's creations land inside its claim instead of escaping to a
+    /// foreign shard and failing the commit), round-robin otherwise.
+    pub fn allocate_oid(&self) -> Oid {
+        let claim = Self::current_claim();
+        if claim != 0 && claim != self.all_shards_mask() {
+            let home = (claim.trailing_zeros() as usize).min(self.shards.len() - 1);
+            return self.allocate_oid_on(home);
+        }
+        let home = self.next_home.fetch_add(1, Ordering::Relaxed) % self.shards.len();
+        self.allocate_oid_on(home)
+    }
+
+    /// A round-robin home-shard hint for callers that must choose a single
+    /// shard *before* opening a masked unit (e.g. a batch of pure
+    /// creations). Advances the same counter as [`ShardedStore::allocate_oid`]
+    /// so batch homes spread across shards.
+    pub fn next_home_hint(&self) -> usize {
+        self.next_home.fetch_add(1, Ordering::Relaxed) % self.shards.len()
+    }
+
+    /// Allocate a fresh OID that places its record (and co-routed index
+    /// entries) on `shard`.
+    pub fn allocate_oid_on(&self, shard: usize) -> Oid {
+        let raw = self.alloc[shard].fetch_add(self.shards.len() as u64, Ordering::Relaxed);
+        let oid = Oid::from_raw(raw);
+        // Keep the member store's own high-water mark current so its commit
+        // frames persist it and recovery never re-issues the identifier.
+        self.shards[shard].observe_oid(oid);
+        oid
+    }
+
+    /// Bind this thread's unit shard-claim (see [`CLAIM`]); restored when
+    /// the guard drops. Mask semantics: bit `k` set = shard `k` belongs to
+    /// the unit bound to this thread.
+    pub fn bind_claim(&self, mask: u64) -> ClaimGuard {
+        ClaimGuard {
+            prev: CLAIM.with(|c| c.replace(mask)),
+        }
+    }
+
+    /// The claim mask bound to this thread (0 = none).
+    pub fn current_claim() -> u64 {
+        CLAIM.with(|c| c.get())
+    }
+
+    /// A mask claiming every shard.
+    pub fn all_shards_mask(&self) -> u64 {
+        if self.shards.len() == MAX_SHARDS {
+            u64::MAX
+        } else {
+            (1u64 << self.shards.len()) - 1
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Reads. On a thread with a bound claim, foreign shards are read from
+    // their published snapshots so a parallel unit's unsettled writes are
+    // never observed; claimed shards read the working image (the unit sees
+    // its own writes).
+    // -----------------------------------------------------------------
+
+    /// Read a record (see [`Store::get`]).
+    pub fn get(&self, oid: Oid) -> Option<Bytes> {
+        let s = self.shard_of_oid(oid);
+        if claimed(Self::current_claim(), s) {
+            self.shards[s].get(oid)
+        } else {
+            self.shards[s].snapshot().get(oid)
+        }
+    }
+
+    /// Whether a record exists (see [`Store::contains`]).
+    pub fn contains(&self, oid: Oid) -> bool {
+        let s = self.shard_of_oid(oid);
+        if claimed(Self::current_claim(), s) {
+            self.shards[s].contains(oid)
+        } else {
+            self.shards[s].snapshot().contains(oid)
+        }
+    }
+
+    /// Total records across shards.
+    pub fn record_count(&self) -> usize {
+        self.shards.iter().map(|s| s.record_count()).sum()
+    }
+
+    /// Read a key/value entry (see [`Store::kv_get`]).
+    pub fn kv_get(&self, keyspace: Keyspace, key: &[u8]) -> Option<Bytes> {
+        let s = self.shard_of_key(keyspace, key);
+        if claimed(Self::current_claim(), s) {
+            self.shards[s].kv_get(keyspace, key)
+        } else {
+            self.shards[s].snapshot().kv_get(keyspace, key)
+        }
+    }
+
+    /// Prefix scan merged across shards, in global key order.
+    pub fn kv_scan_prefix(&self, keyspace: Keyspace, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
+        let mask = Self::current_claim();
+        if self.shards.len() == 1 {
+            return if claimed(mask, 0) {
+                self.shards[0].kv_scan_prefix(keyspace, prefix)
+            } else {
+                self.shards[0].snapshot().kv_scan_prefix(keyspace, prefix)
+            };
+        }
+        let parts: Vec<Vec<(Bytes, Bytes)>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if claimed(mask, i) {
+                    s.kv_scan_prefix(keyspace, prefix)
+                } else {
+                    s.snapshot().kv_scan_prefix(keyspace, prefix)
+                }
+            })
+            .collect();
+        merge_sorted(parts)
+    }
+
+    /// Range scan (`lo <= key < hi`) merged across shards.
+    pub fn kv_scan_range(&self, keyspace: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Bytes, Bytes)> {
+        let mask = Self::current_claim();
+        if self.shards.len() == 1 {
+            return if claimed(mask, 0) {
+                self.shards[0].kv_scan_range(keyspace, lo, hi)
+            } else {
+                self.shards[0].snapshot().kv_scan_range(keyspace, lo, hi)
+            };
+        }
+        let parts: Vec<Vec<(Bytes, Bytes)>> = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if claimed(mask, i) {
+                    s.kv_scan_range(keyspace, lo, hi)
+                } else {
+                    s.snapshot().kv_scan_range(keyspace, lo, hi)
+                }
+            })
+            .collect();
+        merge_sorted(parts)
+    }
+
+    /// Streamed prefix scan in global key order. With several shards the
+    /// per-shard results are collected and merged first (working images
+    /// cannot be cursored without holding every store lock); the lock-free
+    /// streaming hot path is [`ShardSnapshot::kv_for_each_prefix`].
+    pub fn kv_for_each_prefix(
+        &self,
+        keyspace: Keyspace,
+        prefix: &[u8],
+        mut f: impl FnMut(&[u8], &[u8]),
+    ) {
+        if self.shards.len() == 1 && claimed(Self::current_claim(), 0) {
+            return self.shards[0].kv_for_each_prefix(keyspace, prefix, f);
+        }
+        for (k, v) in self.kv_scan_prefix(keyspace, prefix) {
+            f(&k, &v);
+        }
+    }
+
+    /// Streamed range scan in global key order (see
+    /// [`ShardedStore::kv_for_each_prefix`] for the merge caveat).
+    pub fn kv_for_each_range(
+        &self,
+        keyspace: Keyspace,
+        lo: &[u8],
+        hi: &[u8],
+        mut f: impl FnMut(&[u8], &[u8]),
+    ) {
+        if self.shards.len() == 1 && claimed(Self::current_claim(), 0) {
+            return self.shards[0].kv_for_each_range(keyspace, lo, hi, f);
+        }
+        for (k, v) in self.kv_scan_range(keyspace, lo, hi) {
+            f(&k, &v);
+        }
+    }
+
+    /// Pin a point-in-time view of every shard, in shard order.
+    pub fn snapshot(&self) -> ShardSnapshot {
+        ShardSnapshot {
+            shards: self.shards.iter().map(|s| s.snapshot()).collect(),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Writes
+    // -----------------------------------------------------------------
+
+    /// Begin a transaction whose staged writes are routed to their shards at
+    /// commit.
+    pub fn begin(&self) -> ShardedTxn<'_> {
+        ShardedTxn {
+            sharded: self,
+            staged_records: HashMap::new(),
+            staged_kv: BTreeMap::new(),
+            finished: false,
+        }
+    }
+
+    /// Run `f` inside a routed transaction, committing on `Ok`.
+    pub fn with_txn<T>(
+        &self,
+        f: impl FnOnce(&mut ShardedTxn<'_>) -> StorageResult<T>,
+    ) -> StorageResult<T> {
+        let mut txn = self.begin();
+        match f(&mut txn) {
+            Ok(value) => {
+                txn.commit()?;
+                Ok(value)
+            }
+            Err(e) => {
+                txn.abort();
+                Err(e)
+            }
+        }
+    }
+
+    /// Open a unit-of-work scope on every shard (the compatibility path:
+    /// fully serialized, exactly the pre-sharding semantics).
+    pub fn begin_unit_scope(&self) {
+        self.begin_unit_scope_on(self.all_shards_mask());
+    }
+
+    /// Settle the all-shard unit scope.
+    pub fn end_unit_scope(&self, committed: bool) -> StorageResult<()> {
+        self.end_unit_scope_on(self.all_shards_mask(), committed)
+    }
+
+    /// Open a unit-of-work scope on the shards in `mask`. The caller owns
+    /// exclusion: two live units must never claim overlapping shards (the
+    /// object layer's unit table and the server's per-shard lanes both
+    /// enforce this).
+    pub fn begin_unit_scope_on(&self, mask: u64) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            if mask & (1u64 << i) != 0 {
+                shard.begin_unit_scope();
+            }
+        }
+    }
+
+    /// Settle the unit scope over the shards in `mask`. Participants (shards
+    /// whose scope wrote frames) number two or more → two-phase commit:
+    /// prepare everywhere, decide durably on the coordinator (the lowest
+    /// participating shard), then seal everywhere. One participant → the
+    /// plain single-log seal, no extra frames.
+    pub fn end_unit_scope_on(&self, mask: u64, committed: bool) -> StorageResult<()> {
+        let participants: Vec<(usize, u64)> = self
+            .shards
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1u64 << i) != 0)
+            .filter_map(|(i, s)| s.active_unit_id().map(|u| (i, u)))
+            .collect();
+        if participants.len() >= 2 {
+            let (coordinator, gid) = participants[0];
+            for (i, _) in &participants {
+                self.shards[*i].prepare_active_unit(gid, coordinator as u32)?;
+            }
+            self.shards[coordinator].append_decision(gid, committed)?;
+            Stats::bump(&self.shards[coordinator].stats().units_2pc);
+        }
+        for (i, shard) in self.shards.iter().enumerate() {
+            if mask & (1u64 << i) != 0 {
+                shard.end_unit_scope(committed)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Compact every shard's log (refused while any unit scope is open).
+    pub fn compact(&self) -> StorageResult<()> {
+        for shard in &self.shards {
+            shard.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Install the span recorder on every shard.
+    pub fn set_recorder(&self, recorder: Recorder) {
+        for shard in &self.shards {
+            shard.set_recorder(recorder.clone());
+        }
+    }
+
+    /// The span recorder (shard 0's — they are installed identically).
+    pub fn recorder(&self) -> Recorder {
+        self.shards[0].recorder()
+    }
+
+    /// Shard 0's live counters. Layers that bump shared counters (the object
+    /// layer's entity cache) bump here so aggregate totals stay right.
+    pub fn stats(&self) -> &Arc<Stats> {
+        self.shards[0].stats()
+    }
+
+    /// Counter totals summed across shards.
+    pub fn stats_aggregate(&self) -> StatsSnapshot {
+        let mut total = StatsSnapshot::default();
+        for shard in &self.shards {
+            let s = shard.stats().snapshot();
+            total.log_appends += s.log_appends;
+            total.bytes_written += s.bytes_written;
+            total.syncs += s.syncs;
+            total.cache_hits += s.cache_hits;
+            total.cache_misses += s.cache_misses;
+            total.puts += s.puts;
+            total.deletes += s.deletes;
+            total.commits += s.commits;
+            total.aborts += s.aborts;
+            total.snapshot_swaps += s.snapshot_swaps;
+            total.image_nodes_cloned += s.image_nodes_cloned;
+            total.image_bytes_copied += s.image_bytes_copied;
+            total.units_2pc += s.units_2pc;
+        }
+        total
+    }
+
+    /// Per-shard counter snapshots, in shard order.
+    pub fn per_shard_stats(&self) -> Vec<StatsSnapshot> {
+        self.shards.iter().map(|s| s.stats().snapshot()).collect()
+    }
+
+    /// Path of shard 0's log (the store's root path).
+    pub fn path(&self) -> &Path {
+        self.shards[0].path()
+    }
+}
+
+/// Smallest OID raw value `>= max(1, hwm)` congruent to `k` modulo `n` — the
+/// stride allocator's starting point after recovery.
+fn stride_start(hwm: u64, k: usize, n: usize) -> u64 {
+    let n = n as u64;
+    let k = k as u64;
+    let floor = hwm.max(1);
+    let rem = floor % n;
+    if rem == k {
+        floor
+    } else {
+        floor + (k + n - rem) % n
+    }
+}
+
+/// Merge per-shard sorted runs into one globally sorted vector. Shard maps
+/// are key-disjoint by construction; ties (possible only through direct
+/// member-store writes) resolve lowest-shard-first.
+fn merge_sorted(mut parts: Vec<Vec<(Bytes, Bytes)>>) -> Vec<(Bytes, Bytes)> {
+    let total: usize = parts.iter().map(|p| p.len()).sum();
+    let mut out = Vec::with_capacity(total);
+    let mut idx = vec![0usize; parts.len()];
+    loop {
+        let mut min: Option<usize> = None;
+        for (i, part) in parts.iter().enumerate() {
+            if idx[i] >= part.len() {
+                continue;
+            }
+            match min {
+                None => min = Some(i),
+                Some(m) => {
+                    if part[idx[i]].0 < parts[m][idx[m]].0 {
+                        min = Some(i);
+                    }
+                }
+            }
+        }
+        let Some(m) = min else { break };
+        let entry = std::mem::take(&mut parts[m][idx[m]]);
+        idx[m] += 1;
+        out.push(entry);
+    }
+    out
+}
+
+/// An immutable, point-in-time view across every shard.
+///
+/// Pinned by [`ShardedStore::snapshot`]; one [`Snapshot`] per shard, all
+/// lock-free. Scans k-way-merge the per-shard cursors in streaming fashion,
+/// preserving global key order — query output over a sharded snapshot is
+/// byte-identical to a single-store snapshot of the same data.
+///
+/// The per-shard snapshots are pinned in shard order without a global
+/// barrier: two shards' images may be from either side of a cross-shard
+/// unit's settle instant. Crash atomicity is absolute (a unit replays all
+/// or nothing); point-in-time atomicity is per shard.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    shards: Vec<Snapshot>,
+}
+
+impl ShardSnapshot {
+    /// Wrap a single-store snapshot (1-shard compatibility).
+    pub fn from_single(snapshot: Snapshot) -> Self {
+        ShardSnapshot {
+            shards: vec![snapshot],
+        }
+    }
+
+    /// Number of shards in this view.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's pinned snapshot.
+    pub fn shard(&self, index: usize) -> &Snapshot {
+        &self.shards[index]
+    }
+
+    fn shard_of_oid(&self, oid: Oid) -> usize {
+        (oid.raw() % self.shards.len() as u64) as usize
+    }
+
+    /// Read a record as of this view.
+    pub fn get(&self, oid: Oid) -> Option<Bytes> {
+        self.shards[self.shard_of_oid(oid)].get(oid)
+    }
+
+    /// Whether a record exists as of this view.
+    pub fn contains(&self, oid: Oid) -> bool {
+        self.shards[self.shard_of_oid(oid)].contains(oid)
+    }
+
+    /// Total records as of this view.
+    pub fn record_count(&self) -> usize {
+        self.shards.iter().map(|s| s.record_count()).sum()
+    }
+
+    /// Read a key/value entry as of this view. Every shard is probed (the
+    /// view carries no routing table); shard maps are key-disjoint so at
+    /// most one answers.
+    pub fn kv_get(&self, keyspace: Keyspace, key: &[u8]) -> Option<Bytes> {
+        self.shards.iter().find_map(|s| s.kv_get(keyspace, key))
+    }
+
+    /// Prefix scan merged across shards, in global key order.
+    pub fn kv_scan_prefix(&self, keyspace: Keyspace, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
+        if self.shards.len() == 1 {
+            return self.shards[0].kv_scan_prefix(keyspace, prefix);
+        }
+        let mut out = Vec::new();
+        self.kv_for_each_prefix(keyspace, prefix, |k, v| {
+            out.push((Bytes::copy_from_slice(k), Bytes::copy_from_slice(v)));
+        });
+        out
+    }
+
+    /// Range scan (`lo <= key < hi`) merged across shards.
+    pub fn kv_scan_range(&self, keyspace: Keyspace, lo: &[u8], hi: &[u8]) -> Vec<(Bytes, Bytes)> {
+        if self.shards.len() == 1 {
+            return self.shards[0].kv_scan_range(keyspace, lo, hi);
+        }
+        let mut out = Vec::new();
+        self.kv_for_each_range(keyspace, lo, hi, |k, v| {
+            out.push((Bytes::copy_from_slice(k), Bytes::copy_from_slice(v)));
+        });
+        out
+    }
+
+    /// Stream every entry under `prefix` in global key order: a k-way merge
+    /// over the per-shard range cursors, no intermediate vectors.
+    pub fn kv_for_each_prefix(
+        &self,
+        keyspace: Keyspace,
+        prefix: &[u8],
+        mut f: impl FnMut(&[u8], &[u8]),
+    ) {
+        if self.shards.len() == 1 {
+            return self.shards[0].kv_for_each_prefix(keyspace, prefix, f);
+        }
+        let mut cursors: Vec<Cursor<'_>> = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.image.kv[keyspace.0 as usize].range(Bound::Included(prefix), Bound::Unbounded)
+            })
+            .collect();
+        let mut heads: Vec<Option<(&Bytes, &Bytes)>> = cursors
+            .iter_mut()
+            .map(|c| c.next().filter(|(k, _)| k.starts_with(prefix)))
+            .collect();
+        loop {
+            let mut min: Option<usize> = None;
+            for (i, head) in heads.iter().enumerate() {
+                if let Some((k, _)) = head {
+                    if min.is_none_or(|m| *k < heads[m].unwrap().0) {
+                        min = Some(i);
+                    }
+                }
+            }
+            let Some(m) = min else { break };
+            let (k, v) = heads[m].unwrap();
+            f(k, v);
+            heads[m] = cursors[m].next().filter(|(k, _)| k.starts_with(prefix));
+        }
+    }
+
+    /// Stream every entry with `lo <= key < hi` in global key order, merged
+    /// across the per-shard cursors.
+    pub fn kv_for_each_range(
+        &self,
+        keyspace: Keyspace,
+        lo: &[u8],
+        hi: &[u8],
+        mut f: impl FnMut(&[u8], &[u8]),
+    ) {
+        if self.shards.len() == 1 {
+            return self.shards[0].kv_for_each_range(keyspace, lo, hi, f);
+        }
+        let mut cursors: Vec<Cursor<'_>> = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.image.kv[keyspace.0 as usize].range(Bound::Included(lo), Bound::Excluded(hi))
+            })
+            .collect();
+        let mut heads: Vec<Option<(&Bytes, &Bytes)>> =
+            cursors.iter_mut().map(|c| c.next()).collect();
+        loop {
+            let mut min: Option<usize> = None;
+            for (i, head) in heads.iter().enumerate() {
+                if let Some((k, _)) = head {
+                    if min.is_none_or(|m| *k < heads[m].unwrap().0) {
+                        min = Some(i);
+                    }
+                }
+            }
+            let Some(m) = min else { break };
+            let (k, v) = heads[m].unwrap();
+            f(k, v);
+            heads[m] = cursors[m].next();
+        }
+    }
+
+    /// Whether two views pin the same published images on every shard.
+    pub fn same_version(&self, other: &ShardSnapshot) -> bool {
+        self.shards.len() == other.shards.len()
+            && self
+                .shards
+                .iter()
+                .zip(&other.shards)
+                .all(|(a, b)| a.same_version(b))
+    }
+}
+
+/// A read-write transaction over a [`ShardedStore`].
+///
+/// Staging is shard-agnostic; commit partitions the staged writes by
+/// placement. A single-shard commit is exactly a [`Txn`] commit on that
+/// member. A cross-shard commit outside a unit scope wraps itself in an
+/// implicit cross-shard unit so the parts settle atomically (2PC); inside a
+/// unit scope the parts join their shards' open groups and the enclosing
+/// unit's seal provides atomicity.
+#[derive(Debug)]
+pub struct ShardedTxn<'s> {
+    sharded: &'s ShardedStore,
+    staged_records: HashMap<Oid, Option<Bytes>>,
+    staged_kv: StagedKv,
+    finished: bool,
+}
+
+/// Staged ordered-keyspace changes: `(keyspace, key) → put(value) | delete`.
+type StagedKv = BTreeMap<(u8, Vec<u8>), Option<Vec<u8>>>;
+
+impl<'s> ShardedTxn<'s> {
+    /// Stage a record write.
+    pub fn put(&mut self, oid: Oid, bytes: impl Into<Bytes>) {
+        self.staged_records.insert(oid, Some(bytes.into()));
+    }
+
+    /// Stage a record deletion.
+    pub fn delete(&mut self, oid: Oid) {
+        self.staged_records.insert(oid, None);
+    }
+
+    /// Read a record through this transaction.
+    pub fn get(&self, oid: Oid) -> Option<Bytes> {
+        match self.staged_records.get(&oid) {
+            Some(Some(bytes)) => Some(bytes.clone()),
+            Some(None) => None,
+            None => self.sharded.get(oid),
+        }
+    }
+
+    /// Whether a record exists from this transaction's point of view.
+    pub fn contains(&self, oid: Oid) -> bool {
+        match self.staged_records.get(&oid) {
+            Some(change) => change.is_some(),
+            None => self.sharded.contains(oid),
+        }
+    }
+
+    /// Stage a key/value write.
+    pub fn kv_put(&mut self, keyspace: Keyspace, key: Vec<u8>, value: Vec<u8>) {
+        self.staged_kv.insert((keyspace.0, key), Some(value));
+    }
+
+    /// Stage a key/value deletion.
+    pub fn kv_delete(&mut self, keyspace: Keyspace, key: Vec<u8>) {
+        self.staged_kv.insert((keyspace.0, key), None);
+    }
+
+    /// Read a key/value entry through this transaction.
+    pub fn kv_get(&self, keyspace: Keyspace, key: &[u8]) -> Option<Bytes> {
+        match self.staged_kv.get(&(keyspace.0, key.to_vec())) {
+            Some(Some(v)) => Some(Bytes::copy_from_slice(v)),
+            Some(None) => None,
+            None => self.sharded.kv_get(keyspace, key),
+        }
+    }
+
+    /// Prefix scan merging committed entries with this transaction's staged
+    /// overlay.
+    pub fn kv_scan_prefix(&self, keyspace: Keyspace, prefix: &[u8]) -> Vec<(Bytes, Bytes)> {
+        let mut merged: BTreeMap<Bytes, Bytes> = self
+            .sharded
+            .kv_scan_prefix(keyspace, prefix)
+            .into_iter()
+            .collect();
+        for ((ks, key), change) in &self.staged_kv {
+            if *ks != keyspace.0 || !key.starts_with(prefix) {
+                continue;
+            }
+            match change {
+                Some(v) => {
+                    merged.insert(Bytes::copy_from_slice(key), Bytes::copy_from_slice(v));
+                }
+                None => {
+                    merged.remove(key.as_slice());
+                }
+            }
+        }
+        merged.into_iter().collect()
+    }
+
+    /// Number of staged changes (records + kv entries).
+    pub fn staged_len(&self) -> usize {
+        self.staged_records.len() + self.staged_kv.len()
+    }
+
+    /// Durably commit all staged changes, routed to their shards.
+    pub fn commit(mut self) -> StorageResult<()> {
+        if self.finished {
+            return Err(StorageError::TxnState(
+                "transaction already finished".into(),
+            ));
+        }
+        self.finished = true;
+        let n = self.sharded.shards.len();
+        if n == 1 {
+            return self.sharded.shards[0].commit_txn(&self.staged_records, &self.staged_kv);
+        }
+        // Partition the staged writes by placement.
+        let mut records: Vec<HashMap<Oid, Option<Bytes>>> = vec![HashMap::new(); n];
+        let mut kvs: Vec<StagedKv> = vec![BTreeMap::new(); n];
+        for (oid, change) in std::mem::take(&mut self.staged_records) {
+            records[self.sharded.shard_of_oid(oid)].insert(oid, change);
+        }
+        for ((ks, key), change) in std::mem::take(&mut self.staged_kv) {
+            let shard = self.sharded.shard_of_key(Keyspace(ks), &key);
+            kvs[shard].insert((ks, key), change);
+        }
+        let touched: Vec<usize> = (0..n)
+            .filter(|&i| !records[i].is_empty() || !kvs[i].is_empty())
+            .collect();
+        let claim = ShardedStore::current_claim();
+        if claim != 0 {
+            // Inside a unit of work: every touched shard must be claimed —
+            // the unit's scopes are open there and its seal is the atomic
+            // boundary. A write routed outside the claim would silently
+            // escape the unit, so fail loudly instead.
+            if let Some(outside) = touched.iter().find(|&&i| claim & (1u64 << i) == 0) {
+                return Err(StorageError::TxnState(format!(
+                    "write routed to shard {outside} outside the unit's shard claim {claim:#x}"
+                )));
+            }
+            for &i in &touched {
+                self.sharded.shards[i].commit_txn(&records[i], &kvs[i])?;
+            }
+            return Ok(());
+        }
+        match touched.len() {
+            0 => {
+                // Empty commit: preserve single-store behaviour (a Begin /
+                // Commit pair and a publication) on shard 0.
+                self.sharded.shards[0].commit_txn(&records[0], &kvs[0])
+            }
+            1 => {
+                let i = touched[0];
+                self.sharded.shards[i].commit_txn(&records[i], &kvs[i])
+            }
+            _ => {
+                // Cross-shard auto-commit: an implicit 2PC unit makes the
+                // parts one atomic group across logs.
+                let mask = touched.iter().fold(0u64, |m, &i| m | (1u64 << i));
+                self.sharded.begin_unit_scope_on(mask);
+                let mut result: StorageResult<()> = Ok(());
+                for &i in &touched {
+                    result = self.sharded.shards[i].commit_txn(&records[i], &kvs[i]);
+                    if result.is_err() {
+                        break;
+                    }
+                }
+                // Per-shard sub-commits cannot be retracted here; an append
+                // failure surfaces as an aborted unit (nothing replays).
+                let sealed = self.sharded.end_unit_scope_on(mask, result.is_ok());
+                result.and(sealed)
+            }
+        }
+    }
+
+    /// Discard all staged changes.
+    pub fn abort(mut self) {
+        self.finished = true;
+        Stats::bump(&self.sharded.shards[0].stats().aborts);
+    }
+}
+
+// Silence the unused-import warning when Txn is only referenced in docs.
+#[allow(unused_imports)]
+use crate::store::Txn as _DocTxn;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "prometheus-shard-{tag}-{}-{:?}.log",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn cleanup(path: &Path, n: usize) {
+        for k in 0..n.max(1) {
+            let p = shard_log_path(path, k);
+            let _ = std::fs::remove_file(&p);
+            let _ = std::fs::remove_file(p.with_extension("epoch"));
+        }
+        let _ = std::fs::remove_file(shards_sidecar_path(path));
+    }
+
+    #[test]
+    fn stride_start_is_congruent_and_minimal() {
+        assert_eq!(stride_start(1, 0, 4), 4);
+        assert_eq!(stride_start(1, 1, 4), 1);
+        assert_eq!(stride_start(1, 3, 4), 3);
+        assert_eq!(stride_start(9, 1, 4), 9);
+        assert_eq!(stride_start(10, 1, 4), 13);
+        assert_eq!(stride_start(0, 0, 1), 1);
+        assert_eq!(stride_start(7, 0, 1), 7);
+    }
+
+    #[test]
+    fn oids_stripe_and_route_back() {
+        let path = temp_path("stripe");
+        cleanup(&path, 4);
+        let store =
+            ShardedStore::open_with(&path, StoreOptions::default(), 4, ShardRouting::default())
+                .unwrap();
+        for k in 0..4 {
+            for _ in 0..3 {
+                let oid = store.allocate_oid_on(k);
+                assert_eq!(store.shard_of_oid(oid), k);
+            }
+        }
+        cleanup(&path, 4);
+    }
+
+    #[test]
+    fn routed_writes_read_back_and_merge_in_order(// scans must interleave shards in key order
+    ) {
+        let path = temp_path("merge");
+        cleanup(&path, 3);
+        let store =
+            ShardedStore::open_with(&path, StoreOptions::default(), 3, ShardRouting::default())
+                .unwrap();
+        let ks = Keyspace(9);
+        store
+            .with_txn(|t| {
+                for raw in 1..=9u64 {
+                    let mut key = b"k/".to_vec();
+                    key.extend_from_slice(&raw.to_be_bytes());
+                    t.kv_put(ks, key, vec![raw as u8]);
+                }
+                Ok(())
+            })
+            .unwrap();
+        let scanned = store.kv_scan_prefix(ks, b"k/");
+        assert_eq!(scanned.len(), 9);
+        let keys: Vec<_> = scanned.iter().map(|(k, _)| k.clone()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "merged scan must be in global key order");
+        // Snapshot scan agrees byte for byte.
+        let snap = store.snapshot();
+        assert_eq!(snap.kv_scan_prefix(ks, b"k/"), scanned);
+        cleanup(&path, 3);
+    }
+
+    #[test]
+    fn shard_count_mismatch_is_refused() {
+        let path = temp_path("mismatch");
+        cleanup(&path, 4);
+        drop(
+            ShardedStore::open_with(&path, StoreOptions::default(), 4, ShardRouting::default())
+                .unwrap(),
+        );
+        let err =
+            ShardedStore::open_with(&path, StoreOptions::default(), 2, ShardRouting::default());
+        assert!(err.is_err(), "reopening with a different shard count");
+        cleanup(&path, 4);
+    }
+
+    #[test]
+    fn cross_shard_txn_is_atomic_across_reopen() {
+        let path = temp_path("xatomic");
+        cleanup(&path, 2);
+        let a;
+        let b;
+        {
+            let store =
+                ShardedStore::open_with(&path, StoreOptions::default(), 2, ShardRouting::default())
+                    .unwrap();
+            a = store.allocate_oid_on(0);
+            b = store.allocate_oid_on(1);
+            store
+                .with_txn(|t| {
+                    t.put(a, b"alpha".to_vec());
+                    t.put(b, b"beta".to_vec());
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(store.stats_aggregate().units_2pc, 1);
+        }
+        let store =
+            ShardedStore::open_with(&path, StoreOptions::default(), 2, ShardRouting::default())
+                .unwrap();
+        assert_eq!(store.get(a).as_deref(), Some(&b"alpha"[..]));
+        assert_eq!(store.get(b).as_deref(), Some(&b"beta"[..]));
+        cleanup(&path, 2);
+    }
+}

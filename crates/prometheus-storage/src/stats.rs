@@ -39,6 +39,9 @@ pub struct Stats {
     /// Bytes memcpy'd cloning those nodes (entry vectors, not payloads —
     /// payload `Bytes` are refcounted and never copied).
     pub image_bytes_copied: AtomicU64,
+    /// Cross-shard units of work settled through the two-phase
+    /// prepare/decide/seal protocol (counted on the coordinator shard).
+    pub units_2pc: AtomicU64,
 }
 
 impl Stats {
@@ -69,6 +72,7 @@ impl Stats {
             snapshot_swaps: self.snapshot_swaps.load(Ordering::Relaxed),
             image_nodes_cloned: self.image_nodes_cloned.load(Ordering::Relaxed),
             image_bytes_copied: self.image_bytes_copied.load(Ordering::Relaxed),
+            units_2pc: self.units_2pc.load(Ordering::Relaxed),
         }
     }
 
@@ -87,6 +91,7 @@ impl Stats {
             &self.snapshot_swaps,
             &self.image_nodes_cloned,
             &self.image_bytes_copied,
+            &self.units_2pc,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -111,6 +116,7 @@ pub struct StatsSnapshot {
     pub snapshot_swaps: u64,
     pub image_nodes_cloned: u64,
     pub image_bytes_copied: u64,
+    pub units_2pc: u64,
 }
 
 impl StatsSnapshot {
@@ -130,6 +136,7 @@ impl StatsSnapshot {
             snapshot_swaps: self.snapshot_swaps - earlier.snapshot_swaps,
             image_nodes_cloned: self.image_nodes_cloned - earlier.image_nodes_cloned,
             image_bytes_copied: self.image_bytes_copied - earlier.image_bytes_copied,
+            units_2pc: self.units_2pc - earlier.units_2pc,
         }
     }
 

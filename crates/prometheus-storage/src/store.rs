@@ -60,9 +60,9 @@ impl Default for StoreOptions {
 /// is 257 root handles, and a commit's publication cost is O(log n) per
 /// touched key instead of O(shard).
 #[derive(Debug, Clone)]
-struct Image {
-    records: PMap,
-    kv: Vec<PMap>,
+pub(crate) struct Image {
+    pub(crate) records: PMap,
+    pub(crate) kv: Vec<PMap>,
 }
 
 impl Default for Image {
@@ -161,7 +161,9 @@ impl Image {
             LogRecord::Begin { .. }
             | LogRecord::Commit { .. }
             | LogRecord::UnitBegin { .. }
-            | LogRecord::UnitEnd { .. } => {}
+            | LogRecord::UnitEnd { .. }
+            | LogRecord::UnitPrepared { .. }
+            | LogRecord::UnitDecision { .. } => {}
         }
     }
 }
@@ -176,7 +178,7 @@ impl Image {
 /// observe a torn unit.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
-    image: Arc<Image>,
+    pub(crate) image: Arc<Image>,
 }
 
 impl Snapshot {
@@ -255,6 +257,12 @@ impl Snapshot {
 pub struct ReplayState {
     pending: HashMap<u64, Vec<LogRecord>>,
     open_unit: Option<(u64, Vec<LogRecord>)>,
+    /// `(gid, coordinator)` once the open unit's `UnitPrepared` frame has
+    /// been seen: the unit is in doubt if the log ends here.
+    prepared: Option<(u64, u32)>,
+    /// Two-phase-commit decisions observed on this log (coordinator side).
+    /// Bounded by the number of cross-shard units since the last compaction.
+    decisions: HashMap<u64, bool>,
     next_txn: u64,
     next_oid: u64,
 }
@@ -289,13 +297,34 @@ impl ReplayState {
                 // A new unit while one is still open means the previous one
                 // was never sealed: discard it.
                 self.open_unit = Some((*unit, Vec::new()));
+                self.prepared = None;
                 self.next_txn = self.next_txn.max(unit + 1);
                 Vec::new()
             }
-            LogRecord::UnitEnd { unit, committed } => match self.open_unit.take() {
-                Some((open, buffered)) if *committed && open == *unit => buffered,
-                _ => Vec::new(),
-            },
+            LogRecord::UnitEnd { unit, committed } => {
+                self.prepared = None;
+                match self.open_unit.take() {
+                    Some((open, buffered)) if *committed && open == *unit => buffered,
+                    _ => Vec::new(),
+                }
+            }
+            LogRecord::UnitPrepared {
+                unit,
+                gid,
+                coordinator,
+            } => {
+                // Phase one of a cross-shard unit: keep buffering, but mark
+                // the group so recovery treats a log ending here as in doubt
+                // rather than presuming abort.
+                if matches!(self.open_unit.as_ref(), Some((open, _)) if open == unit) {
+                    self.prepared = Some((*gid, *coordinator));
+                }
+                Vec::new()
+            }
+            LogRecord::UnitDecision { gid, committed } => {
+                self.decisions.insert(*gid, *committed);
+                Vec::new()
+            }
             other => {
                 if let Some(buf) = self.pending.get_mut(&other.txn()) {
                     buf.push(other.clone());
@@ -308,6 +337,21 @@ impl ReplayState {
     /// Unit id of a group still open mid-replay (the log ended inside it).
     pub fn open_unit_id(&self) -> Option<u64> {
         self.open_unit.as_ref().map(|(u, _)| *u)
+    }
+
+    /// `(unit, gid, coordinator)` when the open group has written its
+    /// `UnitPrepared` frame — an in-doubt unit whose fate belongs to the
+    /// coordinator shard's decision record.
+    pub fn open_unit_prepared(&self) -> Option<(u64, u64, u32)> {
+        match (self.open_unit.as_ref(), self.prepared) {
+            (Some((unit, _)), Some((gid, coordinator))) => Some((*unit, gid, coordinator)),
+            _ => None,
+        }
+    }
+
+    /// The recorded 2PC decision for global unit `gid`, if any.
+    pub fn decision(&self, gid: u64) -> Option<bool> {
+        self.decisions.get(&gid).copied()
     }
 
     /// One past the highest transaction/unit id observed.
@@ -366,6 +410,10 @@ struct Inner {
     /// Replay state carried across [`Store::apply_replicated`] calls so a
     /// follower can receive a unit of work split over many poll batches.
     replay: ReplayState,
+    /// A prepared-but-undecided unit found at the log tail by
+    /// [`Store::open_shard_member`]; `(unit, gid, coordinator)`. The shard
+    /// owner must call [`Store::resolve_in_doubt`] before accepting writes.
+    in_doubt: Option<(u64, u64, u32)>,
 }
 
 /// A durable, transactional record store.
@@ -408,7 +456,21 @@ impl Store {
 
     /// [`Store::open`] with explicit [`StoreOptions`].
     pub fn open_with(path: impl AsRef<Path>, options: StoreOptions) -> StorageResult<Self> {
-        let path = path.as_ref().to_path_buf();
+        Store::open_inner(path.as_ref(), options, false)
+    }
+
+    /// Open one member shard of a sharded store. Unlike [`Store::open`], a
+    /// log tail inside a *prepared* (2PC phase-one) unit is not presumed
+    /// aborted: the unit is left in doubt for the caller to settle against
+    /// the coordinator shard's decision record via
+    /// [`Store::resolve_in_doubt`]. Plain torn units (no prepare marker) are
+    /// still sealed aborted, exactly as a single store would.
+    pub fn open_shard_member(path: impl AsRef<Path>, options: StoreOptions) -> StorageResult<Self> {
+        Store::open_inner(path.as_ref(), options, true)
+    }
+
+    fn open_inner(path: &Path, options: StoreOptions, defer_prepared: bool) -> StorageResult<Self> {
+        let path = path.to_path_buf();
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
@@ -433,17 +495,29 @@ impl Store {
             }
         }
         let mut logw = LogWriter::open(&path, scan.valid_len)?;
+        let mut in_doubt = None;
         if let Some(unit) = replay.open_unit_id() {
-            // The log ends inside an unsealed unit (crash mid-unit). Seal it
-            // as aborted so later replays — which will see frames appended
-            // after this point — don't buffer them into the dead unit.
-            let seal = LogRecord::UnitEnd {
-                unit,
-                committed: false,
-            };
-            logw.append(&seal)?;
-            logw.sync()?;
-            replay.offer(&seal);
+            match replay.open_unit_prepared() {
+                Some(doubt) if defer_prepared => {
+                    // The tail is a prepared 2PC participant: its fate is the
+                    // coordinator's decision, not ours. Leave the group
+                    // buffered; the sharded opener resolves it immediately.
+                    in_doubt = Some(doubt);
+                }
+                _ => {
+                    // The log ends inside an unsealed unit (crash mid-unit).
+                    // Seal it as aborted so later replays — which will see
+                    // frames appended after this point — don't buffer them
+                    // into the dead unit.
+                    let seal = LogRecord::UnitEnd {
+                        unit,
+                        committed: false,
+                    };
+                    logw.append(&seal)?;
+                    logw.sync()?;
+                    replay.offer(&seal);
+                }
+            }
         }
         let next_txn = replay.next_txn().max(1);
         let next_oid = replay.next_oid().max(1);
@@ -458,6 +532,7 @@ impl Store {
                 hold_depth: 0,
                 active_unit: None,
                 replay,
+                in_doubt,
             }),
             published: RwLock::new(published),
             oids: OidAllocator::starting_at(next_oid),
@@ -531,6 +606,122 @@ impl Store {
         }
         self.publish(&inner);
         Ok(())
+    }
+
+    /// Two-phase commit, phase one: durably mark this shard's portion of a
+    /// cross-shard unit as prepared. Must be called inside the outermost
+    /// unit scope, before the decision. Returns the local unit id, or `None`
+    /// when the scope wrote no frames (a read-only participant has nothing
+    /// to prepare and nothing to recover).
+    pub fn prepare_active_unit(&self, gid: u64, coordinator: u32) -> StorageResult<Option<u64>> {
+        let mut inner = self.inner.lock();
+        debug_assert!(
+            inner.hold_depth > 0,
+            "prepare_active_unit outside a unit scope"
+        );
+        let Some(unit) = inner.active_unit else {
+            return Ok(None);
+        };
+        inner.logw.append(&LogRecord::UnitPrepared {
+            unit,
+            gid,
+            coordinator,
+        })?;
+        Stats::bump(&self.stats.log_appends);
+        if self.options.sync_on_commit {
+            inner.logw.sync()?;
+            Stats::bump(&self.stats.syncs);
+        } else {
+            inner.logw.flush()?;
+        }
+        self.committed_len
+            .store(inner.logw.len(), Ordering::Release);
+        Ok(Some(unit))
+    }
+
+    /// Two-phase commit, phase two trigger: durably record the decision for
+    /// global unit `gid`. Written only on the coordinator shard; its fsync
+    /// is the commit point of the cross-shard unit.
+    pub fn append_decision(&self, gid: u64, committed: bool) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        let record = LogRecord::UnitDecision { gid, committed };
+        inner.logw.append(&record)?;
+        inner.replay.offer(&record);
+        Stats::bump(&self.stats.log_appends);
+        if self.options.sync_on_commit {
+            inner.logw.sync()?;
+            Stats::bump(&self.stats.syncs);
+        } else {
+            inner.logw.flush()?;
+        }
+        self.committed_len
+            .store(inner.logw.len(), Ordering::Release);
+        Ok(())
+    }
+
+    /// The recorded 2PC decision for `gid` on this (coordinator) shard's
+    /// log, if any. Absence means the decision was never made durable —
+    /// presumed abort.
+    pub fn decision_for(&self, gid: u64) -> Option<bool> {
+        self.inner.lock().replay.decision(gid)
+    }
+
+    /// The `(unit, gid, coordinator)` of a prepared-but-undecided unit left
+    /// at the log tail by [`Store::open_shard_member`].
+    pub fn in_doubt_unit(&self) -> Option<(u64, u64, u32)> {
+        self.inner.lock().in_doubt
+    }
+
+    /// Settle an in-doubt unit according to the coordinator's decision:
+    /// append the seal, and on commit apply + publish the buffered group.
+    pub fn resolve_in_doubt(&self, committed: bool) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        let Some((unit, _gid, _coordinator)) = inner.in_doubt.take() else {
+            return Ok(());
+        };
+        let seal = LogRecord::UnitEnd { unit, committed };
+        inner.logw.append(&seal)?;
+        // Resolution is rare and follows a crash: always make it durable.
+        inner.logw.sync()?;
+        Stats::bump(&self.stats.log_appends);
+        Stats::bump(&self.stats.syncs);
+        self.committed_len
+            .store(inner.logw.len(), Ordering::Release);
+        let ready = inner.replay.offer(&seal);
+        if !ready.is_empty() {
+            let mut touch = Touch::default();
+            for record in ready {
+                inner.image.apply_owned(record, &mut touch);
+            }
+            Stats::add(&self.stats.image_nodes_cloned, touch.nodes_cloned);
+            Stats::add(&self.stats.image_bytes_copied, touch.bytes_copied);
+            Stats::bump(&self.stats.commits);
+            self.publish(&inner);
+        }
+        Ok(())
+    }
+
+    /// Unit id of the currently open log group, if the active scope has
+    /// written any frames yet.
+    pub fn active_unit_id(&self) -> Option<u64> {
+        self.inner.lock().active_unit
+    }
+
+    /// Raise the OID allocator's high-water mark so it never issues `oid`
+    /// or anything below it. Used by the sharded allocator, which stripes
+    /// identifiers across shards outside this store's `+1` sequence.
+    pub fn observe_oid(&self, oid: Oid) {
+        self.oids.observe(oid)
+    }
+
+    /// One past the highest OID this store has issued or observed.
+    pub fn oid_high_water(&self) -> u64 {
+        self.oids.high_water_mark()
+    }
+
+    /// The options this store was opened with.
+    pub fn options(&self) -> &StoreOptions {
+        &self.options
     }
 
     /// Install the span recorder used for commit/fsync/compact spans. The
@@ -813,6 +1004,13 @@ impl Store {
             let at = inner.logw.append(record)?;
             bytes_written += inner.logw.len() - at;
             appends += 1;
+            // A follower reopened with a prepared tail carries the unit as
+            // in-doubt until the primary's seal arrives through the stream.
+            if let LogRecord::UnitEnd { unit, .. } = record {
+                if inner.in_doubt.map(|(u, _, _)| u) == Some(*unit) {
+                    inner.in_doubt = None;
+                }
+            }
             let ready = inner.replay.offer(record);
             if !ready.is_empty() {
                 Stats::bump(&self.stats.commits);
@@ -891,7 +1089,7 @@ impl Store {
         Ok(())
     }
 
-    fn commit_txn(
+    pub(crate) fn commit_txn(
         &self,
         staged_records: &HashMap<Oid, Option<Bytes>>,
         staged_kv: &BTreeMap<(u8, Vec<u8>), Option<Vec<u8>>>,

@@ -66,8 +66,46 @@ impl Prometheus {
     /// Open with explicit storage options (e.g. `sync_on_commit: false` for
     /// benchmarking).
     pub fn open_with(path: impl AsRef<Path>, options: StoreOptions) -> DbResult<Prometheus> {
-        let store = Arc::new(Store::open_with(path, options)?);
-        let db = Arc::new(Database::open(store)?);
+        Prometheus::open_sharded(path, options, 1)
+    }
+
+    /// Open with the OID space partitioned across `shards` member stores
+    /// (1..=64). The count is fixed at creation (a `.shards` sidecar records
+    /// it; reopening with a different count is refused). Units of work with
+    /// disjoint shard claims commit in parallel, each through its own redo
+    /// log; cross-shard units settle with a two-phase prepare/decide round.
+    pub fn open_sharded(
+        path: impl AsRef<Path>,
+        options: StoreOptions,
+        shards: usize,
+    ) -> DbResult<Prometheus> {
+        let store = Arc::new(prometheus_storage::ShardedStore::open_with(
+            path,
+            options,
+            shards,
+            prometheus_object::shard_routing(),
+        )?);
+        let db = Arc::new(Database::open_sharded(store)?);
+        let engine = RuleEngine::install(&db)?;
+        Ok(Prometheus { db, engine })
+    }
+
+    /// Open as a replication follower: a crash-left prepared-but-undecided
+    /// 2PC tail is *not* settled locally (the primary's own resolution
+    /// arrives through the replicated frame stream), keeping the local logs
+    /// byte-identical to the primary's.
+    pub fn open_follower(
+        path: impl AsRef<Path>,
+        options: StoreOptions,
+        shards: usize,
+    ) -> DbResult<Prometheus> {
+        let store = Arc::new(prometheus_storage::ShardedStore::open_follower(
+            path,
+            options,
+            shards,
+            prometheus_object::shard_routing(),
+        )?);
+        let db = Arc::new(Database::open_sharded(store)?);
         let engine = RuleEngine::install(&db)?;
         Ok(Prometheus { db, engine })
     }
@@ -158,7 +196,7 @@ impl Prometheus {
     /// request and the bench harness both read it instead of reaching through
     /// `db().store()`.
     pub fn stats(&self) -> StatsSnapshot {
-        self.db.store().stats().snapshot()
+        self.db.store().stats_aggregate()
     }
 
     /// Enable change-history recording (requirement 4 traceability): every

@@ -58,6 +58,61 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
+/// Condition variable paired with [`Mutex`], mirroring parking_lot's
+/// guard-taking `wait` signature (`&mut MutexGuard`, no poison `Result`).
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically release the guard's lock and block until notified; the
+    /// lock is re-acquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        // std's wait consumes and returns the guard; replace it in place.
+        take_mut(guard, |g| {
+            self.inner.wait(g).unwrap_or_else(|p| p.into_inner())
+        });
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// Replace `*dest` through a consuming closure. The guard types here have
+/// no sensible placeholder value, so on the (impossible-by-construction)
+/// panic inside `f` the process aborts rather than exposing a hole.
+fn take_mut<T>(dest: &mut T, f: impl FnOnce(T) -> T) {
+    unsafe {
+        let old = std::ptr::read(dest);
+        let new = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(old)))
+            .unwrap_or_else(|_| std::process::abort());
+        std::ptr::write(dest, new);
+    }
+}
+
 pub struct RwLock<T: ?Sized> {
     inner: sync::RwLock<T>,
 }
