@@ -23,6 +23,11 @@
 //! target for `curl`-ing the scrape endpoint, and a convenient way to point
 //! a real Prometheus collector at the reproduction.
 //!
+//! `trace <trace-id> <addr>` prints the merged cross-shard span tree for
+//! one trace id from a running server (follower spans included when a
+//! replica is attached); `top <addr> [--interval secs] [--iterations n]`
+//! streams a live per-stage rollup view of the flight recorder.
+//!
 //! `replica <primary-addr> <data-path> [--addr ip:port] [--name s]
 //! [--shards n]` runs a read-only follower of a running primary
 //! (`--shards` must match the primary's shard count): it replays the primary's redo
@@ -52,6 +57,14 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("serve") {
         serve_section(&argv[1..]);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("trace") {
+        trace_section(&argv[1..]);
+        return;
+    }
+    if argv.first().map(String::as_str) == Some("top") {
+        top_section(&argv[1..]);
         return;
     }
     let section = argv.first().cloned().unwrap_or_else(|| "all".to_string());
@@ -663,6 +676,148 @@ fn serve_section(argv: &[String]) {
             std::thread::sleep(Duration::from_secs(3600));
         },
     }
+}
+
+/// `harness trace <trace-id> <addr>`
+///
+/// Assemble and print the merged cross-shard span tree for one trace id
+/// from a running server. The server merges follower spans over the
+/// replica connection when one is attached, so the tree shows the whole
+/// distributed execution: request framing, lane waits, 2PC prepare/decide
+/// rounds, snapshot publishes, and replica replay — all under the one
+/// 128-bit id a client stamped (or the server minted) on the wire.
+fn trace_section(argv: &[String]) {
+    use prometheus_server::{PrometheusClient, TraceId};
+
+    let (id, addr) = match argv {
+        [id, addr] => (
+            id.parse::<TraceId>().unwrap_or_else(|_| {
+                eprintln!("trace: bad trace id {id:?} (expected 1..32 hex digits)");
+                std::process::exit(2);
+            }),
+            addr.parse::<std::net::SocketAddr>().unwrap_or_else(|_| {
+                eprintln!("trace: bad address {addr:?}");
+                std::process::exit(2);
+            }),
+        ),
+        _ => {
+            eprintln!("usage: harness trace <trace-id> <addr>");
+            std::process::exit(2);
+        }
+    };
+    let mut client = PrometheusClient::connect(addr).expect("connect to server");
+    let spans = client.trace_get(id).expect("fetch trace");
+    let _ = client.close();
+    if spans.is_empty() {
+        println!("no spans recorded for trace {id} (evicted, or tracing disabled)");
+        return;
+    }
+    let events: Vec<_> = spans.iter().map(|s| s.event).collect();
+    print!("{}", prometheus_server::render_tree(&events));
+    let mut by_origin = std::collections::BTreeMap::<&str, usize>::new();
+    for s in &spans {
+        *by_origin.entry(s.origin.as_str()).or_default() += 1;
+    }
+    let origins: Vec<String> = by_origin
+        .iter()
+        .map(|(o, n)| format!("{n} from {o}"))
+        .collect();
+    println!("({} span(s): {})", spans.len(), origins.join(", "));
+}
+
+/// `harness top <addr> [--interval secs] [--iterations n]`
+///
+/// Live per-stage rollup view: every interval, fetch the server's stats
+/// over the wire and render the flight recorder's stage histograms —
+/// count, mean, and a coarse p99 read off the bucket bounds — plus the
+/// recorder's own health counters. `--iterations` bounds the run for
+/// scripted use; the default streams until killed.
+fn top_section(argv: &[String]) {
+    use prometheus_server::PrometheusClient;
+
+    let mut addr: Option<std::net::SocketAddr> = None;
+    let mut interval = 1u64;
+    let mut iterations: Option<u64> = None;
+    let mut it = argv.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--interval" => match it.next().map(|v| v.parse()) {
+                Some(Ok(s)) => interval = s,
+                _ => {
+                    eprintln!("top: --interval needs seconds");
+                    std::process::exit(2);
+                }
+            },
+            "--iterations" => match it.next().map(|v| v.parse()) {
+                Some(Ok(n)) => iterations = Some(n),
+                _ => {
+                    eprintln!("top: --iterations needs a number");
+                    std::process::exit(2);
+                }
+            },
+            other => match other.parse() {
+                Ok(a) => addr = Some(a),
+                Err(_) => {
+                    eprintln!("top: expected an addr, --interval, or --iterations; got {other}");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+    let Some(addr) = addr else {
+        eprintln!("usage: harness top <addr> [--interval secs] [--iterations n]");
+        std::process::exit(2);
+    };
+
+    let mut client = PrometheusClient::connect(addr).expect("connect to server");
+    let mut round = 0u64;
+    loop {
+        let (server, _) = client.stats().expect("fetch stats");
+        println!(
+            "-- up {}s · {} requests · recorder: {} written, {} dropped, \
+             {} evictions, {} index overflows --",
+            server.uptime_s,
+            server.requests_total(),
+            server.trace_events_written,
+            server.trace_dropped,
+            server.trace_index_evictions,
+            server.trace_index_overflows,
+        );
+        println!(
+            "{:<16} {:>10} {:>12} {:>12}",
+            "stage", "count", "mean µs", "~p99 µs"
+        );
+        for r in server.trace_rollups.iter().filter(|r| r.count > 0) {
+            // Coarse p99: the upper bound of the bucket holding the 99th
+            // percentile observation (+Inf renders as the last bound's "+").
+            let target = r.count - r.count / 100;
+            let mut seen = 0u64;
+            let mut p99 = String::from("-");
+            for (i, &n) in r.counts.iter().enumerate() {
+                seen += n;
+                if seen >= target {
+                    p99 = match r.bounds_us.get(i) {
+                        Some(b) => b.to_string(),
+                        None => format!(">{}", r.bounds_us.last().copied().unwrap_or(0)),
+                    };
+                    break;
+                }
+            }
+            println!(
+                "{:<16} {:>10} {:>12} {:>12}",
+                r.stage,
+                r.count,
+                r.mean_us(),
+                p99
+            );
+        }
+        round += 1;
+        if iterations.is_some_and(|n| round >= n) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_secs(interval));
+    }
+    let _ = client.close();
 }
 
 /// `harness stats [--format=prometheus] [addr]`

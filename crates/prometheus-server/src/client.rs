@@ -20,7 +20,7 @@ use crate::protocol::{
 use crate::slowlog::SlowLogEntry;
 use prometheus_db::{Oid, Value};
 use prometheus_storage::{LogRecord, StatsSnapshot};
-use prometheus_trace::TraceEvent;
+use prometheus_trace::{TraceEvent, TraceId};
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpStream};
 use std::thread;
@@ -55,6 +55,12 @@ pub struct PrometheusClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
     session: u64,
+    /// Trace id stamped into the next request's frame envelope
+    /// ([`TraceId::NONE`] asks the server to mint one).
+    next_trace: TraceId,
+    /// Trace id the server echoed in the last response envelope — the id the
+    /// request actually ran under, whether client-stamped or server-minted.
+    last_trace: TraceId,
 }
 
 impl PrometheusClient {
@@ -87,6 +93,8 @@ impl PrometheusClient {
             reader: BufReader::new(stream.try_clone()?),
             writer: BufWriter::new(stream),
             session: 0,
+            next_trace: TraceId::NONE,
+            last_trace: TraceId::NONE,
         };
         match client.request(Request::Hello {
             version: PROTOCOL_VERSION,
@@ -105,10 +113,27 @@ impl PrometheusClient {
         self.session
     }
 
+    /// Stamp `trace` into every subsequent request's frame envelope, making
+    /// this client the trace origin. [`TraceId::NONE`] (the default) lets
+    /// the server mint a fresh id per request instead.
+    pub fn set_trace(&mut self, trace: TraceId) {
+        self.next_trace = trace;
+    }
+
+    /// The trace id the server echoed in the last response envelope — feed
+    /// it to [`PrometheusClient::trace_get`] to fetch the request's span
+    /// tree. [`TraceId::NONE`] before any request completes (or when the
+    /// server's flight recorder is disabled).
+    pub fn last_trace_id(&self) -> TraceId {
+        self.last_trace
+    }
+
     /// One request / one response; remote errors become `ServerError::Remote`.
     fn request(&mut self, req: Request) -> ServerResult<Response> {
-        write_msg(&mut self.writer, &req)?;
-        match read_msg::<_, Response>(&mut self.reader)? {
+        write_msg(&mut self.writer, self.next_trace, &req)?;
+        let (trace, resp) = read_msg::<_, Response>(&mut self.reader)?;
+        self.last_trace = trace;
+        match resp {
             Response::Error { kind, message } => Err(ServerError::Remote { kind, message }),
             resp => Ok(resp),
         }
@@ -194,6 +219,21 @@ impl PrometheusClient {
         match self.request(Request::Trace { n })? {
             Response::Trace { events } => Ok(events),
             other => Err(unexpected("Trace", other)),
+        }
+    }
+
+    /// Assemble the merged span tree of one distributed trace: every span
+    /// the server's flight recorder still holds for `trace_id`, plus spans
+    /// fetched from the other side of a replication link when reachable.
+    /// Spans come back sorted by start time, each tagged with its origin
+    /// process.
+    pub fn trace_get(
+        &mut self,
+        trace_id: TraceId,
+    ) -> ServerResult<Vec<crate::protocol::TraceSpan>> {
+        match self.request(Request::TraceGet { trace_id })? {
+            Response::TraceTree { spans, .. } => Ok(spans),
+            other => Err(unexpected("TraceTree", other)),
         }
     }
 

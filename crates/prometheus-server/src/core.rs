@@ -113,6 +113,9 @@ pub enum Work {
     },
     /// Replication role and position.
     ReplicaStatus,
+    /// Assemble one distributed trace's span tree from the flight
+    /// recorder(s). Read-only: works on primaries and followers alike.
+    TraceGet { trace_id: prometheus_trace::TraceId },
     /// One mutation inside the open unit.
     UnitOp { op: MutationOp },
     /// Commit the open unit; the driver settles its token and then calls
@@ -314,6 +317,7 @@ impl SessionCore {
             Request::Stats => Step::Do(Work::Stats),
             Request::Trace { n } => Step::Do(Work::Trace { n }),
             Request::SlowLog { n } => Step::Do(Work::SlowLog { n }),
+            Request::TraceGet { trace_id } => Step::Do(Work::TraceGet { trace_id }),
             Request::ReplicaPoll {
                 follower,
                 shard,

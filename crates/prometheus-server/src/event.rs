@@ -56,7 +56,7 @@ use crate::server::{
     count_response, execute_work, initiate_shutdown, kind_code, metrics_snapshot, Shared,
 };
 use prometheus_db::database::UnitToken;
-use prometheus_trace::{Stage, TraceScope};
+use prometheus_trace::{Stage, TraceId, TraceScope};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -127,11 +127,13 @@ enum LanePending {
     OpenUnit,
     /// A one-shot lane-bound work item (batch, PCL install, compact); the
     /// request kind and start instant carry the latency accounting across
-    /// the park.
+    /// the park, and the adopted trace id keeps the parked work — and its
+    /// response envelope — on the request's distributed trace.
     Work {
         work: Work,
         kind: &'static str,
         start: Instant,
+        trace: TraceId,
     },
 }
 
@@ -661,10 +663,11 @@ fn flush(conn: &Conn, st: &mut ConnState) {
     }
 }
 
-/// Count and encode one response.
-fn push_msg(shared: &Shared, st: &mut ConnState, resp: &Response) {
+/// Count and encode one response, echoing the request's trace id in the
+/// response envelope.
+fn push_msg(shared: &Shared, st: &mut ConnState, trace: TraceId, resp: &Response) {
     count_response(&shared.metrics, resp);
-    if st.encoder.push(resp).is_err() {
+    if st.encoder.push(trace, resp).is_err() {
         // An unencodable response (oversized frame) desyncs the stream;
         // closing is the only honest option — same as a blocking write_msg
         // failure ending the session.
@@ -683,11 +686,10 @@ fn run_work(
     claim_mask: u64,
     kind: &'static str,
     start: Instant,
+    trace: TraceId,
 ) -> Response {
     let shared = &rx.shared;
-    let root = shared
-        .recorder
-        .span_in(Stage::Request, shared.recorder.new_trace_id(), 0);
+    let root = shared.recorder.span_in(Stage::Request, trace, 0);
     let scope = TraceScope::enter(root.trace_id(), root.id());
     let resp = execute_work(shared, core, work, claim_mask);
     drop(scope);
@@ -750,9 +752,14 @@ fn finish_park(rx: &Reactor, st: &mut ConnState, park: LanePark, pump: &mut Vec<
                 guards: park.held,
             });
         }
-        LanePending::Work { work, kind, start } => {
-            let resp = run_work(rx, &mut st.core, work, park.mask, kind, start);
-            push_msg(&rx.shared, st, &resp);
+        LanePending::Work {
+            work,
+            kind,
+            start,
+            trace,
+        } => {
+            let resp = run_work(rx, &mut st.core, work, park.mask, kind, start, trace);
+            push_msg(&rx.shared, st, trace, &resp);
             release_guards(park.held, pump);
         }
     }
@@ -848,7 +855,7 @@ fn process_db(
                 break;
             }
             match st.decoder.next_msg::<Request>() {
-                Ok(Some(req)) => handle_request(rx, conn, st, req, pump),
+                Ok(Some((wire_trace, req))) => handle_request(rx, conn, st, wire_trace, req, pump),
                 Ok(None) => break,
                 Err(e) => {
                     if matches!(e, ServerError::Frame(_) | ServerError::Codec(_)) {
@@ -897,6 +904,7 @@ fn handle_request(
     rx: &Arc<Reactor>,
     conn: &Arc<Conn>,
     st: &mut ConnState,
+    wire_trace: TraceId,
     req: Request,
     pump: &mut Vec<usize>,
 ) {
@@ -904,19 +912,21 @@ fn handle_request(
     let start = Instant::now();
     let kind = req.kind_name();
     shared.metrics.count_request(kind);
-    let root = shared
-        .recorder
-        .span_in(Stage::Request, shared.recorder.new_trace_id(), 0);
+    // Same adoption rule as the blocking transport: a client-stamped trace
+    // id wins, a blank envelope gets a minted one, and the id is echoed in
+    // every response envelope of this request.
+    let trace = crate::server::adopt_trace(&shared.recorder, wire_trace);
+    let root = shared.recorder.span_in(Stage::Request, trace, 0);
     let scope = TraceScope::enter(root.trace_id(), root.id());
     let mut parked = false;
     match st.core.on_request(req) {
-        Step::Reply(resp) => push_msg(shared, st, &resp),
+        Step::Reply(resp) => push_msg(shared, st, trace, &resp),
         Step::ReplyClose(resp) => {
-            push_msg(shared, st, &resp);
+            push_msg(shared, st, trace, &resp);
             st.closing = true;
         }
         Step::ShutdownAfter(resp) => {
-            push_msg(shared, st, &resp);
+            push_msg(shared, st, trace, &resp);
             initiate_shutdown(shared);
             st.closing = true;
         }
@@ -925,7 +935,7 @@ fn handle_request(
             // then claim or park — never block a worker on a lane. A
             // streamed unit's ops arrive one frame at a time, so no shard
             // mask can be inferred up front: claim every lane.
-            push_msg(shared, st, &Response::Ack);
+            push_msg(shared, st, trace, &Response::Ack);
             let mut park = LanePark {
                 what: LanePending::OpenUnit,
                 mask: crate::server::all_lanes_mask(shared),
@@ -955,7 +965,7 @@ fn handle_request(
                 },
             };
             st.core.unit_closed();
-            push_msg(shared, st, &resp);
+            push_msg(shared, st, trace, &resp);
             release_guards(unit.guards, pump);
         }
         Step::Do(Work::UnitAbort) => {
@@ -963,7 +973,7 @@ fn handle_request(
             shared.db.db().abort_unit(unit.token);
             shared.metrics.units_aborted.fetch_add(1, Ordering::Relaxed);
             st.core.unit_closed();
-            push_msg(shared, st, &Response::Ack);
+            push_msg(shared, st, trace, &Response::Ack);
             release_guards(unit.guards, pump);
         }
         Step::Do(work) => {
@@ -985,10 +995,15 @@ fn handle_request(
                     }
                     None => execute_work(shared, &mut st.core, work, 0),
                 };
-                push_msg(shared, st, &resp);
+                push_msg(shared, st, trace, &resp);
             } else {
                 let mut park = LanePark {
-                    what: LanePending::Work { work, kind, start },
+                    what: LanePending::Work {
+                        work,
+                        kind,
+                        start,
+                        trace,
+                    },
                     mask,
                     held: Vec::new(),
                 };
@@ -997,7 +1012,7 @@ fn handle_request(
                         unreachable!("park built with Work")
                     };
                     let resp = execute_work(shared, &mut st.core, work, mask);
-                    push_msg(shared, st, &resp);
+                    push_msg(shared, st, trace, &resp);
                     release_guards(park.held, pump);
                 } else {
                     st.pending = Some(park);

@@ -18,6 +18,12 @@ use crate::metrics::MetricsSnapshot;
 use prometheus_storage::StatsSnapshot;
 use std::fmt::Write as _;
 
+fn write_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
 /// Render server + storage counters in the Prometheus text exposition
 /// format, one metric per line, ready for a scrape endpoint or a
 /// file-based collector. Counter names follow the convention
@@ -289,6 +295,112 @@ pub fn render_prometheus_exposition(server: &MetricsSnapshot, storage: &StatsSna
         }
     }
 
+    // Process self-metrics: when the server started, how long it has been
+    // up, and what build is running. `build_info` follows the Prometheus
+    // convention of a constant `1` gauge whose labels carry the versions.
+    let _ = writeln!(
+        out,
+        "# HELP prometheus_server_start_time_seconds Unix time the server started."
+    );
+    let _ = writeln!(out, "# TYPE prometheus_server_start_time_seconds gauge");
+    let _ = writeln!(
+        out,
+        "prometheus_server_start_time_seconds {}",
+        server.start_unix_s
+    );
+    let _ = writeln!(
+        out,
+        "# HELP prometheus_server_uptime_seconds Seconds since the server started."
+    );
+    let _ = writeln!(out, "# TYPE prometheus_server_uptime_seconds gauge");
+    let _ = writeln!(out, "prometheus_server_uptime_seconds {}", server.uptime_s);
+    if !server.build_info.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP prometheus_server_build_info Constant 1; labels carry crate and protocol versions."
+        );
+        let _ = writeln!(out, "# TYPE prometheus_server_build_info gauge");
+        let labels: Vec<String> = server
+            .build_info
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{v}\""))
+            .collect();
+        let _ = writeln!(
+            out,
+            "prometheus_server_build_info{{{}}} 1",
+            labels.join(",")
+        );
+    }
+
+    // Flight-recorder health: how many span events the recorder has taken,
+    // how many it honestly dropped, and how the bounded trace index is
+    // coping. A rising drop rate means the ring is undersized for the load.
+    write_counter(
+        &mut out,
+        "prometheus_trace_events_written_total",
+        "Span events accepted by the flight recorder.",
+        server.trace_events_written,
+    );
+    write_counter(
+        &mut out,
+        "prometheus_trace_events_dropped_total",
+        "Span events dropped because the recorder ring was contended or full.",
+        server.trace_dropped,
+    );
+    write_counter(
+        &mut out,
+        "prometheus_trace_index_evictions_total",
+        "Trace-index buckets recycled to admit newer traces.",
+        server.trace_index_evictions,
+    );
+    write_counter(
+        &mut out,
+        "prometheus_trace_index_overflows_total",
+        "Span events not indexed because their trace's slot list was full.",
+        server.trace_index_overflows,
+    );
+
+    // Per-stage rollup histograms aggregated lock-free from span events:
+    // one `{stage=…}` family over fixed µs bounds. Only stages that have
+    // observed at least one span are emitted, keeping quiet servers terse.
+    let live: Vec<_> = server
+        .trace_rollups
+        .iter()
+        .filter(|r| r.count > 0)
+        .collect();
+    if !live.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP prometheus_trace_stage_duration_us Span duration (µs) by pipeline stage."
+        );
+        let _ = writeln!(out, "# TYPE prometheus_trace_stage_duration_us histogram");
+        for r in live {
+            let stage = &r.stage;
+            let mut cumulative = 0u64;
+            for (i, &n) in r.counts.iter().enumerate() {
+                cumulative += n;
+                let le = match r.bounds_us.get(i) {
+                    Some(bound) => bound.to_string(),
+                    None => "+Inf".into(),
+                };
+                let _ = writeln!(
+                    out,
+                    "prometheus_trace_stage_duration_us_bucket{{stage=\"{stage}\",le=\"{le}\"}} {cumulative}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "prometheus_trace_stage_duration_us_sum{{stage=\"{stage}\"}} {}",
+                r.sum_us
+            );
+            let _ = writeln!(
+                out,
+                "prometheus_trace_stage_duration_us_count{{stage=\"{stage}\"}} {}",
+                r.count
+            );
+        }
+    }
+
     if !server.replication.is_empty() {
         type GaugeSpec = (
             &'static str,
@@ -419,5 +531,243 @@ mod tests {
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             assert_eq!(line.split_whitespace().count(), 2, "malformed line: {line}");
         }
+    }
+
+    /// A deterministic snapshot pair that exercises every family the
+    /// renderer knows: plain counters, gauges, shard/follower labels,
+    /// histograms, build_info, and the trace rollups.
+    fn full_snapshots() -> (MetricsSnapshot, StatsSnapshot) {
+        let mut server = MetricsSnapshot {
+            connections_accepted: 7,
+            connections_active: 2,
+            accept_queue_depth: 1,
+            sessions_reaped: 3,
+            protocol_errors: 1,
+            db_errors: 2,
+            units_committed: 11,
+            units_aborted: 1,
+            units_rolled_back_on_disconnect: 1,
+            units_timed_out: 1,
+            plan_cache_hits: 20,
+            plan_cache_misses: 4,
+            parallel_morsels: 16,
+            requests_by_kind: vec![("ping".into(), 2), ("query".into(), 24)],
+            shards: 2,
+            start_unix_s: 1_700_000_000,
+            uptime_s: 3_600,
+            build_info: vec![
+                ("version".into(), "0.1.0".into()),
+                ("protocol".into(), "8".into()),
+            ],
+            trace_events_written: 900,
+            trace_dropped: 5,
+            trace_index_evictions: 2,
+            trace_index_overflows: 1,
+            ..MetricsSnapshot::default()
+        };
+        server.latency.bounds_us = LATENCY_BOUNDS_US.to_vec();
+        server.latency.counts = vec![0; LATENCY_BUCKETS];
+        server.latency.counts[0] = 9;
+        server.latency.count = 9;
+        server.latency.sum_us = 450;
+        server.per_shard = vec![
+            crate::metrics::ShardMetrics {
+                lane_depth: 1,
+                snapshot_swaps: 6,
+                image_bytes_copied: 640,
+                units_2pc: 3,
+            },
+            crate::metrics::ShardMetrics {
+                lane_depth: 0,
+                snapshot_swaps: 5,
+                image_bytes_copied: 320,
+                units_2pc: 3,
+            },
+        ];
+        server.replication = vec![FollowerLag {
+            follower: "replica-a".into(),
+            shard: 1,
+            next_offset: 2_048,
+            log_len: 4_096,
+            lag_bytes: 2_048,
+            last_poll_age_us: 500,
+        }];
+        server.trace_rollups = vec![
+            prometheus_trace::StageRollup {
+                stage: "lane_wait".into(),
+                bounds_us: prometheus_trace::ROLLUP_BOUNDS_US.to_vec(),
+                counts: vec![4, 2, 0, 0, 0, 0, 0, 0, 1],
+                count: 7,
+                sum_us: 1_234,
+            },
+            prometheus_trace::StageRollup {
+                stage: "unit_prepare".into(),
+                bounds_us: prometheus_trace::ROLLUP_BOUNDS_US.to_vec(),
+                counts: vec![3, 0, 0, 0, 0, 0, 0, 0, 0],
+                count: 3,
+                sum_us: 90,
+            },
+            // A silent stage must be omitted from the exposition entirely.
+            prometheus_trace::StageRollup {
+                stage: "replica_apply".into(),
+                bounds_us: prometheus_trace::ROLLUP_BOUNDS_US.to_vec(),
+                counts: vec![0; 9],
+                count: 0,
+                sum_us: 0,
+            },
+        ];
+        let storage = StatsSnapshot {
+            log_appends: 40,
+            bytes_written: 8_192,
+            syncs: 12,
+            cache_hits: 300,
+            cache_misses: 30,
+            commits: 11,
+            aborts: 2,
+            snapshot_swaps: 11,
+            image_nodes_cloned: 88,
+            image_bytes_copied: 960,
+            units_2pc: 3,
+            ..StatsSnapshot::default()
+        };
+        (server, storage)
+    }
+
+    /// Satellite 1: every exposed series has `# HELP` and `# TYPE` lines,
+    /// verified by actually parsing the exposition rather than spot checks.
+    /// The parser enforces the text-format grammar: HELP before TYPE, TYPE
+    /// before samples, valid metric kinds, histogram suffix rules, and no
+    /// sample without a preceding family declaration.
+    #[test]
+    fn every_series_is_declared_with_help_and_type() {
+        use std::collections::HashMap;
+        let (server, storage) = full_snapshots();
+        let text = render_prometheus_exposition(&server, &storage);
+
+        let mut helped: HashMap<String, bool> = HashMap::new(); // name -> typed?
+        let mut types: HashMap<String, String> = HashMap::new();
+        let mut sampled: Vec<String> = Vec::new();
+        for line in text.lines() {
+            assert!(!line.trim().is_empty(), "blank line in exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().expect("HELP has a name");
+                assert!(
+                    rest.len() > name.len() + 1,
+                    "HELP without help text: {line}"
+                );
+                assert!(
+                    helped.insert(name.to_string(), false).is_none(),
+                    "duplicate HELP for {name}"
+                );
+            } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.split_whitespace();
+                let name = it.next().expect("TYPE has a name");
+                let kind = it.next().expect("TYPE has a kind");
+                assert!(
+                    matches!(kind, "counter" | "gauge" | "histogram"),
+                    "unknown metric kind: {line}"
+                );
+                assert_eq!(
+                    helped.get(name),
+                    Some(&false),
+                    "TYPE without preceding HELP (or duplicate TYPE): {name}"
+                );
+                helped.insert(name.to_string(), true);
+                types.insert(name.to_string(), kind.to_string());
+            } else {
+                let mut parts = line.split_whitespace();
+                let series = parts.next().expect("sample has a series");
+                let value = parts.next().expect("sample has a value");
+                assert!(parts.next().is_none(), "trailing tokens: {line}");
+                value.parse::<f64>().expect("sample value is numeric");
+                let base = series.split('{').next().unwrap();
+                // Histogram samples attach _bucket/_sum/_count to the family.
+                let family = ["_bucket", "_sum", "_count"]
+                    .iter()
+                    .find_map(|suf| base.strip_suffix(suf))
+                    .filter(|stripped| {
+                        types.get(*stripped).map(String::as_str) == Some("histogram")
+                    })
+                    .unwrap_or(base);
+                assert_eq!(
+                    helped.get(family),
+                    Some(&true),
+                    "sample without HELP+TYPE declaration: {line}"
+                );
+                if types[family] != "histogram" {
+                    assert_eq!(base, family, "suffix on non-histogram series: {line}");
+                }
+                sampled.push(family.to_string());
+            }
+        }
+        // No family is declared and then never sampled.
+        for name in helped.keys() {
+            assert!(
+                sampled.iter().any(|s| s == name),
+                "family {name} declared but has no samples"
+            );
+        }
+        // Sanity: the families this PR added are all present.
+        for required in [
+            "prometheus_server_start_time_seconds",
+            "prometheus_server_uptime_seconds",
+            "prometheus_server_build_info",
+            "prometheus_trace_events_written_total",
+            "prometheus_trace_events_dropped_total",
+            "prometheus_trace_index_evictions_total",
+            "prometheus_trace_index_overflows_total",
+            "prometheus_trace_stage_duration_us",
+        ] {
+            assert!(types.contains_key(required), "missing family {required}");
+        }
+    }
+
+    /// Satellite 4: golden-file test. The exposition of a fixed snapshot is
+    /// byte-for-byte stable — ordering included — so dashboards and scrape
+    /// configs never see series silently renamed or reordered. Regenerate
+    /// with `UPDATE_GOLDEN=1 cargo test -p prometheus-server golden`.
+    #[test]
+    fn exposition_matches_golden_file() {
+        let (server, storage) = full_snapshots();
+        let text = render_prometheus_exposition(&server, &storage);
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("testdata")
+            .join("exposition.golden.txt");
+        if std::env::var_os("UPDATE_GOLDEN").is_some() {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &text).unwrap();
+            return;
+        }
+        let golden = std::fs::read_to_string(&path)
+            .expect("golden file missing; run with UPDATE_GOLDEN=1 to create it");
+        assert_eq!(
+            text, golden,
+            "exposition drifted from the golden file; if intentional, \
+             regenerate with UPDATE_GOLDEN=1"
+        );
+    }
+
+    #[test]
+    fn stage_rollups_render_cumulative_buckets() {
+        let (server, storage) = full_snapshots();
+        let text = render_prometheus_exposition(&server, &storage);
+        // lane_wait counts [4,2,...,1] → cumulative 4, 6, …, +Inf = 7.
+        assert!(text.contains(
+            "prometheus_trace_stage_duration_us_bucket{stage=\"lane_wait\",le=\"50\"} 4"
+        ));
+        assert!(text.contains(
+            "prometheus_trace_stage_duration_us_bucket{stage=\"lane_wait\",le=\"100\"} 6"
+        ));
+        assert!(text.contains(
+            "prometheus_trace_stage_duration_us_bucket{stage=\"lane_wait\",le=\"+Inf\"} 7"
+        ));
+        assert!(text.contains("prometheus_trace_stage_duration_us_count{stage=\"lane_wait\"} 7"));
+        assert!(text.contains("prometheus_trace_stage_duration_us_sum{stage=\"lane_wait\"} 1234"));
+        // The silent replica_apply rollup is omitted.
+        assert!(!text.contains("stage=\"replica_apply\""));
+        // Self-metrics and build info.
+        assert!(text.contains("prometheus_server_start_time_seconds 1700000000"));
+        assert!(text.contains("prometheus_server_uptime_seconds 3600"));
+        assert!(text.contains("prometheus_server_build_info{version=\"0.1.0\",protocol=\"8\"} 1"));
     }
 }

@@ -1,13 +1,22 @@
 //! Framed transport: length-prefixed, CRC-protected binary frames.
 //!
 //! The wire frame deliberately mirrors the redo-log frame of
-//! `prometheus_storage::log` so the whole system speaks one envelope format:
+//! `prometheus_storage::log` so the whole system speaks one envelope format;
+//! since protocol v8 the body opens with a fixed 128-bit trace id so every
+//! request and response carries its distributed trace context without
+//! touching the message payloads:
 //!
 //! ```text
-//! +----------------+----------------+------------------+
-//! | len: u32 LE    | crc32: u32 LE  | payload (len B)  |
-//! +----------------+----------------+------------------+
+//! +-------------+---------------+----------------+----------------+------------------+
+//! | len: u32 LE | crc32: u32 LE | trace_hi: u64  | trace_lo: u64  | payload          |
+//! +-------------+---------------+----------------+----------------+------------------+
+//! |             |               |<------------- len bytes, CRC-protected ----------->|
 //! ```
+//!
+//! `len` counts the trace words plus the payload (so it is always ≥ 16) and
+//! the CRC covers both — a flipped trace bit is caught exactly like a
+//! flipped payload bit. An all-zero trace id is [`TraceId::NONE`]: "no
+//! trace context" (a client that doesn't care, or tracing disabled).
 //!
 //! The payload is a [`crate::protocol`] message encoded with
 //! `prometheus_storage::codec`. As in the log reader, a maximum frame length
@@ -17,35 +26,68 @@
 use crate::error::{ServerError, ServerResult};
 use prometheus_storage::codec;
 use prometheus_storage::crc::crc32;
+use prometheus_trace::TraceId;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 use std::io::{Read, Write};
 
-/// Maximum payload the reader accepts — same guard idea as the redo log's
-/// `MAX_FRAME_LEN`, sized for query results rather than log records.
+/// Maximum body (trace words + payload) the reader accepts — same guard
+/// idea as the redo log's `MAX_FRAME_LEN`, sized for query results rather
+/// than log records.
 pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
 
-/// Encode `msg` and write it as one frame.
-pub fn write_msg<W: Write, T: Serialize>(w: &mut W, msg: &T) -> ServerResult<()> {
+/// Bytes of trace context at the head of every frame body.
+const TRACE_BYTES: usize = 16;
+
+/// Frame `msg` under `trace` into `out` (shared by the blocking writer and
+/// the sans-io encoder so the two transports cannot drift).
+fn frame_into<T: Serialize>(out: &mut Vec<u8>, trace: TraceId, msg: &T) -> ServerResult<()> {
     let payload = codec::to_bytes(msg)?;
-    if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+    let body_len = TRACE_BYTES as u64 + payload.len() as u64;
+    if body_len > MAX_FRAME_LEN as u64 {
         return Err(ServerError::Frame(format!(
             "message of {} bytes exceeds maximum frame size",
             payload.len()
         )));
     }
-    w.write_all(&(payload.len() as u32).to_le_bytes())?;
-    w.write_all(&crc32(&payload).to_le_bytes())?;
-    w.write_all(&payload)?;
+    let mut body = Vec::with_capacity(body_len as usize);
+    body.extend_from_slice(&trace.hi.to_le_bytes());
+    body.extend_from_slice(&trace.lo.to_le_bytes());
+    body.extend_from_slice(&payload);
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    Ok(())
+}
+
+/// Split a CRC-verified frame body into its trace id and payload.
+fn split_body(body: &[u8]) -> ServerResult<(TraceId, &[u8])> {
+    if body.len() < TRACE_BYTES {
+        return Err(ServerError::Frame(format!(
+            "frame body of {} bytes is shorter than the trace envelope",
+            body.len()
+        )));
+    }
+    let hi = u64::from_le_bytes(body[0..8].try_into().unwrap());
+    let lo = u64::from_le_bytes(body[8..16].try_into().unwrap());
+    Ok((TraceId::from_words(hi, lo), &body[TRACE_BYTES..]))
+}
+
+/// Encode `msg` and write it as one frame stamped with `trace`
+/// ([`TraceId::NONE`] for "no trace context").
+pub fn write_msg<W: Write, T: Serialize>(w: &mut W, trace: TraceId, msg: &T) -> ServerResult<()> {
+    let mut frame = Vec::new();
+    frame_into(&mut frame, trace, msg)?;
+    w.write_all(&frame)?;
     w.flush()?;
     Ok(())
 }
 
-/// Read one frame and decode it as a `T`.
+/// Read one frame and decode it as its trace id plus a `T`.
 ///
 /// A clean EOF *between* frames maps to [`ServerError::Disconnected`]; EOF
 /// inside a frame (a torn header or payload) is a [`ServerError::Frame`].
-pub fn read_msg<R: Read, T: DeserializeOwned>(r: &mut R) -> ServerResult<T> {
+pub fn read_msg<R: Read, T: DeserializeOwned>(r: &mut R) -> ServerResult<(TraceId, T)> {
     let mut header = [0u8; 8];
     read_exact_or_disconnect(r, &mut header, true)?;
     let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
@@ -55,12 +97,14 @@ pub fn read_msg<R: Read, T: DeserializeOwned>(r: &mut R) -> ServerResult<T> {
             "declared frame length {len} exceeds maximum {MAX_FRAME_LEN}"
         )));
     }
-    let mut payload = vec![0u8; len as usize];
-    read_exact_or_disconnect(r, &mut payload, false)?;
-    if crc32(&payload) != crc {
+    let mut body = vec![0u8; len as usize];
+    read_exact_or_disconnect(r, &mut body, false)?;
+    if crc32(&body) != crc {
         return Err(ServerError::Frame("frame failed CRC check".into()));
     }
-    codec::from_bytes(&payload).map_err(|e| ServerError::Codec(e.to_string()))
+    let (trace, payload) = split_body(&body)?;
+    let msg = codec::from_bytes(payload).map_err(|e| ServerError::Codec(e.to_string()))?;
+    Ok((trace, msg))
 }
 
 /// Incremental, sans-io frame decoder: feed it bytes in whatever chunks the
@@ -72,25 +116,32 @@ pub fn read_msg<R: Read, T: DeserializeOwned>(r: &mut R) -> ServerResult<T> {
 /// and needs to know whether a whole frame has arrived yet. `FrameDecoder`
 /// buffers input across calls and applies exactly the same validation as
 /// `read_msg`: the [`MAX_FRAME_LEN`] guard against hostile length words and
-/// the CRC check over the payload. Decode results are therefore identical to
+/// the CRC check over the body. Decode results are therefore identical to
 /// the blocking reader's for any split of the byte stream (property-tested
 /// in `tests/frame_streaming.rs`).
 ///
 /// ```
 /// use prometheus_server::{FrameDecoder, Request};
 /// use prometheus_server::frame::write_msg;
+/// use prometheus_trace::TraceId;
 ///
 /// let mut wire: Vec<u8> = Vec::new();
-/// write_msg(&mut wire, &Request::Ping).unwrap();
-/// write_msg(&mut wire, &Request::Stats).unwrap();
+/// write_msg(&mut wire, TraceId::NONE, &Request::Ping).unwrap();
+/// write_msg(&mut wire, TraceId::from_words(0, 7), &Request::Stats).unwrap();
 ///
 /// let mut dec = FrameDecoder::new();
 /// let (head, tail) = wire.split_at(3); // arbitrary split mid-header
 /// dec.extend(head);
 /// assert!(dec.next_msg::<Request>().unwrap().is_none()); // incomplete
 /// dec.extend(tail);
-/// assert_eq!(dec.next_msg::<Request>().unwrap(), Some(Request::Ping));
-/// assert_eq!(dec.next_msg::<Request>().unwrap(), Some(Request::Stats));
+/// assert_eq!(
+///     dec.next_msg::<Request>().unwrap(),
+///     Some((TraceId::NONE, Request::Ping))
+/// );
+/// assert_eq!(
+///     dec.next_msg::<Request>().unwrap(),
+///     Some((TraceId::from_words(0, 7), Request::Stats))
+/// );
 /// assert!(dec.at_boundary()); // clean EOF here would be a polite close
 /// ```
 #[derive(Debug, Default)]
@@ -118,13 +169,14 @@ impl FrameDecoder {
         self.buf.extend_from_slice(bytes);
     }
 
-    /// Decode the next complete frame, if one is buffered.
+    /// Decode the next complete frame, if one is buffered, as its trace id
+    /// plus the message.
     ///
     /// `Ok(None)` means more bytes are needed. Errors mirror [`read_msg`]:
     /// an oversized length word or CRC mismatch is a fatal
     /// [`ServerError::Frame`] / [`ServerError::Codec`] — the stream is
     /// desynchronised and the connection must close.
-    pub fn next_msg<T: DeserializeOwned>(&mut self) -> ServerResult<Option<T>> {
+    pub fn next_msg<T: DeserializeOwned>(&mut self) -> ServerResult<Option<(TraceId, T)>> {
         let avail = &self.buf[self.start..];
         if avail.len() < 8 {
             return Ok(None);
@@ -140,13 +192,14 @@ impl FrameDecoder {
         if avail.len() < total {
             return Ok(None);
         }
-        let payload = &avail[8..total];
-        if crc32(payload) != crc {
+        let body = &avail[8..total];
+        if crc32(body) != crc {
             return Err(ServerError::Frame("frame failed CRC check".into()));
         }
+        let (trace, payload) = split_body(body)?;
         let msg = codec::from_bytes(payload).map_err(|e| ServerError::Codec(e.to_string()))?;
         self.start += total;
-        Ok(Some(msg))
+        Ok(Some((trace, msg)))
     }
 
     /// Whether the buffer sits exactly at a frame boundary — an EOF here is
@@ -175,9 +228,10 @@ impl FrameDecoder {
 ///
 /// ```
 /// use prometheus_server::{FrameEncoder, Response};
+/// use prometheus_trace::TraceId;
 ///
 /// let mut enc = FrameEncoder::new();
-/// enc.push(&Response::Pong).unwrap();
+/// enc.push(TraceId::NONE, &Response::Pong).unwrap();
 /// let n = enc.pending().len(); // pretend the socket took every byte
 /// enc.consume(n);
 /// assert!(enc.is_empty());
@@ -194,24 +248,13 @@ impl FrameEncoder {
         FrameEncoder::default()
     }
 
-    /// Frame `msg` and queue its bytes for the transport.
-    pub fn push<T: Serialize>(&mut self, msg: &T) -> ServerResult<()> {
-        let payload = codec::to_bytes(msg)?;
-        if payload.len() as u64 > MAX_FRAME_LEN as u64 {
-            return Err(ServerError::Frame(format!(
-                "message of {} bytes exceeds maximum frame size",
-                payload.len()
-            )));
-        }
+    /// Frame `msg` under `trace` and queue its bytes for the transport.
+    pub fn push<T: Serialize>(&mut self, trace: TraceId, msg: &T) -> ServerResult<()> {
         if self.start > 0 && self.start == self.buf.len() {
             self.buf.clear();
             self.start = 0;
         }
-        self.buf
-            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(&crc32(&payload).to_le_bytes());
-        self.buf.extend_from_slice(&payload);
-        Ok(())
+        frame_into(&mut self.buf, trace, msg)
     }
 
     /// Bytes queued but not yet taken by the transport.
@@ -264,25 +307,34 @@ mod tests {
     use super::*;
     use crate::protocol::{Request, Response};
 
+    const T7: TraceId = TraceId::from_words(3, 7);
+
     #[test]
     fn frames_round_trip_through_a_buffer() {
         let mut buf: Vec<u8> = Vec::new();
         let req = Request::Query {
             pool: "select t from CT t".into(),
         };
-        write_msg(&mut buf, &req).unwrap();
-        let back: Request = read_msg(&mut &buf[..]).unwrap();
+        write_msg(&mut buf, T7, &req).unwrap();
+        let (trace, back): (TraceId, Request) = read_msg(&mut &buf[..]).unwrap();
         assert_eq!(back, req);
+        assert_eq!(trace, T7);
     }
 
     #[test]
     fn several_frames_stream_in_order() {
         let mut buf: Vec<u8> = Vec::new();
-        write_msg(&mut buf, &Request::Ping).unwrap();
-        write_msg(&mut buf, &Request::Stats).unwrap();
+        write_msg(&mut buf, TraceId::NONE, &Request::Ping).unwrap();
+        write_msg(&mut buf, T7, &Request::Stats).unwrap();
         let mut cursor = &buf[..];
-        assert_eq!(read_msg::<_, Request>(&mut cursor).unwrap(), Request::Ping);
-        assert_eq!(read_msg::<_, Request>(&mut cursor).unwrap(), Request::Stats);
+        assert_eq!(
+            read_msg::<_, Request>(&mut cursor).unwrap(),
+            (TraceId::NONE, Request::Ping)
+        );
+        assert_eq!(
+            read_msg::<_, Request>(&mut cursor).unwrap(),
+            (T7, Request::Stats)
+        );
         assert!(matches!(
             read_msg::<_, Request>(&mut cursor),
             Err(ServerError::Disconnected)
@@ -292,11 +344,36 @@ mod tests {
     #[test]
     fn corrupt_payload_fails_crc() {
         let mut buf: Vec<u8> = Vec::new();
-        write_msg(&mut buf, &Response::Pong).unwrap();
+        write_msg(&mut buf, T7, &Response::Pong).unwrap();
         let last = buf.len() - 1;
         buf[last] ^= 0xFF;
         assert!(matches!(
             read_msg::<_, Response>(&mut &buf[..]),
+            Err(ServerError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn corrupt_trace_word_fails_crc() {
+        let mut buf: Vec<u8> = Vec::new();
+        write_msg(&mut buf, T7, &Response::Pong).unwrap();
+        buf[9] ^= 0xFF; // second byte of trace_hi
+        assert!(matches!(
+            read_msg::<_, Response>(&mut &buf[..]),
+            Err(ServerError::Frame(_))
+        ));
+    }
+
+    #[test]
+    fn body_shorter_than_the_trace_envelope_is_rejected() {
+        // A well-formed pre-v8 frame (no trace words) now fails cleanly.
+        let payload = prometheus_storage::codec::to_bytes(&Request::Ping).unwrap();
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(&payload).to_le_bytes());
+        buf.extend_from_slice(&payload);
+        assert!(matches!(
+            read_msg::<_, Request>(&mut &buf[..]),
             Err(ServerError::Frame(_))
         ));
     }
@@ -318,8 +395,8 @@ mod tests {
         let req = Request::Query {
             pool: "select t from CT t".into(),
         };
-        write_msg(&mut wire, &req).unwrap();
-        write_msg(&mut wire, &Request::Ping).unwrap();
+        write_msg(&mut wire, T7, &req).unwrap();
+        write_msg(&mut wire, TraceId::NONE, &Request::Ping).unwrap();
         let mut dec = FrameDecoder::new();
         let mut out = Vec::new();
         for b in &wire {
@@ -328,7 +405,7 @@ mod tests {
                 out.push(msg);
             }
         }
-        assert_eq!(out, vec![req, Request::Ping]);
+        assert_eq!(out, vec![(T7, req), (TraceId::NONE, Request::Ping)]);
         assert!(dec.at_boundary());
         assert_eq!(dec.buffered(), 0);
     }
@@ -346,7 +423,7 @@ mod tests {
         ));
 
         let mut wire: Vec<u8> = Vec::new();
-        write_msg(&mut wire, &Response::Pong).unwrap();
+        write_msg(&mut wire, T7, &Response::Pong).unwrap();
         let last = wire.len() - 1;
         wire[last] ^= 0xFF;
         let mut dec = FrameDecoder::new();
@@ -359,12 +436,16 @@ mod tests {
 
     #[test]
     fn encoder_output_matches_write_msg_and_survives_partial_drains() {
-        let msgs = vec![Request::Ping, Request::Stats, Request::UnitBegin];
+        let msgs = vec![
+            (TraceId::NONE, Request::Ping),
+            (T7, Request::Stats),
+            (TraceId::from_words(u64::MAX, 1), Request::UnitBegin),
+        ];
         let mut blocking: Vec<u8> = Vec::new();
         let mut enc = FrameEncoder::new();
-        for m in &msgs {
-            write_msg(&mut blocking, m).unwrap();
-            enc.push(m).unwrap();
+        for (trace, m) in &msgs {
+            write_msg(&mut blocking, *trace, m).unwrap();
+            enc.push(*trace, m).unwrap();
         }
         // Drain in awkward chunk sizes; the byte stream must be identical.
         let mut drained = Vec::new();
@@ -379,7 +460,7 @@ mod tests {
     #[test]
     fn torn_frame_is_not_a_clean_disconnect() {
         let mut buf: Vec<u8> = Vec::new();
-        write_msg(&mut buf, &Request::Ping).unwrap();
+        write_msg(&mut buf, T7, &Request::Ping).unwrap();
         let torn = &buf[..buf.len() - 1];
         assert!(matches!(
             read_msg::<_, Request>(&mut &torn[..]),

@@ -81,8 +81,10 @@ pub use exposition::render_prometheus_exposition;
 pub use frame::{FrameDecoder, FrameEncoder, MAX_FRAME_LEN};
 pub use lane::{LaneGuard, OwnedLaneGuard, TicketLane};
 pub use metrics::{FollowerLag, LatencyHistogram, MetricsSnapshot, ServerMetrics, REQUEST_CLASSES};
-pub use prometheus_trace::{Recorder, Stage, TraceEvent};
-pub use protocol::{MutationOp, ReplicaStatusInfo, Request, Response, WireRows, PROTOCOL_VERSION};
+pub use prometheus_trace::{render_tree, Recorder, Stage, StageRollup, TraceEvent, TraceId};
+pub use protocol::{
+    MutationOp, ReplicaStatusInfo, Request, Response, TraceSpan, WireRows, PROTOCOL_VERSION,
+};
 pub use replica::{ReplicaInfo, ReplicaStatusCell};
 pub use server::{serve, ServerConfig, ServerConfigBuilder, ServerHandle};
 pub use session::Session;

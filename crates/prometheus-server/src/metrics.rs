@@ -22,7 +22,7 @@ pub const LATENCY_BOUNDS_US: [u64; 9] =
 pub const LATENCY_BUCKETS: usize = LATENCY_BOUNDS_US.len() + 1;
 
 /// Request kinds tracked per-counter; mirrors `Request::kind_name`.
-pub const REQUEST_KINDS: [&str; 18] = [
+pub const REQUEST_KINDS: [&str; 19] = [
     "hello",
     "ping",
     "query",
@@ -41,6 +41,7 @@ pub const REQUEST_KINDS: [&str; 18] = [
     "bye",
     "replica_poll",
     "replica_status",
+    "trace_get",
 ];
 
 /// Coarse request classes, each with its own latency histogram: a query's
@@ -54,7 +55,7 @@ pub fn class_of_kind(kind_name: &str) -> usize {
     match kind_name {
         "query" => 0,
         "install_pcl" | "unit_begin" | "unit_op" | "unit_commit" | "unit_abort" | "unit_batch" => 1,
-        "stats" | "trace" | "slow_log" => 2,
+        "stats" | "trace" | "slow_log" | "trace_get" => 2,
         "replica_poll" | "replica_status" => 3,
         _ => 4,
     }
@@ -228,6 +229,14 @@ impl ServerMetrics {
             },
             shards: 1,
             per_shard: Vec::new(),
+            start_unix_s: 0,
+            uptime_s: 0,
+            build_info: Vec::new(),
+            trace_rollups: Vec::new(),
+            trace_events_written: 0,
+            trace_dropped: 0,
+            trace_index_evictions: 0,
+            trace_index_overflows: 0,
         }
     }
 }
@@ -271,6 +280,25 @@ pub struct MetricsSnapshot {
     /// (protocol v7). Aggregate counters above and in the storage snapshot
     /// are totals across shards; these break the contended ones down.
     pub per_shard: Vec<ShardMetrics>,
+    /// Server process start time, seconds since the Unix epoch
+    /// (protocol v8).
+    pub start_unix_s: u64,
+    /// Seconds this server has been up at snapshot time (protocol v8).
+    pub uptime_s: u64,
+    /// Build identity as (key, value) label pairs — crate name and version
+    /// — for the `build_info` gauge (protocol v8).
+    pub build_info: Vec<(String, String)>,
+    /// Flight-recorder per-stage rollup histograms, in `Stage::ALL` order;
+    /// empty when tracing is disabled (protocol v8).
+    pub trace_rollups: Vec<prometheus_trace::StageRollup>,
+    /// Span events the trace ring accepted (protocol v8).
+    pub trace_events_written: u64,
+    /// Span events dropped to a lapped-writer collision (protocol v8).
+    pub trace_dropped: u64,
+    /// Trace-index buckets evicted by colliding traces (protocol v8).
+    pub trace_index_evictions: u64,
+    /// Spans recorded past a trace's index capacity (protocol v8).
+    pub trace_index_overflows: u64,
 }
 
 /// One shard's slice of the contended counters (protocol v7).
@@ -418,6 +446,9 @@ mod tests {
                 max_bytes: 0,
             },
             Request::ReplicaStatus,
+            Request::TraceGet {
+                trace_id: prometheus_trace::TraceId::NONE,
+            },
         ];
         assert_eq!(reqs.len(), REQUEST_KINDS.len());
         for r in reqs {
@@ -586,7 +617,7 @@ mod tests {
                         // marker, so a torn read is detectable.
                         let marker = t * OPS + i + 1;
                         recorder.record(TraceEvent {
-                            trace_id: marker,
+                            trace_id: prometheus_trace::TraceId::from_words(marker, marker),
                             span_id: marker,
                             parent_id: marker,
                             stage: Stage::Scan,
@@ -604,9 +635,9 @@ mod tests {
                 let mut seen = 0usize;
                 while !stop.load(Ordering::Relaxed) {
                     for ev in recorder.recent(64) {
-                        assert_eq!(ev.trace_id, ev.span_id, "torn event: {ev:?}");
-                        assert_eq!(ev.trace_id, ev.start_us, "torn event: {ev:?}");
-                        assert_eq!(ev.trace_id, ev.c1, "torn event: {ev:?}");
+                        assert_eq!(ev.trace_id.lo, ev.span_id, "torn event: {ev:?}");
+                        assert_eq!(ev.trace_id.hi, ev.start_us, "torn event: {ev:?}");
+                        assert_eq!(ev.trace_id.lo, ev.c1, "torn event: {ev:?}");
                         seen += 1;
                     }
                 }

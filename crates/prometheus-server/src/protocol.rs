@@ -69,7 +69,18 @@ use crate::slowlog::SlowLogEntry;
 /// plus per-shard counters (`shard_lane_depth`, `shard_snapshot_swaps`,
 /// `shard_image_bytes_copied`, `shard_units_2pc`). Positional codec, so
 /// v6 clients cannot decode the enlarged messages.
-pub const PROTOCOL_VERSION: u16 = 7;
+///
+/// v8: distributed tracing — the *frame envelope* gained a fixed 128-bit
+/// trace id ahead of every payload (see [`crate::frame`]), which is
+/// envelope-breaking: a v7 peer's frames no longer parse at all, in either
+/// direction. [`Request::TraceGet`] / [`Response::TraceTree`] assemble one
+/// trace's merged span tree (with follower spans when reachable);
+/// `TraceEvent::trace_id` widened to the two-word `TraceId`;
+/// `SlowLogEntry` gained `lane_mask` and `lane_wait_us`; and
+/// `MetricsSnapshot` gained process self-metrics (`start_unix_s`,
+/// `uptime_s`, `build_info`), per-stage trace rollup histograms and the
+/// flight recorder's drop/eviction counters.
+pub const PROTOCOL_VERSION: u16 = 8;
 
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -125,6 +136,11 @@ pub enum Request {
     /// Replication role and position of the answering server; clients use
     /// this for lag-aware routing.
     ReplicaStatus,
+    /// Assemble the span tree of one distributed trace from this server's
+    /// flight recorder. A primary merges in reachable followers' replay
+    /// spans; a follower merges in the primary's spans. Read-only, so it
+    /// works against either role.
+    TraceGet { trace_id: prometheus_trace::TraceId },
 }
 
 impl Request {
@@ -149,6 +165,7 @@ impl Request {
             Request::Bye => "bye",
             Request::ReplicaPoll { .. } => "replica_poll",
             Request::ReplicaStatus => "replica_status",
+            Request::TraceGet { .. } => "trace_get",
         }
     }
 }
@@ -243,6 +260,24 @@ pub enum Response {
     ReplicaReset { epoch: u64, log_len: u64 },
     /// Answer to [`Request::ReplicaStatus`].
     ReplicaStatus(Box<ReplicaStatusInfo>),
+    /// Answer to [`Request::TraceGet`]: every span the reachable flight
+    /// recorders still hold for the trace, labelled with the process that
+    /// recorded each. Empty `spans` means the trace aged out of (or never
+    /// entered) every ring.
+    TraceTree {
+        trace_id: prometheus_trace::TraceId,
+        spans: Vec<TraceSpan>,
+    },
+}
+
+/// One span of an assembled distributed trace: the raw event plus which
+/// process's flight recorder it came from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSpan {
+    /// `"primary"`, `"replica"`, or a follower's configured name.
+    pub origin: String,
+    /// The recorded span event.
+    pub event: TraceEvent,
 }
 
 /// Replication role and position of a server.
@@ -364,6 +399,9 @@ mod tests {
                 max_bytes: 1 << 20,
             },
             Request::ReplicaStatus,
+            Request::TraceGet {
+                trace_id: prometheus_trace::TraceId::from_words(0xdead, 0xbeef),
+            },
         ];
         for req in samples {
             let bytes = codec::to_bytes(&req).unwrap();
@@ -394,7 +432,7 @@ mod tests {
             Response::Installed { rules: 4 },
             Response::Trace {
                 events: vec![TraceEvent {
-                    trace_id: 1,
+                    trace_id: prometheus_trace::TraceId::from_words(9, 1),
                     span_id: 2,
                     parent_id: 0,
                     stage: prometheus_trace::Stage::Scan,
@@ -409,11 +447,13 @@ mod tests {
                     session: 3,
                     query: "select t from CT t".into(),
                     context: Some("Linnaeus 1753".into()),
-                    trace_id: 1,
+                    trace_id: prometheus_trace::TraceId::from_words(9, 1),
                     fingerprint: 0xdead_beef,
                     dur_us: 120_000,
                     rows: 2,
                     pinned: true,
+                    lane_mask: 0b101,
+                    lane_wait_us: 350,
                 }],
             },
             Response::Error {
@@ -455,6 +495,22 @@ mod tests {
                 caught_up_age_us: 1500,
                 resyncs: 1,
             })),
+            Response::TraceTree {
+                trace_id: prometheus_trace::TraceId::from_words(0xdead, 0xbeef),
+                spans: vec![TraceSpan {
+                    origin: "primary".into(),
+                    event: TraceEvent {
+                        trace_id: prometheus_trace::TraceId::from_words(0xdead, 0xbeef),
+                        span_id: 4,
+                        parent_id: 0,
+                        stage: prometheus_trace::Stage::UnitDecide,
+                        start_us: 5,
+                        dur_us: 7,
+                        c0: 3,
+                        c1: 1,
+                    },
+                }],
+            },
         ];
         for resp in samples {
             let bytes = codec::to_bytes(&resp).unwrap();

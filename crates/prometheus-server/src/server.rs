@@ -46,17 +46,18 @@
 //! rolled back, and the worker threads drain and exit. [`ServerHandle`]
 //! joins all threads on drop, so no test or embedder leaks threads.
 
+use crate::client::{ClientConfig, PrometheusClient};
 use crate::core::{SessionCore, Step, Work};
 use crate::error::{ErrorKind, ServerError, ServerResult};
 use crate::frame::{read_msg, write_msg};
 use crate::lane::{LaneGuard, TicketLane};
 use crate::metrics::{MetricsSnapshot, ServerMetrics, ShardMetrics, REQUEST_KINDS};
-use crate::protocol::{MutationOp, ReplicaStatusInfo, Request, Response, WireRows};
+use crate::protocol::{MutationOp, ReplicaStatusInfo, Request, Response, TraceSpan, WireRows};
 use crate::replica::ReplicaInfo;
 use crate::slowlog::{SlowLog, SlowLogEntry};
 use prometheus_db::{Database, DbResult, Oid, Prometheus, Value};
 use prometheus_pool::{Executor, StatementKind};
-use prometheus_trace::{Recorder, Stage, TraceEvent, TraceScope};
+use prometheus_trace::{Recorder, Stage, TraceEvent, TraceId, TraceScope};
 use std::collections::HashMap;
 use std::io::{BufReader, BufWriter};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -357,6 +358,11 @@ pub(crate) struct Shared {
     /// Callbacks that wake any event loops attached to this server, so a
     /// wire `Shutdown` (which only sees `Shared`) can reach them.
     pub(crate) shutdown_wakers: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
+    /// Monotonic mark of server start, for the `uptime_seconds` gauge.
+    pub(crate) started_at: Instant,
+    /// Wall-clock of server start (seconds since the Unix epoch), for the
+    /// `start_time_seconds` gauge.
+    pub(crate) started_unix_s: u64,
 }
 
 /// Recover from a poisoned lock: the protected state (the connection
@@ -424,6 +430,10 @@ pub fn serve(db: Prometheus, config: ServerConfig) -> ServerResult<ServerHandle>
         addr,
         replica: config.replica.clone(),
         shutdown_wakers: Mutex::new(Vec::new()),
+        started_at: Instant::now(),
+        started_unix_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()),
     });
 
     #[cfg(not(target_os = "linux"))]
@@ -815,6 +825,7 @@ fn run_session(shared: &Arc<Shared>, id: u64, stream: TcpStream) -> ServerResult
     if shared.shutting_down.load(Ordering::SeqCst) {
         let _ = write_msg(
             &mut writer,
+            TraceId::NONE,
             &Response::Error {
                 kind: ErrorKind::ShuttingDown,
                 message: "server is shutting down".into(),
@@ -828,7 +839,7 @@ fn run_session(shared: &Arc<Shared>, id: u64, stream: TcpStream) -> ServerResult
     // deadline on the way out).
     let _ = reader.get_ref().set_read_timeout(shared.idle_timeout);
     loop {
-        let req: Request = match read_msg(&mut reader) {
+        let (wire_trace, req): (TraceId, Request) = match read_msg(&mut reader) {
             Ok(r) => r,
             Err(ServerError::Disconnected) => return Ok(()),
             Err(ServerError::Io(e))
@@ -862,23 +873,27 @@ fn run_session(shared: &Arc<Shared>, id: u64, stream: TcpStream) -> ServerResult
         shared.metrics.count_request(kind);
         // Root span for this request: while it is the thread's trace scope,
         // every span any layer records (lane wait, plan cache, execution,
-        // storage commit…) attaches to this trace.
-        let root = shared
-            .recorder
-            .span_in(Stage::Request, shared.recorder.new_trace_id(), 0);
+        // storage commit…) attaches to this trace. A client that stamped a
+        // trace id into the frame envelope is the trace origin — adopt its
+        // id; otherwise mint one. Either way the id is echoed back in the
+        // response envelope so the client can `TraceGet` the span tree.
+        let trace = adopt_trace(&shared.recorder, wire_trace);
+        let root = shared.recorder.span_in(Stage::Request, trace, 0);
         let scope = TraceScope::enter(root.trace_id(), root.id());
         let flow: ServerResult<Flow> = match core.on_request(req) {
-            Step::Reply(resp) => send(shared, &mut writer, &resp).map(|_| Flow::Continue),
-            Step::ReplyClose(resp) => send(shared, &mut writer, &resp).map(|_| Flow::Close),
+            Step::Reply(resp) => send(shared, &mut writer, trace, &resp).map(|_| Flow::Continue),
+            Step::ReplyClose(resp) => send(shared, &mut writer, trace, &resp).map(|_| Flow::Close),
             Step::ShutdownAfter(resp) => {
-                let sent = send(shared, &mut writer, &resp);
+                let sent = send(shared, &mut writer, trace, &resp);
                 initiate_shutdown(shared);
                 sent.map(|_| Flow::Close)
             }
             // Ack precedes the lane on purpose: a queued writer learns it is
             // queued by its *next* response stalling, exactly like the
             // in-process API blocking on the lane.
-            Step::OpenUnit => send(shared, &mut writer, &Response::Ack).map(|_| Flow::EnterUnit),
+            Step::OpenUnit => {
+                send(shared, &mut writer, trace, &Response::Ack).map(|_| Flow::EnterUnit)
+            }
             Step::Do(work) => {
                 // Infer the lane mask once, here, and execute under exactly
                 // those lanes. The same mask becomes the unit's shard claim:
@@ -892,7 +907,7 @@ fn run_session(shared: &Arc<Shared>, id: u64, stream: TcpStream) -> ServerResult
                 } else {
                     execute_work(shared, &mut core, work, 0)
                 };
-                send(shared, &mut writer, &resp).map(|_| Flow::Continue)
+                send(shared, &mut writer, trace, &resp).map(|_| Flow::Continue)
             }
         };
         drop(scope);
@@ -931,10 +946,28 @@ pub(crate) fn count_response(metrics: &ServerMetrics, resp: &Response) {
     }
 }
 
-/// Count and write one response on the blocking transport.
-fn send(shared: &Shared, writer: &mut BufWriter<TcpStream>, resp: &Response) -> ServerResult<()> {
+/// The trace id a request runs under: the client's stamped id when the
+/// frame envelope carried one, else a freshly minted id (still
+/// [`TraceId::NONE`] when the flight recorder is disabled). Shared by both
+/// transports so adoption semantics cannot drift.
+pub(crate) fn adopt_trace(recorder: &Recorder, wire_trace: TraceId) -> TraceId {
+    if wire_trace.is_none() {
+        recorder.new_trace_id()
+    } else {
+        wire_trace
+    }
+}
+
+/// Count and write one response on the blocking transport, echoing the
+/// request's trace id in the response envelope.
+fn send(
+    shared: &Shared,
+    writer: &mut BufWriter<TcpStream>,
+    trace: TraceId,
+    resp: &Response,
+) -> ServerResult<()> {
     count_response(&shared.metrics, resp);
-    write_msg(writer, resp)
+    write_msg(writer, trace, resp)
 }
 
 fn db_err(message: String) -> Response {
@@ -961,7 +994,7 @@ pub(crate) fn execute_work(
     claim_mask: u64,
 ) -> Response {
     match work {
-        Work::Query { pool, pinned } => query_response(shared, core, &pool, pinned),
+        Work::Query { pool, pinned } => query_response(shared, core, &pool, pinned, claim_mask),
         Work::SetContext { classification } => match &classification {
             Some(name) => match shared.db.db().classification_by_name(name) {
                 Ok(Some(_)) => {
@@ -1014,6 +1047,7 @@ pub(crate) fn execute_work(
         Work::SlowLog { n } => Response::SlowLog {
             entries: shared.slow_log.recent(n as usize),
         },
+        Work::TraceGet { trace_id } => trace_tree_response(shared, trace_id),
         Work::ReplicaPoll {
             follower,
             shard,
@@ -1080,6 +1114,58 @@ pub(crate) fn execute_work(
     }
 }
 
+/// Assemble the merged span tree for `trace_id`: every event the local
+/// flight recorder still holds, tagged with this process's origin, plus the
+/// spans of the other side of the replication link when one exists and is
+/// reachable. A follower dials its primary (it knows the address from its
+/// replica config); the fetch uses a short read timeout and no connect
+/// retries, so an unreachable peer degrades to a local-only tree instead of
+/// stalling the session.
+pub(crate) fn trace_tree_response(shared: &Shared, trace_id: TraceId) -> Response {
+    let origin = if shared.replica.is_some() {
+        "replica"
+    } else {
+        "primary"
+    };
+    let mut spans: Vec<TraceSpan> = shared
+        .recorder
+        .events_for(trace_id)
+        .into_iter()
+        .map(|event| TraceSpan {
+            origin: origin.into(),
+            event,
+        })
+        .collect();
+    if let Some(info) = &shared.replica {
+        if let Some(remote) = fetch_peer_spans(&info.primary, trace_id) {
+            spans.extend(remote);
+        }
+    }
+    // One merged timeline: clocks differ across processes, but within each
+    // process spans stay in causal order, which is what the tree needs.
+    spans.sort_by_key(|s| (s.event.start_us, s.event.span_id));
+    Response::TraceTree { trace_id, spans }
+}
+
+/// Best-effort fetch of a replication peer's half of a distributed trace.
+fn fetch_peer_spans(addr: &str, trace_id: TraceId) -> Option<Vec<TraceSpan>> {
+    use std::net::ToSocketAddrs;
+    let addr = addr.to_socket_addrs().ok()?.next()?;
+    let mut client = PrometheusClient::connect_with(
+        addr,
+        ClientConfig {
+            connect_retries: 0,
+            retry_delay: Duration::from_millis(1),
+            read_timeout: Some(Duration::from_secs(2)),
+            client_name: "prometheus-trace-merge".into(),
+        },
+    )
+    .ok()?;
+    let spans = client.trace_get(trace_id).ok()?;
+    let _ = client.close();
+    Some(spans)
+}
+
 /// Apply one in-unit mutation and shape the wire response. A failed op
 /// leaves the unit open: the client chooses to retry differently, commit
 /// what succeeded, or abort — exactly the in-process unit semantics.
@@ -1114,7 +1200,7 @@ fn run_unit(
     core.unit_opened();
     let mut timed_out = false;
     let outcome: ServerResult<()> = loop {
-        let req: Request = match read_msg(reader) {
+        let (wire_trace, req): (TraceId, Request) = match read_msg(reader) {
             Ok(r) => r,
             // The deadline covers the common stall — silence *between*
             // frames. (A client that stalls mid-frame desyncs the stream and
@@ -1133,9 +1219,8 @@ fn run_unit(
         let start = Instant::now();
         let kind = req.kind_name();
         shared.metrics.count_request(kind);
-        let root = shared
-            .recorder
-            .span_in(Stage::Request, shared.recorder.new_trace_id(), 0);
+        let trace = adopt_trace(&shared.recorder, wire_trace);
+        let root = shared.recorder.span_in(Stage::Request, trace, 0);
         let scope = TraceScope::enter(root.trace_id(), root.id());
         let done: ServerResult<bool> = match core.on_request(req) {
             Step::Do(Work::UnitCommit) => {
@@ -1150,18 +1235,18 @@ fn run_unit(
                     // commit_unit rolls the unit back itself on failure.
                     Err(e) => db_err(e.to_string()),
                 };
-                send(shared, writer, &resp).map(|_| true)
+                send(shared, writer, trace, &resp).map(|_| true)
             }
             Step::Do(Work::UnitAbort) => {
                 db.abort_unit(token.take().expect("unit token"));
                 shared.metrics.units_aborted.fetch_add(1, Ordering::Relaxed);
-                send(shared, writer, &Response::Ack).map(|_| true)
+                send(shared, writer, trace, &Response::Ack).map(|_| true)
             }
             Step::Do(work) => {
                 let resp = execute_work(shared, core, work, all_lanes_mask(shared));
-                send(shared, writer, &resp).map(|_| false)
+                send(shared, writer, trace, &resp).map(|_| false)
             }
-            Step::Reply(resp) => send(shared, writer, &resp).map(|_| false),
+            Step::Reply(resp) => send(shared, writer, trace, &resp).map(|_| false),
             // The in-unit request set only yields Reply and Do (see the
             // `SessionCore` state machine).
             Step::OpenUnit | Step::ReplyClose(_) | Step::ShutdownAfter(_) => {
@@ -1364,26 +1449,43 @@ fn profile_rows(events: &[TraceEvent]) -> WireRows {
 /// Run a query and shape the wire response, feeding the slow-query log on
 /// the way (the calling transport's current trace scope is the request root
 /// span, so the entry links to the span tree still held by the trace ring).
+/// `claim_mask` is the writer-lane mask the request executed under (0 for a
+/// lock-free pinned read); the entry also carries the total lane-wait µs
+/// recorded for the request's trace, so a slow query can be split into
+/// queueing and execution at a glance.
 pub(crate) fn query_response(
     shared: &Shared,
     core: &SessionCore,
     pool: &str,
     pinned: bool,
+    claim_mask: u64,
 ) -> Response {
     let start = Instant::now();
     match run_query(shared, core, pool, pinned) {
         Ok((rows, fingerprint)) => {
             let elapsed = start.elapsed();
             if elapsed >= shared.slow_query_threshold {
+                let trace_id = Recorder::current().0;
+                // The slow path can afford the index lookup: sum the real
+                // (c1 = 1) lane-wait spans recorded under this trace.
+                let lane_wait_us = shared
+                    .recorder
+                    .events_for(trace_id)
+                    .iter()
+                    .filter(|e| e.stage == Stage::LaneWait && e.c1 == 1)
+                    .map(|e| e.dur_us)
+                    .sum();
                 shared.slow_log.push(SlowLogEntry {
                     session: core.id(),
                     query: pool.to_string(),
                     context: core.context().map(str::to_string),
-                    trace_id: Recorder::current().0,
+                    trace_id,
                     fingerprint,
                     dur_us: elapsed.as_micros() as u64,
                     rows: rows.len() as u64,
                     pinned,
+                    lane_mask: claim_mask,
+                    lane_wait_us,
                 });
             }
             Response::Rows(rows)
@@ -1454,6 +1556,22 @@ pub(crate) fn metrics_snapshot(shared: &Shared) -> MetricsSnapshot {
             units_2pc: s.units_2pc,
         })
         .collect();
+    // Process self-metrics and flight-recorder health, so the scrape
+    // endpoint and the wire Stats verb agree on them by construction.
+    snap.start_unix_s = shared.started_unix_s;
+    snap.uptime_s = shared.started_at.elapsed().as_secs();
+    snap.build_info = vec![
+        ("version".into(), env!("CARGO_PKG_VERSION").into()),
+        (
+            "protocol".into(),
+            crate::protocol::PROTOCOL_VERSION.to_string(),
+        ),
+    ];
+    snap.trace_rollups = shared.recorder.stage_rollups();
+    snap.trace_events_written = shared.recorder.events_written();
+    snap.trace_dropped = shared.recorder.dropped();
+    snap.trace_index_evictions = shared.recorder.index_evictions();
+    snap.trace_index_overflows = shared.recorder.index_overflows();
     snap
 }
 
@@ -1803,13 +1921,14 @@ mod tests {
         let mut reader = BufReader::new(stream);
         write_msg(
             &mut writer,
+            TraceId::NONE,
             &Request::Hello {
                 version: 999,
                 client: "old".into(),
             },
         )
         .unwrap();
-        let resp: Response = read_msg(&mut reader).unwrap();
+        let (_, resp): (TraceId, Response) = read_msg(&mut reader).unwrap();
         match resp {
             Response::Error { kind, message } => {
                 assert_eq!(kind, ErrorKind::ProtocolMismatch);

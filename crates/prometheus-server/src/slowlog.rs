@@ -8,6 +8,7 @@
 //! [`SlowLog::capacity`] entries win, so a misbehaving workload cannot grow
 //! server memory. Clients fetch entries with `Request::SlowLog`.
 
+use prometheus_trace::TraceId;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Mutex;
@@ -24,9 +25,10 @@ pub struct SlowLogEntry {
     pub query: String,
     /// The session's classification context at execution time.
     pub context: Option<String>,
-    /// Trace id of the request's span tree — look it up in the trace ring
-    /// (`Request::Trace`) while the ring still holds those spans.
-    pub trace_id: u64,
+    /// Trace id of the request's span tree — feed it to
+    /// `Request::TraceGet` (or look it up in the trace ring via
+    /// `Request::Trace`) while the ring still holds those spans.
+    pub trace_id: TraceId,
     /// Fingerprint of the plan that ran (0 when the query bypassed the plan
     /// cache, i.e. ran unpinned inside a unit of work).
     pub fingerprint: u64,
@@ -37,6 +39,12 @@ pub struct SlowLogEntry {
     /// Whether the query ran against a pinned snapshot (out-of-unit) or the
     /// live database (inside a unit of work).
     pub pinned: bool,
+    /// Writer-lane shard mask the request claimed before executing (bit k =
+    /// shard k's lane; 0 = lock-free snapshot read). Distinguishes lane
+    /// contention from execution cost.
+    pub lane_mask: u64,
+    /// Total µs the request spent queued on writer lanes before running.
+    pub lane_wait_us: u64,
 }
 
 /// Bounded, newest-wins log of [`SlowLogEntry`]. A plain mutex is fine: the
@@ -109,11 +117,13 @@ mod tests {
             session: n,
             query: format!("select t from CT t -- {n}"),
             context: None,
-            trace_id: n,
+            trace_id: TraceId::from_words(1, n),
             fingerprint: 0xfeed,
             dur_us: 1_000 + n,
             rows: 2,
             pinned: true,
+            lane_mask: 0b11,
+            lane_wait_us: 40 + n,
         }
     }
 

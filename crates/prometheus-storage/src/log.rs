@@ -79,6 +79,17 @@ pub enum LogRecord {
     /// commit point: a prepared unit whose coordinator log lacks a decision
     /// for `gid` is presumed aborted.
     UnitDecision { gid: u64, committed: bool },
+    /// Distributed trace correlation mark: the wire request settling `unit`
+    /// ran under the 128-bit trace id `(trace_hi, trace_lo)`. Purely
+    /// observational — recovery and the image ignore it — but replication
+    /// followers replay it so their `replica_apply` spans carry the *same*
+    /// trace id the primary's commit spans do, stitching one distributed
+    /// span tree across processes.
+    UnitTrace {
+        unit: u64,
+        trace_hi: u64,
+        trace_lo: u64,
+    },
 }
 
 impl LogRecord {
@@ -93,7 +104,8 @@ impl LogRecord {
             | LogRecord::KvDelete { txn, .. } => *txn,
             LogRecord::UnitBegin { unit }
             | LogRecord::UnitEnd { unit, .. }
-            | LogRecord::UnitPrepared { unit, .. } => *unit,
+            | LogRecord::UnitPrepared { unit, .. }
+            | LogRecord::UnitTrace { unit, .. } => *unit,
             LogRecord::UnitDecision { gid, .. } => *gid,
         }
     }

@@ -29,7 +29,7 @@ use crate::pmap::Cursor;
 use crate::stats::{Stats, StatsSnapshot};
 use crate::store::{Keyspace, Snapshot, Store, StoreOptions};
 use bytes::Bytes;
-use prometheus_trace::Recorder;
+use prometheus_trace::{Recorder, Stage};
 use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
@@ -593,11 +593,20 @@ impl ShardedStore {
             .filter_map(|(i, s)| s.active_unit_id().map(|u| (i, u)))
             .collect();
         if participants.len() >= 2 {
+            let rec = self.shards[0].recorder();
             let (coordinator, gid) = participants[0];
             for (i, _) in &participants {
+                // One prepare span per participant under the unit's trace:
+                // c0 = shard index, c1 = 1 on the coordinator shard.
+                let span = rec.span(Stage::UnitPrepare);
                 self.shards[*i].prepare_active_unit(gid, coordinator as u32)?;
+                span.finish(*i as u64, (*i == coordinator) as u64);
             }
+            // The decision span brackets the commit point: c0 = participant
+            // count, c1 = 1 committed / 0 aborted.
+            let span = rec.span(Stage::UnitDecide);
             self.shards[coordinator].append_decision(gid, committed)?;
+            span.finish(participants.len() as u64, committed as u64);
             Stats::bump(&self.shards[coordinator].stats().units_2pc);
         }
         for (i, shard) in self.shards.iter().enumerate() {

@@ -163,7 +163,8 @@ impl Image {
             | LogRecord::UnitBegin { .. }
             | LogRecord::UnitEnd { .. }
             | LogRecord::UnitPrepared { .. }
-            | LogRecord::UnitDecision { .. } => {}
+            | LogRecord::UnitDecision { .. }
+            | LogRecord::UnitTrace { .. } => {}
         }
     }
 }
@@ -263,6 +264,10 @@ pub struct ReplayState {
     /// Two-phase-commit decisions observed on this log (coordinator side).
     /// Bounded by the number of cross-shard units since the last compaction.
     decisions: HashMap<u64, bool>,
+    /// Trace-id words from the open unit's `UnitTrace` mark, held until the
+    /// seal so a follower applying the settled group can record its replay
+    /// spans under the primary's trace id (see [`ReplayState::take_unit_trace`]).
+    unit_trace: Option<(u64, u64)>,
     next_txn: u64,
     next_oid: u64,
 }
@@ -298,6 +303,7 @@ impl ReplayState {
                 // was never sealed: discard it.
                 self.open_unit = Some((*unit, Vec::new()));
                 self.prepared = None;
+                self.unit_trace = None;
                 self.next_txn = self.next_txn.max(unit + 1);
                 Vec::new()
             }
@@ -323,6 +329,19 @@ impl ReplayState {
             }
             LogRecord::UnitDecision { gid, committed } => {
                 self.decisions.insert(*gid, *committed);
+                Vec::new()
+            }
+            LogRecord::UnitTrace {
+                unit,
+                trace_hi,
+                trace_lo,
+            } => {
+                // Purely observational: the image never sees the mark, but a
+                // follower holds it until the unit's seal to correlate its
+                // replay spans with the primary's trace.
+                if matches!(self.open_unit.as_ref(), Some((open, _)) if open == unit) {
+                    self.unit_trace = Some((*trace_hi, *trace_lo));
+                }
                 Vec::new()
             }
             other => {
@@ -352,6 +371,13 @@ impl ReplayState {
     /// The recorded 2PC decision for global unit `gid`, if any.
     pub fn decision(&self, gid: u64) -> Option<bool> {
         self.decisions.get(&gid).copied()
+    }
+
+    /// Consume the trace-id words of the most recent `UnitTrace` mark. Call
+    /// immediately after an [`ReplayState::offer`] that settled a unit; the
+    /// mark survives the seal precisely so this read can follow it.
+    pub fn take_unit_trace(&mut self) -> Option<(u64, u64)> {
+        self.unit_trace.take()
     }
 
     /// One past the highest transaction/unit id observed.
@@ -591,6 +617,19 @@ impl Store {
             return Ok(());
         }
         if let Some(unit) = inner.active_unit.take() {
+            let (trace, _) = Recorder::current();
+            if !trace.is_none() {
+                // Stamp the unit with the distributed trace id it ran under,
+                // just before the seal: follower replay reads the mark off
+                // the replicated stream and records its apply spans under the
+                // same id, stitching the cross-process span tree together.
+                inner.logw.append(&LogRecord::UnitTrace {
+                    unit,
+                    trace_hi: trace.hi,
+                    trace_lo: trace.lo,
+                })?;
+                Stats::bump(&self.stats.log_appends);
+            }
             inner.logw.append(&LogRecord::UnitEnd { unit, committed })?;
             Stats::bump(&self.stats.log_appends);
             if self.options.sync_on_commit {
@@ -994,7 +1033,8 @@ impl Store {
     /// several polls) stay buffered in the store's [`ReplayState`] and are
     /// published — atomically — only when a later batch delivers the seal.
     pub fn apply_replicated(&self, records: &[LogRecord]) -> StorageResult<ReplicaApply> {
-        let span = self.recorder.read().span(Stage::ReplicaApply);
+        let rec = self.recorder.read().clone();
+        let span = rec.span(Stage::ReplicaApply);
         let mut inner = self.inner.lock();
         let mut summary = ReplicaApply::default();
         let mut appends = 0u64;
@@ -1015,6 +1055,18 @@ impl Store {
             if !ready.is_empty() {
                 Stats::bump(&self.stats.commits);
             }
+            // A settled unit carrying the primary's `UnitTrace` mark gets an
+            // extra apply span recorded *under the primary's trace id*, so
+            // `TraceGet` shows follower replay stitched into the same
+            // distributed span tree as the originating request.
+            let unit_span = if ready.is_empty() {
+                None
+            } else {
+                inner.replay.take_unit_trace().map(|(hi, lo)| {
+                    let trace = prometheus_trace::TraceId::from_words(hi, lo);
+                    (rec.span_in(Stage::ReplicaApply, trace, 0), summary.applied)
+                })
+            };
             for r in ready {
                 match &r {
                     LogRecord::Put { oid, .. } => {
@@ -1035,6 +1087,9 @@ impl Store {
                 }
                 inner.image.apply_owned(r, &mut touch);
                 summary.applied += 1;
+            }
+            if let Some((s, before)) = unit_span {
+                s.finish(summary.applied - before, record.txn());
             }
         }
         Stats::add(&self.stats.image_nodes_cloned, touch.nodes_cloned);

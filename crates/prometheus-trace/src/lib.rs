@@ -9,16 +9,32 @@
 //!
 //! ## Span model
 //!
-//! A *trace* is one request's tree of spans. The server allocates a fresh
-//! `trace_id` per request and opens a root span; nested stages (plan-cache
-//! lookup, per-source scans, the morsel fan-out, commits, fsyncs…) record
-//! child spans pointing at their parent's `span_id`. Because one request is
-//! handled by one server thread, the current `(trace_id, span_id)` pair
-//! travels in a thread-local set by the RAII [`TraceScope`] guard — deep
-//! layers (the storage engine, the rule engine) attach to the active trace
-//! without any signature plumbing. Parallel morsel workers do not record
-//! individually; the coordinating thread records one aggregate span with
-//! worker/morsel counters.
+//! A *trace* is one request's tree of spans, named by a 128-bit
+//! [`TraceId`]. The id travels on the wire (frame envelope, protocol v8),
+//! so the client can stamp one, the primary propagates it into shard lane
+//! claims and 2PC rounds, and a follower replaying the unit records spans
+//! under the *same* id — one distributed request, one id. Within a process
+//! the current `(TraceId, span_id)` pair travels in a thread-local set by
+//! the RAII [`TraceScope`] guard — deep layers (the storage engine, the
+//! rule engine) attach to the active trace without any signature plumbing.
+//! Parallel morsel workers do not record individually; the coordinating
+//! thread records one aggregate span with worker/morsel counters.
+//!
+//! ## Flight recorder
+//!
+//! Beyond the raw ring, the recorder keeps two always-on aggregations fed
+//! from the same `record()` call, both lock-free:
+//!
+//! * **per-stage rollup histograms** ([`Recorder::stage_rollups`]) — for
+//!   every [`Stage`], a duration histogram plus count/sum, so `/metrics`
+//!   and `harness top` can show where time goes without replaying spans;
+//! * **a bounded trace index** — a fixed table of buckets keyed by
+//!   trace id remembering which ring slots a trace wrote, making
+//!   [`Recorder::events_for`] O(spans) instead of O(capacity). The index
+//!   is best-effort by design: buckets are evicted when traces collide and
+//!   overflow past [`INDEX_TICKETS`] spans falls back to a full ring scan;
+//!   both are counted honestly ([`Recorder::index_evictions`],
+//!   [`Recorder::index_overflows`]) rather than hidden.
 //!
 //! ## Overwrite semantics
 //!
@@ -30,13 +46,74 @@
 //!
 //! Events are plain scalars (no heap) so a slot is a fixed array of atomic
 //! words; query *text* intentionally lives elsewhere (the server's
-//! slow-query log), keyed back to the ring by `trace_id`.
+//! slow-query log), keyed back to the ring by trace id.
 
 use serde::{Deserialize, Serialize};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A 128-bit trace identifier, carried as two `u64` words (the storage
+/// codec has no native u128). `hi` is an entropy word drawn when the
+/// recorder is created, `lo` a per-recorder counter — so ids minted by
+/// different processes (client, primary, follower) almost surely differ
+/// while staying cheap to allocate.
+///
+/// Renders as 32 lowercase hex digits; [`std::str::FromStr`] accepts any
+/// 1–32 hex digits (shorter strings parse into the low word), so operators
+/// can paste ids from logs into `harness trace <id>` or REPL `\trace <id>`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TraceId {
+    /// High 64 bits (per-process entropy).
+    pub hi: u64,
+    /// Low 64 bits (per-recorder counter, never 0 for a minted id).
+    pub lo: u64,
+}
+
+impl TraceId {
+    /// The absent trace: no request scope. All-zero on the wire.
+    pub const NONE: TraceId = TraceId { hi: 0, lo: 0 };
+
+    /// Build from two words.
+    pub const fn from_words(hi: u64, lo: u64) -> TraceId {
+        TraceId { hi, lo }
+    }
+
+    /// Whether this is [`TraceId::NONE`].
+    pub fn is_none(&self) -> bool {
+        self.hi == 0 && self.lo == 0
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl std::str::FromStr for TraceId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<TraceId, String> {
+        let s = s.trim();
+        if s.is_empty() || s.len() > 32 || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!("not a trace id (1-32 hex digits): {s:?}"));
+        }
+        let (hi, lo) = if s.len() > 16 {
+            let split = s.len() - 16;
+            (
+                u64::from_str_radix(&s[..split], 16).map_err(|e| e.to_string())?,
+                u64::from_str_radix(&s[split..], 16).map_err(|e| e.to_string())?,
+            )
+        } else {
+            (0, u64::from_str_radix(s, 16).map_err(|e| e.to_string())?)
+        };
+        Ok(TraceId { hi, lo })
+    }
+}
 
 /// The pipeline stage a span measures.
 ///
@@ -80,11 +157,17 @@ pub enum Stage {
     /// Folding one commit's records into the persistent image. c0 = map
     /// nodes cloned by the path-copy, c1 = bytes copied cloning them.
     Publish = 13,
+    /// One shard voting in a cross-shard unit's prepare round.
+    /// c0 = shard index, c1 = 1 when this shard is the coordinator.
+    UnitPrepare = 14,
+    /// The coordinator's decision record for a cross-shard unit.
+    /// c0 = participant count, c1 = 1 committed / 0 aborted.
+    UnitDecide = 15,
 }
 
 impl Stage {
     /// All stages, in discriminant order.
-    pub const ALL: [Stage; 14] = [
+    pub const ALL: [Stage; 16] = [
         Stage::Request,
         Stage::LaneWait,
         Stage::PlanCache,
@@ -99,6 +182,8 @@ impl Stage {
         Stage::ReplicaPoll,
         Stage::ReplicaApply,
         Stage::Publish,
+        Stage::UnitPrepare,
+        Stage::UnitDecide,
     ];
 
     /// Decode a discriminant stored in the ring.
@@ -123,6 +208,8 @@ impl Stage {
             Stage::ReplicaPoll => "replica_poll",
             Stage::ReplicaApply => "replica_apply",
             Stage::Publish => "publish",
+            Stage::UnitPrepare => "unit_prepare",
+            Stage::UnitDecide => "unit_decide",
         }
     }
 }
@@ -137,9 +224,9 @@ impl std::fmt::Display for Stage {
 /// atomic words and the wire can carry it without escaping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEvent {
-    /// The request tree this span belongs to (0 = recorded outside any
-    /// request scope, e.g. background compaction).
-    pub trace_id: u64,
+    /// The request tree this span belongs to ([`TraceId::NONE`] = recorded
+    /// outside any request scope, e.g. background compaction).
+    pub trace_id: TraceId,
     /// This span's id, unique within the recorder.
     pub span_id: u64,
     /// Parent span id (0 = root).
@@ -156,8 +243,19 @@ pub struct TraceEvent {
     pub c1: u64,
 }
 
-/// Words per ring slot: sequence + the 8 event scalars.
-const SLOT_WORDS: usize = 9;
+/// Words per ring slot: sequence + the 9 event scalars (the 128-bit trace
+/// id takes two words).
+const SLOT_WORDS: usize = 10;
+
+/// Duration bucket upper bounds (µs) for the per-stage rollup histograms.
+pub const ROLLUP_BOUNDS_US: [u64; 8] = [50, 100, 250, 1_000, 5_000, 25_000, 100_000, 1_000_000];
+
+/// Rollup bucket count: one per bound plus the overflow bucket.
+pub const ROLLUP_BUCKETS: usize = ROLLUP_BOUNDS_US.len() + 1;
+
+/// Ring tickets remembered per trace-index bucket; a trace recording more
+/// spans than this overflows to a full ring scan (counted, not hidden).
+pub const INDEX_TICKETS: usize = 32;
 
 /// One seqlock-guarded slot. `seq` is odd while a writer owns the slot and
 /// even once the payload is stable; a reader that sees the same even value
@@ -176,20 +274,182 @@ impl Slot {
     }
 }
 
+/// Per-stage duration histogram cells, updated relaxed from `record()`.
+struct StageCells {
+    counts: [AtomicU64; ROLLUP_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl StageCells {
+    fn new() -> StageCells {
+        StageCells {
+            counts: Default::default(),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    fn observe(&self, dur_us: u64) {
+        let bucket = ROLLUP_BOUNDS_US
+            .iter()
+            .position(|&b| dur_us <= b)
+            .unwrap_or(ROLLUP_BOUNDS_US.len());
+        self.counts[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(dur_us, Ordering::Relaxed);
+    }
+}
+
+/// Wire/scrape snapshot of one stage's rollup histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StageRollup {
+    /// Stable stage name ([`Stage::name`]).
+    pub stage: String,
+    /// Bucket upper bounds, µs ([`ROLLUP_BOUNDS_US`]).
+    pub bounds_us: Vec<u64>,
+    /// Per-bucket observation counts (`bounds_us.len() + 1` entries, the
+    /// last being the overflow bucket).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed durations, µs.
+    pub sum_us: u64,
+}
+
+impl StageRollup {
+    /// Mean duration in µs (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// One bucket of the bounded trace index: the trace key (two words) plus a
+/// tiny ring of ring-buffer tickets the trace wrote. Updates are relaxed
+/// and deliberately racy — two traces hashing to the same bucket evict each
+/// other (counted) and a torn bucket only costs the reader a fallback scan,
+/// because every ticket is re-verified against the main ring's trace id.
+struct IndexBucket {
+    hi: AtomicU64,
+    lo: AtomicU64,
+    cursor: AtomicU64,
+    tickets: [AtomicU64; INDEX_TICKETS],
+}
+
+impl IndexBucket {
+    fn new() -> IndexBucket {
+        IndexBucket {
+            hi: AtomicU64::new(0),
+            lo: AtomicU64::new(0),
+            cursor: AtomicU64::new(0),
+            tickets: Default::default(),
+        }
+    }
+}
+
+struct TraceIndex {
+    buckets: Vec<IndexBucket>,
+    evictions: AtomicU64,
+    overflows: AtomicU64,
+}
+
+impl TraceIndex {
+    fn new(ring_capacity: usize) -> TraceIndex {
+        let n = (ring_capacity / 8).next_power_of_two().clamp(64, 4096);
+        TraceIndex {
+            buckets: (0..n).map(|_| IndexBucket::new()).collect(),
+            evictions: AtomicU64::new(0),
+            overflows: AtomicU64::new(0),
+        }
+    }
+
+    fn bucket_of(&self, trace: TraceId) -> &IndexBucket {
+        // splitmix64 finalizer over both words — cheap, well mixed.
+        let mut h = trace.hi ^ trace.lo.rotate_left(32);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d049bb133111eb);
+        h ^= h >> 31;
+        &self.buckets[(h as usize) & (self.buckets.len() - 1)]
+    }
+
+    fn note(&self, trace: TraceId, ticket: u64) {
+        let b = self.bucket_of(trace);
+        if b.hi.load(Ordering::Relaxed) != trace.hi || b.lo.load(Ordering::Relaxed) != trace.lo {
+            if b.lo.load(Ordering::Relaxed) != 0 || b.hi.load(Ordering::Relaxed) != 0 {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            b.cursor.store(0, Ordering::Relaxed);
+            b.hi.store(trace.hi, Ordering::Relaxed);
+            b.lo.store(trace.lo, Ordering::Relaxed);
+        }
+        let t = b.cursor.fetch_add(1, Ordering::Relaxed);
+        if t as usize >= INDEX_TICKETS {
+            self.overflows.fetch_add(1, Ordering::Relaxed);
+        }
+        // Stored +1 so 0 means "empty".
+        b.tickets[(t as usize) % INDEX_TICKETS].store(ticket + 1, Ordering::Relaxed);
+    }
+
+    /// The ring tickets recorded for `trace`, or `None` when the bucket
+    /// was evicted or overflowed (caller falls back to a full scan).
+    fn lookup(&self, trace: TraceId) -> Option<Vec<u64>> {
+        let b = self.bucket_of(trace);
+        if b.hi.load(Ordering::Relaxed) != trace.hi || b.lo.load(Ordering::Relaxed) != trace.lo {
+            return None;
+        }
+        let n = b.cursor.load(Ordering::Relaxed);
+        if n as usize > INDEX_TICKETS {
+            return None;
+        }
+        let mut out = Vec::with_capacity(n as usize);
+        for slot in b.tickets.iter().take(n as usize) {
+            let v = slot.load(Ordering::Relaxed);
+            if v != 0 {
+                out.push(v - 1);
+            }
+        }
+        Some(out)
+    }
+}
+
 struct Inner {
     slots: Vec<Slot>,
     /// Total events ever written; `cursor % capacity` is the next slot.
     cursor: AtomicU64,
+    /// Entropy word stamped into the high half of minted trace ids.
+    trace_hi: u64,
     next_trace: AtomicU64,
     next_span: AtomicU64,
     dropped: AtomicU64,
+    rollups: Vec<StageCells>,
+    index: TraceIndex,
     epoch: Instant,
 }
 
 thread_local! {
-    /// The active `(trace_id, span_id)` for this thread, managed by
-    /// [`TraceScope`]. `(0, 0)` = no active trace.
-    static CURRENT: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+    /// The active `(TraceId, span_id)` for this thread, managed by
+    /// [`TraceScope`]. `(TraceId::NONE, 0)` = no active trace.
+    static CURRENT: Cell<(TraceId, u64)> = const { Cell::new((TraceId::NONE, 0)) };
+}
+
+/// Per-process entropy for trace-id high words: wall clock mixed with a
+/// process-wide counter through the splitmix64 finalizer, so concurrently
+/// created recorders (and different processes) get distinct words without
+/// any OS randomness dependency.
+fn entropy_word() -> u64 {
+    static SALT: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+    let t = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_nanos() as u64);
+    let mut h = t ^ SALT.fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed);
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d049bb133111eb);
+    h ^= h >> 31;
+    h
 }
 
 /// Cheap, cloneable handle on the shared trace ring.
@@ -218,7 +478,7 @@ impl std::fmt::Debug for Recorder {
 
 impl Recorder {
     /// Default ring capacity: enough for several thousand requests' spans
-    /// without measurable memory cost (each slot is 72 bytes).
+    /// without measurable memory cost (each slot is 80 bytes).
     pub const DEFAULT_CAPACITY: usize = 8192;
 
     /// A recorder over a fresh ring of `capacity` events (rounded up to 1).
@@ -228,9 +488,12 @@ impl Recorder {
             inner: Some(Arc::new(Inner {
                 slots: (0..capacity).map(|_| Slot::new()).collect(),
                 cursor: AtomicU64::new(0),
+                trace_hi: entropy_word(),
                 next_trace: AtomicU64::new(1),
                 next_span: AtomicU64::new(1),
                 dropped: AtomicU64::new(0),
+                rollups: Stage::ALL.iter().map(|_| StageCells::new()).collect(),
+                index: TraceIndex::new(capacity),
                 epoch: Instant::now(),
             })),
         }
@@ -258,11 +521,13 @@ impl Recorder {
             .map_or(0, |i| i.epoch.elapsed().as_micros() as u64)
     }
 
-    /// Allocate a fresh trace id (never 0).
-    pub fn new_trace_id(&self) -> u64 {
-        self.inner
-            .as_ref()
-            .map_or(0, |i| i.next_trace.fetch_add(1, Ordering::Relaxed))
+    /// Allocate a fresh trace id ([`TraceId::NONE`] when disabled): this
+    /// recorder's entropy word over a never-zero counter.
+    pub fn new_trace_id(&self) -> TraceId {
+        self.inner.as_ref().map_or(TraceId::NONE, |i| TraceId {
+            hi: i.trace_hi,
+            lo: i.next_trace.fetch_add(1, Ordering::Relaxed),
+        })
     }
 
     /// Allocate a fresh span id (never 0).
@@ -272,22 +537,22 @@ impl Recorder {
             .map_or(0, |i| i.next_span.fetch_add(1, Ordering::Relaxed))
     }
 
-    /// The `(trace_id, span_id)` pair active on this thread, `(0, 0)` when
-    /// no [`TraceScope`] is open.
-    pub fn current() -> (u64, u64) {
+    /// The `(TraceId, span_id)` pair active on this thread,
+    /// `(TraceId::NONE, 0)` when no [`TraceScope`] is open.
+    pub fn current() -> (TraceId, u64) {
         CURRENT.with(|c| c.get())
     }
 
     /// Start a timed span as a child of the thread's active span (or as an
-    /// orphan with `trace_id = 0` outside any scope). The span is recorded
-    /// when [`Span::finish`] is called or the guard drops.
+    /// orphan with `trace_id = NONE` outside any scope). The span is
+    /// recorded when [`Span::finish`] is called or the guard drops.
     pub fn span(&self, stage: Stage) -> Span {
         let (trace_id, parent_id) = Recorder::current();
         self.span_in(stage, trace_id, parent_id)
     }
 
     /// Start a timed span with an explicit parent.
-    pub fn span_in(&self, stage: Stage, trace_id: u64, parent_id: u64) -> Span {
+    pub fn span_in(&self, stage: Stage, trace_id: TraceId, parent_id: u64) -> Span {
         Span {
             recorder: self.clone(),
             trace_id,
@@ -304,10 +569,16 @@ impl Recorder {
 
     /// Record a fully-formed event into the ring. Lock-free: one
     /// `fetch_add` draws a slot, a compare-exchange on the slot's seqlock
-    /// word claims it, and the final even store publishes it.
+    /// word claims it, and the final even store publishes it. The event is
+    /// also folded into the stage rollup histogram and (for events with a
+    /// real trace id) noted in the trace index.
     pub fn record(&self, ev: TraceEvent) {
         let Some(inner) = &self.inner else { return };
+        inner.rollups[ev.stage as usize].observe(ev.dur_us);
         let ticket = inner.cursor.fetch_add(1, Ordering::Relaxed);
+        if !ev.trace_id.is_none() {
+            inner.index.note(ev.trace_id, ticket);
+        }
         let slot = &inner.slots[(ticket % inner.slots.len() as u64) as usize];
         // Claim: advance the sequence even -> odd with a CAS, so the odd
         // state only ever has a single owner. A blind fetch_add would let a
@@ -326,14 +597,15 @@ impl Recorder {
             return;
         }
         let w = &slot.words;
-        w[0].store(ev.trace_id, Ordering::Relaxed);
-        w[1].store(ev.span_id, Ordering::Relaxed);
-        w[2].store(ev.parent_id, Ordering::Relaxed);
-        w[3].store(ev.stage as u64, Ordering::Relaxed);
-        w[4].store(ev.start_us, Ordering::Relaxed);
-        w[5].store(ev.dur_us, Ordering::Relaxed);
-        w[6].store(ev.c0, Ordering::Relaxed);
-        w[7].store(ev.c1, Ordering::Relaxed);
+        w[0].store(ev.trace_id.hi, Ordering::Relaxed);
+        w[1].store(ev.trace_id.lo, Ordering::Relaxed);
+        w[2].store(ev.span_id, Ordering::Relaxed);
+        w[3].store(ev.parent_id, Ordering::Relaxed);
+        w[4].store(ev.stage as u64, Ordering::Relaxed);
+        w[5].store(ev.start_us, Ordering::Relaxed);
+        w[6].store(ev.dur_us, Ordering::Relaxed);
+        w[7].store(ev.c0, Ordering::Relaxed);
+        w[8].store(ev.c1, Ordering::Relaxed);
         // Publish: back to even, one generation later.
         slot.seq.fetch_add(1, Ordering::Release);
     }
@@ -351,6 +623,47 @@ impl Recorder {
         self.inner
             .as_ref()
             .map_or(0, |i| i.dropped.load(Ordering::Relaxed))
+    }
+
+    /// Trace-index buckets reassigned to a newer trace (the old trace falls
+    /// back to a full ring scan).
+    pub fn index_evictions(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.index.evictions.load(Ordering::Relaxed))
+    }
+
+    /// Spans recorded past a trace's [`INDEX_TICKETS`] index capacity
+    /// (lookups for such traces fall back to a full ring scan).
+    pub fn index_overflows(&self) -> u64 {
+        self.inner
+            .as_ref()
+            .map_or(0, |i| i.index.overflows.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot the per-stage rollup histograms, in [`Stage::ALL`] order.
+    /// Empty when disabled.
+    pub fn stage_rollups(&self) -> Vec<StageRollup> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        Stage::ALL
+            .iter()
+            .map(|stage| {
+                let cells = &inner.rollups[*stage as usize];
+                StageRollup {
+                    stage: stage.name().to_string(),
+                    bounds_us: ROLLUP_BOUNDS_US.to_vec(),
+                    counts: cells
+                        .counts
+                        .iter()
+                        .map(|c| c.load(Ordering::Relaxed))
+                        .collect(),
+                    count: cells.count.load(Ordering::Relaxed),
+                    sum_us: cells.sum_us.load(Ordering::Relaxed),
+                }
+            })
+            .collect()
     }
 
     /// Snapshot the newest `n` events, oldest first. Torn or mid-write
@@ -372,8 +685,31 @@ impl Recorder {
         out
     }
 
-    /// All ring events belonging to one trace, oldest first.
-    pub fn events_for(&self, trace_id: u64) -> Vec<TraceEvent> {
+    /// All ring events belonging to one trace, oldest first. Served from
+    /// the bounded trace index when it still holds the trace (O(spans));
+    /// falls back to a full ring scan after an eviction or overflow.
+    pub fn events_for(&self, trace_id: TraceId) -> Vec<TraceEvent> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        if !trace_id.is_none() {
+            if let Some(tickets) = inner.index.lookup(trace_id) {
+                let cap = inner.slots.len() as u64;
+                let end = inner.cursor.load(Ordering::Acquire);
+                let mut out: Vec<TraceEvent> = tickets
+                    .iter()
+                    // A ticket lapped by `capacity` newer events no longer
+                    // names this trace's slot.
+                    .filter(|&&t| t + cap >= end)
+                    .filter_map(|&t| read_slot(&inner.slots[(t % cap) as usize]))
+                    // Re-verify: the index is racy, the ring is the truth.
+                    .filter(|e| e.trace_id == trace_id)
+                    .collect();
+                out.sort_by_key(|e| (e.start_us, e.span_id));
+                out.dedup_by_key(|e| e.span_id);
+                return out;
+            }
+        }
         let mut evs = self.recent(self.capacity());
         evs.retain(|e| e.trace_id == trace_id);
         evs
@@ -396,6 +732,7 @@ fn read_slot(slot: &Slot) -> Option<TraceEvent> {
         w[5].load(Ordering::Relaxed),
         w[6].load(Ordering::Relaxed),
         w[7].load(Ordering::Relaxed),
+        w[8].load(Ordering::Relaxed),
     ];
     // Standard seqlock reader protocol: an acquire *load* of `after` only
     // orders later accesses, so on weakly ordered targets the relaxed
@@ -407,26 +744,29 @@ fn read_slot(slot: &Slot) -> Option<TraceEvent> {
         return None; // torn: a writer replaced the slot while we copied
     }
     Some(TraceEvent {
-        trace_id: words[0],
-        span_id: words[1],
-        parent_id: words[2],
-        stage: Stage::from_code(words[3])?,
-        start_us: words[4],
-        dur_us: words[5],
-        c0: words[6],
-        c1: words[7],
+        trace_id: TraceId {
+            hi: words[0],
+            lo: words[1],
+        },
+        span_id: words[2],
+        parent_id: words[3],
+        stage: Stage::from_code(words[4])?,
+        start_us: words[5],
+        dur_us: words[6],
+        c0: words[7],
+        c1: words[8],
     })
 }
 
-/// RAII guard installing `(trace_id, span_id)` as this thread's active
+/// RAII guard installing `(TraceId, span_id)` as this thread's active
 /// trace position; restores the previous position on drop, so scopes nest.
 pub struct TraceScope {
-    prev: (u64, u64),
+    prev: (TraceId, u64),
 }
 
 impl TraceScope {
     /// Enter a trace scope on the current thread.
-    pub fn enter(trace_id: u64, span_id: u64) -> TraceScope {
+    pub fn enter(trace_id: TraceId, span_id: u64) -> TraceScope {
         let prev = CURRENT.with(|c| c.replace((trace_id, span_id)));
         TraceScope { prev }
     }
@@ -442,7 +782,7 @@ impl Drop for TraceScope {
 /// A running timed span; records itself on [`Span::finish`] or on drop.
 pub struct Span {
     recorder: Recorder,
-    trace_id: u64,
+    trace_id: TraceId,
     span_id: u64,
     parent_id: u64,
     stage: Stage,
@@ -461,7 +801,7 @@ impl Span {
     }
 
     /// This span's trace id.
-    pub fn trace_id(&self) -> u64 {
+    pub fn trace_id(&self) -> TraceId {
         self.trace_id
     }
 
@@ -550,12 +890,49 @@ fn render_subtree(events: &[TraceEvent], node: &TraceEvent, depth: usize, out: &
 mod tests {
     use super::*;
 
+    fn tid(lo: u64) -> TraceId {
+        TraceId { hi: 0, lo }
+    }
+
     #[test]
     fn stage_codes_round_trip() {
         for stage in Stage::ALL {
             assert_eq!(Stage::from_code(stage as u64), Some(stage));
         }
         assert_eq!(Stage::from_code(999), None);
+    }
+
+    #[test]
+    fn trace_ids_render_and_parse() {
+        let id = TraceId {
+            hi: 0x0123_4567_89ab_cdef,
+            lo: 0xfedc_ba98_7654_3210,
+        };
+        let text = id.to_string();
+        assert_eq!(text, "0123456789abcdeffedcba9876543210");
+        assert_eq!(text.parse::<TraceId>().unwrap(), id);
+        // Short forms land in the low word.
+        assert_eq!(
+            "2a".parse::<TraceId>().unwrap(),
+            TraceId { hi: 0, lo: 0x2a }
+        );
+        assert!("".parse::<TraceId>().is_err());
+        assert!("zz".parse::<TraceId>().is_err());
+        assert!(TraceId::NONE.is_none());
+        assert!(!id.is_none());
+    }
+
+    #[test]
+    fn minted_trace_ids_carry_process_entropy() {
+        let r = Recorder::new(8);
+        let a = r.new_trace_id();
+        let b = r.new_trace_id();
+        assert!(!a.is_none());
+        assert_ne!(a, b);
+        assert_eq!(a.hi, b.hi); // same recorder, same entropy word
+        assert_eq!(b.lo, a.lo + 1);
+        let other = Recorder::new(8);
+        assert_ne!(other.new_trace_id().hi, 0);
     }
 
     #[test]
@@ -566,6 +943,8 @@ mod tests {
         span.finish(1, 2);
         assert!(r.recent(10).is_empty());
         assert_eq!(r.events_written(), 0);
+        assert!(r.stage_rollups().is_empty());
+        assert_eq!(r.new_trace_id(), TraceId::NONE);
     }
 
     #[test]
@@ -589,7 +968,7 @@ mod tests {
         let r = Recorder::new(4);
         for i in 0..10u64 {
             r.record(TraceEvent {
-                trace_id: 1,
+                trace_id: tid(1),
                 span_id: i + 1,
                 parent_id: 0,
                 stage: Stage::Scan,
@@ -607,17 +986,17 @@ mod tests {
 
     #[test]
     fn trace_scope_nests_and_restores() {
-        assert_eq!(Recorder::current(), (0, 0));
+        assert_eq!(Recorder::current(), (TraceId::NONE, 0));
         {
-            let _outer = TraceScope::enter(7, 1);
-            assert_eq!(Recorder::current(), (7, 1));
+            let _outer = TraceScope::enter(tid(7), 1);
+            assert_eq!(Recorder::current(), (tid(7), 1));
             {
-                let _inner = TraceScope::enter(7, 2);
-                assert_eq!(Recorder::current(), (7, 2));
+                let _inner = TraceScope::enter(tid(7), 2);
+                assert_eq!(Recorder::current(), (tid(7), 2));
             }
-            assert_eq!(Recorder::current(), (7, 1));
+            assert_eq!(Recorder::current(), (tid(7), 1));
         }
-        assert_eq!(Recorder::current(), (0, 0));
+        assert_eq!(Recorder::current(), (TraceId::NONE, 0));
     }
 
     #[test]
@@ -652,10 +1031,60 @@ mod tests {
     }
 
     #[test]
+    fn index_overflow_falls_back_to_the_ring_scan() {
+        let r = Recorder::new(256);
+        let t = r.new_trace_id();
+        let n = INDEX_TICKETS as u64 + 5;
+        for i in 0..n {
+            r.record(TraceEvent {
+                trace_id: t,
+                span_id: i + 1,
+                parent_id: 0,
+                stage: Stage::Scan,
+                start_us: i,
+                dur_us: 1,
+                c0: i,
+                c1: 0,
+            });
+        }
+        assert!(r.index_overflows() > 0);
+        // All spans still come back, via the full-scan fallback.
+        assert_eq!(r.events_for(t).len(), n as usize);
+    }
+
+    #[test]
+    fn stage_rollups_aggregate_durations() {
+        let r = Recorder::new(32);
+        for dur in [10u64, 60, 2_000_000] {
+            r.record(TraceEvent {
+                trace_id: TraceId::NONE,
+                span_id: r.new_span_id(),
+                parent_id: 0,
+                stage: Stage::Commit,
+                start_us: 0,
+                dur_us: dur,
+                c0: 0,
+                c1: 0,
+            });
+        }
+        let rollups = r.stage_rollups();
+        assert_eq!(rollups.len(), Stage::ALL.len());
+        let commit = rollups.iter().find(|s| s.stage == "commit").unwrap();
+        assert_eq!(commit.count, 3);
+        assert_eq!(commit.sum_us, 2_000_070);
+        assert_eq!(commit.counts[0], 1); // 10 ≤ 50
+        assert_eq!(commit.counts[1], 1); // 60 ≤ 100
+        assert_eq!(commit.counts[ROLLUP_BUCKETS - 1], 1); // overflow
+        assert_eq!(commit.counts.iter().sum::<u64>(), commit.count);
+        let scan = rollups.iter().find(|s| s.stage == "scan").unwrap();
+        assert_eq!(scan.count, 0);
+    }
+
+    #[test]
     fn render_tree_indents_children() {
         let evs = vec![
             TraceEvent {
-                trace_id: 1,
+                trace_id: tid(1),
                 span_id: 1,
                 parent_id: 0,
                 stage: Stage::Request,
@@ -665,7 +1094,7 @@ mod tests {
                 c1: 0,
             },
             TraceEvent {
-                trace_id: 1,
+                trace_id: tid(1),
                 span_id: 2,
                 parent_id: 1,
                 stage: Stage::PlanCache,
@@ -683,7 +1112,7 @@ mod tests {
     #[test]
     fn events_serialize_through_serde() {
         let ev = TraceEvent {
-            trace_id: 9,
+            trace_id: tid(9),
             span_id: 8,
             parent_id: 7,
             stage: Stage::Join,
@@ -709,7 +1138,7 @@ mod tests {
                         // derived from one value, so tearing is detectable.
                         let v = t * 1_000_000 + i;
                         r.record(TraceEvent {
-                            trace_id: v,
+                            trace_id: tid(v),
                             span_id: v,
                             parent_id: v,
                             stage: Stage::Scan,
@@ -725,10 +1154,10 @@ mod tests {
             scope.spawn(move || {
                 for _ in 0..200 {
                     for ev in reader.recent(64) {
-                        assert_eq!(ev.trace_id, ev.span_id);
-                        assert_eq!(ev.trace_id, ev.start_us);
-                        assert_eq!(ev.trace_id, ev.c0);
-                        assert_eq!(ev.trace_id, ev.c1);
+                        assert_eq!(ev.trace_id.lo, ev.span_id);
+                        assert_eq!(ev.trace_id.lo, ev.start_us);
+                        assert_eq!(ev.trace_id.lo, ev.c0);
+                        assert_eq!(ev.trace_id.lo, ev.c1);
                     }
                 }
             });

@@ -45,7 +45,7 @@ pub use prometheus_storage::{Stats, StatsSnapshot};
 pub use prometheus_taxonomy as taxonomy;
 pub use prometheus_taxonomy::{Rank, Taxonomy, TypeKind};
 pub use prometheus_trace as trace;
-pub use prometheus_trace::{Recorder, Stage, TraceEvent, TraceScope};
+pub use prometheus_trace::{Recorder, Stage, StageRollup, TraceEvent, TraceId, TraceScope};
 
 use std::path::Path;
 use std::sync::Arc;

@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("Classifications: Raguenaud 2000, taxonomist-1..4. Classes: NT, CT, Specimen.");
     println!(
-        "Commands: \\context [name], \\stats, \\profile <query>, \\trace [n], \
+        "Commands: \\context [name], \\stats, \\profile <query>, \\trace [n | hex-id], \
          \\slowlog [n], \\quit. Also: explain <query>, profile <query>."
     );
 
@@ -90,13 +90,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("\\trace") {
-            let n: u32 = rest.trim().parse().unwrap_or(20);
-            let events = client.trace(n)?;
-            if events.is_empty() {
-                println!("trace ring is empty (tracing may be disabled)");
+            let arg = rest.trim();
+            // A small decimal argument dumps the newest ring events (the
+            // historic behaviour); anything that parses as a hex trace id
+            // assembles that one trace's cross-shard span tree instead.
+            if let Ok(n) = arg.parse::<u32>() {
+                let events = client.trace(n.max(1))?;
+                if events.is_empty() {
+                    println!("trace ring is empty (tracing may be disabled)");
+                } else {
+                    print!("{}", prometheus_trace::render_tree(&events));
+                    println!("({} span(s))", events.len());
+                }
+            } else if arg.is_empty() {
+                let events = client.trace(20)?;
+                if events.is_empty() {
+                    println!("trace ring is empty (tracing may be disabled)");
+                } else {
+                    print!("{}", prometheus_trace::render_tree(&events));
+                    println!("({} span(s))", events.len());
+                }
             } else {
-                print!("{}", prometheus_trace::render_tree(&events));
-                println!("({} span(s))", events.len());
+                match arg.parse::<prometheus_server::TraceId>() {
+                    Ok(id) => match client.trace_get(id) {
+                        Ok(spans) if spans.is_empty() => {
+                            println!("no spans recorded for trace {id}")
+                        }
+                        Ok(spans) => {
+                            let events: Vec<_> = spans.iter().map(|s| s.event).collect();
+                            print!("{}", prometheus_trace::render_tree(&events));
+                            println!("({} span(s) for trace {id})", spans.len());
+                        }
+                        Err(ServerError::Remote { message, .. }) => println!("error: {message}"),
+                        Err(e) => return Err(e.into()),
+                    },
+                    Err(_) => println!("usage: \\trace [n | hex-trace-id]"),
+                }
             }
             continue;
         }
@@ -108,11 +137,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             for e in &entries {
                 println!(
-                    "{:>8} µs  {} row(s)  fp {:016x}  trace {:016x}  session {}{}  {}",
+                    "{:>8} µs  {} row(s)  fp {:016x}  trace {}  lanes {:#06b}  \
+                     lane-wait {} µs  session {}{}  {}",
                     e.dur_us,
                     e.rows,
                     e.fingerprint,
                     e.trace_id,
+                    e.lane_mask,
+                    e.lane_wait_us,
                     e.session,
                     e.context
                         .as_deref()

@@ -11,7 +11,7 @@ use prometheus_db::{Prometheus, StoreOptions, Value};
 use prometheus_server::frame::{read_msg, write_msg};
 use prometheus_server::{
     serve, ErrorKind, MutationOp, PrometheusClient, Request, Response, ServerConfig, ServerError,
-    ServerHandle, PROTOCOL_VERSION,
+    ServerHandle, TraceId, PROTOCOL_VERSION,
 };
 use prometheus_taxonomy::Rank;
 use std::io::{Read, Write};
@@ -58,13 +58,14 @@ fn raw_handshake(addr: SocketAddr) -> TcpStream {
     let mut s = TcpStream::connect(addr).unwrap();
     write_msg(
         &mut s,
+        TraceId::NONE,
         &Request::Hello {
             version: PROTOCOL_VERSION,
             client: "raw-test".into(),
         },
     )
     .unwrap();
-    match read_msg::<_, Response>(&mut s).unwrap() {
+    match read_msg::<_, Response>(&mut s).unwrap().1 {
         Response::Welcome { .. } => s,
         other => panic!("expected Welcome, got {other:?}"),
     }
@@ -174,7 +175,7 @@ fn slow_client_never_stalls_other_sessions() {
 
     let mut slow = raw_handshake(addr);
     let mut ping_frame: Vec<u8> = Vec::new();
-    write_msg(&mut ping_frame, &Request::Ping).unwrap();
+    write_msg(&mut ping_frame, TraceId::NONE, &Request::Ping).unwrap();
     // Trickle out half the frame and stall mid-header.
     slow.write_all(&ping_frame[..3]).unwrap();
     slow.flush().unwrap();
@@ -196,7 +197,7 @@ fn slow_client_never_stalls_other_sessions() {
     slow.set_read_timeout(Some(Duration::from_secs(10)))
         .unwrap();
     assert!(matches!(
-        read_msg::<_, Response>(&mut slow).unwrap(),
+        read_msg::<_, Response>(&mut slow).unwrap().1,
         Response::Pong
     ));
     handle.stop();

@@ -7,10 +7,12 @@
 //! — so these tests feed the incremental decoder arbitrary chunkings
 //! (including one byte at a time) of streams produced by the blocking
 //! writer, and drain the incremental encoder in arbitrary nibbles,
-//! asserting exact equivalence with the blocking pair.
+//! asserting exact equivalence with the blocking pair. Since protocol v8
+//! every frame envelope carries a 128-bit trace id, so the properties
+//! round-trip arbitrary `(TraceId, Request)` pairs, not bare requests.
 
 use prometheus_server::frame::{read_msg, write_msg};
-use prometheus_server::{FrameDecoder, FrameEncoder, Request, ServerError};
+use prometheus_server::{FrameDecoder, FrameEncoder, Request, ServerError, TraceId};
 use proptest::prelude::*;
 
 /// A few representative request shapes: unit variants, strings of varying
@@ -32,18 +34,32 @@ fn arb_request() -> impl Strategy<Value = Request> {
     ]
 }
 
+/// An arbitrary envelope trace id, biased to include the blank id — the
+/// wire must carry `NONE` (an unstamped client) as faithfully as a full
+/// 128-bit id.
+fn arb_trace() -> impl Strategy<Value = TraceId> {
+    prop_oneof![
+        Just(TraceId::NONE),
+        (any::<u64>(), any::<u64>()).prop_map(|(hi, lo)| TraceId::from_words(hi, lo)),
+    ]
+}
+
+fn arb_framed() -> impl Strategy<Value = (TraceId, Request)> {
+    (arb_trace(), arb_request())
+}
+
 /// Encode every message with the *blocking* writer into one contiguous
 /// byte stream — the reference the incremental decoder must match.
-fn blocking_stream(msgs: &[Request]) -> Vec<u8> {
+fn blocking_stream(msgs: &[(TraceId, Request)]) -> Vec<u8> {
     let mut wire = Vec::new();
-    for m in msgs {
-        write_msg(&mut wire, m).unwrap();
+    for (trace, m) in msgs {
+        write_msg(&mut wire, *trace, m).unwrap();
     }
     wire
 }
 
 /// Decode the whole stream with the blocking reader.
-fn blocking_decode(wire: &[u8]) -> Vec<Request> {
+fn blocking_decode(wire: &[u8]) -> Vec<(TraceId, Request)> {
     let mut cursor = wire;
     let mut out = Vec::new();
     loop {
@@ -58,7 +74,7 @@ fn blocking_decode(wire: &[u8]) -> Vec<Request> {
 
 /// Slice `wire` into chunks whose sizes cycle through `sizes` (1-minimum),
 /// feeding each chunk to the decoder and draining all decodable frames.
-fn incremental_decode(wire: &[u8], sizes: &[usize]) -> Vec<Request> {
+fn incremental_decode(wire: &[u8], sizes: &[usize]) -> Vec<(TraceId, Request)> {
     let mut dec = FrameDecoder::new();
     let mut out = Vec::new();
     let mut pos = 0;
@@ -86,10 +102,11 @@ fn incremental_decode(wire: &[u8], sizes: &[usize]) -> Vec<Request> {
 
 proptest! {
     /// Arbitrary chunkings of a multi-message stream decode to exactly the
-    /// messages the blocking reader sees, in order, ending at a boundary.
+    /// (trace, message) pairs the blocking reader sees, in order, ending at
+    /// a boundary.
     #[test]
     fn decoder_matches_blocking_reader_under_any_split(
-        msgs in prop::collection::vec(arb_request(), 0..12),
+        msgs in prop::collection::vec(arb_framed(), 0..12),
         sizes in prop::collection::vec(1usize..64, 1..8),
     ) {
         let wire = blocking_stream(&msgs);
@@ -100,7 +117,7 @@ proptest! {
 
     /// The degenerate chunking — one byte per `extend` — still matches.
     #[test]
-    fn decoder_survives_byte_at_a_time(msgs in prop::collection::vec(arb_request(), 1..6)) {
+    fn decoder_survives_byte_at_a_time(msgs in prop::collection::vec(arb_framed(), 1..6)) {
         let wire = blocking_stream(&msgs);
         prop_assert_eq!(incremental_decode(&wire, &[1]), msgs);
     }
@@ -110,14 +127,14 @@ proptest! {
     /// it — and interleaving pushes with partial drains changes nothing.
     #[test]
     fn encoder_matches_blocking_writer_under_any_drain(
-        msgs in prop::collection::vec(arb_request(), 0..12),
+        msgs in prop::collection::vec(arb_framed(), 0..12),
         sizes in prop::collection::vec(1usize..32, 1..8),
     ) {
         let reference = blocking_stream(&msgs);
         let mut enc = FrameEncoder::new();
         let mut drained = Vec::new();
-        for (i, m) in msgs.iter().enumerate() {
-            enc.push(m).unwrap();
+        for (i, (trace, m)) in msgs.iter().enumerate() {
+            enc.push(*trace, m).unwrap();
             // Drain a ragged chunk between pushes, like a half-writable socket.
             let take = sizes[i % sizes.len()].min(enc.pending().len());
             drained.extend_from_slice(&enc.pending()[..take]);
@@ -130,20 +147,18 @@ proptest! {
         prop_assert_eq!(drained, reference);
     }
 
-    /// A flipped payload byte fails CRC in both readers — the incremental
-    /// decoder is exactly as strict as the blocking one.
+    /// A flipped byte anywhere in the body — trace words included — fails
+    /// CRC in both readers; the incremental decoder is exactly as strict
+    /// as the blocking one.
     #[test]
     fn corrupt_payload_rejected_by_both_readers(
-        msg in arb_request(),
+        (trace, msg) in arb_framed(),
         flip in any::<usize>(),
     ) {
         let mut wire = Vec::new();
-        write_msg(&mut wire, &msg).unwrap();
-        if wire.len() <= 8 {
-            // Zero-length payload: nothing to corrupt without touching the
-            // header; skip (the header cases are unit-tested in frame.rs).
-            return Ok(());
-        }
+        write_msg(&mut wire, trace, &msg).unwrap();
+        // The v8 body always holds at least the 16 trace bytes, so there is
+        // always something past the 8-byte header to corrupt.
         let at = 8 + flip % (wire.len() - 8);
         wire[at] ^= 0xFF;
         prop_assert!(matches!(

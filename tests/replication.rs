@@ -11,7 +11,7 @@ use prometheus_server::frame::{read_msg, write_msg};
 use prometheus_server::protocol::{Request, Response};
 use prometheus_server::{
     serve, ErrorKind, MutationOp, PrometheusClient, ServerConfig, ServerError, ServerHandle,
-    PROTOCOL_VERSION,
+    TraceId, PROTOCOL_VERSION,
 };
 use prometheus_taxonomy::Rank;
 use std::io::{BufReader, BufWriter};
@@ -389,13 +389,14 @@ fn protocol_version_mismatch_is_typed_on_the_client() {
     let mut reader = BufReader::new(stream);
     write_msg(
         &mut writer,
+        TraceId::NONE,
         &Request::Hello {
             version: 1,
             client: "time-traveller".into(),
         },
     )
     .unwrap();
-    match read_msg::<_, Response>(&mut reader).unwrap() {
+    match read_msg::<_, Response>(&mut reader).unwrap().1 {
         Response::Error { kind, message } => {
             assert_eq!(kind, ErrorKind::ProtocolMismatch);
             assert!(
@@ -416,9 +417,10 @@ fn protocol_version_mismatch_is_typed_on_the_client() {
         let (stream, _) = listener.accept().unwrap();
         let mut reader = BufReader::new(stream.try_clone().unwrap());
         let mut writer = BufWriter::new(stream);
-        let _: Request = read_msg(&mut reader).unwrap();
+        let _: (TraceId, Request) = read_msg(&mut reader).unwrap();
         write_msg(
             &mut writer,
+            TraceId::NONE,
             &Response::Error {
                 kind: ErrorKind::ProtocolMismatch,
                 message: "protocol version 5 unsupported (server speaks 99)".into(),
